@@ -1,0 +1,410 @@
+//! The profile Markov chain of the slack-damped protocol.
+
+use crate::profiles::{enumerate_profiles, profile_index};
+use crate::solver::solve_linear;
+use std::collections::HashMap;
+
+/// The exact profile chain of `SlackDamped` on a single-class instance
+/// with capacities `caps` and `n` users.
+pub struct ProfileChain {
+    caps: Vec<u32>,
+    n: u32,
+    damping: f64,
+    profiles: Vec<Vec<u32>>,
+    index: HashMap<Vec<u32>, usize>,
+}
+
+impl ProfileChain {
+    /// Build the chain.
+    ///
+    /// # Panics
+    /// Panics on empty capacities, zero capacities (the experiments keep
+    /// every resource usable), infeasible totals (absorption would not
+    /// exist), or non-positive damping.
+    pub fn new(caps: Vec<u32>, n: u32, damping: f64) -> Self {
+        assert!(!caps.is_empty(), "need resources");
+        assert!(caps.iter().all(|&c| c > 0), "zero-capacity resource");
+        assert!(
+            caps.iter().map(|&c| c as u64).sum::<u64>() >= n as u64,
+            "infeasible instance has no absorbing states"
+        );
+        assert!(damping > 0.0 && damping.is_finite(), "bad damping");
+        let profiles = enumerate_profiles(n, caps.len());
+        let index = profile_index(&profiles);
+        Self {
+            caps,
+            n,
+            damping,
+            profiles,
+            index,
+        }
+    }
+
+    /// Number of profiles (states).
+    pub fn num_states(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Is the profile legal (absorbing)?
+    pub fn is_legal(&self, x: &[u32]) -> bool {
+        x.iter().zip(&self.caps).all(|(&load, &cap)| load <= cap)
+    }
+
+    /// Per-user destination distribution for a user on overloaded `r` at
+    /// profile `x`: index `t` = probability of ending the round on `t`.
+    fn destination_distribution(&self, x: &[u32], r: usize) -> Vec<f64> {
+        let m = self.caps.len();
+        let mut q = vec![0.0; m];
+        let mut move_total = 0.0;
+        for t in 0..m {
+            if t == r {
+                continue;
+            }
+            let cap = self.caps[t];
+            let load = x[t];
+            if load < cap {
+                let coin = (self.damping * (cap - load) as f64 / cap as f64).min(1.0);
+                q[t] = coin / m as f64;
+                move_total += q[t];
+            }
+        }
+        q[r] = 1.0 - move_total;
+        q
+    }
+
+    /// One row of the transition kernel: distribution over successor
+    /// profiles from `x` (sparse map, probabilities sum to 1).
+    pub fn transition_row(&self, x: &[u32]) -> HashMap<usize, f64> {
+        let m = self.caps.len();
+        // Sources: per resource, number of movers (unsatisfied users).
+        let sources: Vec<(usize, u32)> = (0..m)
+            .filter(|&r| x[r] > self.caps[r])
+            .map(|r| (r, x[r]))
+            .collect();
+        let mut row = HashMap::new();
+        if sources.is_empty() {
+            row.insert(self.index[x], 1.0);
+            return row;
+        }
+        // Convolve multinomial outcomes across sources.
+        let mut acc: Vec<(Vec<u32>, f64)> = vec![(x.to_vec(), 1.0)];
+        for &(r, users) in &sources {
+            let q = self.destination_distribution(x, r);
+            let outcomes = multinomial_outcomes(users, &q);
+            let mut next = Vec::with_capacity(acc.len() * outcomes.len());
+            for (profile, p) in &acc {
+                for (counts, po) in &outcomes {
+                    let mut np = profile.clone();
+                    // `counts[t]` users from `r` end on `t`; stayers are
+                    // counts[r]. Remove all movers from r, add arrivals.
+                    for (t, &k) in counts.iter().enumerate() {
+                        if t == r {
+                            continue;
+                        }
+                        np[r] -= k;
+                        np[t] += k;
+                    }
+                    next.push((np, p * po));
+                }
+            }
+            acc = next;
+        }
+        for (profile, p) in acc {
+            *row.entry(self.index[&profile]).or_insert(0.0) += p;
+        }
+        row
+    }
+
+    /// Exact expected rounds to reach a legal profile from `start`.
+    ///
+    /// # Panics
+    /// Panics if `start` is not a profile of this chain.
+    pub fn expected_rounds_from(&self, start: &[u32]) -> f64 {
+        assert_eq!(start.iter().sum::<u32>(), self.n, "wrong user count");
+        let transient: Vec<usize> = (0..self.profiles.len())
+            .filter(|&i| !self.is_legal(&self.profiles[i]))
+            .collect();
+        if self.is_legal(start) {
+            return 0.0;
+        }
+        let tindex: HashMap<usize, usize> = transient
+            .iter()
+            .enumerate()
+            .map(|(ti, &si)| (si, ti))
+            .collect();
+        let k = transient.len();
+        // (I − Q) f = 1
+        let mut a = vec![vec![0.0; k]; k];
+        for (ti, &si) in transient.iter().enumerate() {
+            a[ti][ti] = 1.0;
+            for (&sj, &p) in &self.transition_row(&self.profiles[si]) {
+                if let Some(&tj) = tindex.get(&sj) {
+                    a[ti][tj] -= p;
+                }
+            }
+        }
+        let f = solve_linear(a, vec![1.0; k]).expect("absorbing chain is non-singular");
+        f[tindex[&self.index[start]]]
+    }
+}
+
+impl ProfileChain {
+    /// The survival function `P[T > t]` of the absorption time from
+    /// `start`, for `t = 0..=max_t`, by forward iteration of the transient
+    /// distribution. `survival[0] = 1` unless `start` is already legal.
+    ///
+    /// Complements [`ProfileChain::expected_rounds_from`]: the experiments
+    /// compare both the mean and the tail against simulation.
+    ///
+    /// # Panics
+    /// Panics if `start` is not a profile of this chain.
+    pub fn survival_from(&self, start: &[u32], max_t: usize) -> Vec<f64> {
+        assert_eq!(start.iter().sum::<u32>(), self.n, "wrong user count");
+        let mut dist = vec![0.0f64; self.profiles.len()];
+        dist[self.index[start]] = 1.0;
+        let mut out = Vec::with_capacity(max_t + 1);
+        for _t in 0..=max_t {
+            let transient_mass: f64 = (0..self.profiles.len())
+                .filter(|&i| !self.is_legal(&self.profiles[i]))
+                .map(|i| dist[i])
+                .sum();
+            out.push(transient_mass);
+            // advance one round (absorbing states keep their mass)
+            let mut next = vec![0.0f64; self.profiles.len()];
+            for (i, &mass) in dist.iter().enumerate() {
+                if mass == 0.0 {
+                    continue;
+                }
+                if self.is_legal(&self.profiles[i]) {
+                    next[i] += mass;
+                    continue;
+                }
+                for (&j, &p) in &self.transition_row(&self.profiles[i]) {
+                    next[j] += mass * p;
+                }
+            }
+            dist = next;
+        }
+        out
+    }
+}
+
+/// All ways to distribute `users` over categories with probabilities `q`
+/// (categories with `q = 0` receive nobody), with multinomial pmf.
+fn multinomial_outcomes(users: u32, q: &[f64]) -> Vec<(Vec<u32>, f64)> {
+    let mut out = Vec::new();
+    let mut counts = vec![0u32; q.len()];
+    // log-factorials would be overkill at this scale; use direct recursion
+    // carrying the running probability and multinomial coefficient.
+    fn rec(
+        idx: usize,
+        remaining: u32,
+        prob: f64,
+        ways: f64,
+        q: &[f64],
+        counts: &mut Vec<u32>,
+        out: &mut Vec<(Vec<u32>, f64)>,
+    ) {
+        if idx + 1 == q.len() {
+            if q[idx] == 0.0 && remaining > 0 {
+                return;
+            }
+            counts[idx] = remaining;
+            let p = prob * q[idx].powi(remaining as i32) * ways;
+            out.push((counts.clone(), p));
+            counts[idx] = 0;
+            return;
+        }
+        let max_here = if q[idx] == 0.0 { 0 } else { remaining };
+        let mut choose = 1.0; // C(remaining, k) built incrementally
+        for k in 0..=max_here {
+            if k > 0 {
+                choose = choose * (remaining - k + 1) as f64 / k as f64;
+            }
+            counts[idx] = k;
+            rec(
+                idx + 1,
+                remaining - k,
+                prob * q[idx].powi(k as i32),
+                ways * choose,
+                q,
+                counts,
+                out,
+            );
+        }
+        counts[idx] = 0;
+    }
+    rec(0, users, 1.0, 1.0, q, &mut counts, &mut out);
+    out
+}
+
+/// Convenience wrapper: exact expected rounds of `SlackDamped` (default
+/// damping) from the hotspot start (`n` users on resource 0).
+pub fn exact_expected_rounds(caps: Vec<u32>, n: u32) -> f64 {
+    let m = caps.len();
+    let chain = ProfileChain::new(caps, n, 1.0);
+    let mut start = vec![0u32; m];
+    start[0] = n;
+    chain.expected_rounds_from(&start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multinomial_sums_to_one() {
+        for q in [vec![0.5, 0.5], vec![0.2, 0.0, 0.8], vec![1.0]] {
+            for users in [0u32, 1, 3, 5] {
+                let outcomes = multinomial_outcomes(users, &q);
+                let total: f64 = outcomes.iter().map(|(_, p)| p).sum();
+                assert!((total - 1.0).abs() < 1e-12, "users={users}, q={q:?}");
+                for (counts, _) in &outcomes {
+                    assert_eq!(counts.iter().sum::<u32>(), users);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multinomial_zero_probability_excluded() {
+        let outcomes = multinomial_outcomes(3, &[0.0, 1.0]);
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].0, vec![0, 3]);
+    }
+
+    #[test]
+    fn transition_rows_are_stochastic() {
+        let chain = ProfileChain::new(vec![3, 3], 5, 1.0);
+        for p in enumerate_profiles(5, 2) {
+            let row = chain.transition_row(&p);
+            let total: f64 = row.values().sum();
+            assert!((total - 1.0).abs() < 1e-10, "profile {p:?}");
+        }
+    }
+
+    #[test]
+    fn legal_profiles_are_absorbing() {
+        let chain = ProfileChain::new(vec![3, 3], 5, 1.0);
+        let legal = vec![3u32, 2];
+        assert!(chain.is_legal(&legal));
+        let row = chain.transition_row(&legal);
+        assert_eq!(row.len(), 1);
+        assert!((row[&chain.index[&legal]] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_resource_hand_check() {
+        // caps [1, 1], n = 1: any placement is legal → 0 rounds.
+        let chain = ProfileChain::new(vec![1, 1], 1, 1.0);
+        assert_eq!(chain.expected_rounds_from(&[1, 0]), 0.0);
+
+        // caps [1, 1], n = 2 on resource 0: the two users must split.
+        // Each of the 2 users (overloaded at x=2) samples uniformly:
+        // with prob 1/2 it samples r1 (empty, coin 1) and moves.
+        // Absorbed iff exactly one of the two moves: p = 2·(1/2)(1/2) = 1/2.
+        // If both move, profile flips to (0,2) — symmetric. If none, stays.
+        // E[T] = 1/p = 2.
+        let chain = ProfileChain::new(vec![1, 1], 2, 1.0);
+        let e = chain.expected_rounds_from(&[2, 0]);
+        assert!((e - 2.0).abs() < 1e-9, "E[T] = {e}");
+    }
+
+    #[test]
+    fn survival_is_monotone_and_consistent_with_mean() {
+        let chain = ProfileChain::new(vec![4, 4], 6, 1.0);
+        let surv = chain.survival_from(&[6, 0], 60);
+        assert_eq!(surv[0], 1.0);
+        for w in surv.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12, "survival must be non-increasing");
+        }
+        assert!(surv.last().unwrap() < &1e-6, "tail must vanish");
+        // E[T] = Σ_{t≥0} P[T > t]; the truncated sum approximates the mean
+        let mean_from_survival: f64 = surv.iter().sum();
+        let exact = chain.expected_rounds_from(&[6, 0]);
+        assert!(
+            (mean_from_survival - exact).abs() < 1e-4,
+            "Σ survival {mean_from_survival} vs E[T] {exact}"
+        );
+    }
+
+    #[test]
+    fn survival_from_legal_start_is_zero() {
+        let chain = ProfileChain::new(vec![4, 4], 6, 1.0);
+        let surv = chain.survival_from(&[3, 3], 5);
+        assert!(surv.iter().all(|&p| p == 0.0));
+    }
+
+    #[test]
+    fn survival_tail_matches_simulation() {
+        use qlb_core::{Instance, ResourceId, SlackDamped, State};
+        use qlb_engine::{run, RunConfig};
+        let caps = vec![4u32, 4];
+        let n = 6u32;
+        let chain = ProfileChain::new(caps.clone(), n, 1.0);
+        let surv = chain.survival_from(&[n, 0], 10);
+        let inst = Instance::with_capacities(n as usize, caps).unwrap();
+        let runs = 4000u64;
+        let mut exceed3 = 0u64;
+        for seed in 0..runs {
+            let state = State::all_on(&inst, ResourceId(0));
+            let out = run(&inst, state, &SlackDamped::default(), RunConfig::new(seed, 100_000));
+            if out.rounds > 3 {
+                exceed3 += 1;
+            }
+        }
+        let emp = exceed3 as f64 / runs as f64;
+        assert!(
+            (emp - surv[3]).abs() < 0.03,
+            "P[T>3]: exact {} vs empirical {emp}",
+            surv[3]
+        );
+    }
+
+    #[test]
+    fn expected_rounds_decrease_with_more_slack() {
+        let tight = exact_expected_rounds(vec![3, 3], 6); // Δ = 0
+        let loose = exact_expected_rounds(vec![5, 5], 6); // Δ = 4
+        assert!(loose < tight, "loose {loose} vs tight {tight}");
+        assert!(loose > 0.0);
+    }
+
+    #[test]
+    fn matches_engine_empirically() {
+        // The headline validation (E18 does this at scale): exact vs
+        // simulated mean on a tiny instance.
+        use qlb_core::{Instance, ResourceId, SlackDamped, State};
+        use qlb_engine::{run, RunConfig};
+        let caps = vec![4u32, 4, 4];
+        let n = 7u32;
+        let exact = exact_expected_rounds(caps.clone(), n);
+
+        let inst = Instance::with_capacities(n as usize, caps).unwrap();
+        let runs = 6000u64;
+        let mut total = 0u64;
+        for seed in 0..runs {
+            let state = State::all_on(&inst, ResourceId(0));
+            let out = run(&inst, state, &SlackDamped::default(), RunConfig::new(seed, 100_000));
+            assert!(out.converged);
+            total += out.rounds;
+        }
+        let empirical = total as f64 / runs as f64;
+        let rel = (empirical - exact).abs() / exact;
+        assert!(
+            rel < 0.05,
+            "exact {exact:.4} vs empirical {empirical:.4} (rel {rel:.3})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible")]
+    fn infeasible_rejected() {
+        let _ = ProfileChain::new(vec![1, 1], 3, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-capacity")]
+    fn zero_cap_rejected() {
+        let _ = ProfileChain::new(vec![0, 4], 2, 1.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Enumeration of load profiles (compositions of `n` into `m` parts).
+
+use std::collections::HashMap;
+
+/// All compositions of `n` into `m` non-negative parts, in lexicographic
+/// order. `C(n + m − 1, m − 1)` profiles.
+///
+/// # Panics
+/// Panics for `m == 0` with `n > 0` (no profile can hold users).
+pub fn enumerate_profiles(n: u32, m: usize) -> Vec<Vec<u32>> {
+    assert!(m > 0 || n == 0, "cannot place users on zero resources");
+    let mut out = Vec::new();
+    let mut current = vec![0u32; m];
+    recurse(n, 0, &mut current, &mut out);
+    out
+}
+
+fn recurse(remaining: u32, idx: usize, current: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
+    if idx + 1 == current.len() {
+        current[idx] = remaining;
+        out.push(current.clone());
+        current[idx] = 0;
+        return;
+    }
+    for take in 0..=remaining {
+        current[idx] = take;
+        recurse(remaining - take, idx + 1, current, out);
+    }
+    current[idx] = 0;
+}
+
+/// Index map from profile to position in [`enumerate_profiles`]' order.
+pub fn profile_index(profiles: &[Vec<u32>]) -> HashMap<Vec<u32>, usize> {
+    profiles
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.clone(), i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn binom(n: u64, k: u64) -> u64 {
+        if k > n {
+            return 0;
+        }
+        let mut r = 1u64;
+        for i in 0..k {
+            r = r * (n - i) / (i + 1);
+        }
+        r
+    }
+
+    #[test]
+    fn counts_match_stars_and_bars() {
+        for (n, m) in [(0u32, 1usize), (3, 1), (4, 2), (6, 3), (5, 4)] {
+            let profiles = enumerate_profiles(n, m);
+            assert_eq!(
+                profiles.len() as u64,
+                binom(n as u64 + m as u64 - 1, m as u64 - 1),
+                "n={n}, m={m}"
+            );
+            for p in &profiles {
+                assert_eq!(p.iter().sum::<u32>(), n);
+                assert_eq!(p.len(), m);
+            }
+        }
+    }
+
+    #[test]
+    fn profiles_are_unique_and_indexed() {
+        let profiles = enumerate_profiles(5, 3);
+        let index = profile_index(&profiles);
+        assert_eq!(index.len(), profiles.len());
+        for (i, p) in profiles.iter().enumerate() {
+            assert_eq!(index[p], i);
+        }
+    }
+
+    #[test]
+    fn single_resource_has_one_profile() {
+        assert_eq!(enumerate_profiles(7, 1), vec![vec![7]]);
+    }
+
+    #[test]
+    fn zero_users() {
+        assert_eq!(enumerate_profiles(0, 3), vec![vec![0, 0, 0]]);
+    }
+}

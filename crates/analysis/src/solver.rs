@@ -1,0 +1,112 @@
+//! Dense linear solver (Gaussian elimination with partial pivoting).
+
+/// Solve `A x = b` in place; `a` is row-major `n × n`.
+///
+/// Returns `None` for (numerically) singular systems.
+///
+/// # Panics
+/// Panics on mismatched dimensions.
+pub fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    assert_eq!(a.len(), n, "matrix/vector size mismatch");
+    for row in &a {
+        assert_eq!(row.len(), n, "matrix must be square");
+    }
+
+    for col in 0..n {
+        // partial pivot
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())
+            .unwrap();
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+
+        let diag = a[col][col];
+        let (pivot_rows, rest) = a.split_at_mut(col + 1);
+        let pivot_row = &pivot_rows[col];
+        for (off, row) in rest.iter_mut().enumerate() {
+            let i = col + 1 + off;
+            let factor = row[col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            for (x, &p) in row[col..].iter_mut().zip(&pivot_row[col..]) {
+                *x -= factor * p;
+            }
+            b[i] -= factor * b[col];
+        }
+    }
+    // back substitution
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut acc = b[i];
+        for j in (i + 1)..n {
+            acc -= a[i][j] * x[j];
+        }
+        x[i] = acc / a[i][i];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_system() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let x = solve_linear(a, vec![3.0, -4.0]).unwrap();
+        assert_eq!(x, vec![3.0, -4.0]);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // 2x + y = 5; x − y = 1 → x = 2, y = 1
+        let a = vec![vec![2.0, 1.0], vec![1.0, -1.0]];
+        let x = solve_linear(a, vec![5.0, 1.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn needs_pivoting() {
+        // zero on the initial diagonal forces a row swap
+        let a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let x = solve_linear(a, vec![7.0, 9.0]).unwrap();
+        assert!((x[0] - 9.0).abs() < 1e-12);
+        assert!((x[1] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve_linear(a, vec![1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn random_systems_verify() {
+        use qlb_rng::{Rng64, SplitMix64};
+        let mut rng = SplitMix64::new(11);
+        for _case in 0..20 {
+            let n = 8;
+            let a: Vec<Vec<f64>> = (0..n)
+                .map(|i| {
+                    (0..n)
+                        .map(|j| rng.next_f64() + if i == j { 4.0 } else { 0.0 })
+                        .collect()
+                })
+                .collect();
+            let x_true: Vec<f64> = (0..n).map(|_| rng.next_f64() * 10.0 - 5.0).collect();
+            let b: Vec<f64> = (0..n)
+                .map(|i| (0..n).map(|j| a[i][j] * x_true[j]).sum())
+                .collect();
+            let x = solve_linear(a, b).unwrap();
+            for (xs, xt) in x.iter().zip(&x_true) {
+                assert!((xs - xt).abs() < 1e-8, "{xs} vs {xt}");
+            }
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! # qlb-bench — Criterion benchmarks
+//!
+//! Three bench binaries (see `benches/`):
+//!
+//! * `tables` — one Criterion group per paper table/figure (E1–E12), each
+//!   timing the experiment's core measurement loop at quick scale so
+//!   regressions in any experiment path are caught;
+//! * `kernels` — micro-benchmarks of the hot protocol kernels (decision
+//!   rounds, sampling, state application);
+//! * `substrates` — the supporting machinery (RNG streams, max-flow,
+//!   greedy/best-response baselines, runtime round-trip).
+//!
+//! Shared scenario builders live here so benches and (future) profiling
+//! binaries agree on what "the standard workload" is.
+
+use qlb_core::{Instance, State};
+use qlb_workload::{CapacityDist, Placement, Scenario};
+
+/// The standard single-class benchmark workload: `γ = 1.25`, capacity-10
+/// resources, hotspot start.
+pub fn standard_scenario(n: usize) -> Scenario {
+    Scenario::single_class(
+        format!("bench-n{n}"),
+        n,
+        (n / 8).max(1),
+        CapacityDist::Constant { cap: 10 },
+        1.25,
+        Placement::Hotspot,
+    )
+}
+
+/// Build the standard instance/state pair for benches.
+pub fn standard_pair(n: usize, seed: u64) -> (Instance, State) {
+    standard_scenario(n).build(seed).expect("feasible")
+}
+
+/// A mid-run, half-converged state: more representative of steady-state
+/// kernel cost than the degenerate all-on-one start.
+pub fn half_converged(n: usize, seed: u64) -> (Instance, State) {
+    let (inst, state) = standard_pair(n, seed);
+    let out = qlb_engine::run(
+        &inst,
+        state,
+        &qlb_core::SlackDamped::default(),
+        qlb_engine::RunConfig::new(seed, 3),
+    );
+    (inst, out.state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qlb_core::ResourceId;
+
+    #[test]
+    fn standard_pair_is_hotspot() {
+        let (inst, state) = standard_pair(256, 1);
+        assert_eq!(state.load(ResourceId(0)) as usize, 256);
+        assert_eq!(inst.total_capacity(), 320);
+    }
+
+    #[test]
+    fn half_converged_made_progress() {
+        let (inst, state) = half_converged(256, 1);
+        assert!(state.load(ResourceId(0)) < 256);
+        assert!(!state.is_legal(&inst) || state.is_legal(&inst)); // state is valid either way
+        state.debug_assert_invariants();
+    }
+}

@@ -1,0 +1,310 @@
+//! Classical comparison points: centralized greedy assignment and
+//! sequential best-response dynamics.
+//!
+//! The paper's protocols are *distributed and concurrent*; these baselines
+//! bracket them from both sides. The centralized greedy shows what an
+//! omniscient allocator achieves in zero rounds; sequential best response is
+//! the textbook game dynamics (one player moves at a time) whose migration
+//! count the distributed protocols are compared against (experiment E9).
+
+use crate::error::{Error, Result};
+use crate::ids::{ClassId, ResourceId, UserId};
+use crate::instance::Instance;
+use crate::state::{Move, State};
+
+/// Construct a legal state centrally, if the greedy strategy can.
+///
+/// Strategy: process classes strictest-first (ascending threshold); each
+/// class claims *unclaimed* resources in ascending order of positive
+/// effective capacity (wasting the least lenient-class capacity), filling
+/// each claimed resource to that class's capacity. Resources are
+/// **segregated** by class — a deliberate simplification: mixing can help
+/// (a lenient user may ride in a strict resource's spare slots below the
+/// strict cap), so segregation is a heuristic, not an optimum.
+///
+/// * For **single-class** instances this is exact: it succeeds iff
+///   `Σ_r c_r ≥ n`.
+/// * For **multi-class** instances success proves feasibility, but failure
+///   does **not** prove infeasibility — both because mixing is not
+///   attempted and because exact multi-class feasibility is NP-hard in
+///   general (the flow oracle in `qlb-flow` is exact for the eligibility
+///   flavour).
+pub fn greedy_assign(inst: &Instance) -> Result<State> {
+    let m = inst.num_resources();
+    let kk = inst.num_classes();
+
+    // Class order: ascending threshold (strictest first).
+    let mut class_order: Vec<usize> = (0..kk).collect();
+    class_order.sort_by(|&a, &b| {
+        inst.classes()[a]
+            .threshold
+            .partial_cmp(&inst.classes()[b].threshold)
+            .expect("thresholds are finite")
+    });
+
+    let sizes = inst.class_sizes();
+    let mut claimed = vec![false; m];
+    // Planned quota per (class, resource).
+    let mut quota = vec![0u32; kk * m];
+
+    for &k in &class_order {
+        let mut remaining = sizes[k];
+        if remaining == 0 {
+            continue;
+        }
+        let caps = inst.cap_row(ClassId(k as u32));
+        // Unclaimed resources usable by this class, cheapest capacity first.
+        let mut avail: Vec<usize> = (0..m).filter(|&r| !claimed[r] && caps[r] > 0).collect();
+        avail.sort_by_key(|&r| caps[r]);
+        for r in avail {
+            if remaining == 0 {
+                break;
+            }
+            let take = remaining.min(caps[r] as usize);
+            quota[k * m + r] = take as u32;
+            claimed[r] = true;
+            remaining -= take;
+        }
+        if remaining > 0 {
+            return Err(Error::Infeasible {
+                detail: format!(
+                    "greedy could not place {remaining} users of class c{k} \
+                     (failure does not prove infeasibility for multi-class instances)"
+                ),
+            });
+        }
+    }
+
+    // Materialize the assignment: users are class-contiguous, so walk each
+    // class's quota in resource order.
+    let mut assignment = vec![ResourceId(0); inst.num_users()];
+    let mut cursor = vec![0usize; kk]; // next resource index per class
+    let mut left_on_resource = vec![0u32; kk];
+    for u in inst.users() {
+        let k = inst.class_of(u).index();
+        while left_on_resource[k] == 0 {
+            let r = cursor[k];
+            debug_assert!(r < m, "quota exhausted before users placed");
+            left_on_resource[k] = quota[k * m + r];
+            cursor[k] += 1;
+        }
+        assignment[u.index()] = ResourceId((cursor[k] - 1) as u32);
+        left_on_resource[k] -= 1;
+    }
+    let state = State::new(inst, assignment)?;
+    debug_assert!(state.is_legal(inst), "greedy produced an illegal state");
+    Ok(state)
+}
+
+/// Result of a sequential best-response run.
+#[derive(Debug, Clone)]
+pub struct BestResponseOutcome {
+    /// The state when the dynamics stopped.
+    pub state: State,
+    /// Number of migrations performed.
+    pub migrations: u64,
+    /// True iff the final state is legal.
+    pub converged: bool,
+    /// True iff an unsatisfied user existed but had no satisfying resource
+    /// to move to (possible for multi-class instances; never for feasible
+    /// single-class instances with positive slack).
+    pub stuck: bool,
+}
+
+/// Sequential best-response dynamics: repeatedly pick the next unsatisfied
+/// user (round-robin over user ids, so no user starves) and move it to the
+/// resource that satisfies it with the largest post-arrival slack.
+///
+/// For single-class instances a migration never unsatisfies anyone (the
+/// mover joins only where `x + 1 ≤ c`; everyone else's congestion can only
+/// drop), so the dynamics converge within `n` migrations whenever any free
+/// capacity exists. Multi-class instances can cycle; `max_steps` bounds the
+/// run.
+pub fn best_response_run(inst: &Instance, mut state: State, max_steps: u64) -> BestResponseOutcome {
+    let n = inst.num_users();
+    let m = inst.num_resources();
+    let mut migrations = 0u64;
+    let mut stuck = false;
+    let mut cursor = 0usize; // round-robin scan position
+
+    'outer: while migrations < max_steps {
+        // Find the next unsatisfied user, scanning at most n users.
+        let mut found: Option<UserId> = None;
+        for off in 0..n {
+            let u = UserId(((cursor + off) % n) as u32);
+            if !state.is_satisfied(inst, u) {
+                found = Some(u);
+                cursor = (cursor + off + 1) % n.max(1);
+                break;
+            }
+        }
+        let Some(u) = found else {
+            // no unsatisfied user: converged
+            break 'outer;
+        };
+
+        let k = inst.class_of(u);
+        let from = state.resource_of(u);
+        // Best response: satisfying resource with maximal post-arrival slack.
+        let mut best: Option<(u32, ResourceId)> = None;
+        for r_idx in 0..m {
+            let r = ResourceId(r_idx as u32);
+            if r == from {
+                continue;
+            }
+            let cap = inst.cap(k, r);
+            let after = state.load(r) + 1;
+            if cap > 0 && after <= cap {
+                let slack_after = cap - after;
+                if best.is_none_or(|(s, _)| slack_after > s) {
+                    best = Some((slack_after, r));
+                }
+            }
+        }
+        match best {
+            Some((_, to)) => {
+                state.apply_move(inst, Move { user: u, from, to });
+                migrations += 1;
+            }
+            None => {
+                stuck = true;
+                break 'outer;
+            }
+        }
+    }
+
+    let converged = state.is_legal(inst);
+    BestResponseOutcome {
+        state,
+        migrations,
+        converged,
+        stuck,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+
+    #[test]
+    fn greedy_single_class_exact() {
+        let inst = Instance::with_capacities(10, vec![3, 3, 2, 2, 5]).unwrap();
+        let s = greedy_assign(&inst).unwrap();
+        assert!(s.is_legal(&inst));
+        assert_eq!(s.num_users(), 10);
+    }
+
+    #[test]
+    fn greedy_single_class_tight() {
+        let inst = Instance::with_capacities(15, vec![3, 3, 2, 2, 5]).unwrap(); // Δ = 0
+        let s = greedy_assign(&inst).unwrap();
+        assert!(s.is_legal(&inst));
+        assert_eq!(s.loads().iter().sum::<u32>(), 15);
+    }
+
+    #[test]
+    fn greedy_fails_iff_infeasible_single_class() {
+        let inst = Instance::with_capacities(16, vec![3, 3, 2, 2, 5]).unwrap();
+        assert!(matches!(
+            greedy_assign(&inst),
+            Err(Error::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn greedy_handles_zero_capacity_resources() {
+        let inst = Instance::with_capacities(4, vec![0, 4, 0]).unwrap();
+        let s = greedy_assign(&inst).unwrap();
+        assert!(s.is_legal(&inst));
+        assert_eq!(s.load(ResourceId(1)), 4);
+    }
+
+    #[test]
+    fn greedy_multi_class_counterexample_order() {
+        // The instance where "strict gets the fastest" fails: greedy must
+        // give the strict class the slow resource.
+        // speeds 10, 1; strict T=1: caps 10, 1; lenient T=10: caps 100, 10.
+        let inst = InstanceBuilder::new()
+            .speeds(vec![10.0, 1.0])
+            .latency_class(1.0, 1)
+            .latency_class(10.0, 100)
+            .build()
+            .unwrap();
+        let s = greedy_assign(&inst).unwrap();
+        assert!(s.is_legal(&inst));
+        // strict user must be on the slow resource
+        assert_eq!(s.resource_of(UserId(0)), ResourceId(1));
+    }
+
+    #[test]
+    fn greedy_multi_class_eligibility() {
+        let inst = InstanceBuilder::new()
+            .speeds(vec![8.0, 2.0])
+            .eligibility_class(4.0, 6) // only the fast resource (cap 8)
+            .eligibility_class(1.0, 2) // both (caps 8, 2)
+            .build()
+            .unwrap();
+        let s = greedy_assign(&inst).unwrap();
+        assert!(s.is_legal(&inst));
+    }
+
+    #[test]
+    fn greedy_zero_users() {
+        let inst = Instance::uniform(0, 3, 2).unwrap();
+        let s = greedy_assign(&inst).unwrap();
+        assert!(s.is_legal(&inst));
+        assert_eq!(s.loads(), &[0, 0, 0]);
+    }
+
+    #[test]
+    fn best_response_converges_single_class() {
+        let inst = Instance::uniform(32, 8, 5).unwrap(); // slack factor 1.25
+        let start = State::all_on(&inst, ResourceId(0));
+        let out = best_response_run(&inst, start, 10_000);
+        assert!(out.converged);
+        assert!(!out.stuck);
+        // single-class BR needs at most n migrations
+        assert!(out.migrations <= 32, "used {} migrations", out.migrations);
+        assert!(out.state.is_legal(&inst));
+    }
+
+    #[test]
+    fn best_response_counts_zero_on_legal_start() {
+        let inst = Instance::uniform(8, 4, 3).unwrap();
+        let start = State::round_robin(&inst);
+        let out = best_response_run(&inst, start, 100);
+        assert!(out.converged);
+        assert_eq!(out.migrations, 0);
+    }
+
+    #[test]
+    fn best_response_respects_step_cap() {
+        let inst = Instance::uniform(100, 10, 11).unwrap();
+        let start = State::all_on(&inst, ResourceId(0));
+        let out = best_response_run(&inst, start, 3);
+        assert_eq!(out.migrations, 3);
+        assert!(!out.converged);
+    }
+
+    #[test]
+    fn best_response_reports_stuck_when_no_capacity() {
+        // Infeasible: 5 users, total capacity 2 → eventually stuck.
+        let inst = Instance::with_capacities(5, vec![1, 1]).unwrap();
+        let start = State::all_on(&inst, ResourceId(0));
+        let out = best_response_run(&inst, start, 10_000);
+        assert!(!out.converged);
+        assert!(out.stuck);
+    }
+
+    #[test]
+    fn best_response_prefers_largest_slack() {
+        let inst = Instance::with_capacities(3, vec![1, 10, 3]).unwrap();
+        // all on r0 (cap 1): two users must leave; first mover should pick
+        // r1 (post-arrival slack 9) over r2 (slack 2).
+        let start = State::all_on(&inst, ResourceId(0));
+        let out = best_response_run(&inst, start, 100);
+        assert!(out.converged);
+        assert!(out.state.load(ResourceId(1)) >= out.state.load(ResourceId(2)));
+    }
+}

@@ -1,0 +1,128 @@
+//! Convergence detection helpers for simulation drivers.
+
+use crate::instance::Instance;
+use crate::state::State;
+use std::collections::HashSet;
+
+/// What the tracker concluded after observing a state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Every user is satisfied: the run converged.
+    Legal,
+    /// Not legal yet; keep simulating.
+    Running,
+    /// The congestion profile has been seen before. For *deterministic*
+    /// dynamics this proves a cycle; for randomized protocols it is only a
+    /// diagnostic (random walks revisit profiles), so drivers treat it as
+    /// informational unless the protocol is deterministic.
+    ProfileRepeat,
+    /// The round budget is exhausted.
+    RoundLimit,
+}
+
+/// Tracks rounds, legality, and congestion-profile repeats for a run.
+///
+/// ```
+/// use qlb_core::prelude::*;
+/// use qlb_core::convergence::Verdict;
+///
+/// let inst = Instance::uniform(8, 4, 3).unwrap();
+/// let state = State::round_robin(&inst);
+/// let mut tracker = ConvergenceTracker::new(100);
+/// assert_eq!(tracker.observe(&inst, &state), Verdict::Legal);
+/// ```
+#[derive(Debug)]
+pub struct ConvergenceTracker {
+    max_rounds: u64,
+    rounds: u64,
+    seen: HashSet<u64>,
+    detect_repeats: bool,
+}
+
+impl ConvergenceTracker {
+    /// Tracker with a round budget and profile-repeat detection enabled.
+    pub fn new(max_rounds: u64) -> Self {
+        Self {
+            max_rounds,
+            rounds: 0,
+            seen: HashSet::new(),
+            detect_repeats: true,
+        }
+    }
+
+    /// Disable profile-repeat detection (cheaper; appropriate for randomized
+    /// protocols where repeats are expected and harmless).
+    pub fn without_repeat_detection(mut self) -> Self {
+        self.detect_repeats = false;
+        self.seen = HashSet::new();
+        self
+    }
+
+    /// Rounds observed so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Observe the state *after* a round (or the initial state) and classify.
+    ///
+    /// Precedence: legality beats everything; then the round limit; then a
+    /// profile repeat; otherwise the run continues.
+    pub fn observe(&mut self, inst: &Instance, state: &State) -> Verdict {
+        if state.is_legal(inst) {
+            return Verdict::Legal;
+        }
+        if self.rounds >= self.max_rounds {
+            return Verdict::RoundLimit;
+        }
+        self.rounds += 1;
+        if self.detect_repeats && !self.seen.insert(state.load_fingerprint()) {
+            return Verdict::ProfileRepeat;
+        }
+        Verdict::Running
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ResourceId;
+
+    #[test]
+    fn legal_wins_immediately() {
+        let inst = Instance::uniform(8, 4, 3).unwrap();
+        let legal = State::round_robin(&inst);
+        let mut t = ConvergenceTracker::new(10);
+        assert_eq!(t.observe(&inst, &legal), Verdict::Legal);
+        assert_eq!(t.rounds(), 0);
+    }
+
+    #[test]
+    fn round_limit_reported() {
+        let inst = Instance::uniform(8, 2, 3).unwrap();
+        let bad = State::all_on(&inst, ResourceId(0));
+        let mut t = ConvergenceTracker::new(2).without_repeat_detection();
+        assert_eq!(t.observe(&inst, &bad), Verdict::Running);
+        assert_eq!(t.observe(&inst, &bad), Verdict::Running);
+        assert_eq!(t.observe(&inst, &bad), Verdict::RoundLimit);
+    }
+
+    #[test]
+    fn profile_repeat_detected() {
+        let inst = Instance::uniform(8, 2, 3).unwrap();
+        let a = State::all_on(&inst, ResourceId(0));
+        let b = State::all_on(&inst, ResourceId(1));
+        let mut t = ConvergenceTracker::new(100);
+        assert_eq!(t.observe(&inst, &a), Verdict::Running);
+        assert_eq!(t.observe(&inst, &b), Verdict::Running);
+        assert_eq!(t.observe(&inst, &a), Verdict::ProfileRepeat);
+    }
+
+    #[test]
+    fn repeat_detection_can_be_disabled() {
+        let inst = Instance::uniform(8, 2, 3).unwrap();
+        let a = State::all_on(&inst, ResourceId(0));
+        let mut t = ConvergenceTracker::new(100).without_repeat_detection();
+        assert_eq!(t.observe(&inst, &a), Verdict::Running);
+        assert_eq!(t.observe(&inst, &a), Verdict::Running);
+    }
+}

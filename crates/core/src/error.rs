@@ -1,0 +1,87 @@
+//! Error type shared by the model crates.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised while constructing or manipulating instances and states.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// An instance needs at least one resource.
+    NoResources,
+    /// An instance needs at least one user for most operations; raised where
+    /// an empty user set makes the requested operation meaningless.
+    NoUsers,
+    /// A resource capacity/speed/threshold combination produced an effective
+    /// capacity of zero for some class, i.e. a resource unusable by that
+    /// class. Allowed in general, but rejected where it would make an
+    /// operation (e.g. greedy assignment of that class) impossible.
+    UnusableResource {
+        /// The offending resource.
+        resource: u32,
+        /// The class that cannot use it.
+        class: u32,
+    },
+    /// The instance admits no legal state: total effective capacity is
+    /// insufficient for some set of users (exact criterion documented at the
+    /// raising site).
+    Infeasible {
+        /// Human-readable explanation of the violated capacity condition.
+        detail: String,
+    },
+    /// An assignment vector referenced a resource out of range or had the
+    /// wrong length.
+    BadAssignment {
+        /// Explanation.
+        detail: String,
+    },
+    /// A parameter was outside its documented domain.
+    BadParameter {
+        /// Explanation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NoResources => write!(f, "instance must have at least one resource"),
+            Error::NoUsers => write!(f, "operation requires at least one user"),
+            Error::UnusableResource { resource, class } => write!(
+                f,
+                "resource r{resource} has zero effective capacity for class c{class}"
+            ),
+            Error::Infeasible { detail } => write!(f, "infeasible instance: {detail}"),
+            Error::BadAssignment { detail } => write!(f, "bad assignment: {detail}"),
+            Error::BadParameter { detail } => write!(f, "bad parameter: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::UnusableResource {
+            resource: 3,
+            class: 1,
+        };
+        assert!(e.to_string().contains("r3"));
+        assert!(e.to_string().contains("c1"));
+        let e = Error::Infeasible {
+            detail: "need 10, have 5".into(),
+        };
+        assert!(e.to_string().contains("need 10"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_std_error(_: &dyn std::error::Error) {}
+        takes_std_error(&Error::NoResources);
+    }
+}

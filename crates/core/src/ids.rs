@@ -1,0 +1,103 @@
+//! Dense, typed indices.
+//!
+//! Users, resources and QoS classes are identified by dense `u32` indices so
+//! that every per-entity datum lives in a flat `Vec` (no hashing on the hot
+//! path) while the type system still prevents mixing the three spaces.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! dense_id {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw dense index, for indexing into flat per-entity arrays.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Construct from a `usize` index.
+            ///
+            /// # Panics
+            /// Panics if `i` does not fit in `u32` — instances that large
+            /// (> 4·10⁹ entities) are out of scope for this simulator.
+            #[inline]
+            pub fn from_index(i: usize) -> Self {
+                debug_assert!(i <= u32::MAX as usize, "id overflow");
+                Self(i as u32)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            #[inline]
+            fn from(v: u32) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+dense_id!(
+    /// Identifies one user (client/flow/station). Users are anonymous to the
+    /// protocols — the id exists only for the simulator's bookkeeping and
+    /// for addressing the user's deterministic random stream.
+    UserId, "u"
+);
+
+dense_id!(
+    /// Identifies one resource (server/link/channel).
+    ResourceId, "r"
+);
+
+dense_id!(
+    /// Identifies a QoS class: a group of users sharing a latency threshold.
+    /// The homogeneous model of the paper is the special case of one class.
+    ClassId, "c"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let u = UserId::from_index(17);
+        assert_eq!(u.index(), 17);
+        assert_eq!(u, UserId(17));
+        assert_eq!(UserId::from(17u32), u);
+    }
+
+    #[test]
+    fn display_is_tagged() {
+        assert_eq!(UserId(3).to_string(), "u3");
+        assert_eq!(ResourceId(4).to_string(), "r4");
+        assert_eq!(ClassId(0).to_string(), "c0");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(ResourceId(1) < ResourceId(2));
+    }
+
+    #[test]
+    fn ids_are_copy_and_hashable() {
+        use std::collections::HashSet;
+        let a = ResourceId(1);
+        let b = a; // Copy
+        let set: HashSet<ResourceId> = [a, b, ResourceId(2)].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+}

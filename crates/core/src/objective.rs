@@ -1,0 +1,192 @@
+//! State-quality objectives: not all legal states are equally good.
+//!
+//! Legality only demands every user meet its QoS bound; among legal states
+//! the *total latency* still varies. With latency `x_r / s_r` per user and
+//! `x_r` users on `r`, the total over users is
+//!
+//! ```text
+//!   L(x) = Σ_r x_r · (x_r / s_r) = Σ_r x_r² / s_r .
+//! ```
+//!
+//! `L` is separable and convex in the integer loads, so the exact optimum
+//! over all assignments (ignoring capacity bounds, which the optimum
+//! respects automatically when capacities are proportional to speeds) is
+//! computed by greedy marginal allocation: repeatedly place the next user
+//! on the resource with the smallest marginal cost `(2x_r + 1)/s_r`. This
+//! is the classical waterfilling argument — exchange any two units to see
+//! a non-greedy allocation cannot be better.
+//!
+//! Experiment E20 reports the **price of satisfaction**: how far the
+//! protocol's reached legal states sit above the unconstrained latency
+//! optimum, compared with the centralized greedy packer.
+
+use crate::instance::Instance;
+use crate::state::State;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Total latency `Σ_r x_r² / s_r` of a state under the instance's speeds.
+pub fn total_latency(inst: &Instance, state: &State) -> f64 {
+    state
+        .loads()
+        .iter()
+        .zip(inst.resources())
+        .map(|(&x, res)| (x as f64) * (x as f64) / res.speed)
+        .sum()
+}
+
+/// Mean per-user latency of a state.
+///
+/// # Panics
+/// Panics if the instance has no users.
+pub fn mean_latency(inst: &Instance, state: &State) -> f64 {
+    assert!(inst.num_users() > 0, "no users");
+    total_latency(inst, state) / inst.num_users() as f64
+}
+
+/// The exact minimum of `Σ x_r²/s_r` over all ways to place `n` users
+/// (capacities ignored — this is the unconstrained lower bound every legal
+/// state is compared against). Returns the optimal load vector.
+pub fn optimal_latency_loads(inst: &Instance) -> Vec<u32> {
+    let n = inst.num_users();
+    let m = inst.num_resources();
+    let mut loads = vec![0u32; m];
+    // min-heap over marginal costs (2x + 1) / s, keyed as f64 bits
+    #[derive(PartialEq)]
+    struct Entry(f64, usize);
+    impl Eq for Entry {}
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0
+                .partial_cmp(&other.0)
+                .expect("finite costs")
+                .then(self.1.cmp(&other.1))
+        }
+    }
+    let mut heap: BinaryHeap<Reverse<Entry>> = (0..m)
+        .map(|r| Reverse(Entry(1.0 / inst.resources()[r].speed, r)))
+        .collect();
+    for _ in 0..n {
+        let Reverse(Entry(_, r)) = heap.pop().expect("m ≥ 1");
+        loads[r] += 1;
+        let s = inst.resources()[r].speed;
+        heap.push(Reverse(Entry((2.0 * loads[r] as f64 + 1.0) / s, r)));
+    }
+    loads
+}
+
+/// The optimal total latency (see [`optimal_latency_loads`]).
+pub fn optimal_total_latency(inst: &Instance) -> f64 {
+    optimal_latency_loads(inst)
+        .iter()
+        .zip(inst.resources())
+        .map(|(&x, res)| (x as f64) * (x as f64) / res.speed)
+        .sum()
+}
+
+/// Latency ratio `L(state) / L(optimum)` — 1.0 means the state is also a
+/// latency optimum. Well-defined for `n ≥ 1` (the optimum is positive).
+pub fn latency_ratio(inst: &Instance, state: &State) -> f64 {
+    let opt = optimal_total_latency(inst);
+    if opt == 0.0 {
+        return 1.0;
+    }
+    total_latency(inst, state) / opt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ResourceId;
+
+    #[test]
+    fn total_latency_formula() {
+        // speeds = caps for with_capacities
+        let inst = Instance::with_capacities(6, vec![2, 4]).unwrap();
+        let s = State::new(
+            &inst,
+            vec![
+                ResourceId(0),
+                ResourceId(0),
+                ResourceId(1),
+                ResourceId(1),
+                ResourceId(1),
+                ResourceId(1),
+            ],
+        )
+        .unwrap();
+        // 2²/2 + 4²/4 = 2 + 4 = 6
+        assert!((total_latency(&inst, &s) - 6.0).abs() < 1e-12);
+        assert!((mean_latency(&inst, &s) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimum_on_identical_resources_is_balanced() {
+        let inst = Instance::uniform(8, 4, 10).unwrap();
+        let loads = optimal_latency_loads(&inst);
+        assert_eq!(loads, vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn optimum_remainder_spread() {
+        let inst = Instance::uniform(6, 4, 10).unwrap();
+        let mut loads = optimal_latency_loads(&inst);
+        loads.sort_unstable();
+        assert_eq!(loads, vec![1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn optimum_favors_fast_resources() {
+        // speeds 8 and 2: marginal costs 1/8, 3/8, 5/8… vs 1/2, 3/2…
+        // with 3 users: picks 1/8, 3/8, 1/2 → loads (2, 1)
+        let inst = Instance::with_capacities(3, vec![8, 2]).unwrap();
+        let loads = optimal_latency_loads(&inst);
+        assert_eq!(loads, vec![2, 1]);
+    }
+
+    #[test]
+    fn optimum_beats_exhaustive_search() {
+        // verify against brute force on a tiny instance
+        let inst = Instance::with_capacities(5, vec![3, 5, 2]).unwrap();
+        let opt = optimal_total_latency(&inst);
+        let speeds = [3.0, 5.0, 2.0];
+        let mut best = f64::INFINITY;
+        for a in 0..=5u32 {
+            for b in 0..=(5 - a) {
+                let c = 5 - a - b;
+                let l = (a * a) as f64 / speeds[0]
+                    + (b * b) as f64 / speeds[1]
+                    + (c * c) as f64 / speeds[2];
+                best = best.min(l);
+            }
+        }
+        assert!((opt - best).abs() < 1e-9, "greedy {opt} vs brute {best}");
+    }
+
+    #[test]
+    fn ratio_of_optimum_is_one() {
+        let inst = Instance::uniform(8, 4, 10).unwrap();
+        let assignment = (0..8).map(|u| ResourceId(u % 4)).collect();
+        let s = State::new(&inst, assignment).unwrap();
+        assert!((latency_ratio(&inst, &s) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hotspot_ratio_is_large() {
+        let inst = Instance::uniform(8, 4, 10).unwrap();
+        let s = State::all_on(&inst, ResourceId(0));
+        assert!(latency_ratio(&inst, &s) > 3.0);
+    }
+
+    #[test]
+    fn zero_users_ratio_defined() {
+        let inst = Instance::uniform(0, 2, 3).unwrap();
+        let s = State::round_robin(&inst);
+        assert_eq!(latency_ratio(&inst, &s), 1.0);
+    }
+}

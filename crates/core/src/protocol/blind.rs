@@ -1,0 +1,65 @@
+//! The blind strawman: migrate unconditionally.
+
+use super::{Decision, LocalView, Protocol};
+use qlb_rng::RoundStream;
+
+/// **Blind uniform migration**: an unsatisfied user moves to the sampled
+/// resource no matter what it looks like.
+///
+/// This is the null protocol against which the paper's damping is
+/// motivated: with a hotspot start it scatters users uniformly — which can
+/// work when capacity is plentiful everywhere — but whenever satisfaction
+/// requires *selective* placement (small-capacity tails, scarce slack) the
+/// unsatisfied crowd keeps re-randomizing and the expected time to hit a
+/// legal profile explodes (experiment E4).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BlindUniform;
+
+impl Protocol for BlindUniform {
+    fn name(&self) -> &'static str {
+        "blind-uniform"
+    }
+
+    fn decide(&self, view: &LocalView, _rng: &mut RoundStream) -> Decision {
+        // Moving onto one's own resource is a stay (no-op move).
+        if view.target.id == view.own.id {
+            Decision::Stay
+        } else {
+            Decision::Move
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::view;
+    use super::*;
+    use qlb_rng::RoundStream;
+
+    #[test]
+    fn always_moves_to_distinct_target() {
+        let p = BlindUniform;
+        let mut rng = RoundStream::new(1, 1, 1);
+        // even to an overloaded target
+        assert_eq!(p.decide(&view(9, 2, 100, 2), &mut rng), Decision::Move);
+        // even to a zero-capacity target
+        assert_eq!(p.decide(&view(9, 2, 0, 0), &mut rng), Decision::Move);
+    }
+
+    #[test]
+    fn self_sample_is_a_stay() {
+        let p = BlindUniform;
+        let mut v = view(9, 2, 3, 5);
+        v.target.id = v.own.id;
+        let mut rng = RoundStream::new(1, 1, 1);
+        assert_eq!(p.decide(&v, &mut rng), Decision::Stay);
+    }
+
+    #[test]
+    fn consumes_no_randomness() {
+        let p = BlindUniform;
+        let mut rng = RoundStream::new(1, 1, 1);
+        let _ = p.decide(&view(9, 2, 0, 2), &mut rng);
+        assert_eq!(rng.draws(), 0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Class-staged slack-damped migration for heterogeneous QoS.
+
+use super::{Decision, LocalView, Protocol, SlackDamped};
+use crate::ids::ClassId;
+use qlb_rng::RoundStream;
+
+/// **Threshold-levels protocol** for heterogeneous QoS classes
+/// \[reconstructed\].
+///
+/// With several QoS classes contending for the same resources, running the
+/// plain damped protocol for everyone simultaneously lets lenient users
+/// squat capacity that strict users need: a strict user's arrival can
+/// unsatisfy itself on resources that look fine to lenient users, and the
+/// classes chase each other. The staged variant time-multiplexes the
+/// classes: **class `k` is active only in rounds `t` with
+/// `t mod K = k`**, so within its rounds a class faces a frozen background
+/// and the single-class analysis applies per class, giving the
+/// `O(K · log n)`-shaped bound that experiment E8 checks.
+///
+/// The migration rule within an active round is exactly [`SlackDamped`]
+/// against the class's *effective* capacities (strict users see smaller
+/// capacities on the same resources).
+///
+/// ### Reachability caveat (blocking)
+///
+/// No protocol in this family moves a *satisfied* user, so lenient users
+/// can permanently squat capacity that strict users need: a feasible
+/// instance may have no reachable legal state. Convergence additionally
+/// requires per-class **headroom** — throughout the run there must exist
+/// resources whose total congestion stays below the strict class's
+/// effective capacity (e.g. mean load below the strict cap). The engine's
+/// `multi_class_blocking_prevents_convergence` test pins the phenomenon;
+/// experiment E8's workloads are authored with that headroom.
+#[derive(Debug, Clone, Copy)]
+pub struct ThresholdLevels {
+    /// Number of QoS classes `K ≥ 1`.
+    pub num_classes: u32,
+    inner: SlackDamped,
+}
+
+impl ThresholdLevels {
+    /// Staged protocol for `num_classes` classes with default damping.
+    ///
+    /// # Panics
+    /// Panics if `num_classes == 0`.
+    pub fn new(num_classes: u32) -> Self {
+        assert!(num_classes > 0, "need at least one class");
+        Self {
+            num_classes,
+            inner: SlackDamped::default(),
+        }
+    }
+
+    /// Which class is active in `round`.
+    #[inline]
+    pub fn active_class(&self, round: u64) -> ClassId {
+        ClassId((round % self.num_classes as u64) as u32)
+    }
+}
+
+impl Protocol for ThresholdLevels {
+    fn name(&self) -> &'static str {
+        "threshold-levels"
+    }
+
+    fn is_active(&self, class: ClassId, round: u64) -> bool {
+        self.active_class(round) == class
+    }
+
+    fn decide(&self, view: &LocalView, rng: &mut RoundStream) -> Decision {
+        debug_assert!(
+            self.is_active(view.class, view.round),
+            "executor invoked an inactive class"
+        );
+        self.inner.decide(view, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::view;
+    use super::*;
+
+    #[test]
+    fn round_robin_gating() {
+        let p = ThresholdLevels::new(3);
+        assert!(p.is_active(ClassId(0), 0));
+        assert!(p.is_active(ClassId(1), 1));
+        assert!(p.is_active(ClassId(2), 2));
+        assert!(p.is_active(ClassId(0), 3));
+        assert!(!p.is_active(ClassId(1), 0));
+        assert!(!p.is_active(ClassId(0), 1));
+        assert_eq!(p.active_class(7), ClassId(1));
+    }
+
+    #[test]
+    fn single_class_always_active() {
+        let p = ThresholdLevels::new(1);
+        for round in 0..10 {
+            assert!(p.is_active(ClassId(0), round));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one class")]
+    fn zero_classes_rejected() {
+        let _ = ThresholdLevels::new(0);
+    }
+
+    #[test]
+    fn decide_uses_slack_damping() {
+        let p = ThresholdLevels::new(2);
+        let mut v = view(9, 2, 0, 10); // empty target → always move
+        v.class = ClassId(0);
+        v.round = 0;
+        let mut rng = RoundStream::new(1, 1, 0);
+        assert_eq!(p.decide(&v, &mut rng), Decision::Move);
+        let mut v = view(9, 2, 10, 10); // full target → never
+        v.class = ClassId(0);
+        v.round = 0;
+        assert_eq!(p.decide(&v, &mut rng), Decision::Stay);
+    }
+}

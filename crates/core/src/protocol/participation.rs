@@ -1,0 +1,123 @@
+//! Partial participation: only a random fraction of users acts per round.
+//!
+//! Models sleepy/rate-limited/failed clients: each otherwise-active user
+//! participates in a round independently with probability `p`. The
+//! reconstructed robustness claim extends naturally — the dynamics are the
+//! full protocol on a random subsample, so convergence slows by roughly the
+//! inverse participation rate `1/p` and nothing else breaks (experiment
+//! E19 verifies the `1/p` shape).
+
+use super::{Decision, LocalView, Protocol, SamplingStrategy};
+use crate::ids::{ClassId, ResourceId};
+use crate::instance::Instance;
+use qlb_rng::{Rng64, RoundStream};
+
+/// Wraps any kernel so each user participates per round with probability
+/// `p` (decided by a coin from the user's own round stream, so the run
+/// stays a pure function of the seed).
+#[derive(Debug, Clone, Copy)]
+pub struct PartialParticipation<P> {
+    inner: P,
+    /// Participation probability in `(0, 1]`.
+    pub participation: f64,
+}
+
+impl<P: Protocol> PartialParticipation<P> {
+    /// Wrap `inner` with participation probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < p ≤ 1`.
+    pub fn new(inner: P, p: f64) -> Self {
+        assert!(p > 0.0 && p <= 1.0, "participation must be in (0, 1]");
+        Self {
+            inner,
+            participation: p,
+        }
+    }
+}
+
+impl<P: Protocol> Protocol for PartialParticipation<P> {
+    fn name(&self) -> &'static str {
+        "partial-participation"
+    }
+
+    fn sampling(&self) -> SamplingStrategy {
+        self.inner.sampling()
+    }
+
+    fn sample_target(&self, inst: &Instance, own: ResourceId, rng: &mut RoundStream) -> ResourceId {
+        self.inner.sample_target(inst, own, rng)
+    }
+
+    fn is_active(&self, class: ClassId, round: u64) -> bool {
+        self.inner.is_active(class, round)
+    }
+
+    fn acts_when_satisfied(&self) -> bool {
+        self.inner.acts_when_satisfied()
+    }
+
+    fn decide(&self, view: &LocalView, rng: &mut RoundStream) -> Decision {
+        // Participation coin first (after target sampling by executor
+        // contract, which is fine — a non-participant just wastes the
+        // sample draw, deterministically).
+        if self.participation < 1.0 && !rng.bernoulli(self.participation) {
+            return Decision::Stay;
+        }
+        self.inner.decide(view, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::{move_frequency, view};
+    use super::super::SlackDamped;
+    use super::*;
+
+    #[test]
+    fn full_participation_is_transparent() {
+        let wrapped = PartialParticipation::new(SlackDamped::default(), 1.0);
+        // empty target → inner always moves; p = 1 must not consume a coin
+        let mut rng = RoundStream::new(1, 1, 1);
+        assert_eq!(wrapped.decide(&view(9, 2, 0, 10), &mut rng), Decision::Move);
+    }
+
+    #[test]
+    fn participation_scales_move_frequency() {
+        // inner moves with prob 1 on an empty target; wrapper at p = 0.3
+        // should move ≈ 30% of the time.
+        let wrapped = PartialParticipation::new(SlackDamped::default(), 0.3);
+        let freq = move_frequency(&wrapped, &view(9, 2, 0, 10), 40_000);
+        assert!((freq - 0.3).abs() < 0.01, "freq {freq}");
+    }
+
+    #[test]
+    fn delegates_metadata() {
+        let wrapped = PartialParticipation::new(SlackDamped::default(), 0.5);
+        assert_eq!(wrapped.sampling(), SamplingStrategy::Uniform);
+        assert!(!wrapped.acts_when_satisfied());
+        assert!(wrapped.is_active(ClassId(0), 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "participation")]
+    fn zero_participation_rejected() {
+        let _ = PartialParticipation::new(SlackDamped::default(), 0.0);
+    }
+
+    #[test]
+    fn engine_run_with_partial_participation_converges() {
+        use crate::state::State;
+        let inst = Instance::uniform(64, 8, 10).unwrap();
+        let state = State::all_on(&inst, ResourceId(0));
+        let proto = PartialParticipation::new(SlackDamped::default(), 0.25);
+        let mut state = state;
+        let mut round = 0u64;
+        while !state.is_legal(&inst) {
+            let moves = crate::step::decide_round(&inst, &state, &proto, 3, round);
+            state.apply_moves(&inst, &moves);
+            round += 1;
+            assert!(round < 10_000);
+        }
+    }
+}

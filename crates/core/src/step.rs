@@ -1,0 +1,242 @@
+//! One synchronous round, factored for executor reuse.
+//!
+//! All executors — the sequential loop, the threaded engine, and the
+//! message-passing runtime — delegate the per-user logic to
+//! [`decide_user`], which encodes the protocol contract (who acts, in what
+//! draw order) exactly once. Because decisions read only the *start-of-round*
+//! congestion and user-private random streams, decisions for different users
+//! are independent and can be computed in any order or in parallel; the
+//! result is identical by construction.
+
+use crate::ids::{ResourceId, UserId};
+use crate::instance::Instance;
+use crate::protocol::{Decision, LocalView, Protocol, ResourceView};
+use crate::state::{Move, State};
+use qlb_rng::RoundStream;
+
+/// Decide the action of a single user against start-of-round congestion.
+///
+/// Returns `Some(move)` iff the user migrates this round. Encodes, in
+/// order:
+/// 1. satisfied users do nothing (and consume no randomness);
+/// 2. gated-out classes ([`Protocol::is_active`]) do nothing;
+/// 3. the kernel samples a target, then flips its migration coin.
+///
+/// `loads` must be the congestion vector at the start of the round and
+/// `own` the user's resource at the start of the round.
+#[inline]
+pub fn decide_user<P: Protocol + ?Sized>(
+    inst: &Instance,
+    loads: &[u32],
+    own: ResourceId,
+    user: UserId,
+    proto: &P,
+    seed: u64,
+    round: u64,
+) -> Option<Move> {
+    let class = inst.class_of(user);
+    let own_cap = inst.cap(class, own);
+    let own_load = loads[own.index()];
+    // Satisfied ⇒ inactive, unless the kernel opts into acting while
+    // satisfied (diffusion variants). (cap == 0 can never satisfy.)
+    let satisfied = own_cap > 0 && own_load <= own_cap;
+    if satisfied && !proto.acts_when_satisfied() {
+        return None;
+    }
+    if !proto.is_active(class, round) {
+        return None;
+    }
+    let mut rng = RoundStream::new(seed, user.0 as u64, round);
+    let target = proto.sample_target(inst, own, &mut rng);
+    if target == own {
+        return None;
+    }
+    let view = LocalView {
+        user,
+        class,
+        round,
+        own: ResourceView {
+            id: own,
+            load: own_load,
+            cap: own_cap,
+        },
+        target: ResourceView {
+            id: target,
+            load: loads[target.index()],
+            cap: inst.cap(class, target),
+        },
+    };
+    match proto.decide(&view, &mut rng) {
+        Decision::Move => Some(Move {
+            user,
+            from: own,
+            to: target,
+        }),
+        Decision::Stay => None,
+    }
+}
+
+/// Decide a full round sequentially, appending migrations to `out`.
+///
+/// `out` is cleared first; reusing one buffer across rounds keeps the hot
+/// loop allocation-free.
+pub fn decide_round_into<P: Protocol + ?Sized>(
+    inst: &Instance,
+    state: &State,
+    proto: &P,
+    seed: u64,
+    round: u64,
+    out: &mut Vec<Move>,
+) {
+    out.clear();
+    let loads = state.loads();
+    let assignment = state.assignment();
+    for (idx, &own) in assignment.iter().enumerate() {
+        let user = UserId(idx as u32);
+        if let Some(mv) = decide_user(inst, loads, own, user, proto, seed, round) {
+            out.push(mv);
+        }
+    }
+}
+
+/// Decide a full round sequentially (allocating convenience wrapper).
+pub fn decide_round<P: Protocol + ?Sized>(
+    inst: &Instance,
+    state: &State,
+    proto: &P,
+    seed: u64,
+    round: u64,
+) -> Vec<Move> {
+    let mut out = Vec::new();
+    decide_round_into(inst, state, proto, seed, round, &mut out);
+    out
+}
+
+/// Decide a contiguous user range `[lo, hi)` of a round, appending to `out`
+/// — the shard primitive of the threaded executor. Equivalent to the
+/// corresponding slice of [`decide_round_into`]'s output (the threaded
+/// engine's agreement with the sequential one is experiment E10 and a
+/// property test).
+#[allow(clippy::too_many_arguments)]
+pub fn decide_range_into<P: Protocol + ?Sized>(
+    inst: &Instance,
+    state: &State,
+    proto: &P,
+    seed: u64,
+    round: u64,
+    lo: usize,
+    hi: usize,
+    out: &mut Vec<Move>,
+) {
+    debug_assert!(lo <= hi && hi <= state.num_users());
+    let loads = state.loads();
+    let assignment = state.assignment();
+    for (idx, &own) in assignment[lo..hi].iter().enumerate() {
+        let user = UserId((lo + idx) as u32);
+        if let Some(mv) = decide_user(inst, loads, own, user, proto, seed, round) {
+            out.push(mv);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{BlindUniform, SlackDamped, ThresholdLevels};
+
+    #[test]
+    fn satisfied_users_never_move() {
+        let inst = Instance::uniform(8, 4, 3).unwrap();
+        let state = State::round_robin(&inst); // legal
+        for seed in 0..20 {
+            for round in 0..20 {
+                assert!(
+                    decide_round(&inst, &state, &BlindUniform, seed, round).is_empty(),
+                    "satisfied user moved"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn moves_reference_current_positions() {
+        let inst = Instance::uniform(16, 4, 3).unwrap();
+        let state = State::all_on(&inst, ResourceId(0));
+        let moves = decide_round(&inst, &state, &SlackDamped::default(), 7, 0);
+        assert!(!moves.is_empty());
+        for mv in &moves {
+            assert_eq!(mv.from, ResourceId(0));
+            assert_ne!(mv.to, mv.from);
+        }
+    }
+
+    #[test]
+    fn deciding_is_order_independent() {
+        let inst = Instance::uniform(64, 8, 10).unwrap();
+        let state = State::all_on(&inst, ResourceId(3));
+        let full = decide_round(&inst, &state, &SlackDamped::default(), 5, 2);
+        // Shards concatenated in any split must equal the full decision.
+        for split in [1usize, 7, 32, 63] {
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            decide_range_into(&inst, &state, &SlackDamped::default(), 5, 2, 0, split, &mut a);
+            decide_range_into(&inst, &state, &SlackDamped::default(), 5, 2, split, 64, &mut b);
+            a.extend(b);
+            assert_eq!(a, full);
+        }
+    }
+
+    #[test]
+    fn repeat_decisions_are_deterministic() {
+        let inst = Instance::uniform(64, 8, 10).unwrap();
+        let state = State::all_on(&inst, ResourceId(0));
+        let a = decide_round(&inst, &state, &SlackDamped::default(), 5, 0);
+        let b = decide_round(&inst, &state, &SlackDamped::default(), 5, 0);
+        assert_eq!(a, b);
+        let c = decide_round(&inst, &state, &SlackDamped::default(), 6, 0);
+        assert_ne!(a, c, "different seed should alter some decision");
+    }
+
+    #[test]
+    fn class_gating_blocks_inactive_classes() {
+        use crate::instance::InstanceBuilder;
+        // Two classes, both overloaded on one resource.
+        let inst = InstanceBuilder::new()
+            .speeds(vec![1.0, 50.0, 50.0])
+            .latency_class(1.0, 10)
+            .latency_class(1.0, 10)
+            .build()
+            .unwrap();
+        let state = State::all_on(&inst, ResourceId(0));
+        let proto = ThresholdLevels::new(2);
+        // round 0: only class 0 (users 0..10) may move
+        let moves = decide_round(&inst, &state, &proto, 1, 0);
+        assert!(moves.iter().all(|mv| mv.user.0 < 10));
+        assert!(!moves.is_empty());
+        // round 1: only class 1
+        let moves = decide_round(&inst, &state, &proto, 1, 1);
+        assert!(moves.iter().all(|mv| mv.user.0 >= 10));
+    }
+
+    #[test]
+    fn dyn_protocol_is_usable() {
+        let inst = Instance::uniform(8, 4, 1).unwrap();
+        let state = State::all_on(&inst, ResourceId(0));
+        let protos: Vec<Box<dyn Protocol>> = vec![
+            Box::new(BlindUniform),
+            Box::new(SlackDamped::default()),
+        ];
+        for p in &protos {
+            let _ = decide_round(&inst, &state, p.as_ref(), 1, 0);
+        }
+    }
+
+    #[test]
+    fn zero_cap_resource_users_always_unsatisfied() {
+        let inst = Instance::with_capacities(4, vec![0, 10]).unwrap();
+        let state = State::all_on(&inst, ResourceId(0));
+        // cap 0 → unsatisfied even though load fits "≤ c" vacuously
+        let moves = decide_round(&inst, &state, &SlackDamped::default(), 3, 0);
+        assert!(!moves.is_empty());
+    }
+}

@@ -1,0 +1,185 @@
+//! The weighted problem description.
+
+use crate::error::{Error, Result};
+use crate::ids::{ResourceId, UserId};
+use serde::{Deserialize, Serialize};
+
+/// A weighted QoS load-balancing instance: per-resource capacities and
+/// per-user demands (single QoS class).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WeightedInstance {
+    caps: Vec<u64>,
+    weights: Vec<u32>,
+}
+
+impl WeightedInstance {
+    /// Build from capacities and user weights.
+    ///
+    /// # Errors
+    /// * [`Error::NoResources`] without resources;
+    /// * [`Error::BadParameter`] for zero weights (a zero-demand user is
+    ///   meaningless and would break the fit-check semantics).
+    pub fn new(caps: Vec<u64>, weights: Vec<u32>) -> Result<Self> {
+        if caps.is_empty() {
+            return Err(Error::NoResources);
+        }
+        if let Some(i) = weights.iter().position(|&w| w == 0) {
+            return Err(Error::BadParameter {
+                detail: format!("user u{i} has zero weight"),
+            });
+        }
+        Ok(Self { caps, weights })
+    }
+
+    /// Uniform caps, unit weights: coincides with `Instance::uniform`
+    /// semantics (used by the equivalence tests).
+    pub fn unit(n: usize, m: usize, cap: u64) -> Result<Self> {
+        Self::new(vec![cap; m], vec![1; n])
+    }
+
+    /// Number of users.
+    #[inline]
+    pub fn num_users(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Number of resources.
+    #[inline]
+    pub fn num_resources(&self) -> usize {
+        self.caps.len()
+    }
+
+    /// Capacity of resource `r`.
+    #[inline]
+    pub fn cap(&self, r: ResourceId) -> u64 {
+        self.caps[r.index()]
+    }
+
+    /// Demand of user `u`.
+    #[inline]
+    pub fn weight(&self, u: UserId) -> u64 {
+        self.weights[u.index()] as u64
+    }
+
+    /// All capacities.
+    #[inline]
+    pub fn caps(&self) -> &[u64] {
+        &self.caps
+    }
+
+    /// All weights.
+    #[inline]
+    pub fn weights(&self) -> &[u32] {
+        &self.weights
+    }
+
+    /// Total capacity `Σ_r c_r`.
+    pub fn total_capacity(&self) -> u64 {
+        self.caps.iter().sum()
+    }
+
+    /// Total demand `Σ_i w_i`.
+    pub fn total_weight(&self) -> u64 {
+        self.weights.iter().map(|&w| w as u64).sum()
+    }
+
+    /// Slack factor `γ = Σ c / Σ w`.
+    ///
+    /// # Panics
+    /// Panics for zero total weight.
+    pub fn slack_factor(&self) -> f64 {
+        let w = self.total_weight();
+        assert!(w > 0, "slack factor undefined without demand");
+        self.total_capacity() as f64 / w as f64
+    }
+
+    /// Largest user demand (0 for an empty instance).
+    pub fn max_weight(&self) -> u64 {
+        self.weights.iter().copied().max().unwrap_or(0) as u64
+    }
+
+    /// Iterator over user ids.
+    pub fn users(&self) -> impl ExactSizeIterator<Item = UserId> {
+        (0..self.num_users() as u32).map(UserId)
+    }
+
+    /// Validate an assignment vector.
+    pub fn validate_assignment(&self, assignment: &[ResourceId]) -> Result<()> {
+        if assignment.len() != self.num_users() {
+            return Err(Error::BadAssignment {
+                detail: format!(
+                    "assignment has {} entries for {} users",
+                    assignment.len(),
+                    self.num_users()
+                ),
+            });
+        }
+        for (u, &r) in assignment.iter().enumerate() {
+            if r.index() >= self.num_resources() {
+                return Err(Error::BadAssignment {
+                    detail: format!("user u{u} assigned to out-of-range {r}"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let inst = WeightedInstance::new(vec![10, 20], vec![3, 5, 1]).unwrap();
+        assert_eq!(inst.num_users(), 3);
+        assert_eq!(inst.num_resources(), 2);
+        assert_eq!(inst.cap(ResourceId(1)), 20);
+        assert_eq!(inst.weight(UserId(1)), 5);
+        assert_eq!(inst.total_capacity(), 30);
+        assert_eq!(inst.total_weight(), 9);
+        assert_eq!(inst.max_weight(), 5);
+        assert!((inst.slack_factor() - 30.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_weight_rejected() {
+        assert!(matches!(
+            WeightedInstance::new(vec![1], vec![1, 0]),
+            Err(Error::BadParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn no_resources_rejected() {
+        assert_eq!(
+            WeightedInstance::new(vec![], vec![1]).unwrap_err(),
+            Error::NoResources
+        );
+    }
+
+    #[test]
+    fn unit_matches_uniform_semantics() {
+        let w = WeightedInstance::unit(10, 4, 3).unwrap();
+        assert_eq!(w.total_capacity(), 12);
+        assert_eq!(w.total_weight(), 10);
+        assert_eq!(w.max_weight(), 1);
+    }
+
+    #[test]
+    fn validate_assignment_checks() {
+        let inst = WeightedInstance::new(vec![5, 5], vec![2, 2]).unwrap();
+        assert!(inst.validate_assignment(&[ResourceId(0), ResourceId(1)]).is_ok());
+        assert!(inst.validate_assignment(&[ResourceId(0)]).is_err());
+        assert!(inst
+            .validate_assignment(&[ResourceId(0), ResourceId(7)])
+            .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined")]
+    fn slack_factor_empty_panics() {
+        let inst = WeightedInstance::new(vec![5], vec![]).unwrap();
+        let _ = inst.slack_factor();
+    }
+}

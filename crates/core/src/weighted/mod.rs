@@ -1,0 +1,36 @@
+//! Weighted users — the bin-packing-flavoured extension.
+//!
+//! The base model's users are identical; the natural extension (mentioned
+//! as future work in this line of research) gives user `i` a demand
+//! `w_i ≥ 1` and declares a user satisfied iff the *total weight* on its
+//! resource is within capacity: `W_r ≤ c_r`. Three things change
+//! qualitatively:
+//!
+//! * **Offline feasibility becomes bin packing** (NP-hard even for one
+//!   class): [`first_fit_decreasing`] is the classical sufficient
+//!   constructor; `Σ w ≤ Σ c` stays necessary.
+//! * **Movement needs a fit check**: an unsatisfied user may only migrate
+//!   to a resource where its own weight fits (`W_q + w_i ≤ c_q`), and the
+//!   damping coin is still `(c_q − W_q)/c_q` — the expected *weight* inflow
+//!   into `q` then stays proportional to its free capacity.
+//! * **Heavy users are slow**: a weight-`w` user needs a hole of size `w`,
+//!   which gets exponentially rarer as the system fills — experiment E13
+//!   measures the degradation with weight skew.
+//!
+//! The module is deliberately self-contained (own instance/state/kernel
+//! types with `u64` load arithmetic) rather than threaded through the unit
+//! model's hot path, which stays allocation- and branch-lean.
+
+mod baseline;
+mod instance;
+mod protocol;
+mod state;
+mod step;
+
+pub use baseline::{first_fit_decreasing, weight_counting_feasible};
+pub use instance::WeightedInstance;
+pub use protocol::{
+    WeightedConditional, WeightedProtocol, WeightedSlackDamped, WeightedView,
+};
+pub use state::WeightedState;
+pub use step::{decide_weighted_round, decide_weighted_round_into, decide_weighted_user};

@@ -1,0 +1,213 @@
+//! Weighted migration kernels.
+
+use crate::ids::ResourceId;
+use crate::protocol::Decision;
+use qlb_rng::{Rng64, RoundStream};
+
+/// What a weighted user observes about one resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WeightedView {
+    /// The resource.
+    pub id: ResourceId,
+    /// Total weight at the start of the round.
+    pub load: u64,
+    /// Capacity.
+    pub cap: u64,
+}
+
+impl WeightedView {
+    /// Free capacity `(c − W)⁺`.
+    #[inline]
+    pub fn slack(&self) -> u64 {
+        self.cap.saturating_sub(self.load)
+    }
+
+    /// Does a demand of `w` fit here (at start-of-round load)?
+    #[inline]
+    pub fn fits(&self, w: u64) -> bool {
+        self.slack() >= w
+    }
+}
+
+/// A weighted migration kernel: given the user's demand and the two views,
+/// decide. Same executor contract as the unit model (fixed draw order,
+/// satisfied users consume nothing).
+pub trait WeightedProtocol: Sync {
+    /// Stable name for tables.
+    fn name(&self) -> &'static str;
+
+    /// Decide whether to migrate a demand of `w`.
+    fn decide(
+        &self,
+        w: u64,
+        own: WeightedView,
+        target: WeightedView,
+        rng: &mut RoundStream,
+    ) -> Decision;
+}
+
+/// The weighted analogue of the paper's protocol: migrate only where the
+/// demand fits, with probability `(c_q − W_q)/c_q`.
+///
+/// The coin is *demand-independent* so the expected **weight** inflow into
+/// `q` is `(Σ_unsat w_i / m) · slack_q/c_q` — again proportional to free
+/// capacity. A demand-proportional coin would let heavy users starve; a
+/// slack-proportional one keeps the aggregate bounded, which is the
+/// property the potential argument needs.
+#[derive(Debug, Clone, Copy)]
+pub struct WeightedSlackDamped {
+    /// Damping multiplier (see the unit-model `SlackDamped`).
+    pub damping: f64,
+}
+
+impl Default for WeightedSlackDamped {
+    fn default() -> Self {
+        Self { damping: 1.0 }
+    }
+}
+
+impl WeightedSlackDamped {
+    /// Migration probability for a fitting demand.
+    #[inline]
+    pub fn migration_probability(&self, load: u64, cap: u64) -> f64 {
+        if cap == 0 || load >= cap {
+            return 0.0;
+        }
+        (self.damping * (cap - load) as f64 / cap as f64).min(1.0)
+    }
+}
+
+impl WeightedProtocol for WeightedSlackDamped {
+    fn name(&self) -> &'static str {
+        "weighted-slack-damped"
+    }
+
+    fn decide(
+        &self,
+        w: u64,
+        own: WeightedView,
+        target: WeightedView,
+        rng: &mut RoundStream,
+    ) -> Decision {
+        if target.id == own.id || !target.fits(w) {
+            return Decision::Stay;
+        }
+        if rng.bernoulli(self.migration_probability(target.load, target.cap)) {
+            Decision::Move
+        } else {
+            Decision::Stay
+        }
+    }
+}
+
+/// Weighted strawman: move whenever the demand fits (no damping).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WeightedConditional;
+
+impl WeightedProtocol for WeightedConditional {
+    fn name(&self) -> &'static str {
+        "weighted-conditional"
+    }
+
+    fn decide(
+        &self,
+        w: u64,
+        own: WeightedView,
+        target: WeightedView,
+        _rng: &mut RoundStream,
+    ) -> Decision {
+        if target.id != own.id && target.fits(w) {
+            Decision::Move
+        } else {
+            Decision::Stay
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn views(own_load: u64, own_cap: u64, t_load: u64, t_cap: u64) -> (WeightedView, WeightedView) {
+        (
+            WeightedView {
+                id: ResourceId(0),
+                load: own_load,
+                cap: own_cap,
+            },
+            WeightedView {
+                id: ResourceId(1),
+                load: t_load,
+                cap: t_cap,
+            },
+        )
+    }
+
+    #[test]
+    fn fits_respects_demand() {
+        let v = WeightedView {
+            id: ResourceId(0),
+            load: 7,
+            cap: 10,
+        };
+        assert!(v.fits(3));
+        assert!(!v.fits(4));
+        assert_eq!(v.slack(), 3);
+    }
+
+    #[test]
+    fn damped_rejects_nonfitting_demand_without_coin() {
+        let p = WeightedSlackDamped::default();
+        let (own, target) = views(20, 10, 8, 10); // slack 2
+        let mut rng = RoundStream::new(1, 1, 1);
+        assert_eq!(p.decide(3, own, target, &mut rng), Decision::Stay);
+        assert_eq!(rng.draws(), 0, "fit check consumes no randomness");
+        // fitting demand flips the coin
+        let _ = p.decide(2, own, target, &mut rng);
+        assert_eq!(rng.draws(), 1);
+    }
+
+    #[test]
+    fn damped_probability_is_slack_over_cap() {
+        let p = WeightedSlackDamped::default();
+        assert_eq!(p.migration_probability(0, 10), 1.0);
+        assert_eq!(p.migration_probability(5, 10), 0.5);
+        assert_eq!(p.migration_probability(10, 10), 0.0);
+        assert_eq!(p.migration_probability(0, 0), 0.0);
+    }
+
+    #[test]
+    fn empirical_frequency_for_fitting_demand() {
+        let p = WeightedSlackDamped::default();
+        let (own, target) = views(20, 10, 5, 10);
+        let mut moves = 0;
+        let trials = 40_000u64;
+        for t in 0..trials {
+            let mut rng = RoundStream::new(2, 9, t);
+            if p.decide(2, own, target, &mut rng) == Decision::Move {
+                moves += 1;
+            }
+        }
+        let freq = moves as f64 / trials as f64;
+        assert!((freq - 0.5).abs() < 0.01, "freq {freq}");
+    }
+
+    #[test]
+    fn conditional_moves_iff_fits() {
+        let p = WeightedConditional;
+        let (own, target) = views(20, 10, 8, 10);
+        let mut rng = RoundStream::new(1, 1, 1);
+        assert_eq!(p.decide(2, own, target, &mut rng), Decision::Move);
+        assert_eq!(p.decide(3, own, target, &mut rng), Decision::Stay);
+        assert_eq!(rng.draws(), 0);
+    }
+
+    #[test]
+    fn self_target_is_stay() {
+        let p = WeightedSlackDamped::default();
+        let (own, mut target) = views(20, 10, 0, 10);
+        target.id = own.id;
+        let mut rng = RoundStream::new(1, 1, 1);
+        assert_eq!(p.decide(1, own, target, &mut rng), Decision::Stay);
+    }
+}

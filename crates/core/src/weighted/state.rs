@@ -1,0 +1,226 @@
+//! Weighted assignment state.
+
+use super::instance::WeightedInstance;
+use crate::error::Result;
+use crate::ids::{ResourceId, UserId};
+use crate::state::Move;
+use qlb_rng::{Rng64, SplitMix64};
+
+/// Assignment of weighted users with incrementally-maintained total weight
+/// per resource.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeightedState {
+    assignment: Vec<ResourceId>,
+    loads: Vec<u64>,
+}
+
+impl WeightedState {
+    /// Build from an explicit assignment.
+    pub fn new(inst: &WeightedInstance, assignment: Vec<ResourceId>) -> Result<Self> {
+        inst.validate_assignment(&assignment)?;
+        let mut loads = vec![0u64; inst.num_resources()];
+        for (u, &r) in assignment.iter().enumerate() {
+            loads[r.index()] += inst.weight(UserId(u as u32));
+        }
+        Ok(Self { assignment, loads })
+    }
+
+    /// Everyone on one resource (the weighted flash crowd).
+    pub fn all_on(inst: &WeightedInstance, r: ResourceId) -> Self {
+        assert!(r.index() < inst.num_resources(), "resource out of range");
+        let mut loads = vec![0u64; inst.num_resources()];
+        loads[r.index()] = inst.total_weight();
+        Self {
+            assignment: vec![r; inst.num_users()],
+            loads,
+        }
+    }
+
+    /// Independent uniform placement.
+    pub fn random(inst: &WeightedInstance, seed: u64) -> Self {
+        let m = inst.num_resources();
+        let mut rng = SplitMix64::new(seed);
+        let mut loads = vec![0u64; m];
+        let assignment: Vec<ResourceId> = inst
+            .users()
+            .map(|u| {
+                let r = ResourceId(rng.uniform_usize(m) as u32);
+                loads[r.index()] += inst.weight(u);
+                r
+            })
+            .collect();
+        Self { assignment, loads }
+    }
+
+    /// Resource of user `u`.
+    #[inline]
+    pub fn resource_of(&self, u: UserId) -> ResourceId {
+        self.assignment[u.index()]
+    }
+
+    /// Total weight on `r`.
+    #[inline]
+    pub fn load(&self, r: ResourceId) -> u64 {
+        self.loads[r.index()]
+    }
+
+    /// All weighted loads.
+    #[inline]
+    pub fn loads(&self) -> &[u64] {
+        &self.loads
+    }
+
+    /// User `u` is satisfied iff its resource's total weight fits.
+    #[inline]
+    pub fn is_satisfied(&self, inst: &WeightedInstance, u: UserId) -> bool {
+        let r = self.assignment[u.index()];
+        let c = inst.cap(r);
+        c > 0 && self.loads[r.index()] <= c
+    }
+
+    /// Number of unsatisfied users.
+    pub fn num_unsatisfied(&self, inst: &WeightedInstance) -> usize {
+        inst.users().filter(|&u| !self.is_satisfied(inst, u)).count()
+    }
+
+    /// Legal iff every occupied resource is within capacity.
+    pub fn is_legal(&self, inst: &WeightedInstance) -> bool {
+        self.loads
+            .iter()
+            .zip(inst.caps())
+            .all(|(&w, &c)| w == 0 || (c > 0 && w <= c))
+    }
+
+    /// Weighted overload potential `Σ_r (W_r − c_r)⁺`.
+    pub fn overload(&self, inst: &WeightedInstance) -> u64 {
+        self.loads
+            .iter()
+            .zip(inst.caps())
+            .map(|(&w, &c)| w.saturating_sub(c))
+            .sum()
+    }
+
+    /// Apply a batch of migrations against start-of-round loads.
+    ///
+    /// # Panics
+    /// In debug builds, panics on stale moves.
+    pub fn apply_moves(&mut self, inst: &WeightedInstance, moves: &[Move]) {
+        for mv in moves {
+            debug_assert_eq!(
+                self.assignment[mv.user.index()],
+                mv.from,
+                "stale move for {}",
+                mv.user
+            );
+            let w = inst.weight(mv.user);
+            self.assignment[mv.user.index()] = mv.to;
+            self.loads[mv.from.index()] -= w;
+            self.loads[mv.to.index()] += w;
+        }
+        self.debug_assert_invariants(inst);
+    }
+
+    /// Recount invariant check (debug builds / tests).
+    pub fn debug_assert_invariants(&self, inst: &WeightedInstance) {
+        #[cfg(debug_assertions)]
+        {
+            let mut recount = vec![0u64; self.loads.len()];
+            for (u, &r) in self.assignment.iter().enumerate() {
+                recount[r.index()] += inst.weight(UserId(u as u32));
+            }
+            assert_eq!(recount, self.loads, "weighted load cache out of sync");
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            let _ = inst;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst() -> WeightedInstance {
+        WeightedInstance::new(vec![10, 4], vec![3, 3, 2, 1]).unwrap()
+    }
+
+    #[test]
+    fn new_counts_weighted_loads() {
+        let s = WeightedState::new(
+            &inst(),
+            vec![ResourceId(0), ResourceId(1), ResourceId(0), ResourceId(1)],
+        )
+        .unwrap();
+        assert_eq!(s.loads(), &[5, 4]);
+        s.debug_assert_invariants(&inst());
+    }
+
+    #[test]
+    fn satisfaction_is_total_weight_based() {
+        let i = inst();
+        // all on r1 (cap 4): total 9 > 4 → everyone unsatisfied
+        let s = WeightedState::all_on(&i, ResourceId(1));
+        assert_eq!(s.num_unsatisfied(&i), 4);
+        assert!(!s.is_legal(&i));
+        assert_eq!(s.overload(&i), 5);
+        // all on r0 (cap 10): total 9 ≤ 10 → legal
+        let s = WeightedState::all_on(&i, ResourceId(0));
+        assert!(s.is_legal(&i));
+        assert_eq!(s.overload(&i), 0);
+    }
+
+    #[test]
+    fn apply_moves_updates_weights() {
+        let i = inst();
+        let mut s = WeightedState::all_on(&i, ResourceId(1));
+        s.apply_moves(
+            &i,
+            &[Move {
+                user: UserId(0), // weight 3
+                from: ResourceId(1),
+                to: ResourceId(0),
+            }],
+        );
+        assert_eq!(s.load(ResourceId(0)), 3);
+        assert_eq!(s.load(ResourceId(1)), 6);
+    }
+
+    #[test]
+    fn random_is_deterministic() {
+        let i = inst();
+        assert_eq!(WeightedState::random(&i, 4), WeightedState::random(&i, 4));
+        assert_ne!(WeightedState::random(&i, 4), WeightedState::random(&i, 5));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "stale move")]
+    fn stale_move_panics() {
+        let i = inst();
+        let mut s = WeightedState::all_on(&i, ResourceId(0));
+        s.apply_moves(
+            &i,
+            &[Move {
+                user: UserId(0),
+                from: ResourceId(1),
+                to: ResourceId(0),
+            }],
+        );
+    }
+
+    #[test]
+    fn unit_weights_match_unit_model() {
+        use crate::instance::Instance;
+        use crate::state::State;
+        let wi = WeightedInstance::unit(8, 4, 3).unwrap();
+        let ui = Instance::uniform(8, 4, 3).unwrap();
+        let ws = WeightedState::all_on(&wi, ResourceId(0));
+        let us = State::all_on(&ui, ResourceId(0));
+        assert_eq!(ws.num_unsatisfied(&wi), us.num_unsatisfied(&ui));
+        assert_eq!(
+            ws.overload(&wi),
+            crate::potential::overload_potential(&ui, &us)
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! One synchronous round of the weighted model.
+
+use super::instance::WeightedInstance;
+use super::protocol::{WeightedProtocol, WeightedView};
+use super::state::WeightedState;
+use crate::ids::{ResourceId, UserId};
+use crate::protocol::Decision;
+use crate::state::Move;
+use qlb_rng::{Rng64, RoundStream};
+
+/// Decide one weighted user against start-of-round loads.
+///
+/// Same contract as the unit model: satisfied users consume no randomness;
+/// draw order is (target sample, migration coin). Targets are sampled
+/// uniformly — the weighted model keeps the oblivious sampler, matching the
+/// base protocol.
+#[inline]
+pub fn decide_weighted_user<P: WeightedProtocol + ?Sized>(
+    inst: &WeightedInstance,
+    loads: &[u64],
+    own: ResourceId,
+    user: UserId,
+    proto: &P,
+    seed: u64,
+    round: u64,
+) -> Option<Move> {
+    let own_cap = inst.cap(own);
+    let own_load = loads[own.index()];
+    if own_cap > 0 && own_load <= own_cap {
+        return None; // satisfied
+    }
+    let mut rng = RoundStream::new(seed, user.0 as u64, round);
+    let target = ResourceId(rng.uniform_usize(inst.num_resources()) as u32);
+    if target == own {
+        return None;
+    }
+    let own_view = WeightedView {
+        id: own,
+        load: own_load,
+        cap: own_cap,
+    };
+    let target_view = WeightedView {
+        id: target,
+        load: loads[target.index()],
+        cap: inst.cap(target),
+    };
+    match proto.decide(inst.weight(user), own_view, target_view, &mut rng) {
+        Decision::Move => Some(Move {
+            user,
+            from: own,
+            to: target,
+        }),
+        Decision::Stay => None,
+    }
+}
+
+/// Decide a full weighted round into a reused buffer.
+pub fn decide_weighted_round_into<P: WeightedProtocol + ?Sized>(
+    inst: &WeightedInstance,
+    state: &WeightedState,
+    proto: &P,
+    seed: u64,
+    round: u64,
+    out: &mut Vec<Move>,
+) {
+    out.clear();
+    let loads = state.loads();
+    for u in inst.users() {
+        let own = state.resource_of(u);
+        if let Some(mv) = decide_weighted_user(inst, loads, own, u, proto, seed, round) {
+            out.push(mv);
+        }
+    }
+}
+
+/// Allocating convenience wrapper.
+pub fn decide_weighted_round<P: WeightedProtocol + ?Sized>(
+    inst: &WeightedInstance,
+    state: &WeightedState,
+    proto: &P,
+    seed: u64,
+    round: u64,
+) -> Vec<Move> {
+    let mut out = Vec::new();
+    decide_weighted_round_into(inst, state, proto, seed, round, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weighted::{WeightedConditional, WeightedSlackDamped};
+
+    fn crowd() -> (WeightedInstance, WeightedState) {
+        let inst = WeightedInstance::new(vec![6; 8], vec![2; 12]).unwrap(); // γ = 2
+        let state = WeightedState::all_on(&inst, ResourceId(0));
+        (inst, state)
+    }
+
+    #[test]
+    fn satisfied_users_do_nothing() {
+        let inst = WeightedInstance::new(vec![10, 10], vec![2, 2]).unwrap();
+        let state = WeightedState::new(&inst, vec![ResourceId(0), ResourceId(1)]).unwrap();
+        for seed in 0..10 {
+            assert!(decide_weighted_round(&inst, &state, &WeightedSlackDamped::default(), seed, 0)
+                .is_empty());
+        }
+    }
+
+    #[test]
+    fn moves_only_into_fitting_targets() {
+        let (inst, state) = crowd();
+        for seed in 0..10 {
+            let moves =
+                decide_weighted_round(&inst, &state, &WeightedSlackDamped::default(), seed, 0);
+            for mv in &moves {
+                let w = inst.weight(mv.user);
+                assert!(state.load(mv.to) + w <= inst.cap(mv.to));
+                assert_eq!(mv.from, ResourceId(0));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (inst, state) = crowd();
+        let a = decide_weighted_round(&inst, &state, &WeightedConditional, 5, 1);
+        let b = decide_weighted_round(&inst, &state, &WeightedConditional, 5, 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unit_weighted_matches_unit_model_decisions() {
+        // With unit weights and identical caps, the weighted kernel's
+        // semantics coincide with the unit model's SlackDamped: same
+        // satisfaction rule, same fit rule (x < c), same coin, same draw
+        // order ⇒ identical move lists.
+        use crate::instance::Instance;
+        use crate::protocol::SlackDamped;
+        use crate::state::State;
+        let n = 64;
+        let m = 8;
+        let cap = 4;
+        let wi = WeightedInstance::unit(n, m, cap as u64).unwrap();
+        let ui = Instance::uniform(n, m, cap).unwrap();
+        let ws = WeightedState::all_on(&wi, ResourceId(0));
+        let us = State::all_on(&ui, ResourceId(0));
+        for seed in 0..5 {
+            for round in 0..3 {
+                let wm = decide_weighted_round(&wi, &ws, &WeightedSlackDamped::default(), seed, round);
+                let um = crate::step::decide_round(&ui, &us, &SlackDamped::default(), seed, round);
+                assert_eq!(wm, um, "seed {seed} round {round}");
+            }
+        }
+    }
+}

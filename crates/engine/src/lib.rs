@@ -1,0 +1,41 @@
+//! # qlb-engine — synchronous round engine for QoS load balancing
+//!
+//! Executes a `qlb-core` protocol over synchronous rounds, at laptop scale,
+//! with two executors that produce **bit-identical trajectories**:
+//!
+//! * [`run()`](run()) — the sequential reference executor (allocation-free round
+//!   loop);
+//! * [`run_threaded`] — a sharded multi-threaded executor (`std::thread::
+//!   scope`); identical output is guaranteed by the counter-based RNG
+//!   streams of `qlb-rng` and verified by tests and experiment E10.
+//!
+//! The engine also provides per-round [`trace`]s (potential decay, figure
+//! experiments), [`dynamics`] for churn/re-convergence experiments,
+//! [`open`] for open-system (arrival/departure) driving, and [`weighted`]
+//! for the weighted-demand extension.
+//!
+//! ```
+//! use qlb_core::prelude::*;
+//! use qlb_engine::{run, run_threaded, RunConfig};
+//!
+//! let inst = Instance::uniform(512, 64, 10).unwrap();
+//! let start = State::all_on(&inst, ResourceId(0));
+//! let seq = run(&inst, start.clone(), &SlackDamped::default(), RunConfig::new(7, 10_000));
+//! let par = run_threaded(&inst, start, &SlackDamped::default(), RunConfig::new(7, 10_000), 4);
+//! assert!(seq.converged);
+//! assert_eq!(seq.state, par.state); // bit-identical trajectories
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dynamics;
+pub mod open;
+pub mod run;
+pub mod trace;
+pub mod weighted;
+
+pub use dynamics::{perturb_uniform, run_with_churn, ChurnConfig, ChurnOutcome};
+pub use open::{run_open_system, OpenConfig, OpenOutcome, OpenRoundStats};
+pub use run::{run, run_threaded, RunConfig, RunOutcome};
+pub use trace::{RoundStats, Trace};
+pub use weighted::{run_weighted, WeightedOutcome};

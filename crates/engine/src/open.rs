@@ -1,0 +1,225 @@
+//! Open system: users arrive and depart while the protocol runs.
+//!
+//! The paper's model is closed (`n` fixed); the natural open-system
+//! question is whether the protocol keeps *almost everyone* satisfied under
+//! continuous arrivals and departures, as long as the offered load stays
+//! below capacity. We model it with the **parking trick**: the instance is
+//! augmented with one virtual resource of effectively infinite capacity
+//! where inactive users "live". Parked users are always satisfied, so they
+//! never act; arrivals are reassignments out of parking onto a uniformly
+//! random real resource, departures are reassignments back. The protocol
+//! itself is unchanged and unaware of the driver — exactly how churn would
+//! hit a deployed system.
+
+use qlb_core::step::decide_round_into;
+use qlb_core::{Instance, Move, Protocol, ResourceId, State, UserId};
+use qlb_rng::{Rng64, SplitMix64};
+
+/// Configuration of an open-system run.
+#[derive(Debug, Clone, Copy)]
+pub struct OpenConfig {
+    /// Seed for the driver (arrivals/departures) and the protocol.
+    pub seed: u64,
+    /// Rounds to simulate.
+    pub rounds: u64,
+    /// Arrivals injected per round (deterministic rate; fractional rates
+    /// accumulate, e.g. `1.5` injects 1 and 2 on alternating rounds).
+    pub arrivals_per_round: f64,
+    /// Per-round departure probability of each active user.
+    pub departure_prob: f64,
+    /// Rounds to discard before computing steady-state statistics.
+    pub warmup: u64,
+}
+
+/// Per-round observation of an open-system run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpenRoundStats {
+    /// Round index.
+    pub round: u64,
+    /// Active (non-parked) users after arrivals/departures.
+    pub active: u64,
+    /// Unsatisfied users after the protocol round.
+    pub unsatisfied: u64,
+}
+
+/// Result of an open-system run.
+#[derive(Debug, Clone)]
+pub struct OpenOutcome {
+    /// Per-round series.
+    pub series: Vec<OpenRoundStats>,
+    /// Mean unsatisfied fraction among active users over the post-warmup
+    /// rounds (0 when no users were active).
+    pub mean_unsatisfied_frac: f64,
+    /// Worst post-warmup unsatisfied fraction.
+    pub max_unsatisfied_frac: f64,
+    /// Mean active population post-warmup.
+    pub mean_active: f64,
+}
+
+/// Run an open system over `base_caps` real resources with a user pool of
+/// `pool` users (the maximum concurrently active population; arrivals stall
+/// when the pool is exhausted).
+///
+/// # Panics
+/// Panics on nonsensical rates (negative arrivals, departure probability
+/// outside `[0, 1]`).
+pub fn run_open_system<P: Protocol + ?Sized>(
+    base_caps: &[u32],
+    pool: usize,
+    proto: &P,
+    cfg: OpenConfig,
+) -> OpenOutcome {
+    assert!(cfg.arrivals_per_round >= 0.0, "negative arrival rate");
+    assert!(
+        (0.0..=1.0).contains(&cfg.departure_prob),
+        "departure probability out of range"
+    );
+    let m = base_caps.len();
+    // Parking resource: effectively infinite capacity.
+    let mut caps = base_caps.to_vec();
+    caps.push(u32::MAX);
+    let parking = ResourceId(m as u32);
+    let inst = Instance::with_capacities(pool, caps).expect("non-empty capacities");
+    let mut state = State::all_on(&inst, parking);
+
+    // Parked users as a LIFO stack; active set as a boolean map.
+    let mut parked: Vec<UserId> = inst.users().collect();
+    let mut active = vec![false; pool];
+
+    let mut driver_rng = SplitMix64::new(qlb_rng::mix64_pair(cfg.seed, OPEN_SALT));
+    let mut arrival_credit = 0.0f64;
+    let mut moves: Vec<Move> = Vec::new();
+    let mut series = Vec::with_capacity(cfg.rounds as usize);
+
+    for round in 0..cfg.rounds {
+        // Arrivals.
+        arrival_credit += cfg.arrivals_per_round;
+        while arrival_credit >= 1.0 {
+            arrival_credit -= 1.0;
+            let Some(u) = parked.pop() else { break };
+            active[u.index()] = true;
+            let r = ResourceId(driver_rng.uniform_usize(m) as u32);
+            state.reassign(u, r);
+        }
+        // Departures.
+        for (idx, is_active) in active.iter_mut().enumerate() {
+            if *is_active && driver_rng.bernoulli(cfg.departure_prob) {
+                let u = UserId(idx as u32);
+                *is_active = false;
+                state.reassign(u, parking);
+                parked.push(u);
+            }
+        }
+        // One protocol round (parked users are satisfied and never act).
+        decide_round_into(&inst, &state, proto, cfg.seed, round, &mut moves);
+        debug_assert!(moves.iter().all(|mv| mv.from != parking));
+        state.apply_moves(&inst, &moves);
+
+        let active_count = active.iter().filter(|&&a| a).count() as u64;
+        series.push(OpenRoundStats {
+            round,
+            active: active_count,
+            unsatisfied: state.num_unsatisfied(&inst) as u64,
+        });
+    }
+
+    // Steady-state statistics.
+    let post: Vec<&OpenRoundStats> = series.iter().filter(|s| s.round >= cfg.warmup).collect();
+    let frac = |s: &OpenRoundStats| {
+        if s.active == 0 {
+            0.0
+        } else {
+            s.unsatisfied as f64 / s.active as f64
+        }
+    };
+    let mean_unsatisfied_frac = if post.is_empty() {
+        0.0
+    } else {
+        post.iter().map(|s| frac(s)).sum::<f64>() / post.len() as f64
+    };
+    let max_unsatisfied_frac = post.iter().map(|s| frac(s)).fold(0.0, f64::max);
+    let mean_active = if post.is_empty() {
+        0.0
+    } else {
+        post.iter().map(|s| s.active as f64).sum::<f64>() / post.len() as f64
+    };
+
+    OpenOutcome {
+        series,
+        mean_unsatisfied_frac,
+        max_unsatisfied_frac,
+        mean_active,
+    }
+}
+
+/// Salt separating the arrival/departure driver stream from protocol
+/// streams: changing the churn pattern never perturbs protocol coins.
+const OPEN_SALT: u64 = 0x4f50_454e; // "OPEN"
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qlb_core::SlackDamped;
+
+    fn cfg(rounds: u64, lambda: f64, mu: f64) -> OpenConfig {
+        OpenConfig {
+            seed: 11,
+            rounds,
+            arrivals_per_round: lambda,
+            departure_prob: mu,
+            warmup: rounds / 4,
+        }
+    }
+
+    #[test]
+    fn underloaded_system_stays_mostly_satisfied() {
+        // capacity 64 × 10 = 640; steady-state active ≈ λ/μ = 8/0.05 = 160
+        let out = run_open_system(
+            &[10u32; 64],
+            1000,
+            &SlackDamped::default(),
+            cfg(400, 8.0, 0.05),
+        );
+        assert!(out.mean_active > 100.0, "mean active {}", out.mean_active);
+        assert!(
+            out.mean_unsatisfied_frac < 0.05,
+            "unsatisfied fraction {}",
+            out.mean_unsatisfied_frac
+        );
+    }
+
+    #[test]
+    fn zero_arrivals_is_empty_and_satisfied() {
+        let out = run_open_system(&[5u32; 4], 10, &SlackDamped::default(), cfg(50, 0.0, 0.1));
+        assert_eq!(out.mean_active, 0.0);
+        assert_eq!(out.mean_unsatisfied_frac, 0.0);
+        assert!(out.series.iter().all(|s| s.unsatisfied == 0));
+    }
+
+    #[test]
+    fn pool_exhaustion_caps_arrivals() {
+        let out = run_open_system(&[100u32; 4], 8, &SlackDamped::default(), cfg(100, 5.0, 0.0));
+        // no departures: active saturates at the pool size
+        assert!(out.series.last().unwrap().active == 8);
+    }
+
+    #[test]
+    fn fractional_rates_accumulate() {
+        let out = run_open_system(&[100u32; 4], 100, &SlackDamped::default(), cfg(10, 0.5, 0.0));
+        // 10 rounds × 0.5 → 5 arrivals
+        assert_eq!(out.series.last().unwrap().active, 5);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = run_open_system(&[10u32; 8], 100, &SlackDamped::default(), cfg(60, 2.0, 0.1));
+        let b = run_open_system(&[10u32; 8], 100, &SlackDamped::default(), cfg(60, 2.0, 0.1));
+        assert_eq!(a.series, b.series);
+    }
+
+    #[test]
+    #[should_panic(expected = "departure probability")]
+    fn bad_departure_prob_rejected() {
+        let _ = run_open_system(&[1u32], 1, &SlackDamped::default(), cfg(1, 0.0, 1.5));
+    }
+}

@@ -1,0 +1,139 @@
+//! Round loop for the weighted model.
+
+use qlb_core::weighted::{
+    decide_weighted_round_into, WeightedInstance, WeightedProtocol, WeightedState,
+};
+use qlb_core::Move;
+
+/// Result of a weighted run.
+#[derive(Debug, Clone)]
+pub struct WeightedOutcome {
+    /// True iff a legal state was reached within the budget.
+    pub converged: bool,
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Total migrations.
+    pub migrations: u64,
+    /// Total *weight* moved (`Σ` over migrations of the mover's demand) —
+    /// the transfer-cost metric of the weighted model.
+    pub weight_moved: u64,
+    /// Final state.
+    pub state: WeightedState,
+}
+
+/// Run a weighted protocol until legal or out of rounds (sequential; the
+/// decisions are order-independent exactly as in the unit model, so a
+/// sharded executor would produce the same trajectory).
+pub fn run_weighted<P: WeightedProtocol + ?Sized>(
+    inst: &WeightedInstance,
+    mut state: WeightedState,
+    proto: &P,
+    seed: u64,
+    max_rounds: u64,
+) -> WeightedOutcome {
+    let mut moves: Vec<Move> = Vec::new();
+    let mut rounds = 0u64;
+    let mut migrations = 0u64;
+    let mut weight_moved = 0u64;
+    let mut converged = state.is_legal(inst);
+    while !converged && rounds < max_rounds {
+        decide_weighted_round_into(inst, &state, proto, seed, rounds, &mut moves);
+        weight_moved += moves.iter().map(|mv| inst.weight(mv.user)).sum::<u64>();
+        state.apply_moves(inst, &moves);
+        migrations += moves.len() as u64;
+        rounds += 1;
+        converged = state.is_legal(inst);
+    }
+    WeightedOutcome {
+        converged,
+        rounds,
+        migrations,
+        weight_moved,
+        state,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qlb_core::weighted::{WeightedConditional, WeightedSlackDamped};
+    use qlb_core::ResourceId;
+
+    #[test]
+    fn weighted_crowd_converges() {
+        // 96 users of weight 2, caps 6 × 64 resources → γ = 2
+        let inst = WeightedInstance::new(vec![6; 64], vec![2; 96]).unwrap();
+        let state = WeightedState::all_on(&inst, ResourceId(0));
+        let out = run_weighted(&inst, state, &WeightedSlackDamped::default(), 3, 10_000);
+        assert!(out.converged, "took {} rounds", out.rounds);
+        assert!(out.state.is_legal(&inst));
+        assert_eq!(out.weight_moved, out.migrations * 2);
+    }
+
+    #[test]
+    fn mixed_weights_converge_with_slack() {
+        let mut weights = vec![1u32; 120];
+        weights.extend(vec![4u32; 30]); // total 240
+        let inst = WeightedInstance::new(vec![10; 36], weights).unwrap(); // cap 360
+        let state = WeightedState::all_on(&inst, ResourceId(0));
+        let out = run_weighted(&inst, state, &WeightedSlackDamped::default(), 5, 100_000);
+        assert!(out.converged, "took {} rounds", out.rounds);
+    }
+
+    #[test]
+    fn already_legal_is_zero_rounds() {
+        let inst = WeightedInstance::new(vec![10, 10], vec![5, 5]).unwrap();
+        let state =
+            WeightedState::new(&inst, vec![ResourceId(0), ResourceId(1)]).unwrap();
+        let out = run_weighted(&inst, state, &WeightedConditional, 1, 100);
+        assert!(out.converged);
+        assert_eq!(out.rounds, 0);
+        assert_eq!(out.weight_moved, 0);
+    }
+
+    #[test]
+    fn budget_respected() {
+        let inst = WeightedInstance::new(vec![4; 16], vec![2; 24]).unwrap();
+        let state = WeightedState::all_on(&inst, ResourceId(0));
+        let out = run_weighted(&inst, state, &WeightedSlackDamped::default(), 1, 1);
+        assert_eq!(out.rounds, 1);
+        assert!(!out.converged);
+    }
+
+    #[test]
+    fn deterministic() {
+        let inst = WeightedInstance::new(vec![8; 32], vec![3; 48]).unwrap();
+        let s = WeightedState::all_on(&inst, ResourceId(0));
+        let a = run_weighted(&inst, s.clone(), &WeightedSlackDamped::default(), 9, 10_000);
+        let b = run_weighted(&inst, s, &WeightedSlackDamped::default(), 9, 10_000);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.state, b.state);
+    }
+
+    #[test]
+    fn unit_weights_reproduce_unit_model_run() {
+        use qlb_core::{Instance, SlackDamped, State};
+        let n = 128;
+        let m = 16;
+        let cap = 10;
+        let wi = WeightedInstance::unit(n, m, cap as u64).unwrap();
+        let ui = Instance::uniform(n, m, cap).unwrap();
+        let w_out = run_weighted(
+            &wi,
+            WeightedState::all_on(&wi, ResourceId(0)),
+            &WeightedSlackDamped::default(),
+            7,
+            10_000,
+        );
+        let u_out = crate::run(
+            &ui,
+            State::all_on(&ui, ResourceId(0)),
+            &SlackDamped::default(),
+            crate::RunConfig::new(7, 10_000),
+        );
+        assert_eq!(w_out.rounds, u_out.rounds);
+        assert_eq!(w_out.migrations, u_out.migrations);
+        let unit_loads: Vec<u64> = u_out.state.loads().iter().map(|&x| x as u64).collect();
+        assert_eq!(w_out.state.loads(), &unit_loads[..]);
+    }
+}

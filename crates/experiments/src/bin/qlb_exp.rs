@@ -1,0 +1,94 @@
+//! `qlb-exp` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! qlb-exp --all [--quick] [--out results/]   # every experiment
+//! qlb-exp E1 E5 [--quick]                    # selected experiments
+//! qlb-exp --list                             # what exists
+//! ```
+//!
+//! Markdown goes to stdout; each table is also written as CSV into the
+//! output directory (default `results/`).
+
+use qlb_experiments::{run_experiment, ExperimentResult, EXPERIMENT_IDS};
+use std::io::Write;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") || args.is_empty() {
+        print_help();
+        return;
+    }
+    if args.iter().any(|a| a == "--list") {
+        for id in EXPERIMENT_IDS {
+            println!("{id}");
+        }
+        return;
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_dir: PathBuf = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"));
+
+    let selected: Vec<String> = if args.iter().any(|a| a == "--all") {
+        EXPERIMENT_IDS.iter().map(|s| s.to_string()).collect()
+    } else {
+        args.iter()
+            .filter(|a| !a.starts_with("--"))
+            .filter(|a| Some(a.as_str()) != args.iter().position(|x| x == "--out").and_then(|i| args.get(i + 1)).map(|s| s.as_str()))
+            .cloned()
+            .collect()
+    };
+    if selected.is_empty() {
+        eprintln!("no experiments selected; try --all or --list");
+        std::process::exit(2);
+    }
+
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    let mut failures = 0;
+    for id in &selected {
+        match run_experiment(id, quick) {
+            Some(result) => emit(&result, &out_dir),
+            None => {
+                eprintln!("unknown experiment id: {id}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}
+
+fn emit(result: &ExperimentResult, out_dir: &std::path::Path) {
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    writeln!(out, "\n## {} ({}) — {}\n", result.id, result.artifact, result.title).unwrap();
+    for (i, table) in result.tables.iter().enumerate() {
+        writeln!(out, "{}", table.to_markdown()).unwrap();
+        let suffix = if result.tables.len() > 1 {
+            format!("-{}", i + 1)
+        } else {
+            String::new()
+        };
+        let path = out_dir.join(format!("{}{}.csv", result.id.to_lowercase(), suffix));
+        std::fs::write(&path, table.to_csv()).expect("write csv");
+        writeln!(out, "_CSV: {}_\n", path.display()).unwrap();
+    }
+    for note in &result.notes {
+        writeln!(out, "> {note}").unwrap();
+    }
+}
+
+fn print_help() {
+    println!(
+        "qlb-exp — regenerate the evaluation tables/figures\n\n\
+         USAGE:\n  qlb-exp --all [--quick] [--out DIR]\n  qlb-exp E1 E2 ... [--quick]\n  \
+         qlb-exp --list\n\nOPTIONS:\n  --all     run every experiment (E1–E12)\n  \
+         --quick   small sizes / few seeds (seconds instead of minutes)\n  \
+         --out DIR CSV output directory (default: results/)\n  --list    list experiment ids"
+    );
+}

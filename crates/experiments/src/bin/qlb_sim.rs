@@ -1,0 +1,197 @@
+//! `qlb-sim` — run one scenario from a JSON file (or a built-in preset)
+//! with a chosen protocol and executor, and print the outcome.
+//!
+//! The "downstream adoption" tool: simulate *your* fleet without writing
+//! Rust.
+//!
+//! ```text
+//! qlb-sim --preset flash-crowd                 # built-in demo scenario
+//! qlb-sim --scenario fleet.json --seed 7       # your scenario
+//! qlb-sim --scenario fleet.json --protocol conditional --executor runtime
+//! qlb-sim --emit-preset > fleet.json           # starting template
+//! ```
+
+use qlb_core::{
+    BlindUniform, ConditionalUniform, Protocol, SlackDamped, SlackDampedCapacitySampling,
+    ThresholdLevels,
+};
+use qlb_topo::{Graph, GraphDiffusion};
+use qlb_engine::{run, RunConfig};
+use qlb_runtime::{run_distributed, RuntimeConfig};
+use qlb_stats::sparkline_fit;
+use qlb_workload::{CapacityDist, Placement, Scenario};
+use std::process::exit;
+
+fn preset() -> Scenario {
+    Scenario::single_class(
+        "flash-crowd",
+        8192,
+        1024,
+        CapacityDist::Bimodal {
+            small: 4,
+            large: 60,
+            frac_large: 0.1,
+        },
+        1.25,
+        Placement::Hotspot,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        print_help();
+        return;
+    }
+    if args.iter().any(|a| a == "--emit-preset") {
+        println!("{}", preset().to_json());
+        return;
+    }
+
+    let get = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+
+    let scenario = if let Some(path) = get("--scenario") {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            exit(2);
+        });
+        Scenario::from_json(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse {path}: {e}");
+            exit(2);
+        })
+    } else if get("--preset").as_deref() == Some("flash-crowd") || args.iter().any(|a| a == "--preset") {
+        preset()
+    } else {
+        eprintln!("need --scenario FILE or --preset flash-crowd");
+        exit(2);
+    };
+
+    let seed: u64 = get("--seed").map_or(0, |s| {
+        s.parse().unwrap_or_else(|_| {
+            eprintln!("bad --seed");
+            exit(2)
+        })
+    });
+    let max_rounds: u64 = get("--max-rounds").map_or(100_000, |s| {
+        s.parse().unwrap_or_else(|_| {
+            eprintln!("bad --max-rounds");
+            exit(2)
+        })
+    });
+
+    let (inst, state) = scenario.build(seed).unwrap_or_else(|e| {
+        eprintln!("scenario infeasible or invalid: {e}");
+        exit(1);
+    });
+
+    // Optional topology restriction: users only probe graph neighbours
+    // (forces the diffusion kernel, which handles sparse graphs).
+    let topology = get("--topology").map(|t| {
+        let m = inst.num_resources();
+        match t.as_str() {
+            "ring" => Graph::ring(m),
+            "torus" => {
+                let side = (m as f64).sqrt() as usize;
+                if side * side != m {
+                    eprintln!("--topology torus needs a square resource count (m = {m})");
+                    exit(2);
+                }
+                Graph::torus(side, side)
+            }
+            "complete" => Graph::complete(m),
+            other => {
+                eprintln!("unknown topology {other}; choose ring | torus | complete");
+                exit(2);
+            }
+        }
+    });
+
+    let proto_name = get("--protocol").unwrap_or_else(|| "slack-damped".into());
+    let proto: Box<dyn Protocol> = if let Some(graph) = topology {
+        println!(
+            "topology: {} vertices, mean degree {:.1}, diameter {:?} (graph-diffusion kernel)",
+            graph.num_vertices(),
+            graph.mean_degree(),
+            graph.diameter()
+        );
+        Box::new(GraphDiffusion::new(graph))
+    } else {
+        match proto_name.as_str() {
+            "blind" => Box::new(BlindUniform),
+            "conditional" => Box::new(ConditionalUniform),
+            "slack-damped" => Box::new(SlackDamped::default()),
+            "capacity-sampling" => Box::new(SlackDampedCapacitySampling::new(&inst)),
+            "levels" => Box::new(ThresholdLevels::new(inst.num_classes() as u32)),
+            other => {
+                eprintln!(
+                    "unknown protocol {other}; choose blind | conditional | slack-damped | \
+                     capacity-sampling | levels"
+                );
+                exit(2);
+            }
+        }
+    };
+
+    println!(
+        "scenario '{}': n = {}, m = {}, classes = {}, seed {seed}, protocol {}",
+        scenario.name,
+        inst.num_users(),
+        inst.num_resources(),
+        inst.num_classes(),
+        proto.name(),
+    );
+
+    match get("--executor").as_deref().unwrap_or("engine") {
+        "engine" => {
+            let out = run(
+                &inst,
+                state,
+                proto.as_ref(),
+                RunConfig::new(seed, max_rounds).with_trace(),
+            );
+            let trace = out.trace.expect("trace requested");
+            let unsat: Vec<f64> = trace.rounds.iter().map(|r| r.unsatisfied as f64).collect();
+            println!("unsatisfied over rounds: {}", sparkline_fit(&unsat, 60));
+            report(out.converged, out.rounds, out.migrations);
+        }
+        "runtime" => {
+            let out = run_distributed(
+                &inst,
+                state,
+                proto.as_ref(),
+                RuntimeConfig::new(seed, max_rounds).with_shards(4, 2),
+            );
+            println!("messages exchanged: {}", out.messages);
+            report(out.converged, out.rounds, out.migrations);
+        }
+        other => {
+            eprintln!("unknown executor {other}; choose engine | runtime");
+            exit(2);
+        }
+    }
+}
+
+fn report(converged: bool, rounds: u64, migrations: u64) {
+    if converged {
+        println!("CONVERGED in {rounds} rounds with {migrations} migrations");
+    } else {
+        println!("NOT converged within the budget ({rounds} rounds, {migrations} migrations)");
+        exit(1);
+    }
+}
+
+fn print_help() {
+    println!(
+        "qlb-sim — run a QoS load-balancing scenario\n\n\
+         USAGE:\n  qlb-sim --scenario FILE [--seed N] [--protocol P] [--executor E] [--max-rounds N]\n  \
+         qlb-sim --preset flash-crowd\n  qlb-sim --emit-preset > fleet.json\n\n\
+         PROTOCOLS: blind | conditional | slack-damped (default) | capacity-sampling | levels\n\
+         TOPOLOGY:  --topology ring | torus | complete (neighbour-restricted diffusion)\n\
+         EXECUTORS: engine (default) | runtime"
+    );
+}

@@ -1,0 +1,135 @@
+//! Shared harness helpers.
+
+use qlb_core::{Instance, Protocol, State};
+use qlb_engine::{run, RunConfig, RunOutcome};
+use qlb_stats::Summary;
+use qlb_workload::Scenario;
+
+/// A protocol factory: some protocols (capacity-proportional sampling) are
+/// built per instance.
+pub type ProtoFactory<'a> = &'a dyn Fn(&Instance) -> Box<dyn Protocol>;
+
+/// Aggregated convergence measurements over seeds.
+#[derive(Debug, Clone)]
+pub struct SeedSweep {
+    /// Rounds-to-convergence (converged runs only).
+    pub rounds: Summary,
+    /// Migrations (converged runs only).
+    pub migrations: Summary,
+    /// Converged runs out of total.
+    pub converged: u32,
+    /// Total runs.
+    pub total: u32,
+}
+
+impl SeedSweep {
+    /// Fraction of runs that converged.
+    pub fn converged_frac(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.converged as f64 / self.total as f64
+        }
+    }
+}
+
+/// Run `scenario` once per seed with the protocol from `factory`, collecting
+/// rounds/migrations of converged runs.
+pub fn sweep_scenario(
+    scenario: &Scenario,
+    factory: ProtoFactory,
+    seeds: u32,
+    max_rounds: u64,
+) -> SeedSweep {
+    let mut rounds = Summary::new();
+    let mut migrations = Summary::new();
+    let mut converged = 0u32;
+    for seed in 0..seeds as u64 {
+        let (inst, state) = scenario
+            .build(seed)
+            .unwrap_or_else(|e| panic!("scenario {}: {e}", scenario.name));
+        let proto = factory(&inst);
+        let out = run(&inst, state, proto.as_ref(), RunConfig::new(seed, max_rounds));
+        if out.converged {
+            converged += 1;
+            rounds.push(out.rounds as f64);
+            migrations.push(out.migrations as f64);
+        }
+    }
+    SeedSweep {
+        rounds,
+        migrations,
+        converged,
+        total: seeds,
+    }
+}
+
+/// Run a single prepared `(instance, state)` pair once.
+pub fn run_once(
+    inst: &Instance,
+    state: State,
+    proto: &dyn Protocol,
+    seed: u64,
+    max_rounds: u64,
+) -> RunOutcome {
+    run(inst, state, proto, RunConfig::new(seed, max_rounds))
+}
+
+/// `mean ± ci` cell text.
+pub fn mean_ci(s: &Summary) -> String {
+    format!("{:.1} ± {:.1}", s.mean(), s.ci95())
+}
+
+/// `x.y%` cell text.
+pub fn pct(frac: f64) -> String {
+    format!("{:.0}%", frac * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qlb_core::SlackDamped;
+    use qlb_workload::{CapacityDist, Placement};
+
+    #[test]
+    fn sweep_counts_convergence() {
+        let sc = Scenario::single_class(
+            "t",
+            128,
+            16,
+            CapacityDist::Constant { cap: 10 },
+            1.25,
+            Placement::Hotspot,
+        );
+        let sweep = sweep_scenario(&sc, &|_| Box::new(SlackDamped::default()), 5, 10_000);
+        assert_eq!(sweep.total, 5);
+        assert_eq!(sweep.converged, 5);
+        assert_eq!(sweep.converged_frac(), 1.0);
+        assert!(sweep.rounds.mean() > 0.0);
+        assert!(sweep.migrations.mean() >= 118.0); // most users leave r0
+    }
+
+    #[test]
+    fn sweep_reports_failures() {
+        // cap the budget to 1 round: nothing converges
+        let sc = Scenario::single_class(
+            "t",
+            128,
+            16,
+            CapacityDist::Constant { cap: 10 },
+            1.25,
+            Placement::Hotspot,
+        );
+        let sweep = sweep_scenario(&sc, &|_| Box::new(SlackDamped::default()), 3, 1);
+        assert_eq!(sweep.converged, 0);
+        assert_eq!(sweep.converged_frac(), 0.0);
+        assert_eq!(sweep.rounds.count(), 0);
+    }
+
+    #[test]
+    fn cells_format() {
+        let s = Summary::of([10.0, 12.0, 14.0]);
+        assert!(mean_ci(&s).contains("12.0 ±"));
+        assert_eq!(pct(0.25), "25%");
+    }
+}

@@ -1,0 +1,85 @@
+//! **E2 / Table 2 — convergence vs slack factor `γ`.**
+//!
+//! Reconstructed claims T1/T2: the `O(log n)` bound needs `γ` bounded away
+//! from 1; as `γ → 1` the tail of the process (filling the last free slots)
+//! dominates and convergence degrades smoothly, with the zero-slack case
+//! (`γ = 1`, `Δ = 0`) polynomially slower — a coupon-collector effect. The
+//! table sweeps `γ` at fixed `n` and reports the degradation curve.
+
+use crate::common::{mean_ci, pct, sweep_scenario};
+use crate::ExperimentResult;
+use qlb_core::SlackDamped;
+use qlb_stats::Table;
+use qlb_workload::{CapacityDist, Placement, Scenario};
+
+/// Run E2.
+pub fn run(quick: bool) -> ExperimentResult {
+    let (n, seeds, max_rounds) = if quick {
+        (1usize << 10, 5u32, 100_000u64)
+    } else {
+        (1usize << 14, 20, 1_000_000)
+    };
+    let m = n / 8;
+    let gammas = [1.0, 1.01, 1.05, 1.1, 1.25, 1.5, 2.0];
+
+    let mut table = Table::new(
+        format!("Table 2 — rounds vs slack factor γ (slack-damped, n = {n}, m = {m}, hotspot)"),
+        &["γ", "Δ = Σc − n", "rounds (mean ± 95% CI)", "p-max", "converged"],
+    );
+    let mut notes = Vec::new();
+    let mut prev_mean = None;
+
+    for &gamma in &gammas {
+        let sc = Scenario::single_class(
+            format!("e2-g{gamma}"),
+            n,
+            m,
+            CapacityDist::Constant { cap: 8 },
+            gamma,
+            Placement::Hotspot,
+        );
+        let sweep = sweep_scenario(&sc, &|_| Box::new(SlackDamped::default()), seeds, max_rounds);
+        let delta = ((gamma * n as f64).ceil() as i64) - n as i64;
+        table.row(vec![
+            format!("{gamma:.2}"),
+            delta.to_string(),
+            mean_ci(&sweep.rounds),
+            format!("{:.0}", sweep.rounds.max()),
+            pct(sweep.converged_frac()),
+        ]);
+        if let Some(prev) = prev_mean {
+            if sweep.rounds.mean() > prev {
+                notes.push(format!(
+                    "non-monotonicity: γ = {gamma} slower than the next-tighter slack"
+                ));
+            }
+        }
+        prev_mean = Some(sweep.rounds.mean());
+    }
+
+    notes.push(
+        "shape check: rounds decrease monotonically (up to CI noise) as γ grows; \
+         γ = 1.00 is the heaviest row (zero-slack tail)"
+            .to_string(),
+    );
+
+    ExperimentResult {
+        id: "E2",
+        artifact: "Table 2",
+        title: "Convergence vs slack factor (degradation toward zero slack)",
+        tables: vec![table],
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_shape() {
+        let res = run(true);
+        assert_eq!(res.tables[0].num_rows(), 7);
+        assert_eq!(res.artifact, "Table 2");
+    }
+}

@@ -1,0 +1,106 @@
+//! **E7 / Table 5 — bounded asynchrony (outdated observations).**
+//!
+//! Reconstructed claim T4: with observations up to `D` rounds stale, the
+//! protocol still converges, paying at most an `O(D)`-factor slowdown. The
+//! table runs the *actor runtime* (real message passing) with delay bounds
+//! `D ∈ {0, 1, 2, 4, 8}`; `D = 0` doubles as the engine-equivalence anchor.
+
+use crate::ExperimentResult;
+use qlb_core::{ResourceId, SlackDamped, State};
+use qlb_runtime::{run_distributed, RuntimeConfig};
+use qlb_stats::{Summary, Table};
+use qlb_workload::{CapacityDist, Placement, Scenario};
+
+/// Run E7.
+pub fn run(quick: bool) -> ExperimentResult {
+    let (n, seeds) = if quick { (1usize << 9, 3u32) } else { (1usize << 12, 10) };
+    let m = n / 8;
+    let delays = [0u64, 1, 2, 4, 8];
+    let max_rounds = 200_000;
+
+    let sc = Scenario::single_class(
+        "e7",
+        n,
+        m,
+        CapacityDist::Constant { cap: 10 },
+        1.25,
+        Placement::Hotspot,
+    );
+
+    let mut table = Table::new(
+        format!(
+            "Table 5 — actor runtime under observation delay D (n = {n}, m = {m}, γ = 1.25, \
+             4 user shards × 2 resource shards)"
+        ),
+        &["D", "rounds (mean ± CI)", "slowdown vs D=0", "migrations (mean)", "messages/round", "converged"],
+    );
+    let mut base_mean = None;
+    let mut notes = Vec::new();
+
+    for &d in &delays {
+        let mut rounds = Summary::new();
+        let mut migrations = Summary::new();
+        let mut msg_per_round = Summary::new();
+        let mut converged = 0u32;
+        for seed in 0..seeds as u64 {
+            let (inst, _) = sc.build(seed).expect("feasible");
+            let state = State::all_on(&inst, ResourceId(0));
+            let out = run_distributed(
+                &inst,
+                state,
+                &SlackDamped::default(),
+                RuntimeConfig::new(seed, max_rounds)
+                    .with_shards(4, 2)
+                    .with_max_delay(d),
+            );
+            if out.converged {
+                converged += 1;
+                rounds.push(out.rounds as f64);
+                migrations.push(out.migrations as f64);
+                msg_per_round.push(out.messages as f64 / (out.rounds.max(1)) as f64);
+            }
+        }
+        let slowdown = base_mean.map_or("1.00×".to_string(), |b: f64| {
+            format!("{:.2}×", rounds.mean() / b)
+        });
+        if base_mean.is_none() {
+            base_mean = Some(rounds.mean());
+        }
+        table.row(vec![
+            d.to_string(),
+            format!("{:.1} ± {:.1}", rounds.mean(), rounds.ci95()),
+            slowdown,
+            format!("{:.0}", migrations.mean()),
+            format!("{:.0}", msg_per_round.mean()),
+            format!("{converged}/{seeds}"),
+        ]);
+        if d == 8 {
+            let factor = rounds.mean() / base_mean.unwrap_or(1.0);
+            notes.push(format!(
+                "shape check: D = 8 slows convergence by {factor:.2}× (graceful, not divergent); \
+                 expected O(D) ⇒ factor ≲ 8: {}",
+                if factor <= 10.0 { "PASS" } else { "FAIL" }
+            ));
+        }
+    }
+
+    ExperimentResult {
+        id: "E7",
+        artifact: "Table 5",
+        title: "Bounded asynchrony on the message-passing runtime",
+        tables: vec![table],
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_shape() {
+        let res = run(true);
+        assert_eq!(res.tables[0].num_rows(), 5);
+        assert!(!res.notes.is_empty());
+    }
+}

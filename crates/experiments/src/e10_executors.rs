@@ -1,0 +1,122 @@
+//! **E10 / Table 8 — executor equivalence and parallel scaling.**
+//!
+//! The determinism pillar: the sequential engine, the threaded engine (1–8
+//! threads) and the synchronous actor runtime must produce *identical*
+//! trajectories (rounds, migrations, final state) for the same seed, because
+//! decisions are pure functions of `(seed, user, round)`. The table asserts
+//! equivalence and reports wall-clock times (the HPC side: decision rounds
+//! are embarrassingly parallel).
+
+use crate::ExperimentResult;
+use qlb_core::{ResourceId, SlackDamped, State};
+use qlb_engine::{run as engine_run, run_threaded, RunConfig};
+use qlb_runtime::{run_distributed, RuntimeConfig};
+use qlb_stats::Table;
+use qlb_workload::{CapacityDist, Placement, Scenario};
+use std::time::Instant;
+
+/// Run E10.
+pub fn run(quick: bool) -> ExperimentResult {
+    let n = if quick { 1usize << 12 } else { 1usize << 17 };
+    let m = n / 8;
+    let seed = 2024;
+    let max_rounds = 100_000;
+
+    let sc = Scenario::single_class(
+        "e10",
+        n,
+        m,
+        CapacityDist::Constant { cap: 10 },
+        1.25,
+        Placement::Hotspot,
+    );
+    let (inst, _) = sc.build(seed).expect("feasible");
+    let start_state = State::all_on(&inst, ResourceId(0));
+    let proto = SlackDamped::default();
+
+    let mut table = Table::new(
+        format!("Table 8 — executor equivalence & scaling (n = {n}, m = {m}, γ = 1.25, seed {seed})"),
+        &["executor", "rounds", "migrations", "state identical", "wall time (ms)"],
+    );
+
+    // Reference: sequential engine.
+    let t0 = Instant::now();
+    let reference = engine_run(&inst, start_state.clone(), &proto, RunConfig::new(seed, max_rounds));
+    let ref_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(reference.converged);
+    table.row(vec![
+        "engine (sequential)".into(),
+        reference.rounds.to_string(),
+        reference.migrations.to_string(),
+        "reference".into(),
+        format!("{ref_ms:.1}"),
+    ]);
+
+    let mut all_equal = true;
+    for threads in [1usize, 2, 4, 8] {
+        let t0 = Instant::now();
+        let out = run_threaded(
+            &inst,
+            start_state.clone(),
+            &proto,
+            RunConfig::new(seed, max_rounds),
+            threads,
+        );
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        let same =
+            out.rounds == reference.rounds && out.migrations == reference.migrations && out.state == reference.state;
+        all_equal &= same;
+        table.row(vec![
+            format!("engine ({threads} threads)"),
+            out.rounds.to_string(),
+            out.migrations.to_string(),
+            if same { "yes" } else { "NO" }.into(),
+            format!("{ms:.1}"),
+        ]);
+    }
+
+    let t0 = Instant::now();
+    let dist = run_distributed(
+        &inst,
+        start_state,
+        &proto,
+        RuntimeConfig::new(seed, max_rounds).with_shards(4, 2),
+    );
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    let same = dist.rounds == reference.rounds
+        && dist.migrations == reference.migrations
+        && dist.state == reference.state;
+    all_equal &= same;
+    table.row(vec![
+        "actor runtime (4×2 shards, sync)".into(),
+        dist.rounds.to_string(),
+        dist.migrations.to_string(),
+        if same { "yes" } else { "NO" }.into(),
+        format!("{ms:.1}"),
+    ]);
+
+    let notes = vec![format!(
+        "equivalence check: all executors bit-identical to the sequential reference: {}",
+        if all_equal { "PASS" } else { "FAIL" }
+    )];
+
+    ExperimentResult {
+        id: "E10",
+        artifact: "Table 8",
+        title: "Executor equivalence and parallel scaling",
+        tables: vec![table],
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_equivalence_passes() {
+        let res = run(true);
+        assert!(res.notes[0].contains("PASS"), "{:?}", res.notes);
+        assert_eq!(res.tables[0].num_rows(), 6);
+    }
+}

@@ -1,0 +1,121 @@
+//! # qlb-experiments — the paper's evaluation, regenerated
+//!
+//! One module per experiment (table or figure), each listed in the
+//! repository's `DESIGN.md` per-experiment index and recorded in
+//! `EXPERIMENTS.md`. Every experiment:
+//!
+//! * is a pure function of its parameters and seeds (reproducible rows);
+//! * has a `quick` mode (used by tests and Criterion benches) and a full
+//!   mode (used to regenerate `EXPERIMENTS.md`);
+//! * emits [`qlb_stats::Table`]s — Markdown to stdout, CSV to `results/`.
+//!
+//! Run everything with:
+//!
+//! ```text
+//! cargo run --release -p qlb-experiments --bin qlb-exp -- --all
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod e01_scaling;
+pub mod e02_slack;
+pub mod e03_potential;
+pub mod e04_herding;
+pub mod e05_skew;
+pub mod e06_churn;
+pub mod e07_async;
+pub mod e08_classes;
+pub mod e09_migrations;
+pub mod e10_executors;
+pub mod e11_feasibility;
+pub mod e12_fairness;
+pub mod e13_weighted;
+pub mod e14_open;
+pub mod e15_damping;
+pub mod e16_loss;
+pub mod e17_topology;
+pub mod e18_exact;
+pub mod e19_participation;
+pub mod e20_quality;
+
+use qlb_stats::Table;
+
+/// Output of one experiment.
+#[derive(Debug)]
+pub struct ExperimentResult {
+    /// Stable id, e.g. `"E1"`.
+    pub id: &'static str,
+    /// The artifact it regenerates, e.g. `"Table 1"`.
+    pub artifact: &'static str,
+    /// One-line description.
+    pub title: &'static str,
+    /// The data (one or more tables; figures are emitted as series tables).
+    pub tables: Vec<Table>,
+    /// Free-form observations recorded alongside the tables (fit slopes,
+    /// pass/fail of shape checks, ...).
+    pub notes: Vec<String>,
+}
+
+/// All experiment ids in order.
+pub const EXPERIMENT_IDS: [&str; 20] = [
+    "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14",
+    "E15", "E16", "E17", "E18", "E19", "E20",
+];
+
+/// Run one experiment by id. `quick` shrinks sizes/seed counts so the whole
+/// suite finishes in seconds (tests, benches); full mode regenerates the
+/// numbers recorded in `EXPERIMENTS.md`.
+pub fn run_experiment(id: &str, quick: bool) -> Option<ExperimentResult> {
+    match id.to_ascii_uppercase().as_str() {
+        "E1" => Some(e01_scaling::run(quick)),
+        "E2" => Some(e02_slack::run(quick)),
+        "E3" => Some(e03_potential::run(quick)),
+        "E4" => Some(e04_herding::run(quick)),
+        "E5" => Some(e05_skew::run(quick)),
+        "E6" => Some(e06_churn::run(quick)),
+        "E7" => Some(e07_async::run(quick)),
+        "E8" => Some(e08_classes::run(quick)),
+        "E9" => Some(e09_migrations::run(quick)),
+        "E10" => Some(e10_executors::run(quick)),
+        "E11" => Some(e11_feasibility::run(quick)),
+        "E12" => Some(e12_fairness::run(quick)),
+        "E13" => Some(e13_weighted::run(quick)),
+        "E14" => Some(e14_open::run(quick)),
+        "E15" => Some(e15_damping::run(quick)),
+        "E16" => Some(e16_loss::run(quick)),
+        "E17" => Some(e17_topology::run(quick)),
+        "E18" => Some(e18_exact::run(quick)),
+        "E19" => Some(e19_participation::run(quick)),
+        "E20" => Some(e20_quality::run(quick)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_id_is_none() {
+        assert!(run_experiment("E99", true).is_none());
+        assert!(run_experiment("nonsense", true).is_none());
+    }
+
+    #[test]
+    fn ids_are_case_insensitive() {
+        assert!(run_experiment("e1", true).is_some());
+    }
+
+    #[test]
+    fn every_listed_experiment_runs_quick() {
+        for id in EXPERIMENT_IDS {
+            let res = run_experiment(id, true).unwrap_or_else(|| panic!("{id} missing"));
+            assert_eq!(res.id, id);
+            assert!(!res.tables.is_empty(), "{id} produced no tables");
+            for t in &res.tables {
+                assert!(t.num_rows() > 0, "{id} produced an empty table");
+            }
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Dinic's maximum-flow algorithm.
+//!
+//! Standard adjacency-list residual graph with paired forward/backward
+//! edges, BFS level graph + DFS blocking flow. Complexity `O(V²E)` in
+//! general and `O(E·√V)` on unit-capacity bipartite graphs — the regime the
+//! feasibility oracle uses.
+
+/// Node index in a [`FlowNetwork`].
+pub type NodeId = usize;
+
+/// Identifier of an edge returned by [`FlowNetwork::add_edge`]; use it to
+/// query the routed flow after [`FlowNetwork::max_flow`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeId(usize);
+
+#[derive(Debug, Clone)]
+struct Edge {
+    to: NodeId,
+    /// Remaining residual capacity.
+    cap: u64,
+    /// Index of the reverse edge in `edges`.
+    rev: usize,
+    /// Original capacity (to report flow = orig − cap on forward edges).
+    orig: u64,
+}
+
+/// A flow network under construction / after a max-flow run.
+///
+/// ```
+/// use qlb_flow::FlowNetwork;
+/// let mut net = FlowNetwork::new(4);
+/// let s = 0; let t = 3;
+/// net.add_edge(s, 1, 10);
+/// net.add_edge(s, 2, 10);
+/// net.add_edge(1, 3, 7);
+/// net.add_edge(2, 3, 5);
+/// net.add_edge(1, 2, 3);
+/// assert_eq!(net.max_flow(s, t), 12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlowNetwork {
+    /// `adj[v]` = indices into `edges` of the edges leaving `v`.
+    adj: Vec<Vec<usize>>,
+    edges: Vec<Edge>,
+    // scratch buffers reused across runs
+    level: Vec<i32>,
+    iter: Vec<usize>,
+}
+
+impl FlowNetwork {
+    /// Network with `n` nodes (`0..n`) and no edges.
+    pub fn new(n: usize) -> Self {
+        Self {
+            adj: vec![Vec::new(); n],
+            edges: Vec::new(),
+            level: vec![-1; n],
+            iter: vec![0; n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Add a directed edge `from → to` with capacity `cap`.
+    ///
+    /// # Panics
+    /// Panics if a node index is out of range.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, cap: u64) -> EdgeId {
+        assert!(from < self.adj.len() && to < self.adj.len(), "node range");
+        let fwd = self.edges.len();
+        self.edges.push(Edge {
+            to,
+            cap,
+            rev: fwd + 1,
+            orig: cap,
+        });
+        self.edges.push(Edge {
+            to: from,
+            cap: 0,
+            rev: fwd,
+            orig: 0,
+        });
+        self.adj[from].push(fwd);
+        self.adj[to].push(fwd + 1);
+        EdgeId(fwd)
+    }
+
+    /// Flow routed through a forward edge after [`FlowNetwork::max_flow`].
+    pub fn edge_flow(&self, id: EdgeId) -> u64 {
+        let e = &self.edges[id.0];
+        e.orig - e.cap
+    }
+
+    fn bfs(&mut self, s: NodeId, t: NodeId) -> bool {
+        self.level.iter_mut().for_each(|l| *l = -1);
+        let mut queue = std::collections::VecDeque::new();
+        self.level[s] = 0;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            for &ei in &self.adj[v] {
+                let e = &self.edges[ei];
+                if e.cap > 0 && self.level[e.to] < 0 {
+                    self.level[e.to] = self.level[v] + 1;
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        self.level[t] >= 0
+    }
+
+    fn dfs(&mut self, v: NodeId, t: NodeId, f: u64) -> u64 {
+        if v == t {
+            return f;
+        }
+        while self.iter[v] < self.adj[v].len() {
+            let ei = self.adj[v][self.iter[v]];
+            let (to, cap) = {
+                let e = &self.edges[ei];
+                (e.to, e.cap)
+            };
+            if cap > 0 && self.level[v] < self.level[to] {
+                let d = self.dfs(to, t, f.min(cap));
+                if d > 0 {
+                    self.edges[ei].cap -= d;
+                    let rev = self.edges[ei].rev;
+                    self.edges[rev].cap += d;
+                    return d;
+                }
+            }
+            self.iter[v] += 1;
+        }
+        0
+    }
+
+    /// Compute the maximum `s → t` flow. May be called once per network
+    /// build (the residual graph is consumed); [`FlowNetwork::edge_flow`]
+    /// reports the per-edge routing afterwards.
+    ///
+    /// # Panics
+    /// Panics if `s == t`.
+    pub fn max_flow(&mut self, s: NodeId, t: NodeId) -> u64 {
+        assert_ne!(s, t, "source equals sink");
+        let mut flow = 0u64;
+        while self.bfs(s, t) {
+            self.iter.iter_mut().for_each(|i| *i = 0);
+            loop {
+                let f = self.dfs(s, t, u64::MAX);
+                if f == 0 {
+                    break;
+                }
+                flow += f;
+            }
+        }
+        flow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_edge() {
+        let mut net = FlowNetwork::new(2);
+        let e = net.add_edge(0, 1, 5);
+        assert_eq!(net.max_flow(0, 1), 5);
+        assert_eq!(net.edge_flow(e), 5);
+    }
+
+    #[test]
+    fn classic_diamond() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 10);
+        net.add_edge(0, 2, 10);
+        net.add_edge(1, 3, 7);
+        net.add_edge(2, 3, 5);
+        net.add_edge(1, 2, 3);
+        assert_eq!(net.max_flow(0, 3), 12);
+    }
+
+    #[test]
+    fn disconnected_is_zero() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 10);
+        assert_eq!(net.max_flow(0, 2), 0);
+    }
+
+    #[test]
+    fn respects_bottleneck() {
+        // chain 0 → 1 → 2 → 3 with caps 9, 2, 9
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 9);
+        let mid = net.add_edge(1, 2, 2);
+        net.add_edge(2, 3, 9);
+        assert_eq!(net.max_flow(0, 3), 2);
+        assert_eq!(net.edge_flow(mid), 2);
+    }
+
+    #[test]
+    fn needs_residual_edges() {
+        // The classic instance where a greedy augmenting path must be
+        // undone via the residual edge: two crossing paths.
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 1);
+        net.add_edge(0, 2, 1);
+        net.add_edge(1, 2, 1);
+        net.add_edge(1, 3, 1);
+        net.add_edge(2, 3, 1);
+        assert_eq!(net.max_flow(0, 3), 2);
+    }
+
+    #[test]
+    fn parallel_edges_accumulate() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, 3);
+        net.add_edge(0, 1, 4);
+        assert_eq!(net.max_flow(0, 1), 7);
+    }
+
+    #[test]
+    fn zero_capacity_edge_carries_nothing() {
+        let mut net = FlowNetwork::new(3);
+        let e = net.add_edge(0, 1, 0);
+        net.add_edge(1, 2, 5);
+        assert_eq!(net.max_flow(0, 2), 0);
+        assert_eq!(net.edge_flow(e), 0);
+    }
+
+    #[test]
+    fn flow_conservation_on_random_graph() {
+        use qlb_rng::{Rng64, SplitMix64};
+        let mut rng = SplitMix64::new(404);
+        for _case in 0..20 {
+            let n = 8;
+            let mut net = FlowNetwork::new(n);
+            let mut edge_ids = Vec::new();
+            for u in 0..n {
+                for v in 0..n {
+                    if u != v && rng.bernoulli(0.4) {
+                        let cap = rng.uniform(10);
+                        edge_ids.push((u, v, net.add_edge(u, v, cap)));
+                    }
+                }
+            }
+            let total = net.max_flow(0, n - 1);
+            // conservation: net out-flow at every internal node is zero
+            let mut balance = vec![0i64; n];
+            for &(u, v, id) in &edge_ids {
+                let f = net.edge_flow(id) as i64;
+                balance[u] -= f;
+                balance[v] += f;
+            }
+            assert_eq!(balance[0], -(total as i64));
+            assert_eq!(balance[n - 1], total as i64);
+            for b in &balance[1..n - 1] {
+                assert_eq!(*b, 0, "conservation violated");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "source equals sink")]
+    fn same_source_sink_panics() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, 1);
+        let _ = net.max_flow(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "node range")]
+    fn out_of_range_edge_panics() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 5, 1);
+    }
+
+    #[test]
+    fn large_capacities_do_not_overflow() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, u64::MAX / 4);
+        net.add_edge(1, 2, u64::MAX / 4);
+        assert_eq!(net.max_flow(0, 2), u64::MAX / 4);
+    }
+}

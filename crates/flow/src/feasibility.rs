@@ -1,0 +1,229 @@
+//! Exact feasibility for the eligibility flavour of QoS classes.
+//!
+//! Input convention (shared with `qlb-core::Instance`): `K` classes with
+//! `class_sizes[k]` users each, `m` resources, and a flattened
+//! effective-capacity table `eff_cap[k * m + r]`. A state is legal iff every
+//! resource's congestion is at most the effective capacity of every class
+//! present on it.
+//!
+//! The **eligibility structure** is the special case where each column `r`
+//! is *two-valued*: every class sees either `0` ("not permitted") or a
+//! common capacity `c_r`. Then legality decouples into "only permitted
+//! classes on `r`" plus "`x_r ≤ c_r`", and feasibility is exactly a
+//! transportation problem:
+//!
+//! ```text
+//!    source ──n_k──▶ class k ──∞──▶ resource r (permitted) ──c_r──▶ sink
+//! ```
+//!
+//! The instance is feasible iff the max flow saturates all source edges
+//! (`= Σ_k n_k`); the class→resource flows are per-class quotas from which a
+//! legal state can be materialized. For general tables (not two-valued)
+//! exact feasibility is NP-hard — see `DESIGN.md` — and this oracle
+//! declines rather than answer approximately.
+
+use crate::dinic::FlowNetwork;
+
+/// Outcome of the exact eligibility oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowFeasibility {
+    /// True iff a legal state exists.
+    pub feasible: bool,
+    /// Users the optimal fractional=integral routing can serve.
+    pub served: u64,
+    /// Total demand `Σ_k n_k`.
+    pub demand: u64,
+    /// Per-(class, resource) quotas of a maximum routing, flattened
+    /// `quotas[k * m + r]`. When `feasible`, materializing these quotas
+    /// yields a legal state.
+    pub quotas: Vec<u32>,
+}
+
+/// Detect the eligibility structure: if every column of `eff_cap` is
+/// two-valued (`0` or a common `c_r`), return the per-resource capacities
+/// `c_r`; otherwise `None`.
+///
+/// A column of all zeros yields `c_r = 0` (a dead resource).
+pub fn eligibility_caps(eff_cap: &[u32], num_classes: usize, m: usize) -> Option<Vec<u32>> {
+    assert_eq!(eff_cap.len(), num_classes * m, "table shape");
+    let mut caps = vec![0u32; m];
+    for r in 0..m {
+        let mut common = 0u32;
+        for k in 0..num_classes {
+            let c = eff_cap[k * m + r];
+            if c == 0 {
+                continue;
+            }
+            if common == 0 {
+                common = c;
+            } else if common != c {
+                return None;
+            }
+        }
+        caps[r] = common;
+    }
+    Some(caps)
+}
+
+/// Exact feasibility of an eligibility instance.
+///
+/// Returns `None` if the capacity table does not have the eligibility
+/// structure (see [`eligibility_caps`]); the caller should then fall back to
+/// the sufficient greedy check or the exponential [`crate::brute`] oracle.
+pub fn flow_feasible(
+    class_sizes: &[usize],
+    eff_cap: &[u32],
+    m: usize,
+) -> Option<FlowFeasibility> {
+    let kk = class_sizes.len();
+    let caps = eligibility_caps(eff_cap, kk, m)?;
+    let demand: u64 = class_sizes.iter().map(|&n| n as u64).sum();
+
+    // nodes: 0 = source, 1..=kk classes, kk+1..kk+m resources, sink last
+    let s = 0usize;
+    let class_node = |k: usize| 1 + k;
+    let res_node = |r: usize| 1 + kk + r;
+    let t = 1 + kk + m;
+    let mut net = FlowNetwork::new(t + 1);
+
+    for (k, &nk) in class_sizes.iter().enumerate() {
+        net.add_edge(s, class_node(k), nk as u64);
+    }
+    for (r, &c) in caps.iter().enumerate() {
+        net.add_edge(res_node(r), t, c as u64);
+    }
+    let mut mid_edges = Vec::new();
+    for k in 0..kk {
+        for r in 0..m {
+            if eff_cap[k * m + r] > 0 {
+                // capacity bounded by both endpoints anyway; use class size
+                let id = net.add_edge(class_node(k), res_node(r), class_sizes[k] as u64);
+                mid_edges.push((k, r, id));
+            }
+        }
+    }
+
+    let served = net.max_flow(s, t);
+    let mut quotas = vec![0u32; kk * m];
+    for (k, r, id) in mid_edges {
+        quotas[k * m + r] = net.edge_flow(id) as u32;
+    }
+    Some(FlowFeasibility {
+        feasible: served == demand,
+        served,
+        demand,
+        quotas,
+    })
+}
+
+/// Convenience wrapper: quotas of a maximum routing, or `None` if the table
+/// is not an eligibility structure **or** the instance is infeasible.
+pub fn flow_assign_quotas(class_sizes: &[usize], eff_cap: &[u32], m: usize) -> Option<Vec<u32>> {
+    let f = flow_feasible(class_sizes, eff_cap, m)?;
+    f.feasible.then_some(f.quotas)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure_detection() {
+        // 2×2 table with two-valued columns: r0 = {3,3}, r1 = {0,5}
+        let ok = [3, 0, 3, 5];
+        assert_eq!(eligibility_caps(&ok, 2, 2), Some(vec![3, 5]));
+        // 2×3 table where column r2 = {2,4} has two distinct nonzero caps
+        let mixed = [3, 0, 2, 3, 5, 4];
+        assert_eq!(eligibility_caps(&mixed, 2, 3), None);
+    }
+
+    #[test]
+    fn structure_allows_dead_columns() {
+        let tbl = [0, 4, 0, 4];
+        assert_eq!(eligibility_caps(&tbl, 2, 2), Some(vec![0, 4]));
+    }
+
+    #[test]
+    fn single_class_matches_counting() {
+        // single class: feasible ⟺ Σ c_r ≥ n
+        let caps = [3u32, 2, 5];
+        let f = flow_feasible(&[10], &caps, 3).unwrap();
+        assert!(f.feasible);
+        assert_eq!(f.served, 10);
+        let f = flow_feasible(&[11], &caps, 3).unwrap();
+        assert!(!f.feasible);
+        assert_eq!(f.served, 10);
+        assert_eq!(f.demand, 11);
+    }
+
+    #[test]
+    fn quotas_respect_caps_and_sizes() {
+        let caps = [3u32, 2, 5];
+        let f = flow_feasible(&[10], &caps, 3).unwrap();
+        let total: u32 = f.quotas.iter().sum();
+        assert_eq!(total, 10);
+        for (q, c) in f.quotas.iter().zip(&caps) {
+            assert!(q <= c);
+        }
+    }
+
+    #[test]
+    fn eligibility_two_classes() {
+        // class 0 may use only r0 (cap 4); class 1 may use r0, r1 (caps 4, 3)
+        let tbl = [4, 0, 4, 3];
+        // 4 + 3 = 7 total, but class 0 limited to 4
+        let f = flow_feasible(&[4, 3], &tbl, 2).unwrap();
+        assert!(f.feasible);
+        let f = flow_feasible(&[5, 2], &tbl, 2).unwrap();
+        assert!(!f.feasible, "class 0 cannot exceed resource 0");
+        assert_eq!(f.served, 6);
+    }
+
+    #[test]
+    fn counting_bound_is_weaker_than_flow() {
+        // Hall violation invisible to per-class counting: two classes each
+        // fit alone, but they share one resource.
+        // class 0: only r0 (cap 2); class 1: only r0 (cap 2).
+        let tbl = [2, 0, 2, 0];
+        let f = flow_feasible(&[2, 2], &tbl, 2).unwrap();
+        assert!(!f.feasible);
+        // per-class counting: both classes individually fit (2 ≤ 2)
+        // — only the subset {0,1} reveals the conflict. The flow oracle
+        // needs no subset enumeration.
+    }
+
+    #[test]
+    fn flow_assign_quotas_none_on_infeasible() {
+        let caps = [1u32];
+        assert!(flow_assign_quotas(&[2], &caps, 1).is_none());
+        assert!(flow_assign_quotas(&[1], &caps, 1).is_some());
+    }
+
+    #[test]
+    fn non_eligibility_table_declined() {
+        // column r0 has two distinct nonzero caps → latency flavour
+        let tbl = [2, 4];
+        assert!(flow_feasible(&[1, 1], &tbl, 1).is_none());
+    }
+
+    #[test]
+    fn zero_demand_is_feasible() {
+        let f = flow_feasible(&[0, 0], &[1, 1, 1, 1], 2).unwrap();
+        assert!(f.feasible);
+        assert_eq!(f.demand, 0);
+    }
+
+    #[test]
+    fn quotas_materialize_per_class_loads() {
+        let tbl = [4, 0, 4, 3];
+        let q = flow_assign_quotas(&[4, 3], &tbl, 2).unwrap();
+        // class sums match class sizes
+        assert_eq!(q[0] + q[1], 4);
+        assert_eq!(q[2] + q[3], 3);
+        // resource sums within caps
+        assert!(q[0] + q[2] <= 4);
+        assert!(q[1] + q[3] <= 3);
+        // class 0 only on permitted resources
+        assert_eq!(q[1], 0);
+    }
+}

@@ -1,0 +1,35 @@
+//! # qlb-flow — max-flow substrate and exact feasibility oracles
+//!
+//! The QoS load-balancing paper assumes feasible instances ("a legal state
+//! exists"); building workloads and validating experiments therefore needs
+//! a *feasibility oracle*. This crate provides:
+//!
+//! * [`dinic`] — a general max-flow implementation (Dinic's algorithm,
+//!   `O(V²E)`, far faster on the unit-ish bipartite networks we build);
+//! * [`matching`] — bipartite maximum matching built on the flow core;
+//! * [`feasibility`] — exact feasibility for the *eligibility* flavour of
+//!   QoS classes (class `k` may use a permitted subset of resources, every
+//!   permitted resource offers its full capacity) via a three-layer flow
+//!   network, plus the Hall-style counting bound it is compared against in
+//!   experiment E11;
+//! * [`brute`] — exhaustive feasibility search for tiny instances, the
+//!   ground truth for property tests of both the oracle and the greedy
+//!   constructor in `qlb-core`.
+//!
+//! Exactness boundary (documented in `DESIGN.md`): for general latency
+//! thresholds (`eff_cap[k][r] = ⌊T_k · s_r⌋`) exact feasibility is weakly
+//! NP-hard (subset-sum reduction), so no polynomial oracle is offered for
+//! that flavour; the greedy in `qlb-core` is a sufficient check and
+//! [`brute`] the exact-but-exponential fallback used in tests.
+
+#![warn(missing_docs)]
+
+pub mod brute;
+pub mod dinic;
+pub mod feasibility;
+pub mod matching;
+
+pub use brute::brute_force_feasible;
+pub use dinic::{EdgeId, FlowNetwork, NodeId};
+pub use feasibility::{eligibility_caps, flow_assign_quotas, flow_feasible, FlowFeasibility};
+pub use matching::bipartite_matching;

@@ -1,0 +1,128 @@
+//! Bipartite maximum matching on top of the flow core.
+
+use crate::dinic::FlowNetwork;
+
+/// Maximum bipartite matching.
+///
+/// `left` vertices `0..n_left`, `right` vertices `0..n_right`, `edges` as
+/// `(l, r)` pairs. Returns for each left vertex the matched right vertex (or
+/// `None`). Runs Dinic on the unit network, i.e. Hopcroft–Karp complexity
+/// `O(E √V)`.
+///
+/// Used by tests as an independently-checkable special case of the
+/// feasibility oracle (unit capacities ⇔ matching).
+///
+/// # Panics
+/// Panics if an edge references an out-of-range vertex.
+pub fn bipartite_matching(
+    n_left: usize,
+    n_right: usize,
+    edges: &[(usize, usize)],
+) -> Vec<Option<usize>> {
+    let s = n_left + n_right;
+    let t = s + 1;
+    let mut net = FlowNetwork::new(n_left + n_right + 2);
+    for l in 0..n_left {
+        net.add_edge(s, l, 1);
+    }
+    for r in 0..n_right {
+        net.add_edge(n_left + r, t, 1);
+    }
+    let mut ids = Vec::with_capacity(edges.len());
+    for &(l, r) in edges {
+        assert!(l < n_left && r < n_right, "edge out of range");
+        ids.push(net.add_edge(l, n_left + r, 1));
+    }
+    net.max_flow(s, t);
+    let mut matched = vec![None; n_left];
+    for (&(l, r), &id) in edges.iter().zip(&ids) {
+        if net.edge_flow(id) == 1 {
+            debug_assert!(matched[l].is_none(), "left vertex matched twice");
+            matched[l] = Some(r);
+        }
+    }
+    matched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matching_size(m: &[Option<usize>]) -> usize {
+        m.iter().filter(|x| x.is_some()).count()
+    }
+
+    #[test]
+    fn perfect_matching_found() {
+        // 3×3 with a unique perfect matching (diagonal forced)
+        let edges = [(0, 0), (1, 0), (1, 1), (2, 1), (2, 2)];
+        let m = bipartite_matching(3, 3, &edges);
+        assert_eq!(matching_size(&m), 3);
+        assert_eq!(m[0], Some(0));
+        assert_eq!(m[1], Some(1));
+        assert_eq!(m[2], Some(2));
+    }
+
+    #[test]
+    fn hall_violation_limits_matching() {
+        // two left vertices both only like right vertex 0
+        let m = bipartite_matching(2, 2, &[(0, 0), (1, 0)]);
+        assert_eq!(matching_size(&m), 1);
+    }
+
+    #[test]
+    fn right_vertices_not_reused() {
+        let edges = [(0, 0), (1, 0), (2, 0)];
+        let m = bipartite_matching(3, 1, &edges);
+        assert_eq!(matching_size(&m), 1);
+        let used: Vec<usize> = m.into_iter().flatten().collect();
+        assert_eq!(used, vec![0]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let m = bipartite_matching(3, 3, &[]);
+        assert_eq!(matching_size(&m), 0);
+    }
+
+    #[test]
+    fn duplicate_edges_are_harmless() {
+        let m = bipartite_matching(1, 1, &[(0, 0), (0, 0)]);
+        assert_eq!(matching_size(&m), 1);
+    }
+
+    #[test]
+    fn random_graphs_match_greedy_lower_bound() {
+        use qlb_rng::{Rng64, SplitMix64};
+        let mut rng = SplitMix64::new(99);
+        for _ in 0..30 {
+            let n = 6;
+            let mut edges = Vec::new();
+            for l in 0..n {
+                for r in 0..n {
+                    if rng.bernoulli(0.3) {
+                        edges.push((l, r));
+                    }
+                }
+            }
+            let m = bipartite_matching(n, n, &edges);
+            // greedy matching is a 1/2-approximation lower bound and any
+            // matching is at most n
+            let mut used_r = vec![false; n];
+            let mut used_l = vec![false; n];
+            let mut greedy = 0;
+            for &(l, r) in &edges {
+                if !used_l[l] && !used_r[r] {
+                    used_l[l] = true;
+                    used_r[r] = true;
+                    greedy += 1;
+                }
+            }
+            let size = matching_size(&m);
+            // a maximum matching dominates any (greedy) matching, and never
+            // exceeds the side size
+            assert!(size >= greedy, "max {size} < greedy {greedy}");
+            assert!(size <= n);
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! 64-bit mixing functions (finalizers) used by the counter-based streams.
+
+/// Stafford's "Mix13" variant of the MurmurHash3/SplitMix64 finalizer.
+///
+/// A bijection on `u64` with excellent avalanche behaviour (every input bit
+/// flips each output bit with probability ≈ 1/2). This is the core primitive
+/// behind both [`crate::SplitMix64`] and [`crate::RoundStream`].
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Mix two words into one, with enough asymmetry that `mix64_pair(a, b)` and
+/// `mix64_pair(b, a)` are unrelated.
+///
+/// Used to fold `(seed, stream)` and `(round, draw)` coordinates into the
+/// counter of a [`crate::RoundStream`]. The odd constant is the golden-ratio
+/// increment of SplitMix64, which guarantees consecutive streams (`stream`,
+/// `stream + 1`) land far apart in the mixed space.
+#[inline]
+pub fn mix64_pair(a: u64, b: u64) -> u64 {
+    mix64(a ^ mix64(b.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(0x2545_f491_4f6c_dd1d)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn mix64_is_injective_on_sample() {
+        let mut seen = HashSet::new();
+        for i in 0..100_000u64 {
+            assert!(seen.insert(mix64(i)), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn mix64_avalanche() {
+        // Flipping one input bit should flip roughly half the output bits.
+        let trials = 2_000u64;
+        let mut total_flips = 0u32;
+        for i in 0..trials {
+            let base = mix64(i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            for bit in 0..64 {
+                let x = i.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (1 << bit);
+                total_flips += (mix64(x) ^ base).count_ones();
+            }
+        }
+        let avg = total_flips as f64 / (trials * 64) as f64;
+        assert!(
+            (avg - 32.0).abs() < 1.0,
+            "avalanche average {avg} far from 32"
+        );
+    }
+
+    #[test]
+    fn mix64_pair_is_order_sensitive() {
+        assert_ne!(mix64_pair(1, 2), mix64_pair(2, 1));
+        let mut seen = HashSet::new();
+        for a in 0..200u64 {
+            for b in 0..200u64 {
+                seen.insert(mix64_pair(a, b));
+            }
+        }
+        assert_eq!(seen.len(), 200 * 200, "pair collisions in small grid");
+    }
+}

@@ -1,0 +1,464 @@
+//! Coordinator: spawns the actor topology and paces the rounds.
+
+use crate::messages::{ToCoordinator, ToResource, ToUser};
+use crate::resource_shard::ResourceShard;
+use crate::user_shard::UserShard;
+use crossbeam::channel::unbounded;
+use qlb_core::{Instance, Protocol, ResourceId, State};
+
+/// Configuration of a distributed run.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeConfig {
+    /// Seed; the synchronous mode reproduces `qlb_engine::run` with the
+    /// same seed exactly.
+    pub seed: u64,
+    /// Round budget.
+    pub max_rounds: u64,
+    /// Number of user-shard actors (≥ 1).
+    pub user_shards: usize,
+    /// Number of resource-shard actors (≥ 1).
+    pub resource_shards: usize,
+    /// Maximum observation delay `D`; 0 = synchronous.
+    pub max_delay: u64,
+    /// Probability a snapshot slice is lost per (resource shard, user
+    /// shard, round); the observer then keeps the previous round's values.
+    /// 0 = reliable links.
+    pub stale_prob: f64,
+}
+
+impl RuntimeConfig {
+    /// Synchronous config with 2×2 shards.
+    pub fn new(seed: u64, max_rounds: u64) -> Self {
+        Self {
+            seed,
+            max_rounds,
+            user_shards: 2,
+            resource_shards: 2,
+            max_delay: 0,
+            stale_prob: 0.0,
+        }
+    }
+
+    /// Set the shard counts.
+    pub fn with_shards(mut self, user_shards: usize, resource_shards: usize) -> Self {
+        self.user_shards = user_shards;
+        self.resource_shards = resource_shards;
+        self
+    }
+
+    /// Set the observation-delay bound (asynchronous mode).
+    pub fn with_max_delay(mut self, d: u64) -> Self {
+        self.max_delay = d;
+        self
+    }
+
+    /// Set the snapshot-loss probability (failure injection).
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn with_stale_prob(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "loss probability out of range");
+        self.stale_prob = p;
+        self
+    }
+}
+
+/// Result of a distributed run.
+#[derive(Debug, Clone)]
+pub struct DistributedOutcome {
+    /// True iff a (truly) legal state was reached within the budget.
+    pub converged: bool,
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Total migrations.
+    pub migrations: u64,
+    /// Channel messages exchanged (snapshots + batches + reports), for the
+    /// communication-cost accounting of experiment E7.
+    pub messages: u64,
+    /// Final state (assembled from the shards' ground truth).
+    pub state: State,
+}
+
+/// Execute a protocol on the actor runtime.
+///
+/// # Panics
+/// Panics if shard counts are zero or exceed the entity counts they shard.
+pub fn run_distributed<P: Protocol + ?Sized>(
+    inst: &Instance,
+    state: State,
+    proto: &P,
+    config: RuntimeConfig,
+) -> DistributedOutcome {
+    let n = inst.num_users();
+    let m = inst.num_resources();
+    assert!(config.user_shards >= 1, "need at least one user shard");
+    assert!(
+        config.resource_shards >= 1,
+        "need at least one resource shard"
+    );
+    // Shard boundaries first: `split` can produce fewer non-empty ranges
+    // than requested (ceil-division chunks), and every spawned user shard
+    // waits for exactly one snapshot slice per *actual* resource shard —
+    // sizing channels off the request instead of the split would deadlock.
+    let res_bounds = split(m, config.resource_shards.min(m));
+    let user_bounds = split(n, config.user_shards.min(n.max(1)));
+    let rs = res_bounds.len();
+    let us = user_bounds.len();
+    debug_assert!(rs >= 1 && us >= 1);
+
+    // Channels.
+    let (coord_tx, coord_rx) = unbounded::<ToCoordinator>();
+    let res_channels: Vec<_> = (0..rs).map(|_| unbounded::<ToResource>()).collect();
+    let user_channels: Vec<_> = (0..us).map(|_| unbounded::<ToUser>()).collect();
+    let res_txs: Vec<_> = res_channels.iter().map(|(tx, _)| tx.clone()).collect();
+    let user_txs: Vec<_> = user_channels.iter().map(|(tx, _)| tx.clone()).collect();
+
+    let mut outcome_state_assignment = vec![ResourceId(0); n];
+    let mut rounds = 0u64;
+    let mut migrations = 0u64;
+    let mut messages = 0u64;
+    let mut converged = false;
+
+    std::thread::scope(|scope| {
+        // Resource shard actors.
+        let mut res_handles = Vec::with_capacity(rs);
+        for (i, (lo, hi)) in res_bounds.iter().copied().enumerate() {
+            let rx = res_channels[i].1.clone();
+            let user_txs = user_txs.clone();
+            let loads = state.loads()[lo..hi].to_vec();
+            let shard = ResourceShard::new(lo, loads, rx, user_txs)
+                .with_loss(config.seed, i, config.stale_prob);
+            res_handles.push(scope.spawn(move || shard.run()));
+        }
+        // User shard actors.
+        for (i, (lo, hi)) in user_bounds.iter().copied().enumerate() {
+            let rx = user_channels[i].1.clone();
+            let res_txs = res_txs.clone();
+            let coord_tx = coord_tx.clone();
+            let positions = state.assignment()[lo..hi].to_vec();
+            let shard = UserShard::new(
+                inst,
+                proto,
+                config.seed,
+                lo,
+                positions,
+                rx,
+                res_txs,
+                coord_tx,
+                config.max_delay,
+            );
+            scope.spawn(move || shard.run());
+        }
+
+        // ---- coordinator loop ----
+        let mut round = 0u64;
+        loop {
+            // Ask resource shards to publish the round's snapshot.
+            for (tx, _) in &res_channels {
+                tx.send(ToResource::Emit { round }).expect("shard alive");
+            }
+            messages += rs as u64; // Emits
+            messages += (rs * us) as u64; // snapshots
+            // Collect user-shard reports.
+            let mut unsatisfied = 0u64;
+            let mut round_migrations = 0u64;
+            let mut reports = 0usize;
+            while reports < us {
+                match coord_rx.recv().expect("user shard alive") {
+                    ToCoordinator::Report {
+                        round: r,
+                        unsatisfied: u,
+                        migrations: g,
+                    } => {
+                        debug_assert_eq!(r, round, "reports arrive in round order");
+                        unsatisfied += u;
+                        round_migrations += g;
+                        reports += 1;
+                    }
+                    ToCoordinator::FinalAssign { .. } => {
+                        unreachable!("no Stop sent yet")
+                    }
+                }
+            }
+            messages += us as u64; // reports
+            messages += (us * rs) as u64; // move batches
+
+            if unsatisfied == 0 {
+                converged = true;
+                rounds = round;
+                break;
+            }
+            migrations += round_migrations;
+            round += 1;
+            if round >= config.max_rounds {
+                rounds = round;
+                break;
+            }
+        }
+
+        // ---- teardown & state assembly ----
+        for (tx, _) in &res_channels {
+            tx.send(ToResource::Stop).expect("shard alive");
+        }
+        for (tx, _) in &user_channels {
+            tx.send(ToUser::Stop).expect("shard alive");
+        }
+        let mut finals = 0usize;
+        while finals < us {
+            if let ToCoordinator::FinalAssign { start, assignment } =
+                coord_rx.recv().expect("user shard alive")
+            {
+                outcome_state_assignment[start..start + assignment.len()]
+                    .copy_from_slice(&assignment);
+                finals += 1;
+            }
+        }
+        // Resource shards return their true loads; used as a cross-check.
+        let mut true_loads = vec![0u32; m];
+        for h in res_handles {
+            let (start, loads) = h.join().expect("resource shard panicked");
+            true_loads[start..start + loads.len()].copy_from_slice(&loads);
+        }
+        let assembled =
+            State::new(inst, outcome_state_assignment.clone()).expect("valid assembled state");
+        assert_eq!(
+            assembled.loads(),
+            &true_loads[..],
+            "shard ground truths diverged — runtime bug"
+        );
+    });
+
+    let state = State::new(inst, outcome_state_assignment).expect("valid final state");
+    // With lossy links the coordinator's stop condition is based on possibly
+    // stale observations; the reported flag is always TRUE legality.
+    let converged = converged && state.is_legal(inst);
+    DistributedOutcome {
+        converged,
+        rounds,
+        migrations,
+        messages,
+        state,
+    }
+}
+
+/// Split `n` items into `k` contiguous, non-empty-where-possible ranges.
+fn split(n: usize, k: usize) -> Vec<(usize, usize)> {
+    let chunk = n.div_ceil(k.max(1)).max(1);
+    (0..k)
+        .map(|i| ((i * chunk).min(n), ((i + 1) * chunk).min(n)))
+        .filter(|(lo, hi)| lo < hi || n == 0)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qlb_core::SlackDamped;
+    use qlb_engine::{run, RunConfig};
+
+    #[test]
+    fn split_covers_everything() {
+        for n in [0usize, 1, 7, 100] {
+            for k in [1usize, 2, 3, 16] {
+                let parts = split(n, k);
+                let total: usize = parts.iter().map(|(lo, hi)| hi - lo).sum();
+                assert_eq!(total, n, "n={n}, k={k}");
+                for w in parts.windows(2) {
+                    assert_eq!(w[0].1, w[1].0, "gaps in split");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn synchronous_runtime_matches_engine_exactly() {
+        let inst = Instance::uniform(200, 16, 16).unwrap();
+        let state = State::all_on(&inst, ResourceId(0));
+        let proto = SlackDamped::default();
+        let seed = 31;
+
+        let engine = run(&inst, state.clone(), &proto, RunConfig::new(seed, 10_000));
+        for (us, rs) in [(1, 1), (2, 3), (4, 4), (7, 2)] {
+            let dist = run_distributed(
+                &inst,
+                state.clone(),
+                &proto,
+                RuntimeConfig::new(seed, 10_000).with_shards(us, rs),
+            );
+            assert!(dist.converged);
+            assert_eq!(dist.rounds, engine.rounds, "shards ({us},{rs})");
+            assert_eq!(dist.migrations, engine.migrations, "shards ({us},{rs})");
+            assert_eq!(dist.state, engine.state, "shards ({us},{rs})");
+        }
+    }
+
+    #[test]
+    fn already_legal_stops_at_zero_rounds() {
+        let inst = Instance::uniform(8, 4, 3).unwrap();
+        let state = State::round_robin(&inst);
+        let out = run_distributed(
+            &inst,
+            state,
+            &SlackDamped::default(),
+            RuntimeConfig::new(1, 100),
+        );
+        assert!(out.converged);
+        assert_eq!(out.rounds, 0);
+        assert_eq!(out.migrations, 0);
+    }
+
+    #[test]
+    fn round_budget_respected() {
+        let inst = Instance::uniform(64, 8, 10).unwrap();
+        let state = State::all_on(&inst, ResourceId(0));
+        let out = run_distributed(
+            &inst,
+            state,
+            &SlackDamped::default(),
+            RuntimeConfig::new(1, 1),
+        );
+        assert!(!out.converged);
+        assert_eq!(out.rounds, 1);
+    }
+
+    #[test]
+    fn asynchronous_mode_still_converges() {
+        let inst = Instance::uniform(128, 16, 10).unwrap(); // γ = 1.25
+        let state = State::all_on(&inst, ResourceId(0));
+        for d in [1u64, 2, 4] {
+            let out = run_distributed(
+                &inst,
+                state.clone(),
+                &SlackDamped::default(),
+                RuntimeConfig::new(9, 50_000).with_max_delay(d),
+            );
+            assert!(out.converged, "D={d} did not converge");
+            assert!(out.state.is_legal(&inst));
+        }
+    }
+
+    #[test]
+    fn async_mode_is_deterministic() {
+        let inst = Instance::uniform(64, 8, 10).unwrap();
+        let state = State::all_on(&inst, ResourceId(0));
+        let cfg = RuntimeConfig::new(4, 50_000)
+            .with_shards(3, 2)
+            .with_max_delay(3);
+        let a = run_distributed(&inst, state.clone(), &SlackDamped::default(), cfg);
+        let b = run_distributed(&inst, state, &SlackDamped::default(), cfg);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.state, b.state);
+    }
+
+    #[test]
+    fn lossy_links_still_converge() {
+        let inst = Instance::uniform(128, 16, 10).unwrap();
+        let state = State::all_on(&inst, ResourceId(0));
+        for p in [0.1f64, 0.3, 1.0] {
+            let out = run_distributed(
+                &inst,
+                state.clone(),
+                &SlackDamped::default(),
+                RuntimeConfig::new(13, 100_000)
+                    .with_shards(3, 2)
+                    .with_stale_prob(p),
+            );
+            assert!(out.converged, "loss p = {p} prevented convergence");
+            assert!(out.state.is_legal(&inst));
+        }
+    }
+
+    #[test]
+    fn zero_loss_matches_reliable_run() {
+        let inst = Instance::uniform(64, 8, 10).unwrap();
+        let state = State::all_on(&inst, ResourceId(0));
+        let reliable = run_distributed(
+            &inst,
+            state.clone(),
+            &SlackDamped::default(),
+            RuntimeConfig::new(5, 10_000).with_shards(2, 2),
+        );
+        let zero_loss = run_distributed(
+            &inst,
+            state,
+            &SlackDamped::default(),
+            RuntimeConfig::new(5, 10_000)
+                .with_shards(2, 2)
+                .with_stale_prob(0.0),
+        );
+        assert_eq!(reliable.rounds, zero_loss.rounds);
+        assert_eq!(reliable.state, zero_loss.state);
+    }
+
+    #[test]
+    fn lossy_runs_are_deterministic() {
+        let inst = Instance::uniform(64, 8, 10).unwrap();
+        let state = State::all_on(&inst, ResourceId(0));
+        let cfg = RuntimeConfig::new(8, 100_000)
+            .with_shards(2, 2)
+            .with_stale_prob(0.4);
+        let a = run_distributed(&inst, state.clone(), &SlackDamped::default(), cfg);
+        let b = run_distributed(&inst, state, &SlackDamped::default(), cfg);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.state, b.state);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn bad_loss_probability_rejected() {
+        let _ = RuntimeConfig::new(1, 1).with_stale_prob(1.5);
+    }
+
+    #[test]
+    fn message_accounting_positive() {
+        let inst = Instance::uniform(32, 4, 10).unwrap();
+        let state = State::all_on(&inst, ResourceId(0));
+        let out = run_distributed(
+            &inst,
+            state,
+            &SlackDamped::default(),
+            RuntimeConfig::new(2, 1_000).with_shards(2, 2),
+        );
+        assert!(out.converged);
+        // at least one full round of messaging happened
+        assert!(out.messages >= (2 + 4 + 2 + 4) as u64);
+    }
+
+    /// Regression: `split(6, 5)` yields only 3 non-empty resource ranges;
+    /// the driver must size snapshot expectations off the actual shard
+    /// count or user shards wait forever for slices nobody sends.
+    #[test]
+    fn ragged_shard_split_does_not_deadlock() {
+        let inst = Instance::uniform(59, 6, 9).unwrap();
+        let state = State::random(&inst, 3);
+        let out = run_distributed(
+            &inst,
+            state,
+            &SlackDamped::default(),
+            RuntimeConfig::new(7, 7).with_shards(5, 5),
+        );
+        // budget-capped run must terminate and agree with the engine
+        let eng = qlb_engine::run(
+            &inst,
+            State::random(&inst, 3),
+            &SlackDamped::default(),
+            qlb_engine::RunConfig::new(7, 7),
+        );
+        assert_eq!(out.rounds, eng.rounds);
+        assert_eq!(out.state, eng.state);
+    }
+
+    #[test]
+    fn more_shards_than_entities_is_clamped() {
+        let inst = Instance::uniform(3, 2, 2).unwrap();
+        let state = State::all_on(&inst, ResourceId(0));
+        let out = run_distributed(
+            &inst,
+            state,
+            &SlackDamped::default(),
+            RuntimeConfig::new(2, 1_000).with_shards(64, 64),
+        );
+        assert!(out.converged);
+        assert!(out.state.is_legal(&inst));
+    }
+}

@@ -1,0 +1,67 @@
+//! # qlb-runtime — message-passing actor runtime
+//!
+//! `qlb-engine` shows the protocol's mathematics; this crate shows the
+//! protocol is genuinely *distributed*: resources and users run as actors
+//! on separate OS threads exchanging crossbeam channel messages, with no
+//! shared mutable state.
+//!
+//! ## Topology
+//!
+//! ```text
+//!            Emit(t) / Stop                Snapshot(t)  (loads slice)
+//!  coordinator ───────────▶ resource shard ───────────▶ user shard
+//!       ▲                        ▲                          │
+//!       │  Report(t)             │  Moves(t)                │
+//!       └────────────────────────┴──────────────────────────┘
+//! ```
+//!
+//! * **Resource shards** own disjoint ranges of resources and their true
+//!   congestion. Each round they broadcast a load snapshot and apply the
+//!   migration batches they receive (increments/decrements commute, so
+//!   arrival order across shards is irrelevant — determinism holds).
+//! * **User shards** own disjoint ranges of users (their positions). They
+//!   assemble the snapshot slices, run the *same* decision kernel as the
+//!   engine (`qlb_core::step::decide_user`), send migration batches back,
+//!   and report true satisfaction counts.
+//! * The **coordinator** (caller thread) paces rounds and detects
+//!   convergence.
+//!
+//! ## Synchrony and the bounded-delay mode
+//!
+//! With `max_delay = 0` every decision observes the current snapshot and
+//! the runtime reproduces `qlb-engine` **bit-for-bit** (same rounds, same
+//! migrations, same final state) — verified by tests and experiment E10.
+//!
+//! With `max_delay = D > 0`, each user's observation in round `t` is the
+//! snapshot of round `t − d` for a per-(user, round) random `d ≤ D`: the
+//! classical *outdated information* model. Users may then migrate while
+//! actually satisfied or sit still while actually unsatisfied; experiment
+//! E7 measures how convergence degrades with `D` (the reconstructed theorem
+//! T4 predicts a multiplicative `O(D)` slowdown, not divergence).
+//! Convergence detection always uses fresh information — that is harness
+//! instrumentation, not part of the protocol.
+//!
+//! ```
+//! use qlb_core::prelude::*;
+//! use qlb_runtime::{run_distributed, RuntimeConfig};
+//!
+//! let inst = Instance::uniform(256, 32, 10).unwrap();
+//! let start = State::all_on(&inst, ResourceId(0));
+//! let out = run_distributed(
+//!     &inst,
+//!     start,
+//!     &SlackDamped::default(),
+//!     RuntimeConfig::new(42, 10_000).with_shards(4, 2),
+//! );
+//! assert!(out.converged);
+//! assert!(out.messages > 0); // it really talked over channels
+//! ```
+
+#![warn(missing_docs)]
+
+mod driver;
+mod messages;
+mod resource_shard;
+mod user_shard;
+
+pub use driver::{run_distributed, DistributedOutcome, RuntimeConfig};

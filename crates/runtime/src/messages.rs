@@ -1,0 +1,62 @@
+//! Wire messages between the coordinator, resource shards, and user shards.
+
+use qlb_core::{Move, ResourceId};
+
+/// Messages received by a resource shard (from the coordinator and from
+/// every user shard, multiplexed on one channel).
+#[derive(Debug)]
+pub(crate) enum ToResource {
+    /// Coordinator: broadcast the snapshot for `round`.
+    Emit {
+        /// Round whose snapshot to publish.
+        round: u64,
+    },
+    /// A user shard's migration batch for `round` (possibly empty; every
+    /// user shard sends exactly one per round so shards can count).
+    Moves {
+        /// Round the batch belongs to.
+        round: u64,
+        /// The migrations (only deltas touching this shard are applied).
+        moves: Vec<Move>,
+    },
+    /// Shut down and report final loads.
+    Stop,
+}
+
+/// Messages received by a user shard.
+#[derive(Debug)]
+pub(crate) enum ToUser {
+    /// A resource shard's slice of the round-`round` snapshot.
+    Snapshot {
+        /// Round the snapshot describes (loads after `round` applied
+        /// rounds).
+        round: u64,
+        /// First resource index of the slice.
+        start: usize,
+        /// Congestions of the shard's resources.
+        loads: Vec<u32>,
+    },
+    /// Shut down and report final positions.
+    Stop,
+}
+
+/// Messages received by the coordinator.
+#[derive(Debug)]
+pub(crate) enum ToCoordinator {
+    /// A user shard finished deciding `round`.
+    Report {
+        /// The round reported.
+        round: u64,
+        /// Truly unsatisfied users in this shard (fresh snapshot).
+        unsatisfied: u64,
+        /// Migrations this shard emitted this round.
+        migrations: u64,
+    },
+    /// Final positions of a user shard (sent after `Stop`).
+    FinalAssign {
+        /// First user index of the shard.
+        start: usize,
+        /// Position of each user in the shard.
+        assignment: Vec<ResourceId>,
+    },
+}

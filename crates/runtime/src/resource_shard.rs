@@ -1,0 +1,231 @@
+//! The resource-shard actor: owns true congestion for a resource range.
+
+use crate::messages::{ToResource, ToUser};
+use crossbeam::channel::{Receiver, Sender};
+use qlb_core::Move;
+use qlb_rng::{Rng64, RoundStream};
+use std::collections::HashMap;
+
+/// Salt for the snapshot-loss stream (independent of protocol and delay
+/// streams).
+const STALE_SALT: u64 = 0x10_55; // "LOSS"
+
+/// State and event loop of one resource shard.
+pub(crate) struct ResourceShard {
+    /// First resource index owned.
+    start: usize,
+    /// True congestion of owned resources.
+    loads: Vec<u32>,
+    /// Inbox.
+    rx: Receiver<ToResource>,
+    /// Broadcast targets (all user shards).
+    user_txs: Vec<Sender<ToUser>>,
+    /// Number of user shards (batches to expect per round).
+    num_user_shards: usize,
+    /// Out-of-order buffer: round → batches received so far.
+    pending: HashMap<u64, Vec<Vec<Move>>>,
+    /// Run seed (addresses the loss stream).
+    seed: u64,
+    /// This shard's index (addresses the loss stream).
+    shard_index: usize,
+    /// Probability that a snapshot slice to a given user shard is lost —
+    /// the observer then keeps the previous round's values.
+    stale_prob: f64,
+    /// Loads as of the previous broadcast (what a lossy link re-delivers).
+    prev_loads: Option<Vec<u32>>,
+}
+
+impl ResourceShard {
+    pub(crate) fn new(
+        start: usize,
+        loads: Vec<u32>,
+        rx: Receiver<ToResource>,
+        user_txs: Vec<Sender<ToUser>>,
+    ) -> Self {
+        let num_user_shards = user_txs.len();
+        Self {
+            start,
+            loads,
+            rx,
+            user_txs,
+            num_user_shards,
+            pending: HashMap::new(),
+            seed: 0,
+            shard_index: 0,
+            stale_prob: 0.0,
+            prev_loads: None,
+        }
+    }
+
+    /// Enable lossy snapshot links: with probability `stale_prob` per
+    /// (user shard, round), the slice sent is the *previous* round's values
+    /// — modelling a lost update whose observer retains stale state.
+    pub(crate) fn with_loss(mut self, seed: u64, shard_index: usize, stale_prob: f64) -> Self {
+        debug_assert!((0.0..=1.0).contains(&stale_prob));
+        self.seed = seed;
+        self.shard_index = shard_index;
+        self.stale_prob = stale_prob;
+        self
+    }
+
+    /// Run until `Stop`; returns `(start, final loads)`.
+    pub(crate) fn run(mut self) -> (usize, Vec<u32>) {
+        while let Ok(msg) = self.rx.recv() {
+            match msg {
+                ToResource::Emit { round } => self.broadcast(round),
+                ToResource::Moves { round, moves } => {
+                    let batch = self.pending.entry(round).or_default();
+                    batch.push(moves);
+                    if batch.len() == self.num_user_shards {
+                        let batches = self.pending.remove(&round).expect("just inserted");
+                        for moves in batches {
+                            self.apply(&moves);
+                        }
+                    }
+                }
+                ToResource::Stop => break,
+            }
+        }
+        (self.start, self.loads)
+    }
+
+    fn broadcast(&mut self, round: u64) {
+        for (us, tx) in self.user_txs.iter().enumerate() {
+            // Deterministic loss decision per (resource shard, user shard,
+            // round): a lost slice re-delivers the previous round's values.
+            let lose = self.stale_prob > 0.0 && {
+                let mut rng = RoundStream::new(
+                    qlb_rng::mix64_pair(self.seed, STALE_SALT),
+                    (self.shard_index as u64) << 32 | us as u64,
+                    round,
+                );
+                rng.bernoulli(self.stale_prob)
+            };
+            let loads = match (&self.prev_loads, lose) {
+                (Some(prev), true) => prev.clone(),
+                _ => self.loads.clone(),
+            };
+            // A send fails only if the runtime is tearing down; ignore.
+            let _ = tx.send(ToUser::Snapshot {
+                round,
+                start: self.start,
+                loads,
+            });
+        }
+        self.prev_loads = Some(self.loads.clone());
+    }
+
+    fn apply(&mut self, moves: &[Move]) {
+        let end = self.start + self.loads.len();
+        for mv in moves {
+            let from = mv.from.index();
+            let to = mv.to.index();
+            if (self.start..end).contains(&from) {
+                debug_assert!(self.loads[from - self.start] > 0, "negative load");
+                self.loads[from - self.start] -= 1;
+            }
+            if (self.start..end).contains(&to) {
+                self.loads[to - self.start] += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+    use qlb_core::{ResourceId, UserId};
+
+    fn mv(user: u32, from: u32, to: u32) -> Move {
+        Move {
+            user: UserId(user),
+            from: ResourceId(from),
+            to: ResourceId(to),
+        }
+    }
+
+    #[test]
+    fn applies_only_owned_deltas() {
+        let (tx, rx) = unbounded();
+        let (utx, urx) = unbounded();
+        // shard owns resources 2..4 with loads [5, 5]
+        let shard = ResourceShard::new(2, vec![5, 5], rx, vec![utx]);
+        // one user shard: a batch moving u0: r2→r3 (both owned),
+        // u1: r0→r2 (arrival only), u2: r3→r0 (departure only),
+        // u3: r0→r1 (unrelated)
+        tx.send(ToResource::Moves {
+            round: 0,
+            moves: vec![mv(0, 2, 3), mv(1, 0, 2), mv(2, 3, 0), mv(3, 0, 1)],
+        })
+        .unwrap();
+        tx.send(ToResource::Emit { round: 1 }).unwrap();
+        tx.send(ToResource::Stop).unwrap();
+        let (start, loads) = shard.run();
+        assert_eq!(start, 2);
+        // r2: 5 −1 (u0 out) +1 (u1 in) = 5; r3: 5 +1 (u0 in) −1 (u2 out) = 5
+        assert_eq!(loads, vec![5, 5]);
+        // snapshot emitted after application
+        match urx.recv().unwrap() {
+            ToUser::Snapshot { round, start, loads } => {
+                assert_eq!(round, 1);
+                assert_eq!(start, 2);
+                assert_eq!(loads, vec![5, 5]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn waits_for_all_user_shards() {
+        let (tx, rx) = unbounded();
+        let (utx, _urx) = unbounded();
+        // two user shards expected
+        let shard = ResourceShard::new(0, vec![3], rx, vec![utx.clone(), utx]);
+        tx.send(ToResource::Moves {
+            round: 0,
+            moves: vec![mv(0, 0, 1)],
+        })
+        .unwrap();
+        // second shard's (empty) batch completes the round
+        tx.send(ToResource::Moves {
+            round: 0,
+            moves: vec![],
+        })
+        .unwrap();
+        tx.send(ToResource::Stop).unwrap();
+        let (_, loads) = shard.run();
+        assert_eq!(loads, vec![2]);
+    }
+
+    #[test]
+    fn buffers_out_of_order_rounds() {
+        let (tx, rx) = unbounded();
+        let (utx, _urx) = unbounded();
+        let shard = ResourceShard::new(0, vec![4], rx, vec![utx.clone(), utx]);
+        // round 1 batch arrives before round 0 completes
+        tx.send(ToResource::Moves {
+            round: 1,
+            moves: vec![mv(0, 0, 1)],
+        })
+        .unwrap();
+        tx.send(ToResource::Moves {
+            round: 0,
+            moves: vec![mv(1, 0, 1)],
+        })
+        .unwrap();
+        tx.send(ToResource::Moves {
+            round: 0,
+            moves: vec![],
+        })
+        .unwrap();
+        tx.send(ToResource::Moves {
+            round: 1,
+            moves: vec![],
+        })
+        .unwrap();
+        tx.send(ToResource::Stop).unwrap();
+        let (_, loads) = shard.run();
+        assert_eq!(loads, vec![2]); // both departures applied
+    }
+}

@@ -1,0 +1,304 @@
+//! The user-shard actor: owns positions for a user range and runs the
+//! decision kernel.
+
+use crate::messages::{ToCoordinator, ToResource, ToUser};
+use crossbeam::channel::{Receiver, Sender};
+use qlb_core::step::decide_user;
+use qlb_core::{Instance, Protocol, ResourceId, UserId};
+use qlb_rng::{Rng64, RoundStream};
+use std::collections::{HashMap, VecDeque};
+
+/// Salt separating the observation-delay stream from protocol streams, so
+/// turning asynchrony on never perturbs the protocol's own coin flips.
+const DELAY_SALT: u64 = 0x0b_5e7d_e1a0; // "observe delay"
+
+/// State and event loop of one user shard.
+pub(crate) struct UserShard<'a, P: Protocol + ?Sized> {
+    inst: &'a Instance,
+    proto: &'a P,
+    seed: u64,
+    /// First owned user index.
+    start: usize,
+    /// Current position of each owned user (ground truth for these users).
+    positions: Vec<ResourceId>,
+    /// Inbox.
+    rx: Receiver<ToUser>,
+    /// All resource shards (each receives our batch every round).
+    res_txs: Vec<Sender<ToResource>>,
+    /// Coordinator.
+    coord_tx: Sender<ToCoordinator>,
+    /// Number of resource shards (snapshot slices to expect per round).
+    num_res_shards: usize,
+    /// Maximum observation delay `D` (0 = synchronous).
+    max_delay: u64,
+    /// Assembled snapshots of the last `D + 1` rounds (front = oldest).
+    history: VecDeque<(u64, Vec<u32>)>,
+    /// Slices received for not-yet-complete rounds.
+    partial: HashMap<u64, (usize, Vec<u32>)>,
+}
+
+impl<'a, P: Protocol + ?Sized> UserShard<'a, P> {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        inst: &'a Instance,
+        proto: &'a P,
+        seed: u64,
+        start: usize,
+        positions: Vec<ResourceId>,
+        rx: Receiver<ToUser>,
+        res_txs: Vec<Sender<ToResource>>,
+        coord_tx: Sender<ToCoordinator>,
+        max_delay: u64,
+    ) -> Self {
+        let num_res_shards = res_txs.len();
+        Self {
+            inst,
+            proto,
+            seed,
+            start,
+            positions,
+            rx,
+            res_txs,
+            coord_tx,
+            num_res_shards,
+            max_delay,
+            history: VecDeque::new(),
+            partial: HashMap::new(),
+        }
+    }
+
+    /// Run until `Stop`; then report final positions to the coordinator.
+    pub(crate) fn run(mut self) {
+        while let Ok(msg) = self.rx.recv() {
+            match msg {
+                ToUser::Snapshot { round, start, loads } => {
+                    if let Some(full) = self.assemble(round, start, loads) {
+                        self.act(round, full);
+                    }
+                }
+                ToUser::Stop => break,
+            }
+        }
+        let _ = self.coord_tx.send(ToCoordinator::FinalAssign {
+            start: self.start,
+            assignment: self.positions.clone(),
+        });
+    }
+
+    /// Merge a slice; return the full load vector once all shards reported.
+    fn assemble(&mut self, round: u64, start: usize, loads: Vec<u32>) -> Option<Vec<u32>> {
+        let m = self.inst.num_resources();
+        let entry = self
+            .partial
+            .entry(round)
+            .or_insert_with(|| (0, vec![0u32; m]));
+        entry.1[start..start + loads.len()].copy_from_slice(&loads);
+        entry.0 += 1;
+        if entry.0 == self.num_res_shards {
+            let (_, full) = self.partial.remove(&round).expect("just inserted");
+            Some(full)
+        } else {
+            None
+        }
+    }
+
+    /// Decide the round against (possibly stale) snapshots and report.
+    fn act(&mut self, round: u64, fresh: Vec<u32>) {
+        // Maintain history for delayed observation.
+        self.history.push_back((round, fresh));
+        while self.history.len() as u64 > self.max_delay + 1 {
+            self.history.pop_front();
+        }
+        let fresh = &self.history.back().expect("just pushed").1;
+
+        // True (instrumentation) satisfaction count from the fresh snapshot.
+        let mut unsatisfied = 0u64;
+        for (off, &r) in self.positions.iter().enumerate() {
+            let u = UserId((self.start + off) as u32);
+            let cls = self.inst.class_of(u);
+            if !self.inst.satisfies(cls, r, fresh[r.index()]) {
+                unsatisfied += 1;
+            }
+        }
+
+        // Decisions against delayed observations.
+        let mut moves = Vec::new();
+        for off in 0..self.positions.len() {
+            let u = UserId((self.start + off) as u32);
+            let observed = self.observed_loads(u, round);
+            let own = self.positions[off];
+            if let Some(mv) = decide_user(self.inst, observed, own, u, self.proto, self.seed, round)
+            {
+                self.positions[off] = mv.to;
+                moves.push(mv);
+            }
+        }
+        let migrations = moves.len() as u64;
+
+        // Every resource shard receives our (possibly empty) batch.
+        for tx in &self.res_txs {
+            let _ = tx.send(ToResource::Moves {
+                round,
+                moves: moves.clone(),
+            });
+        }
+        let _ = self.coord_tx.send(ToCoordinator::Report {
+            round,
+            unsatisfied,
+            migrations,
+        });
+    }
+
+    /// The snapshot user `u` observes in `round`: the freshest one when
+    /// synchronous, else the one `d ≤ max_delay` rounds old, with `d` drawn
+    /// from a dedicated per-(user, round) stream.
+    fn observed_loads(&self, u: UserId, round: u64) -> &[u32] {
+        if self.max_delay == 0 {
+            return &self.history.back().expect("history non-empty").1;
+        }
+        let avail = self.history.len() as u64; // ≥ 1
+        let span = self.max_delay.min(avail - 1);
+        let mut delay_rng =
+            RoundStream::new(qlb_rng::mix64_pair(self.seed, DELAY_SALT), u.0 as u64, round);
+        let d = delay_rng.uniform(span + 1);
+        // back = freshest = delay 0
+        let idx = self.history.len() - 1 - d as usize;
+        &self.history[idx].1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+    use qlb_core::{Instance, SlackDamped, State};
+
+    /// Drive a single user shard by hand and check it reproduces the
+    /// engine's decisions for the same round.
+    #[test]
+    fn shard_reproduces_engine_round() {
+        let inst = Instance::uniform(8, 4, 3).unwrap();
+        let state = State::all_on(&inst, ResourceId(0));
+        let proto = SlackDamped::default();
+        let seed = 77;
+
+        let expected = qlb_core::step::decide_round(&inst, &state, &proto, seed, 0);
+
+        let (utx, urx) = unbounded();
+        let (rtx, rrx) = unbounded();
+        let (ctx, crx) = unbounded();
+        let shard = UserShard::new(
+            &inst,
+            &proto,
+            seed,
+            0,
+            state.assignment().to_vec(),
+            urx,
+            vec![rtx],
+            ctx,
+            0,
+        );
+        // one resource shard covering everything
+        utx.send(ToUser::Snapshot {
+            round: 0,
+            start: 0,
+            loads: state.loads().to_vec(),
+        })
+        .unwrap();
+        utx.send(ToUser::Stop).unwrap();
+        shard.run();
+
+        match rrx.recv().unwrap() {
+            ToResource::Moves { round, moves } => {
+                assert_eq!(round, 0);
+                assert_eq!(moves, expected);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match crx.recv().unwrap() {
+            ToCoordinator::Report {
+                unsatisfied,
+                migrations,
+                ..
+            } => {
+                assert_eq!(unsatisfied, 8);
+                assert_eq!(migrations, expected.len() as u64);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // final positions reflect the moves
+        match crx.recv().unwrap() {
+            ToCoordinator::FinalAssign { assignment, .. } => {
+                for mv in &expected {
+                    assert_eq!(assignment[mv.user.index()], mv.to);
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn assembles_multi_shard_snapshots() {
+        let inst = Instance::uniform(4, 4, 2).unwrap();
+        let proto = SlackDamped::default();
+        let (_utx, urx) = unbounded();
+        let (rtx, _rrx) = unbounded();
+        let (ctx, _crx) = unbounded();
+        let mut shard = UserShard::new(
+            &inst,
+            &proto,
+            1,
+            0,
+            vec![ResourceId(0); 4],
+            urx,
+            vec![rtx.clone(), rtx],
+            ctx,
+            0,
+        );
+        assert!(shard.assemble(0, 0, vec![7, 8]).is_none());
+        let full = shard.assemble(0, 2, vec![9, 10]).unwrap();
+        assert_eq!(full, vec![7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn delayed_observation_uses_history() {
+        let inst = Instance::uniform(2, 2, 5).unwrap();
+        let proto = SlackDamped::default();
+        let (_utx, urx) = unbounded();
+        let (rtx, _rrx) = unbounded();
+        let (ctx, _crx) = unbounded();
+        let mut shard = UserShard::new(
+            &inst,
+            &proto,
+            1,
+            0,
+            vec![ResourceId(0); 2],
+            urx,
+            vec![rtx],
+            ctx,
+            2, // D = 2
+        );
+        shard.history.push_back((0, vec![10, 0]));
+        shard.history.push_back((1, vec![5, 5]));
+        shard.history.push_back((2, vec![0, 10]));
+        // With D = 2 and 3 snapshots, observed loads must be one of the
+        // three vectors; collect over rounds to see staleness occur.
+        let mut seen_stale = false;
+        for round in 0..64 {
+            let obs = shard.observed_loads(UserId(0), round).to_vec();
+            assert!(
+                [vec![10, 0], vec![5, 5], vec![0, 10]].contains(&obs),
+                "unexpected observation {obs:?}"
+            );
+            if obs != vec![0, 10] {
+                seen_stale = true;
+            }
+        }
+        assert!(seen_stale, "delay never produced a stale observation");
+        // Synchronous shard always sees the freshest.
+        shard.max_delay = 0;
+        for round in 0..16 {
+            assert_eq!(shard.observed_loads(UserId(0), round), &[0, 10]);
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Ordinary least squares — checking convergence-rate shapes.
+//!
+//! The reconstructed main theorem predicts rounds-to-convergence
+//! `≈ a·log n + b`. The harness verifies the *shape*, not the constants, by
+//! fitting measured means against `log₂ n` and reporting `R²`: a log-shaped
+//! curve fits with `R² ≈ 1`, a polynomial one does not.
+
+/// A fitted line `y = intercept + slope·x` with its coefficient of
+/// determination.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fit {
+    /// Slope `b`.
+    pub slope: f64,
+    /// Intercept `a`.
+    pub intercept: f64,
+    /// Coefficient of determination `R² ∈ [0, 1]` (1 = perfect fit). When
+    /// the response is constant, `R²` is defined as 1 if the fit is exact.
+    pub r_squared: f64,
+}
+
+impl Fit {
+    /// Predicted response at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+/// Least-squares line through `(x, y)` pairs.
+///
+/// Returns `None` for fewer than two points or a degenerate (constant-`x`)
+/// design.
+pub fn linear_fit(points: &[(f64, f64)]) -> Option<Fit> {
+    let n = points.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mean_x = points.iter().map(|p| p.0).sum::<f64>() / nf;
+    let mean_y = points.iter().map(|p| p.1).sum::<f64>() / nf;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for &(x, y) in points {
+        let dx = x - mean_x;
+        let dy = y - mean_y;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let r_squared = if syy == 0.0 {
+        1.0 // constant response fitted exactly by slope 0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    Some(Fit {
+        slope,
+        intercept,
+        r_squared,
+    })
+}
+
+/// Fit `y = a + b·log₂(x)`: the shape test for logarithmic convergence.
+///
+/// Returns `None` if any `x ≤ 0` or the design is degenerate.
+pub fn log_fit(points: &[(f64, f64)]) -> Option<Fit> {
+    if points.iter().any(|&(x, _)| x <= 0.0) {
+        return None;
+    }
+    let transformed: Vec<(f64, f64)> = points.iter().map(|&(x, y)| (x.log2(), y)).collect();
+    linear_fit(&transformed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 + 2.0 * i as f64)).collect();
+        let fit = linear_fit(&pts).unwrap();
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.intercept - 3.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!((fit.predict(100.0) - 203.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_line_high_r2() {
+        let pts: Vec<(f64, f64)> = (0..50)
+            .map(|i| {
+                let x = i as f64;
+                (x, 1.0 + 0.5 * x + if i % 2 == 0 { 0.1 } else { -0.1 })
+            })
+            .collect();
+        let fit = linear_fit(&pts).unwrap();
+        assert!(fit.r_squared > 0.99);
+        assert!((fit.slope - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn degenerate_designs_rejected() {
+        assert!(linear_fit(&[]).is_none());
+        assert!(linear_fit(&[(1.0, 2.0)]).is_none());
+        assert!(linear_fit(&[(3.0, 1.0), (3.0, 5.0)]).is_none());
+    }
+
+    #[test]
+    fn constant_response_is_perfect_flat_fit() {
+        let fit = linear_fit(&[(1.0, 4.0), (2.0, 4.0), (3.0, 4.0)]).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.intercept, 4.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn log_fit_recovers_log_curve() {
+        // y = 5 + 3·log2(x)
+        let pts: Vec<(f64, f64)> = (4..14)
+            .map(|e| {
+                let x = (1u64 << e) as f64;
+                (x, 5.0 + 3.0 * x.log2())
+            })
+            .collect();
+        let fit = log_fit(&pts).unwrap();
+        assert!((fit.slope - 3.0).abs() < 1e-9);
+        assert!((fit.intercept - 5.0).abs() < 1e-9);
+        assert!(fit.r_squared > 0.999999);
+    }
+
+    #[test]
+    fn log_fit_distinguishes_linear_growth() {
+        // y = x grows much faster than log: R² of the log fit over a wide
+        // range is visibly poor.
+        let pts: Vec<(f64, f64)> = (0..16).map(|e| ((1u64 << e) as f64, (1u64 << e) as f64)).collect();
+        let fit = log_fit(&pts).unwrap();
+        assert!(fit.r_squared < 0.7, "R² {} should be poor", fit.r_squared);
+    }
+
+    #[test]
+    fn log_fit_rejects_nonpositive_x() {
+        assert!(log_fit(&[(0.0, 1.0), (2.0, 2.0)]).is_none());
+        assert!(log_fit(&[(-1.0, 1.0), (2.0, 2.0)]).is_none());
+    }
+}

@@ -1,0 +1,23 @@
+//! # qlb-stats — experiment statistics and table rendering
+//!
+//! Small, dependency-free numerics for the experiment harness: streaming
+//! summaries ([`Summary`]), quantiles and histograms ([`mod@quantile`]),
+//! ordinary-least-squares fits ([`fit`] — used to check the `a·log n + b`
+//! convergence shape of the main theorem), Markdown/CSV table output
+//! ([`table`]) so every experiment prints the same artifact it writes to
+//! `results/`, and terminal sparklines ([`spark`]) for one-line decay
+//! figures in examples and CLI output.
+
+#![warn(missing_docs)]
+
+pub mod fit;
+pub mod quantile;
+pub mod spark;
+pub mod summary;
+pub mod table;
+
+pub use fit::{linear_fit, log_fit, Fit};
+pub use quantile::{quantile, quantiles, Histogram};
+pub use spark::{sparkline, sparkline_fit};
+pub use summary::Summary;
+pub use table::Table;

@@ -1,0 +1,186 @@
+//! Quantiles and histograms.
+
+/// The `q`-quantile (`0 ≤ q ≤ 1`) of a sample, by linear interpolation
+/// between closest ranks (type-7, the R/NumPy default).
+///
+/// Returns `None` for an empty sample.
+///
+/// # Panics
+/// Panics if `q` is outside `[0, 1]` or any value is NaN.
+pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile out of range");
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    Some(quantile_sorted(&sorted, q))
+}
+
+/// Several quantiles at once (sorts once).
+pub fn quantiles(values: &[f64], qs: &[f64]) -> Option<Vec<f64>> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    Some(qs.iter().map(|&q| quantile_sorted(&sorted, q)).collect())
+}
+
+fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile out of range");
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Fixed-width histogram over `[lo, hi)` with overflow/underflow buckets.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Histogram with `buckets` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi` or `buckets == 0`.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(lo < hi, "empty range");
+        assert!(buckets > 0, "need at least one bucket");
+        Self {
+            lo,
+            hi,
+            buckets: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.buckets.len() as f64;
+            let idx = ((x - self.lo) / width) as usize;
+            let idx = idx.min(self.buckets.len() - 1); // fp guard
+            self.buckets[idx] += 1;
+        }
+    }
+
+    /// In-range bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Observations below `lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above `hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.underflow + self.overflow + self.buckets.iter().sum::<u64>()
+    }
+
+    /// `(bucket_lower_edge, count)` pairs for reporting.
+    pub fn edges(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        let width = (self.hi - self.lo) / self.buckets.len() as f64;
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (self.lo + width * i as f64, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_of_empty_is_none() {
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(quantile(&[3.0, 1.0, 2.0], 0.5), Some(2.0));
+        assert_eq!(quantile(&[4.0, 1.0, 2.0, 3.0], 0.5), Some(2.5));
+    }
+
+    #[test]
+    fn extremes() {
+        let xs = [5.0, 1.0, 3.0];
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        assert_eq!(quantile(&xs, 1.0), Some(5.0));
+    }
+
+    #[test]
+    fn interpolation_type7() {
+        // [10, 20, 30, 40]: q=0.25 → pos 0.75 → 10 + 0.75*10 = 17.5
+        assert_eq!(quantile(&[10.0, 20.0, 30.0, 40.0], 0.25), Some(17.5));
+    }
+
+    #[test]
+    fn single_element() {
+        assert_eq!(quantile(&[7.0], 0.99), Some(7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn out_of_range_q_panics() {
+        let _ = quantile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn quantiles_batch_matches_single() {
+        let xs = [9.0, 2.0, 7.0, 4.0, 5.0];
+        let batch = quantiles(&xs, &[0.1, 0.5, 0.9]).unwrap();
+        for (i, &q) in [0.1, 0.5, 0.9].iter().enumerate() {
+            assert_eq!(batch[i], quantile(&xs, q).unwrap());
+        }
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [0.0, 1.9, 2.0, 9.9, -1.0, 10.0, 5.5] {
+            h.record(x);
+        }
+        assert_eq!(h.counts(), &[2, 1, 1, 0, 1]);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn histogram_edges() {
+        let h = Histogram::new(0.0, 10.0, 2);
+        let edges: Vec<f64> = h.edges().map(|(e, _)| e).collect();
+        assert_eq!(edges, vec![0.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn bad_histogram_range_panics() {
+        let _ = Histogram::new(1.0, 1.0, 3);
+    }
+}

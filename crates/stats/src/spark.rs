@@ -1,0 +1,113 @@
+//! Terminal sparklines — compact series rendering for examples and CLI
+//! output (a "figure" that fits in one line of a log).
+
+/// The eight block glyphs from lowest to highest.
+const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Render a series as a one-line sparkline, scaled to `[min, max]` of the
+/// data. Empty input renders as an empty string; a constant series renders
+/// as all-minimum glyphs (there is nothing to show).
+///
+/// ```
+/// use qlb_stats::sparkline;
+/// assert_eq!(sparkline(&[0.0, 1.0, 2.0, 3.0]), "▁▃▆█");
+/// ```
+pub fn sparkline(values: &[f64]) -> String {
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in values {
+        assert!(v.is_finite(), "sparkline input must be finite");
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if values.is_empty() {
+        return String::new();
+    }
+    let span = hi - lo;
+    values
+        .iter()
+        .map(|&v| {
+            if span == 0.0 {
+                BLOCKS[0]
+            } else {
+                let t = (v - lo) / span;
+                let idx = ((t * (BLOCKS.len() - 1) as f64).round() as usize).min(BLOCKS.len() - 1);
+                BLOCKS[idx]
+            }
+        })
+        .collect()
+}
+
+/// As [`sparkline`], but downsampled to at most `width` glyphs by taking
+/// the maximum of each bucket (peaks are the interesting feature of decay
+/// curves, so max-pooling preserves them).
+pub fn sparkline_fit(values: &[f64], width: usize) -> String {
+    assert!(width > 0, "width must be positive");
+    if values.len() <= width {
+        return sparkline(values);
+    }
+    let bucket = values.len().div_ceil(width);
+    let pooled: Vec<f64> = values
+        .chunks(bucket)
+        .map(|c| c.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+        .collect();
+    sparkline(&pooled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_empty() {
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn monotone_ramp() {
+        assert_eq!(sparkline(&[0.0, 1.0, 2.0, 3.0]), "▁▃▆█");
+    }
+
+    #[test]
+    fn constant_is_flat() {
+        assert_eq!(sparkline(&[5.0, 5.0, 5.0]), "▁▁▁");
+    }
+
+    #[test]
+    fn extremes_map_to_extreme_glyphs() {
+        let s: Vec<char> = sparkline(&[10.0, 0.0, 10.0]).chars().collect();
+        assert_eq!(s[0], '█');
+        assert_eq!(s[1], '▁');
+        assert_eq!(s[2], '█');
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_rejected() {
+        let _ = sparkline(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn fit_downsamples_with_max_pooling() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let s = sparkline_fit(&values, 10);
+        assert_eq!(s.chars().count(), 10);
+        assert!(s.ends_with('█'));
+        // short inputs pass through
+        assert_eq!(sparkline_fit(&[0.0, 3.0], 10).chars().count(), 2);
+    }
+
+    #[test]
+    fn fit_preserves_peaks() {
+        // a single spike must survive pooling
+        let mut values = vec![0.0; 64];
+        values[31] = 100.0;
+        let s = sparkline_fit(&values, 8);
+        assert!(s.contains('█'), "spike lost: {s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn zero_width_rejected() {
+        let _ = sparkline_fit(&[1.0], 0);
+    }
+}

@@ -1,0 +1,257 @@
+//! Compact undirected resource graphs (CSR) and generators.
+
+use qlb_rng::{Rng64, SplitMix64};
+use std::collections::VecDeque;
+
+/// An undirected graph over resources `0..m`, stored as CSR adjacency.
+///
+/// Self-loops are rejected; parallel edges are deduplicated at build time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    offsets: Vec<u32>,
+    neighbors: Vec<u32>,
+}
+
+impl Graph {
+    /// Build from an edge list over `m` vertices.
+    ///
+    /// # Panics
+    /// Panics on out-of-range endpoints or self-loops.
+    pub fn from_edges(m: usize, edges: &[(u32, u32)]) -> Self {
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); m];
+        for &(a, b) in edges {
+            assert!((a as usize) < m && (b as usize) < m, "edge out of range");
+            assert_ne!(a, b, "self-loop");
+            adj[a as usize].push(b);
+            adj[b as usize].push(a);
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+        }
+        let mut offsets = Vec::with_capacity(m + 1);
+        let mut neighbors = Vec::new();
+        offsets.push(0);
+        for list in adj {
+            neighbors.extend(list);
+            offsets.push(neighbors.len() as u32);
+        }
+        Self { offsets, neighbors }
+    }
+
+    /// Ring: vertex `i` adjacent to `i ± 1 (mod m)`. Diameter `⌊m/2⌋`.
+    ///
+    /// # Panics
+    /// Panics for `m < 3`.
+    pub fn ring(m: usize) -> Self {
+        assert!(m >= 3, "ring needs ≥ 3 vertices");
+        let edges: Vec<(u32, u32)> = (0..m as u32).map(|i| (i, (i + 1) % m as u32)).collect();
+        Self::from_edges(m, &edges)
+    }
+
+    /// 2-D torus `w × h` (4-neighbour). Diameter `⌊w/2⌋ + ⌊h/2⌋`.
+    ///
+    /// # Panics
+    /// Panics unless both sides are ≥ 3 (smaller sides create parallel
+    /// edges that would silently dedupe into a degenerate graph).
+    pub fn torus(w: usize, h: usize) -> Self {
+        assert!(w >= 3 && h >= 3, "torus sides must be ≥ 3");
+        let m = w * h;
+        let idx = |x: usize, y: usize| (y * w + x) as u32;
+        let mut edges = Vec::with_capacity(2 * m);
+        for y in 0..h {
+            for x in 0..w {
+                edges.push((idx(x, y), idx((x + 1) % w, y)));
+                edges.push((idx(x, y), idx(x, (y + 1) % h)));
+            }
+        }
+        Self::from_edges(m, &edges)
+    }
+
+    /// Complete graph: every pair adjacent (the unrestricted model, as a
+    /// sanity anchor for E17).
+    pub fn complete(m: usize) -> Self {
+        let mut edges = Vec::with_capacity(m * (m - 1) / 2);
+        for a in 0..m as u32 {
+            for b in (a + 1)..m as u32 {
+                edges.push((a, b));
+            }
+        }
+        Self::from_edges(m, &edges)
+    }
+
+    /// Erdős–Rényi `G(m, p)`, conditioned on connectivity by retrying with
+    /// fresh randomness (deterministic in `seed`).
+    ///
+    /// # Panics
+    /// Panics if no connected sample is found within 64 attempts (choose a
+    /// larger `p`; the connectivity threshold is `ln m / m`).
+    pub fn erdos_renyi(m: usize, p: f64, seed: u64) -> Self {
+        let mut rng = SplitMix64::new(qlb_rng::mix64_pair(seed, 0x9_A9A));
+        for _attempt in 0..64 {
+            let mut edges = Vec::new();
+            for a in 0..m as u32 {
+                for b in (a + 1)..m as u32 {
+                    if rng.bernoulli(p) {
+                        edges.push((a, b));
+                    }
+                }
+            }
+            let g = Self::from_edges(m, &edges);
+            if g.is_connected() {
+                return g;
+            }
+        }
+        panic!("no connected G({m}, {p}) sample in 64 attempts");
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Neighbours of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.neighbors[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Mean degree.
+    pub fn mean_degree(&self) -> f64 {
+        self.neighbors.len() as f64 / self.num_vertices() as f64
+    }
+
+    /// BFS distances from `src` (`u32::MAX` = unreachable).
+    pub fn bfs_distances(&self, src: usize) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; self.num_vertices()];
+        let mut queue = VecDeque::new();
+        dist[src] = 0;
+        queue.push_back(src);
+        while let Some(v) = queue.pop_front() {
+            for &w in self.neighbors(v) {
+                if dist[w as usize] == u32::MAX {
+                    dist[w as usize] = dist[v] + 1;
+                    queue.push_back(w as usize);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Is the graph connected? (Vacuously true for a single vertex.)
+    pub fn is_connected(&self) -> bool {
+        if self.num_vertices() == 0 {
+            return true;
+        }
+        self.bfs_distances(0).iter().all(|&d| d != u32::MAX)
+    }
+
+    /// Exact diameter via all-pairs BFS (`O(m·(m+E))` — fine at
+    /// experiment scale). `None` if disconnected.
+    pub fn diameter(&self) -> Option<u32> {
+        let mut best = 0u32;
+        for v in 0..self.num_vertices() {
+            let d = self.bfs_distances(v);
+            for &x in &d {
+                if x == u32::MAX {
+                    return None;
+                }
+                best = best.max(x);
+            }
+        }
+        Some(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_structure() {
+        let g = Graph::ring(6);
+        assert_eq!(g.num_vertices(), 6);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.neighbors(0), &[1, 5]);
+        assert_eq!(g.degree(3), 2);
+        assert!(g.is_connected());
+        assert_eq!(g.diameter(), Some(3));
+    }
+
+    #[test]
+    fn torus_structure() {
+        let g = Graph::torus(4, 3);
+        assert_eq!(g.num_vertices(), 12);
+        assert!(g.is_connected());
+        for v in 0..12 {
+            assert_eq!(g.degree(v), 4, "vertex {v}");
+        }
+        assert_eq!(g.diameter(), Some(2 + 1));
+    }
+
+    #[test]
+    fn complete_structure() {
+        let g = Graph::complete(5);
+        assert_eq!(g.num_edges(), 10);
+        assert_eq!(g.diameter(), Some(1));
+        for v in 0..5 {
+            assert_eq!(g.degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn erdos_renyi_connected_and_deterministic() {
+        let a = Graph::erdos_renyi(32, 0.3, 7);
+        let b = Graph::erdos_renyi(32, 0.3, 7);
+        assert_eq!(a, b);
+        assert!(a.is_connected());
+        let c = Graph::erdos_renyi(32, 0.3, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn from_edges_dedupes() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 0), (0, 1), (1, 2)]);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_rejected() {
+        let _ = Graph::from_edges(2, &[(0, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        let _ = Graph::from_edges(2, &[(0, 5)]);
+    }
+
+    #[test]
+    fn disconnected_detected() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(!g.is_connected());
+        assert_eq!(g.diameter(), None);
+    }
+
+    #[test]
+    fn bfs_distances_on_ring() {
+        let g = Graph::ring(8);
+        let d = g.bfs_distances(0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4, 3, 2, 1]);
+    }
+}

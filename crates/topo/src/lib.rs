@@ -1,0 +1,49 @@
+//! # qlb-topo — topology-restricted sampling
+//!
+//! The base model lets every user sample every resource. In real systems
+//! resources have *structure*: a client can only fail over to servers in
+//! reachable racks; a station can only hop to adjacent channels; a task
+//! can only migrate along the interconnect. This crate restricts sampling
+//! to a **resource graph**: a user on resource `r` may only probe `r`'s
+//! neighbours.
+//!
+//! Two kernels are provided, and the distinction is the interesting part:
+//!
+//! * [`GraphSlackDamped`] — the paper's kernel, verbatim, with
+//!   neighbour-only sampling. On sparse graphs it **deadlocks**: once the
+//!   resources adjacent to a hotspot fill to capacity, their occupants are
+//!   satisfied and never move, and the surplus can never cross the full
+//!   ring of neighbours even though remote capacity abounds. This is the
+//!   topological incarnation of the blocking phenomenon (pinned by a test
+//!   here and measured in experiment E17).
+//! * [`GraphDiffusion`] — adds a balancing rule for satisfied users: drift
+//!   to a strictly less-loaded neighbour (damped, and only when the move
+//!   keeps the target legal). Satisfied users vacating hotspot-adjacent
+//!   resources is exactly what lets the surplus percolate, turning the
+//!   deadlock into diffusion; convergence time then scales with the
+//!   topology's diffusion properties (diameter/conductance), which E17
+//!   sweeps across ring / torus / random / complete graphs.
+//!
+//! [`Graph`] is a compact CSR structure with generators for the standard
+//! experiment topologies and the BFS-based diagnostics (connectivity,
+//! diameter) the experiment tables report.
+
+//! ```
+//! use qlb_core::prelude::*;
+//! use qlb_engine::{run, RunConfig};
+//! use qlb_topo::{Graph, GraphDiffusion};
+//!
+//! let mesh = Graph::torus(4, 4);
+//! let inst = Instance::uniform(96, 16, 8).unwrap(); // γ ≈ 1.33
+//! let start = State::all_on(&inst, ResourceId(0));
+//! let out = run(&inst, start, &GraphDiffusion::new(mesh), RunConfig::new(3, 100_000));
+//! assert!(out.converged);
+//! ```
+
+#![warn(missing_docs)]
+
+mod graph;
+mod kernels;
+
+pub use graph::Graph;
+pub use kernels::{GraphDiffusion, GraphSlackDamped};

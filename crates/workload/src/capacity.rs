@@ -1,0 +1,245 @@
+//! Capacity distributions and slack calibration.
+
+use qlb_rng::{Rng64, SplitMix64};
+use serde::{Deserialize, Serialize};
+
+/// Families of per-resource capacity distributions used in the experiments.
+///
+/// The theory is distribution-free; these families stress different parts
+/// of the inequalities: `Constant` is the textbook setting, `Zipf` puts
+/// most capacity on a few giants (uniform sampling rarely finds them),
+/// `Bimodal` models a fleet of small machines plus a few large ones.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CapacityDist {
+    /// All resources share one capacity.
+    Constant {
+        /// The shared capacity.
+        cap: u32,
+    },
+    /// Capacity uniform in `[lo, hi]`.
+    UniformRange {
+        /// Inclusive lower bound.
+        lo: u32,
+        /// Inclusive upper bound.
+        hi: u32,
+    },
+    /// `cap(rank) ∝ rank^(−alpha)`, ranks `1..=m`, scaled so the largest
+    /// resource gets `max_cap`. `alpha = 0` degenerates to constant; around
+    /// `alpha = 1` a handful of resources hold most capacity.
+    Zipf {
+        /// Skew exponent `≥ 0`.
+        alpha: f64,
+        /// Capacity of the rank-1 resource.
+        max_cap: u32,
+    },
+    /// Fraction `frac_large` of resources have capacity `large`, the rest
+    /// `small`.
+    Bimodal {
+        /// Capacity of small resources.
+        small: u32,
+        /// Capacity of large resources.
+        large: u32,
+        /// Fraction of large resources in `[0, 1]`.
+        frac_large: f64,
+    },
+}
+
+impl CapacityDist {
+    /// Sample `m` capacities deterministically from `seed`.
+    ///
+    /// # Panics
+    /// Panics on invalid parameters (`lo > hi`, negative `alpha`,
+    /// `frac_large` outside `[0,1]`, `m == 0`).
+    pub fn sample(&self, m: usize, seed: u64) -> Vec<u32> {
+        assert!(m > 0, "need at least one resource");
+        let mut rng = SplitMix64::new(qlb_rng::mix64_pair(seed, 0xCAFE));
+        match *self {
+            CapacityDist::Constant { cap } => vec![cap; m],
+            CapacityDist::UniformRange { lo, hi } => {
+                assert!(lo <= hi, "empty capacity range");
+                (0..m)
+                    .map(|_| rng.range_inclusive(lo as u64, hi as u64) as u32)
+                    .collect()
+            }
+            CapacityDist::Zipf { alpha, max_cap } => {
+                assert!(alpha >= 0.0 && alpha.is_finite(), "bad alpha");
+                // deterministic rank curve, then shuffle so resource ids
+                // are not correlated with size
+                let mut caps: Vec<u32> = (1..=m)
+                    .map(|rank| {
+                        let scale = (rank as f64).powf(-alpha);
+                        ((max_cap as f64) * scale).round().max(1.0) as u32
+                    })
+                    .collect();
+                rng.shuffle(&mut caps);
+                caps
+            }
+            CapacityDist::Bimodal {
+                small,
+                large,
+                frac_large,
+            } => {
+                assert!(
+                    (0.0..=1.0).contains(&frac_large),
+                    "frac_large out of range"
+                );
+                let num_large = ((m as f64) * frac_large).round() as usize;
+                let mut caps: Vec<u32> = (0..m)
+                    .map(|i| if i < num_large { large } else { small })
+                    .collect();
+                rng.shuffle(&mut caps);
+                caps
+            }
+        }
+    }
+}
+
+/// Rescale capacities so that `Σ c_r` equals exactly `⌈γ · n⌉`, preserving
+/// the distribution's *shape* (proportional scaling plus a deterministic
+/// remainder spread). Zero capacities stay zero.
+///
+/// This is what lets a table row claim an exact slack factor: the sampled
+/// distribution fixes relative sizes, calibration fixes the total.
+///
+/// # Panics
+/// Panics if `γ ≤ 0`, `n == 0`, or all capacities are zero.
+pub fn calibrate_slack(caps: &mut [u32], n: usize, gamma: f64) {
+    assert!(gamma > 0.0 && gamma.is_finite(), "bad slack factor");
+    assert!(n > 0, "need users to calibrate against");
+    let target = (gamma * n as f64).ceil() as u64;
+    let current: u64 = caps.iter().map(|&c| c as u64).sum();
+    assert!(current > 0, "cannot calibrate all-zero capacities");
+
+    // Proportional pass (floor), tracking fractional remainders.
+    let mut total = 0u64;
+    let mut fracs: Vec<(usize, f64)> = Vec::with_capacity(caps.len());
+    for (i, c) in caps.iter_mut().enumerate() {
+        if *c == 0 {
+            continue;
+        }
+        let exact = (*c as f64) * (target as f64) / (current as f64);
+        let fl = exact.floor();
+        *c = fl as u32;
+        total += fl as u64;
+        fracs.push((i, exact - fl));
+    }
+    // Spread the remainder to the largest fractional parts (stable order).
+    let mut remainder = target.saturating_sub(total);
+    fracs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    let mut fi = 0usize;
+    while remainder > 0 && !fracs.is_empty() {
+        let (idx, _) = fracs[fi % fracs.len()];
+        caps[idx] += 1;
+        remainder -= 1;
+        fi += 1;
+    }
+    debug_assert_eq!(caps.iter().map(|&c| c as u64).sum::<u64>(), target);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_dist() {
+        let caps = CapacityDist::Constant { cap: 7 }.sample(5, 1);
+        assert_eq!(caps, vec![7; 5]);
+    }
+
+    #[test]
+    fn uniform_range_bounds() {
+        let caps = CapacityDist::UniformRange { lo: 3, hi: 9 }.sample(1000, 2);
+        assert!(caps.iter().all(|&c| (3..=9).contains(&c)));
+        assert!(caps.contains(&3));
+        assert!(caps.contains(&9));
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_shuffled() {
+        let caps = CapacityDist::Zipf {
+            alpha: 1.0,
+            max_cap: 1000,
+        }
+        .sample(100, 3);
+        let total: u64 = caps.iter().map(|&c| c as u64).sum();
+        let max = *caps.iter().max().unwrap() as u64;
+        assert_eq!(max, 1000);
+        // rank-1 resource holds a macroscopic share under alpha = 1
+        assert!(max as f64 / total as f64 > 0.15);
+        // all positive (min clamped to 1)
+        assert!(caps.iter().all(|&c| c >= 1));
+    }
+
+    #[test]
+    fn zipf_alpha_zero_is_constant() {
+        let caps = CapacityDist::Zipf {
+            alpha: 0.0,
+            max_cap: 10,
+        }
+        .sample(5, 4);
+        assert_eq!(caps, vec![10; 5]);
+    }
+
+    #[test]
+    fn bimodal_counts() {
+        let caps = CapacityDist::Bimodal {
+            small: 2,
+            large: 50,
+            frac_large: 0.25,
+        }
+        .sample(100, 5);
+        let larges = caps.iter().filter(|&&c| c == 50).count();
+        let smalls = caps.iter().filter(|&&c| c == 2).count();
+        assert_eq!(larges, 25);
+        assert_eq!(smalls, 75);
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let d = CapacityDist::UniformRange { lo: 1, hi: 100 };
+        assert_eq!(d.sample(50, 7), d.sample(50, 7));
+        assert_ne!(d.sample(50, 7), d.sample(50, 8));
+    }
+
+    #[test]
+    fn calibrate_hits_exact_total() {
+        for gamma in [1.0, 1.01, 1.25, 2.0] {
+            let mut caps = CapacityDist::UniformRange { lo: 1, hi: 20 }.sample(64, 9);
+            calibrate_slack(&mut caps, 1000, gamma);
+            let total: u64 = caps.iter().map(|&c| c as u64).sum();
+            assert_eq!(total, (gamma * 1000.0_f64).ceil() as u64, "γ={gamma}");
+        }
+    }
+
+    #[test]
+    fn calibrate_preserves_zeros_and_shape() {
+        let mut caps = vec![0, 10, 20, 0, 70];
+        calibrate_slack(&mut caps, 50, 2.0); // target 100
+        assert_eq!(caps[0], 0);
+        assert_eq!(caps[3], 0);
+        assert_eq!(caps.iter().sum::<u32>(), 100);
+        // shape preserved: still increasing among the nonzero entries
+        assert!(caps[1] < caps[2] && caps[2] < caps[4]);
+    }
+
+    #[test]
+    fn calibrate_constant_distribution_stays_flat() {
+        let mut caps = vec![5u32; 10];
+        calibrate_slack(&mut caps, 40, 1.25); // target 50 → 5 each
+        assert_eq!(caps, vec![5; 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad slack factor")]
+    fn calibrate_rejects_zero_gamma() {
+        let mut caps = vec![5u32; 4];
+        calibrate_slack(&mut caps, 10, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero")]
+    fn calibrate_rejects_all_zero() {
+        let mut caps = vec![0u32; 4];
+        calibrate_slack(&mut caps, 10, 1.5);
+    }
+}

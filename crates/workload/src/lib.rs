@@ -1,0 +1,41 @@
+//! # qlb-workload — scenario and workload generators
+//!
+//! Everything the experiments need to manufacture instances:
+//!
+//! * [`capacity`] — capacity distributions (constant, uniform range,
+//!   Zipf-skewed, bimodal) plus exact slack-factor calibration, so a table
+//!   row labelled `γ = 1.25` really has `Σ c_r = ⌈1.25·n⌉`;
+//! * [`placement`] — initial conditions (hotspot flash-crowd, uniform
+//!   random, round-robin, worst-hotspot);
+//! * [`scenario`] — serde-serializable experiment configurations tying the
+//!   two together (including multi-class latency and eligibility flavours),
+//!   with feasibility verified at build time via `qlb-core`'s greedy and
+//!   `qlb-flow`'s exact oracle.
+//!
+//! All sampling uses `qlb-rng` so a scenario is a pure function of its
+//! parameters and seed.
+//!
+//! ```
+//! use qlb_workload::{CapacityDist, Placement, Scenario};
+//!
+//! let sc = Scenario::single_class(
+//!     "demo", 1000, 128,
+//!     CapacityDist::Zipf { alpha: 1.0, max_cap: 256 },
+//!     1.25,                       // Σ c_r calibrated to exactly ⌈1.25·n⌉
+//!     Placement::Hotspot,
+//! );
+//! let (inst, state) = sc.build(7).unwrap();
+//! assert_eq!(inst.total_capacity(), 1250);
+//! assert_eq!(state.num_users(), 1000);
+//! assert_eq!(sc, Scenario::from_json(&sc.to_json()).unwrap());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod capacity;
+pub mod placement;
+pub mod scenario;
+
+pub use capacity::{calibrate_slack, CapacityDist};
+pub use placement::Placement;
+pub use scenario::{ClassSpec, Scenario, ScenarioError};

@@ -1,0 +1,90 @@
+//! Initial placements (the experiments' initial conditions).
+
+use qlb_core::{Instance, ResourceId, State};
+use serde::{Deserialize, Serialize};
+
+/// Initial-condition families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Placement {
+    /// Everyone on resource 0: the flash-crowd start used by the
+    /// adversarial analyses.
+    Hotspot,
+    /// Everyone on the resource with the **smallest positive** capacity
+    /// (class-0 view): the worst hotspot — maximal overload at the start.
+    WorstHotspot,
+    /// Independent uniform placement (the natural uncoordinated start).
+    Random,
+    /// Deterministic round-robin (balanced up to ±1; near-legal for
+    /// generous capacities).
+    RoundRobin,
+}
+
+impl Placement {
+    /// Materialize the placement.
+    pub fn build(&self, inst: &Instance, seed: u64) -> State {
+        match self {
+            Placement::Hotspot => State::all_on(inst, ResourceId(0)),
+            Placement::WorstHotspot => {
+                let r = inst
+                    .resource_ids()
+                    .filter(|&r| inst.capacity(r) > 0)
+                    .min_by_key(|&r| inst.capacity(r))
+                    .unwrap_or(ResourceId(0));
+                State::all_on(inst, r)
+            }
+            Placement::Random => State::random(inst, qlb_rng::mix64_pair(seed, 0x9_1ACE)),
+            Placement::RoundRobin => State::round_robin(inst),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hotspot_on_resource_zero() {
+        let inst = Instance::uniform(10, 4, 3).unwrap();
+        let s = Placement::Hotspot.build(&inst, 0);
+        assert_eq!(s.load(ResourceId(0)), 10);
+    }
+
+    #[test]
+    fn worst_hotspot_picks_smallest_positive() {
+        let inst = Instance::with_capacities(10, vec![5, 0, 2, 9]).unwrap();
+        let s = Placement::WorstHotspot.build(&inst, 0);
+        assert_eq!(s.load(ResourceId(2)), 10);
+    }
+
+    #[test]
+    fn worst_hotspot_all_zero_falls_back() {
+        let inst = Instance::with_capacities(3, vec![0, 0]).unwrap();
+        let s = Placement::WorstHotspot.build(&inst, 0);
+        assert_eq!(s.load(ResourceId(0)), 3);
+    }
+
+    #[test]
+    fn random_depends_on_seed_only() {
+        let inst = Instance::uniform(100, 10, 20).unwrap();
+        let a = Placement::Random.build(&inst, 1);
+        let b = Placement::Random.build(&inst, 1);
+        let c = Placement::Random.build(&inst, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn round_robin_balanced() {
+        let inst = Instance::uniform(10, 4, 3).unwrap();
+        let s = Placement::RoundRobin.build(&inst, 0);
+        assert_eq!(s.loads(), &[3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = Placement::WorstHotspot;
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Placement = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

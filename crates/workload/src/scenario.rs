@@ -1,0 +1,307 @@
+//! Serde-serializable experiment scenarios.
+//!
+//! A [`Scenario`] is a complete, reproducible description of a workload:
+//! instance shape (capacity distribution, optional slack calibration, QoS
+//! classes) plus initial placement. `build(seed)` is a pure function, so a
+//! scenario JSON plus a seed pins an experiment row exactly.
+
+use crate::capacity::{calibrate_slack, CapacityDist};
+use crate::placement::Placement;
+use qlb_core::{greedy_assign, Instance, InstanceBuilder, State};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A QoS class within a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ClassSpec {
+    /// `count` users satisfied iff latency `x_r / s_r ≤ threshold`.
+    Latency {
+        /// Latency threshold (smaller = stricter).
+        threshold: f64,
+        /// Number of users in the class.
+        count: usize,
+    },
+    /// `count` users restricted to resources with `s_r ≥ min_speed`;
+    /// permitted resources offer capacity `⌊s_r⌋` (exact flow oracle
+    /// applies).
+    Eligibility {
+        /// Minimum usable resource speed.
+        min_speed: f64,
+        /// Number of users in the class.
+        count: usize,
+    },
+}
+
+/// Errors raised while materializing a scenario.
+#[derive(Debug)]
+pub enum ScenarioError {
+    /// The generated instance admits no legal state (or feasibility could
+    /// not be established for multi-class latency scenarios).
+    Infeasible(String),
+    /// Underlying model error.
+    Core(qlb_core::Error),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Infeasible(d) => write!(f, "scenario infeasible: {d}"),
+            ScenarioError::Core(e) => write!(f, "scenario error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<qlb_core::Error> for ScenarioError {
+    fn from(e: qlb_core::Error) -> Self {
+        ScenarioError::Core(e)
+    }
+}
+
+/// A reproducible workload description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Human-readable identifier (appears in tables).
+    pub name: String,
+    /// Number of users for the single-class case; ignored when `classes`
+    /// is non-empty (class counts rule).
+    pub n: usize,
+    /// Number of resources.
+    pub m: usize,
+    /// Per-resource capacity (single-class) / speed (multi-class) shape.
+    pub capacity: CapacityDist,
+    /// If set (single-class only): calibrate capacities so
+    /// `Σ c_r = ⌈γ·n⌉` exactly.
+    pub slack_factor: Option<f64>,
+    /// Initial condition.
+    pub placement: Placement,
+    /// QoS classes; empty = homogeneous single class.
+    pub classes: Vec<ClassSpec>,
+}
+
+impl Scenario {
+    /// Convenience constructor for the homogeneous model.
+    pub fn single_class(
+        name: impl Into<String>,
+        n: usize,
+        m: usize,
+        capacity: CapacityDist,
+        slack_factor: f64,
+        placement: Placement,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            n,
+            m,
+            capacity,
+            slack_factor: Some(slack_factor),
+            placement,
+            classes: Vec::new(),
+        }
+    }
+
+    /// Total user count (single-class `n` or sum of class counts).
+    pub fn num_users(&self) -> usize {
+        if self.classes.is_empty() {
+            self.n
+        } else {
+            self.classes
+                .iter()
+                .map(|c| match c {
+                    ClassSpec::Latency { count, .. } => *count,
+                    ClassSpec::Eligibility { count, .. } => *count,
+                })
+                .sum()
+        }
+    }
+
+    /// Materialize the scenario: a feasibility-checked instance plus the
+    /// initial state. Pure in `(self, seed)`.
+    ///
+    /// Feasibility policy:
+    /// * single class — exact counting check;
+    /// * multi-class — a legal state must be constructible by the greedy
+    ///   (sufficient, not necessary: scenarios should be authored with
+    ///   margin). For pure-eligibility scenarios the exact flow oracle in
+    ///   `qlb-flow` is consulted first, so a greedy miss on a feasible
+    ///   eligibility instance still fails loudly rather than silently.
+    pub fn build(&self, seed: u64) -> Result<(Instance, State), ScenarioError> {
+        let inst = self.build_instance(seed)?;
+        let state = self.placement.build(&inst, seed);
+        Ok((inst, state))
+    }
+
+    fn build_instance(&self, seed: u64) -> Result<Instance, ScenarioError> {
+        let mut caps = self.capacity.sample(self.m, seed);
+
+        if self.classes.is_empty() {
+            if let Some(gamma) = self.slack_factor {
+                calibrate_slack(&mut caps, self.n.max(1), gamma);
+            }
+            let inst = Instance::with_capacities(self.n, caps)?;
+            if !inst.single_class_feasible() {
+                return Err(ScenarioError::Infeasible(format!(
+                    "total capacity {} < n = {}",
+                    inst.total_capacity(),
+                    self.n
+                )));
+            }
+            return Ok(inst);
+        }
+
+        // Multi-class: capacities act as speeds.
+        let mut b = InstanceBuilder::new().speeds(caps.iter().map(|&c| c as f64).collect());
+        let mut all_eligibility = true;
+        for c in &self.classes {
+            match *c {
+                ClassSpec::Latency { threshold, count } => {
+                    all_eligibility = false;
+                    b = b.latency_class(threshold, count);
+                }
+                ClassSpec::Eligibility { min_speed, count } => {
+                    b = b.eligibility_class(min_speed, count);
+                }
+            }
+        }
+        let inst = b.build()?;
+
+        if all_eligibility {
+            let flow = qlb_flow::flow_feasible(
+                &inst.class_sizes(),
+                inst.eff_cap_table(),
+                inst.num_resources(),
+            )
+            .expect("eligibility scenarios have two-valued tables");
+            if !flow.feasible {
+                return Err(ScenarioError::Infeasible(format!(
+                    "flow oracle: can serve only {} of {} users",
+                    flow.served, flow.demand
+                )));
+            }
+        }
+        // Constructive check (also covers the latency flavour).
+        greedy_assign(&inst).map_err(|e| {
+            ScenarioError::Infeasible(format!("greedy could not construct a legal state: {e}"))
+        })?;
+        Ok(inst)
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("scenario is serializable")
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Scenario {
+        Scenario::single_class(
+            "base",
+            100,
+            16,
+            CapacityDist::Constant { cap: 1 },
+            1.25,
+            Placement::Hotspot,
+        )
+    }
+
+    #[test]
+    fn single_class_build_calibrates() {
+        let (inst, state) = base().build(3).unwrap();
+        assert_eq!(inst.num_users(), 100);
+        assert_eq!(inst.total_capacity(), 125);
+        assert_eq!(state.load(qlb_core::ResourceId(0)), 100);
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let sc = Scenario::single_class(
+            "det",
+            64,
+            8,
+            CapacityDist::UniformRange { lo: 1, hi: 30 },
+            1.5,
+            Placement::Random,
+        );
+        let (i1, s1) = sc.build(5).unwrap();
+        let (i2, s2) = sc.build(5).unwrap();
+        assert_eq!(i1, i2);
+        assert_eq!(s1, s2);
+        let (i3, _) = sc.build(6).unwrap();
+        assert_ne!(i1, i3);
+    }
+
+    #[test]
+    fn infeasible_single_class_rejected() {
+        let mut sc = base();
+        sc.slack_factor = Some(0.5);
+        assert!(matches!(
+            sc.build(1),
+            Err(ScenarioError::Infeasible(_))
+        ));
+    }
+
+    #[test]
+    fn latency_classes_build() {
+        let sc = Scenario {
+            name: "classes".into(),
+            n: 0,
+            m: 8,
+            capacity: CapacityDist::Constant { cap: 10 }, // speeds 10
+            slack_factor: None,
+            placement: Placement::Random,
+            classes: vec![
+                ClassSpec::Latency {
+                    threshold: 0.5, // cap 5 per resource
+                    count: 10,
+                },
+                ClassSpec::Latency {
+                    threshold: 1.0, // cap 10 per resource
+                    count: 30,
+                },
+            ],
+        };
+        let (inst, _) = sc.build(2).unwrap();
+        assert_eq!(inst.num_classes(), 2);
+        assert_eq!(inst.num_users(), 40);
+        assert_eq!(sc.num_users(), 40);
+    }
+
+    #[test]
+    fn eligibility_infeasible_detected_by_flow() {
+        let sc = Scenario {
+            name: "tight".into(),
+            n: 0,
+            m: 2,
+            capacity: CapacityDist::Constant { cap: 4 }, // speeds 4, caps 4
+            slack_factor: None,
+            placement: Placement::Random,
+            classes: vec![
+                ClassSpec::Eligibility {
+                    min_speed: 1.0,
+                    count: 9, // total capacity 8 < 9
+                },
+            ],
+        };
+        match sc.build(1) {
+            Err(ScenarioError::Infeasible(msg)) => assert!(msg.contains("flow")),
+            other => panic!("expected flow infeasibility, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let sc = base();
+        let json = sc.to_json();
+        let back = Scenario::from_json(&json).unwrap();
+        assert_eq!(sc, back);
+    }
+}

@@ -1,0 +1,65 @@
+//! The protocol as an actual distributed system: actor runtime over
+//! channels, with and without observation delay.
+//!
+//! Demonstrates: the message-passing runtime, its bit-exact agreement with
+//! the in-memory engine in synchronous mode, and graceful degradation under
+//! bounded asynchrony (stale load observations).
+//!
+//! ```text
+//! cargo run --release --example distributed_cluster
+//! ```
+
+use qoslb::prelude::*;
+
+fn main() {
+    let n = 2048;
+    let m = 256;
+    let inst = Instance::uniform(n, m, 10).expect("valid"); // γ = 1.25
+    let start = State::all_on(&inst, ResourceId(0));
+    let proto = SlackDamped::default();
+    let seed = 2718;
+
+    // Reference: the in-memory engine.
+    let engine = run(&inst, start.clone(), &proto, RunConfig::new(seed, 100_000));
+    println!(
+        "engine (in-memory reference): {} rounds, {} migrations",
+        engine.rounds, engine.migrations
+    );
+
+    // Synchronous runtime: 4 user-shard actors × 2 resource-shard actors.
+    let sync = run_distributed(
+        &inst,
+        start.clone(),
+        &proto,
+        RuntimeConfig::new(seed, 100_000).with_shards(4, 2),
+    );
+    println!(
+        "actor runtime (sync):         {} rounds, {} migrations, {} messages",
+        sync.rounds, sync.migrations, sync.messages
+    );
+    assert_eq!(sync.rounds, engine.rounds);
+    assert_eq!(sync.migrations, engine.migrations);
+    assert_eq!(sync.state, engine.state);
+    println!("  → bit-identical to the engine (same seed, same trajectory)\n");
+
+    // Asynchronous mode: observations up to D rounds stale.
+    println!("bounded asynchrony (stale observations):");
+    for d in [1u64, 2, 4, 8] {
+        let out = run_distributed(
+            &inst,
+            start.clone(),
+            &proto,
+            RuntimeConfig::new(seed, 200_000)
+                .with_shards(4, 2)
+                .with_max_delay(d),
+        );
+        assert!(out.converged, "bounded delay degrades, never diverges");
+        println!(
+            "  D = {d}: {} rounds ({:.2}× the synchronous run), {} migrations",
+            out.rounds,
+            out.rounds as f64 / engine.rounds.max(1) as f64,
+            out.migrations
+        );
+    }
+    println!("\nconvergence survives stale information — at a bounded slowdown");
+}

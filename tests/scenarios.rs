@@ -1,0 +1,71 @@
+//! The shipped scenario library (`scenarios/*.json`) must stay loadable,
+//! feasible, and solvable by the default protocol.
+
+use qoslb::engine::{run, RunConfig};
+use qoslb::prelude::*;
+use std::path::PathBuf;
+
+fn scenario_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("scenarios")
+}
+
+fn load_all() -> Vec<(String, Scenario)> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(scenario_dir()).expect("scenarios/ exists") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("readable scenario");
+        let sc = Scenario::from_json(&text)
+            .unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
+        out.push((path.file_name().unwrap().to_string_lossy().into_owned(), sc));
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+#[test]
+fn library_is_nonempty_and_parses() {
+    let all = load_all();
+    assert!(all.len() >= 4, "expected ≥ 4 shipped scenarios");
+    for (file, sc) in &all {
+        assert!(!sc.name.is_empty(), "{file} has an empty name");
+        assert!(sc.num_users() > 0, "{file} has no users");
+    }
+}
+
+#[test]
+fn every_scenario_builds_feasibly_across_seeds() {
+    for (file, sc) in load_all() {
+        for seed in 0..3 {
+            let (inst, state) = sc
+                .build(seed)
+                .unwrap_or_else(|e| panic!("{file} seed {seed}: {e}"));
+            assert_eq!(state.num_users(), inst.num_users());
+        }
+    }
+}
+
+#[test]
+fn every_scenario_converges_under_the_default_protocol() {
+    for (file, sc) in load_all() {
+        let (inst, state) = sc.build(0).expect("feasible");
+        let proto: Box<dyn Protocol> = if inst.num_classes() > 1 {
+            Box::new(ThresholdLevels::new(inst.num_classes() as u32))
+        } else {
+            Box::new(SlackDamped::default())
+        };
+        let out = run(&inst, state, proto.as_ref(), RunConfig::new(0, 500_000));
+        assert!(out.converged, "{file} did not converge");
+        assert!(out.state.is_legal(&inst));
+    }
+}
+
+#[test]
+fn json_round_trip_is_lossless() {
+    for (file, sc) in load_all() {
+        let back = Scenario::from_json(&sc.to_json()).expect("reserializes");
+        assert_eq!(sc, back, "{file} round-trip changed");
+    }
+}

@@ -1,0 +1,133 @@
+//! Integration and property tests for the topology and exact-analysis
+//! layers.
+
+use proptest::prelude::*;
+use qoslb::analysis::{enumerate_profiles, exact_expected_rounds, ProfileChain};
+use qoslb::engine::{run, RunConfig};
+use qoslb::prelude::*;
+use qoslb::topo::{Graph, GraphDiffusion, GraphSlackDamped};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Graph generators produce structurally sound graphs.
+    #[test]
+    fn ring_and_torus_invariants(k in 3usize..12) {
+        let ring = Graph::ring(k);
+        prop_assert!(ring.is_connected());
+        prop_assert_eq!(ring.num_edges(), k);
+        prop_assert_eq!(ring.diameter(), Some((k / 2) as u32));
+
+        let torus = Graph::torus(k, k);
+        prop_assert!(torus.is_connected());
+        for v in 0..torus.num_vertices() {
+            prop_assert_eq!(torus.degree(v), 4);
+        }
+    }
+
+    /// Diffusion on any connected topology conserves users and, from a
+    /// random start with generous slack, converges.
+    #[test]
+    fn diffusion_conserves_and_converges(side in 3usize..7, seed in 0u64..1000) {
+        let m = side * side;
+        let n = m * 2; // cap 4 → γ = 2
+        let inst = Instance::uniform(n, m, 4).unwrap();
+        let state = State::random(&inst, seed);
+        let proto = GraphDiffusion::new(Graph::torus(side, side));
+        let out = run(&inst, state, &proto, RunConfig::new(seed, 500_000));
+        prop_assert!(out.converged);
+        prop_assert_eq!(out.state.loads().iter().sum::<u32>() as usize, n);
+        prop_assert!(out.state.is_legal(&inst));
+    }
+
+    /// The neighbour-restricted kernel only ever moves along edges.
+    #[test]
+    fn graph_kernel_moves_along_edges(seed in 0u64..500) {
+        let m = 16;
+        let g = Graph::ring(m);
+        let inst = Instance::uniform(40, m, 4).unwrap();
+        let state = State::random(&inst, seed);
+        let proto = GraphSlackDamped::new(g.clone());
+        let moves = qoslb::core::step::decide_round(&inst, &state, &proto, seed, 0);
+        for mv in &moves {
+            prop_assert!(
+                g.neighbors(mv.from.index()).contains(&mv.to.0),
+                "move {:?} not along an edge",
+                mv
+            );
+        }
+    }
+
+    /// Exact chain rows are stochastic for random tiny instances, and the
+    /// expected absorption time is finite and non-negative.
+    #[test]
+    fn chain_rows_stochastic(
+        m in 1usize..4,
+        n in 1u32..7,
+        cap_extra in 0u32..4,
+    ) {
+        let per = n.div_ceil(m as u32) + cap_extra + 1;
+        let caps = vec![per; m];
+        let chain = ProfileChain::new(caps, n, 1.0);
+        for profile in enumerate_profiles(n, m) {
+            let row = chain.transition_row(&profile);
+            let total: f64 = row.values().sum();
+            prop_assert!((total - 1.0).abs() < 1e-9, "profile {:?}", profile);
+        }
+        let mut start = vec![0u32; m];
+        start[0] = n;
+        let e = chain.expected_rounds_from(&start);
+        prop_assert!(e.is_finite() && e >= 0.0);
+    }
+}
+
+#[test]
+fn exact_analysis_is_monotone_in_slack() {
+    // More capacity can only speed up dispersal from a hotspot.
+    let e4 = exact_expected_rounds(vec![4, 4], 6);
+    let e5 = exact_expected_rounds(vec![5, 5], 6);
+    let e6 = exact_expected_rounds(vec![6, 6], 6);
+    assert!(e4 > e5 && e5 > e6, "{e4} > {e5} > {e6} violated");
+}
+
+#[test]
+fn complete_graph_kernel_close_to_unrestricted() {
+    // On the complete graph the neighbour-restricted kernel samples
+    // uniformly among m−1 resources (never its own) with crowd-normalized
+    // coins: different constants from the paper's kernel, same regime.
+    // Check both converge fast at γ = 1.25 from the hotspot.
+    let m = 32;
+    let inst = Instance::uniform(m * 8, m, 10).unwrap();
+    let state = State::all_on(&inst, ResourceId(0));
+    let restricted = run(
+        &inst,
+        state.clone(),
+        &GraphSlackDamped::new(Graph::complete(m)),
+        RunConfig::new(3, 10_000),
+    );
+    let unrestricted = run(&inst, state, &SlackDamped::default(), RunConfig::new(3, 10_000));
+    assert!(restricted.converged);
+    assert!(unrestricted.converged);
+    assert!(restricted.rounds < 500);
+}
+
+#[test]
+fn diffusion_beats_deadlock_on_ring_end_to_end() {
+    let m = 24;
+    let inst = Instance::uniform(m * 8, m, 10).unwrap();
+    let state = State::all_on(&inst, ResourceId(0));
+    let plain = run(
+        &inst,
+        state.clone(),
+        &GraphSlackDamped::new(Graph::ring(m)),
+        RunConfig::new(9, 30_000),
+    );
+    let diffusion = run(
+        &inst,
+        state,
+        &GraphDiffusion::new(Graph::ring(m)),
+        RunConfig::new(9, 1_000_000),
+    );
+    assert!(!plain.converged, "plain kernel should stall on the ring");
+    assert!(diffusion.converged);
+}

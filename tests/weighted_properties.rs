@@ -1,0 +1,147 @@
+//! Property-based tests of the weighted extension.
+
+use proptest::prelude::*;
+use qoslb::core::weighted::{
+    decide_weighted_round, first_fit_decreasing, weight_counting_feasible, WeightedInstance,
+    WeightedSlackDamped, WeightedState,
+};
+use qoslb::engine::run_weighted;
+use qoslb::flow::brute_force_feasible;
+use qoslb::prelude::*;
+
+fn small_weighted() -> impl Strategy<Value = (WeightedInstance, WeightedState, u64)> {
+    (
+        1usize..=10,                                  // m
+        proptest::collection::vec(1u32..=5, 1..=24),  // weights
+        2u64..=16,                                    // base cap
+        0u64..=u64::MAX,                              // seed
+    )
+        .prop_map(|(m, weights, base, seed)| {
+            // capacities sized for feasibility with margin
+            let total: u64 = weights.iter().map(|&w| w as u64).sum();
+            let cap = base.max(total.div_ceil(m as u64) + 5);
+            let inst = WeightedInstance::new(vec![cap; m], weights).unwrap();
+            let state = WeightedState::random(&inst, seed);
+            (inst, state, seed)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Total weight is conserved by any number of protocol rounds.
+    #[test]
+    fn weight_conservation((inst, state, seed) in small_weighted()) {
+        let out = run_weighted(&inst, state, &WeightedSlackDamped::default(), seed, 50);
+        let total: u64 = out.state.loads().iter().sum();
+        prop_assert_eq!(total, inst.total_weight());
+        out.state.debug_assert_invariants(&inst);
+    }
+
+    /// Every decided move starts at the user's true resource, targets a
+    /// different resource where the demand fits, and only unsatisfied
+    /// users move.
+    #[test]
+    fn weighted_moves_are_valid((inst, state, seed) in small_weighted()) {
+        let moves = decide_weighted_round(&inst, &state, &WeightedSlackDamped::default(), seed, 0);
+        for mv in &moves {
+            prop_assert_eq!(mv.from, state.resource_of(mv.user));
+            prop_assert_ne!(mv.to, mv.from);
+            prop_assert!(!state.is_satisfied(&inst, mv.user));
+            let w = inst.weight(mv.user);
+            prop_assert!(state.load(mv.to) + w <= inst.cap(mv.to), "demand doesn't fit");
+        }
+    }
+
+    /// The weighted run with generous slack converges and ends legal;
+    /// weight_moved is consistent with migrations.
+    #[test]
+    fn weighted_runs_converge((inst, state, seed) in small_weighted()) {
+        let out = run_weighted(&inst, state, &WeightedSlackDamped::default(), seed, 20_000);
+        prop_assert!(out.converged, "generous slack must converge");
+        prop_assert!(out.state.is_legal(&inst));
+        prop_assert_eq!(out.state.overload(&inst), 0);
+        // each migration moves ≥ 1 and ≤ max_weight
+        prop_assert!(out.weight_moved >= out.migrations);
+        prop_assert!(out.weight_moved <= out.migrations * inst.max_weight().max(1));
+    }
+
+    /// Best-fit-decreasing success implies true feasibility (checked by
+    /// brute force on a single-class table), and it never succeeds where
+    /// the counting bound fails.
+    #[test]
+    fn bfd_is_sound(
+        m in 1usize..4,
+        weights in proptest::collection::vec(1u32..=4, 1..=8),
+        cap in 1u64..=8,
+    ) {
+        let inst = WeightedInstance::new(vec![cap; m], weights.clone()).unwrap();
+        let bfd = first_fit_decreasing(&inst);
+        if bfd.is_ok() {
+            prop_assert!(weight_counting_feasible(&inst));
+        }
+        // brute-force ground truth via the unit-table trick is only valid
+        // for unit weights; instead verify BFD's produced state directly:
+        if let Ok(state) = bfd {
+            prop_assert!(state.is_legal(&inst));
+        }
+    }
+
+    /// Unit-weight instances: the weighted brute-force feasibility notion
+    /// matches the single-class counting criterion.
+    #[test]
+    fn unit_weight_feasibility_matches_counting(
+        n in 0usize..8,
+        caps in proptest::collection::vec(0u32..4, 1..4),
+    ) {
+        let m = caps.len();
+        let counting = n as u64 <= caps.iter().map(|&c| c as u64).sum::<u64>();
+        let brute = brute_force_feasible(&[n], &caps, m);
+        prop_assert_eq!(counting, brute);
+        // and BFD agrees on the weighted side
+        let winst = WeightedInstance::new(
+            caps.iter().map(|&c| c as u64).collect(),
+            vec![1; n],
+        )
+        .unwrap();
+        prop_assert_eq!(first_fit_decreasing(&winst).is_ok(), counting);
+    }
+}
+
+#[test]
+fn weighted_blocking_analogue() {
+    // Fragmentation blocking: a big job can be starved by *satisfied*
+    // small jobs even though a legal packing exists. Caps [3, 4, 4]; jobs:
+    // one w=4 and four w=1. Legal: big alone on r1 (4 ≤ 4), smalls on r2.
+    // Blocked start: big alone on r0 (load 4 > cap 3 — unsatisfied even
+    // alone), two smalls on each of r1/r2 (satisfied, never move, slack 2
+    // each): no 4-hole exists or ever opens.
+    let inst = WeightedInstance::new(vec![3, 4, 4], vec![4, 1, 1, 1, 1]).unwrap();
+    let legal = WeightedState::new(
+        &inst,
+        vec![
+            ResourceId(1),
+            ResourceId(2),
+            ResourceId(2),
+            ResourceId(2),
+            ResourceId(2),
+        ],
+    )
+    .unwrap();
+    assert!(legal.is_legal(&inst));
+    let blocked = WeightedState::new(
+        &inst,
+        vec![
+            ResourceId(0),
+            ResourceId(1),
+            ResourceId(1),
+            ResourceId(2),
+            ResourceId(2),
+        ],
+    )
+    .unwrap();
+    let out = run_weighted(&inst, blocked, &WeightedSlackDamped::default(), 3, 2_000);
+    assert!(!out.converged);
+    assert_eq!(out.migrations, 0, "no 4-hole ever opens");
+    assert_eq!(out.state.num_unsatisfied(&inst), 1);
+}
