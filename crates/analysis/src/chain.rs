@@ -348,7 +348,12 @@ mod tests {
         let mut exceed3 = 0u64;
         for seed in 0..runs {
             let state = State::all_on(&inst, ResourceId(0));
-            let out = run(&inst, state, &SlackDamped::default(), RunConfig::new(seed, 100_000));
+            let out = run(
+                &inst,
+                state,
+                &SlackDamped::default(),
+                RunConfig::new(seed, 100_000),
+            );
             if out.rounds > 3 {
                 exceed3 += 1;
             }
@@ -384,7 +389,12 @@ mod tests {
         let mut total = 0u64;
         for seed in 0..runs {
             let state = State::all_on(&inst, ResourceId(0));
-            let out = run(&inst, state, &SlackDamped::default(), RunConfig::new(seed, 100_000));
+            let out = run(
+                &inst,
+                state,
+                &SlackDamped::default(),
+                RunConfig::new(seed, 100_000),
+            );
             assert!(out.converged);
             total += out.rounds;
         }

@@ -62,7 +62,9 @@ fn bench_apply_moves(c: &mut Criterion) {
 fn bench_legality(c: &mut Criterion) {
     let (inst, state) = half_converged(N, 1);
     let mut g = c.benchmark_group("legality");
-    g.bench_function("is_legal_fastpath", |b| b.iter(|| black_box(state.is_legal(&inst))));
+    g.bench_function("is_legal_fastpath", |b| {
+        b.iter(|| black_box(state.is_legal(&inst)))
+    });
     g.bench_function("num_unsatisfied", |b| {
         b.iter(|| black_box(state.num_unsatisfied(&inst)))
     });

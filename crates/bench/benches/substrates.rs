@@ -106,13 +106,16 @@ fn bench_runtime_roundtrip(c: &mut Criterion) {
     g.finish();
 }
 
-
 fn bench_topo(c: &mut Criterion) {
     use qlb_topo::Graph;
     let mut g = c.benchmark_group("topo");
-    g.bench_function("torus_32x32_build", |b| b.iter(|| black_box(Graph::torus(32, 32))));
+    g.bench_function("torus_32x32_build", |b| {
+        b.iter(|| black_box(Graph::torus(32, 32)))
+    });
     let torus = Graph::torus(32, 32);
-    g.bench_function("torus_32x32_diameter", |b| b.iter(|| black_box(torus.diameter())));
+    g.bench_function("torus_32x32_diameter", |b| {
+        b.iter(|| black_box(torus.diameter()))
+    });
     g.finish();
 }
 
@@ -131,7 +134,13 @@ fn bench_analysis(c: &mut Criterion) {
         let a: Vec<Vec<f64>> = (0..n)
             .map(|i| {
                 (0..n)
-                    .map(|j| if i == j { 8.0 } else { qlb_rng::mix64((i * n + j) as u64) as f64 / u64::MAX as f64 })
+                    .map(|j| {
+                        if i == j {
+                            8.0
+                        } else {
+                            qlb_rng::mix64((i * n + j) as u64) as f64 / u64::MAX as f64
+                        }
+                    })
                     .collect()
             })
             .collect();

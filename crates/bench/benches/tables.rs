@@ -24,7 +24,14 @@ fn bench_e1_scaling(c: &mut Criterion) {
         g.bench_function(format!("n{n}"), |b| {
             b.iter_batched(
                 || state.clone(),
-                |s| black_box(run(&inst, s, &SlackDamped::default(), RunConfig::new(1, 100_000))),
+                |s| {
+                    black_box(run(
+                        &inst,
+                        s,
+                        &SlackDamped::default(),
+                        RunConfig::new(1, 100_000),
+                    ))
+                },
                 BatchSize::SmallInput,
             )
         });
@@ -47,7 +54,14 @@ fn bench_e2_slack(c: &mut Criterion) {
         g.bench_function(format!("gamma{gamma}"), |b| {
             b.iter_batched(
                 || state.clone(),
-                |s| black_box(run(&inst, s, &SlackDamped::default(), RunConfig::new(1, 1_000_000))),
+                |s| {
+                    black_box(run(
+                        &inst,
+                        s,
+                        &SlackDamped::default(),
+                        RunConfig::new(1, 1_000_000),
+                    ))
+                },
                 BatchSize::SmallInput,
             )
         });
@@ -102,7 +116,14 @@ fn bench_e4_herding(c: &mut Criterion) {
     g.bench_function("damped", |b| {
         b.iter_batched(
             || state.clone(),
-            |s| black_box(run(&inst, s, &SlackDamped::default(), RunConfig::new(0, 500))),
+            |s| {
+                black_box(run(
+                    &inst,
+                    s,
+                    &SlackDamped::default(),
+                    RunConfig::new(0, 500),
+                ))
+            },
             BatchSize::SmallInput,
         )
     });
@@ -126,7 +147,14 @@ fn bench_e5_skew(c: &mut Criterion) {
     g.bench_function("uniform_sampling", |b| {
         b.iter_batched(
             || state.clone(),
-            |s| black_box(run(&inst, s, &SlackDamped::default(), RunConfig::new(1, 1_000_000))),
+            |s| {
+                black_box(run(
+                    &inst,
+                    s,
+                    &SlackDamped::default(),
+                    RunConfig::new(1, 1_000_000),
+                ))
+            },
             BatchSize::SmallInput,
         )
     });
@@ -149,7 +177,12 @@ fn bench_e6_churn(c: &mut Criterion) {
             || legal.clone(),
             |mut s| {
                 perturb_uniform(&inst, &mut s, 0.1, 7);
-                black_box(run(&inst, s, &SlackDamped::default(), RunConfig::new(7, 100_000)))
+                black_box(run(
+                    &inst,
+                    s,
+                    &SlackDamped::default(),
+                    RunConfig::new(7, 100_000),
+                ))
             },
             BatchSize::SmallInput,
         )
@@ -290,10 +323,11 @@ fn bench_e12_fairness(c: &mut Criterion) {
 
 fn bench_scenario_build(c: &mut Criterion) {
     let sc = standard_scenario(N);
-    c.bench_function("scenario_build", |b| b.iter(|| black_box(sc.build(3).unwrap())));
+    c.bench_function("scenario_build", |b| {
+        b.iter(|| black_box(sc.build(3).unwrap()))
+    });
     let _ = State::all_on(&standard_pair(64, 0).0, ResourceId(0)); // keep imports honest
 }
-
 
 fn bench_e13_weighted(c: &mut Criterion) {
     use qlb_core::weighted::{WeightedInstance, WeightedSlackDamped, WeightedState};
@@ -302,7 +336,15 @@ fn bench_e13_weighted(c: &mut Criterion) {
     c.bench_function("e13_weighted_run", |b| {
         b.iter_batched(
             || state.clone(),
-            |s| black_box(qlb_engine::run_weighted(&inst, s, &WeightedSlackDamped::default(), 1, 100_000)),
+            |s| {
+                black_box(qlb_engine::run_weighted(
+                    &inst,
+                    s,
+                    &WeightedSlackDamped::default(),
+                    1,
+                    100_000,
+                ))
+            },
             BatchSize::SmallInput,
         )
     });
@@ -370,7 +412,6 @@ fn bench_e16_loss(c: &mut Criterion) {
     }
     g.finish();
 }
-
 
 fn bench_e17_topology(c: &mut Criterion) {
     use qlb_topo::{Graph, GraphDiffusion};

@@ -47,6 +47,26 @@ pub fn half_converged(n: usize, seed: u64) -> (Instance, State) {
     (inst, out.state)
 }
 
+/// An **endgame** state: run the slack-damped protocol from the hotspot
+/// start until at most `max_active_frac · n` users remain unsatisfied
+/// (but the state is still illegal unless `max_active_frac == 0`). This
+/// is the regime where dense `O(n)` rounds waste almost all their work and
+/// the sparse active-set executor should shine.
+pub fn endgame_pair(n: usize, seed: u64, max_active_frac: f64) -> (Instance, State) {
+    let (inst, mut state) = standard_pair(n, seed);
+    let proto = qlb_core::SlackDamped::default();
+    let target = ((n as f64) * max_active_frac).ceil() as usize;
+    let mut moves = Vec::new();
+    let mut round = 0u64;
+    while state.num_unsatisfied(&inst) > target {
+        qlb_core::step::decide_round_into(&inst, &state, &proto, seed, round, &mut moves);
+        state.apply_moves(&inst, &moves);
+        round += 1;
+        assert!(round < 1_000_000, "endgame never reached at n = {n}");
+    }
+    (inst, state)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -57,6 +77,13 @@ mod tests {
         let (inst, state) = standard_pair(256, 1);
         assert_eq!(state.load(ResourceId(0)) as usize, 256);
         assert_eq!(inst.total_capacity(), 320);
+    }
+
+    #[test]
+    fn endgame_reaches_target_fraction() {
+        let (inst, state) = endgame_pair(512, 1, 0.01);
+        assert!(state.num_unsatisfied(&inst) <= 6);
+        state.debug_assert_invariants();
     }
 
     #[test]

@@ -81,10 +81,7 @@ impl Instance {
         if caps.is_empty() {
             return Err(Error::NoResources);
         }
-        let resources = caps
-            .iter()
-            .map(|&c| Resource { speed: c as f64 })
-            .collect();
+        let resources = caps.iter().map(|&c| Resource { speed: c as f64 }).collect();
         Ok(Instance {
             resources,
             classes: vec![QosClass { threshold: 1.0 }],
@@ -560,10 +557,7 @@ mod tests {
     #[test]
     fn builder_rejects_bad_params() {
         assert!(InstanceBuilder::new().build().is_err());
-        assert!(InstanceBuilder::new()
-            .speeds(vec![1.0])
-            .build()
-            .is_err());
+        assert!(InstanceBuilder::new().speeds(vec![1.0]).build().is_err());
         assert!(InstanceBuilder::new()
             .speeds(vec![0.0])
             .latency_class(1.0, 1)

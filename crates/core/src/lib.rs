@@ -61,6 +61,7 @@
 
 #![warn(missing_docs)]
 
+pub mod active;
 pub mod baseline;
 pub mod convergence;
 pub mod error;
@@ -75,6 +76,7 @@ pub mod weighted;
 
 /// Convenient re-exports of the types almost every consumer needs.
 pub mod prelude {
+    pub use crate::active::ActiveIndex;
     pub use crate::baseline::{best_response_run, greedy_assign, BestResponseOutcome};
     pub use crate::convergence::ConvergenceTracker;
     pub use crate::error::{Error, Result};
@@ -82,7 +84,7 @@ pub mod prelude {
     pub use crate::instance::{Instance, InstanceBuilder, QosClass, Resource};
     pub use crate::potential::{max_overload, overload_potential, quadratic_potential};
     pub use crate::protocol::{
-        BlindUniform, ConditionalUniform, Decision, LocalView, PartialParticipation,
+        registry, BlindUniform, ConditionalUniform, Decision, LocalView, PartialParticipation,
         Protocol, ResourceView, SamplingStrategy, SlackDamped, SlackDampedCapacitySampling,
         ThresholdLevels,
     };

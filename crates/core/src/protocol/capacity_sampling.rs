@@ -19,13 +19,23 @@ use qlb_rng::{Rng64, RoundStream};
 /// informed vs. oblivious sampling is reconstructed as this pair of
 /// protocols; E5 quantifies the gap.
 ///
-/// The cumulative-capacity table is precomputed per instance (class 0's
-/// capacities), so sampling is one `u64` draw plus a binary search.
+/// Sampling uses a **Walker/Vose alias table** precomputed per instance
+/// (class 0's capacities): each draw is a single `u64` from the user's
+/// round stream and **O(1)** work — the high bits pick a column, the low
+/// bits flip that column's alias coin — replacing the former binary search
+/// over cumulative capacities (O(log m) per draw). Column thresholds are
+/// built with exact integer arithmetic, so per-resource probabilities match
+/// `c_q / Σ c_r` up to one part in 2⁶⁴ per column.
 #[derive(Debug, Clone)]
 pub struct SlackDampedCapacitySampling {
     inner: SlackDamped,
-    /// Strictly increasing cumulative capacities; last entry = Σ_r c_r.
-    cumulative: Vec<u64>,
+    /// `alias[i]` = resource receiving column `i`'s residual mass.
+    alias: Vec<u32>,
+    /// Keep column `i`'s own resource iff the coin (low 64 product bits)
+    /// falls below `threshold[i]` (probability `threshold[i] / 2^64`).
+    threshold: Vec<u64>,
+    /// Σ_r c_r — the sampler's normalization constant.
+    total: u64,
 }
 
 impl SlackDampedCapacitySampling {
@@ -41,26 +51,72 @@ impl SlackDampedCapacitySampling {
     /// As [`SlackDampedCapacitySampling::new`] with an explicit damping
     /// multiplier (see [`SlackDamped`]).
     pub fn with_damping(inst: &Instance, damping: f64) -> Self {
-        let mut acc = 0u64;
-        let cumulative: Vec<u64> = inst
-            .cap_row(crate::ids::ClassId(0))
-            .iter()
-            .map(|&c| {
-                acc += c as u64;
-                acc
-            })
-            .collect();
-        assert!(acc > 0, "capacity-proportional sampling needs capacity");
+        let caps = inst.cap_row(crate::ids::ClassId(0));
+        let total: u64 = caps.iter().map(|&c| c as u64).sum();
+        assert!(total > 0, "capacity-proportional sampling needs capacity");
+        let (alias, threshold) = build_alias(caps, total);
         Self {
             inner: SlackDamped::with_damping(damping),
-            cumulative,
+            alias,
+            threshold,
+            total,
         }
     }
 
     /// Total capacity (the sampler's normalization constant).
     pub fn total_capacity(&self) -> u64 {
-        *self.cumulative.last().unwrap()
+        self.total
     }
+}
+
+/// Vose's stable alias-table construction over integer weights.
+///
+/// Mass bookkeeping is exact: with `m` columns, each column carries mass
+/// `total` in units where the whole table weighs `m · total`; resource `i`
+/// contributes `caps[i] · m` of it. Every column ends up split between its
+/// own resource (kept with probability `threshold/2^64`) and exactly one
+/// alias resource. Only the final conversion of a column's kept mass to a
+/// 2⁶⁴-scaled threshold rounds, by less than one part in 2⁶⁴.
+fn build_alias(caps: &[u32], total: u64) -> (Vec<u32>, Vec<u64>) {
+    let m = caps.len();
+    let column = total as u128; // mass each column must carry
+                                // kept[i]: mass of resource i not yet assigned to a column
+    let mut kept: Vec<u128> = caps.iter().map(|&c| c as u128 * m as u128).collect();
+    let mut alias: Vec<u32> = (0..m as u32).collect();
+    let mut threshold = vec![u64::MAX; m];
+
+    let mut small: Vec<usize> = Vec::new();
+    let mut large: Vec<usize> = Vec::new();
+    for (i, &k) in kept.iter().enumerate() {
+        if k < column {
+            small.push(i);
+        } else {
+            large.push(i);
+        }
+    }
+
+    while let (Some(s), Some(&l)) = (small.pop(), large.last()) {
+        // column s: keep s with mass kept[s], fill the rest from l
+        alias[s] = l as u32;
+        threshold[s] = to_threshold(kept[s], column);
+        kept[l] -= column - kept[s];
+        if kept[l] < column {
+            large.pop();
+            small.push(l);
+        }
+    }
+    // leftovers (all ties at exactly `column`, or rounding dust) keep
+    // their own resource with probability 1 — threshold stays u64::MAX
+    (alias, threshold)
+}
+
+/// Scale `mass / column` to a 2⁶⁴-denominated coin threshold.
+fn to_threshold(mass: u128, column: u128) -> u64 {
+    debug_assert!(mass <= column);
+    if mass == column {
+        return u64::MAX;
+    }
+    ((mass << 64) / column) as u64
 }
 
 impl Protocol for SlackDampedCapacitySampling {
@@ -78,9 +134,18 @@ impl Protocol for SlackDampedCapacitySampling {
         _own: ResourceId,
         rng: &mut RoundStream,
     ) -> ResourceId {
-        let x = rng.uniform(self.total_capacity());
-        // First index whose cumulative capacity exceeds x.
-        let idx = self.cumulative.partition_point(|&c| c <= x);
+        // One raw draw feeds both decisions: the high 64 bits of r·m pick
+        // the column (Lemire range mapping), the low 64 bits — uniform
+        // within the column up to granularity m/2^64 — flip its alias coin.
+        let r = rng.next_u64();
+        let product = r as u128 * self.alias.len() as u128;
+        let col = (product >> 64) as usize;
+        let coin = product as u64;
+        let idx = if coin < self.threshold[col] {
+            col
+        } else {
+            self.alias[col] as usize
+        };
         ResourceId(idx as u32)
     }
 
@@ -119,6 +184,56 @@ mod tests {
         let mut rng = RoundStream::new(1, 1, 1);
         let _ = p.sample_target(&inst, ResourceId(0), &mut rng);
         assert_eq!(rng.draws(), 1);
+    }
+
+    #[test]
+    fn alias_table_masses_are_exact() {
+        // Per-resource mass across the table must equal c_i·m (in units
+        // where each of the m columns weighs 2^64), up to the <1-per-column
+        // threshold rounding.
+        for caps in [
+            vec![1u32, 3, 0, 6],
+            vec![5, 5],
+            vec![7],
+            vec![0, 0, 1],
+            vec![1, 2, 3, 4, 5, 6, 7, 8, 9],
+        ] {
+            let total: u64 = caps.iter().map(|&c| c as u64).sum();
+            let (alias, threshold) = build_alias(&caps, total);
+            let m = caps.len();
+            let mut mass = vec![0u128; m];
+            for i in 0..m {
+                // u64::MAX threshold means "keep with probability 1"
+                let keep = if threshold[i] == u64::MAX {
+                    1u128 << 64
+                } else {
+                    threshold[i] as u128
+                };
+                mass[i] += keep;
+                mass[alias[i] as usize] += (1u128 << 64) - keep;
+            }
+            for i in 0..m {
+                let expect = (caps[i] as u128 * m as u128 * (1u128 << 64)) / total as u128;
+                let err = mass[i].abs_diff(expect);
+                assert!(
+                    err <= m as u128 + 1,
+                    "caps {caps:?} r{i}: mass off by {err}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_resource_always_sampled() {
+        let inst = Instance::with_capacities(3, vec![4]).unwrap();
+        let p = SlackDampedCapacitySampling::new(&inst);
+        for u in 0..100 {
+            let mut rng = RoundStream::new(2, u, 0);
+            assert_eq!(
+                p.sample_target(&inst, ResourceId(0), &mut rng),
+                ResourceId(0)
+            );
+        }
     }
 
     #[test]

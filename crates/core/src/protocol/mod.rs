@@ -133,7 +133,12 @@ pub trait Protocol: Sync {
     /// The default implementation samples uniformly from all `m` resources
     /// (the sample may equal the user's own resource — the kernel then
     /// naturally stays, which matches the anonymous sampling model).
-    fn sample_target(&self, inst: &Instance, view_of_own: ResourceId, rng: &mut RoundStream) -> ResourceId {
+    fn sample_target(
+        &self,
+        inst: &Instance,
+        view_of_own: ResourceId,
+        rng: &mut RoundStream,
+    ) -> ResourceId {
         let _ = view_of_own;
         ResourceId(rng.uniform_usize(inst.num_resources()) as u32)
     }
@@ -157,6 +162,29 @@ pub trait Protocol: Sync {
     fn acts_when_satisfied(&self) -> bool {
         false
     }
+}
+
+/// Instantiate every registered kernel for `inst`, boxed for uniform
+/// iteration — the single source of truth for "all protocols" in executor
+/// equivalence tests and experiments.
+///
+/// [`SlackDampedCapacitySampling`] needs a positive total capacity and is
+/// skipped for degenerate instances. None of the registered kernels act
+/// while satisfied, so all of them are sound under the sparse executor;
+/// kernels that do opt in (e.g. graph diffusion in `qlb-topo`) live outside
+/// this registry and fall back to dense execution automatically.
+pub fn registry(inst: &Instance) -> Vec<Box<dyn Protocol>> {
+    let mut kernels: Vec<Box<dyn Protocol>> = vec![
+        Box::new(BlindUniform),
+        Box::new(ConditionalUniform),
+        Box::new(SlackDamped::default()),
+        Box::new(ThresholdLevels::new(inst.num_classes().max(1) as u32)),
+        Box::new(PartialParticipation::new(SlackDamped::default(), 0.5)),
+    ];
+    if inst.cap_row(ClassId(0)).iter().any(|&c| c > 0) {
+        kernels.push(Box::new(SlackDampedCapacitySampling::new(inst)));
+    }
+    kernels
 }
 
 #[cfg(test)]

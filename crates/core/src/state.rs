@@ -140,13 +140,17 @@ impl State {
 
     /// Number of unsatisfied users.
     pub fn num_unsatisfied(&self, inst: &Instance) -> usize {
-        inst.users().filter(|&u| !self.is_satisfied(inst, u)).count()
+        inst.users()
+            .filter(|&u| !self.is_satisfied(inst, u))
+            .count()
     }
 
     /// Collect the unsatisfied users (allocates; for hot paths iterate
     /// directly with [`State::is_satisfied`]).
     pub fn unsatisfied(&self, inst: &Instance) -> Vec<UserId> {
-        inst.users().filter(|&u| !self.is_satisfied(inst, u)).collect()
+        inst.users()
+            .filter(|&u| !self.is_satisfied(inst, u))
+            .collect()
     }
 
     /// A state is **legal** iff every user is satisfied.
@@ -319,10 +323,17 @@ mod tests {
     #[test]
     fn legality_single_class() {
         let inst = Instance::with_capacities(4, vec![2, 2]).unwrap();
-        let legal = State::new(&inst, vec![ResourceId(0), ResourceId(0), ResourceId(1), ResourceId(1)]).unwrap();
+        let legal = State::new(
+            &inst,
+            vec![ResourceId(0), ResourceId(0), ResourceId(1), ResourceId(1)],
+        )
+        .unwrap();
         assert!(legal.is_legal(&inst));
-        let illegal =
-            State::new(&inst, vec![ResourceId(0), ResourceId(0), ResourceId(0), ResourceId(1)]).unwrap();
+        let illegal = State::new(
+            &inst,
+            vec![ResourceId(0), ResourceId(0), ResourceId(0), ResourceId(1)],
+        )
+        .unwrap();
         assert!(!illegal.is_legal(&inst));
         assert_eq!(illegal.num_unsatisfied(&inst), 3);
         assert_eq!(

@@ -8,6 +8,7 @@
 //! are independent and can be computed in any order or in parallel; the
 //! result is identical by construction.
 
+use crate::active::ActiveIndex;
 use crate::ids::{ResourceId, UserId};
 use crate::instance::Instance;
 use crate::protocol::{Decision, LocalView, Protocol, ResourceView};
@@ -112,6 +113,50 @@ pub fn decide_round<P: Protocol + ?Sized>(
     out
 }
 
+/// Decide a full round by visiting **only the unsatisfied users**, in user
+/// order, appending migrations to `out` — the sparse-executor primitive.
+///
+/// Produces output identical to [`decide_round_into`] whenever the protocol
+/// never acts while satisfied ([`Protocol::acts_when_satisfied`] is
+/// `false`): satisfied users return `None` from [`decide_user`] before
+/// consuming any randomness, so skipping them entirely changes nothing.
+/// Class gating ([`Protocol::is_active`]) is applied *inside*
+/// [`decide_user`], after the satisfaction check, so gated protocols remain
+/// sound here. Cost is `O(active · log active)` for the ordered walk plus
+/// the per-user kernel work, independent of `n`.
+///
+/// `active` must be in sync with `state` (see [`ActiveIndex::apply_moves`]);
+/// `scratch` is a reusable buffer for the sorted active set.
+///
+/// # Panics
+/// Debug builds panic if the protocol opts into acting while satisfied —
+/// callers must fall back to [`decide_round_into`] for such protocols.
+#[allow(clippy::too_many_arguments)]
+pub fn decide_active_into<P: Protocol + ?Sized>(
+    inst: &Instance,
+    state: &State,
+    active: &ActiveIndex,
+    proto: &P,
+    seed: u64,
+    round: u64,
+    out: &mut Vec<Move>,
+    scratch: &mut Vec<UserId>,
+) {
+    debug_assert!(
+        !proto.acts_when_satisfied(),
+        "sparse rounds are unsound for protocols that act while satisfied"
+    );
+    out.clear();
+    active.sorted_active_into(scratch);
+    let loads = state.loads();
+    for &user in scratch.iter() {
+        let own = state.resource_of(user);
+        if let Some(mv) = decide_user(inst, loads, own, user, proto, seed, round) {
+            out.push(mv);
+        }
+    }
+}
+
 /// Decide a contiguous user range `[lo, hi)` of a round, appending to `out`
 /// — the shard primitive of the threaded executor. Equivalent to the
 /// corresponding slice of [`decide_round_into`]'s output (the threaded
@@ -179,8 +224,26 @@ mod tests {
         for split in [1usize, 7, 32, 63] {
             let mut a = Vec::new();
             let mut b = Vec::new();
-            decide_range_into(&inst, &state, &SlackDamped::default(), 5, 2, 0, split, &mut a);
-            decide_range_into(&inst, &state, &SlackDamped::default(), 5, 2, split, 64, &mut b);
+            decide_range_into(
+                &inst,
+                &state,
+                &SlackDamped::default(),
+                5,
+                2,
+                0,
+                split,
+                &mut a,
+            );
+            decide_range_into(
+                &inst,
+                &state,
+                &SlackDamped::default(),
+                5,
+                2,
+                split,
+                64,
+                &mut b,
+            );
             a.extend(b);
             assert_eq!(a, full);
         }
@@ -222,10 +285,8 @@ mod tests {
     fn dyn_protocol_is_usable() {
         let inst = Instance::uniform(8, 4, 1).unwrap();
         let state = State::all_on(&inst, ResourceId(0));
-        let protos: Vec<Box<dyn Protocol>> = vec![
-            Box::new(BlindUniform),
-            Box::new(SlackDamped::default()),
-        ];
+        let protos: Vec<Box<dyn Protocol>> =
+            vec![Box::new(BlindUniform), Box::new(SlackDamped::default())];
         for p in &protos {
             let _ = decide_round(&inst, &state, p.as_ref(), 1, 0);
         }

@@ -169,7 +169,9 @@ mod tests {
     #[test]
     fn validate_assignment_checks() {
         let inst = WeightedInstance::new(vec![5, 5], vec![2, 2]).unwrap();
-        assert!(inst.validate_assignment(&[ResourceId(0), ResourceId(1)]).is_ok());
+        assert!(inst
+            .validate_assignment(&[ResourceId(0), ResourceId(1)])
+            .is_ok());
         assert!(inst.validate_assignment(&[ResourceId(0)]).is_err());
         assert!(inst
             .validate_assignment(&[ResourceId(0), ResourceId(7)])

@@ -29,8 +29,6 @@ mod step;
 
 pub use baseline::{first_fit_decreasing, weight_counting_feasible};
 pub use instance::WeightedInstance;
-pub use protocol::{
-    WeightedConditional, WeightedProtocol, WeightedSlackDamped, WeightedView,
-};
+pub use protocol::{WeightedConditional, WeightedProtocol, WeightedSlackDamped, WeightedView};
 pub use state::WeightedState;
 pub use step::{decide_weighted_round, decide_weighted_round_into, decide_weighted_user};

@@ -80,7 +80,9 @@ impl WeightedState {
 
     /// Number of unsatisfied users.
     pub fn num_unsatisfied(&self, inst: &WeightedInstance) -> usize {
-        inst.users().filter(|&u| !self.is_satisfied(inst, u)).count()
+        inst.users()
+            .filter(|&u| !self.is_satisfied(inst, u))
+            .count()
     }
 
     /// Legal iff every occupied resource is within capacity.

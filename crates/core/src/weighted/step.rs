@@ -102,8 +102,10 @@ mod tests {
         let inst = WeightedInstance::new(vec![10, 10], vec![2, 2]).unwrap();
         let state = WeightedState::new(&inst, vec![ResourceId(0), ResourceId(1)]).unwrap();
         for seed in 0..10 {
-            assert!(decide_weighted_round(&inst, &state, &WeightedSlackDamped::default(), seed, 0)
-                .is_empty());
+            assert!(
+                decide_weighted_round(&inst, &state, &WeightedSlackDamped::default(), seed, 0)
+                    .is_empty()
+            );
         }
     }
 
@@ -147,7 +149,8 @@ mod tests {
         let us = State::all_on(&ui, ResourceId(0));
         for seed in 0..5 {
             for round in 0..3 {
-                let wm = decide_weighted_round(&wi, &ws, &WeightedSlackDamped::default(), seed, round);
+                let wm =
+                    decide_weighted_round(&wi, &ws, &WeightedSlackDamped::default(), seed, round);
                 let um = crate::step::decide_round(&ui, &us, &SlackDamped::default(), seed, round);
                 assert_eq!(wm, um, "seed {seed} round {round}");
             }

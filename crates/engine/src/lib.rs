@@ -36,6 +36,6 @@ pub mod weighted;
 
 pub use dynamics::{perturb_uniform, run_with_churn, ChurnConfig, ChurnOutcome};
 pub use open::{run_open_system, OpenConfig, OpenOutcome, OpenRoundStats};
-pub use run::{run, run_threaded, RunConfig, RunOutcome};
+pub use run::{run, run_sparse, run_threaded, Executor, RunConfig, RunOutcome};
 pub use trace::{RoundStats, Trace};
 pub use weighted::{run_weighted, WeightedOutcome};

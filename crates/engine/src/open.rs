@@ -205,7 +205,12 @@ mod tests {
 
     #[test]
     fn fractional_rates_accumulate() {
-        let out = run_open_system(&[100u32; 4], 100, &SlackDamped::default(), cfg(10, 0.5, 0.0));
+        let out = run_open_system(
+            &[100u32; 4],
+            100,
+            &SlackDamped::default(),
+            cfg(10, 0.5, 0.0),
+        );
         // 10 rounds × 0.5 → 5 arrivals
         assert_eq!(out.series.last().unwrap().active, 5);
     }

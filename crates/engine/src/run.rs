@@ -1,8 +1,31 @@
-//! The round loop: sequential and threaded executors.
+//! The round loop: sequential, threaded, and sparse executors.
 
 use crate::trace::Trace;
-use qlb_core::step::{decide_range_into, decide_round_into};
-use qlb_core::{Instance, Move, Protocol, State};
+use qlb_core::step::{decide_active_into, decide_range_into, decide_round_into};
+use qlb_core::{ActiveIndex, Instance, Move, Protocol, State, UserId};
+
+/// Which round-execution strategy [`run`] uses.
+///
+/// All executors produce **bit-identical trajectories** (same seed ⇒ same
+/// rounds, migrations, and final state); they differ only in cost:
+///
+/// * [`Executor::Dense`] walks all `n` users each round — `O(n)`/round,
+///   the reference executor, sound for every protocol;
+/// * [`Executor::Sparse`] walks only the unsatisfied users via an
+///   incrementally-maintained [`ActiveIndex`] — `O(active)`/round, a large
+///   win in the endgame where few users remain unsatisfied. Unsound only
+///   for protocols that act while satisfied
+///   ([`Protocol::acts_when_satisfied`]); [`run`] detects those and falls
+///   back to dense automatically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Executor {
+    /// Full `O(n)` scan per round (reference).
+    #[default]
+    Dense,
+    /// Active-set scan, `O(unsatisfied)` per round, with automatic dense
+    /// fallback where unsound.
+    Sparse,
+}
 
 /// Configuration of one run.
 #[derive(Debug, Clone, Copy)]
@@ -15,16 +38,19 @@ pub struct RunConfig {
     pub record_trace: bool,
     /// Track per-user settling times (needs `record_trace`; O(n)/round).
     pub track_user_times: bool,
+    /// Round-execution strategy (default [`Executor::Dense`]).
+    pub executor: Executor,
 }
 
 impl RunConfig {
-    /// Plain config: given seed, round budget, no tracing.
+    /// Plain config: given seed, round budget, no tracing, dense executor.
     pub fn new(seed: u64, max_rounds: u64) -> Self {
         Self {
             seed,
             max_rounds,
             record_trace: false,
             track_user_times: false,
+            executor: Executor::Dense,
         }
     }
 
@@ -39,6 +65,17 @@ impl RunConfig {
         self.record_trace = true;
         self.track_user_times = true;
         self
+    }
+
+    /// Select the round-execution strategy.
+    pub fn with_executor(mut self, executor: Executor) -> Self {
+        self.executor = executor;
+        self
+    }
+
+    /// Shorthand for [`RunConfig::with_executor`]`(`[`Executor::Sparse`]`)`.
+    pub fn sparse(self) -> Self {
+        self.with_executor(Executor::Sparse)
     }
 }
 
@@ -57,7 +94,8 @@ pub struct RunOutcome {
     pub trace: Option<Trace>,
 }
 
-/// Run a protocol sequentially until legal or out of rounds.
+/// Run a protocol sequentially until legal or out of rounds, using the
+/// executor selected by [`RunConfig::executor`] (dense by default).
 ///
 /// The loop reuses one move buffer, so steady-state execution performs no
 /// allocation; with tracing enabled, the trace grows by one entry per round.
@@ -67,9 +105,131 @@ pub fn run<P: Protocol + ?Sized>(
     proto: &P,
     config: RunConfig,
 ) -> RunOutcome {
-    run_with_decider(inst, state, proto, config, |inst, state, proto, seed, round, buf| {
-        decide_round_into(inst, state, proto, seed, round, buf);
-    })
+    match config.executor {
+        Executor::Dense => run_dense(inst, state, proto, config),
+        Executor::Sparse => run_sparse(inst, state, proto, config),
+    }
+}
+
+fn run_dense<P: Protocol + ?Sized>(
+    inst: &Instance,
+    state: State,
+    proto: &P,
+    config: RunConfig,
+) -> RunOutcome {
+    run_with_decider(
+        inst,
+        state,
+        proto,
+        config,
+        |inst, state, proto, seed, round, buf| {
+            decide_round_into(inst, state, proto, seed, round, buf);
+        },
+    )
+}
+
+/// Run a protocol with the **sparse active-set executor**: each round
+/// visits only the currently unsatisfied users, making round cost
+/// `O(active)` instead of `O(n)`.
+///
+/// Exact mechanism: an [`ActiveIndex`] tracks the unsatisfied set and
+/// per-resource occupant lists. Applying a round's migrations changes the
+/// congestion of the touched resources only, and a user's satisfaction
+/// depends solely on its own resource's congestion — so the set is updated
+/// by rechecking just the occupants of touched resources. Convergence is
+/// detected in O(1) as set emptiness (equivalent to [`State::is_legal`]).
+///
+/// The trajectory is **bit-identical** to [`run`]'s dense executor:
+/// decisions are pure functions of `(seed, user, round)` and start-of-round
+/// loads, satisfied users consume no randomness, and the active set is
+/// walked in user order. Protocols that act while satisfied
+/// ([`Protocol::acts_when_satisfied`]) would make the active set unsound,
+/// so they **fall back to the dense executor** automatically — the result
+/// is identical either way; only the cost differs.
+///
+/// Crowded rounds (most users unsatisfied, as from a hotspot start) are a
+/// loss for the index: maintaining occupant lists under a near-`n`-sized
+/// batch costs more than the dense scan it replaces. The executor therefore
+/// runs **dense warm-up rounds** while batches stay large and builds the
+/// index only once a round's batch drops below `n / 8` — both phases decide
+/// identically, so the trajectory is unaffected.
+pub fn run_sparse<P: Protocol + ?Sized>(
+    inst: &Instance,
+    state: State,
+    proto: &P,
+    config: RunConfig,
+) -> RunOutcome {
+    if proto.acts_when_satisfied() {
+        return run_dense(inst, state, proto, config);
+    }
+
+    let mut state = state;
+    let mut trace = config.record_trace.then(Trace::default);
+    if let Some(t) = trace.as_mut() {
+        t.record(inst, &state, 0, 0);
+        if config.track_user_times {
+            t.record_user_times(inst, &state, 0);
+        }
+    }
+
+    let n = inst.num_users().max(1);
+    let unsat0 = state.num_unsatisfied(inst);
+    // start sparse only if the initial state is already in the sparse
+    // regime; otherwise warm up with dense rounds
+    let mut active: Option<ActiveIndex> = (unsat0 * 8 < n).then(|| ActiveIndex::new(inst, &state));
+    let mut moves: Vec<Move> = Vec::new();
+    let mut scratch: Vec<UserId> = Vec::new();
+    let mut rounds = 0u64;
+    let mut migrations = 0u64;
+    let mut converged = unsat0 == 0;
+
+    while !converged && rounds < config.max_rounds {
+        match active.as_mut() {
+            Some(index) => {
+                decide_active_into(
+                    inst,
+                    &state,
+                    index,
+                    proto,
+                    config.seed,
+                    rounds,
+                    &mut moves,
+                    &mut scratch,
+                );
+                index.apply_moves(inst, &mut state, &moves);
+            }
+            None => {
+                decide_round_into(inst, &state, proto, config.seed, rounds, &mut moves);
+                state.apply_moves(inst, &moves);
+                // batch size tracks the active count for the damped
+                // kernels; once it shrinks, the index starts paying off
+                if moves.len() * 8 < n {
+                    active = Some(ActiveIndex::new(inst, &state));
+                }
+            }
+        }
+        migrations += moves.len() as u64;
+        rounds += 1;
+        if let Some(t) = trace.as_mut() {
+            t.record(inst, &state, rounds, moves.len() as u64);
+            if config.track_user_times {
+                t.record_user_times(inst, &state, rounds);
+            }
+        }
+        converged = match active.as_ref() {
+            Some(index) => index.is_empty(),
+            None => state.is_legal(inst),
+        };
+    }
+
+    debug_assert_eq!(converged, state.is_legal(inst));
+    RunOutcome {
+        converged,
+        rounds,
+        migrations,
+        state,
+        trace,
+    }
 }
 
 /// Run a protocol with round decisions sharded over `threads` OS threads.
@@ -97,24 +257,30 @@ pub fn run_threaded<P: Protocol + ?Sized>(
         .filter(|(lo, hi)| lo < hi)
         .collect();
 
-    run_with_decider(inst, state, proto, config, move |inst, state, proto, seed, round, buf| {
-        buf.clear();
-        if bounds.len() <= 1 {
-            decide_round_into(inst, state, proto, seed, round, buf);
-            return;
-        }
-        let mut shard_outputs: Vec<Vec<Move>> = bounds.iter().map(|_| Vec::new()).collect();
-        std::thread::scope(|scope| {
-            for (&(lo, hi), out) in bounds.iter().zip(shard_outputs.iter_mut()) {
-                scope.spawn(move || {
-                    decide_range_into(inst, state, proto, seed, round, lo, hi, out);
-                });
+    run_with_decider(
+        inst,
+        state,
+        proto,
+        config,
+        move |inst, state, proto, seed, round, buf| {
+            buf.clear();
+            if bounds.len() <= 1 {
+                decide_round_into(inst, state, proto, seed, round, buf);
+                return;
             }
-        });
-        for shard in shard_outputs {
-            buf.extend(shard);
-        }
-    })
+            let mut shard_outputs: Vec<Vec<Move>> = bounds.iter().map(|_| Vec::new()).collect();
+            std::thread::scope(|scope| {
+                for (&(lo, hi), out) in bounds.iter().zip(shard_outputs.iter_mut()) {
+                    scope.spawn(move || {
+                        decide_range_into(inst, state, proto, seed, round, lo, hi, out);
+                    });
+                }
+            });
+            for shard in shard_outputs {
+                buf.extend(shard);
+            }
+        },
+    )
 }
 
 fn run_with_decider<P, D>(
@@ -179,7 +345,12 @@ mod tests {
     fn already_legal_returns_immediately() {
         let inst = Instance::uniform(8, 4, 3).unwrap();
         let state = State::round_robin(&inst);
-        let out = run(&inst, state, &SlackDamped::default(), RunConfig::new(1, 100));
+        let out = run(
+            &inst,
+            state,
+            &SlackDamped::default(),
+            RunConfig::new(1, 100),
+        );
         assert!(out.converged);
         assert_eq!(out.rounds, 0);
         assert_eq!(out.migrations, 0);
@@ -188,7 +359,12 @@ mod tests {
     #[test]
     fn slack_damped_converges_from_hotspot() {
         let (inst, state) = hotspot(256, 32, 10); // slack factor 1.25
-        let out = run(&inst, state, &SlackDamped::default(), RunConfig::new(7, 10_000));
+        let out = run(
+            &inst,
+            state,
+            &SlackDamped::default(),
+            RunConfig::new(7, 10_000),
+        );
         assert!(out.converged, "did not converge in {} rounds", out.rounds);
         assert!(out.state.is_legal(&inst));
         assert!(out.rounds < 200, "took {} rounds", out.rounds);
@@ -244,8 +420,18 @@ mod tests {
     fn deterministic_per_seed() {
         let (inst, s1) = hotspot(128, 16, 10);
         let s2 = s1.clone();
-        let a = run(&inst, s1, &SlackDamped::default(), RunConfig::new(9, 10_000));
-        let b = run(&inst, s2, &SlackDamped::default(), RunConfig::new(9, 10_000));
+        let a = run(
+            &inst,
+            s1,
+            &SlackDamped::default(),
+            RunConfig::new(9, 10_000),
+        );
+        let b = run(
+            &inst,
+            s2,
+            &SlackDamped::default(),
+            RunConfig::new(9, 10_000),
+        );
         assert_eq!(a.rounds, b.rounds);
         assert_eq!(a.migrations, b.migrations);
         assert_eq!(a.state, b.state);
@@ -353,10 +539,77 @@ mod tests {
         let state = State::new(&inst, assignment).unwrap();
         // ...but the protocol cannot reach it: the strict user finds no
         // channel with room at its cap, and nobody else ever moves.
-        let out = run(&inst, state, &SlackDamped::default(), RunConfig::new(3, 2_000));
+        let out = run(
+            &inst,
+            state,
+            &SlackDamped::default(),
+            RunConfig::new(3, 2_000),
+        );
         assert!(!out.converged);
         assert_eq!(out.migrations, 0, "no migration is ever possible");
         assert_eq!(out.state.num_unsatisfied(&inst), 1);
+    }
+
+    #[test]
+    fn sparse_matches_dense_exactly() {
+        let (inst, s1) = hotspot(500, 16, 40);
+        for proto in qlb_core::registry(&inst) {
+            let dense = run(
+                &inst,
+                s1.clone(),
+                proto.as_ref(),
+                RunConfig::new(11, 2_000).with_trace(),
+            );
+            let sparse = run_sparse(
+                &inst,
+                s1.clone(),
+                proto.as_ref(),
+                RunConfig::new(11, 2_000).with_trace(),
+            );
+            let name = proto.name();
+            assert_eq!(dense.converged, sparse.converged, "{name}");
+            assert_eq!(dense.rounds, sparse.rounds, "{name}");
+            assert_eq!(dense.migrations, sparse.migrations, "{name}");
+            assert_eq!(dense.state, sparse.state, "{name}");
+            let (dt, st) = (dense.trace.unwrap(), sparse.trace.unwrap());
+            assert_eq!(dt.rounds.len(), st.rounds.len(), "{name}");
+        }
+    }
+
+    #[test]
+    fn config_executor_selects_sparse() {
+        let (inst, s1) = hotspot(128, 16, 10);
+        let dense = run(
+            &inst,
+            s1.clone(),
+            &SlackDamped::default(),
+            RunConfig::new(9, 10_000),
+        );
+        let sparse = run(
+            &inst,
+            s1,
+            &SlackDamped::default(),
+            RunConfig::new(9, 10_000).sparse(),
+        );
+        assert!(dense.converged && sparse.converged);
+        assert_eq!(dense.rounds, sparse.rounds);
+        assert_eq!(dense.migrations, sparse.migrations);
+        assert_eq!(dense.state, sparse.state);
+    }
+
+    #[test]
+    fn sparse_already_legal_returns_immediately() {
+        let inst = Instance::uniform(8, 4, 3).unwrap();
+        let state = State::round_robin(&inst);
+        let out = run_sparse(
+            &inst,
+            state,
+            &SlackDamped::default(),
+            RunConfig::new(1, 100),
+        );
+        assert!(out.converged);
+        assert_eq!(out.rounds, 0);
+        assert_eq!(out.migrations, 0);
     }
 
     #[test]

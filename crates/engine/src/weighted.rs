@@ -83,8 +83,7 @@ mod tests {
     #[test]
     fn already_legal_is_zero_rounds() {
         let inst = WeightedInstance::new(vec![10, 10], vec![5, 5]).unwrap();
-        let state =
-            WeightedState::new(&inst, vec![ResourceId(0), ResourceId(1)]).unwrap();
+        let state = WeightedState::new(&inst, vec![ResourceId(0), ResourceId(1)]).unwrap();
         let out = run_weighted(&inst, state, &WeightedConditional, 1, 100);
         assert!(out.converged);
         assert_eq!(out.rounds, 0);

@@ -38,7 +38,14 @@ fn main() {
     } else {
         args.iter()
             .filter(|a| !a.starts_with("--"))
-            .filter(|a| Some(a.as_str()) != args.iter().position(|x| x == "--out").and_then(|i| args.get(i + 1)).map(|s| s.as_str()))
+            .filter(|a| {
+                Some(a.as_str())
+                    != args
+                        .iter()
+                        .position(|x| x == "--out")
+                        .and_then(|i| args.get(i + 1))
+                        .map(|s| s.as_str())
+            })
             .cloned()
             .collect()
     };
@@ -66,7 +73,12 @@ fn main() {
 fn emit(result: &ExperimentResult, out_dir: &std::path::Path) {
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
-    writeln!(out, "\n## {} ({}) — {}\n", result.id, result.artifact, result.title).unwrap();
+    writeln!(
+        out,
+        "\n## {} ({}) — {}\n",
+        result.id, result.artifact, result.title
+    )
+    .unwrap();
     for (i, table) in result.tables.iter().enumerate() {
         writeln!(out, "{}", table.to_markdown()).unwrap();
         let suffix = if result.tables.len() > 1 {

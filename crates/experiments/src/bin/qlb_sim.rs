@@ -15,10 +15,10 @@ use qlb_core::{
     BlindUniform, ConditionalUniform, Protocol, SlackDamped, SlackDampedCapacitySampling,
     ThresholdLevels,
 };
-use qlb_topo::{Graph, GraphDiffusion};
 use qlb_engine::{run, RunConfig};
 use qlb_runtime::{run_distributed, RuntimeConfig};
 use qlb_stats::sparkline_fit;
+use qlb_topo::{Graph, GraphDiffusion};
 use qlb_workload::{CapacityDist, Placement, Scenario};
 use std::process::exit;
 
@@ -64,7 +64,9 @@ fn main() {
             eprintln!("cannot parse {path}: {e}");
             exit(2);
         })
-    } else if get("--preset").as_deref() == Some("flash-crowd") || args.iter().any(|a| a == "--preset") {
+    } else if get("--preset").as_deref() == Some("flash-crowd")
+        || args.iter().any(|a| a == "--preset")
+    {
         preset()
     } else {
         eprintln!("need --scenario FILE or --preset flash-crowd");
@@ -147,13 +149,12 @@ fn main() {
     );
 
     match get("--executor").as_deref().unwrap_or("engine") {
-        "engine" => {
-            let out = run(
-                &inst,
-                state,
-                proto.as_ref(),
-                RunConfig::new(seed, max_rounds).with_trace(),
-            );
+        kind @ ("engine" | "sparse") => {
+            let mut config = RunConfig::new(seed, max_rounds).with_trace();
+            if kind == "sparse" {
+                config = config.sparse();
+            }
+            let out = run(&inst, state, proto.as_ref(), config);
             let trace = out.trace.expect("trace requested");
             let unsat: Vec<f64> = trace.rounds.iter().map(|r| r.unsatisfied as f64).collect();
             println!("unsatisfied over rounds: {}", sparkline_fit(&unsat, 60));
@@ -170,7 +171,7 @@ fn main() {
             report(out.converged, out.rounds, out.migrations);
         }
         other => {
-            eprintln!("unknown executor {other}; choose engine | runtime");
+            eprintln!("unknown executor {other}; choose engine | sparse | runtime");
             exit(2);
         }
     }
@@ -192,6 +193,6 @@ fn print_help() {
          qlb-sim --preset flash-crowd\n  qlb-sim --emit-preset > fleet.json\n\n\
          PROTOCOLS: blind | conditional | slack-damped (default) | capacity-sampling | levels\n\
          TOPOLOGY:  --topology ring | torus | complete (neighbour-restricted diffusion)\n\
-         EXECUTORS: engine (default) | runtime"
+         EXECUTORS: engine (default) | sparse (active-set engine) | runtime"
     );
 }

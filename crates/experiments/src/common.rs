@@ -49,7 +49,12 @@ pub fn sweep_scenario(
             .build(seed)
             .unwrap_or_else(|e| panic!("scenario {}: {e}", scenario.name));
         let proto = factory(&inst);
-        let out = run(&inst, state, proto.as_ref(), RunConfig::new(seed, max_rounds));
+        let out = run(
+            &inst,
+            state,
+            proto.as_ref(),
+            RunConfig::new(seed, max_rounds),
+        );
         if out.converged {
             converged += 1;
             rounds.push(out.rounds as f64);

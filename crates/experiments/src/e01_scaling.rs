@@ -22,7 +22,15 @@ pub fn run(quick: bool) -> ExperimentResult {
 
     let mut table = Table::new(
         "Table 1 — rounds to convergence vs n (slack-damped, γ = 1.25, m = n/8, hotspot start)",
-        &["n", "m", "rounds (mean ± 95% CI)", "min", "max", "migrations/user", "converged"],
+        &[
+            "n",
+            "m",
+            "rounds (mean ± 95% CI)",
+            "min",
+            "max",
+            "migrations/user",
+            "converged",
+        ],
     );
     let mut points = Vec::new();
 
@@ -37,7 +45,12 @@ pub fn run(quick: bool) -> ExperimentResult {
             1.25,
             Placement::Hotspot,
         );
-        let sweep = sweep_scenario(&sc, &|_| Box::new(SlackDamped::default()), seeds, max_rounds);
+        let sweep = sweep_scenario(
+            &sc,
+            &|_| Box::new(SlackDamped::default()),
+            seeds,
+            max_rounds,
+        );
         points.push((n as f64, sweep.rounds.mean()));
         table.row(vec![
             n.to_string(),

@@ -24,7 +24,13 @@ pub fn run(quick: bool) -> ExperimentResult {
 
     let mut table = Table::new(
         format!("Table 2 — rounds vs slack factor γ (slack-damped, n = {n}, m = {m}, hotspot)"),
-        &["γ", "Δ = Σc − n", "rounds (mean ± 95% CI)", "p-max", "converged"],
+        &[
+            "γ",
+            "Δ = Σc − n",
+            "rounds (mean ± 95% CI)",
+            "p-max",
+            "converged",
+        ],
     );
     let mut notes = Vec::new();
     let mut prev_mean = None;
@@ -38,7 +44,12 @@ pub fn run(quick: bool) -> ExperimentResult {
             gamma,
             Placement::Hotspot,
         );
-        let sweep = sweep_scenario(&sc, &|_| Box::new(SlackDamped::default()), seeds, max_rounds);
+        let sweep = sweep_scenario(
+            &sc,
+            &|_| Box::new(SlackDamped::default()),
+            seeds,
+            max_rounds,
+        );
         let delta = ((gamma * n as f64).ceil() as i64) - n as i64;
         table.row(vec![
             format!("{gamma:.2}"),

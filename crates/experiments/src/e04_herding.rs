@@ -22,9 +22,9 @@
 
 use crate::ExperimentResult;
 use qlb_core::{BlindUniform, ConditionalUniform, Protocol, SlackDamped};
+use qlb_core::{Instance, ResourceId, State};
 use qlb_engine::RunConfig;
 use qlb_stats::{Summary, Table};
-use qlb_core::{Instance, ResourceId, State};
 
 /// Total overload created over a run: `Σ_t (Φ_{t+1} − Φ_t)⁺`.
 fn overload_created(overloads: &[u64]) -> u64 {

@@ -23,7 +23,10 @@ pub fn run(quick: bool) -> ExperimentResult {
 
     let dists: Vec<(&str, CapacityDist)> = vec![
         ("constant", CapacityDist::Constant { cap: 10 }),
-        ("uniform[1,20]", CapacityDist::UniformRange { lo: 1, hi: 20 }),
+        (
+            "uniform[1,20]",
+            CapacityDist::UniformRange { lo: 1, hi: 20 },
+        ),
         (
             "zipf(α=1.0)",
             CapacityDist::Zipf {
@@ -55,15 +58,13 @@ pub fn run(quick: bool) -> ExperimentResult {
     let mut notes = Vec::new();
 
     for (name, dist) in dists {
-        let sc = Scenario::single_class(
-            format!("e5-{name}"),
-            n,
-            m,
-            dist,
-            1.25,
-            Placement::Hotspot,
+        let sc = Scenario::single_class(format!("e5-{name}"), n, m, dist, 1.25, Placement::Hotspot);
+        let uni = sweep_scenario(
+            &sc,
+            &|_| Box::new(SlackDamped::default()),
+            seeds,
+            max_rounds,
         );
-        let uni = sweep_scenario(&sc, &|_| Box::new(SlackDamped::default()), seeds, max_rounds);
         let prop = sweep_scenario(
             &sc,
             &|inst| Box::new(SlackDampedCapacitySampling::new(inst)),

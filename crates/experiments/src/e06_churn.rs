@@ -26,7 +26,13 @@ pub fn run(quick: bool) -> ExperimentResult {
             "Table 4 — recovery rounds after churn (n = {n}, m = {m}, γ = 1.25, \
              {episodes} episodes × {seeds} seeds)"
         ),
-        &["churn φ", "displaced/episode (mean)", "recovery rounds (mean ± CI)", "max", "recovered"],
+        &[
+            "churn φ",
+            "displaced/episode (mean)",
+            "recovery rounds (mean ± CI)",
+            "max",
+            "recovered",
+        ],
     );
 
     // Shared instance (capacities don't depend on seed for Constant).

@@ -13,7 +13,11 @@ use qlb_workload::{CapacityDist, Placement, Scenario};
 
 /// Run E7.
 pub fn run(quick: bool) -> ExperimentResult {
-    let (n, seeds) = if quick { (1usize << 9, 3u32) } else { (1usize << 12, 10) };
+    let (n, seeds) = if quick {
+        (1usize << 9, 3u32)
+    } else {
+        (1usize << 12, 10)
+    };
     let m = n / 8;
     let delays = [0u64, 1, 2, 4, 8];
     let max_rounds = 200_000;
@@ -32,7 +36,14 @@ pub fn run(quick: bool) -> ExperimentResult {
             "Table 5 — actor runtime under observation delay D (n = {n}, m = {m}, γ = 1.25, \
              4 user shards × 2 resource shards)"
         ),
-        &["D", "rounds (mean ± CI)", "slowdown vs D=0", "migrations (mean)", "messages/round", "converged"],
+        &[
+            "D",
+            "rounds (mean ± CI)",
+            "slowdown vs D=0",
+            "migrations (mean)",
+            "messages/round",
+            "converged",
+        ],
     );
     let mut base_mean = None;
     let mut notes = Vec::new();

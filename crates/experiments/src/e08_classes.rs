@@ -55,7 +55,12 @@ pub fn run(quick: bool) -> ExperimentResult {
             placement: Placement::Hotspot,
             classes,
         };
-        let plain = sweep_scenario(&sc, &|_| Box::new(SlackDamped::default()), seeds, max_rounds);
+        let plain = sweep_scenario(
+            &sc,
+            &|_| Box::new(SlackDamped::default()),
+            seeds,
+            max_rounds,
+        );
         let levels = sweep_scenario(
             &sc,
             &|_| Box::new(ThresholdLevels::new(k as u32)),

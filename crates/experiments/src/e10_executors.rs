@@ -9,7 +9,7 @@
 
 use crate::ExperimentResult;
 use qlb_core::{ResourceId, SlackDamped, State};
-use qlb_engine::{run as engine_run, run_threaded, RunConfig};
+use qlb_engine::{run as engine_run, run_sparse, run_threaded, RunConfig};
 use qlb_runtime::{run_distributed, RuntimeConfig};
 use qlb_stats::Table;
 use qlb_workload::{CapacityDist, Placement, Scenario};
@@ -35,13 +35,26 @@ pub fn run(quick: bool) -> ExperimentResult {
     let proto = SlackDamped::default();
 
     let mut table = Table::new(
-        format!("Table 8 — executor equivalence & scaling (n = {n}, m = {m}, γ = 1.25, seed {seed})"),
-        &["executor", "rounds", "migrations", "state identical", "wall time (ms)"],
+        format!(
+            "Table 8 — executor equivalence & scaling (n = {n}, m = {m}, γ = 1.25, seed {seed})"
+        ),
+        &[
+            "executor",
+            "rounds",
+            "migrations",
+            "state identical",
+            "wall time (ms)",
+        ],
     );
 
     // Reference: sequential engine.
     let t0 = Instant::now();
-    let reference = engine_run(&inst, start_state.clone(), &proto, RunConfig::new(seed, max_rounds));
+    let reference = engine_run(
+        &inst,
+        start_state.clone(),
+        &proto,
+        RunConfig::new(seed, max_rounds),
+    );
     let ref_ms = t0.elapsed().as_secs_f64() * 1e3;
     assert!(reference.converged);
     table.row(vec![
@@ -63,8 +76,9 @@ pub fn run(quick: bool) -> ExperimentResult {
             threads,
         );
         let ms = t0.elapsed().as_secs_f64() * 1e3;
-        let same =
-            out.rounds == reference.rounds && out.migrations == reference.migrations && out.state == reference.state;
+        let same = out.rounds == reference.rounds
+            && out.migrations == reference.migrations
+            && out.state == reference.state;
         all_equal &= same;
         table.row(vec![
             format!("engine ({threads} threads)"),
@@ -74,6 +88,26 @@ pub fn run(quick: bool) -> ExperimentResult {
             format!("{ms:.1}"),
         ]);
     }
+
+    let t0 = Instant::now();
+    let sparse = run_sparse(
+        &inst,
+        start_state.clone(),
+        &proto,
+        RunConfig::new(seed, max_rounds),
+    );
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    let same = sparse.rounds == reference.rounds
+        && sparse.migrations == reference.migrations
+        && sparse.state == reference.state;
+    all_equal &= same;
+    table.row(vec![
+        "engine (sparse active-set)".into(),
+        sparse.rounds.to_string(),
+        sparse.migrations.to_string(),
+        if same { "yes" } else { "NO" }.into(),
+        format!("{ms:.1}"),
+    ]);
 
     let t0 = Instant::now();
     let dist = run_distributed(
@@ -117,6 +151,6 @@ mod tests {
     fn quick_run_equivalence_passes() {
         let res = run(true);
         assert!(res.notes[0].contains("PASS"), "{:?}", res.notes);
-        assert_eq!(res.tables[0].num_rows(), 6);
+        assert_eq!(res.tables[0].num_rows(), 7);
     }
 }

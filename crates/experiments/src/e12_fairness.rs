@@ -14,7 +14,11 @@ use qlb_workload::{CapacityDist, Placement, Scenario};
 
 /// Run E12.
 pub fn run(quick: bool) -> ExperimentResult {
-    let (n, seeds) = if quick { (1usize << 10, 3u32) } else { (1usize << 16, 10) };
+    let (n, seeds) = if quick {
+        (1usize << 10, 3u32)
+    } else {
+        (1usize << 16, 10)
+    };
     let m = n / 8;
 
     let sc = Scenario::single_class(

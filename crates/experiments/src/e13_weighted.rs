@@ -84,7 +84,13 @@ pub fn run(quick: bool) -> ExperimentResult {
             max_w = max_w.max(inst.max_weight());
             bfd_ok += first_fit_decreasing(&inst).is_ok() as u32;
             let state = WeightedState::all_on(&inst, ResourceId(0));
-            let out = run_weighted(&inst, state, &WeightedSlackDamped::default(), seed, max_rounds);
+            let out = run_weighted(
+                &inst,
+                state,
+                &WeightedSlackDamped::default(),
+                seed,
+                max_rounds,
+            );
             if out.converged {
                 converged += 1;
                 rounds.push(out.rounds as f64);

@@ -16,7 +16,11 @@ use qlb_workload::{CapacityDist, Placement, Scenario};
 
 /// Run E16.
 pub fn run(quick: bool) -> ExperimentResult {
-    let (n, seeds) = if quick { (1usize << 9, 3u32) } else { (1usize << 12, 10) };
+    let (n, seeds) = if quick {
+        (1usize << 9, 3u32)
+    } else {
+        (1usize << 12, 10)
+    };
     let m = n / 8;
     let probs = [0.0f64, 0.1, 0.25, 0.5, 0.9];
     let max_rounds = 200_000;
@@ -35,7 +39,13 @@ pub fn run(quick: bool) -> ExperimentResult {
             "Table 13 — lossy snapshot links on the actor runtime \
              (n = {n}, m = {m}, γ = 1.25, 4×2 shards)"
         ),
-        &["loss p", "rounds (mean ± CI)", "slowdown vs p=0", "migrations (mean)", "converged"],
+        &[
+            "loss p",
+            "rounds (mean ± CI)",
+            "slowdown vs p=0",
+            "migrations (mean)",
+            "converged",
+        ],
     );
     let mut base = None;
     let mut worst_slowdown = 0.0f64;

@@ -44,7 +44,10 @@ pub fn run(quick: bool) -> ExperimentResult {
     let topologies: Vec<(&str, Graph)> = vec![
         ("ring", Graph::ring(m)),
         ("torus", Graph::torus(side, side)),
-        ("random (ER, deg ≈ 8)", Graph::erdos_renyi(m, 8.0 / m as f64, 1)),
+        (
+            "random (ER, deg ≈ 8)",
+            Graph::erdos_renyi(m, 8.0 / m as f64, 1),
+        ),
         ("complete", Graph::complete(m)),
     ];
 

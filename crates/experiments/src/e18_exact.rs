@@ -29,7 +29,9 @@ pub fn run(quick: bool) -> ExperimentResult {
     ];
 
     let mut table = Table::new(
-        format!("Table 15 — exact E[rounds] vs engine mean over {runs} seeded runs (hotspot start)"),
+        format!(
+            "Table 15 — exact E[rounds] vs engine mean over {runs} seeded runs (hotspot start)"
+        ),
         &[
             "instance",
             "states",
@@ -49,7 +51,12 @@ pub fn run(quick: bool) -> ExperimentResult {
         let mut emp = Summary::new();
         for seed in 0..runs {
             let state = State::all_on(&inst, ResourceId(0));
-            let out = engine_run(&inst, state, &SlackDamped::default(), RunConfig::new(seed, 1_000_000));
+            let out = engine_run(
+                &inst,
+                state,
+                &SlackDamped::default(),
+                RunConfig::new(seed, 1_000_000),
+            );
             assert!(out.converged);
             emp.push(out.rounds as f64);
         }

@@ -14,7 +14,11 @@ use qlb_workload::{CapacityDist, Placement, Scenario};
 
 /// Run E19.
 pub fn run(quick: bool) -> ExperimentResult {
-    let (n, seeds) = if quick { (1usize << 9, 3u32) } else { (1usize << 13, 10) };
+    let (n, seeds) = if quick {
+        (1usize << 9, 3u32)
+    } else {
+        (1usize << 13, 10)
+    };
     let m = n / 8;
     let ps = [1.0f64, 0.5, 0.25, 0.1, 0.05];
 
@@ -29,7 +33,12 @@ pub fn run(quick: bool) -> ExperimentResult {
 
     let mut table = Table::new(
         format!("Table 16 — partial participation (n = {n}, m = {m}, γ = 1.25, hotspot)"),
-        &["participation p", "rounds (mean ± CI)", "p · rounds", "converged"],
+        &[
+            "participation p",
+            "rounds (mean ± CI)",
+            "p · rounds",
+            "converged",
+        ],
     );
     let mut products = Vec::new();
 

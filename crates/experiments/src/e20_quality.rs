@@ -18,7 +18,11 @@ use qlb_workload::{CapacityDist, Placement, Scenario};
 
 /// Run E20.
 pub fn run(quick: bool) -> ExperimentResult {
-    let (n, seeds) = if quick { (1usize << 9, 3u32) } else { (1usize << 13, 10) };
+    let (n, seeds) = if quick {
+        (1usize << 9, 3u32)
+    } else {
+        (1usize << 13, 10)
+    };
     let m = n / 8;
     let gammas = [1.05f64, 1.25, 1.5, 2.0, 4.0];
 
@@ -51,7 +55,12 @@ pub fn run(quick: bool) -> ExperimentResult {
         for seed in 0..seeds as u64 {
             let (inst, state) = sc.build(seed).expect("feasible");
             opt_per_user = optimal_total_latency(&inst) / n as f64;
-            let out = engine_run(&inst, state, &SlackDamped::default(), RunConfig::new(seed, 1_000_000));
+            let out = engine_run(
+                &inst,
+                state,
+                &SlackDamped::default(),
+                RunConfig::new(seed, 1_000_000),
+            );
             assert!(out.converged);
             proto_ratio.push(latency_ratio(&inst, &out.state));
             let packed = greedy_assign(&inst).expect("feasible");

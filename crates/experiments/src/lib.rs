@@ -59,8 +59,8 @@ pub struct ExperimentResult {
 
 /// All experiment ids in order.
 pub const EXPERIMENT_IDS: [&str; 20] = [
-    "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14",
-    "E15", "E16", "E17", "E18", "E19", "E20",
+    "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15",
+    "E16", "E17", "E18", "E19", "E20",
 ];
 
 /// Run one experiment by id. `quick` shrinks sizes/seed counts so the whole

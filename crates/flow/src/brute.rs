@@ -36,7 +36,16 @@ fn search(
     if k == class_sizes.len() {
         return check(class_sizes.len(), eff_cap, m, loads, per_class);
     }
-    compose(class_sizes, eff_cap, m, k, 0, class_sizes[k], loads, per_class)
+    compose(
+        class_sizes,
+        eff_cap,
+        m,
+        k,
+        0,
+        class_sizes[k],
+        loads,
+        per_class,
+    )
 }
 
 #[allow(clippy::too_many_arguments)]

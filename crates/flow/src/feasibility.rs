@@ -70,11 +70,7 @@ pub fn eligibility_caps(eff_cap: &[u32], num_classes: usize, m: usize) -> Option
 /// Returns `None` if the capacity table does not have the eligibility
 /// structure (see [`eligibility_caps`]); the caller should then fall back to
 /// the sufficient greedy check or the exponential [`crate::brute`] oracle.
-pub fn flow_feasible(
-    class_sizes: &[usize],
-    eff_cap: &[u32],
-    m: usize,
-) -> Option<FlowFeasibility> {
+pub fn flow_feasible(class_sizes: &[usize], eff_cap: &[u32], m: usize) -> Option<FlowFeasibility> {
     let kk = class_sizes.len();
     let caps = eligibility_caps(eff_cap, kk, m)?;
     let demand: u64 = class_sizes.iter().map(|&n| n as u64).sum();

@@ -21,7 +21,12 @@ pub fn mix64(mut z: u64) -> u64 {
 /// `stream + 1`) land far apart in the mixed space.
 #[inline]
 pub fn mix64_pair(a: u64, b: u64) -> u64 {
-    mix64(a ^ mix64(b.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(0x2545_f491_4f6c_dd1d)))
+    mix64(
+        a ^ mix64(
+            b.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(0x2545_f491_4f6c_dd1d),
+        ),
+    )
 }
 
 #[cfg(test)]

@@ -126,8 +126,11 @@ pub fn run_distributed<P: Protocol + ?Sized>(
             let rx = res_channels[i].1.clone();
             let user_txs = user_txs.clone();
             let loads = state.loads()[lo..hi].to_vec();
-            let shard = ResourceShard::new(lo, loads, rx, user_txs)
-                .with_loss(config.seed, i, config.stale_prob);
+            let shard = ResourceShard::new(lo, loads, rx, user_txs).with_loss(
+                config.seed,
+                i,
+                config.stale_prob,
+            );
             res_handles.push(scope.spawn(move || shard.run()));
         }
         // User shard actors.
@@ -159,7 +162,7 @@ pub fn run_distributed<P: Protocol + ?Sized>(
             }
             messages += rs as u64; // Emits
             messages += (rs * us) as u64; // snapshots
-            // Collect user-shard reports.
+                                          // Collect user-shard reports.
             let mut unsatisfied = 0u64;
             let mut round_migrations = 0u64;
             let mut reports = 0usize;

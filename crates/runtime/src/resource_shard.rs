@@ -167,7 +167,11 @@ mod tests {
         assert_eq!(loads, vec![5, 5]);
         // snapshot emitted after application
         match urx.recv().unwrap() {
-            ToUser::Snapshot { round, start, loads } => {
+            ToUser::Snapshot {
+                round,
+                start,
+                loads,
+            } => {
                 assert_eq!(round, 1);
                 assert_eq!(start, 2);
                 assert_eq!(loads, vec![5, 5]);

@@ -71,7 +71,11 @@ impl<'a, P: Protocol + ?Sized> UserShard<'a, P> {
     pub(crate) fn run(mut self) {
         while let Ok(msg) = self.rx.recv() {
             match msg {
-                ToUser::Snapshot { round, start, loads } => {
+                ToUser::Snapshot {
+                    round,
+                    start,
+                    loads,
+                } => {
                     if let Some(full) = self.assemble(round, start, loads) {
                         self.act(round, full);
                     }
@@ -158,8 +162,11 @@ impl<'a, P: Protocol + ?Sized> UserShard<'a, P> {
         }
         let avail = self.history.len() as u64; // ≥ 1
         let span = self.max_delay.min(avail - 1);
-        let mut delay_rng =
-            RoundStream::new(qlb_rng::mix64_pair(self.seed, DELAY_SALT), u.0 as u64, round);
+        let mut delay_rng = RoundStream::new(
+            qlb_rng::mix64_pair(self.seed, DELAY_SALT),
+            u.0 as u64,
+            round,
+        );
         let d = delay_rng.uniform(span + 1);
         // back = freshest = delay 0
         let idx = self.history.len() - 1 - d as usize;

@@ -136,7 +136,9 @@ mod tests {
     fn log_fit_distinguishes_linear_growth() {
         // y = x grows much faster than log: R² of the log fit over a wide
         // range is visibly poor.
-        let pts: Vec<(f64, f64)> = (0..16).map(|e| ((1u64 << e) as f64, (1u64 << e) as f64)).collect();
+        let pts: Vec<(f64, f64)> = (0..16)
+            .map(|e| ((1u64 << e) as f64, (1u64 << e) as f64))
+            .collect();
         let fit = log_fit(&pts).unwrap();
         assert!(fit.r_squared < 0.7, "R² {} should be poor", fit.r_squared);
     }

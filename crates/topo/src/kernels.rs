@@ -120,7 +120,12 @@ impl GraphDiffusion {
     /// Drift probability for a satisfied user: utilization gradient
     /// `(u_own − u_t) / (2·u_own)` with `u = load/cap` (exposed for tests).
     #[inline]
-    pub fn drift_probability(own_load: u32, own_cap: u32, target_load: u32, target_cap: u32) -> f64 {
+    pub fn drift_probability(
+        own_load: u32,
+        own_cap: u32,
+        target_load: u32,
+        target_cap: u32,
+    ) -> f64 {
         if own_load == 0 || own_cap == 0 || target_cap == 0 {
             return 0.0;
         }
@@ -224,7 +229,10 @@ mod tests {
         let inst = Instance::uniform(3, 3, 2).unwrap();
         let p = GraphSlackDamped::new(g);
         let mut rng = RoundStream::new(1, 1, 1);
-        assert_eq!(p.sample_target(&inst, ResourceId(0), &mut rng), ResourceId(0));
+        assert_eq!(
+            p.sample_target(&inst, ResourceId(0), &mut rng),
+            ResourceId(0)
+        );
     }
 
     /// The deadlock pin: surplus users whose every neighbour is exactly at

@@ -79,10 +79,7 @@ impl CapacityDist {
                 large,
                 frac_large,
             } => {
-                assert!(
-                    (0.0..=1.0).contains(&frac_large),
-                    "frac_large out of range"
-                );
+                assert!((0.0..=1.0).contains(&frac_large), "frac_large out of range");
                 let num_large = ((m as f64) * frac_large).round() as usize;
                 let mut caps: Vec<u32> = (0..m)
                     .map(|i| if i < num_large { large } else { small })

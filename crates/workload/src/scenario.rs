@@ -243,10 +243,7 @@ mod tests {
     fn infeasible_single_class_rejected() {
         let mut sc = base();
         sc.slack_factor = Some(0.5);
-        assert!(matches!(
-            sc.build(1),
-            Err(ScenarioError::Infeasible(_))
-        ));
+        assert!(matches!(sc.build(1), Err(ScenarioError::Infeasible(_))));
     }
 
     #[test]
@@ -284,12 +281,10 @@ mod tests {
             capacity: CapacityDist::Constant { cap: 4 }, // speeds 4, caps 4
             slack_factor: None,
             placement: Placement::Random,
-            classes: vec![
-                ClassSpec::Eligibility {
-                    min_speed: 1.0,
-                    count: 9, // total capacity 8 < 9
-                },
-            ],
+            classes: vec![ClassSpec::Eligibility {
+                min_speed: 1.0,
+                count: 9, // total capacity 8 < 9
+            }],
         };
         match sc.build(1) {
             Err(ScenarioError::Infeasible(msg)) => assert!(msg.contains("flow")),

@@ -50,7 +50,12 @@ fn main() {
     // Diffusion: satisfied tasks drift toward less-loaded neighbours,
     // percolating the surplus across the mesh.
     let diffusion = GraphDiffusion::new(mesh.clone());
-    let out = run(&inst, crowd.clone(), &diffusion, RunConfig::new(5, 500_000).with_trace());
+    let out = run(
+        &inst,
+        crowd.clone(),
+        &diffusion,
+        RunConfig::new(5, 500_000).with_trace(),
+    );
     assert!(out.converged);
     let unsat: Vec<f64> = out
         .trace
@@ -65,7 +70,10 @@ fn main() {
         out.rounds,
         out.migrations as f64 / n as f64
     );
-    println!("  unsatisfied over time: {}", qoslb::stats::sparkline_fit(&unsat, 48));
+    println!(
+        "  unsatisfied over time: {}",
+        qoslb::stats::sparkline_fit(&unsat, 48)
+    );
 
     // Compare against the unrestricted protocol (complete graph = the
     // paper's model): the price of locality.

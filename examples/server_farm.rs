@@ -48,14 +48,25 @@ fn main() {
         ),
     ];
     for (name, proto) in &kernels {
-        let out = run(&inst, start.clone(), proto.as_ref(), RunConfig::new(7, 20_000));
+        let out = run(
+            &inst,
+            start.clone(),
+            proto.as_ref(),
+            RunConfig::new(7, 20_000),
+        );
         println!(
             "  {name}  →  {}",
             if out.converged {
-                format!("{} rounds, {:.2} migrations/user", out.rounds, out.migrations as f64 / n as f64)
+                format!(
+                    "{} rounds, {:.2} migrations/user",
+                    out.rounds,
+                    out.migrations as f64 / n as f64
+                )
             } else {
-                format!("NOT CONVERGED within budget ({} users still unsatisfied)",
-                    out.state.num_unsatisfied(&inst))
+                format!(
+                    "NOT CONVERGED within budget ({} users still unsatisfied)",
+                    out.state.num_unsatisfied(&inst)
+                )
             }
         );
     }
@@ -80,7 +91,9 @@ fn main() {
         .zip(&churn.displaced)
         .enumerate()
     {
-        println!("  episode {i:>2}: {displaced:>4} clients displaced, recovered in {rounds} rounds");
+        println!(
+            "  episode {i:>2}: {displaced:>4} clients displaced, recovered in {rounds} rounds"
+        );
     }
     assert!(churn.all_recovered);
     println!("\nall episodes recovered — the fleet self-stabilizes under churn");

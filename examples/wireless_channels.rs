@@ -55,13 +55,21 @@ fn main() {
     );
 
     let proto = ThresholdLevels::new(inst.num_classes() as u32);
-    let out = run(&inst, start, &proto, RunConfig::new(11, 50_000).with_trace());
+    let out = run(
+        &inst,
+        start,
+        &proto,
+        RunConfig::new(11, 50_000).with_trace(),
+    );
     assert!(out.converged, "authored to be feasible with margin");
 
     println!("round  unsatisfied  migrations  (classes alternate rounds)");
     let trace = out.trace.expect("trace requested");
     for r in trace.rounds.iter().take(12) {
-        println!("{:>5}  {:>11}  {:>10}", r.round, r.unsatisfied, r.migrations);
+        println!(
+            "{:>5}  {:>11}  {:>10}",
+            r.round, r.unsatisfied, r.migrations
+        );
     }
     if trace.rounds.len() > 12 {
         println!("  ... ({} more rounds)", trace.rounds.len() - 12);
@@ -80,6 +88,9 @@ fn main() {
             .filter(|&u| out.state.is_satisfied(&inst, u))
             .count();
         let total = inst.class_sizes()[k];
-        println!("  class c{k} (T = {}): {satisfied}/{total} satisfied", inst.classes()[k].threshold);
+        println!(
+            "  class c{k} (T = {}): {satisfied}/{total} satisfied",
+            inst.classes()[k].threshold
+        );
     }
 }

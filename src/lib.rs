@@ -39,12 +39,12 @@
 //! println!("legal state after {} rounds, {} migrations", out.rounds, out.migrations);
 //! ```
 
+pub use qlb_analysis as analysis;
 pub use qlb_core as core;
 pub use qlb_engine as engine;
 pub use qlb_flow as flow;
 pub use qlb_rng as rng;
 pub use qlb_runtime as runtime;
-pub use qlb_analysis as analysis;
 pub use qlb_stats as stats;
 pub use qlb_topo as topo;
 pub use qlb_workload as workload;
@@ -52,7 +52,7 @@ pub use qlb_workload as workload;
 /// The types most applications need, in one import.
 pub mod prelude {
     pub use qlb_core::prelude::*;
-    pub use qlb_engine::{run, run_threaded, RunConfig, RunOutcome};
+    pub use qlb_engine::{run, run_sparse, run_threaded, Executor, RunConfig, RunOutcome};
     pub use qlb_runtime::{run_distributed, DistributedOutcome, RuntimeConfig};
     pub use qlb_workload::{CapacityDist, ClassSpec, Placement, Scenario};
 }

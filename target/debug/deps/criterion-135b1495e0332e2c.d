@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-135b1495e0332e2c.d: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-135b1495e0332e2c.rmeta: crates/compat/criterion/src/lib.rs
+
+crates/compat/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-c291333f3c45d713.d: crates/compat/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-c291333f3c45d713.rmeta: crates/compat/crossbeam/src/lib.rs
+
+crates/compat/crossbeam/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-e9edf8b29f42f8b7.d: crates/compat/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-e9edf8b29f42f8b7.rlib: crates/compat/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-e9edf8b29f42f8b7.rmeta: crates/compat/crossbeam/src/lib.rs
+
+crates/compat/crossbeam/src/lib.rs:

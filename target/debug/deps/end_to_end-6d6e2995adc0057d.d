@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-6d6e2995adc0057d.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-6d6e2995adc0057d: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-621187aedcb2a683.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-621187aedcb2a683: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-9e24c782e0b469a8.d: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-9e24c782e0b469a8.rlib: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-9e24c782e0b469a8.rmeta: crates/compat/proptest/src/lib.rs
+
+crates/compat/proptest/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/qlb_analysis-0c1ae0109cf87883.d: crates/analysis/src/lib.rs crates/analysis/src/chain.rs crates/analysis/src/profiles.rs crates/analysis/src/solver.rs
+
+/root/repo/target/debug/deps/libqlb_analysis-0c1ae0109cf87883.rlib: crates/analysis/src/lib.rs crates/analysis/src/chain.rs crates/analysis/src/profiles.rs crates/analysis/src/solver.rs
+
+/root/repo/target/debug/deps/libqlb_analysis-0c1ae0109cf87883.rmeta: crates/analysis/src/lib.rs crates/analysis/src/chain.rs crates/analysis/src/profiles.rs crates/analysis/src/solver.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/chain.rs:
+crates/analysis/src/profiles.rs:
+crates/analysis/src/solver.rs:

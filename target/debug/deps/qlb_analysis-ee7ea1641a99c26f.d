@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/qlb_analysis-ee7ea1641a99c26f.d: crates/analysis/src/lib.rs crates/analysis/src/chain.rs crates/analysis/src/profiles.rs crates/analysis/src/solver.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqlb_analysis-ee7ea1641a99c26f.rmeta: crates/analysis/src/lib.rs crates/analysis/src/chain.rs crates/analysis/src/profiles.rs crates/analysis/src/solver.rs Cargo.toml
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/chain.rs:
+crates/analysis/src/profiles.rs:
+crates/analysis/src/solver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

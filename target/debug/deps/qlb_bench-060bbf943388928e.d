@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qlb_bench-060bbf943388928e.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqlb_bench-060bbf943388928e.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qlb_bench-f91ea725b233df7e.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqlb_bench-f91ea725b233df7e.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

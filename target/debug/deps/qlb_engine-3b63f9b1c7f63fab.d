@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/qlb_engine-3b63f9b1c7f63fab.d: crates/engine/src/lib.rs crates/engine/src/dynamics.rs crates/engine/src/open.rs crates/engine/src/run.rs crates/engine/src/trace.rs crates/engine/src/weighted.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqlb_engine-3b63f9b1c7f63fab.rmeta: crates/engine/src/lib.rs crates/engine/src/dynamics.rs crates/engine/src/open.rs crates/engine/src/run.rs crates/engine/src/trace.rs crates/engine/src/weighted.rs Cargo.toml
+
+crates/engine/src/lib.rs:
+crates/engine/src/dynamics.rs:
+crates/engine/src/open.rs:
+crates/engine/src/run.rs:
+crates/engine/src/trace.rs:
+crates/engine/src/weighted.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/qlb_engine-4296c856c21b41ce.d: crates/engine/src/lib.rs crates/engine/src/dynamics.rs crates/engine/src/open.rs crates/engine/src/run.rs crates/engine/src/trace.rs crates/engine/src/weighted.rs
+
+/root/repo/target/debug/deps/libqlb_engine-4296c856c21b41ce.rlib: crates/engine/src/lib.rs crates/engine/src/dynamics.rs crates/engine/src/open.rs crates/engine/src/run.rs crates/engine/src/trace.rs crates/engine/src/weighted.rs
+
+/root/repo/target/debug/deps/libqlb_engine-4296c856c21b41ce.rmeta: crates/engine/src/lib.rs crates/engine/src/dynamics.rs crates/engine/src/open.rs crates/engine/src/run.rs crates/engine/src/trace.rs crates/engine/src/weighted.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/dynamics.rs:
+crates/engine/src/open.rs:
+crates/engine/src/run.rs:
+crates/engine/src/trace.rs:
+crates/engine/src/weighted.rs:

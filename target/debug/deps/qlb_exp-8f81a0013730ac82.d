@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qlb_exp-8f81a0013730ac82.d: crates/experiments/src/bin/qlb_exp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqlb_exp-8f81a0013730ac82.rmeta: crates/experiments/src/bin/qlb_exp.rs Cargo.toml
+
+crates/experiments/src/bin/qlb_exp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/qlb_flow-3e0a322d053d0bb0.d: crates/flow/src/lib.rs crates/flow/src/brute.rs crates/flow/src/dinic.rs crates/flow/src/feasibility.rs crates/flow/src/matching.rs
+
+/root/repo/target/debug/deps/libqlb_flow-3e0a322d053d0bb0.rlib: crates/flow/src/lib.rs crates/flow/src/brute.rs crates/flow/src/dinic.rs crates/flow/src/feasibility.rs crates/flow/src/matching.rs
+
+/root/repo/target/debug/deps/libqlb_flow-3e0a322d053d0bb0.rmeta: crates/flow/src/lib.rs crates/flow/src/brute.rs crates/flow/src/dinic.rs crates/flow/src/feasibility.rs crates/flow/src/matching.rs
+
+crates/flow/src/lib.rs:
+crates/flow/src/brute.rs:
+crates/flow/src/dinic.rs:
+crates/flow/src/feasibility.rs:
+crates/flow/src/matching.rs:

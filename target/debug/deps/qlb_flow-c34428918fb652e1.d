@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/qlb_flow-c34428918fb652e1.d: crates/flow/src/lib.rs crates/flow/src/brute.rs crates/flow/src/dinic.rs crates/flow/src/feasibility.rs crates/flow/src/matching.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqlb_flow-c34428918fb652e1.rmeta: crates/flow/src/lib.rs crates/flow/src/brute.rs crates/flow/src/dinic.rs crates/flow/src/feasibility.rs crates/flow/src/matching.rs Cargo.toml
+
+crates/flow/src/lib.rs:
+crates/flow/src/brute.rs:
+crates/flow/src/dinic.rs:
+crates/flow/src/feasibility.rs:
+crates/flow/src/matching.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

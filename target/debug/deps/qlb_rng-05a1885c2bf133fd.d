@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/qlb_rng-05a1885c2bf133fd.d: crates/rng/src/lib.rs crates/rng/src/mix.rs crates/rng/src/splitmix.rs crates/rng/src/stream.rs crates/rng/src/xoshiro.rs
+
+/root/repo/target/debug/deps/libqlb_rng-05a1885c2bf133fd.rlib: crates/rng/src/lib.rs crates/rng/src/mix.rs crates/rng/src/splitmix.rs crates/rng/src/stream.rs crates/rng/src/xoshiro.rs
+
+/root/repo/target/debug/deps/libqlb_rng-05a1885c2bf133fd.rmeta: crates/rng/src/lib.rs crates/rng/src/mix.rs crates/rng/src/splitmix.rs crates/rng/src/stream.rs crates/rng/src/xoshiro.rs
+
+crates/rng/src/lib.rs:
+crates/rng/src/mix.rs:
+crates/rng/src/splitmix.rs:
+crates/rng/src/stream.rs:
+crates/rng/src/xoshiro.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/qlb_rng-17eb77cadbf51bb1.d: crates/rng/src/lib.rs crates/rng/src/mix.rs crates/rng/src/splitmix.rs crates/rng/src/stream.rs crates/rng/src/xoshiro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqlb_rng-17eb77cadbf51bb1.rmeta: crates/rng/src/lib.rs crates/rng/src/mix.rs crates/rng/src/splitmix.rs crates/rng/src/stream.rs crates/rng/src/xoshiro.rs Cargo.toml
+
+crates/rng/src/lib.rs:
+crates/rng/src/mix.rs:
+crates/rng/src/splitmix.rs:
+crates/rng/src/stream.rs:
+crates/rng/src/xoshiro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/qlb_runtime-bf347cc06002e703.d: crates/runtime/src/lib.rs crates/runtime/src/driver.rs crates/runtime/src/messages.rs crates/runtime/src/resource_shard.rs crates/runtime/src/user_shard.rs
+
+/root/repo/target/debug/deps/libqlb_runtime-bf347cc06002e703.rlib: crates/runtime/src/lib.rs crates/runtime/src/driver.rs crates/runtime/src/messages.rs crates/runtime/src/resource_shard.rs crates/runtime/src/user_shard.rs
+
+/root/repo/target/debug/deps/libqlb_runtime-bf347cc06002e703.rmeta: crates/runtime/src/lib.rs crates/runtime/src/driver.rs crates/runtime/src/messages.rs crates/runtime/src/resource_shard.rs crates/runtime/src/user_shard.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/driver.rs:
+crates/runtime/src/messages.rs:
+crates/runtime/src/resource_shard.rs:
+crates/runtime/src/user_shard.rs:

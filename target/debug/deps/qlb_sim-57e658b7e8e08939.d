@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qlb_sim-57e658b7e8e08939.d: crates/experiments/src/bin/qlb_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqlb_sim-57e658b7e8e08939.rmeta: crates/experiments/src/bin/qlb_sim.rs Cargo.toml
+
+crates/experiments/src/bin/qlb_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

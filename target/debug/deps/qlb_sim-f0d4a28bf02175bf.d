@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qlb_sim-f0d4a28bf02175bf.d: crates/experiments/src/bin/qlb_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqlb_sim-f0d4a28bf02175bf.rmeta: crates/experiments/src/bin/qlb_sim.rs Cargo.toml
+
+crates/experiments/src/bin/qlb_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

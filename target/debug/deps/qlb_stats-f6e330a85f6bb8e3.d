@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/qlb_stats-f6e330a85f6bb8e3.d: crates/stats/src/lib.rs crates/stats/src/fit.rs crates/stats/src/quantile.rs crates/stats/src/spark.rs crates/stats/src/summary.rs crates/stats/src/table.rs
+
+/root/repo/target/debug/deps/libqlb_stats-f6e330a85f6bb8e3.rlib: crates/stats/src/lib.rs crates/stats/src/fit.rs crates/stats/src/quantile.rs crates/stats/src/spark.rs crates/stats/src/summary.rs crates/stats/src/table.rs
+
+/root/repo/target/debug/deps/libqlb_stats-f6e330a85f6bb8e3.rmeta: crates/stats/src/lib.rs crates/stats/src/fit.rs crates/stats/src/quantile.rs crates/stats/src/spark.rs crates/stats/src/summary.rs crates/stats/src/table.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/fit.rs:
+crates/stats/src/quantile.rs:
+crates/stats/src/spark.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/table.rs:

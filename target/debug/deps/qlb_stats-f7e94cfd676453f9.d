@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/qlb_stats-f7e94cfd676453f9.d: crates/stats/src/lib.rs crates/stats/src/fit.rs crates/stats/src/quantile.rs crates/stats/src/spark.rs crates/stats/src/summary.rs crates/stats/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqlb_stats-f7e94cfd676453f9.rmeta: crates/stats/src/lib.rs crates/stats/src/fit.rs crates/stats/src/quantile.rs crates/stats/src/spark.rs crates/stats/src/summary.rs crates/stats/src/table.rs Cargo.toml
+
+crates/stats/src/lib.rs:
+crates/stats/src/fit.rs:
+crates/stats/src/quantile.rs:
+crates/stats/src/spark.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qlb_topo-57f0e0d4d671408d.d: crates/topo/src/lib.rs crates/topo/src/graph.rs crates/topo/src/kernels.rs
+
+/root/repo/target/debug/deps/libqlb_topo-57f0e0d4d671408d.rlib: crates/topo/src/lib.rs crates/topo/src/graph.rs crates/topo/src/kernels.rs
+
+/root/repo/target/debug/deps/libqlb_topo-57f0e0d4d671408d.rmeta: crates/topo/src/lib.rs crates/topo/src/graph.rs crates/topo/src/kernels.rs
+
+crates/topo/src/lib.rs:
+crates/topo/src/graph.rs:
+crates/topo/src/kernels.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/qlb_topo-df32a5a423ae695a.d: crates/topo/src/lib.rs crates/topo/src/graph.rs crates/topo/src/kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqlb_topo-df32a5a423ae695a.rmeta: crates/topo/src/lib.rs crates/topo/src/graph.rs crates/topo/src/kernels.rs Cargo.toml
+
+crates/topo/src/lib.rs:
+crates/topo/src/graph.rs:
+crates/topo/src/kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/qlb_topo-eb03ff73b4ee5afc.d: crates/topo/src/lib.rs crates/topo/src/graph.rs crates/topo/src/kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqlb_topo-eb03ff73b4ee5afc.rmeta: crates/topo/src/lib.rs crates/topo/src/graph.rs crates/topo/src/kernels.rs Cargo.toml
+
+crates/topo/src/lib.rs:
+crates/topo/src/graph.rs:
+crates/topo/src/kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

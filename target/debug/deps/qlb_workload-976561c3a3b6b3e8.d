@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/qlb_workload-976561c3a3b6b3e8.d: crates/workload/src/lib.rs crates/workload/src/capacity.rs crates/workload/src/placement.rs crates/workload/src/scenario.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqlb_workload-976561c3a3b6b3e8.rmeta: crates/workload/src/lib.rs crates/workload/src/capacity.rs crates/workload/src/placement.rs crates/workload/src/scenario.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/capacity.rs:
+crates/workload/src/placement.rs:
+crates/workload/src/scenario.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

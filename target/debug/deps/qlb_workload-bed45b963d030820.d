@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/qlb_workload-bed45b963d030820.d: crates/workload/src/lib.rs crates/workload/src/capacity.rs crates/workload/src/placement.rs crates/workload/src/scenario.rs
+
+/root/repo/target/debug/deps/libqlb_workload-bed45b963d030820.rlib: crates/workload/src/lib.rs crates/workload/src/capacity.rs crates/workload/src/placement.rs crates/workload/src/scenario.rs
+
+/root/repo/target/debug/deps/libqlb_workload-bed45b963d030820.rmeta: crates/workload/src/lib.rs crates/workload/src/capacity.rs crates/workload/src/placement.rs crates/workload/src/scenario.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/capacity.rs:
+crates/workload/src/placement.rs:
+crates/workload/src/scenario.rs:

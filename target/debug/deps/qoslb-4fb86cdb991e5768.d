@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qoslb-4fb86cdb991e5768.d: src/lib.rs
+
+/root/repo/target/debug/deps/qoslb-4fb86cdb991e5768: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qoslb-9968808111b166db.d: src/lib.rs
+
+/root/repo/target/debug/deps/libqoslb-9968808111b166db.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libqoslb-9968808111b166db.rmeta: src/lib.rs
+
+src/lib.rs:

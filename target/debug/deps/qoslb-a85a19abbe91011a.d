@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qoslb-a85a19abbe91011a.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqoslb-a85a19abbe91011a.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

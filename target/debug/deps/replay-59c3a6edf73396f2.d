@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/replay-59c3a6edf73396f2.d: tests/replay.rs tests/golden_replay.txt
+
+/root/repo/target/debug/deps/replay-59c3a6edf73396f2: tests/replay.rs tests/golden_replay.txt
+
+tests/replay.rs:
+tests/golden_replay.txt:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/replay-acdb0fe5d4faf00c.d: tests/replay.rs tests/golden_replay.txt Cargo.toml
+
+/root/repo/target/debug/deps/libreplay-acdb0fe5d4faf00c.rmeta: tests/replay.rs tests/golden_replay.txt Cargo.toml
+
+tests/replay.rs:
+tests/golden_replay.txt:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/scenarios-26d6462910a73593.d: tests/scenarios.rs
+
+/root/repo/target/debug/deps/scenarios-26d6462910a73593: tests/scenarios.rs
+
+tests/scenarios.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

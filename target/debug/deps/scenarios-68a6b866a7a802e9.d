@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/scenarios-68a6b866a7a802e9.d: tests/scenarios.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscenarios-68a6b866a7a802e9.rmeta: tests/scenarios.rs Cargo.toml
+
+tests/scenarios.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

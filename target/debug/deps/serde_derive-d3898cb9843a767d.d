@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-d3898cb9843a767d.d: crates/compat/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-d3898cb9843a767d.so: crates/compat/serde_derive/src/lib.rs
+
+crates/compat/serde_derive/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-4240117b43b66d92.d: crates/compat/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-4240117b43b66d92.rlib: crates/compat/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-4240117b43b66d92.rmeta: crates/compat/serde_json/src/lib.rs
+
+crates/compat/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-9268211c84acf1c6.d: crates/compat/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-9268211c84acf1c6.rmeta: crates/compat/serde_json/src/lib.rs
+
+crates/compat/serde_json/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sparse-a59237eb2eecf8e5.d: crates/bench/benches/sparse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsparse-a59237eb2eecf8e5.rmeta: crates/bench/benches/sparse.rs Cargo.toml
+
+crates/bench/benches/sparse.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

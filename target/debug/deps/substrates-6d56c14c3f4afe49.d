@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/substrates-6d56c14c3f4afe49.d: crates/bench/benches/substrates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsubstrates-6d56c14c3f4afe49.rmeta: crates/bench/benches/substrates.rs Cargo.toml
+
+crates/bench/benches/substrates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/topology_analysis-31dc56baaa146f2d.d: tests/topology_analysis.rs
+
+/root/repo/target/debug/deps/topology_analysis-31dc56baaa146f2d: tests/topology_analysis.rs
+
+tests/topology_analysis.rs:

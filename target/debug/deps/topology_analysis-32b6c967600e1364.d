@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/topology_analysis-32b6c967600e1364.d: tests/topology_analysis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtopology_analysis-32b6c967600e1364.rmeta: tests/topology_analysis.rs Cargo.toml
+
+tests/topology_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

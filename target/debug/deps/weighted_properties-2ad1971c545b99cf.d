@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/weighted_properties-2ad1971c545b99cf.d: tests/weighted_properties.rs
+
+/root/repo/target/debug/deps/weighted_properties-2ad1971c545b99cf: tests/weighted_properties.rs
+
+tests/weighted_properties.rs:

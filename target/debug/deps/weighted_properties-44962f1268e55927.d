@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/weighted_properties-44962f1268e55927.d: tests/weighted_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libweighted_properties-44962f1268e55927.rmeta: tests/weighted_properties.rs Cargo.toml
+
+tests/weighted_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/batch_jobs-e5229483579fc9e2.d: examples/batch_jobs.rs
+
+/root/repo/target/debug/examples/batch_jobs-e5229483579fc9e2: examples/batch_jobs.rs
+
+examples/batch_jobs.rs:

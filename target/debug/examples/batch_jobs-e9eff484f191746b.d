@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/batch_jobs-e9eff484f191746b.d: examples/batch_jobs.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbatch_jobs-e9eff484f191746b.rmeta: examples/batch_jobs.rs Cargo.toml
+
+examples/batch_jobs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distributed_cluster-124f8d42a9c07725.d: examples/distributed_cluster.rs
+
+/root/repo/target/debug/examples/distributed_cluster-124f8d42a9c07725: examples/distributed_cluster.rs
+
+examples/distributed_cluster.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/distributed_cluster-ba81ac5e8b09fd02.d: examples/distributed_cluster.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdistributed_cluster-ba81ac5e8b09fd02.rmeta: examples/distributed_cluster.rs Cargo.toml
+
+examples/distributed_cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

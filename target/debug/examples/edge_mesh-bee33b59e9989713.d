@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/edge_mesh-bee33b59e9989713.d: examples/edge_mesh.rs
+
+/root/repo/target/debug/examples/edge_mesh-bee33b59e9989713: examples/edge_mesh.rs
+
+examples/edge_mesh.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/edge_mesh-ed7eb67ae1d661f4.d: examples/edge_mesh.rs Cargo.toml
+
+/root/repo/target/debug/examples/libedge_mesh-ed7eb67ae1d661f4.rmeta: examples/edge_mesh.rs Cargo.toml
+
+examples/edge_mesh.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-1274efbd8b90fa03.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-1274efbd8b90fa03: examples/quickstart.rs
+
+examples/quickstart.rs:

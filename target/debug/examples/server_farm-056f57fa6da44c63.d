@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/server_farm-056f57fa6da44c63.d: examples/server_farm.rs
+
+/root/repo/target/debug/examples/server_farm-056f57fa6da44c63: examples/server_farm.rs
+
+examples/server_farm.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/server_farm-5c6158f32b55f8fd.d: examples/server_farm.rs Cargo.toml
+
+/root/repo/target/debug/examples/libserver_farm-5c6158f32b55f8fd.rmeta: examples/server_farm.rs Cargo.toml
+
+examples/server_farm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

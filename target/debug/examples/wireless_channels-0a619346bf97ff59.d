@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/wireless_channels-0a619346bf97ff59.d: examples/wireless_channels.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwireless_channels-0a619346bf97ff59.rmeta: examples/wireless_channels.rs Cargo.toml
+
+examples/wireless_channels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wireless_channels-8d071f8552496858.d: examples/wireless_channels.rs
+
+/root/repo/target/debug/examples/wireless_channels-8d071f8552496858: examples/wireless_channels.rs
+
+examples/wireless_channels.rs:

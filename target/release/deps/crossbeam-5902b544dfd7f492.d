@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-5902b544dfd7f492.d: crates/compat/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-5902b544dfd7f492.rlib: crates/compat/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-5902b544dfd7f492.rmeta: crates/compat/crossbeam/src/lib.rs
+
+crates/compat/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-94a7bdc44bfd0755.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-94a7bdc44bfd0755: tests/end_to_end.rs
+
+tests/end_to_end.rs:

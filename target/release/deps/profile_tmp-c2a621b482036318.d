@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/profile_tmp-c2a621b482036318.d: crates/bench/benches/profile_tmp.rs
+
+/root/repo/target/release/deps/profile_tmp-c2a621b482036318: crates/bench/benches/profile_tmp.rs
+
+crates/bench/benches/profile_tmp.rs:

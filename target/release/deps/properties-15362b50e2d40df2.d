@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-15362b50e2d40df2.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-15362b50e2d40df2: tests/properties.rs
+
+tests/properties.rs:

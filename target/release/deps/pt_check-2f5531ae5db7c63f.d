@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pt_check-2f5531ae5db7c63f.d: tests/pt_check.rs
+
+/root/repo/target/release/deps/pt_check-2f5531ae5db7c63f: tests/pt_check.rs
+
+tests/pt_check.rs:

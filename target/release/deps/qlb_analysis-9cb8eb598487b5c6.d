@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/qlb_analysis-9cb8eb598487b5c6.d: crates/analysis/src/lib.rs crates/analysis/src/chain.rs crates/analysis/src/profiles.rs crates/analysis/src/solver.rs
+
+/root/repo/target/release/deps/libqlb_analysis-9cb8eb598487b5c6.rlib: crates/analysis/src/lib.rs crates/analysis/src/chain.rs crates/analysis/src/profiles.rs crates/analysis/src/solver.rs
+
+/root/repo/target/release/deps/libqlb_analysis-9cb8eb598487b5c6.rmeta: crates/analysis/src/lib.rs crates/analysis/src/chain.rs crates/analysis/src/profiles.rs crates/analysis/src/solver.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/chain.rs:
+crates/analysis/src/profiles.rs:
+crates/analysis/src/solver.rs:

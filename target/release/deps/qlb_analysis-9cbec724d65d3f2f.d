@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/qlb_analysis-9cbec724d65d3f2f.d: crates/analysis/src/lib.rs crates/analysis/src/chain.rs crates/analysis/src/profiles.rs crates/analysis/src/solver.rs
+
+/root/repo/target/release/deps/qlb_analysis-9cbec724d65d3f2f: crates/analysis/src/lib.rs crates/analysis/src/chain.rs crates/analysis/src/profiles.rs crates/analysis/src/solver.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/chain.rs:
+crates/analysis/src/profiles.rs:
+crates/analysis/src/solver.rs:

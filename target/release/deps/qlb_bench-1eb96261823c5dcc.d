@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/qlb_bench-1eb96261823c5dcc.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/qlb_bench-1eb96261823c5dcc: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

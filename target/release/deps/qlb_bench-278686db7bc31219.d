@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/qlb_bench-278686db7bc31219.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libqlb_bench-278686db7bc31219.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libqlb_bench-278686db7bc31219.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/qlb_engine-60c31f7899915e6e.d: crates/engine/src/lib.rs crates/engine/src/dynamics.rs crates/engine/src/open.rs crates/engine/src/run.rs crates/engine/src/trace.rs crates/engine/src/weighted.rs
+
+/root/repo/target/release/deps/libqlb_engine-60c31f7899915e6e.rlib: crates/engine/src/lib.rs crates/engine/src/dynamics.rs crates/engine/src/open.rs crates/engine/src/run.rs crates/engine/src/trace.rs crates/engine/src/weighted.rs
+
+/root/repo/target/release/deps/libqlb_engine-60c31f7899915e6e.rmeta: crates/engine/src/lib.rs crates/engine/src/dynamics.rs crates/engine/src/open.rs crates/engine/src/run.rs crates/engine/src/trace.rs crates/engine/src/weighted.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/dynamics.rs:
+crates/engine/src/open.rs:
+crates/engine/src/run.rs:
+crates/engine/src/trace.rs:
+crates/engine/src/weighted.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/qlb_exp-42dcfc3d6e905316.d: crates/experiments/src/bin/qlb_exp.rs
+
+/root/repo/target/release/deps/qlb_exp-42dcfc3d6e905316: crates/experiments/src/bin/qlb_exp.rs
+
+crates/experiments/src/bin/qlb_exp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/qlb_exp-e460103fe510b215.d: crates/experiments/src/bin/qlb_exp.rs
+
+/root/repo/target/release/deps/qlb_exp-e460103fe510b215: crates/experiments/src/bin/qlb_exp.rs
+
+crates/experiments/src/bin/qlb_exp.rs:

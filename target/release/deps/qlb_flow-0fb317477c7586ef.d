@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/qlb_flow-0fb317477c7586ef.d: crates/flow/src/lib.rs crates/flow/src/brute.rs crates/flow/src/dinic.rs crates/flow/src/feasibility.rs crates/flow/src/matching.rs
+
+/root/repo/target/release/deps/libqlb_flow-0fb317477c7586ef.rlib: crates/flow/src/lib.rs crates/flow/src/brute.rs crates/flow/src/dinic.rs crates/flow/src/feasibility.rs crates/flow/src/matching.rs
+
+/root/repo/target/release/deps/libqlb_flow-0fb317477c7586ef.rmeta: crates/flow/src/lib.rs crates/flow/src/brute.rs crates/flow/src/dinic.rs crates/flow/src/feasibility.rs crates/flow/src/matching.rs
+
+crates/flow/src/lib.rs:
+crates/flow/src/brute.rs:
+crates/flow/src/dinic.rs:
+crates/flow/src/feasibility.rs:
+crates/flow/src/matching.rs:

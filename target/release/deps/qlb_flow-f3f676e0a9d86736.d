@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/qlb_flow-f3f676e0a9d86736.d: crates/flow/src/lib.rs crates/flow/src/brute.rs crates/flow/src/dinic.rs crates/flow/src/feasibility.rs crates/flow/src/matching.rs
+
+/root/repo/target/release/deps/qlb_flow-f3f676e0a9d86736: crates/flow/src/lib.rs crates/flow/src/brute.rs crates/flow/src/dinic.rs crates/flow/src/feasibility.rs crates/flow/src/matching.rs
+
+crates/flow/src/lib.rs:
+crates/flow/src/brute.rs:
+crates/flow/src/dinic.rs:
+crates/flow/src/feasibility.rs:
+crates/flow/src/matching.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/qlb_rng-b12a296253eccaff.d: crates/rng/src/lib.rs crates/rng/src/mix.rs crates/rng/src/splitmix.rs crates/rng/src/stream.rs crates/rng/src/xoshiro.rs
+
+/root/repo/target/release/deps/libqlb_rng-b12a296253eccaff.rlib: crates/rng/src/lib.rs crates/rng/src/mix.rs crates/rng/src/splitmix.rs crates/rng/src/stream.rs crates/rng/src/xoshiro.rs
+
+/root/repo/target/release/deps/libqlb_rng-b12a296253eccaff.rmeta: crates/rng/src/lib.rs crates/rng/src/mix.rs crates/rng/src/splitmix.rs crates/rng/src/stream.rs crates/rng/src/xoshiro.rs
+
+crates/rng/src/lib.rs:
+crates/rng/src/mix.rs:
+crates/rng/src/splitmix.rs:
+crates/rng/src/stream.rs:
+crates/rng/src/xoshiro.rs:

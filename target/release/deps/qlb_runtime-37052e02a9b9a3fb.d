@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/qlb_runtime-37052e02a9b9a3fb.d: crates/runtime/src/lib.rs crates/runtime/src/driver.rs crates/runtime/src/messages.rs crates/runtime/src/resource_shard.rs crates/runtime/src/user_shard.rs
+
+/root/repo/target/release/deps/qlb_runtime-37052e02a9b9a3fb: crates/runtime/src/lib.rs crates/runtime/src/driver.rs crates/runtime/src/messages.rs crates/runtime/src/resource_shard.rs crates/runtime/src/user_shard.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/driver.rs:
+crates/runtime/src/messages.rs:
+crates/runtime/src/resource_shard.rs:
+crates/runtime/src/user_shard.rs:

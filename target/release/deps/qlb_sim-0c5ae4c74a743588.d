@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/qlb_sim-0c5ae4c74a743588.d: crates/experiments/src/bin/qlb_sim.rs
+
+/root/repo/target/release/deps/qlb_sim-0c5ae4c74a743588: crates/experiments/src/bin/qlb_sim.rs
+
+crates/experiments/src/bin/qlb_sim.rs:

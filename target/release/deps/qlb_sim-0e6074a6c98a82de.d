@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/qlb_sim-0e6074a6c98a82de.d: crates/experiments/src/bin/qlb_sim.rs
+
+/root/repo/target/release/deps/qlb_sim-0e6074a6c98a82de: crates/experiments/src/bin/qlb_sim.rs
+
+crates/experiments/src/bin/qlb_sim.rs:

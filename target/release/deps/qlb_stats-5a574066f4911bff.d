@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/qlb_stats-5a574066f4911bff.d: crates/stats/src/lib.rs crates/stats/src/fit.rs crates/stats/src/quantile.rs crates/stats/src/spark.rs crates/stats/src/summary.rs crates/stats/src/table.rs
+
+/root/repo/target/release/deps/qlb_stats-5a574066f4911bff: crates/stats/src/lib.rs crates/stats/src/fit.rs crates/stats/src/quantile.rs crates/stats/src/spark.rs crates/stats/src/summary.rs crates/stats/src/table.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/fit.rs:
+crates/stats/src/quantile.rs:
+crates/stats/src/spark.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/table.rs:

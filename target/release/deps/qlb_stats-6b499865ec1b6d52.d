@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/qlb_stats-6b499865ec1b6d52.d: crates/stats/src/lib.rs crates/stats/src/fit.rs crates/stats/src/quantile.rs crates/stats/src/spark.rs crates/stats/src/summary.rs crates/stats/src/table.rs
+
+/root/repo/target/release/deps/libqlb_stats-6b499865ec1b6d52.rlib: crates/stats/src/lib.rs crates/stats/src/fit.rs crates/stats/src/quantile.rs crates/stats/src/spark.rs crates/stats/src/summary.rs crates/stats/src/table.rs
+
+/root/repo/target/release/deps/libqlb_stats-6b499865ec1b6d52.rmeta: crates/stats/src/lib.rs crates/stats/src/fit.rs crates/stats/src/quantile.rs crates/stats/src/spark.rs crates/stats/src/summary.rs crates/stats/src/table.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/fit.rs:
+crates/stats/src/quantile.rs:
+crates/stats/src/spark.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/table.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/qlb_topo-67282fd553652035.d: crates/topo/src/lib.rs crates/topo/src/graph.rs crates/topo/src/kernels.rs
+
+/root/repo/target/release/deps/qlb_topo-67282fd553652035: crates/topo/src/lib.rs crates/topo/src/graph.rs crates/topo/src/kernels.rs
+
+crates/topo/src/lib.rs:
+crates/topo/src/graph.rs:
+crates/topo/src/kernels.rs:

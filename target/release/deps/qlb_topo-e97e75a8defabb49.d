@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/qlb_topo-e97e75a8defabb49.d: crates/topo/src/lib.rs crates/topo/src/graph.rs crates/topo/src/kernels.rs
+
+/root/repo/target/release/deps/libqlb_topo-e97e75a8defabb49.rlib: crates/topo/src/lib.rs crates/topo/src/graph.rs crates/topo/src/kernels.rs
+
+/root/repo/target/release/deps/libqlb_topo-e97e75a8defabb49.rmeta: crates/topo/src/lib.rs crates/topo/src/graph.rs crates/topo/src/kernels.rs
+
+crates/topo/src/lib.rs:
+crates/topo/src/graph.rs:
+crates/topo/src/kernels.rs:

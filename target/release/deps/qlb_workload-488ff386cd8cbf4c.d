@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/qlb_workload-488ff386cd8cbf4c.d: crates/workload/src/lib.rs crates/workload/src/capacity.rs crates/workload/src/placement.rs crates/workload/src/scenario.rs
+
+/root/repo/target/release/deps/qlb_workload-488ff386cd8cbf4c: crates/workload/src/lib.rs crates/workload/src/capacity.rs crates/workload/src/placement.rs crates/workload/src/scenario.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/capacity.rs:
+crates/workload/src/placement.rs:
+crates/workload/src/scenario.rs:

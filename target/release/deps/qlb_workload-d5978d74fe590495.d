@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/qlb_workload-d5978d74fe590495.d: crates/workload/src/lib.rs crates/workload/src/capacity.rs crates/workload/src/placement.rs crates/workload/src/scenario.rs
+
+/root/repo/target/release/deps/libqlb_workload-d5978d74fe590495.rlib: crates/workload/src/lib.rs crates/workload/src/capacity.rs crates/workload/src/placement.rs crates/workload/src/scenario.rs
+
+/root/repo/target/release/deps/libqlb_workload-d5978d74fe590495.rmeta: crates/workload/src/lib.rs crates/workload/src/capacity.rs crates/workload/src/placement.rs crates/workload/src/scenario.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/capacity.rs:
+crates/workload/src/placement.rs:
+crates/workload/src/scenario.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/qoslb-516954f61662b7bd.d: src/lib.rs
+
+/root/repo/target/release/deps/qoslb-516954f61662b7bd: src/lib.rs
+
+src/lib.rs:

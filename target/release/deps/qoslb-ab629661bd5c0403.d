@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/qoslb-ab629661bd5c0403.d: src/lib.rs
+
+/root/repo/target/release/deps/libqoslb-ab629661bd5c0403.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libqoslb-ab629661bd5c0403.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/replay-5ad23d2947ff183c.d: tests/replay.rs tests/golden_replay.txt
+
+/root/repo/target/release/deps/replay-5ad23d2947ff183c: tests/replay.rs tests/golden_replay.txt
+
+tests/replay.rs:
+tests/golden_replay.txt:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/scenarios-23033a4247fad93c.d: tests/scenarios.rs
+
+/root/repo/target/release/deps/scenarios-23033a4247fad93c: tests/scenarios.rs
+
+tests/scenarios.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-b0ebe45faadf2a0a.d: crates/compat/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-b0ebe45faadf2a0a.so: crates/compat/serde_derive/src/lib.rs
+
+crates/compat/serde_derive/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-7ee070f454c5b958.d: crates/compat/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-7ee070f454c5b958.rlib: crates/compat/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-7ee070f454c5b958.rmeta: crates/compat/serde_json/src/lib.rs
+
+crates/compat/serde_json/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sparse-c31ff155835d75f9.d: crates/bench/benches/sparse.rs
+
+/root/repo/target/release/deps/sparse-c31ff155835d75f9: crates/bench/benches/sparse.rs
+
+crates/bench/benches/sparse.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/topology_analysis-46f46ae9bf2d9353.d: tests/topology_analysis.rs
+
+/root/repo/target/release/deps/topology_analysis-46f46ae9bf2d9353: tests/topology_analysis.rs
+
+tests/topology_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/weighted_properties-15ceaec91218e86f.d: tests/weighted_properties.rs
+
+/root/repo/target/release/deps/weighted_properties-15ceaec91218e86f: tests/weighted_properties.rs
+
+tests/weighted_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/batch_jobs-28514cf6711967ee.d: examples/batch_jobs.rs
+
+/root/repo/target/release/examples/batch_jobs-28514cf6711967ee: examples/batch_jobs.rs
+
+examples/batch_jobs.rs:

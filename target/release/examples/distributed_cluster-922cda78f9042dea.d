@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/distributed_cluster-922cda78f9042dea.d: examples/distributed_cluster.rs
+
+/root/repo/target/release/examples/distributed_cluster-922cda78f9042dea: examples/distributed_cluster.rs
+
+examples/distributed_cluster.rs:

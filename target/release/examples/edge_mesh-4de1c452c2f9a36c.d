@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/edge_mesh-4de1c452c2f9a36c.d: examples/edge_mesh.rs
+
+/root/repo/target/release/examples/edge_mesh-4de1c452c2f9a36c: examples/edge_mesh.rs
+
+examples/edge_mesh.rs:

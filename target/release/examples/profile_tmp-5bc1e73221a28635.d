@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/profile_tmp-5bc1e73221a28635.d: crates/bench/examples/profile_tmp.rs
+
+/root/repo/target/release/examples/profile_tmp-5bc1e73221a28635: crates/bench/examples/profile_tmp.rs
+
+crates/bench/examples/profile_tmp.rs:

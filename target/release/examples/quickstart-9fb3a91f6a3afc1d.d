@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-9fb3a91f6a3afc1d.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-9fb3a91f6a3afc1d: examples/quickstart.rs
+
+examples/quickstart.rs:

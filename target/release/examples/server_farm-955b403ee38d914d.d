@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/server_farm-955b403ee38d914d.d: examples/server_farm.rs
+
+/root/repo/target/release/examples/server_farm-955b403ee38d914d: examples/server_farm.rs
+
+examples/server_farm.rs:

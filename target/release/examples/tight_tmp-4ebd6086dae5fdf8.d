@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/tight_tmp-4ebd6086dae5fdf8.d: crates/bench/examples/tight_tmp.rs
+
+/root/repo/target/release/examples/tight_tmp-4ebd6086dae5fdf8: crates/bench/examples/tight_tmp.rs
+
+crates/bench/examples/tight_tmp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/wireless_channels-97d8412a2650e9c0.d: examples/wireless_channels.rs
+
+/root/repo/target/release/examples/wireless_channels-97d8412a2650e9c0: examples/wireless_channels.rs
+
+examples/wireless_channels.rs:

@@ -20,7 +20,12 @@ fn standard(n: usize, seed: u64) -> (Instance, State) {
 #[test]
 fn full_pipeline_converges() {
     let (inst, state) = standard(2048, 3);
-    let out = run(&inst, state, &SlackDamped::default(), RunConfig::new(3, 10_000));
+    let out = run(
+        &inst,
+        state,
+        &SlackDamped::default(),
+        RunConfig::new(3, 10_000),
+    );
     assert!(out.converged);
     assert!(out.state.is_legal(&inst));
     assert_eq!(overload_potential(&inst, &out.state), 0);
@@ -67,7 +72,12 @@ fn greedy_baseline_matches_protocol_legality() {
     let greedy = greedy_assign(&inst).unwrap();
     assert!(greedy.is_legal(&inst));
     // distributed: same outcome, some rounds later
-    let out = run(&inst, state, &SlackDamped::default(), RunConfig::new(17, 100_000));
+    let out = run(
+        &inst,
+        state,
+        &SlackDamped::default(),
+        RunConfig::new(17, 100_000),
+    );
     assert!(out.converged);
 }
 
@@ -149,7 +159,12 @@ fn eligibility_pipeline_flow_checked() {
     for seed in 0..20 {
         match sc.build(seed) {
             Ok((inst, state)) => {
-                let out = run(&inst, state, &SlackDamped::default(), RunConfig::new(seed, 200_000));
+                let out = run(
+                    &inst,
+                    state,
+                    &SlackDamped::default(),
+                    RunConfig::new(seed, 200_000),
+                );
                 if out.converged {
                     assert!(out.state.is_legal(&inst));
                     ran = true;

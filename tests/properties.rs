@@ -11,11 +11,11 @@ use qoslb::workload::calibrate_slack;
 /// Strategy: a feasible single-class instance with a hotspot-ish start.
 fn small_instance() -> impl Strategy<Value = (Instance, State, u64)> {
     (
-        2usize..=64,             // n
-        1usize..=12,             // m
-        1u32..=8,                // base cap
+        2usize..=64,                                 // n
+        1usize..=12,                                 // m
+        1u32..=8,                                    // base cap
         proptest::collection::vec(0u32..=6, 1..=12), // cap jitter
-        0u64..=u64::MAX,         // seed
+        0u64..=u64::MAX,                             // seed
     )
         .prop_map(|(n, m, base, jitter, seed)| {
             let mut caps: Vec<u32> = (0..m)
@@ -181,6 +181,81 @@ proptest! {
             for &t in &trace.settling_times() {
                 prop_assert!(t <= out.rounds);
             }
+        }
+    }
+
+    /// The sparse active-set executor reproduces the dense trajectory
+    /// bit-for-bit, for **every** registered protocol kernel, across random
+    /// instances, seeds, and round budgets.
+    #[test]
+    fn sparse_executor_matches_dense(
+        (inst, state, seed) in small_instance(),
+        budget in 1u64..300,
+    ) {
+        for proto in qoslb::core::protocol::registry(&inst) {
+            let cfg = RunConfig::new(seed, budget);
+            let dense = run(&inst, state.clone(), proto.as_ref(), cfg);
+            let sparse = run_sparse(&inst, state.clone(), proto.as_ref(), cfg);
+            let name = proto.name();
+            prop_assert_eq!(dense.converged, sparse.converged, "{}", name);
+            prop_assert_eq!(dense.rounds, sparse.rounds, "{}", name);
+            prop_assert_eq!(dense.migrations, sparse.migrations, "{}", name);
+            prop_assert_eq!(&dense.state, &sparse.state, "{}", name);
+            // and the executor selector reaches the same place
+            let via_config = run(&inst, state.clone(), proto.as_ref(), cfg.sparse());
+            prop_assert_eq!(&via_config.state, &sparse.state, "{}", name);
+        }
+    }
+
+    /// A protocol that acts while satisfied (graph diffusion) is unsound
+    /// for the active set; `run_sparse` must detect that and fall back to
+    /// the dense loop, so the trajectory still matches exactly.
+    #[test]
+    fn sparse_falls_back_for_acting_while_satisfied(
+        (inst, state, seed) in small_instance(),
+        budget in 1u64..100,
+    ) {
+        let proto = qoslb::topo::GraphDiffusion::new(
+            qoslb::topo::Graph::complete(inst.num_resources()),
+        );
+        prop_assert!(proto.acts_when_satisfied());
+        let cfg = RunConfig::new(seed, budget);
+        let dense = run(&inst, state.clone(), &proto, cfg);
+        let sparse = run_sparse(&inst, state, &proto, cfg);
+        prop_assert_eq!(dense.rounds, sparse.rounds);
+        prop_assert_eq!(dense.migrations, sparse.migrations);
+        prop_assert_eq!(&dense.state, &sparse.state);
+    }
+
+    /// The incrementally-maintained unsatisfied set equals a brute-force
+    /// recomputation after arbitrary (valid) move sequences — both
+    /// protocol-decided batches and adversarial single reassignments.
+    #[test]
+    fn active_index_matches_brute_force(
+        (inst, state, seed) in small_instance(),
+        hops in proptest::collection::vec((0usize..4096, 0usize..4096), 1..24),
+    ) {
+        let mut state = state;
+        let mut index = ActiveIndex::new(&inst, &state);
+        index.assert_consistent(&inst, &state);
+
+        // interleave protocol rounds (realistic batches) with arbitrary
+        // single-user hops (adversarial batches)
+        for (round, &(u, r)) in hops.iter().enumerate() {
+            let batch = decide_round(&inst, &state, &SlackDamped::default(), seed, round as u64);
+            index.apply_moves(&inst, &mut state, &batch);
+            index.assert_consistent(&inst, &state);
+
+            let user = UserId((u % inst.num_users()) as u32);
+            let from = state.resource_of(user);
+            let to = ResourceId((r % inst.num_resources()) as u32);
+            if to != from {
+                index.apply_moves(&inst, &mut state, &[Move { user, from, to }]);
+                index.assert_consistent(&inst, &state);
+            }
+            // the O(1) emptiness check always agrees with legality
+            prop_assert_eq!(index.is_empty(), state.is_legal(&inst));
+            prop_assert_eq!(index.num_active(), state.num_unsatisfied(&inst));
         }
     }
 }

@@ -25,8 +25,18 @@ fn build(seed: u64) -> (Instance, State) {
 #[test]
 fn same_seed_same_everything() {
     let (inst, s) = build(123);
-    let a = run(&inst, s.clone(), &SlackDamped::default(), RunConfig::new(123, 10_000));
-    let b = run(&inst, s, &SlackDamped::default(), RunConfig::new(123, 10_000));
+    let a = run(
+        &inst,
+        s.clone(),
+        &SlackDamped::default(),
+        RunConfig::new(123, 10_000),
+    );
+    let b = run(
+        &inst,
+        s,
+        &SlackDamped::default(),
+        RunConfig::new(123, 10_000),
+    );
     assert_eq!(a.rounds, b.rounds);
     assert_eq!(a.migrations, b.migrations);
     assert_eq!(fingerprint(&a.state), fingerprint(&b.state));
@@ -36,9 +46,19 @@ fn same_seed_same_everything() {
 #[test]
 fn different_seed_different_trajectory() {
     let (inst, s) = build(123);
-    let a = run(&inst, s.clone(), &SlackDamped::default(), RunConfig::new(123, 10_000));
+    let a = run(
+        &inst,
+        s.clone(),
+        &SlackDamped::default(),
+        RunConfig::new(123, 10_000),
+    );
     let (inst2, s2) = build(124);
-    let c = run(&inst2, s2, &SlackDamped::default(), RunConfig::new(124, 10_000));
+    let c = run(
+        &inst2,
+        s2,
+        &SlackDamped::default(),
+        RunConfig::new(124, 10_000),
+    );
     // capacities differ (sampled), so states differ with overwhelming
     // probability; compare fingerprints defensively
     assert!(
@@ -75,7 +95,12 @@ fn executors_replay_each_other() {
 #[test]
 fn golden_trajectory_pinned() {
     let (inst, s) = build(42);
-    let out = run(&inst, s, &SlackDamped::default(), RunConfig::new(42, 10_000));
+    let out = run(
+        &inst,
+        s,
+        &SlackDamped::default(),
+        RunConfig::new(42, 10_000),
+    );
     assert!(out.converged);
     let golden = (out.rounds, out.migrations, fingerprint(&out.state));
     // Printed by a reference run; see test source history.
@@ -97,7 +122,12 @@ const GOLDEN: (u64, u64, u64) = include!("golden_replay.txt");
 #[test]
 fn golden_print() {
     let (inst, s) = build(42);
-    let out = run(&inst, s, &SlackDamped::default(), RunConfig::new(42, 10_000));
+    let out = run(
+        &inst,
+        s,
+        &SlackDamped::default(),
+        RunConfig::new(42, 10_000),
+    );
     println!(
         "GOLDEN = ({}, {}, 0x{:016x})",
         out.rounds,

@@ -105,7 +105,12 @@ fn complete_graph_kernel_close_to_unrestricted() {
         &GraphSlackDamped::new(Graph::complete(m)),
         RunConfig::new(3, 10_000),
     );
-    let unrestricted = run(&inst, state, &SlackDamped::default(), RunConfig::new(3, 10_000));
+    let unrestricted = run(
+        &inst,
+        state,
+        &SlackDamped::default(),
+        RunConfig::new(3, 10_000),
+    );
     assert!(restricted.converged);
     assert!(unrestricted.converged);
     assert!(restricted.rounds < 500);

@@ -11,10 +11,10 @@ use qoslb::prelude::*;
 
 fn small_weighted() -> impl Strategy<Value = (WeightedInstance, WeightedState, u64)> {
     (
-        1usize..=10,                                  // m
-        proptest::collection::vec(1u32..=5, 1..=24),  // weights
-        2u64..=16,                                    // base cap
-        0u64..=u64::MAX,                              // seed
+        1usize..=10,                                 // m
+        proptest::collection::vec(1u32..=5, 1..=24), // weights
+        2u64..=16,                                   // base cap
+        0u64..=u64::MAX,                             // seed
     )
         .prop_map(|(m, weights, base, seed)| {
             // capacities sized for feasibility with margin
