@@ -7,8 +7,9 @@
 //! uniformly random one — equivalent to `φ·n` departures followed by `φ·n`
 //! oblivious arrivals, the standard worst-case-neutral churn model.
 
-use crate::run::{run, RunConfig, RunOutcome};
+use crate::run::{run_observed, Executor, RunConfig, RunOutcome};
 use qlb_core::{Instance, Protocol, ResourceId, State};
+use qlb_obs::{Counter, Event, NoopSink, Sink};
 use qlb_rng::{Rng64, SplitMix64};
 
 /// Re-home a uniform random `fraction` of users to uniformly random
@@ -42,6 +43,13 @@ pub struct ChurnConfig {
     pub episodes: u32,
     /// Round budget per re-convergence.
     pub max_rounds_per_episode: u64,
+    /// Executor used for each re-convergence run (default
+    /// [`Executor::Dense`]). Churn repair keeps the sparse executor's
+    /// [`qlb_core::ActiveIndex`] sound: every re-convergence starts from
+    /// the post-perturbation state, so the index is rebuilt fresh each
+    /// episode — the trajectory is bit-identical either way
+    /// (property-tested).
+    pub executor: Executor,
 }
 
 /// Result of a churn run.
@@ -70,6 +78,24 @@ pub fn run_with_churn<P: Protocol + ?Sized>(
     proto: &P,
     config: ChurnConfig,
 ) -> ChurnOutcome {
+    run_with_churn_observed(inst, state, proto, config, &mut NoopSink)
+}
+
+/// [`run_with_churn`] with an observability sink attached: each episode
+/// emits an [`Event::ChurnEpisode`] and bumps the churn-episode /
+/// displaced-user counters; the per-episode re-convergence runs feed the
+/// sink through [`run_observed`]. Derived data only — trajectories are
+/// bit-identical to the unobserved driver.
+///
+/// # Panics
+/// Panics if the initial state is not legal.
+pub fn run_with_churn_observed<P: Protocol + ?Sized, S: Sink>(
+    inst: &Instance,
+    state: State,
+    proto: &P,
+    config: ChurnConfig,
+    sink: &mut S,
+) -> ChurnOutcome {
     assert!(state.is_legal(inst), "churn driver needs a legal start");
     let mut state = state;
     let mut recovery_rounds = Vec::with_capacity(config.episodes as usize);
@@ -78,12 +104,22 @@ pub fn run_with_churn<P: Protocol + ?Sized>(
 
     for episode in 0..config.episodes {
         let ep_seed = qlb_rng::mix64_pair(config.seed, episode as u64 + 1);
-        displaced.push(perturb_uniform(inst, &mut state, config.fraction, ep_seed));
-        let out: RunOutcome = run(
+        let moved = perturb_uniform(inst, &mut state, config.fraction, ep_seed);
+        displaced.push(moved);
+        if S::ENABLED {
+            sink.add(Counter::ChurnEpisodes, 1);
+            sink.add(Counter::DisplacedUsers, moved as u64);
+            sink.event(Event::ChurnEpisode {
+                episode: episode as u64,
+                displaced: moved as u64,
+            });
+        }
+        let out: RunOutcome = run_observed(
             inst,
             state,
             proto,
-            RunConfig::new(ep_seed, config.max_rounds_per_episode),
+            RunConfig::new(ep_seed, config.max_rounds_per_episode).with_executor(config.executor),
+            sink,
         );
         recovery_rounds.push(out.rounds);
         all_recovered &= out.converged;
@@ -154,6 +190,7 @@ mod tests {
                 fraction: 0.1,
                 episodes: 5,
                 max_rounds_per_episode: 10_000,
+                executor: Executor::Dense,
             },
         );
         assert!(out.all_recovered);
@@ -178,6 +215,7 @@ mod tests {
                 fraction: 0.1,
                 episodes: 1,
                 max_rounds_per_episode: 10,
+                executor: Executor::Dense,
             },
         );
     }
@@ -195,6 +233,7 @@ mod tests {
                 fraction: 0.02,
                 episodes: 10,
                 max_rounds_per_episode: 10_000,
+                executor: Executor::Dense,
             },
         );
         let large = run_with_churn(
@@ -206,6 +245,7 @@ mod tests {
                 fraction: 0.5,
                 episodes: 10,
                 max_rounds_per_episode: 10_000,
+                executor: Executor::Dense,
             },
         );
         let mean = |v: &[u64]| v.iter().sum::<u64>() as f64 / v.len() as f64;

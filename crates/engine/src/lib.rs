@@ -34,8 +34,15 @@ pub mod run;
 pub mod trace;
 pub mod weighted;
 
-pub use dynamics::{perturb_uniform, run_with_churn, ChurnConfig, ChurnOutcome};
-pub use open::{run_open_system, OpenConfig, OpenOutcome, OpenRoundStats};
-pub use run::{run, run_sparse, run_threaded, Executor, RunConfig, RunOutcome};
+pub use dynamics::{
+    perturb_uniform, run_with_churn, run_with_churn_observed, ChurnConfig, ChurnOutcome,
+};
+pub use open::{
+    run_open_system, run_open_system_observed, OpenConfig, OpenOutcome, OpenRoundStats,
+};
+pub use run::{
+    run, run_observed, run_sparse, run_sparse_observed, run_threaded, run_threaded_observed,
+    Executor, RunConfig, RunOutcome,
+};
 pub use trace::{RoundStats, Trace};
-pub use weighted::{run_weighted, WeightedOutcome};
+pub use weighted::{run_weighted, run_weighted_observed, WeightedOutcome};

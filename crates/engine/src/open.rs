@@ -13,6 +13,7 @@
 
 use qlb_core::step::decide_round_into;
 use qlb_core::{Instance, Move, Protocol, ResourceId, State, UserId};
+use qlb_obs::{timed, Counter, Event, Gauge, NoopSink, Phase, Sink};
 use qlb_rng::{Rng64, SplitMix64};
 
 /// Configuration of an open-system run.
@@ -69,6 +70,23 @@ pub fn run_open_system<P: Protocol + ?Sized>(
     proto: &P,
     cfg: OpenConfig,
 ) -> OpenOutcome {
+    run_open_system_observed(base_caps, pool, proto, cfg, &mut NoopSink)
+}
+
+/// [`run_open_system`] with an observability sink attached: per-round
+/// arrival/departure events and counters, the active-population gauge, and
+/// decide/apply phase timings. Derived data only — the trajectory is
+/// bit-identical to the unobserved driver.
+///
+/// # Panics
+/// Panics on nonsensical rates, as [`run_open_system`].
+pub fn run_open_system_observed<P: Protocol + ?Sized, S: Sink>(
+    base_caps: &[u32],
+    pool: usize,
+    proto: &P,
+    cfg: OpenConfig,
+    sink: &mut S,
+) -> OpenOutcome {
     assert!(cfg.arrivals_per_round >= 0.0, "negative arrival rate");
     assert!(
         (0.0..=1.0).contains(&cfg.departure_prob),
@@ -94,32 +112,67 @@ pub fn run_open_system<P: Protocol + ?Sized>(
     for round in 0..cfg.rounds {
         // Arrivals.
         arrival_credit += cfg.arrivals_per_round;
+        let mut arrived = 0u64;
         while arrival_credit >= 1.0 {
             arrival_credit -= 1.0;
             let Some(u) = parked.pop() else { break };
             active[u.index()] = true;
             let r = ResourceId(driver_rng.uniform_usize(m) as u32);
             state.reassign(u, r);
+            arrived += 1;
         }
         // Departures.
+        let mut departed = 0u64;
         for (idx, is_active) in active.iter_mut().enumerate() {
             if *is_active && driver_rng.bernoulli(cfg.departure_prob) {
                 let u = UserId(idx as u32);
                 *is_active = false;
                 state.reassign(u, parking);
                 parked.push(u);
+                departed += 1;
+            }
+        }
+        if S::ENABLED {
+            if arrived > 0 {
+                sink.add(Counter::Arrivals, arrived);
+                sink.event(Event::Arrivals {
+                    round,
+                    count: arrived,
+                });
+            }
+            if departed > 0 {
+                sink.add(Counter::Departures, departed);
+                sink.event(Event::Departures {
+                    round,
+                    count: departed,
+                });
             }
         }
         // One protocol round (parked users are satisfied and never act).
-        decide_round_into(&inst, &state, proto, cfg.seed, round, &mut moves);
+        timed(sink, Phase::Decide, || {
+            decide_round_into(&inst, &state, proto, cfg.seed, round, &mut moves)
+        });
         debug_assert!(moves.iter().all(|mv| mv.from != parking));
-        state.apply_moves(&inst, &moves);
+        timed(sink, Phase::Apply, || state.apply_moves(&inst, &moves));
 
         let active_count = active.iter().filter(|&&a| a).count() as u64;
+        let unsatisfied = state.num_unsatisfied(&inst) as u64;
+        if S::ENABLED {
+            sink.add(Counter::Rounds, 1);
+            sink.add(Counter::Migrations, moves.len() as u64);
+            sink.set(Gauge::ActiveUsers, active_count);
+            sink.set(Gauge::Unsatisfied, unsatisfied);
+            sink.event(Event::RoundEnd {
+                round,
+                migrations: moves.len() as u64,
+                unsatisfied,
+                overload: None,
+            });
+        }
         series.push(OpenRoundStats {
             round,
             active: active_count,
-            unsatisfied: state.num_unsatisfied(&inst) as u64,
+            unsatisfied,
         });
     }
 

@@ -2,7 +2,8 @@
 
 use crate::trace::Trace;
 use qlb_core::step::{decide_active_into, decide_range_into, decide_round_into};
-use qlb_core::{ActiveIndex, Instance, Move, Protocol, State, UserId};
+use qlb_core::{overload_potential, ActiveIndex, Instance, Move, Protocol, State, UserId};
+use qlb_obs::{timed, Counter, Event, Gauge, NoopSink, Phase, Sink};
 
 /// Which round-execution strategy [`run`] uses.
 ///
@@ -105,23 +106,44 @@ pub fn run<P: Protocol + ?Sized>(
     proto: &P,
     config: RunConfig,
 ) -> RunOutcome {
-    match config.executor {
-        Executor::Dense => run_dense(inst, state, proto, config),
-        Executor::Sparse => run_sparse(inst, state, proto, config),
-    }
+    run_observed(inst, state, proto, config, &mut NoopSink)
 }
 
-fn run_dense<P: Protocol + ?Sized>(
+/// [`run`] with an observability sink attached.
+///
+/// The sink is monomorphized into the round loop (no `dyn`): with the
+/// default [`NoopSink`] every emission site compiles away and this is
+/// exactly [`run`]. With a recording sink (e.g. [`qlb_obs::Recorder`]) the
+/// loop emits per-round events (round start/end, migration batch,
+/// convergence check, executor switch), counters, gauges, and
+/// decide/apply/convergence phase timings. Observability is derived data
+/// only — the trajectory is bit-identical either way (property-tested).
+pub fn run_observed<P: Protocol + ?Sized, S: Sink>(
     inst: &Instance,
     state: State,
     proto: &P,
     config: RunConfig,
+    sink: &mut S,
+) -> RunOutcome {
+    match config.executor {
+        Executor::Dense => run_dense(inst, state, proto, config, sink),
+        Executor::Sparse => run_sparse_observed(inst, state, proto, config, sink),
+    }
+}
+
+fn run_dense<P: Protocol + ?Sized, S: Sink>(
+    inst: &Instance,
+    state: State,
+    proto: &P,
+    config: RunConfig,
+    sink: &mut S,
 ) -> RunOutcome {
     run_with_decider(
         inst,
         state,
         proto,
         config,
+        sink,
         |inst, state, proto, seed, round, buf| {
             decide_round_into(inst, state, proto, seed, round, buf);
         },
@@ -159,8 +181,30 @@ pub fn run_sparse<P: Protocol + ?Sized>(
     proto: &P,
     config: RunConfig,
 ) -> RunOutcome {
+    run_sparse_observed(inst, state, proto, config, &mut NoopSink)
+}
+
+/// [`run_sparse`] with an observability sink attached (see
+/// [`run_observed`] for the contract). Additionally emits
+/// [`Event::ExecutorSwitch`] when the active-set index is built (or when
+/// the protocol forces the dense fallback) and tracks the active-set size
+/// gauge.
+pub fn run_sparse_observed<P: Protocol + ?Sized, S: Sink>(
+    inst: &Instance,
+    state: State,
+    proto: &P,
+    config: RunConfig,
+    sink: &mut S,
+) -> RunOutcome {
     if proto.acts_when_satisfied() {
-        return run_dense(inst, state, proto, config);
+        // the active set would be unsound; record the decision and run dense
+        if S::ENABLED {
+            sink.event(Event::ExecutorSwitch {
+                round: 0,
+                sparse: false,
+            });
+        }
+        return run_dense(inst, state, proto, config, sink);
     }
 
     let mut state = state;
@@ -177,6 +221,13 @@ pub fn run_sparse<P: Protocol + ?Sized>(
     // start sparse only if the initial state is already in the sparse
     // regime; otherwise warm up with dense rounds
     let mut active: Option<ActiveIndex> = (unsat0 * 8 < n).then(|| ActiveIndex::new(inst, &state));
+    if S::ENABLED && active.is_some() {
+        sink.add(Counter::ExecutorSwitches, 1);
+        sink.event(Event::ExecutorSwitch {
+            round: 0,
+            sparse: true,
+        });
+    }
     let mut moves: Vec<Move> = Vec::new();
     let mut scratch: Vec<UserId> = Vec::new();
     let mut rounds = 0u64;
@@ -184,27 +235,63 @@ pub fn run_sparse<P: Protocol + ?Sized>(
     let mut converged = unsat0 == 0;
 
     while !converged && rounds < config.max_rounds {
+        if S::ENABLED {
+            let entering = active
+                .as_ref()
+                .map_or_else(|| state.num_unsatisfied(inst), ActiveIndex::num_active);
+            sink.event(Event::RoundStart {
+                round: rounds,
+                active: entering as u64,
+            });
+        }
         match active.as_mut() {
             Some(index) => {
-                decide_active_into(
-                    inst,
-                    &state,
-                    index,
-                    proto,
-                    config.seed,
-                    rounds,
-                    &mut moves,
-                    &mut scratch,
-                );
-                index.apply_moves(inst, &mut state, &moves);
+                timed(sink, Phase::Decide, || {
+                    decide_active_into(
+                        inst,
+                        &state,
+                        index,
+                        proto,
+                        config.seed,
+                        rounds,
+                        &mut moves,
+                        &mut scratch,
+                    )
+                });
+                if S::ENABLED {
+                    sink.add(Counter::SparseRounds, 1);
+                    sink.event(Event::MigrationBatch {
+                        round: rounds,
+                        size: moves.len() as u64,
+                    });
+                }
+                timed(sink, Phase::Apply, || {
+                    index.apply_moves(inst, &mut state, &moves)
+                });
             }
             None => {
-                decide_round_into(inst, &state, proto, config.seed, rounds, &mut moves);
-                state.apply_moves(inst, &moves);
+                timed(sink, Phase::Decide, || {
+                    decide_round_into(inst, &state, proto, config.seed, rounds, &mut moves)
+                });
+                if S::ENABLED {
+                    sink.add(Counter::DenseRounds, 1);
+                    sink.event(Event::MigrationBatch {
+                        round: rounds,
+                        size: moves.len() as u64,
+                    });
+                }
+                timed(sink, Phase::Apply, || state.apply_moves(inst, &moves));
                 // batch size tracks the active count for the damped
                 // kernels; once it shrinks, the index starts paying off
                 if moves.len() * 8 < n {
                     active = Some(ActiveIndex::new(inst, &state));
+                    if S::ENABLED {
+                        sink.add(Counter::ExecutorSwitches, 1);
+                        sink.event(Event::ExecutorSwitch {
+                            round: rounds + 1,
+                            sparse: true,
+                        });
+                    }
                 }
             }
         }
@@ -216,10 +303,23 @@ pub fn run_sparse<P: Protocol + ?Sized>(
                 t.record_user_times(inst, &state, rounds);
             }
         }
-        converged = match active.as_ref() {
+        converged = timed(sink, Phase::Convergence, || match active.as_ref() {
             Some(index) => index.is_empty(),
             None => state.is_legal(inst),
-        };
+        });
+        if S::ENABLED {
+            emit_round_end(
+                inst,
+                &state,
+                sink,
+                rounds - 1,
+                moves.len() as u64,
+                converged,
+            );
+            if let Some(index) = active.as_ref() {
+                sink.set(Gauge::ActiveSetSize, index.num_active() as u64);
+            }
+        }
     }
 
     debug_assert_eq!(converged, state.is_legal(inst));
@@ -248,6 +348,23 @@ pub fn run_threaded<P: Protocol + ?Sized>(
     config: RunConfig,
     threads: usize,
 ) -> RunOutcome {
+    run_threaded_observed(inst, state, proto, config, threads, &mut NoopSink)
+}
+
+/// [`run_threaded`] with an observability sink attached (see
+/// [`run_observed`] for the contract). The decide phase covers the whole
+/// fork/join of a round's shards.
+///
+/// # Panics
+/// Panics if `threads == 0`.
+pub fn run_threaded_observed<P: Protocol + ?Sized, S: Sink>(
+    inst: &Instance,
+    state: State,
+    proto: &P,
+    config: RunConfig,
+    threads: usize,
+    sink: &mut S,
+) -> RunOutcome {
     assert!(threads > 0, "need at least one thread");
     let n = inst.num_users();
     // Pre-compute shard boundaries once.
@@ -262,6 +379,7 @@ pub fn run_threaded<P: Protocol + ?Sized>(
         state,
         proto,
         config,
+        sink,
         move |inst, state, proto, seed, round, buf| {
             buf.clear();
             if bounds.len() <= 1 {
@@ -283,15 +401,45 @@ pub fn run_threaded<P: Protocol + ?Sized>(
     )
 }
 
-fn run_with_decider<P, D>(
+/// Emit the post-round counters, gauges, and events. Everything here is
+/// *derived* from the already-updated state — it must never feed back into
+/// decisions.
+fn emit_round_end<S: Sink>(
+    inst: &Instance,
+    state: &State,
+    sink: &mut S,
+    round: u64,
+    batch: u64,
+    converged: bool,
+) {
+    let unsatisfied = state.num_unsatisfied(inst) as u64;
+    let overload = (inst.num_classes() == 1).then(|| overload_potential(inst, state));
+    sink.add(Counter::Rounds, 1);
+    sink.add(Counter::Migrations, batch);
+    sink.set(Gauge::Unsatisfied, unsatisfied);
+    if let Some(phi) = overload {
+        sink.set(Gauge::Overload, phi);
+    }
+    sink.event(Event::RoundEnd {
+        round,
+        migrations: batch,
+        unsatisfied,
+        overload,
+    });
+    sink.event(Event::ConvergenceCheck { round, converged });
+}
+
+fn run_with_decider<P, S, D>(
     inst: &Instance,
     mut state: State,
     proto: &P,
     config: RunConfig,
+    sink: &mut S,
     mut decide: D,
 ) -> RunOutcome
 where
     P: Protocol + ?Sized,
+    S: Sink,
     D: FnMut(&Instance, &State, &P, u64, u64, &mut Vec<Move>),
 {
     let mut trace = config.record_trace.then(Trace::default);
@@ -308,8 +456,23 @@ where
     let mut converged = state.is_legal(inst);
 
     while !converged && rounds < config.max_rounds {
-        decide(inst, &state, proto, config.seed, rounds, &mut moves);
-        state.apply_moves(inst, &moves);
+        if S::ENABLED {
+            sink.event(Event::RoundStart {
+                round: rounds,
+                active: state.num_unsatisfied(inst) as u64,
+            });
+        }
+        timed(sink, Phase::Decide, || {
+            decide(inst, &state, proto, config.seed, rounds, &mut moves)
+        });
+        if S::ENABLED {
+            sink.add(Counter::DenseRounds, 1);
+            sink.event(Event::MigrationBatch {
+                round: rounds,
+                size: moves.len() as u64,
+            });
+        }
+        timed(sink, Phase::Apply, || state.apply_moves(inst, &moves));
         migrations += moves.len() as u64;
         rounds += 1;
         if let Some(t) = trace.as_mut() {
@@ -318,7 +481,17 @@ where
                 t.record_user_times(inst, &state, rounds);
             }
         }
-        converged = state.is_legal(inst);
+        converged = timed(sink, Phase::Convergence, || state.is_legal(inst));
+        if S::ENABLED {
+            emit_round_end(
+                inst,
+                &state,
+                sink,
+                rounds - 1,
+                moves.len() as u64,
+                converged,
+            );
+        }
     }
 
     RunOutcome {
@@ -334,6 +507,7 @@ where
 mod tests {
     use super::*;
     use qlb_core::{BlindUniform, ResourceId, SlackDamped};
+    use qlb_obs::Recorder;
 
     fn hotspot(n: usize, m: usize, cap: u32) -> (Instance, State) {
         let inst = Instance::uniform(n, m, cap).unwrap();
@@ -619,5 +793,102 @@ mod tests {
         let state = State::all_on(&inst, ResourceId(0));
         let out = run(&inst, state, &BlindUniform, RunConfig::new(5, 10_000));
         assert!(out.converged);
+    }
+
+    #[test]
+    fn observed_run_is_bit_identical_and_records() {
+        let (inst, s1) = hotspot(256, 32, 10);
+        let plain = run(
+            &inst,
+            s1.clone(),
+            &SlackDamped::default(),
+            RunConfig::new(7, 10_000),
+        );
+        let mut rec = Recorder::default();
+        let observed = run_observed(
+            &inst,
+            s1,
+            &SlackDamped::default(),
+            RunConfig::new(7, 10_000),
+            &mut rec,
+        );
+        assert_eq!(plain.rounds, observed.rounds);
+        assert_eq!(plain.migrations, observed.migrations);
+        assert_eq!(plain.state, observed.state);
+        // the recorder agrees with the outcome
+        assert_eq!(rec.counter(Counter::Rounds), observed.rounds);
+        assert_eq!(rec.counter(Counter::Migrations), observed.migrations);
+        assert_eq!(rec.gauge(Gauge::Unsatisfied), 0);
+        assert_eq!(
+            rec.timers().histogram(Phase::Decide).count(),
+            observed.rounds
+        );
+        // one RoundEnd event per round, in order
+        let round_ends: Vec<u64> = rec
+            .events()
+            .iter()
+            .filter_map(|(_, e)| match e {
+                Event::RoundEnd { round, .. } => Some(round),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(round_ends.len() as u64, observed.rounds);
+        assert!(round_ends.windows(2).all(|w| w[0] + 1 == w[1]));
+    }
+
+    #[test]
+    fn observed_sparse_emits_executor_switch() {
+        let (inst, s1) = hotspot(256, 32, 10);
+        let mut rec = Recorder::default();
+        let out = run_sparse_observed(
+            &inst,
+            s1.clone(),
+            &SlackDamped::default(),
+            RunConfig::new(7, 10_000),
+            &mut rec,
+        );
+        assert!(out.converged);
+        assert_eq!(
+            out.state,
+            run(
+                &inst,
+                s1,
+                &SlackDamped::default(),
+                RunConfig::new(7, 10_000)
+            )
+            .state
+        );
+        assert_eq!(rec.counter(Counter::ExecutorSwitches), 1);
+        assert!(rec
+            .events()
+            .iter()
+            .any(|(_, e)| matches!(e, Event::ExecutorSwitch { sparse: true, .. })));
+        // warm-up rounds + sparse rounds partition the run
+        assert_eq!(
+            rec.counter(Counter::DenseRounds) + rec.counter(Counter::SparseRounds),
+            out.rounds
+        );
+    }
+
+    #[test]
+    fn observed_threaded_matches_sequential() {
+        let (inst, s1) = hotspot(200, 16, 16);
+        let seq = run(
+            &inst,
+            s1.clone(),
+            &SlackDamped::default(),
+            RunConfig::new(3, 10_000),
+        );
+        let mut rec = Recorder::default();
+        let par = run_threaded_observed(
+            &inst,
+            s1,
+            &SlackDamped::default(),
+            RunConfig::new(3, 10_000),
+            4,
+            &mut rec,
+        );
+        assert_eq!(seq.state, par.state);
+        assert_eq!(rec.counter(Counter::Rounds), par.rounds);
     }
 }

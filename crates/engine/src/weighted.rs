@@ -4,6 +4,7 @@ use qlb_core::weighted::{
     decide_weighted_round_into, WeightedInstance, WeightedProtocol, WeightedState,
 };
 use qlb_core::Move;
+use qlb_obs::{timed, Counter, Event, Gauge, NoopSink, Phase, Sink};
 
 /// Result of a weighted run.
 #[derive(Debug, Clone)]
@@ -26,10 +27,24 @@ pub struct WeightedOutcome {
 /// sharded executor would produce the same trajectory).
 pub fn run_weighted<P: WeightedProtocol + ?Sized>(
     inst: &WeightedInstance,
+    state: WeightedState,
+    proto: &P,
+    seed: u64,
+    max_rounds: u64,
+) -> WeightedOutcome {
+    run_weighted_observed(inst, state, proto, seed, max_rounds, &mut NoopSink)
+}
+
+/// [`run_weighted`] with an observability sink attached: per-round events,
+/// the weight-moved counter, and decide/apply/convergence phase timings.
+/// Derived data only — trajectories are bit-identical to [`run_weighted`].
+pub fn run_weighted_observed<P: WeightedProtocol + ?Sized, S: Sink>(
+    inst: &WeightedInstance,
     mut state: WeightedState,
     proto: &P,
     seed: u64,
     max_rounds: u64,
+    sink: &mut S,
 ) -> WeightedOutcome {
     let mut moves: Vec<Move> = Vec::new();
     let mut rounds = 0u64;
@@ -37,12 +52,28 @@ pub fn run_weighted<P: WeightedProtocol + ?Sized>(
     let mut weight_moved = 0u64;
     let mut converged = state.is_legal(inst);
     while !converged && rounds < max_rounds {
-        decide_weighted_round_into(inst, &state, proto, seed, rounds, &mut moves);
-        weight_moved += moves.iter().map(|mv| inst.weight(mv.user)).sum::<u64>();
-        state.apply_moves(inst, &moves);
+        timed(sink, Phase::Decide, || {
+            decide_weighted_round_into(inst, &state, proto, seed, rounds, &mut moves)
+        });
+        let batch_weight = moves.iter().map(|mv| inst.weight(mv.user)).sum::<u64>();
+        weight_moved += batch_weight;
+        timed(sink, Phase::Apply, || state.apply_moves(inst, &moves));
         migrations += moves.len() as u64;
         rounds += 1;
-        converged = state.is_legal(inst);
+        converged = timed(sink, Phase::Convergence, || state.is_legal(inst));
+        if S::ENABLED {
+            let unsatisfied = state.num_unsatisfied(inst) as u64;
+            sink.add(Counter::Rounds, 1);
+            sink.add(Counter::Migrations, moves.len() as u64);
+            sink.add(Counter::WeightMoved, batch_weight);
+            sink.set(Gauge::Unsatisfied, unsatisfied);
+            sink.event(Event::RoundEnd {
+                round: rounds - 1,
+                migrations: moves.len() as u64,
+                unsatisfied,
+                overload: None,
+            });
+        }
     }
     WeightedOutcome {
         converged,

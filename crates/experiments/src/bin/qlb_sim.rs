@@ -15,8 +15,9 @@ use qlb_core::{
     BlindUniform, ConditionalUniform, Protocol, SlackDamped, SlackDampedCapacitySampling,
     ThresholdLevels,
 };
-use qlb_engine::{run, RunConfig};
-use qlb_runtime::{run_distributed, RuntimeConfig};
+use qlb_engine::{run_observed, RunConfig};
+use qlb_obs::{replay::Summary, Recorder};
+use qlb_runtime::{run_distributed_observed, RuntimeConfig};
 use qlb_stats::sparkline_fit;
 use qlb_topo::{Graph, GraphDiffusion};
 use qlb_workload::{CapacityDist, Placement, Scenario};
@@ -148,33 +149,84 @@ fn main() {
         proto.name(),
     );
 
-    match get("--executor").as_deref().unwrap_or("engine") {
+    // Observability: --metrics-out dumps the run's JSONL trace,
+    // --metrics-summary replays it into a human-readable digest. Either
+    // flag attaches a Recorder; without both, the run uses the NoopSink
+    // path (zero overhead).
+    let metrics_out = get("--metrics-out");
+    let metrics_summary = args.iter().any(|a| a == "--metrics-summary");
+    let record = metrics_out.is_some() || metrics_summary;
+    let mut recorder = record.then(Recorder::default);
+
+    let executor = get("--executor").unwrap_or_else(|| "engine".into());
+    if executor == "sparse" && proto.acts_when_satisfied() {
+        // validate up front and announce the decision rather than leaving
+        // the silent in-engine fallback as the only record of it
+        println!(
+            "note: protocol '{}' acts while satisfied — the sparse active-set executor \
+             is unsound for it; falling back to the dense executor (same trajectory)",
+            proto.name()
+        );
+    }
+
+    let (converged, rounds, migrations) = match executor.as_str() {
         kind @ ("engine" | "sparse") => {
             let mut config = RunConfig::new(seed, max_rounds).with_trace();
             if kind == "sparse" {
                 config = config.sparse();
             }
-            let out = run(&inst, state, proto.as_ref(), config);
+            let out = match recorder.as_mut() {
+                Some(rec) => run_observed(&inst, state, proto.as_ref(), config, rec),
+                None => run_observed(&inst, state, proto.as_ref(), config, &mut qlb_obs::NoopSink),
+            };
             let trace = out.trace.expect("trace requested");
             let unsat: Vec<f64> = trace.rounds.iter().map(|r| r.unsatisfied as f64).collect();
             println!("unsatisfied over rounds: {}", sparkline_fit(&unsat, 60));
-            report(out.converged, out.rounds, out.migrations);
+            (out.converged, out.rounds, out.migrations)
         }
         "runtime" => {
-            let out = run_distributed(
-                &inst,
-                state,
-                proto.as_ref(),
-                RuntimeConfig::new(seed, max_rounds).with_shards(4, 2),
-            );
+            let config = RuntimeConfig::new(seed, max_rounds).with_shards(4, 2);
+            let out = match recorder.as_mut() {
+                Some(rec) => run_distributed_observed(&inst, state, proto.as_ref(), config, rec),
+                None => run_distributed_observed(
+                    &inst,
+                    state,
+                    proto.as_ref(),
+                    config,
+                    &mut qlb_obs::NoopSink,
+                ),
+            };
             println!("messages exchanged: {}", out.messages);
-            report(out.converged, out.rounds, out.migrations);
+            (out.converged, out.rounds, out.migrations)
         }
         other => {
             eprintln!("unknown executor {other}; choose engine | sparse | runtime");
             exit(2);
         }
+    };
+
+    if let Some(rec) = recorder.as_ref() {
+        let jsonl = rec.to_jsonl();
+        if let Some(path) = metrics_out.as_deref() {
+            std::fs::write(path, &jsonl).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                exit(2);
+            });
+            println!("metrics written to {path}");
+        }
+        if metrics_summary {
+            // replay the exact bytes we would write — same parser as a
+            // later offline consumer of the JSONL file
+            match Summary::from_jsonl(&jsonl) {
+                Ok(summary) => print!("{}", summary.render()),
+                Err(e) => {
+                    eprintln!("internal error replaying metrics: {e}");
+                    exit(2);
+                }
+            }
+        }
     }
+    report(converged, rounds, migrations);
 }
 
 fn report(converged: bool, rounds: u64, migrations: u64) {
@@ -193,6 +245,8 @@ fn print_help() {
          qlb-sim --preset flash-crowd\n  qlb-sim --emit-preset > fleet.json\n\n\
          PROTOCOLS: blind | conditional | slack-damped (default) | capacity-sampling | levels\n\
          TOPOLOGY:  --topology ring | torus | complete (neighbour-restricted diffusion)\n\
-         EXECUTORS: engine (default) | sparse (active-set engine) | runtime"
+         EXECUTORS: engine (default) | sparse (active-set engine) | runtime\n\
+         METRICS:   --metrics-out FILE.jsonl (dump events/counters/timers as JSONL)\n           \
+         --metrics-summary (replay the dump into a digest on stdout)"
     );
 }

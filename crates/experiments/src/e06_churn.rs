@@ -7,7 +7,7 @@
 
 use crate::ExperimentResult;
 use qlb_core::{greedy_assign, SlackDamped};
-use qlb_engine::{run_with_churn, ChurnConfig};
+use qlb_engine::{run_with_churn, ChurnConfig, Executor};
 use qlb_stats::{Summary, Table};
 use qlb_workload::{CapacityDist, Scenario};
 
@@ -64,6 +64,7 @@ pub fn run(quick: bool) -> ExperimentResult {
                     fraction: frac,
                     episodes,
                     max_rounds_per_episode: 100_000,
+                    executor: Executor::Dense,
                 },
             );
             for &r in &out.recovery_rounds {

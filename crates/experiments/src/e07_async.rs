@@ -7,7 +7,8 @@
 
 use crate::ExperimentResult;
 use qlb_core::{ResourceId, SlackDamped, State};
-use qlb_runtime::{run_distributed, RuntimeConfig};
+use qlb_obs::{Counter, Recorder};
+use qlb_runtime::{run_distributed_observed, RuntimeConfig};
 use qlb_stats::{Summary, Table};
 use qlb_workload::{CapacityDist, Placement, Scenario};
 
@@ -42,6 +43,7 @@ pub fn run(quick: bool) -> ExperimentResult {
             "slowdown vs D=0",
             "migrations (mean)",
             "messages/round",
+            "snapshots sent",
             "converged",
         ],
     );
@@ -52,23 +54,31 @@ pub fn run(quick: bool) -> ExperimentResult {
         let mut rounds = Summary::new();
         let mut migrations = Summary::new();
         let mut msg_per_round = Summary::new();
+        let mut snapshots = Summary::new();
         let mut converged = 0u32;
         for seed in 0..seeds as u64 {
             let (inst, _) = sc.build(seed).expect("feasible");
             let state = State::all_on(&inst, ResourceId(0));
-            let out = run_distributed(
+            // Communication cost comes from the observability counters:
+            // the runtime's per-actor message accounting feeds the sink.
+            let mut rec = Recorder::default();
+            let out = run_distributed_observed(
                 &inst,
                 state,
                 &SlackDamped::default(),
                 RuntimeConfig::new(seed, max_rounds)
                     .with_shards(4, 2)
                     .with_max_delay(d),
+                &mut rec,
             );
+            debug_assert_eq!(rec.counter(Counter::MessagesSent), out.messages);
             if out.converged {
                 converged += 1;
                 rounds.push(out.rounds as f64);
                 migrations.push(out.migrations as f64);
-                msg_per_round.push(out.messages as f64 / (out.rounds.max(1)) as f64);
+                msg_per_round
+                    .push(rec.counter(Counter::MessagesSent) as f64 / (out.rounds.max(1)) as f64);
+                snapshots.push(rec.counter(Counter::SnapshotsSent) as f64);
             }
         }
         let slowdown = base_mean.map_or("1.00×".to_string(), |b: f64| {
@@ -83,6 +93,7 @@ pub fn run(quick: bool) -> ExperimentResult {
             slowdown,
             format!("{:.0}", migrations.mean()),
             format!("{:.0}", msg_per_round.mean()),
+            format!("{:.0}", snapshots.mean()),
             format!("{converged}/{seeds}"),
         ]);
         if d == 8 {

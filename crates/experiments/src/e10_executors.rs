@@ -9,7 +9,8 @@
 
 use crate::ExperimentResult;
 use qlb_core::{ResourceId, SlackDamped, State};
-use qlb_engine::{run as engine_run, run_sparse, run_threaded, RunConfig};
+use qlb_engine::{run_observed, run_sparse_observed, run_threaded, RunConfig};
+use qlb_obs::{Counter, Phase, Recorder};
 use qlb_runtime::{run_distributed, RuntimeConfig};
 use qlb_stats::Table;
 use qlb_workload::{CapacityDist, Placement, Scenario};
@@ -47,13 +48,16 @@ pub fn run(quick: bool) -> ExperimentResult {
         ],
     );
 
-    // Reference: sequential engine.
+    // Reference: sequential engine, with the observability sink attached
+    // so the phase breakdown below comes from qlb-obs timers.
+    let mut ref_rec = Recorder::default();
     let t0 = Instant::now();
-    let reference = engine_run(
+    let reference = run_observed(
         &inst,
         start_state.clone(),
         &proto,
         RunConfig::new(seed, max_rounds),
+        &mut ref_rec,
     );
     let ref_ms = t0.elapsed().as_secs_f64() * 1e3;
     assert!(reference.converged);
@@ -89,12 +93,14 @@ pub fn run(quick: bool) -> ExperimentResult {
         ]);
     }
 
+    let mut sparse_rec = Recorder::default();
     let t0 = Instant::now();
-    let sparse = run_sparse(
+    let sparse = run_sparse_observed(
         &inst,
         start_state.clone(),
         &proto,
         RunConfig::new(seed, max_rounds),
+        &mut sparse_rec,
     );
     let ms = t0.elapsed().as_secs_f64() * 1e3;
     let same = sparse.rounds == reference.rounds
@@ -129,16 +135,48 @@ pub fn run(quick: bool) -> ExperimentResult {
         format!("{ms:.1}"),
     ]);
 
-    let notes = vec![format!(
-        "equivalence check: all executors bit-identical to the sequential reference: {}",
-        if all_equal { "PASS" } else { "FAIL" }
-    )];
+    // Phase breakdown from the qlb-obs timers: where each executor's
+    // round time actually goes.
+    let mut phase_table = Table::new(
+        "Table 8b — phase breakdown from qlb-obs timers (same runs)".to_string(),
+        &["executor", "phase", "calls", "total (ms)", "share"],
+    );
+    for (name, rec) in [("sequential", &ref_rec), ("sparse", &sparse_rec)] {
+        let grand = rec.timers().grand_total_ns().max(1);
+        for &p in &Phase::ALL {
+            let h = rec.timers().histogram(p);
+            if h.count() == 0 {
+                continue;
+            }
+            phase_table.row(vec![
+                name.into(),
+                p.name().into(),
+                h.count().to_string(),
+                format!("{:.2}", h.sum() as f64 / 1e6),
+                format!("{:.1}%", 100.0 * h.sum() as f64 / grand as f64),
+            ]);
+        }
+    }
+
+    let notes = vec![
+        format!(
+            "equivalence check: all executors bit-identical to the sequential reference: {}",
+            if all_equal { "PASS" } else { "FAIL" }
+        ),
+        format!(
+            "sparse executor round split (qlb-obs counters): {} dense warm-up + {} sparse \
+             rounds, {} executor switch(es)",
+            sparse_rec.counter(Counter::DenseRounds),
+            sparse_rec.counter(Counter::SparseRounds),
+            sparse_rec.counter(Counter::ExecutorSwitches),
+        ),
+    ];
 
     ExperimentResult {
         id: "E10",
         artifact: "Table 8",
         title: "Executor equivalence and parallel scaling",
-        tables: vec![table],
+        tables: vec![table, phase_table],
         notes,
     }
 }
@@ -152,5 +190,9 @@ mod tests {
         let res = run(true);
         assert!(res.notes[0].contains("PASS"), "{:?}", res.notes);
         assert_eq!(res.tables[0].num_rows(), 7);
+        // phase breakdown covers both observed executors
+        assert_eq!(res.tables.len(), 2);
+        assert!(res.tables[1].num_rows() >= 4);
+        assert!(res.notes[1].contains("sparse"));
     }
 }

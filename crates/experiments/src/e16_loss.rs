@@ -10,7 +10,8 @@
 
 use crate::ExperimentResult;
 use qlb_core::{ResourceId, SlackDamped, State};
-use qlb_runtime::{run_distributed, RuntimeConfig};
+use qlb_obs::{Counter, Recorder};
+use qlb_runtime::{run_distributed_observed, RuntimeConfig};
 use qlb_stats::{Summary, Table};
 use qlb_workload::{CapacityDist, Placement, Scenario};
 
@@ -44,6 +45,7 @@ pub fn run(quick: bool) -> ExperimentResult {
             "rounds (mean ± CI)",
             "slowdown vs p=0",
             "migrations (mean)",
+            "stale slices",
             "converged",
         ],
     );
@@ -53,22 +55,30 @@ pub fn run(quick: bool) -> ExperimentResult {
     for &p in &probs {
         let mut rounds = Summary::new();
         let mut migrations = Summary::new();
+        let mut stale_frac = Summary::new();
         let mut converged = 0u32;
         for seed in 0..seeds as u64 {
             let (inst, _) = sc.build(seed).expect("feasible");
             let state = State::all_on(&inst, ResourceId(0));
-            let out = run_distributed(
+            // The stale-slice accounting comes from the resource shards'
+            // own counters via the observability sink — not re-derived by
+            // the experiment.
+            let mut rec = Recorder::default();
+            let out = run_distributed_observed(
                 &inst,
                 state,
                 &SlackDamped::default(),
                 RuntimeConfig::new(seed, max_rounds)
                     .with_shards(4, 2)
                     .with_stale_prob(p),
+                &mut rec,
             );
             if out.converged {
                 converged += 1;
                 rounds.push(out.rounds as f64);
                 migrations.push(out.migrations as f64);
+                let sent = rec.counter(Counter::SnapshotsSent).max(1);
+                stale_frac.push(rec.counter(Counter::StaleSnapshots) as f64 / sent as f64);
             }
         }
         let slowdown = base.map_or(1.0, |b: f64| rounds.mean() / b);
@@ -81,6 +91,7 @@ pub fn run(quick: bool) -> ExperimentResult {
             format!("{:.1} ± {:.1}", rounds.mean(), rounds.ci95()),
             format!("{slowdown:.2}×"),
             format!("{:.0}", migrations.mean()),
+            format!("{:.1}%", 100.0 * stale_frac.mean()),
             format!("{converged}/{seeds}"),
         ]);
     }

@@ -1,0 +1,64 @@
+//! # qlb-obs — unified observability for the QoS load-balancing workspace
+//!
+//! Every executor, driver, and runtime mode in this workspace produces the
+//! same kinds of telemetry: per-round counters (rounds, migrations,
+//! messages), gauges (unsatisfied users, active-set size, snapshot
+//! staleness), wall-clock phase timings (decide / apply / snapshot /
+//! barrier / convergence), and a stream of structured events (round
+//! boundaries, migration batches, executor switches, shard snapshot
+//! traffic). This crate gives them one vocabulary and one emission point:
+//!
+//! * [`metrics`] — a dense-id **metrics registry**: counters, gauges, and
+//!   fixed-bucket histograms addressed by `#[repr(usize)]` enums, so the
+//!   hot path is an array index and an add — no hashing, no allocation;
+//! * [`event`] — **structured event tracing**: a bounded ring buffer of
+//!   typed [`Event`]s with a JSONL exporter (via the vendored
+//!   `serde_json`);
+//! * [`timers`] — **phase timers**: monotonic scoped timings aggregated
+//!   into per-phase histograms, for wall-clock breakdowns of a run;
+//! * [`sink`] — the [`Sink`] trait the instrumented crates emit through.
+//!   It is monomorphized into the round loops (no `dyn` on the hot path);
+//!   the default [`NoopSink`] has `ENABLED = false`, so every emission
+//!   site folds away at compile time and an unobserved run pays nothing;
+//! * [`recorder`] — [`Recorder`], the everything-on implementation of
+//!   [`Sink`] (registry + ring buffer + timers), with a JSONL dump of the
+//!   whole run;
+//! * [`replay`] — the summary printer: parses a JSONL dump back into a
+//!   [`replay::Summary`], so exported runs are inspectable offline.
+//!
+//! ## Determinism contract
+//!
+//! Observability is **derived from** a run and must never steer one. Sinks
+//! receive copies of quantities the executors already computed (or compute
+//! extra read-only derivations, like the overload potential, only when
+//! `S::ENABLED`); they cannot touch RNG streams or move decisions. The
+//! workspace property tests run every executor with a [`Recorder`]
+//! attached and assert trajectories are bit-identical to unobserved runs.
+//!
+//! ```
+//! use qlb_obs::{Counter, Event, Phase, Recorder, Sink};
+//!
+//! let mut rec = Recorder::default();
+//! rec.add(Counter::Rounds, 1);
+//! rec.event(Event::RoundEnd { round: 0, migrations: 3, unsatisfied: 2, overload: Some(2) });
+//! rec.time(Phase::Decide, 1_500);
+//! let jsonl = rec.to_jsonl();
+//! let summary = qlb_obs::replay::Summary::from_jsonl(&jsonl).unwrap();
+//! assert_eq!(summary.rounds, 1);
+//! assert_eq!(summary.migrations, 3);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod metrics;
+pub mod recorder;
+pub mod replay;
+pub mod sink;
+pub mod timers;
+
+pub use event::{Event, EventRing};
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use recorder::Recorder;
+pub use sink::{timed, NoopSink, Sink};
+pub use timers::{Phase, PhaseTimers};

@@ -1,0 +1,358 @@
+//! Dense-id metrics: counters, gauges, and fixed-bucket histograms.
+//!
+//! Metric identities are `#[repr(usize)]` enums rather than interned
+//! strings: the set of quantities the workspace measures is closed and
+//! known at compile time, so an emission is an array index plus an add —
+//! allocation-free and branch-predictable on the hot path. Names exist
+//! only at the export boundary ([`Counter::name`] etc.).
+
+/// Monotonic counters. The discriminant is the dense storage index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// Protocol rounds executed.
+    Rounds,
+    /// Migrations applied.
+    Migrations,
+    /// Rounds executed by the dense executor (incl. sparse warm-up).
+    DenseRounds,
+    /// Rounds executed against the sparse active-set index.
+    SparseRounds,
+    /// Dense→sparse executor switches (index builds).
+    ExecutorSwitches,
+    /// Channel messages exchanged (runtime; all kinds).
+    MessagesSent,
+    /// Snapshot slices broadcast by resource shards.
+    SnapshotsSent,
+    /// Snapshot slices that re-delivered stale (previous-round) values.
+    StaleSnapshots,
+    /// Migration batches sent by user shards.
+    MoveBatches,
+    /// Per-round reports received by the coordinator.
+    Reports,
+    /// Churn episodes driven.
+    ChurnEpisodes,
+    /// Users displaced by churn.
+    DisplacedUsers,
+    /// Open-system arrivals injected.
+    Arrivals,
+    /// Open-system departures drained.
+    Departures,
+    /// Total weight moved (weighted model).
+    WeightMoved,
+}
+
+/// Point-in-time gauges. The discriminant is the dense storage index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Gauge {
+    /// Unsatisfied users after the latest round.
+    Unsatisfied,
+    /// Overload potential Φ after the latest round (single-class runs).
+    Overload,
+    /// Size of the sparse executor's active set.
+    ActiveSetSize,
+    /// Worst observation staleness (rounds) seen in the latest round.
+    SnapshotStaleness,
+    /// Active (non-parked) users in an open-system run.
+    ActiveUsers,
+}
+
+impl Counter {
+    /// Every counter, in storage order.
+    pub const ALL: [Counter; 15] = [
+        Counter::Rounds,
+        Counter::Migrations,
+        Counter::DenseRounds,
+        Counter::SparseRounds,
+        Counter::ExecutorSwitches,
+        Counter::MessagesSent,
+        Counter::SnapshotsSent,
+        Counter::StaleSnapshots,
+        Counter::MoveBatches,
+        Counter::Reports,
+        Counter::ChurnEpisodes,
+        Counter::DisplacedUsers,
+        Counter::Arrivals,
+        Counter::Departures,
+        Counter::WeightMoved,
+    ];
+
+    /// Export name (stable; used in JSONL dumps).
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::Rounds => "rounds",
+            Counter::Migrations => "migrations",
+            Counter::DenseRounds => "dense_rounds",
+            Counter::SparseRounds => "sparse_rounds",
+            Counter::ExecutorSwitches => "executor_switches",
+            Counter::MessagesSent => "messages_sent",
+            Counter::SnapshotsSent => "snapshots_sent",
+            Counter::StaleSnapshots => "stale_snapshots",
+            Counter::MoveBatches => "move_batches",
+            Counter::Reports => "reports",
+            Counter::ChurnEpisodes => "churn_episodes",
+            Counter::DisplacedUsers => "displaced_users",
+            Counter::Arrivals => "arrivals",
+            Counter::Departures => "departures",
+            Counter::WeightMoved => "weight_moved",
+        }
+    }
+}
+
+impl Gauge {
+    /// Every gauge, in storage order.
+    pub const ALL: [Gauge; 5] = [
+        Gauge::Unsatisfied,
+        Gauge::Overload,
+        Gauge::ActiveSetSize,
+        Gauge::SnapshotStaleness,
+        Gauge::ActiveUsers,
+    ];
+
+    /// Export name (stable; used in JSONL dumps).
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::Unsatisfied => "unsatisfied",
+            Gauge::Overload => "overload",
+            Gauge::ActiveSetSize => "active_set_size",
+            Gauge::SnapshotStaleness => "snapshot_staleness",
+            Gauge::ActiveUsers => "active_users",
+        }
+    }
+}
+
+/// Number of fixed histogram buckets: bucket `i` holds values whose
+/// bit-length is `i` (i.e. `[2^(i-1), 2^i)`, with 0 in bucket 0), so the
+/// range covers all of `u64` in 65 buckets.
+pub const HIST_BUCKETS: usize = 65;
+
+/// A fixed-bucket (power-of-two) histogram of `u64` samples.
+///
+/// Recording is an increment at a computed index — no allocation, no
+/// comparison ladder — which is what lets phase timers run inside the
+/// round loop.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Bucket index of a value: its bit length (0 → bucket 0).
+    #[inline]
+    pub fn bucket_of(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn observe(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Raw bucket counts.
+    pub fn buckets(&self) -> &[u64; HIST_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Upper bound (exclusive) of a bucket's value range.
+    pub fn bucket_limit(i: usize) -> u64 {
+        if i == 0 {
+            1
+        } else if i >= 64 {
+            u64::MAX
+        } else {
+            1u64 << i
+        }
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// The registry: dense arrays of counter totals and gauge values, plus a
+/// per-round mark for snapshot/reset semantics.
+///
+/// Counters are cumulative; [`MetricsRegistry::mark_round`] latches the
+/// current totals so [`MetricsRegistry::since_mark`] yields the deltas of
+/// the round in flight — the synchronous-round analogue of a
+/// snapshot-and-reset, without destroying the run totals.
+#[derive(Debug, Clone)]
+pub struct MetricsRegistry {
+    counters: [u64; Counter::ALL.len()],
+    marked: [u64; Counter::ALL.len()],
+    gauges: [u64; Gauge::ALL.len()],
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self {
+            counters: [0; Counter::ALL.len()],
+            marked: [0; Counter::ALL.len()],
+            gauges: [0; Gauge::ALL.len()],
+        }
+    }
+}
+
+impl MetricsRegistry {
+    /// Add to a counter.
+    #[inline]
+    pub fn add(&mut self, c: Counter, delta: u64) {
+        self.counters[c as usize] += delta;
+    }
+
+    /// Set a gauge.
+    #[inline]
+    pub fn set(&mut self, g: Gauge, value: u64) {
+        self.gauges[g as usize] = value;
+    }
+
+    /// Cumulative value of a counter.
+    #[inline]
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c as usize]
+    }
+
+    /// Current value of a gauge.
+    #[inline]
+    pub fn gauge(&self, g: Gauge) -> u64 {
+        self.gauges[g as usize]
+    }
+
+    /// Latch current counter totals as the start of a new round.
+    pub fn mark_round(&mut self) {
+        self.marked = self.counters;
+    }
+
+    /// Counter deltas since the last [`MetricsRegistry::mark_round`].
+    pub fn since_mark(&self, c: Counter) -> u64 {
+        self.counters[c as usize] - self.marked[c as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_mark_resets_deltas() {
+        let mut m = MetricsRegistry::default();
+        m.add(Counter::Rounds, 1);
+        m.add(Counter::Migrations, 7);
+        assert_eq!(m.counter(Counter::Rounds), 1);
+        assert_eq!(m.since_mark(Counter::Migrations), 7);
+        m.mark_round();
+        assert_eq!(m.since_mark(Counter::Migrations), 0);
+        m.add(Counter::Migrations, 3);
+        assert_eq!(m.since_mark(Counter::Migrations), 3);
+        assert_eq!(m.counter(Counter::Migrations), 10);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut m = MetricsRegistry::default();
+        m.set(Gauge::Unsatisfied, 42);
+        m.set(Gauge::Unsatisfied, 5);
+        assert_eq!(m.gauge(Gauge::Unsatisfied), 5);
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        let mut h = Histogram::default();
+        for v in [0u64, 1, 3, 1000, u64::MAX] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[2], 1);
+        assert_eq!(h.buckets()[64], 1);
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        a.observe(5);
+        b.observe(9);
+        b.observe(2);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 16);
+        assert_eq!(a.max(), 9);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
+        names.extend(Gauge::ALL.iter().map(|g| g.name()));
+        let total = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), total);
+    }
+
+    #[test]
+    fn enum_discriminants_match_all_order() {
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(*c as usize, i);
+        }
+        for (i, g) in Gauge::ALL.iter().enumerate() {
+            assert_eq!(*g as usize, i);
+        }
+    }
+}

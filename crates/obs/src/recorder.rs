@@ -1,0 +1,231 @@
+//! The everything-on [`Sink`]: registry + event ring + phase timers,
+//! exportable as JSONL.
+
+use crate::event::{Event, EventRing};
+use crate::metrics::{Counter, Gauge, MetricsRegistry};
+use crate::sink::Sink;
+use crate::timers::{Phase, PhaseTimers};
+use serde::{Deserialize, Serialize};
+
+/// One line of a JSONL dump. Externally tagged, so each line is
+/// self-describing: `{"Event":{…}}`, `{"Counter":{…}}`, ….
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Record {
+    /// A traced event with its ring sequence number.
+    Event {
+        /// Sequence number assigned by the ring.
+        seq: u64,
+        /// The event.
+        event: Event,
+    },
+    /// A counter's final cumulative value.
+    Counter {
+        /// Export name ([`Counter::name`]).
+        name: String,
+        /// Cumulative value.
+        value: u64,
+    },
+    /// A gauge's final value.
+    Gauge {
+        /// Export name ([`Gauge::name`]).
+        name: String,
+        /// Last value set.
+        value: u64,
+    },
+    /// A phase timer's aggregate.
+    Phase {
+        /// Export name ([`Phase::name`]).
+        name: String,
+        /// Samples recorded.
+        count: u64,
+        /// Total nanoseconds.
+        total_ns: u64,
+        /// Largest single sample in nanoseconds.
+        max_ns: u64,
+    },
+    /// Ring-buffer accounting: how much of the event stream the dump holds.
+    RingInfo {
+        /// Events recorded over the run.
+        recorded: u64,
+        /// Oldest events overwritten because the ring was full.
+        dropped: u64,
+    },
+}
+
+/// A recording [`Sink`]: dense metrics, a bounded event ring, and phase
+/// timers, all in one place. Everything it holds is derived data — it can
+/// be attached to any run without changing the trajectory.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    metrics: MetricsRegistry,
+    events: EventRing,
+    timers: PhaseTimers,
+}
+
+impl Recorder {
+    /// A recorder whose event ring holds at most `capacity` events.
+    pub fn with_ring_capacity(capacity: usize) -> Self {
+        Self {
+            events: EventRing::with_capacity(capacity),
+            ..Self::default()
+        }
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Mutable metrics access (for drivers that latch round marks).
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.metrics
+    }
+
+    /// The event ring.
+    pub fn events(&self) -> &EventRing {
+        &self.events
+    }
+
+    /// The phase timers.
+    pub fn timers(&self) -> &PhaseTimers {
+        &self.timers
+    }
+
+    /// Shorthand for a cumulative counter value.
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.metrics.counter(c)
+    }
+
+    /// Shorthand for a gauge value.
+    pub fn gauge(&self, g: Gauge) -> u64 {
+        self.metrics.gauge(g)
+    }
+
+    /// Dump the whole recording as JSONL: one [`Record`] per line —
+    /// retained events first (oldest to newest), then ring accounting,
+    /// non-zero counters, gauges, and non-empty phase aggregates. The
+    /// output parses back with [`crate::replay::Summary::from_jsonl`].
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        let mut push = |record: &Record| {
+            out.push_str(&serde_json::to_string(record).expect("record serializes"));
+            out.push('\n');
+        };
+        for (seq, event) in self.events.iter() {
+            push(&Record::Event { seq, event });
+        }
+        push(&Record::RingInfo {
+            recorded: self.events.total_recorded(),
+            dropped: self.events.dropped(),
+        });
+        for &c in &Counter::ALL {
+            let value = self.metrics.counter(c);
+            if value > 0 {
+                push(&Record::Counter {
+                    name: c.name().to_string(),
+                    value,
+                });
+            }
+        }
+        for &g in &Gauge::ALL {
+            let value = self.metrics.gauge(g);
+            if value > 0 {
+                push(&Record::Gauge {
+                    name: g.name().to_string(),
+                    value,
+                });
+            }
+        }
+        for &p in &Phase::ALL {
+            let h = self.timers.histogram(p);
+            if h.count() > 0 {
+                push(&Record::Phase {
+                    name: p.name().to_string(),
+                    count: h.count(),
+                    total_ns: h.sum(),
+                    max_ns: h.max(),
+                });
+            }
+        }
+        out
+    }
+}
+
+impl Sink for Recorder {
+    const ENABLED: bool = true;
+
+    #[inline]
+    fn event(&mut self, ev: Event) {
+        self.events.push(ev);
+    }
+
+    #[inline]
+    fn add(&mut self, c: Counter, delta: u64) {
+        self.metrics.add(c, delta);
+    }
+
+    #[inline]
+    fn set(&mut self, g: Gauge, value: u64) {
+        self.metrics.set(g, value);
+    }
+
+    #[inline]
+    fn time(&mut self, p: Phase, ns: u64) {
+        self.timers.record(p, ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_routes_all_emissions() {
+        let mut rec = Recorder::default();
+        rec.add(Counter::Rounds, 2);
+        rec.set(Gauge::Unsatisfied, 7);
+        rec.time(Phase::Decide, 900);
+        rec.event(Event::RoundStart {
+            round: 0,
+            active: 7,
+        });
+        assert_eq!(rec.counter(Counter::Rounds), 2);
+        assert_eq!(rec.gauge(Gauge::Unsatisfied), 7);
+        assert_eq!(rec.timers().total_ns(Phase::Decide), 900);
+        assert_eq!(rec.events().len(), 1);
+    }
+
+    #[test]
+    fn jsonl_lines_parse_as_records() {
+        let mut rec = Recorder::default();
+        rec.event(Event::RoundEnd {
+            round: 0,
+            migrations: 1,
+            unsatisfied: 0,
+            overload: Some(0),
+        });
+        rec.add(Counter::Migrations, 1);
+        rec.time(Phase::Apply, 50);
+        let jsonl = rec.to_jsonl();
+        let records: Vec<Record> = jsonl
+            .lines()
+            .map(|l| serde_json::from_str(l).expect("line parses"))
+            .collect();
+        assert!(records
+            .iter()
+            .any(|r| matches!(r, Record::Event { seq: 0, .. })));
+        assert!(records
+            .iter()
+            .any(|r| matches!(r, Record::Counter { name, value: 1 } if name == "migrations")));
+        assert!(records
+            .iter()
+            .any(|r| matches!(r, Record::Phase { name, .. } if name == "apply")));
+        assert!(records.iter().any(|r| matches!(
+            r,
+            Record::RingInfo {
+                recorded: 1,
+                dropped: 0
+            }
+        )));
+    }
+}

@@ -1,0 +1,264 @@
+//! The summary printer: parse a JSONL dump back into an inspectable
+//! [`Summary`].
+//!
+//! The dump format ([`crate::recorder::Record`] per line) is the contract
+//! between a run and later analysis: `qlb-sim --metrics-out run.jsonl`
+//! writes it, and this module — or any other JSONL consumer — reads it
+//! back. The round-trip is covered by tests: a summary computed from a
+//! live [`crate::Recorder`]'s dump equals one computed from the re-read
+//! file.
+
+use crate::event::Event;
+use crate::recorder::Record;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Aggregate view of one exported run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Summary {
+    /// Rounds (from the `rounds` counter, else counted from RoundEnd
+    /// events).
+    pub rounds: u64,
+    /// Migrations (from the `migrations` counter, else summed from
+    /// RoundEnd events).
+    pub migrations: u64,
+    /// Final unsatisfied count from the last RoundEnd event, if any.
+    pub final_unsatisfied: Option<u64>,
+    /// Overload potential Φ series from RoundEnd events (single-class).
+    pub overload_series: Vec<u64>,
+    /// Events retained in the dump, by variant name.
+    pub events_by_kind: BTreeMap<String, u64>,
+    /// Total events recorded / dropped by the ring.
+    pub ring: (u64, u64),
+    /// Exported counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Exported gauges by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Phase aggregates: name → (count, total ns, max ns).
+    pub phases: BTreeMap<String, (u64, u64, u64)>,
+}
+
+/// Error parsing a JSONL dump.
+#[derive(Debug, Clone)]
+pub struct ReplayError {
+    line: usize,
+    msg: String,
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+fn event_kind(ev: &Event) -> &'static str {
+    match ev {
+        Event::RoundStart { .. } => "RoundStart",
+        Event::RoundEnd { .. } => "RoundEnd",
+        Event::MigrationBatch { .. } => "MigrationBatch",
+        Event::ConvergenceCheck { .. } => "ConvergenceCheck",
+        Event::ExecutorSwitch { .. } => "ExecutorSwitch",
+        Event::SnapshotSend { .. } => "SnapshotSend",
+        Event::SnapshotRecv { .. } => "SnapshotRecv",
+        Event::ChurnEpisode { .. } => "ChurnEpisode",
+        Event::Arrivals { .. } => "Arrivals",
+        Event::Departures { .. } => "Departures",
+    }
+}
+
+impl Summary {
+    /// Parse a JSONL dump (as written by [`crate::Recorder::to_jsonl`]).
+    /// Blank lines are ignored; any other unparsable line is an error.
+    pub fn from_jsonl(text: &str) -> Result<Summary, ReplayError> {
+        let mut s = Summary::default();
+        let mut round_end_rounds = 0u64;
+        let mut round_end_migrations = 0u64;
+        for (idx, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let record: Record = serde_json::from_str(line).map_err(|e| ReplayError {
+                line: idx + 1,
+                msg: e.to_string(),
+            })?;
+            match record {
+                Record::Event { event, .. } => {
+                    *s.events_by_kind
+                        .entry(event_kind(&event).to_string())
+                        .or_insert(0) += 1;
+                    if let Event::RoundEnd {
+                        migrations,
+                        unsatisfied,
+                        overload,
+                        ..
+                    } = event
+                    {
+                        round_end_rounds += 1;
+                        round_end_migrations += migrations;
+                        s.final_unsatisfied = Some(unsatisfied);
+                        if let Some(phi) = overload {
+                            s.overload_series.push(phi);
+                        }
+                    }
+                }
+                Record::Counter { name, value } => {
+                    s.counters.insert(name, value);
+                }
+                Record::Gauge { name, value } => {
+                    s.gauges.insert(name, value);
+                }
+                Record::Phase {
+                    name,
+                    count,
+                    total_ns,
+                    max_ns,
+                } => {
+                    s.phases.insert(name, (count, total_ns, max_ns));
+                }
+                Record::RingInfo { recorded, dropped } => {
+                    s.ring = (recorded, dropped);
+                }
+            }
+        }
+        s.rounds = s
+            .counters
+            .get("rounds")
+            .copied()
+            .unwrap_or(round_end_rounds);
+        s.migrations = s
+            .counters
+            .get("migrations")
+            .copied()
+            .unwrap_or(round_end_migrations);
+        Ok(s)
+    }
+
+    /// Render the summary as human-readable text (the `--metrics-summary`
+    /// output of `qlb-sim`).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "rounds: {}   migrations: {}",
+            self.rounds, self.migrations
+        ));
+        if let Some(u) = self.final_unsatisfied {
+            out.push_str(&format!("   final unsatisfied: {u}"));
+        }
+        out.push('\n');
+        if !self.overload_series.is_empty() {
+            let first = self.overload_series.first().copied().unwrap_or(0);
+            let last = self.overload_series.last().copied().unwrap_or(0);
+            out.push_str(&format!(
+                "overload Φ: {} → {} over {} traced rounds\n",
+                first,
+                last,
+                self.overload_series.len()
+            ));
+        }
+        let (recorded, dropped) = self.ring;
+        out.push_str(&format!(
+            "events: {recorded} recorded, {dropped} dropped by the ring\n"
+        ));
+        for (kind, count) in &self.events_by_kind {
+            out.push_str(&format!("  {kind:>16}: {count}\n"));
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, value) in &self.counters {
+                out.push_str(&format!("  {name:>18}: {value}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, value) in &self.gauges {
+                out.push_str(&format!("  {name:>18}: {value}\n"));
+            }
+        }
+        if !self.phases.is_empty() {
+            let grand: u64 = self.phases.values().map(|&(_, t, _)| t).sum();
+            out.push_str("phase breakdown:\n");
+            for (name, &(count, total_ns, max_ns)) in &self.phases {
+                out.push_str(&format!(
+                    "  {:>12}: {:>9.2} ms over {:>7} calls (max {:.2} ms, {:.1}%)\n",
+                    name,
+                    total_ns as f64 / 1e6,
+                    count,
+                    max_ns as f64 / 1e6,
+                    100.0 * total_ns as f64 / grand.max(1) as f64,
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Counter;
+    use crate::recorder::Recorder;
+    use crate::sink::Sink;
+    use crate::timers::Phase;
+
+    fn sample_recorder() -> Recorder {
+        let mut rec = Recorder::default();
+        for round in 0..3u64 {
+            rec.event(Event::RoundStart {
+                round,
+                active: 10 - round,
+            });
+            rec.event(Event::RoundEnd {
+                round,
+                migrations: 2,
+                unsatisfied: 8 - round,
+                overload: Some(20 - round),
+            });
+            rec.add(Counter::Rounds, 1);
+            rec.add(Counter::Migrations, 2);
+            rec.time(Phase::Decide, 1_000 + round);
+        }
+        rec
+    }
+
+    #[test]
+    fn summary_reads_back_what_the_recorder_wrote() {
+        let rec = sample_recorder();
+        let s = Summary::from_jsonl(&rec.to_jsonl()).unwrap();
+        assert_eq!(s.rounds, 3);
+        assert_eq!(s.migrations, 6);
+        assert_eq!(s.final_unsatisfied, Some(6));
+        assert_eq!(s.overload_series, vec![20, 19, 18]);
+        assert_eq!(s.events_by_kind["RoundEnd"], 3);
+        assert_eq!(s.ring, (6, 0));
+        assert_eq!(s.phases["decide"].0, 3);
+    }
+
+    #[test]
+    fn round_trip_is_stable() {
+        // writing, parsing, and re-deriving must agree with a second pass
+        // over the same text — the "replayable" contract
+        let jsonl = sample_recorder().to_jsonl();
+        let a = Summary::from_jsonl(&jsonl).unwrap();
+        let b = Summary::from_jsonl(&jsonl).unwrap();
+        assert_eq!(a, b);
+        let rendered = a.render();
+        assert!(rendered.contains("rounds: 3"));
+        assert!(rendered.contains("overload Φ: 20 → 18"));
+        assert!(rendered.contains("decide"));
+    }
+
+    #[test]
+    fn garbage_line_is_an_error_with_position() {
+        let err = Summary::from_jsonl("{\"RingInfo\":{\"recorded\":0,\"dropped\":0}}\nnot json\n")
+            .unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn blank_lines_are_ignored() {
+        let s = Summary::from_jsonl("\n\n").unwrap();
+        assert_eq!(s.rounds, 0);
+    }
+}

@@ -5,6 +5,7 @@ use crate::resource_shard::ResourceShard;
 use crate::user_shard::UserShard;
 use crossbeam::channel::unbounded;
 use qlb_core::{Instance, Protocol, ResourceId, State};
+use qlb_obs::{timed, Counter, Event, Gauge, NoopSink, Phase, Sink};
 
 /// Configuration of a distributed run.
 #[derive(Debug, Clone, Copy)]
@@ -89,6 +90,29 @@ pub fn run_distributed<P: Protocol + ?Sized>(
     proto: &P,
     config: RuntimeConfig,
 ) -> DistributedOutcome {
+    run_distributed_observed(inst, state, proto, config, &mut NoopSink)
+}
+
+/// [`run_distributed`] with an observability sink attached.
+///
+/// Only the coordinator (the caller thread) touches the sink — the actor
+/// threads stay sink-free and ship their accounting back in-band: user
+/// shards extend their per-round reports with the largest observation
+/// delay drawn (the snapshot-staleness gauge), and resource shards return
+/// snapshot-send / stale-slice totals at teardown. The coordinator emits
+/// per-round snapshot send/receive events, message counters, the barrier
+/// wait timer (report collection), and round events. Derived data only —
+/// trajectories are bit-identical to [`run_distributed`].
+///
+/// # Panics
+/// Panics if shard counts are zero, as [`run_distributed`].
+pub fn run_distributed_observed<P: Protocol + ?Sized, S: Sink>(
+    inst: &Instance,
+    state: State,
+    proto: &P,
+    config: RuntimeConfig,
+    sink: &mut S,
+) -> DistributedOutcome {
     let n = inst.num_users();
     let m = inst.num_resources();
     assert!(config.user_shards >= 1, "need at least one user shard");
@@ -157,34 +181,64 @@ pub fn run_distributed<P: Protocol + ?Sized>(
         let mut round = 0u64;
         loop {
             // Ask resource shards to publish the round's snapshot.
-            for (tx, _) in &res_channels {
-                tx.send(ToResource::Emit { round }).expect("shard alive");
-            }
+            timed(sink, Phase::Snapshot, || {
+                for (tx, _) in &res_channels {
+                    tx.send(ToResource::Emit { round }).expect("shard alive");
+                }
+            });
             messages += rs as u64; // Emits
             messages += (rs * us) as u64; // snapshots
-                                          // Collect user-shard reports.
-            let mut unsatisfied = 0u64;
-            let mut round_migrations = 0u64;
-            let mut reports = 0usize;
-            while reports < us {
-                match coord_rx.recv().expect("user shard alive") {
-                    ToCoordinator::Report {
-                        round: r,
-                        unsatisfied: u,
-                        migrations: g,
-                    } => {
-                        debug_assert_eq!(r, round, "reports arrive in round order");
-                        unsatisfied += u;
-                        round_migrations += g;
-                        reports += 1;
-                    }
-                    ToCoordinator::FinalAssign { .. } => {
-                        unreachable!("no Stop sent yet")
-                    }
+            if S::ENABLED {
+                for shard in 0..rs {
+                    sink.event(Event::SnapshotSend {
+                        round,
+                        shard: shard as u64,
+                    });
                 }
             }
+            // Collect user-shard reports (the round barrier).
+            let mut unsatisfied = 0u64;
+            let mut round_migrations = 0u64;
+            let mut round_staleness = 0u64;
+            timed(sink, Phase::Barrier, || {
+                let mut reports = 0usize;
+                while reports < us {
+                    match coord_rx.recv().expect("user shard alive") {
+                        ToCoordinator::Report {
+                            round: r,
+                            unsatisfied: u,
+                            migrations: g,
+                            max_staleness,
+                        } => {
+                            debug_assert_eq!(r, round, "reports arrive in round order");
+                            unsatisfied += u;
+                            round_migrations += g;
+                            round_staleness = round_staleness.max(max_staleness);
+                            reports += 1;
+                        }
+                        ToCoordinator::FinalAssign { .. } => {
+                            unreachable!("no Stop sent yet")
+                        }
+                    }
+                }
+            });
             messages += us as u64; // reports
             messages += (us * rs) as u64; // move batches
+            if S::ENABLED {
+                // every user shard assembled a full snapshot before its
+                // report could arrive
+                for shard in 0..us {
+                    sink.event(Event::SnapshotRecv {
+                        round,
+                        shard: shard as u64,
+                    });
+                }
+                sink.add(Counter::Reports, us as u64);
+                sink.add(Counter::MoveBatches, (us * rs) as u64);
+                sink.add(Counter::MessagesSent, (rs + rs * us + us + us * rs) as u64);
+                sink.set(Gauge::SnapshotStaleness, round_staleness);
+                sink.set(Gauge::Unsatisfied, unsatisfied);
+            }
 
             if unsatisfied == 0 {
                 converged = true;
@@ -192,6 +246,16 @@ pub fn run_distributed<P: Protocol + ?Sized>(
                 break;
             }
             migrations += round_migrations;
+            if S::ENABLED {
+                sink.add(Counter::Rounds, 1);
+                sink.add(Counter::Migrations, round_migrations);
+                sink.event(Event::RoundEnd {
+                    round,
+                    migrations: round_migrations,
+                    unsatisfied,
+                    overload: None,
+                });
+            }
             round += 1;
             if round >= config.max_rounds {
                 rounds = round;
@@ -216,11 +280,16 @@ pub fn run_distributed<P: Protocol + ?Sized>(
                 finals += 1;
             }
         }
-        // Resource shards return their true loads; used as a cross-check.
+        // Resource shards return their true loads (used as a cross-check)
+        // plus their snapshot accounting.
         let mut true_loads = vec![0u32; m];
         for h in res_handles {
-            let (start, loads) = h.join().expect("resource shard panicked");
+            let (start, loads, (sent, stale)) = h.join().expect("resource shard panicked");
             true_loads[start..start + loads.len()].copy_from_slice(&loads);
+            if S::ENABLED {
+                sink.add(Counter::SnapshotsSent, sent);
+                sink.add(Counter::StaleSnapshots, stale);
+            }
         }
         let assembled =
             State::new(inst, outcome_state_assignment.clone()).expect("valid assembled state");
@@ -449,6 +518,46 @@ mod tests {
         );
         assert_eq!(out.rounds, eng.rounds);
         assert_eq!(out.state, eng.state);
+    }
+
+    #[test]
+    fn observed_run_matches_and_accounts_messages() {
+        use qlb_obs::Recorder;
+        let inst = Instance::uniform(64, 8, 10).unwrap();
+        let state = State::all_on(&inst, ResourceId(0));
+        let cfg = RuntimeConfig::new(21, 10_000)
+            .with_shards(3, 2)
+            .with_max_delay(2)
+            .with_stale_prob(0.2);
+        let plain = run_distributed(&inst, state.clone(), &SlackDamped::default(), cfg);
+        let mut rec = Recorder::default();
+        let observed =
+            run_distributed_observed(&inst, state, &SlackDamped::default(), cfg, &mut rec);
+        // bit-identical trajectory with the sink attached
+        assert_eq!(plain.rounds, observed.rounds);
+        assert_eq!(plain.migrations, observed.migrations);
+        assert_eq!(plain.state, observed.state);
+        // the counters agree with the driver's own accounting
+        assert_eq!(
+            rec.counter(qlb_obs::Counter::MessagesSent),
+            observed.messages
+        );
+        assert_eq!(
+            rec.counter(qlb_obs::Counter::Migrations),
+            observed.migrations
+        );
+        // every Emit became user_shards slices from each resource shard
+        assert_eq!(
+            rec.counter(qlb_obs::Counter::SnapshotsSent),
+            (observed.rounds + 1) * 2 * 3
+        );
+        // injected loss showed up
+        assert!(rec.counter(qlb_obs::Counter::StaleSnapshots) > 0);
+        // barrier waits were timed every round
+        assert_eq!(
+            rec.timers().histogram(qlb_obs::Phase::Barrier).count(),
+            observed.rounds + 1
+        );
     }
 
     #[test]

@@ -64,4 +64,4 @@ mod messages;
 mod resource_shard;
 mod user_shard;
 
-pub use driver::{run_distributed, DistributedOutcome, RuntimeConfig};
+pub use driver::{run_distributed, run_distributed_observed, DistributedOutcome, RuntimeConfig};

@@ -51,6 +51,9 @@ pub(crate) enum ToCoordinator {
         unsatisfied: u64,
         /// Migrations this shard emitted this round.
         migrations: u64,
+        /// Largest observation delay drawn by any owned user this round
+        /// (0 in synchronous mode) — feeds the staleness gauge.
+        max_staleness: u64,
     },
     /// Final positions of a user shard (sent after `Stop`).
     FinalAssign {

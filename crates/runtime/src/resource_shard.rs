@@ -33,6 +33,10 @@ pub(crate) struct ResourceShard {
     stale_prob: f64,
     /// Loads as of the previous broadcast (what a lossy link re-delivers).
     prev_loads: Option<Vec<u32>>,
+    /// Snapshot slices sent over the run (observability accounting).
+    snapshots_sent: u64,
+    /// Slices that re-delivered stale values due to injected loss.
+    stale_slices: u64,
 }
 
 impl ResourceShard {
@@ -54,6 +58,8 @@ impl ResourceShard {
             shard_index: 0,
             stale_prob: 0.0,
             prev_loads: None,
+            snapshots_sent: 0,
+            stale_slices: 0,
         }
     }
 
@@ -68,8 +74,9 @@ impl ResourceShard {
         self
     }
 
-    /// Run until `Stop`; returns `(start, final loads)`.
-    pub(crate) fn run(mut self) -> (usize, Vec<u32>) {
+    /// Run until `Stop`; returns `(start, final loads, snapshot stats)`
+    /// where the stats are `(slices sent, stale slices delivered)`.
+    pub(crate) fn run(mut self) -> (usize, Vec<u32>, (u64, u64)) {
         while let Ok(msg) = self.rx.recv() {
             match msg {
                 ToResource::Emit { round } => self.broadcast(round),
@@ -86,7 +93,11 @@ impl ResourceShard {
                 ToResource::Stop => break,
             }
         }
-        (self.start, self.loads)
+        (
+            self.start,
+            self.loads,
+            (self.snapshots_sent, self.stale_slices),
+        )
     }
 
     fn broadcast(&mut self, round: u64) {
@@ -102,9 +113,13 @@ impl ResourceShard {
                 rng.bernoulli(self.stale_prob)
             };
             let loads = match (&self.prev_loads, lose) {
-                (Some(prev), true) => prev.clone(),
+                (Some(prev), true) => {
+                    self.stale_slices += 1;
+                    prev.clone()
+                }
                 _ => self.loads.clone(),
             };
+            self.snapshots_sent += 1;
             // A send fails only if the runtime is tearing down; ignore.
             let _ = tx.send(ToUser::Snapshot {
                 round,
@@ -161,11 +176,12 @@ mod tests {
         .unwrap();
         tx.send(ToResource::Emit { round: 1 }).unwrap();
         tx.send(ToResource::Stop).unwrap();
-        let (start, loads) = shard.run();
+        let (start, loads, (sent, stale)) = shard.run();
         assert_eq!(start, 2);
         // r2: 5 −1 (u0 out) +1 (u1 in) = 5; r3: 5 +1 (u0 in) −1 (u2 out) = 5
         assert_eq!(loads, vec![5, 5]);
-        // snapshot emitted after application
+        assert_eq!((sent, stale), (1, 0)); // one Emit, reliable link
+                                           // snapshot emitted after application
         match urx.recv().unwrap() {
             ToUser::Snapshot {
                 round,
@@ -198,7 +214,7 @@ mod tests {
         })
         .unwrap();
         tx.send(ToResource::Stop).unwrap();
-        let (_, loads) = shard.run();
+        let (_, loads, _) = shard.run();
         assert_eq!(loads, vec![2]);
     }
 
@@ -229,7 +245,7 @@ mod tests {
         })
         .unwrap();
         tx.send(ToResource::Stop).unwrap();
-        let (_, loads) = shard.run();
+        let (_, loads, _) = shard.run();
         assert_eq!(loads, vec![2]); // both departures applied
     }
 }

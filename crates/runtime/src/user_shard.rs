@@ -127,9 +127,11 @@ impl<'a, P: Protocol + ?Sized> UserShard<'a, P> {
 
         // Decisions against delayed observations.
         let mut moves = Vec::new();
+        let mut max_staleness = 0u64;
         for off in 0..self.positions.len() {
             let u = UserId((self.start + off) as u32);
-            let observed = self.observed_loads(u, round);
+            let (observed, delay) = self.observed_loads(u, round);
+            max_staleness = max_staleness.max(delay);
             let own = self.positions[off];
             if let Some(mv) = decide_user(self.inst, observed, own, u, self.proto, self.seed, round)
             {
@@ -150,15 +152,17 @@ impl<'a, P: Protocol + ?Sized> UserShard<'a, P> {
             round,
             unsatisfied,
             migrations,
+            max_staleness,
         });
     }
 
-    /// The snapshot user `u` observes in `round`: the freshest one when
-    /// synchronous, else the one `d ≤ max_delay` rounds old, with `d` drawn
-    /// from a dedicated per-(user, round) stream.
-    fn observed_loads(&self, u: UserId, round: u64) -> &[u32] {
+    /// The snapshot user `u` observes in `round` and the delay `d` it was
+    /// drawn at: the freshest one (`d = 0`) when synchronous, else the one
+    /// `d ≤ max_delay` rounds old, with `d` drawn from a dedicated
+    /// per-(user, round) stream.
+    fn observed_loads(&self, u: UserId, round: u64) -> (&[u32], u64) {
         if self.max_delay == 0 {
-            return &self.history.back().expect("history non-empty").1;
+            return (&self.history.back().expect("history non-empty").1, 0);
         }
         let avail = self.history.len() as u64; // ≥ 1
         let span = self.max_delay.min(avail - 1);
@@ -170,7 +174,7 @@ impl<'a, P: Protocol + ?Sized> UserShard<'a, P> {
         let d = delay_rng.uniform(span + 1);
         // back = freshest = delay 0
         let idx = self.history.len() - 1 - d as usize;
-        &self.history[idx].1
+        (&self.history[idx].1, d)
     }
 }
 
@@ -292,12 +296,14 @@ mod tests {
         // three vectors; collect over rounds to see staleness occur.
         let mut seen_stale = false;
         for round in 0..64 {
-            let obs = shard.observed_loads(UserId(0), round).to_vec();
+            let (obs, d) = shard.observed_loads(UserId(0), round);
+            let obs = obs.to_vec();
             assert!(
                 [vec![10, 0], vec![5, 5], vec![0, 10]].contains(&obs),
                 "unexpected observation {obs:?}"
             );
             if obs != vec![0, 10] {
+                assert!(d > 0, "stale observation with zero reported delay");
                 seen_stale = true;
             }
         }
@@ -305,7 +311,7 @@ mod tests {
         // Synchronous shard always sees the freshest.
         shard.max_delay = 0;
         for round in 0..16 {
-            assert_eq!(shard.observed_loads(UserId(0), round), &[0, 10]);
+            assert_eq!(shard.observed_loads(UserId(0), round), (&[0u32, 10][..], 0));
         }
     }
 }

@@ -9,7 +9,7 @@
 //! cargo run --release --example server_farm
 //! ```
 
-use qoslb::engine::{run_with_churn, ChurnConfig};
+use qoslb::engine::{run_with_churn, ChurnConfig, Executor};
 use qoslb::prelude::*;
 
 fn main() {
@@ -83,6 +83,7 @@ fn main() {
             fraction: 0.05,
             episodes: 10,
             max_rounds_per_episode: 10_000,
+            executor: Executor::Dense,
         },
     );
     for (i, (rounds, displaced)) in churn

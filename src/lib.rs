@@ -13,6 +13,8 @@
 //! * [`runtime`] (`qlb-runtime`) — message-passing actor runtime;
 //! * [`workload`] (`qlb-workload`) — scenario generators;
 //! * [`flow`] (`qlb-flow`) — max-flow feasibility substrate;
+//! * [`obs`] (`qlb-obs`) — metrics, event tracing, and phase timers
+//!   (monomorphized sinks, zero-cost when disabled);
 //! * [`stats`] (`qlb-stats`) — experiment statistics;
 //! * [`rng`] (`qlb-rng`) — deterministic counter-based randomness;
 //! * [`topo`] (`qlb-topo`) — resource graphs and topology-restricted
@@ -43,6 +45,7 @@ pub use qlb_analysis as analysis;
 pub use qlb_core as core;
 pub use qlb_engine as engine;
 pub use qlb_flow as flow;
+pub use qlb_obs as obs;
 pub use qlb_rng as rng;
 pub use qlb_runtime as runtime;
 pub use qlb_stats as stats;
@@ -52,7 +55,10 @@ pub use qlb_workload as workload;
 /// The types most applications need, in one import.
 pub mod prelude {
     pub use qlb_core::prelude::*;
-    pub use qlb_engine::{run, run_sparse, run_threaded, Executor, RunConfig, RunOutcome};
+    pub use qlb_engine::{
+        run, run_observed, run_sparse, run_threaded, Executor, RunConfig, RunOutcome,
+    };
+    pub use qlb_obs::{NoopSink, Recorder, Sink};
     pub use qlb_runtime::{run_distributed, DistributedOutcome, RuntimeConfig};
     pub use qlb_workload::{CapacityDist, ClassSpec, Placement, Scenario};
 }

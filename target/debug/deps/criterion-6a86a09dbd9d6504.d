@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-6a86a09dbd9d6504.d: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-6a86a09dbd9d6504.rlib: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-6a86a09dbd9d6504.rmeta: crates/compat/criterion/src/lib.rs
+
+crates/compat/criterion/src/lib.rs:

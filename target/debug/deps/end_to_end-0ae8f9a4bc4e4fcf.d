@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-0ae8f9a4bc4e4fcf.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-0ae8f9a4bc4e4fcf: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/obs-98b3806667cd38fd.d: crates/bench/benches/obs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobs-98b3806667cd38fd.rmeta: crates/bench/benches/obs.rs Cargo.toml
+
+crates/bench/benches/obs.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-1767fc030eba5f25.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-1767fc030eba5f25.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-a748215921b94876.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-a748215921b94876: tests/properties.rs
+
+tests/properties.rs:

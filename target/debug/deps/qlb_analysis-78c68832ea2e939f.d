@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/qlb_analysis-78c68832ea2e939f.d: crates/analysis/src/lib.rs crates/analysis/src/chain.rs crates/analysis/src/profiles.rs crates/analysis/src/solver.rs
+
+/root/repo/target/debug/deps/qlb_analysis-78c68832ea2e939f: crates/analysis/src/lib.rs crates/analysis/src/chain.rs crates/analysis/src/profiles.rs crates/analysis/src/solver.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/chain.rs:
+crates/analysis/src/profiles.rs:
+crates/analysis/src/solver.rs:

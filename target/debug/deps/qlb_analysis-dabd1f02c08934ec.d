@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/qlb_analysis-dabd1f02c08934ec.d: crates/analysis/src/lib.rs crates/analysis/src/chain.rs crates/analysis/src/profiles.rs crates/analysis/src/solver.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqlb_analysis-dabd1f02c08934ec.rmeta: crates/analysis/src/lib.rs crates/analysis/src/chain.rs crates/analysis/src/profiles.rs crates/analysis/src/solver.rs Cargo.toml
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/chain.rs:
+crates/analysis/src/profiles.rs:
+crates/analysis/src/solver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

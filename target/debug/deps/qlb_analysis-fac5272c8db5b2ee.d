@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/qlb_analysis-fac5272c8db5b2ee.d: crates/analysis/src/lib.rs crates/analysis/src/chain.rs crates/analysis/src/profiles.rs crates/analysis/src/solver.rs
+
+/root/repo/target/debug/deps/libqlb_analysis-fac5272c8db5b2ee.rmeta: crates/analysis/src/lib.rs crates/analysis/src/chain.rs crates/analysis/src/profiles.rs crates/analysis/src/solver.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/chain.rs:
+crates/analysis/src/profiles.rs:
+crates/analysis/src/solver.rs:

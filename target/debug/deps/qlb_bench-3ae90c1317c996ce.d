@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qlb_bench-3ae90c1317c996ce.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqlb_bench-3ae90c1317c996ce.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qlb_bench-701bf96b15c52cce.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/qlb_bench-701bf96b15c52cce: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

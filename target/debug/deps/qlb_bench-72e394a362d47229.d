@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qlb_bench-72e394a362d47229.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqlb_bench-72e394a362d47229.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qlb_bench-ff234341636dfebd.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libqlb_bench-ff234341636dfebd.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libqlb_bench-ff234341636dfebd.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,28 @@
+/root/repo/target/debug/deps/qlb_core-9dfffa3e4ff74762.d: crates/core/src/lib.rs crates/core/src/active.rs crates/core/src/baseline.rs crates/core/src/convergence.rs crates/core/src/error.rs crates/core/src/ids.rs crates/core/src/instance.rs crates/core/src/objective.rs crates/core/src/potential.rs crates/core/src/protocol/mod.rs crates/core/src/protocol/blind.rs crates/core/src/protocol/capacity_sampling.rs crates/core/src/protocol/conditional.rs crates/core/src/protocol/levels.rs crates/core/src/protocol/participation.rs crates/core/src/protocol/slack.rs crates/core/src/state.rs crates/core/src/step.rs crates/core/src/weighted/mod.rs crates/core/src/weighted/baseline.rs crates/core/src/weighted/instance.rs crates/core/src/weighted/protocol.rs crates/core/src/weighted/state.rs crates/core/src/weighted/step.rs
+
+/root/repo/target/debug/deps/libqlb_core-9dfffa3e4ff74762.rmeta: crates/core/src/lib.rs crates/core/src/active.rs crates/core/src/baseline.rs crates/core/src/convergence.rs crates/core/src/error.rs crates/core/src/ids.rs crates/core/src/instance.rs crates/core/src/objective.rs crates/core/src/potential.rs crates/core/src/protocol/mod.rs crates/core/src/protocol/blind.rs crates/core/src/protocol/capacity_sampling.rs crates/core/src/protocol/conditional.rs crates/core/src/protocol/levels.rs crates/core/src/protocol/participation.rs crates/core/src/protocol/slack.rs crates/core/src/state.rs crates/core/src/step.rs crates/core/src/weighted/mod.rs crates/core/src/weighted/baseline.rs crates/core/src/weighted/instance.rs crates/core/src/weighted/protocol.rs crates/core/src/weighted/state.rs crates/core/src/weighted/step.rs
+
+crates/core/src/lib.rs:
+crates/core/src/active.rs:
+crates/core/src/baseline.rs:
+crates/core/src/convergence.rs:
+crates/core/src/error.rs:
+crates/core/src/ids.rs:
+crates/core/src/instance.rs:
+crates/core/src/objective.rs:
+crates/core/src/potential.rs:
+crates/core/src/protocol/mod.rs:
+crates/core/src/protocol/blind.rs:
+crates/core/src/protocol/capacity_sampling.rs:
+crates/core/src/protocol/conditional.rs:
+crates/core/src/protocol/levels.rs:
+crates/core/src/protocol/participation.rs:
+crates/core/src/protocol/slack.rs:
+crates/core/src/state.rs:
+crates/core/src/step.rs:
+crates/core/src/weighted/mod.rs:
+crates/core/src/weighted/baseline.rs:
+crates/core/src/weighted/instance.rs:
+crates/core/src/weighted/protocol.rs:
+crates/core/src/weighted/state.rs:
+crates/core/src/weighted/step.rs:

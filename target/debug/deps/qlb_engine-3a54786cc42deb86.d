@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/qlb_engine-3a54786cc42deb86.d: crates/engine/src/lib.rs crates/engine/src/dynamics.rs crates/engine/src/open.rs crates/engine/src/run.rs crates/engine/src/trace.rs crates/engine/src/weighted.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqlb_engine-3a54786cc42deb86.rmeta: crates/engine/src/lib.rs crates/engine/src/dynamics.rs crates/engine/src/open.rs crates/engine/src/run.rs crates/engine/src/trace.rs crates/engine/src/weighted.rs Cargo.toml
+
+crates/engine/src/lib.rs:
+crates/engine/src/dynamics.rs:
+crates/engine/src/open.rs:
+crates/engine/src/run.rs:
+crates/engine/src/trace.rs:
+crates/engine/src/weighted.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

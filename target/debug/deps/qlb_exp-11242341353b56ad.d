@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qlb_exp-11242341353b56ad.d: crates/experiments/src/bin/qlb_exp.rs
+
+/root/repo/target/debug/deps/qlb_exp-11242341353b56ad: crates/experiments/src/bin/qlb_exp.rs
+
+crates/experiments/src/bin/qlb_exp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qlb_exp-b7b1f9f1c7e2b94c.d: crates/experiments/src/bin/qlb_exp.rs
+
+/root/repo/target/debug/deps/qlb_exp-b7b1f9f1c7e2b94c: crates/experiments/src/bin/qlb_exp.rs
+
+crates/experiments/src/bin/qlb_exp.rs:

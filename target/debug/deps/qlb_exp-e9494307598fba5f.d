@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qlb_exp-e9494307598fba5f.d: crates/experiments/src/bin/qlb_exp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqlb_exp-e9494307598fba5f.rmeta: crates/experiments/src/bin/qlb_exp.rs Cargo.toml
+
+crates/experiments/src/bin/qlb_exp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

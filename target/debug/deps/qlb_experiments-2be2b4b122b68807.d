@@ -1,0 +1,30 @@
+/root/repo/target/debug/deps/qlb_experiments-2be2b4b122b68807.d: crates/experiments/src/lib.rs crates/experiments/src/common.rs crates/experiments/src/e01_scaling.rs crates/experiments/src/e02_slack.rs crates/experiments/src/e03_potential.rs crates/experiments/src/e04_herding.rs crates/experiments/src/e05_skew.rs crates/experiments/src/e06_churn.rs crates/experiments/src/e07_async.rs crates/experiments/src/e08_classes.rs crates/experiments/src/e09_migrations.rs crates/experiments/src/e10_executors.rs crates/experiments/src/e11_feasibility.rs crates/experiments/src/e12_fairness.rs crates/experiments/src/e13_weighted.rs crates/experiments/src/e14_open.rs crates/experiments/src/e15_damping.rs crates/experiments/src/e16_loss.rs crates/experiments/src/e17_topology.rs crates/experiments/src/e18_exact.rs crates/experiments/src/e19_participation.rs crates/experiments/src/e20_quality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqlb_experiments-2be2b4b122b68807.rmeta: crates/experiments/src/lib.rs crates/experiments/src/common.rs crates/experiments/src/e01_scaling.rs crates/experiments/src/e02_slack.rs crates/experiments/src/e03_potential.rs crates/experiments/src/e04_herding.rs crates/experiments/src/e05_skew.rs crates/experiments/src/e06_churn.rs crates/experiments/src/e07_async.rs crates/experiments/src/e08_classes.rs crates/experiments/src/e09_migrations.rs crates/experiments/src/e10_executors.rs crates/experiments/src/e11_feasibility.rs crates/experiments/src/e12_fairness.rs crates/experiments/src/e13_weighted.rs crates/experiments/src/e14_open.rs crates/experiments/src/e15_damping.rs crates/experiments/src/e16_loss.rs crates/experiments/src/e17_topology.rs crates/experiments/src/e18_exact.rs crates/experiments/src/e19_participation.rs crates/experiments/src/e20_quality.rs Cargo.toml
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/common.rs:
+crates/experiments/src/e01_scaling.rs:
+crates/experiments/src/e02_slack.rs:
+crates/experiments/src/e03_potential.rs:
+crates/experiments/src/e04_herding.rs:
+crates/experiments/src/e05_skew.rs:
+crates/experiments/src/e06_churn.rs:
+crates/experiments/src/e07_async.rs:
+crates/experiments/src/e08_classes.rs:
+crates/experiments/src/e09_migrations.rs:
+crates/experiments/src/e10_executors.rs:
+crates/experiments/src/e11_feasibility.rs:
+crates/experiments/src/e12_fairness.rs:
+crates/experiments/src/e13_weighted.rs:
+crates/experiments/src/e14_open.rs:
+crates/experiments/src/e15_damping.rs:
+crates/experiments/src/e16_loss.rs:
+crates/experiments/src/e17_topology.rs:
+crates/experiments/src/e18_exact.rs:
+crates/experiments/src/e19_participation.rs:
+crates/experiments/src/e20_quality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qlb_flow-56466b46d7671363.d: crates/flow/src/lib.rs crates/flow/src/brute.rs crates/flow/src/dinic.rs crates/flow/src/feasibility.rs crates/flow/src/matching.rs
+
+/root/repo/target/debug/deps/libqlb_flow-56466b46d7671363.rmeta: crates/flow/src/lib.rs crates/flow/src/brute.rs crates/flow/src/dinic.rs crates/flow/src/feasibility.rs crates/flow/src/matching.rs
+
+crates/flow/src/lib.rs:
+crates/flow/src/brute.rs:
+crates/flow/src/dinic.rs:
+crates/flow/src/feasibility.rs:
+crates/flow/src/matching.rs:

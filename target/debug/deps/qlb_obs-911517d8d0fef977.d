@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/qlb_obs-911517d8d0fef977.d: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs crates/obs/src/replay.rs crates/obs/src/sink.rs crates/obs/src/timers.rs
+
+/root/repo/target/debug/deps/libqlb_obs-911517d8d0fef977.rlib: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs crates/obs/src/replay.rs crates/obs/src/sink.rs crates/obs/src/timers.rs
+
+/root/repo/target/debug/deps/libqlb_obs-911517d8d0fef977.rmeta: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs crates/obs/src/replay.rs crates/obs/src/sink.rs crates/obs/src/timers.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/event.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/recorder.rs:
+crates/obs/src/replay.rs:
+crates/obs/src/sink.rs:
+crates/obs/src/timers.rs:

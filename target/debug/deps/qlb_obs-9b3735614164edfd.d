@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/qlb_obs-9b3735614164edfd.d: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs crates/obs/src/replay.rs crates/obs/src/sink.rs crates/obs/src/timers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqlb_obs-9b3735614164edfd.rmeta: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs crates/obs/src/replay.rs crates/obs/src/sink.rs crates/obs/src/timers.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/event.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/recorder.rs:
+crates/obs/src/replay.rs:
+crates/obs/src/sink.rs:
+crates/obs/src/timers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

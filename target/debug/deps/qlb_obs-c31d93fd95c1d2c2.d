@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/qlb_obs-c31d93fd95c1d2c2.d: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs crates/obs/src/replay.rs crates/obs/src/sink.rs crates/obs/src/timers.rs
+
+/root/repo/target/debug/deps/qlb_obs-c31d93fd95c1d2c2: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs crates/obs/src/replay.rs crates/obs/src/sink.rs crates/obs/src/timers.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/event.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/recorder.rs:
+crates/obs/src/replay.rs:
+crates/obs/src/sink.rs:
+crates/obs/src/timers.rs:

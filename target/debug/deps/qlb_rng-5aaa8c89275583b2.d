@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qlb_rng-5aaa8c89275583b2.d: crates/rng/src/lib.rs crates/rng/src/mix.rs crates/rng/src/splitmix.rs crates/rng/src/stream.rs crates/rng/src/xoshiro.rs
+
+/root/repo/target/debug/deps/libqlb_rng-5aaa8c89275583b2.rmeta: crates/rng/src/lib.rs crates/rng/src/mix.rs crates/rng/src/splitmix.rs crates/rng/src/stream.rs crates/rng/src/xoshiro.rs
+
+crates/rng/src/lib.rs:
+crates/rng/src/mix.rs:
+crates/rng/src/splitmix.rs:
+crates/rng/src/stream.rs:
+crates/rng/src/xoshiro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qlb_rng-9a56723ebd351b77.d: crates/rng/src/lib.rs crates/rng/src/mix.rs crates/rng/src/splitmix.rs crates/rng/src/stream.rs crates/rng/src/xoshiro.rs
+
+/root/repo/target/debug/deps/qlb_rng-9a56723ebd351b77: crates/rng/src/lib.rs crates/rng/src/mix.rs crates/rng/src/splitmix.rs crates/rng/src/stream.rs crates/rng/src/xoshiro.rs
+
+crates/rng/src/lib.rs:
+crates/rng/src/mix.rs:
+crates/rng/src/splitmix.rs:
+crates/rng/src/stream.rs:
+crates/rng/src/xoshiro.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/qlb_runtime-30e515c8d48440fe.d: crates/runtime/src/lib.rs crates/runtime/src/driver.rs crates/runtime/src/messages.rs crates/runtime/src/resource_shard.rs crates/runtime/src/user_shard.rs
+
+/root/repo/target/debug/deps/libqlb_runtime-30e515c8d48440fe.rlib: crates/runtime/src/lib.rs crates/runtime/src/driver.rs crates/runtime/src/messages.rs crates/runtime/src/resource_shard.rs crates/runtime/src/user_shard.rs
+
+/root/repo/target/debug/deps/libqlb_runtime-30e515c8d48440fe.rmeta: crates/runtime/src/lib.rs crates/runtime/src/driver.rs crates/runtime/src/messages.rs crates/runtime/src/resource_shard.rs crates/runtime/src/user_shard.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/driver.rs:
+crates/runtime/src/messages.rs:
+crates/runtime/src/resource_shard.rs:
+crates/runtime/src/user_shard.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qlb_runtime-ca1238c66de70611.d: crates/runtime/src/lib.rs crates/runtime/src/driver.rs crates/runtime/src/messages.rs crates/runtime/src/resource_shard.rs crates/runtime/src/user_shard.rs
+
+/root/repo/target/debug/deps/qlb_runtime-ca1238c66de70611: crates/runtime/src/lib.rs crates/runtime/src/driver.rs crates/runtime/src/messages.rs crates/runtime/src/resource_shard.rs crates/runtime/src/user_shard.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/driver.rs:
+crates/runtime/src/messages.rs:
+crates/runtime/src/resource_shard.rs:
+crates/runtime/src/user_shard.rs:

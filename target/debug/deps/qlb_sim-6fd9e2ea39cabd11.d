@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qlb_sim-6fd9e2ea39cabd11.d: crates/experiments/src/bin/qlb_sim.rs
+
+/root/repo/target/debug/deps/qlb_sim-6fd9e2ea39cabd11: crates/experiments/src/bin/qlb_sim.rs
+
+crates/experiments/src/bin/qlb_sim.rs:

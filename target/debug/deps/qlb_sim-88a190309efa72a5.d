@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qlb_sim-88a190309efa72a5.d: crates/experiments/src/bin/qlb_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqlb_sim-88a190309efa72a5.rmeta: crates/experiments/src/bin/qlb_sim.rs Cargo.toml
+
+crates/experiments/src/bin/qlb_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qlb_sim-a7dc35d5e56e2f5c.d: crates/experiments/src/bin/qlb_sim.rs
+
+/root/repo/target/debug/deps/qlb_sim-a7dc35d5e56e2f5c: crates/experiments/src/bin/qlb_sim.rs
+
+crates/experiments/src/bin/qlb_sim.rs:

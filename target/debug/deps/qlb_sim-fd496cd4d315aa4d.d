@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qlb_sim-fd496cd4d315aa4d.d: crates/experiments/src/bin/qlb_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqlb_sim-fd496cd4d315aa4d.rmeta: crates/experiments/src/bin/qlb_sim.rs Cargo.toml
+
+crates/experiments/src/bin/qlb_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

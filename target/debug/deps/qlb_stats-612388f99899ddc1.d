@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/qlb_stats-612388f99899ddc1.d: crates/stats/src/lib.rs crates/stats/src/fit.rs crates/stats/src/quantile.rs crates/stats/src/spark.rs crates/stats/src/summary.rs crates/stats/src/table.rs
+
+/root/repo/target/debug/deps/qlb_stats-612388f99899ddc1: crates/stats/src/lib.rs crates/stats/src/fit.rs crates/stats/src/quantile.rs crates/stats/src/spark.rs crates/stats/src/summary.rs crates/stats/src/table.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/fit.rs:
+crates/stats/src/quantile.rs:
+crates/stats/src/spark.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/table.rs:

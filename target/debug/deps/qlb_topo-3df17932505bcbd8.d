@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qlb_topo-3df17932505bcbd8.d: crates/topo/src/lib.rs crates/topo/src/graph.rs crates/topo/src/kernels.rs
+
+/root/repo/target/debug/deps/qlb_topo-3df17932505bcbd8: crates/topo/src/lib.rs crates/topo/src/graph.rs crates/topo/src/kernels.rs
+
+crates/topo/src/lib.rs:
+crates/topo/src/graph.rs:
+crates/topo/src/kernels.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/qlb_topo-48586fb0370d43a6.d: crates/topo/src/lib.rs crates/topo/src/graph.rs crates/topo/src/kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqlb_topo-48586fb0370d43a6.rmeta: crates/topo/src/lib.rs crates/topo/src/graph.rs crates/topo/src/kernels.rs Cargo.toml
+
+crates/topo/src/lib.rs:
+crates/topo/src/graph.rs:
+crates/topo/src/kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

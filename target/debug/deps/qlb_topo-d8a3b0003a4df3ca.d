@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qlb_topo-d8a3b0003a4df3ca.d: crates/topo/src/lib.rs crates/topo/src/graph.rs crates/topo/src/kernels.rs
+
+/root/repo/target/debug/deps/libqlb_topo-d8a3b0003a4df3ca.rmeta: crates/topo/src/lib.rs crates/topo/src/graph.rs crates/topo/src/kernels.rs
+
+crates/topo/src/lib.rs:
+crates/topo/src/graph.rs:
+crates/topo/src/kernels.rs:

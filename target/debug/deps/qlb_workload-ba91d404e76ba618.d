@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/qlb_workload-ba91d404e76ba618.d: crates/workload/src/lib.rs crates/workload/src/capacity.rs crates/workload/src/placement.rs crates/workload/src/scenario.rs
+
+/root/repo/target/debug/deps/qlb_workload-ba91d404e76ba618: crates/workload/src/lib.rs crates/workload/src/capacity.rs crates/workload/src/placement.rs crates/workload/src/scenario.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/capacity.rs:
+crates/workload/src/placement.rs:
+crates/workload/src/scenario.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/qlb_workload-ec0955e35a2f0c21.d: crates/workload/src/lib.rs crates/workload/src/capacity.rs crates/workload/src/placement.rs crates/workload/src/scenario.rs
+
+/root/repo/target/debug/deps/libqlb_workload-ec0955e35a2f0c21.rmeta: crates/workload/src/lib.rs crates/workload/src/capacity.rs crates/workload/src/placement.rs crates/workload/src/scenario.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/capacity.rs:
+crates/workload/src/placement.rs:
+crates/workload/src/scenario.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qoslb-37bdd5662c6c4ed0.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqoslb-37bdd5662c6c4ed0.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

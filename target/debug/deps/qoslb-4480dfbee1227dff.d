@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qoslb-4480dfbee1227dff.d: src/lib.rs
+
+/root/repo/target/debug/deps/qoslb-4480dfbee1227dff: src/lib.rs
+
+src/lib.rs:

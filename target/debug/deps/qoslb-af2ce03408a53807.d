@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qoslb-af2ce03408a53807.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqoslb-af2ce03408a53807.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qoslb-ff5141820bdda5c1.d: src/lib.rs
+
+/root/repo/target/debug/deps/libqoslb-ff5141820bdda5c1.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libqoslb-ff5141820bdda5c1.rmeta: src/lib.rs
+
+src/lib.rs:

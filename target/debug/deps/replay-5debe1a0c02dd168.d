@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/replay-5debe1a0c02dd168.d: tests/replay.rs tests/golden_replay.txt Cargo.toml
+
+/root/repo/target/debug/deps/libreplay-5debe1a0c02dd168.rmeta: tests/replay.rs tests/golden_replay.txt Cargo.toml
+
+tests/replay.rs:
+tests/golden_replay.txt:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

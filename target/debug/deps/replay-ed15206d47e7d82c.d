@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/replay-ed15206d47e7d82c.d: tests/replay.rs tests/golden_replay.txt
+
+/root/repo/target/debug/deps/replay-ed15206d47e7d82c: tests/replay.rs tests/golden_replay.txt
+
+tests/replay.rs:
+tests/golden_replay.txt:

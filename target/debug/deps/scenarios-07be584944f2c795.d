@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/scenarios-07be584944f2c795.d: tests/scenarios.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscenarios-07be584944f2c795.rmeta: tests/scenarios.rs Cargo.toml
+
+tests/scenarios.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

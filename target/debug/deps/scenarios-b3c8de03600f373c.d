@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/scenarios-b3c8de03600f373c.d: tests/scenarios.rs
+
+/root/repo/target/debug/deps/scenarios-b3c8de03600f373c: tests/scenarios.rs
+
+tests/scenarios.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

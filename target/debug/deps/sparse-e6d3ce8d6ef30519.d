@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sparse-e6d3ce8d6ef30519.d: crates/bench/benches/sparse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsparse-e6d3ce8d6ef30519.rmeta: crates/bench/benches/sparse.rs Cargo.toml
+
+crates/bench/benches/sparse.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

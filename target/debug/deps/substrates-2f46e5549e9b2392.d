@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/substrates-2f46e5549e9b2392.d: crates/bench/benches/substrates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsubstrates-2f46e5549e9b2392.rmeta: crates/bench/benches/substrates.rs Cargo.toml
+
+crates/bench/benches/substrates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tables-ad1807475e80795d.d: crates/bench/benches/tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtables-ad1807475e80795d.rmeta: crates/bench/benches/tables.rs Cargo.toml
+
+crates/bench/benches/tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/topology_analysis-36d61a26acb719c4.d: tests/topology_analysis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtopology_analysis-36d61a26acb719c4.rmeta: tests/topology_analysis.rs Cargo.toml
+
+tests/topology_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/topology_analysis-8753fd2be507c0ce.d: tests/topology_analysis.rs
+
+/root/repo/target/debug/deps/topology_analysis-8753fd2be507c0ce: tests/topology_analysis.rs
+
+tests/topology_analysis.rs:

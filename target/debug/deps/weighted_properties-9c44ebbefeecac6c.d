@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/weighted_properties-9c44ebbefeecac6c.d: tests/weighted_properties.rs
+
+/root/repo/target/debug/deps/weighted_properties-9c44ebbefeecac6c: tests/weighted_properties.rs
+
+tests/weighted_properties.rs:

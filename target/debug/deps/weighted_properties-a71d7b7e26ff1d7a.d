@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/weighted_properties-a71d7b7e26ff1d7a.d: tests/weighted_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libweighted_properties-a71d7b7e26ff1d7a.rmeta: tests/weighted_properties.rs Cargo.toml
+
+tests/weighted_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/batch_jobs-6ca6ce14c0c6a061.d: examples/batch_jobs.rs
+
+/root/repo/target/debug/examples/batch_jobs-6ca6ce14c0c6a061: examples/batch_jobs.rs
+
+examples/batch_jobs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/batch_jobs-dfb9be876a11a4de.d: examples/batch_jobs.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbatch_jobs-dfb9be876a11a4de.rmeta: examples/batch_jobs.rs Cargo.toml
+
+examples/batch_jobs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/distributed_cluster-5245f6af3466464c.d: examples/distributed_cluster.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdistributed_cluster-5245f6af3466464c.rmeta: examples/distributed_cluster.rs Cargo.toml
+
+examples/distributed_cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distributed_cluster-f328368043879d98.d: examples/distributed_cluster.rs
+
+/root/repo/target/debug/examples/distributed_cluster-f328368043879d98: examples/distributed_cluster.rs
+
+examples/distributed_cluster.rs:

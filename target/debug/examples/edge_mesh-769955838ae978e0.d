@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/edge_mesh-769955838ae978e0.d: examples/edge_mesh.rs
+
+/root/repo/target/debug/examples/edge_mesh-769955838ae978e0: examples/edge_mesh.rs
+
+examples/edge_mesh.rs:

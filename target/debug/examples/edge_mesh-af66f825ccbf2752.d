@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/edge_mesh-af66f825ccbf2752.d: examples/edge_mesh.rs Cargo.toml
+
+/root/repo/target/debug/examples/libedge_mesh-af66f825ccbf2752.rmeta: examples/edge_mesh.rs Cargo.toml
+
+examples/edge_mesh.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-00630659d14e7b87.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-00630659d14e7b87: examples/quickstart.rs
+
+examples/quickstart.rs:

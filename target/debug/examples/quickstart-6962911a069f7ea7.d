@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-6962911a069f7ea7.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-6962911a069f7ea7.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

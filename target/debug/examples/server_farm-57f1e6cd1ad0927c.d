@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/server_farm-57f1e6cd1ad0927c.d: examples/server_farm.rs Cargo.toml
+
+/root/repo/target/debug/examples/libserver_farm-57f1e6cd1ad0927c.rmeta: examples/server_farm.rs Cargo.toml
+
+examples/server_farm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/server_farm-9e4146360e4c5740.d: examples/server_farm.rs
+
+/root/repo/target/debug/examples/server_farm-9e4146360e4c5740: examples/server_farm.rs
+
+examples/server_farm.rs:

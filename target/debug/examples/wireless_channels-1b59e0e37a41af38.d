@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/wireless_channels-1b59e0e37a41af38.d: examples/wireless_channels.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwireless_channels-1b59e0e37a41af38.rmeta: examples/wireless_channels.rs Cargo.toml
+
+examples/wireless_channels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

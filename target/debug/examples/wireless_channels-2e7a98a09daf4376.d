@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wireless_channels-2e7a98a09daf4376.d: examples/wireless_channels.rs
+
+/root/repo/target/debug/examples/wireless_channels-2e7a98a09daf4376: examples/wireless_channels.rs
+
+examples/wireless_channels.rs:

@@ -1,0 +1,2 @@
+window.ALL_CRATES = ["qoslb"];
+//{"start":21,"fragment_lengths":[7]}

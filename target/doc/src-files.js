@@ -1,0 +1,2 @@
+createSrcSidebar('[["qoslb",["",[],["lib.rs"]]]]');
+//{"start":19,"fragment_lengths":[28]}

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/obs-950d261423251508.d: crates/bench/benches/obs.rs
+
+/root/repo/target/release/deps/obs-950d261423251508: crates/bench/benches/obs.rs
+
+crates/bench/benches/obs.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/qlb_bench-4939073695092ec7.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libqlb_bench-4939073695092ec7.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libqlb_bench-4939073695092ec7.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

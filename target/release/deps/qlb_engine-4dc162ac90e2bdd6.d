@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/qlb_engine-4dc162ac90e2bdd6.d: crates/engine/src/lib.rs crates/engine/src/dynamics.rs crates/engine/src/open.rs crates/engine/src/run.rs crates/engine/src/trace.rs crates/engine/src/weighted.rs
+
+/root/repo/target/release/deps/libqlb_engine-4dc162ac90e2bdd6.rlib: crates/engine/src/lib.rs crates/engine/src/dynamics.rs crates/engine/src/open.rs crates/engine/src/run.rs crates/engine/src/trace.rs crates/engine/src/weighted.rs
+
+/root/repo/target/release/deps/libqlb_engine-4dc162ac90e2bdd6.rmeta: crates/engine/src/lib.rs crates/engine/src/dynamics.rs crates/engine/src/open.rs crates/engine/src/run.rs crates/engine/src/trace.rs crates/engine/src/weighted.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/dynamics.rs:
+crates/engine/src/open.rs:
+crates/engine/src/run.rs:
+crates/engine/src/trace.rs:
+crates/engine/src/weighted.rs:

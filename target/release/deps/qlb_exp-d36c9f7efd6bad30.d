@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/qlb_exp-d36c9f7efd6bad30.d: crates/experiments/src/bin/qlb_exp.rs
+
+/root/repo/target/release/deps/qlb_exp-d36c9f7efd6bad30: crates/experiments/src/bin/qlb_exp.rs
+
+crates/experiments/src/bin/qlb_exp.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/qlb_obs-1204248b917d8fe8.d: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs crates/obs/src/replay.rs crates/obs/src/sink.rs crates/obs/src/timers.rs
+
+/root/repo/target/release/deps/libqlb_obs-1204248b917d8fe8.rlib: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs crates/obs/src/replay.rs crates/obs/src/sink.rs crates/obs/src/timers.rs
+
+/root/repo/target/release/deps/libqlb_obs-1204248b917d8fe8.rmeta: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs crates/obs/src/replay.rs crates/obs/src/sink.rs crates/obs/src/timers.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/event.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/recorder.rs:
+crates/obs/src/replay.rs:
+crates/obs/src/sink.rs:
+crates/obs/src/timers.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/qlb_runtime-d65b382e9f10a424.d: crates/runtime/src/lib.rs crates/runtime/src/driver.rs crates/runtime/src/messages.rs crates/runtime/src/resource_shard.rs crates/runtime/src/user_shard.rs
+
+/root/repo/target/release/deps/libqlb_runtime-d65b382e9f10a424.rlib: crates/runtime/src/lib.rs crates/runtime/src/driver.rs crates/runtime/src/messages.rs crates/runtime/src/resource_shard.rs crates/runtime/src/user_shard.rs
+
+/root/repo/target/release/deps/libqlb_runtime-d65b382e9f10a424.rmeta: crates/runtime/src/lib.rs crates/runtime/src/driver.rs crates/runtime/src/messages.rs crates/runtime/src/resource_shard.rs crates/runtime/src/user_shard.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/driver.rs:
+crates/runtime/src/messages.rs:
+crates/runtime/src/resource_shard.rs:
+crates/runtime/src/user_shard.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/qlb_sim-4560ec7eb6ab259c.d: crates/experiments/src/bin/qlb_sim.rs
+
+/root/repo/target/release/deps/qlb_sim-4560ec7eb6ab259c: crates/experiments/src/bin/qlb_sim.rs
+
+crates/experiments/src/bin/qlb_sim.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/qoslb-e67348afaf1ef125.d: src/lib.rs
+
+/root/repo/target/release/deps/libqoslb-e67348afaf1ef125.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libqoslb-e67348afaf1ef125.rmeta: src/lib.rs
+
+src/lib.rs:

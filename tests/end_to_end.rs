@@ -182,7 +182,7 @@ use qoslb::workload::ScenarioError;
 
 #[test]
 fn churn_pipeline() {
-    use qoslb::engine::{run_with_churn, ChurnConfig};
+    use qoslb::engine::{run_with_churn, ChurnConfig, Executor};
     let (inst, _) = standard(1024, 5);
     let legal = greedy_assign(&inst).unwrap();
     let out = run_with_churn(
@@ -194,6 +194,7 @@ fn churn_pipeline() {
             fraction: 0.2,
             episodes: 3,
             max_rounds_per_episode: 10_000,
+            executor: Executor::Dense,
         },
     );
     assert!(out.all_recovered);

@@ -3,8 +3,11 @@
 use proptest::prelude::*;
 use qoslb::core::potential::unsatisfied_potential;
 use qoslb::core::step::decide_round;
-use qoslb::engine::{run, RunConfig};
+use qoslb::engine::{
+    perturb_uniform, run, run_observed, run_sparse_observed, run_with_churn, ChurnConfig, RunConfig,
+};
 use qoslb::flow::{brute_force_feasible, flow_feasible};
+use qoslb::obs::{Counter, Recorder};
 use qoslb::prelude::*;
 use qoslb::workload::calibrate_slack;
 
@@ -225,6 +228,94 @@ proptest! {
         prop_assert_eq!(dense.rounds, sparse.rounds);
         prop_assert_eq!(dense.migrations, sparse.migrations);
         prop_assert_eq!(&dense.state, &sparse.state);
+    }
+
+    /// Attaching the qlb-obs recorder never perturbs a trajectory: for
+    /// every registered protocol, the observed run (dense **and** sparse)
+    /// is bit-identical to the unobserved one, and the recorded round
+    /// counter agrees with the outcome.
+    #[test]
+    fn observed_runs_bit_identical(
+        (inst, state, seed) in small_instance(),
+        budget in 1u64..200,
+    ) {
+        for proto in qoslb::core::protocol::registry(&inst) {
+            let cfg = RunConfig::new(seed, budget);
+            let name = proto.name();
+            let plain = run(&inst, state.clone(), proto.as_ref(), cfg);
+
+            let mut rec = Recorder::default();
+            let dense = run_observed(&inst, state.clone(), proto.as_ref(), cfg, &mut rec);
+            prop_assert_eq!(&plain.state, &dense.state, "dense {}", name);
+            prop_assert_eq!(plain.rounds, dense.rounds, "dense {}", name);
+            prop_assert_eq!(plain.migrations, dense.migrations, "dense {}", name);
+            prop_assert_eq!(rec.counter(Counter::Rounds), plain.rounds, "{}", name);
+            prop_assert_eq!(rec.counter(Counter::Migrations), plain.migrations, "{}", name);
+
+            let mut rec = Recorder::default();
+            let sparse = run_sparse_observed(&inst, state.clone(), proto.as_ref(), cfg, &mut rec);
+            prop_assert_eq!(&plain.state, &sparse.state, "sparse {}", name);
+            prop_assert_eq!(plain.rounds, sparse.rounds, "sparse {}", name);
+            prop_assert_eq!(
+                rec.counter(Counter::DenseRounds) + rec.counter(Counter::SparseRounds),
+                plain.rounds,
+                "sparse round split {}",
+                name
+            );
+        }
+    }
+
+    /// Churn displacement repairs an [`ActiveIndex`] exactly like a dense
+    /// recount: replaying a churn episode's displacement as a move batch
+    /// through `apply_moves` leaves the index identical to one rebuilt
+    /// from scratch, and the sparse-executor churn driver reproduces the
+    /// dense trajectory bit-for-bit.
+    #[test]
+    fn churn_repairs_active_index_like_dense_recount(
+        (inst, state, seed) in small_instance(),
+        fraction in 0.0f64..=1.0,
+    ) {
+        // reach a legal state first — the churn driver requires one
+        let settled = run(&inst, state, &SlackDamped::default(), RunConfig::new(seed, 5_000));
+        prop_assume!(settled.converged);
+
+        // one churn episode, replayed as an explicit move batch
+        let before = settled.state.clone();
+        let mut after = settled.state.clone();
+        perturb_uniform(&inst, &mut after, fraction, seed);
+        let batch: Vec<Move> = (0..inst.num_users())
+            .map(|u| UserId(u as u32))
+            .filter(|&u| before.resource_of(u) != after.resource_of(u))
+            .map(|u| Move { user: u, from: before.resource_of(u), to: after.resource_of(u) })
+            .collect();
+
+        let mut repaired = before.clone();
+        let mut index = ActiveIndex::new(&inst, &repaired);
+        index.apply_moves(&inst, &mut repaired, &batch);
+        prop_assert_eq!(&repaired, &after);
+        index.assert_consistent(&inst, &repaired);
+        let recount = ActiveIndex::new(&inst, &after);
+        prop_assert_eq!(index.num_active(), recount.num_active());
+        prop_assert_eq!(index.is_empty(), recount.is_empty());
+
+        // and the full churn driver: sparse executor == dense executor
+        let cfg = |executor| ChurnConfig {
+            seed,
+            fraction,
+            episodes: 3,
+            max_rounds_per_episode: 5_000,
+            executor,
+        };
+        let dense = run_with_churn(
+            &inst, settled.state.clone(), &SlackDamped::default(), cfg(Executor::Dense),
+        );
+        let sparse = run_with_churn(
+            &inst, settled.state, &SlackDamped::default(), cfg(Executor::Sparse),
+        );
+        prop_assert_eq!(&dense.state, &sparse.state);
+        prop_assert_eq!(dense.recovery_rounds, sparse.recovery_rounds);
+        prop_assert_eq!(dense.displaced, sparse.displaced);
+        prop_assert_eq!(dense.all_recovered, sparse.all_recovered);
     }
 
     /// The incrementally-maintained unsatisfied set equals a brute-force
