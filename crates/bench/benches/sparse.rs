@@ -7,76 +7,26 @@
 //! n ∈ {10⁴, 10⁵, 10⁶} and times one decision round under each executor,
 //! plus a full run-to-convergence from the same snapshot.
 //!
-//! Besides the usual criterion report lines it writes a machine-readable
-//! before/after summary to `BENCH_sparse.json` at the repository root
-//! (referenced from `CHANGES.md`).
+//! The measurement lives in [`qlb_bench::checks::measure_sparse`] so this
+//! bench and the `qlb-bench-check` regression gate time exactly the same
+//! thing. Besides the usual criterion report lines it writes a
+//! machine-readable before/after summary to `BENCH_sparse.json` at the
+//! repository root (referenced from `CHANGES.md`).
 
 use criterion::{Criterion, Throughput};
+use qlb_bench::checks::{measure_sparse, SparseRow, ACTIVE_FRAC, BENCH_SEED as SEED};
 use qlb_bench::endgame_pair;
 use qlb_core::step::{decide_active_into, decide_round_into};
-use qlb_core::{ActiveIndex, SlackDamped, State};
-use qlb_engine::{run, run_sparse, RunConfig};
+use qlb_core::{ActiveIndex, SlackDamped};
 use std::hint::black_box;
-use std::time::{Duration, Instant};
 
-const SEED: u64 = 7;
-const ACTIVE_FRAC: f64 = 0.01;
 const SIZES: [usize; 3] = [10_000, 100_000, 1_000_000];
 
-/// Mean ns per call of `f`, measured over a small wall-clock budget
-/// (mirrors the criterion loop but hands the number back for the JSON
-/// summary).
-fn ns_per_call<F: FnMut()>(mut f: F, budget_ms: u64) -> f64 {
-    f(); // warm-up
-    let budget = Duration::from_millis(budget_ms);
-    let mut total = Duration::ZERO;
-    let mut iters = 0u64;
-    let mut batch = 1u64;
-    while total < budget {
-        let start = Instant::now();
-        for _ in 0..batch {
-            f();
-        }
-        total += start.elapsed();
-        iters += batch;
-        batch = batch.saturating_mul(2).min(1 << 16);
-    }
-    total.as_nanos() as f64 / iters as f64
-}
-
-struct Row {
-    n: usize,
-    active: usize,
-    dense_round_ns: f64,
-    sparse_round_ns: f64,
-    dense_run_ms: f64,
-    sparse_run_ms: f64,
-    tight_rounds: u64,
-    tight_dense_ms: f64,
-    tight_sparse_ms: f64,
-}
-
-impl Row {
-    fn speedup(&self) -> f64 {
-        self.dense_round_ns / self.sparse_round_ns
-    }
-    fn dense_rounds_per_sec(&self) -> f64 {
-        1e9 / self.dense_round_ns
-    }
-    fn sparse_rounds_per_sec(&self) -> f64 {
-        1e9 / self.sparse_round_ns
-    }
-}
-
-fn measure(n: usize, c: &mut Criterion) -> Row {
+fn criterion_report(n: usize, c: &mut Criterion) {
     let (inst, state) = endgame_pair(n, SEED, ACTIVE_FRAC);
-    let active = state.num_unsatisfied(&inst);
     let proto = SlackDamped::default();
     let index = ActiveIndex::new(&inst, &state);
-    let mut moves = Vec::new();
-    let mut scratch = Vec::new();
 
-    // criterion report lines (human-readable side of the story)
     let mut g = c.benchmark_group(format!("endgame_round/n{n}"));
     g.throughput(Throughput::Elements(n as u64));
     g.bench_function("dense", |b| {
@@ -94,98 +44,9 @@ fn measure(n: usize, c: &mut Criterion) -> Row {
         })
     });
     g.finish();
-
-    // the same two measurements, captured for the JSON summary
-    let dense_round_ns = ns_per_call(
-        || {
-            decide_round_into(&inst, &state, &proto, SEED, 9, &mut moves);
-            black_box(moves.len());
-        },
-        120,
-    );
-    let sparse_round_ns = ns_per_call(
-        || {
-            decide_active_into(
-                &inst,
-                &state,
-                &index,
-                &proto,
-                SEED,
-                9,
-                &mut moves,
-                &mut scratch,
-            );
-            black_box(moves.len());
-        },
-        120,
-    );
-
-    // full run to convergence from the hotspot start (amortizes the
-    // sparse executor's one-time O(n + m) index build over every round)
-    let (dense_run_ms, sparse_run_ms) = run_to_convergence(n);
-
-    // the sparse executor's home turf: tight slack (γ = 1.001 ⇒ ~0.1 % free
-    // slots) stretches the convergence tail to 1000+ nearly-empty rounds
-    let (tight_rounds, tight_dense_ms, tight_sparse_ms) = tight_run_to_convergence(n);
-
-    Row {
-        n,
-        active,
-        dense_round_ns,
-        sparse_round_ns,
-        dense_run_ms,
-        sparse_run_ms,
-        tight_rounds,
-        tight_dense_ms,
-        tight_sparse_ms,
-    }
 }
 
-fn run_to_convergence(n: usize) -> (f64, f64) {
-    let (inst, start) = qlb_bench::standard_pair(n, SEED);
-    let proto = SlackDamped::default();
-    let cfg = RunConfig::new(SEED, 1_000_000);
-    let mut dense_ms = f64::INFINITY;
-    let mut sparse_ms = f64::INFINITY;
-    for _ in 0..2 {
-        let t0 = Instant::now();
-        let dense = run(&inst, start.clone(), &proto, cfg);
-        dense_ms = dense_ms.min(t0.elapsed().as_secs_f64() * 1e3);
-        let t0 = Instant::now();
-        let sparse = run_sparse(&inst, start.clone(), &proto, cfg);
-        sparse_ms = sparse_ms.min(t0.elapsed().as_secs_f64() * 1e3);
-        assert!(dense.converged && sparse.converged);
-        assert_eq!(dense.state, sparse.state, "executors diverged");
-    }
-    (dense_ms, sparse_ms)
-}
-
-fn tight_run_to_convergence(n: usize) -> (u64, f64, f64) {
-    let sc = qlb_workload::Scenario::single_class(
-        "bench-tight",
-        n,
-        (n / 8).max(1),
-        qlb_workload::CapacityDist::Constant { cap: 10 },
-        1.001,
-        qlb_workload::Placement::Hotspot,
-    );
-    let (inst, _) = sc.build(SEED).expect("feasible");
-    let start = State::all_on(&inst, qlb_core::ResourceId(0));
-    let proto = SlackDamped::default();
-    let cfg = RunConfig::new(SEED, 1_000_000);
-    let t0 = Instant::now();
-    let dense = run(&inst, start.clone(), &proto, cfg);
-    let dense_ms = t0.elapsed().as_secs_f64() * 1e3;
-    let t0 = Instant::now();
-    let sparse = run_sparse(&inst, start, &proto, cfg);
-    let sparse_ms = t0.elapsed().as_secs_f64() * 1e3;
-    assert!(dense.converged && sparse.converged);
-    assert_eq!(dense.state, sparse.state, "executors diverged");
-    assert_eq!(dense.rounds, sparse.rounds);
-    (dense.rounds, dense_ms, sparse_ms)
-}
-
-fn write_summary(rows: &[Row]) {
+fn write_summary(rows: &[SparseRow]) {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sparse.json");
     let mut entries = Vec::new();
     for r in rows {
@@ -219,7 +80,7 @@ fn write_summary(rows: &[Row]) {
             r.tight_rounds,
             r.tight_dense_ms,
             r.tight_sparse_ms,
-            r.tight_dense_ms / r.tight_sparse_ms,
+            r.tight_speedup(),
         ));
     }
     let json = format!(
@@ -252,7 +113,8 @@ fn main() {
     let mut c = Criterion::default();
     let mut rows = Vec::new();
     for n in SIZES {
-        let row = measure(n, &mut c);
+        criterion_report(n, &mut c);
+        let row = measure_sparse(n, 120);
         println!(
             "n = {:>7}: {:>5} unsatisfied | dense {:>12.0} ns/round, sparse {:>9.0} ns/round \
              ({:.1}x) | full run: dense {:.1} ms, sparse {:.1} ms | tight slack \
@@ -267,7 +129,7 @@ fn main() {
             row.tight_rounds,
             row.tight_dense_ms,
             row.tight_sparse_ms,
-            row.tight_dense_ms / row.tight_sparse_ms,
+            row.tight_speedup(),
         );
         rows.push(row);
     }

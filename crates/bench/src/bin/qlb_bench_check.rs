@@ -1,0 +1,203 @@
+//! `qlb-bench-check` — the metrics-driven performance regression gate.
+//!
+//! Re-runs the measurements behind the committed `BENCH_sparse.json` and
+//! `BENCH_obs.json` (through the same code in `qlb_bench::checks`, so the
+//! numbers are comparable by construction) and fails if the machine
+//! under test regresses beyond tolerance:
+//!
+//! * **sparse executor**: the measured endgame round speedup and the
+//!   tight-slack full-run speedup must reach at least `--speedup-tolerance`
+//!   (default 0.35) of the committed values — a gate on *ratios*, so it is
+//!   robust to the absolute speed of the machine;
+//! * **observability sinks**: the measured NoopSink and Recorder overheads
+//!   must stay under the budgets recorded in `BENCH_obs.json`
+//!   (`noop_overhead_budget_pct`, `recorder_overhead_budget_pct`) plus a
+//!   noise margin (`--overhead-margin`, default 3 percentage points).
+//!
+//! ```text
+//! qlb-bench-check            # full gate (the committed sizes up to 10^5)
+//! qlb-bench-check --quick    # CI smoke: smallest size per gate, ~seconds
+//! ```
+//!
+//! Exit status 0 = all gates pass; 1 = regression; 2 = bad usage or
+//! missing/corrupt baseline JSON.
+
+use qlb_bench::checks::{measure_obs, measure_sparse};
+use serde_json::{parse_value_str, Value};
+use std::process::exit;
+
+struct Gate {
+    name: String,
+    passed: bool,
+    detail: String,
+}
+
+fn load_json(path: &str) -> Value {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read baseline {path}: {e}");
+        exit(2);
+    });
+    parse_value_str(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse baseline {path}: {e}");
+        exit(2);
+    })
+}
+
+fn f64_field(v: &Value, key: &str) -> Option<f64> {
+    v.get(key).and_then(Value::as_f64)
+}
+
+/// Find the committed result row for size `n`.
+fn result_row(baseline: &Value, n: usize) -> Option<&Value> {
+    match baseline.get("results") {
+        Some(Value::Array(rows)) => rows
+            .iter()
+            .find(|r| r.get("n").and_then(Value::as_u64) == Some(n as u64)),
+        _ => None,
+    }
+}
+
+fn check_sparse(baseline: &Value, sizes: &[usize], tolerance: f64, gates: &mut Vec<Gate>) {
+    for &n in sizes {
+        let Some(row) = result_row(baseline, n) else {
+            gates.push(Gate {
+                name: format!("sparse/n{n}"),
+                passed: false,
+                detail: format!("no committed row for n = {n} in BENCH_sparse.json"),
+            });
+            continue;
+        };
+        let committed_round = f64_field(row, "round_speedup").unwrap_or(0.0);
+        let committed_tight = f64_field(row, "tight_slack_speedup").unwrap_or(0.0);
+        let measured = measure_sparse(n, 60);
+        let round = measured.speedup();
+        let tight = measured.tight_speedup();
+        let round_floor = committed_round * tolerance;
+        let tight_floor = committed_tight * tolerance;
+        gates.push(Gate {
+            name: format!("sparse/n{n}/round_speedup"),
+            passed: round >= round_floor,
+            detail: format!(
+                "measured {round:.1}x vs committed {committed_round:.1}x \
+                 (floor {round_floor:.1}x at tolerance {tolerance})"
+            ),
+        });
+        gates.push(Gate {
+            name: format!("sparse/n{n}/tight_slack_speedup"),
+            passed: tight >= tight_floor,
+            detail: format!(
+                "measured {tight:.1}x vs committed {committed_tight:.1}x \
+                 (floor {tight_floor:.1}x at tolerance {tolerance})"
+            ),
+        });
+    }
+}
+
+fn check_obs(baseline: &Value, sizes: &[usize], reps: usize, margin: f64, gates: &mut Vec<Gate>) {
+    // budgets live at the top level of BENCH_obs.json; fall back to the
+    // historical budget prose ("< 2%") if a field is missing
+    let noop_budget = f64_field(baseline, "noop_overhead_budget_pct").unwrap_or(2.0);
+    let recorder_budget = f64_field(baseline, "recorder_overhead_budget_pct").unwrap_or(10.0);
+    for &n in sizes {
+        let measured = measure_obs(n, reps);
+        let noop_cap = noop_budget + margin;
+        let rec_cap = recorder_budget + margin;
+        gates.push(Gate {
+            name: format!("obs/n{n}/noop_overhead"),
+            passed: measured.noop_overhead_pct <= noop_cap,
+            detail: format!(
+                "measured {:+.2}% vs budget {noop_budget:.1}% (+{margin:.1} noise margin)",
+                measured.noop_overhead_pct
+            ),
+        });
+        gates.push(Gate {
+            name: format!("obs/n{n}/recorder_overhead"),
+            passed: measured.recorder_overhead_pct <= rec_cap,
+            detail: format!(
+                "measured {:+.2}% vs budget {recorder_budget:.1}% (+{margin:.1} noise margin)",
+                measured.recorder_overhead_pct
+            ),
+        });
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print_help();
+        return;
+    }
+    let get = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let quick = args.iter().any(|a| a == "--quick");
+    let tolerance: f64 = get("--speedup-tolerance").map_or(0.35, |s| {
+        s.parse().unwrap_or_else(|_| {
+            eprintln!("bad --speedup-tolerance");
+            exit(2)
+        })
+    });
+    let margin: f64 = get("--overhead-margin").map_or(3.0, |s| {
+        s.parse().unwrap_or_else(|_| {
+            eprintln!("bad --overhead-margin");
+            exit(2)
+        })
+    });
+
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let sparse_baseline = load_json(&format!("{root}/BENCH_sparse.json"));
+    let obs_baseline = load_json(&format!("{root}/BENCH_obs.json"));
+
+    // quick mode exercises every gate at the smallest committed size (a
+    // few seconds); the full gate re-measures the committed sizes up to
+    // 10^5 / 262k (the 10^6 row takes multiple seconds per run and adds
+    // nothing to a ratio gate)
+    let (sparse_sizes, obs_sizes, reps): (&[usize], &[usize], usize) = if quick {
+        (&[10_000], &[65_536], 7)
+    } else {
+        (&[10_000, 100_000], &[65_536, 262_144], 15)
+    };
+
+    let mode = if quick { "quick" } else { "full" };
+    println!(
+        "qlb-bench-check ({mode}): speedup tolerance {tolerance}, \
+         overhead noise margin {margin} pct-points"
+    );
+    let mut gates = Vec::new();
+    check_sparse(&sparse_baseline, sparse_sizes, tolerance, &mut gates);
+    check_obs(&obs_baseline, obs_sizes, reps, margin, &mut gates);
+
+    let mut failed = 0usize;
+    for g in &gates {
+        let verdict = if g.passed { "PASS" } else { "FAIL" };
+        println!("{verdict}  {:<36} {}", g.name, g.detail);
+        if !g.passed {
+            failed += 1;
+        }
+    }
+    if failed > 0 {
+        eprintln!(
+            "{failed} of {} gates failed — performance regressed vs the committed \
+             BENCH_*.json baselines",
+            gates.len()
+        );
+        exit(1);
+    }
+    println!("all {} gates pass", gates.len());
+}
+
+fn print_help() {
+    println!(
+        "qlb-bench-check — re-measure the committed BENCH_*.json baselines and fail on regression\n\n\
+         USAGE:\n  qlb-bench-check [--quick] [--speedup-tolerance R] [--overhead-margin P]\n\n\
+         OPTIONS:\n  --quick                 smallest committed size per gate (CI smoke, ~seconds)\n  \
+         --speedup-tolerance R   sparse speedups must reach R x committed (default 0.35)\n  \
+         --overhead-margin P     obs overheads may exceed their budget by P points (default 3)\n\n\
+         Gates: sparse endgame round speedup, tight-slack run speedup (BENCH_sparse.json);\n\
+         NoopSink and Recorder overhead budgets (BENCH_obs.json). Measurements share code\n\
+         with the benches (qlb_bench::checks), so numbers are comparable by construction."
+    );
+}

@@ -1,0 +1,314 @@
+//! Shared measurement kernels for the performance regression gate.
+//!
+//! The `sparse` and `obs` benches and the `qlb-bench-check` binary must
+//! agree on *what* is measured, or the committed `BENCH_sparse.json` /
+//! `BENCH_obs.json` numbers and the gate comparing against them drift
+//! apart. This module is that single definition: the benches call it to
+//! capture their JSON summaries (keeping their criterion report groups
+//! local), and `qlb-bench-check` calls it to re-measure and compare.
+
+use qlb_core::step::{decide_active_into, decide_round_into};
+use qlb_core::{ActiveIndex, SlackDamped, State};
+use qlb_engine::{run, run_observed, run_sparse, RunConfig};
+use qlb_obs::{NoopSink, Recorder};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Seed every regression-gated measurement runs under (also baked into the
+/// committed JSON).
+pub const BENCH_SEED: u64 = 7;
+
+/// Endgame active fraction pinned by the sparse bench scenario.
+pub const ACTIVE_FRAC: f64 = 0.01;
+
+/// Mean ns per call of `f`, measured over a small wall-clock budget
+/// (mirrors the criterion loop but hands the number back for the JSON
+/// summary).
+pub fn ns_per_call<F: FnMut()>(mut f: F, budget_ms: u64) -> f64 {
+    f(); // warm-up
+    let budget = Duration::from_millis(budget_ms);
+    let mut total = Duration::ZERO;
+    let mut iters = 0u64;
+    let mut batch = 1u64;
+    while total < budget {
+        let start = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        total += start.elapsed();
+        iters += batch;
+        batch = batch.saturating_mul(2).min(1 << 16);
+    }
+    total.as_nanos() as f64 / iters as f64
+}
+
+/// One timed call, in ms.
+pub fn once_ms<F: FnMut() -> u64>(f: &mut F) -> f64 {
+    let t0 = Instant::now();
+    black_box(f());
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+/// Median of a sample set (destructive).
+pub fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        0.5 * (xs[n / 2 - 1] + xs[n / 2])
+    }
+}
+
+// ---------------------------------------------------------------------
+// sparse executor measurements (BENCH_sparse.json)
+// ---------------------------------------------------------------------
+
+/// One row of the sparse-executor comparison at size `n`.
+#[derive(Debug, Clone)]
+pub struct SparseRow {
+    /// Users.
+    pub n: usize,
+    /// Unsatisfied users in the pinned endgame state.
+    pub active: usize,
+    /// Mean ns of one dense decision round over the endgame state.
+    pub dense_round_ns: f64,
+    /// Mean ns of one sparse (active-set) decision round, same state.
+    pub sparse_round_ns: f64,
+    /// Best-of-2 dense full run to convergence, ms.
+    pub dense_run_ms: f64,
+    /// Best-of-2 sparse full run to convergence, ms.
+    pub sparse_run_ms: f64,
+    /// Rounds of the tight-slack (γ = 1.001) run.
+    pub tight_rounds: u64,
+    /// Dense tight-slack run, ms.
+    pub tight_dense_ms: f64,
+    /// Sparse tight-slack run, ms.
+    pub tight_sparse_ms: f64,
+}
+
+impl SparseRow {
+    /// Dense/sparse per-round speedup in the endgame.
+    pub fn speedup(&self) -> f64 {
+        self.dense_round_ns / self.sparse_round_ns
+    }
+    /// Dense decision rounds per second.
+    pub fn dense_rounds_per_sec(&self) -> f64 {
+        1e9 / self.dense_round_ns
+    }
+    /// Sparse decision rounds per second.
+    pub fn sparse_rounds_per_sec(&self) -> f64 {
+        1e9 / self.sparse_round_ns
+    }
+    /// Dense/sparse full-run speedup under tight slack.
+    pub fn tight_speedup(&self) -> f64 {
+        self.tight_dense_ms / self.tight_sparse_ms
+    }
+}
+
+/// Time one dense and one sparse decision round over the pinned endgame
+/// state at size `n`, plus the two run-to-convergence comparisons. This is
+/// the measurement committed to `BENCH_sparse.json`.
+pub fn measure_sparse(n: usize, round_budget_ms: u64) -> SparseRow {
+    let (inst, state) = crate::endgame_pair(n, BENCH_SEED, ACTIVE_FRAC);
+    let active = state.num_unsatisfied(&inst);
+    let proto = SlackDamped::default();
+    let index = ActiveIndex::new(&inst, &state);
+    let mut moves = Vec::new();
+    let mut scratch = Vec::new();
+
+    let dense_round_ns = ns_per_call(
+        || {
+            decide_round_into(&inst, &state, &proto, BENCH_SEED, 9, &mut moves);
+            black_box(moves.len());
+        },
+        round_budget_ms,
+    );
+    let sparse_round_ns = ns_per_call(
+        || {
+            decide_active_into(
+                &inst,
+                &state,
+                &index,
+                &proto,
+                BENCH_SEED,
+                9,
+                &mut moves,
+                &mut scratch,
+            );
+            black_box(moves.len());
+        },
+        round_budget_ms,
+    );
+
+    let (dense_run_ms, sparse_run_ms) = sparse_run_to_convergence(n);
+    let (tight_rounds, tight_dense_ms, tight_sparse_ms) = tight_run_to_convergence(n);
+
+    SparseRow {
+        n,
+        active,
+        dense_round_ns,
+        sparse_round_ns,
+        dense_run_ms,
+        sparse_run_ms,
+        tight_rounds,
+        tight_dense_ms,
+        tight_sparse_ms,
+    }
+}
+
+/// Full dense vs. sparse run to convergence from the hotspot start
+/// (amortizes the sparse executor's one-time O(n + m) index build over
+/// every round). Best of 2, ms.
+pub fn sparse_run_to_convergence(n: usize) -> (f64, f64) {
+    let (inst, start) = crate::standard_pair(n, BENCH_SEED);
+    let proto = SlackDamped::default();
+    let cfg = RunConfig::new(BENCH_SEED, 1_000_000);
+    let mut dense_ms = f64::INFINITY;
+    let mut sparse_ms = f64::INFINITY;
+    for _ in 0..2 {
+        let t0 = Instant::now();
+        let dense = run(&inst, start.clone(), &proto, cfg);
+        dense_ms = dense_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        let t0 = Instant::now();
+        let sparse = run_sparse(&inst, start.clone(), &proto, cfg);
+        sparse_ms = sparse_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        assert!(dense.converged && sparse.converged);
+        assert_eq!(dense.state, sparse.state, "executors diverged");
+    }
+    (dense_ms, sparse_ms)
+}
+
+/// The sparse executor's home turf: tight slack (γ = 1.001 ⇒ ~0.1 % free
+/// slots) stretches the convergence tail to 1000+ nearly-empty rounds.
+/// Returns (rounds, dense ms, sparse ms).
+pub fn tight_run_to_convergence(n: usize) -> (u64, f64, f64) {
+    let sc = qlb_workload::Scenario::single_class(
+        "bench-tight",
+        n,
+        (n / 8).max(1),
+        qlb_workload::CapacityDist::Constant { cap: 10 },
+        1.001,
+        qlb_workload::Placement::Hotspot,
+    );
+    let (inst, _) = sc.build(BENCH_SEED).expect("feasible");
+    let start = State::all_on(&inst, qlb_core::ResourceId(0));
+    let proto = SlackDamped::default();
+    let cfg = RunConfig::new(BENCH_SEED, 1_000_000);
+    let t0 = Instant::now();
+    let dense = run(&inst, start.clone(), &proto, cfg);
+    let dense_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    let sparse = run_sparse(&inst, start, &proto, cfg);
+    let sparse_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(dense.converged && sparse.converged);
+    assert_eq!(dense.state, sparse.state, "executors diverged");
+    assert_eq!(dense.rounds, sparse.rounds);
+    (dense.rounds, dense_ms, sparse_ms)
+}
+
+// ---------------------------------------------------------------------
+// observability overhead measurements (BENCH_obs.json)
+// ---------------------------------------------------------------------
+
+/// One row of the sink-overhead comparison at size `n`.
+#[derive(Debug, Clone)]
+pub struct ObsRow {
+    /// Users.
+    pub n: usize,
+    /// Rounds of the E1 kernel run.
+    pub rounds: u64,
+    /// Best-of-reps plain `run`, ms.
+    pub plain_ms: f64,
+    /// Best-of-reps `run_observed(NoopSink)`, ms.
+    pub noop_ms: f64,
+    /// Best-of-reps `run_observed(Recorder)`, ms.
+    pub recorder_ms: f64,
+    /// Median paired noop/plain overhead, percent.
+    pub noop_overhead_pct: f64,
+    /// Median paired recorder/plain overhead, percent.
+    pub recorder_overhead_pct: f64,
+    /// Events the recorder captured over one run.
+    pub events_recorded: u64,
+}
+
+/// Time the E1 convergence kernel (slack-damped, γ = 1.25, m = n/8,
+/// hotspot start, run to convergence) three ways — plain `run`,
+/// `run_observed(NoopSink)`, `run_observed(Recorder)`.
+///
+/// The variants are *interleaved* per repetition so slow thermal /
+/// frequency / cache drift hits all of them equally, and the overhead is
+/// the **median of per-repetition paired ratios** — pairing cancels the
+/// drift, the median cancels scheduler outliers. (A best-of-N minimum is
+/// noisy at the ±2–3 % level for a few-ms kernel: one lucky sample on
+/// either side swings the sign.)
+pub fn measure_obs(n: usize, reps: usize) -> ObsRow {
+    let (inst, start) = crate::standard_pair(n, BENCH_SEED);
+    let proto = SlackDamped::default();
+    let cfg = RunConfig::new(BENCH_SEED, 1_000_000);
+
+    let mut plain = || run(&inst, start.clone(), &proto, cfg).rounds;
+    let mut noop = || run_observed(&inst, start.clone(), &proto, cfg, &mut NoopSink).rounds;
+    let mut events_recorded = 0u64;
+    let mut recorder = || {
+        let mut rec = Recorder::default();
+        let out = run_observed(&inst, start.clone(), &proto, cfg, &mut rec);
+        events_recorded = rec.events().total_recorded();
+        out.rounds
+    };
+    // warm-up pass of each variant before any timed sample
+    black_box((plain(), noop(), recorder()));
+    let (mut noop_ratio, mut rec_ratio) = (Vec::new(), Vec::new());
+    let (mut plain_ms, mut noop_ms, mut recorder_ms) =
+        (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        let p = once_ms(&mut plain);
+        let s = once_ms(&mut noop);
+        let r = once_ms(&mut recorder);
+        noop_ratio.push(s / p);
+        rec_ratio.push(r / p);
+        plain_ms = plain_ms.min(p);
+        noop_ms = noop_ms.min(s);
+        recorder_ms = recorder_ms.min(r);
+    }
+
+    let rounds = run(&inst, start, &proto, cfg).rounds;
+    ObsRow {
+        n,
+        rounds,
+        plain_ms,
+        noop_ms,
+        recorder_ms,
+        noop_overhead_pct: 100.0 * (median(&mut noop_ratio) - 1.0),
+        recorder_overhead_pct: 100.0 * (median(&mut rec_ratio) - 1.0),
+        events_recorded,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_and_even() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn measure_obs_smoke() {
+        let row = measure_obs(512, 2);
+        assert_eq!(row.n, 512);
+        assert!(row.rounds > 0);
+        assert!(row.plain_ms.is_finite() && row.plain_ms > 0.0);
+        assert!(row.events_recorded > 0);
+    }
+
+    #[test]
+    fn measure_sparse_smoke() {
+        let row = measure_sparse(2_048, 5);
+        assert!(row.active > 0);
+        assert!(row.dense_round_ns > 0.0 && row.sparse_round_ns > 0.0);
+        assert!(row.tight_rounds > 0);
+    }
+}

@@ -11,7 +11,11 @@
 //!   greedy/best-response baselines, runtime round-trip).
 //!
 //! Shared scenario builders live here so benches and (future) profiling
-//! binaries agree on what "the standard workload" is.
+//! binaries agree on what "the standard workload" is. The [`checks`]
+//! module holds the measurement kernels shared between the `sparse`/`obs`
+//! benches and the `qlb-bench-check` regression gate.
+
+pub mod checks;
 
 use qlb_core::{Instance, State};
 use qlb_workload::{CapacityDist, Placement, Scenario};

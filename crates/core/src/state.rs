@@ -139,7 +139,23 @@ impl State {
     }
 
     /// Number of unsatisfied users.
+    ///
+    /// Single-class fast path: a user's satisfaction depends only on its
+    /// resource's congestion, so every user on an unsatisfying resource is
+    /// unsatisfied — sum those congestions in `O(m)`. The general path
+    /// checks users in `O(n)`. This keeps per-round observability (which
+    /// reports this count at round start *and* end) off the `O(n)` scan.
     pub fn num_unsatisfied(&self, inst: &Instance) -> usize {
+        if inst.num_classes() == 1 {
+            let caps = inst.cap_row(crate::ids::ClassId(0));
+            return self
+                .loads
+                .iter()
+                .zip(caps)
+                .filter(|&(&x, &c)| x > 0 && !(c > 0 && x <= c))
+                .map(|(&x, _)| x as usize)
+                .sum();
+        }
         inst.users()
             .filter(|&u| !self.is_satisfied(inst, u))
             .count()
@@ -273,6 +289,21 @@ mod tests {
         assert_eq!(s.loads(), &[2, 3, 1, 2]);
         assert_eq!(s.num_users(), 8);
         s.debug_assert_invariants();
+    }
+
+    #[test]
+    fn num_unsatisfied_fast_path_matches_user_scan() {
+        // the single-class O(m) path must agree with the definitional
+        // per-user count on crowded, balanced, and zero-capacity shapes
+        let inst = inst4(); // caps all 3
+        let crowded = State::all_on(&inst, ResourceId(0)); // load 8 > 3
+        let spread = State::round_robin(&inst); // loads all 2 ≤ 3
+        for s in [&crowded, &spread] {
+            let by_users = inst.users().filter(|&u| !s.is_satisfied(&inst, u)).count();
+            assert_eq!(s.num_unsatisfied(&inst), by_users);
+        }
+        assert_eq!(crowded.num_unsatisfied(&inst), 8);
+        assert_eq!(spread.num_unsatisfied(&inst), 0);
     }
 
     #[test]

@@ -148,6 +148,12 @@ pub fn run_open_system_observed<P: Protocol + ?Sized, S: Sink>(
                 });
             }
         }
+        if S::ENABLED {
+            sink.event(Event::RoundStart {
+                round,
+                active: state.num_unsatisfied(&inst) as u64,
+            });
+        }
         // One protocol round (parked users are satisfied and never act).
         timed(sink, Phase::Decide, || {
             decide_round_into(&inst, &state, proto, cfg.seed, round, &mut moves)

@@ -233,15 +233,15 @@ pub fn run_sparse_observed<P: Protocol + ?Sized, S: Sink>(
     let mut rounds = 0u64;
     let mut migrations = 0u64;
     let mut converged = unsat0 == 0;
+    // carried between rounds (see `emit_round_end`): start count == the
+    // previous round's end count
+    let mut entering = unsat0 as u64;
 
     while !converged && rounds < config.max_rounds {
         if S::ENABLED {
-            let entering = active
-                .as_ref()
-                .map_or_else(|| state.num_unsatisfied(inst), ActiveIndex::num_active);
             sink.event(Event::RoundStart {
                 round: rounds,
-                active: entering as u64,
+                active: entering,
             });
         }
         match active.as_mut() {
@@ -308,6 +308,13 @@ pub fn run_sparse_observed<P: Protocol + ?Sized, S: Sink>(
             None => state.is_legal(inst),
         });
         if S::ENABLED {
+            // the index tracks the unsatisfied set exactly, so when it is
+            // live the count is O(1); the dense warm-up scans
+            let unsatisfied = match active.as_ref() {
+                Some(index) => index.num_active() as u64,
+                None if converged => 0,
+                None => state.num_unsatisfied(inst) as u64,
+            };
             emit_round_end(
                 inst,
                 &state,
@@ -315,7 +322,9 @@ pub fn run_sparse_observed<P: Protocol + ?Sized, S: Sink>(
                 rounds - 1,
                 moves.len() as u64,
                 converged,
+                unsatisfied,
             );
+            entering = unsatisfied;
             if let Some(index) = active.as_ref() {
                 sink.set(Gauge::ActiveSetSize, index.num_active() as u64);
             }
@@ -403,7 +412,9 @@ pub fn run_threaded_observed<P: Protocol + ?Sized, S: Sink>(
 
 /// Emit the post-round counters, gauges, and events. Everything here is
 /// *derived* from the already-updated state — it must never feed back into
-/// decisions.
+/// decisions. `unsatisfied` is passed in (the caller usually has it for
+/// free: the sparse index knows it in O(1), and the dense loops reuse it as
+/// the next round's `RoundStart` active count, halving the scans).
 fn emit_round_end<S: Sink>(
     inst: &Instance,
     state: &State,
@@ -411,8 +422,8 @@ fn emit_round_end<S: Sink>(
     round: u64,
     batch: u64,
     converged: bool,
+    unsatisfied: u64,
 ) {
-    let unsatisfied = state.num_unsatisfied(inst) as u64;
     let overload = (inst.num_classes() == 1).then(|| overload_potential(inst, state));
     sink.add(Counter::Rounds, 1);
     sink.add(Counter::Migrations, batch);
@@ -454,12 +465,19 @@ where
     let mut rounds = 0u64;
     let mut migrations = 0u64;
     let mut converged = state.is_legal(inst);
+    // carried from round end to the next round start, so each round does
+    // one unsatisfied scan, not two
+    let mut entering = if S::ENABLED && !converged {
+        state.num_unsatisfied(inst) as u64
+    } else {
+        0
+    };
 
     while !converged && rounds < config.max_rounds {
         if S::ENABLED {
             sink.event(Event::RoundStart {
                 round: rounds,
-                active: state.num_unsatisfied(inst) as u64,
+                active: entering,
             });
         }
         timed(sink, Phase::Decide, || {
@@ -483,6 +501,11 @@ where
         }
         converged = timed(sink, Phase::Convergence, || state.is_legal(inst));
         if S::ENABLED {
+            let unsatisfied = if converged {
+                0
+            } else {
+                state.num_unsatisfied(inst) as u64
+            };
             emit_round_end(
                 inst,
                 &state,
@@ -490,7 +513,9 @@ where
                 rounds - 1,
                 moves.len() as u64,
                 converged,
+                unsatisfied,
             );
+            entering = unsatisfied;
         }
     }
 

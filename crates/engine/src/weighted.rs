@@ -51,7 +51,20 @@ pub fn run_weighted_observed<P: WeightedProtocol + ?Sized, S: Sink>(
     let mut migrations = 0u64;
     let mut weight_moved = 0u64;
     let mut converged = state.is_legal(inst);
+    // carried from round end to the next round start: one unsatisfied scan
+    // per round, not two
+    let mut entering = if S::ENABLED && !converged {
+        state.num_unsatisfied(inst) as u64
+    } else {
+        0
+    };
     while !converged && rounds < max_rounds {
+        if S::ENABLED {
+            sink.event(Event::RoundStart {
+                round: rounds,
+                active: entering,
+            });
+        }
         timed(sink, Phase::Decide, || {
             decide_weighted_round_into(inst, &state, proto, seed, rounds, &mut moves)
         });
@@ -62,7 +75,11 @@ pub fn run_weighted_observed<P: WeightedProtocol + ?Sized, S: Sink>(
         rounds += 1;
         converged = timed(sink, Phase::Convergence, || state.is_legal(inst));
         if S::ENABLED {
-            let unsatisfied = state.num_unsatisfied(inst) as u64;
+            let unsatisfied = if converged {
+                0
+            } else {
+                state.num_unsatisfied(inst) as u64
+            };
             sink.add(Counter::Rounds, 1);
             sink.add(Counter::Migrations, moves.len() as u64);
             sink.add(Counter::WeightMoved, batch_weight);
@@ -73,6 +90,7 @@ pub fn run_weighted_observed<P: WeightedProtocol + ?Sized, S: Sink>(
                 unsatisfied,
                 overload: None,
             });
+            entering = unsatisfied;
         }
     }
     WeightedOutcome {

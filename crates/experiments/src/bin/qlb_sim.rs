@@ -12,15 +12,16 @@
 //! ```
 
 use qlb_core::{
-    BlindUniform, ConditionalUniform, Protocol, SlackDamped, SlackDampedCapacitySampling,
-    ThresholdLevels,
+    BlindUniform, ClassId, ConditionalUniform, Instance, Protocol, SlackDamped,
+    SlackDampedCapacitySampling, State, ThresholdLevels,
 };
-use qlb_engine::{run_observed, RunConfig};
-use qlb_obs::{replay::Summary, Recorder};
+use qlb_engine::{run_observed, run_open_system_observed, OpenConfig, RunConfig};
+use qlb_obs::{replay::Summary, NoopSink, Recorder, Sink, StreamSink};
 use qlb_runtime::{run_distributed_observed, RuntimeConfig};
 use qlb_stats::sparkline_fit;
 use qlb_topo::{Graph, GraphDiffusion};
 use qlb_workload::{CapacityDist, Placement, Scenario};
+use std::io::BufWriter;
 use std::process::exit;
 
 fn preset() -> Scenario {
@@ -149,14 +150,24 @@ fn main() {
         proto.name(),
     );
 
-    // Observability: --metrics-out dumps the run's JSONL trace,
-    // --metrics-summary replays it into a human-readable digest. Either
-    // flag attaches a Recorder; without both, the run uses the NoopSink
-    // path (zero overhead).
+    // Observability: --metrics-out dumps the run's JSONL trace post hoc,
+    // --metrics-stream writes the same JSONL *while the run executes*
+    // (tail it with qlb-trace --follow), and --metrics-summary replays the
+    // trace into a human-readable digest. Without any of them the run uses
+    // the NoopSink path (zero overhead).
     let metrics_out = get("--metrics-out");
+    let metrics_stream = get("--metrics-stream");
+    if metrics_out.is_some() && metrics_stream.is_some() {
+        eprintln!("--metrics-out and --metrics-stream are mutually exclusive");
+        exit(2);
+    }
+    let flush_every: u64 = get("--flush-every").map_or(qlb_obs::DEFAULT_FLUSH_EVERY, |s| {
+        s.parse().unwrap_or_else(|_| {
+            eprintln!("bad --flush-every");
+            exit(2)
+        })
+    });
     let metrics_summary = args.iter().any(|a| a == "--metrics-summary");
-    let record = metrics_out.is_some() || metrics_summary;
-    let mut recorder = record.then(Recorder::default);
 
     let executor = get("--executor").unwrap_or_else(|| "engine".into());
     if executor == "sparse" && proto.acts_when_satisfied() {
@@ -168,44 +179,82 @@ fn main() {
             proto.name()
         );
     }
-
-    let (converged, rounds, migrations) = match executor.as_str() {
-        kind @ ("engine" | "sparse") => {
-            let mut config = RunConfig::new(seed, max_rounds).with_trace();
-            if kind == "sparse" {
-                config = config.sparse();
-            }
-            let out = match recorder.as_mut() {
-                Some(rec) => run_observed(&inst, state, proto.as_ref(), config, rec),
-                None => run_observed(&inst, state, proto.as_ref(), config, &mut qlb_obs::NoopSink),
-            };
-            let trace = out.trace.expect("trace requested");
-            let unsat: Vec<f64> = trace.rounds.iter().map(|r| r.unsatisfied as f64).collect();
-            println!("unsatisfied over rounds: {}", sparkline_fit(&unsat, 60));
-            (out.converged, out.rounds, out.migrations)
-        }
-        "runtime" => {
-            let config = RuntimeConfig::new(seed, max_rounds).with_shards(4, 2);
-            let out = match recorder.as_mut() {
-                Some(rec) => run_distributed_observed(&inst, state, proto.as_ref(), config, rec),
-                None => run_distributed_observed(
-                    &inst,
-                    state,
-                    proto.as_ref(),
-                    config,
-                    &mut qlb_obs::NoopSink,
-                ),
-            };
-            println!("messages exchanged: {}", out.messages);
-            (out.converged, out.rounds, out.migrations)
-        }
-        other => {
-            eprintln!("unknown executor {other}; choose engine | sparse | runtime");
-            exit(2);
-        }
+    let open_cfg = OpenConfig {
+        seed,
+        rounds: get("--rounds").map_or(2_000, |s| {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("bad --rounds");
+                exit(2)
+            })
+        }),
+        arrivals_per_round: get("--arrivals-per-round").map_or(4.0, |s| {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("bad --arrivals-per-round");
+                exit(2)
+            })
+        }),
+        departure_prob: get("--departure-prob").map_or(0.02, |s| {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("bad --departure-prob");
+                exit(2)
+            })
+        }),
+        warmup: 0,
+    };
+    let open_cfg = OpenConfig {
+        warmup: open_cfg.rounds / 4,
+        ..open_cfg
     };
 
-    if let Some(rec) = recorder.as_ref() {
+    let outcome = if let Some(path) = metrics_stream.as_deref() {
+        let file = std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot create {path}: {e}");
+            exit(2);
+        });
+        let mut sink = StreamSink::with_flush_every(BufWriter::new(file), flush_every);
+        let outcome = simulate(
+            &inst,
+            state,
+            proto.as_ref(),
+            &executor,
+            seed,
+            max_rounds,
+            open_cfg,
+            &mut sink,
+        );
+        if let Err(e) = sink.finish() {
+            eprintln!("error streaming metrics to {path}: {e}");
+            exit(2);
+        }
+        println!("metrics streamed to {path}");
+        if metrics_summary {
+            // read the streamed file back — the same bytes any offline
+            // consumer (qlb-trace) would see
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot re-read {path}: {e}");
+                exit(2);
+            });
+            match Summary::from_jsonl(&text) {
+                Ok(summary) => print!("{}", summary.render()),
+                Err(e) => {
+                    eprintln!("internal error replaying metrics: {e}");
+                    exit(2);
+                }
+            }
+        }
+        outcome
+    } else if metrics_out.is_some() || metrics_summary {
+        let mut rec = Recorder::default();
+        let outcome = simulate(
+            &inst,
+            state,
+            proto.as_ref(),
+            &executor,
+            seed,
+            max_rounds,
+            open_cfg,
+            &mut rec,
+        );
         let jsonl = rec.to_jsonl();
         if let Some(path) = metrics_out.as_deref() {
             std::fs::write(path, &jsonl).unwrap_or_else(|e| {
@@ -225,8 +274,83 @@ fn main() {
                 }
             }
         }
+        outcome
+    } else {
+        simulate(
+            &inst,
+            state,
+            proto.as_ref(),
+            &executor,
+            seed,
+            max_rounds,
+            open_cfg,
+            &mut NoopSink,
+        )
+    };
+    if let Some((converged, rounds, migrations)) = outcome {
+        report(converged, rounds, migrations);
     }
-    report(converged, rounds, migrations);
+}
+
+/// Run the selected executor with the chosen sink monomorphized in, print
+/// its executor-specific digest, and return `(converged, rounds,
+/// migrations)` — or `None` for the open-system driver, which reports
+/// steady-state statistics instead of a convergence verdict.
+#[allow(clippy::too_many_arguments)]
+fn simulate<S: Sink>(
+    inst: &Instance,
+    state: State,
+    proto: &dyn Protocol,
+    executor: &str,
+    seed: u64,
+    max_rounds: u64,
+    open_cfg: OpenConfig,
+    sink: &mut S,
+) -> Option<(bool, u64, u64)> {
+    match executor {
+        kind @ ("engine" | "sparse") => {
+            let mut config = RunConfig::new(seed, max_rounds).with_trace();
+            if kind == "sparse" {
+                config = config.sparse();
+            }
+            let out = run_observed(inst, state, proto, config, sink);
+            let trace = out.trace.expect("trace requested");
+            let unsat: Vec<f64> = trace.rounds.iter().map(|r| r.unsatisfied as f64).collect();
+            println!("unsatisfied over rounds: {}", sparkline_fit(&unsat, 60));
+            Some((out.converged, out.rounds, out.migrations))
+        }
+        "runtime" => {
+            let config = RuntimeConfig::new(seed, max_rounds).with_shards(4, 2);
+            let out = run_distributed_observed(inst, state, proto, config, sink);
+            println!("messages exchanged: {}", out.messages);
+            Some((out.converged, out.rounds, out.migrations))
+        }
+        "open" => {
+            // the scenario supplies the fleet shape; the driver runs it as
+            // an open system (arrivals/departures via the parking trick)
+            if inst.num_classes() != 1 {
+                eprintln!("--executor open needs a single-class scenario");
+                exit(2);
+            }
+            let caps = inst.cap_row(ClassId(0)).to_vec();
+            let out = run_open_system_observed(&caps, inst.num_users(), proto, open_cfg, sink);
+            let unsat: Vec<f64> = out.series.iter().map(|s| s.unsatisfied as f64).collect();
+            println!("unsatisfied over rounds: {}", sparkline_fit(&unsat, 60));
+            println!(
+                "open system over {} rounds: mean active {:.1}, mean unsatisfied fraction \
+                 {:.4}, worst {:.4}",
+                open_cfg.rounds,
+                out.mean_active,
+                out.mean_unsatisfied_frac,
+                out.max_unsatisfied_frac
+            );
+            None
+        }
+        other => {
+            eprintln!("unknown executor {other}; choose engine | sparse | runtime | open");
+            exit(2);
+        }
+    }
 }
 
 fn report(converged: bool, rounds: u64, migrations: u64) {
@@ -245,8 +369,12 @@ fn print_help() {
          qlb-sim --preset flash-crowd\n  qlb-sim --emit-preset > fleet.json\n\n\
          PROTOCOLS: blind | conditional | slack-damped (default) | capacity-sampling | levels\n\
          TOPOLOGY:  --topology ring | torus | complete (neighbour-restricted diffusion)\n\
-         EXECUTORS: engine (default) | sparse (active-set engine) | runtime\n\
-         METRICS:   --metrics-out FILE.jsonl (dump events/counters/timers as JSONL)\n           \
-         --metrics-summary (replay the dump into a digest on stdout)"
+         EXECUTORS: engine (default) | sparse (active-set engine) | runtime | open\n\
+         OPEN:      --rounds N --arrivals-per-round X --departure-prob P (open-system driver;\n           \
+         the scenario supplies capacities and the user pool)\n\
+         METRICS:   --metrics-out FILE.jsonl (dump events/counters/timers as JSONL post hoc)\n           \
+         --metrics-stream FILE.jsonl [--flush-every K] (write the JSONL while the\n           \
+         run executes; tail it with qlb-trace --follow)\n           \
+         --metrics-summary (replay the trace into a digest on stdout)"
     );
 }

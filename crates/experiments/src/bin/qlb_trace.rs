@@ -1,0 +1,209 @@
+//! `qlb-trace` — inspect a JSONL metrics trace, complete or still growing.
+//!
+//! The offline half of the streaming pipeline: `qlb-sim --metrics-stream
+//! run.jsonl` (or `--metrics-out`) writes the trace, `qlb-trace` reads it
+//! back through the same `qlb_obs::replay` code path and prints the Φ
+//! trajectory, per-phase latency breakdown, message/snapshot counters, and
+//! churn summaries.
+//!
+//! ```text
+//! qlb-trace run.jsonl               # analyze a finished (or killed) run
+//! qlb-trace run.jsonl --follow      # tail a run that is still writing
+//! ```
+//!
+//! A trace cut mid-record by a crash is reported as truncated and analyzed
+//! up to the cut — never a fatal error. In `--follow` mode the tool prints
+//! one line per round as it lands, stops when the end-of-run trailer
+//! arrives, and gives up after `--idle-ms` without growth.
+
+use qlb_obs::recorder::Record;
+use qlb_obs::replay::{Summary, TraceReader};
+use qlb_obs::Event;
+use qlb_stats::sparkline_fit;
+use std::io::{Read, Seek, SeekFrom};
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        print_help();
+        return;
+    }
+    let get = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let parse_ms = |flag: &str, default: u64| -> u64 {
+        get(flag).map_or(default, |s| {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("bad {flag}");
+                exit(2)
+            })
+        })
+    };
+
+    let path = match args.iter().find(|a| !a.starts_with("--")) {
+        Some(p) => p.clone(),
+        None => {
+            eprintln!("need a trace file; see qlb-trace --help");
+            exit(2);
+        }
+    };
+    let follow = args.iter().any(|a| a == "--follow");
+
+    let summary = if follow {
+        let idle_ms = parse_ms("--idle-ms", 10_000);
+        let poll_ms = parse_ms("--poll-ms", 200).max(1);
+        follow_trace(&path, idle_ms, poll_ms)
+    } else {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            exit(2);
+        });
+        Summary::from_jsonl(&text).unwrap_or_else(|e| {
+            eprintln!("{path}: corrupt trace: {e}");
+            exit(2);
+        })
+    };
+
+    print!("{}", report(&summary));
+}
+
+/// Tail a growing trace: poll the file for new bytes, parse them
+/// incrementally, and print a line per completed round. Returns when the
+/// end-of-run trailer arrives or the file stops growing for `idle_ms`.
+fn follow_trace(path: &str, idle_ms: u64, poll_ms: u64) -> Summary {
+    let mut summary = Summary::default();
+    let mut reader = TraceReader::new();
+    let mut records: Vec<Record> = Vec::new();
+    let mut offset: u64 = 0;
+    let mut idle = 0u64;
+    let mut buf = Vec::new();
+    loop {
+        // the writer may not have created the file yet; that counts as idle
+        let grew = match std::fs::File::open(path) {
+            Ok(mut f) => {
+                let len = f.metadata().map(|m| m.len()).unwrap_or(0);
+                if len > offset {
+                    f.seek(SeekFrom::Start(offset)).expect("seek");
+                    buf.clear();
+                    (&mut f)
+                        .take(len - offset)
+                        .read_to_end(&mut buf)
+                        .expect("read");
+                    offset = len;
+                    let chunk = String::from_utf8_lossy(&buf);
+                    if let Err(e) = reader.feed(&chunk, &mut records) {
+                        eprintln!("{path}: corrupt trace: {e}");
+                        exit(2);
+                    }
+                    true
+                } else {
+                    false
+                }
+            }
+            Err(_) => false,
+        };
+        for record in records.drain(..) {
+            if let Record::Event {
+                event:
+                    Event::RoundEnd {
+                        round,
+                        migrations,
+                        unsatisfied,
+                        overload,
+                    },
+                ..
+            } = record
+            {
+                match overload {
+                    Some(phi) => println!(
+                        "round {round:>6}: {migrations:>6} migrations, \
+                         {unsatisfied:>7} unsatisfied, Φ = {phi}"
+                    ),
+                    None => println!(
+                        "round {round:>6}: {migrations:>6} migrations, \
+                         {unsatisfied:>7} unsatisfied"
+                    ),
+                }
+            }
+            summary.ingest(&record);
+        }
+        if summary.saw_trailer() {
+            println!("-- run finished (trailer seen) --");
+            break;
+        }
+        if grew {
+            idle = 0;
+        } else {
+            idle += poll_ms;
+            if idle >= idle_ms {
+                println!("-- no growth for {idle_ms} ms; stopping --");
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(poll_ms));
+        }
+    }
+    if !reader.pending().is_empty() {
+        // the writer died inside a write; everything before the cut counted
+        summary.truncated = true;
+    }
+    summary
+}
+
+/// The full digest: the shared [`Summary::render`] body plus the Φ
+/// trajectory sparkline and churn/staleness summaries.
+fn report(summary: &Summary) -> String {
+    let mut out = String::new();
+    if !summary.overload_series.is_empty() {
+        let phi: Vec<f64> = summary.overload_series.iter().map(|&v| v as f64).collect();
+        out.push_str(&format!("Φ trajectory: {}\n", sparkline_fit(&phi, 60)));
+    }
+    out.push_str(&summary.render());
+    let churn: u64 = summary
+        .counters
+        .get("churn_episodes")
+        .copied()
+        .unwrap_or_else(|| {
+            summary
+                .events_by_kind
+                .get("ChurnEpisode")
+                .copied()
+                .unwrap_or(0)
+        });
+    let arrivals = summary.counters.get("arrivals").copied().unwrap_or(0);
+    let departures = summary.counters.get("departures").copied().unwrap_or(0);
+    if churn + arrivals + departures > 0 {
+        out.push_str(&format!(
+            "churn: {churn} episodes, {arrivals} arrivals, {departures} departures\n"
+        ));
+    }
+    if let Some(&staleness) = summary.gauges.get("snapshot_staleness") {
+        let stale = summary
+            .counters
+            .get("stale_snapshots")
+            .copied()
+            .unwrap_or(0);
+        out.push_str(&format!(
+            "staleness: last snapshot staleness {staleness}, {stale} stale snapshots seen\n"
+        ));
+    }
+    out
+}
+
+fn print_help() {
+    println!(
+        "qlb-trace — inspect a qlb JSONL metrics trace (complete or live)\n\n\
+         USAGE:\n  qlb-trace FILE.jsonl                analyze a finished or interrupted trace\n  \
+         qlb-trace FILE.jsonl --follow       tail a trace that is still being written\n\n\
+         OPTIONS:\n  --follow         poll the file and print each round as it lands\n  \
+         --idle-ms N      stop following after N ms without growth (default 10000)\n  \
+         --poll-ms N      polling interval in ms (default 200)\n\n\
+         Traces come from qlb-sim --metrics-stream FILE.jsonl (live) or\n\
+         --metrics-out FILE.jsonl (post hoc); both formats are identical.\n\
+         A trace cut mid-record (killed run) is reported as truncated and\n\
+         analyzed up to the cut."
+    );
+}

@@ -24,7 +24,11 @@
 //!   [`Sink`] (registry + ring buffer + timers), with a JSONL dump of the
 //!   whole run;
 //! * [`replay`] — the summary printer: parses a JSONL dump back into a
-//!   [`replay::Summary`], so exported runs are inspectable offline.
+//!   [`replay::Summary`], so exported runs are inspectable offline; its
+//!   [`replay::TraceReader`] parses a still-growing stream incrementally;
+//! * [`stream`] — [`StreamSink`], the incremental JSONL exporter for
+//!   long-running drivers: events become lines as they happen, flushed at
+//!   round boundaries, with crash-tolerant framing the reader understands.
 //!
 //! ## Determinism contract
 //!
@@ -55,10 +59,13 @@ pub mod metrics;
 pub mod recorder;
 pub mod replay;
 pub mod sink;
+pub mod stream;
 pub mod timers;
 
 pub use event::{Event, EventRing};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use recorder::Recorder;
+pub use replay::TraceReader;
 pub use sink::{timed, NoopSink, Sink};
+pub use stream::{StreamSink, DEFAULT_FLUSH_EVERY};
 pub use timers::{Phase, PhaseTimers};

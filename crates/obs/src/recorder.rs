@@ -102,52 +102,84 @@ impl Recorder {
     }
 
     /// Dump the whole recording as JSONL: one [`Record`] per line —
-    /// retained events first (oldest to newest), then ring accounting,
-    /// non-zero counters, gauges, and non-empty phase aggregates. The
-    /// output parses back with [`crate::replay::Summary::from_jsonl`].
+    /// retained events first (oldest to newest), then the end-of-run
+    /// trailer (ring accounting, non-zero counters, gauges, and non-empty
+    /// phase aggregates). The output parses back with
+    /// [`crate::replay::Summary::from_jsonl`], and — when the ring never
+    /// wrapped — is byte-identical to what a [`crate::StreamSink`] attached
+    /// to the same run writes (property-tested).
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
-        let mut push = |record: &Record| {
-            out.push_str(&serde_json::to_string(record).expect("record serializes"));
-            out.push('\n');
-        };
         for (seq, event) in self.events.iter() {
-            push(&Record::Event { seq, event });
+            push_record_line(&mut out, &Record::Event { seq, event });
         }
-        push(&Record::RingInfo {
-            recorded: self.events.total_recorded(),
-            dropped: self.events.dropped(),
-        });
-        for &c in &Counter::ALL {
-            let value = self.metrics.counter(c);
-            if value > 0 {
-                push(&Record::Counter {
+        write_trailer(
+            &mut out,
+            &self.metrics,
+            &self.timers,
+            self.events.total_recorded(),
+            self.events.dropped(),
+        );
+        out
+    }
+}
+
+/// Append one serialized [`Record`] line (with trailing newline) to `out`.
+pub(crate) fn push_record_line(out: &mut String, record: &Record) {
+    out.push_str(&serde_json::to_string(record).expect("record serializes"));
+    out.push('\n');
+}
+
+/// Append the end-of-run trailer: ring accounting, then non-zero counters,
+/// gauges, and non-empty phase aggregates, in stable registry order. This
+/// is the single definition of the trailer layout — [`Recorder::to_jsonl`]
+/// and [`crate::StreamSink::finish`] both call it, so post-hoc dumps and
+/// streamed traces stay byte-compatible.
+pub(crate) fn write_trailer(
+    out: &mut String,
+    metrics: &MetricsRegistry,
+    timers: &PhaseTimers,
+    recorded: u64,
+    dropped: u64,
+) {
+    push_record_line(out, &Record::RingInfo { recorded, dropped });
+    for &c in &Counter::ALL {
+        let value = metrics.counter(c);
+        if value > 0 {
+            push_record_line(
+                out,
+                &Record::Counter {
                     name: c.name().to_string(),
                     value,
-                });
-            }
+                },
+            );
         }
-        for &g in &Gauge::ALL {
-            let value = self.metrics.gauge(g);
-            if value > 0 {
-                push(&Record::Gauge {
+    }
+    for &g in &Gauge::ALL {
+        let value = metrics.gauge(g);
+        if value > 0 {
+            push_record_line(
+                out,
+                &Record::Gauge {
                     name: g.name().to_string(),
                     value,
-                });
-            }
+                },
+            );
         }
-        for &p in &Phase::ALL {
-            let h = self.timers.histogram(p);
-            if h.count() > 0 {
-                push(&Record::Phase {
+    }
+    for &p in &Phase::ALL {
+        let h = timers.histogram(p);
+        if h.count() > 0 {
+            push_record_line(
+                out,
+                &Record::Phase {
                     name: p.name().to_string(),
                     count: h.count(),
                     total_ns: h.sum(),
                     max_ns: h.max(),
-                });
-            }
+                },
+            );
         }
-        out
     }
 }
 

@@ -3,10 +3,20 @@
 //!
 //! The dump format ([`crate::recorder::Record`] per line) is the contract
 //! between a run and later analysis: `qlb-sim --metrics-out run.jsonl`
-//! writes it, and this module — or any other JSONL consumer — reads it
-//! back. The round-trip is covered by tests: a summary computed from a
-//! live [`crate::Recorder`]'s dump equals one computed from the re-read
-//! file.
+//! (post hoc) and `qlb-sim --metrics-stream run.jsonl` (incremental) both
+//! write it, and this module — the `qlb-trace` CLI, `--metrics-summary`,
+//! or any other JSONL consumer — reads it back. One parser serves three
+//! shapes of input:
+//!
+//! * a **complete** dump (events + end-of-run trailer);
+//! * an **interrupted** stream (no trailer; counts fall back to the
+//!   events, and a final line cut mid-write is reported as
+//!   [`Summary::truncated`] rather than an error);
+//! * a **growing** stream, fed chunk-by-chunk through [`TraceReader`] +
+//!   [`Summary::ingest`] (how `qlb-trace --follow` tails a live run).
+//!
+//! The round-trip is covered by tests: a summary computed from a live
+//! [`crate::Recorder`]'s dump equals one computed from the re-read file.
 
 use crate::event::Event;
 use crate::recorder::Record;
@@ -36,6 +46,17 @@ pub struct Summary {
     pub gauges: BTreeMap<String, u64>,
     /// Phase aggregates: name → (count, total ns, max ns).
     pub phases: BTreeMap<String, (u64, u64, u64)>,
+    /// True when the input ended mid-record (a crash or kill during a
+    /// write): the partial tail was skipped, everything before it counted.
+    pub truncated: bool,
+    /// RoundEnd events seen (the counter-less fallback for
+    /// [`Summary::rounds`]).
+    round_end_rounds: u64,
+    /// Migrations summed over RoundEnd events (fallback for
+    /// [`Summary::migrations`]).
+    round_end_migrations: u64,
+    /// A RingInfo record was ingested (start of the end-of-run trailer).
+    saw_ring_info: bool,
 }
 
 /// Error parsing a JSONL dump.
@@ -69,70 +90,98 @@ fn event_kind(ev: &Event) -> &'static str {
 }
 
 impl Summary {
-    /// Parse a JSONL dump (as written by [`crate::Recorder::to_jsonl`]).
-    /// Blank lines are ignored; any other unparsable line is an error.
+    /// Parse a JSONL dump (as written by [`crate::Recorder::to_jsonl`] or
+    /// streamed by [`crate::StreamSink`]). Blank lines are ignored. An
+    /// unparsable **final line without a trailing newline** is the
+    /// signature of a mid-write crash: it is skipped and flagged via
+    /// [`Summary::truncated`]. Any other unparsable line is an error.
     pub fn from_jsonl(text: &str) -> Result<Summary, ReplayError> {
         let mut s = Summary::default();
-        let mut round_end_rounds = 0u64;
-        let mut round_end_migrations = 0u64;
+        let complete = text.ends_with('\n');
+        let last_idx = text.lines().count().saturating_sub(1);
         for (idx, line) in text.lines().enumerate() {
             if line.trim().is_empty() {
                 continue;
             }
-            let record: Record = serde_json::from_str(line).map_err(|e| ReplayError {
-                line: idx + 1,
-                msg: e.to_string(),
-            })?;
-            match record {
-                Record::Event { event, .. } => {
-                    *s.events_by_kind
-                        .entry(event_kind(&event).to_string())
-                        .or_insert(0) += 1;
-                    if let Event::RoundEnd {
-                        migrations,
-                        unsatisfied,
-                        overload,
-                        ..
-                    } = event
-                    {
-                        round_end_rounds += 1;
-                        round_end_migrations += migrations;
-                        s.final_unsatisfied = Some(unsatisfied);
-                        if let Some(phi) = overload {
-                            s.overload_series.push(phi);
-                        }
-                    }
+            match serde_json::from_str::<Record>(line) {
+                Ok(record) => s.ingest(&record),
+                Err(_) if idx == last_idx && !complete => {
+                    s.truncated = true;
                 }
-                Record::Counter { name, value } => {
-                    s.counters.insert(name, value);
-                }
-                Record::Gauge { name, value } => {
-                    s.gauges.insert(name, value);
-                }
-                Record::Phase {
-                    name,
-                    count,
-                    total_ns,
-                    max_ns,
-                } => {
-                    s.phases.insert(name, (count, total_ns, max_ns));
-                }
-                Record::RingInfo { recorded, dropped } => {
-                    s.ring = (recorded, dropped);
+                Err(e) => {
+                    return Err(ReplayError {
+                        line: idx + 1,
+                        msg: e.to_string(),
+                    })
                 }
             }
         }
-        s.rounds = s
+        Ok(s)
+    }
+
+    /// Fold one [`Record`] into the summary. [`Summary::from_jsonl`] and
+    /// the incremental [`TraceReader`] path (`qlb-trace --follow`) both
+    /// funnel through here, so post-hoc and live analysis agree by
+    /// construction.
+    pub fn ingest(&mut self, record: &Record) {
+        match record {
+            Record::Event { event, .. } => {
+                *self
+                    .events_by_kind
+                    .entry(event_kind(event).to_string())
+                    .or_insert(0) += 1;
+                if let Event::RoundEnd {
+                    migrations,
+                    unsatisfied,
+                    overload,
+                    ..
+                } = *event
+                {
+                    self.round_end_rounds += 1;
+                    self.round_end_migrations += migrations;
+                    self.final_unsatisfied = Some(unsatisfied);
+                    if let Some(phi) = overload {
+                        self.overload_series.push(phi);
+                    }
+                }
+            }
+            Record::Counter { name, value } => {
+                self.counters.insert(name.clone(), *value);
+            }
+            Record::Gauge { name, value } => {
+                self.gauges.insert(name.clone(), *value);
+            }
+            Record::Phase {
+                name,
+                count,
+                total_ns,
+                max_ns,
+            } => {
+                self.phases
+                    .insert(name.clone(), (*count, *total_ns, *max_ns));
+            }
+            Record::RingInfo { recorded, dropped } => {
+                self.ring = (*recorded, *dropped);
+                self.saw_ring_info = true;
+            }
+        }
+        self.rounds = self
             .counters
             .get("rounds")
             .copied()
-            .unwrap_or(round_end_rounds);
-        s.migrations = s
+            .unwrap_or(self.round_end_rounds);
+        self.migrations = self
             .counters
             .get("migrations")
             .copied()
-            .unwrap_or(round_end_migrations);
-        Ok(s)
+            .unwrap_or(self.round_end_migrations);
+    }
+
+    /// True once the end-of-run trailer has been seen (the stream writer
+    /// only emits ring accounting at [`crate::StreamSink::finish`]): a
+    /// follower can stop tailing.
+    pub fn saw_trailer(&self) -> bool {
+        self.saw_ring_info
     }
 
     /// Render the summary as human-readable text (the `--metrics-summary`
@@ -156,6 +205,11 @@ impl Summary {
                 last,
                 self.overload_series.len()
             ));
+        }
+        if self.truncated {
+            out.push_str(
+                "warning: trace ends mid-record (interrupted write); partial tail skipped\n",
+            );
         }
         let (recorded, dropped) = self.ring;
         out.push_str(&format!(
@@ -191,6 +245,61 @@ impl Summary {
             }
         }
         out
+    }
+}
+
+/// Incremental line-oriented [`Record`] parser for traces that are still
+/// being written: feed it chunks in arrival order (split anywhere, even
+/// mid-record — it carries the partial tail between calls) and it yields
+/// the completed records. `qlb-trace --follow` runs on this.
+#[derive(Debug, Clone, Default)]
+pub struct TraceReader {
+    /// Carried-over bytes of a line whose newline has not arrived yet.
+    partial: String,
+    /// Lines completed so far (for error positions).
+    lines_done: usize,
+}
+
+impl TraceReader {
+    /// A reader with no pending partial line.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consume a chunk, appending every record completed by it to `out`.
+    ///
+    /// Only lines terminated by `\n` are parsed; an unterminated tail is
+    /// held until the next call (or inspected via
+    /// [`TraceReader::pending`] once the stream is known to be over).
+    /// Blank lines are ignored.
+    ///
+    /// # Errors
+    /// A *terminated* line that does not parse is corrupt mid-stream data
+    /// and fails with its position, exactly as in
+    /// [`Summary::from_jsonl`].
+    pub fn feed(&mut self, chunk: &str, out: &mut Vec<Record>) -> Result<(), ReplayError> {
+        self.partial.push_str(chunk);
+        while let Some(nl) = self.partial.find('\n') {
+            let line: String = self.partial.drain(..=nl).collect();
+            self.lines_done += 1;
+            let line = line.trim_end_matches('\n');
+            if line.trim().is_empty() {
+                continue;
+            }
+            let record: Record = serde_json::from_str(line).map_err(|e| ReplayError {
+                line: self.lines_done,
+                msg: e.to_string(),
+            })?;
+            out.push(record);
+        }
+        Ok(())
+    }
+
+    /// The unterminated tail currently held back. Non-empty once the
+    /// writer is gone ⇒ the trace was truncated mid-record (report it and
+    /// move on — the bytes before it all parsed).
+    pub fn pending(&self) -> &str {
+        &self.partial
     }
 }
 
@@ -260,5 +369,107 @@ mod tests {
     fn blank_lines_are_ignored() {
         let s = Summary::from_jsonl("\n\n").unwrap();
         assert_eq!(s.rounds, 0);
+    }
+
+    #[test]
+    fn truncated_final_line_is_skipped_not_fatal() {
+        // cut the recorder dump mid-way through its final line, as a kill
+        // mid-write would
+        let jsonl = sample_recorder().to_jsonl();
+        let cut = jsonl.len() - 7;
+        let truncated = &jsonl[..cut];
+        assert!(!truncated.ends_with('\n'));
+        let s = Summary::from_jsonl(truncated).unwrap();
+        assert!(s.truncated);
+        // everything before the tail still counted
+        assert_eq!(s.events_by_kind["RoundEnd"], 3);
+        assert!(s.render().contains("interrupted write"));
+    }
+
+    #[test]
+    fn truncation_tolerance_does_not_mask_midstream_garbage() {
+        // same garbage line but *terminated*: that is corruption, not a
+        // mid-write crash, and must stay an error
+        let err = Summary::from_jsonl("garbage\n{\"RingInfo\":{\"recorded\":0,\"dropped\":0}}\n")
+            .unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn every_complete_prefix_of_a_dump_parses() {
+        // the stream sink flushes only whole lines, so any prefix ending
+        // at a newline must parse cleanly and monotonically grow the
+        // round count
+        let jsonl = sample_recorder().to_jsonl();
+        let mut last_rounds = 0;
+        for (i, b) in jsonl.bytes().enumerate() {
+            if b == b'\n' {
+                let s = Summary::from_jsonl(&jsonl[..=i]).unwrap();
+                assert!(!s.truncated);
+                assert!(s.rounds >= last_rounds);
+                last_rounds = s.rounds;
+            }
+        }
+        assert_eq!(last_rounds, 3);
+    }
+
+    #[test]
+    fn trace_reader_matches_batch_parse_across_chunk_splits() {
+        let jsonl = sample_recorder().to_jsonl();
+        let batch = Summary::from_jsonl(&jsonl).unwrap();
+        // feed in pathological chunk sizes, including 1-byte chunks that
+        // split every record
+        for chunk_size in [1usize, 3, 7, 64, jsonl.len()] {
+            let mut reader = TraceReader::new();
+            let mut records = Vec::new();
+            let bytes = jsonl.as_bytes();
+            let mut pos = 0;
+            while pos < bytes.len() {
+                let end = (pos + chunk_size).min(bytes.len());
+                reader
+                    .feed(std::str::from_utf8(&bytes[pos..end]).unwrap(), &mut records)
+                    .unwrap();
+                pos = end;
+            }
+            assert!(reader.pending().is_empty());
+            let mut incremental = Summary::default();
+            for r in &records {
+                incremental.ingest(r);
+            }
+            assert_eq!(incremental, batch, "chunk_size {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn trace_reader_holds_partial_tail() {
+        let mut reader = TraceReader::new();
+        let mut records = Vec::new();
+        reader
+            .feed("{\"RingInfo\":{\"recorded\":5,\"dr", &mut records)
+            .unwrap();
+        assert!(records.is_empty());
+        assert!(!reader.pending().is_empty());
+        reader.feed("opped\":0}}\n", &mut records).unwrap();
+        assert_eq!(records.len(), 1);
+        assert!(reader.pending().is_empty());
+    }
+
+    #[test]
+    fn saw_trailer_flips_on_ring_info() {
+        let mut s = Summary::default();
+        assert!(!s.saw_trailer());
+        s.ingest(&Record::Event {
+            seq: 0,
+            event: Event::RoundStart {
+                round: 0,
+                active: 1,
+            },
+        });
+        assert!(!s.saw_trailer());
+        s.ingest(&Record::RingInfo {
+            recorded: 1,
+            dropped: 0,
+        });
+        assert!(s.saw_trailer());
     }
 }

@@ -1,0 +1,338 @@
+//! Incremental JSONL export: the streaming half of the observability
+//! stack.
+//!
+//! [`Recorder`] serializes a run *post hoc* — useless for the multi-hour
+//! open-system runs the roadmap calls for, where the interesting question
+//! is "what is the trajectory doing *right now*". [`StreamSink`] writes
+//! the same externally-tagged [`Record`] JSONL **while the run is in
+//! flight**: every event becomes a line as it happens, buffered in memory
+//! and pushed to the underlying writer at *round-shaped* flush points —
+//! after every `flush_every` [`Event::RoundEnd`]s and after every
+//! [`Event::ChurnEpisode`] — so a reader tailing the file always sees
+//! whole rounds.
+//!
+//! ## Crash-tolerant framing
+//!
+//! The sink only ever hands the writer **complete lines**: the internal
+//! buffer is cut at newline boundaries, so the only way a file can end
+//! mid-record is the process dying inside a single `write(2)`. The replay
+//! reader ([`crate::replay::Summary::from_jsonl`]) treats an unparsable
+//! *final* line **without a trailing newline** as exactly that — a
+//! truncated tail to report and skip, not an error — while garbage in the
+//! middle of a stream still fails loudly.
+//!
+//! ## Relation to [`Recorder`]
+//!
+//! Counters, gauges, and phase timers accumulate in memory (their JSONL
+//! form is cumulative) and are written as the end-of-run trailer by
+//! [`StreamSink::finish`], through the same layout helper
+//! [`Recorder::to_jsonl`] uses. A finished streamed trace of a run is
+//! therefore **byte-identical** to the post-hoc dump of a [`Recorder`]
+//! attached to the same seeded run, as long as the recorder's ring never
+//! wrapped (the stream has no ring: nothing is ever dropped). The
+//! workspace property tests pin this.
+//!
+//! [`Recorder`]: crate::Recorder
+
+use crate::event::Event;
+use crate::metrics::{Counter, Gauge, MetricsRegistry};
+use crate::recorder::{push_record_line, write_trailer, Record};
+use crate::sink::Sink;
+use crate::timers::{Phase, PhaseTimers};
+use std::io::{self, Write};
+
+/// Default flush cadence: push buffered lines after every round.
+pub const DEFAULT_FLUSH_EVERY: u64 = 1;
+
+/// A [`Sink`] that streams events to a writer as JSONL while the run is in
+/// flight, and writes the cumulative metrics trailer on
+/// [`StreamSink::finish`].
+///
+/// I/O errors do not panic the instrumented run: the sink latches the
+/// first error, stops writing, and surfaces it from
+/// [`StreamSink::finish`] (or [`StreamSink::io_error`] mid-run).
+#[derive(Debug)]
+pub struct StreamSink<W: Write> {
+    /// `None` only transiently inside [`StreamSink::finish`] (the writer
+    /// is handed back to the caller, and `Drop` must not touch it again).
+    writer: Option<W>,
+    /// Pending complete lines, cut only at newline boundaries.
+    buf: String,
+    metrics: MetricsRegistry,
+    timers: PhaseTimers,
+    next_seq: u64,
+    /// RoundEnd events seen since the last flush.
+    rounds_since_flush: u64,
+    flush_every: u64,
+    failed: Option<io::Error>,
+    finished: bool,
+}
+
+impl<W: Write> StreamSink<W> {
+    /// A streaming sink flushing after every round
+    /// ([`DEFAULT_FLUSH_EVERY`]).
+    pub fn new(writer: W) -> Self {
+        Self::with_flush_every(writer, DEFAULT_FLUSH_EVERY)
+    }
+
+    /// A streaming sink flushing after every `flush_every` rounds (min 1).
+    /// Churn episodes always flush, whatever the cadence.
+    pub fn with_flush_every(writer: W, flush_every: u64) -> Self {
+        Self {
+            writer: Some(writer),
+            buf: String::new(),
+            metrics: MetricsRegistry::default(),
+            timers: PhaseTimers::default(),
+            next_seq: 0,
+            rounds_since_flush: 0,
+            flush_every: flush_every.max(1),
+            failed: None,
+            finished: false,
+        }
+    }
+
+    /// Events streamed so far.
+    pub fn events_written(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The cumulative metrics registry (same vocabulary as
+    /// [`crate::Recorder::metrics`]).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// The phase timers accumulated so far.
+    pub fn timers(&self) -> &PhaseTimers {
+        &self.timers
+    }
+
+    /// Shorthand for a cumulative counter value.
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.metrics.counter(c)
+    }
+
+    /// The first I/O error hit while streaming, if any. Once set, the sink
+    /// stops writing (metrics keep accumulating) and
+    /// [`StreamSink::finish`] returns the error.
+    pub fn io_error(&self) -> Option<&io::Error> {
+        self.failed.as_ref()
+    }
+
+    /// Push the buffered complete lines to the writer and flush it.
+    fn flush_buf(&mut self) {
+        let writer = match (&self.failed, self.writer.as_mut()) {
+            (None, Some(w)) => w,
+            _ => {
+                self.buf.clear();
+                self.rounds_since_flush = 0;
+                return;
+            }
+        };
+        let result = writer
+            .write_all(self.buf.as_bytes())
+            .and_then(|()| writer.flush());
+        self.buf.clear();
+        if let Err(e) = result {
+            self.failed = Some(e);
+        }
+        self.rounds_since_flush = 0;
+    }
+
+    /// Write the end-of-run trailer (ring accounting with zero drops —
+    /// the stream keeps everything — then counters, gauges, and phase
+    /// aggregates), flush, and hand the writer back.
+    ///
+    /// # Errors
+    /// Returns the first I/O error hit at any point while streaming.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.finished = true;
+        write_trailer(&mut self.buf, &self.metrics, &self.timers, self.next_seq, 0);
+        self.flush_buf();
+        match self.failed.take() {
+            Some(e) => Err(e),
+            None => Ok(self.writer.take().expect("writer present until finish")),
+        }
+    }
+
+    #[cfg(test)]
+    fn written(&self) -> &W {
+        self.writer.as_ref().expect("writer present until finish")
+    }
+}
+
+impl<W: Write> Sink for StreamSink<W> {
+    const ENABLED: bool = true;
+
+    fn event(&mut self, ev: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.failed.is_none() {
+            push_record_line(&mut self.buf, &Record::Event { seq, event: ev });
+        }
+        match ev {
+            Event::RoundEnd { .. } => {
+                self.rounds_since_flush += 1;
+                if self.rounds_since_flush >= self.flush_every {
+                    self.flush_buf();
+                }
+            }
+            // churn episodes bound the interesting windows of a long run;
+            // always make them visible to a tailing reader immediately
+            Event::ChurnEpisode { .. } => self.flush_buf(),
+            _ => {}
+        }
+    }
+
+    #[inline]
+    fn add(&mut self, c: Counter, delta: u64) {
+        self.metrics.add(c, delta);
+    }
+
+    #[inline]
+    fn set(&mut self, g: Gauge, value: u64) {
+        self.metrics.set(g, value);
+    }
+
+    #[inline]
+    fn time(&mut self, p: Phase, ns: u64) {
+        self.timers.record(p, ns);
+    }
+}
+
+impl<W: Write> Drop for StreamSink<W> {
+    /// Best-effort: push any buffered complete lines so a dropped (e.g.
+    /// panicking) run still leaves a parseable trace — but *no trailer*,
+    /// which is how a reader can tell an interrupted run from a finished
+    /// one.
+    fn drop(&mut self) {
+        if !self.finished && !self.buf.is_empty() {
+            self.flush_buf();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay::Summary;
+    use crate::Recorder;
+
+    /// A writer that fails after `ok_writes` successful calls.
+    struct FlakyWriter {
+        ok_writes: usize,
+        written: Vec<u8>,
+    }
+
+    impl Write for FlakyWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.ok_writes == 0 {
+                return Err(io::Error::new(io::ErrorKind::BrokenPipe, "flaky"));
+            }
+            self.ok_writes -= 1;
+            self.written.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn drive<S: Sink>(sink: &mut S, rounds: u64) {
+        for round in 0..rounds {
+            sink.event(Event::RoundStart {
+                round,
+                active: 10 - round,
+            });
+            sink.add(Counter::Rounds, 1);
+            sink.add(Counter::Migrations, 2);
+            sink.time(Phase::Decide, 1_000 + round);
+            sink.set(Gauge::Unsatisfied, 9 - round);
+            sink.event(Event::RoundEnd {
+                round,
+                migrations: 2,
+                unsatisfied: 9 - round,
+                overload: Some(20 - round),
+            });
+        }
+    }
+
+    #[test]
+    fn finished_stream_matches_recorder_dump_bytes() {
+        let mut stream = StreamSink::new(Vec::new());
+        let mut rec = Recorder::default();
+        drive(&mut stream, 5);
+        drive(&mut rec, 5);
+        let streamed = String::from_utf8(stream.finish().unwrap()).unwrap();
+        assert_eq!(streamed, rec.to_jsonl());
+    }
+
+    #[test]
+    fn flush_cadence_buffers_between_round_ends() {
+        let mut stream = StreamSink::with_flush_every(Vec::new(), 2);
+        drive(&mut stream, 1);
+        // one RoundEnd < flush_every: nothing pushed yet
+        assert!(stream.written().is_empty());
+        assert!(!stream.buf.is_empty());
+        drive(&mut stream, 1);
+        // second RoundEnd hits the cadence: buffer drained
+        assert!(!stream.written().is_empty());
+        assert!(stream.buf.is_empty());
+    }
+
+    #[test]
+    fn flushes_end_on_line_boundaries() {
+        let mut stream = StreamSink::new(Vec::new());
+        drive(&mut stream, 3);
+        assert_eq!(stream.written().last(), Some(&b'\n'));
+        let text = std::str::from_utf8(stream.written()).unwrap();
+        // mid-run bytes (no trailer yet) parse as a valid, non-truncated
+        // prefix of the run
+        let s = Summary::from_jsonl(text).unwrap();
+        assert!(!s.truncated);
+        assert_eq!(s.rounds, 3); // falls back to counting RoundEnd events
+    }
+
+    #[test]
+    fn churn_episode_forces_flush() {
+        let mut stream = StreamSink::with_flush_every(Vec::new(), 1_000);
+        stream.event(Event::ChurnEpisode {
+            episode: 0,
+            displaced: 7,
+        });
+        assert!(!stream.written().is_empty());
+        assert!(stream.buf.is_empty());
+    }
+
+    #[test]
+    fn io_error_is_latched_and_surfaced_at_finish() {
+        let writer = FlakyWriter {
+            ok_writes: 1,
+            written: Vec::new(),
+        };
+        let mut stream = StreamSink::new(writer);
+        drive(&mut stream, 3);
+        assert!(stream.io_error().is_some());
+        // metrics still accumulate after the failure
+        assert_eq!(stream.counter(Counter::Rounds), 3);
+        assert!(stream.finish().is_err());
+    }
+
+    #[test]
+    fn drop_pushes_buffered_lines_without_trailer() {
+        let mut written = Vec::new();
+        {
+            // flush_every larger than the round count: everything is still
+            // buffered when the sink is dropped
+            let sink_writer = &mut written;
+            let mut stream = StreamSink::with_flush_every(sink_writer, 100);
+            drive(&mut stream, 2);
+        }
+        let text = String::from_utf8(written).unwrap();
+        let s = Summary::from_jsonl(&text).unwrap();
+        assert_eq!(s.events_by_kind["RoundEnd"], 2);
+        // no trailer: counters absent, ring accounting untouched
+        assert!(s.counters.is_empty());
+        assert_eq!(s.ring, (0, 0));
+    }
+}

@@ -1,0 +1,229 @@
+//! Streaming-trace pipeline tests: a [`qoslb::obs::StreamSink`] must
+//! produce the same JSONL a post-hoc [`Recorder`] dump produces for the
+//! same seeded run, ring-wraparound drop accounting must survive replay,
+//! and a trace cut mid-record (a crash during a write) must replay with
+//! the `truncated` flag instead of failing.
+
+use proptest::prelude::*;
+use qoslb::engine::{run_observed, RunConfig};
+use qoslb::obs::replay::Summary;
+use qoslb::obs::{Recorder, StreamSink};
+use qoslb::prelude::*;
+use qoslb::workload::calibrate_slack;
+
+/// Strategy: a feasible single-class instance with a hotspot-ish start
+/// (same shape as `tests/properties.rs`).
+fn small_instance() -> impl Strategy<Value = (Instance, State, u64)> {
+    (
+        2usize..=64,                                 // n
+        1usize..=12,                                 // m
+        1u32..=8,                                    // base cap
+        proptest::collection::vec(0u32..=6, 1..=12), // cap jitter
+        0u64..=u64::MAX,                             // seed
+    )
+        .prop_map(|(n, m, base, jitter, seed)| {
+            let mut caps: Vec<u32> = (0..m)
+                .map(|r| base + jitter.get(r % jitter.len()).copied().unwrap_or(0))
+                .collect();
+            let total: u64 = caps.iter().map(|&c| c as u64).sum();
+            if total < n as u64 {
+                calibrate_slack(&mut caps, n, 1.25);
+            }
+            let inst = Instance::with_capacities(n, caps).unwrap();
+            let state = State::random(&inst, seed);
+            (inst, state, seed)
+        })
+}
+
+/// Zero the wall-clock nanosecond fields of `Phase` trailer lines. Two
+/// separate runs of the same seeded trajectory read different clocks, so
+/// byte-identity between a streamed trace and a post-hoc dump holds for
+/// every byte *except* these timings.
+fn zero_phase_timings(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for line in text.lines() {
+        let mut line = line.to_string();
+        if line.starts_with("{\"Phase\"") {
+            for key in ["\"total_ns\":", "\"max_ns\":"] {
+                if let Some(i) = line.find(key) {
+                    let start = i + key.len();
+                    let digits = line[start..]
+                        .find(|c: char| !c.is_ascii_digit())
+                        .map_or(line.len(), |d| start + d);
+                    line.replace_range(start..digits, "0");
+                }
+            }
+        }
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Stream a run into an in-memory writer and return the finished bytes.
+fn stream_run(
+    inst: &Instance,
+    state: State,
+    proto: &dyn qoslb::core::Protocol,
+    cfg: RunConfig,
+    flush_every: u64,
+) -> String {
+    let mut sink = StreamSink::with_flush_every(Vec::new(), flush_every);
+    run_observed(inst, state, proto, cfg, &mut sink);
+    let bytes = sink.finish().expect("in-memory writer cannot fail");
+    String::from_utf8(bytes).expect("trace is UTF-8")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// **Streamed == recorded.** For every registered protocol, the JSONL
+    /// a `StreamSink` emits incrementally during the run is byte-for-byte
+    /// identical to the post-hoc `Recorder::to_jsonl()` dump of the same
+    /// seeded run (modulo the wall-clock phase timings, which are genuine
+    /// clock readings and differ across the two runs) — regardless of the
+    /// flush cadence, which only controls when bytes reach the writer,
+    /// never what they are.
+    #[test]
+    fn streamed_trace_matches_recorder_dump_bytes(
+        (inst, state, seed) in small_instance(),
+        budget in 1u64..200,
+        flush_every in 1u64..32,
+    ) {
+        for proto in qoslb::core::protocol::registry(&inst) {
+            let cfg = RunConfig::new(seed, budget);
+            let name = proto.name();
+
+            let mut rec = Recorder::default();
+            run_observed(&inst, state.clone(), proto.as_ref(), cfg, &mut rec);
+            let dump = rec.to_jsonl();
+
+            let streamed =
+                stream_run(&inst, state.clone(), proto.as_ref(), cfg, flush_every);
+            prop_assert_eq!(
+                zero_phase_timings(&streamed),
+                zero_phase_timings(&dump),
+                "stream != dump for {}",
+                name
+            );
+
+            // and both replay to the same summary (phase timings aside)
+            let a = Summary::from_jsonl(&streamed).expect("streamed trace replays");
+            let b = Summary::from_jsonl(&dump).expect("dump replays");
+            prop_assert_eq!(&a.events_by_kind, &b.events_by_kind, "{}", name);
+            prop_assert_eq!(a.ring, b.ring, "{}", name);
+            prop_assert_eq!(&a.counters, &b.counters, "{}", name);
+            prop_assert_eq!(&a.gauges, &b.gauges, "{}", name);
+            let phase_counts = |s: &Summary| -> Vec<(String, u64)> {
+                s.phases.iter().map(|(k, v)| (k.clone(), v.0)).collect()
+            };
+            prop_assert_eq!(phase_counts(&a), phase_counts(&b), "{}", name);
+            prop_assert!(a.saw_trailer(), "finished stream carries a trailer ({})", name);
+            prop_assert!(!a.truncated, "finished stream is not truncated ({})", name);
+        }
+    }
+
+    /// **Crash tolerance.** Cutting a finished trace at *any* byte that
+    /// removes the final newline looks like a mid-write crash: replay must
+    /// succeed, set `truncated`, and report exactly the records of the
+    /// surviving complete prefix.
+    #[test]
+    fn any_midwrite_cut_replays_as_truncated(
+        (inst, state, seed) in small_instance(),
+        budget in 1u64..120,
+        cut_back in 1usize..40,
+    ) {
+        let cfg = RunConfig::new(seed, budget);
+        let full = stream_run(&inst, state, &SlackDamped::default(), cfg, 1);
+
+        // chop `cut_back` bytes off the end, then make sure the cut is
+        // mid-record (no trailing newline) — otherwise it is just a clean
+        // shorter trace
+        let cut = full.len().saturating_sub(cut_back).max(1);
+        prop_assume!(full.is_char_boundary(cut));
+        let chopped = &full[..cut];
+        // a cut that leaves a newline is a clean shorter trace, and one
+        // that leaves a full `...}` object may still parse — keep only
+        // cuts whose final partial line cannot be valid JSON
+        prop_assume!(!chopped.ends_with('\n') && !chopped.ends_with('}'));
+
+        let summary = Summary::from_jsonl(chopped).expect("truncated trace replays");
+        prop_assert!(summary.truncated, "mid-record cut must set `truncated`");
+
+        // the surviving prefix replays identically to itself parsed clean
+        let clean_prefix = match chopped.rfind('\n') {
+            Some(i) => &chopped[..=i],
+            None => "",
+        };
+        let clean = Summary::from_jsonl(clean_prefix).expect("clean prefix replays");
+        prop_assert_eq!(summary.events_by_kind, clean.events_by_kind);
+        prop_assert_eq!(summary.counters, clean.counters);
+    }
+}
+
+/// Ring wraparound is not an error: a `Recorder` with a tiny event ring
+/// drops early events but keeps exact drop accounting, and that accounting
+/// survives the JSONL round-trip into a replay [`Summary`].
+#[test]
+fn ring_wraparound_drop_accounting_survives_replay() {
+    let inst = Instance::uniform(256, 32, 10).unwrap();
+    let state = State::all_on(&inst, ResourceId(0));
+    let cfg = RunConfig::new(11, 10_000);
+
+    let mut rec = Recorder::with_ring_capacity(8);
+    let out = run_observed(&inst, state, &SlackDamped::default(), cfg, &mut rec);
+    assert!(out.converged);
+
+    let recorded = rec.events().total_recorded();
+    let dropped = rec.events().dropped();
+    assert!(
+        dropped > 0,
+        "a converged 256-user run must overflow an 8-slot ring"
+    );
+    assert_eq!(recorded - dropped, 8, "ring retains exactly its capacity");
+
+    let summary = Summary::from_jsonl(&rec.to_jsonl()).expect("wrapped trace replays");
+    assert_eq!(
+        summary.ring,
+        (recorded, dropped),
+        "drop accounting round-trips"
+    );
+    assert!(!summary.truncated);
+    // the surviving events are the trailing window, so the per-kind tally
+    // covers exactly the retained slots
+    let retained: u64 = summary.events_by_kind.values().sum();
+    assert_eq!(retained, 8);
+    // counters are ring-independent: the full run is still accounted
+    assert_eq!(summary.counters.get("rounds"), Some(&out.rounds));
+}
+
+/// An interrupted stream (sink dropped without `finish`) has no trailer:
+/// replay works, reports per-event data, and `saw_trailer()` stays false —
+/// this is how `qlb-trace --follow` tells a live run from a finished one.
+#[test]
+fn dropped_sink_stream_replays_without_trailer() {
+    let inst = Instance::uniform(64, 8, 10).unwrap();
+    let state = State::all_on(&inst, ResourceId(0));
+    let cfg = RunConfig::new(3, 10_000);
+
+    let mut buf = Vec::new();
+    {
+        let mut sink = StreamSink::new(&mut buf);
+        run_observed(&inst, state, &SlackDamped::default(), cfg, &mut sink);
+        // sink dropped here without finish(): buffered lines are pushed,
+        // but no trailer is written
+    }
+    let text = String::from_utf8(buf).unwrap();
+    assert!(text.ends_with('\n'), "drop still flushes whole lines");
+
+    let summary = Summary::from_jsonl(&text).expect("trailer-less trace replays");
+    assert!(
+        !summary.saw_trailer(),
+        "no RingInfo trailer without finish()"
+    );
+    assert!(!summary.truncated, "whole-line flushes never truncate");
+    assert!(
+        summary.events_by_kind.get("RoundEnd").copied().unwrap_or(0) > 0,
+        "per-round events still present"
+    );
+}
