@@ -1,0 +1,207 @@
+//! **Persistent worker-pool executor: dispatch overhead and sparse drivers.**
+//!
+//! The pre-pool threaded executor paid a full `std::thread` spawn + join
+//! and a fresh `Vec<Vec<Move>>` per round. The [`WorkerPool`] replaces
+//! that with long-lived workers woken over a condvar and per-shard move
+//! buffers that persist across rounds, so steady-state rounds perform
+//! **zero allocations** — asserted below with a counting global allocator,
+//! not just claimed. The other two sections time the sparse active-set
+//! paths this PR extends to the open-system and weighted drivers, on the
+//! endgame-heavy workloads they exist for.
+//!
+//! The measurements live in [`qlb_bench::checks`] so this bench and the
+//! `qlb-bench-check` regression gate time exactly the same thing. Writes a
+//! machine-readable summary to `BENCH_parallel.json` at the repository
+//! root (referenced from `CHANGES.md`).
+
+use qlb_bench::checks::{
+    measure_dispatch, measure_open_sparse, measure_pool_round, measure_weighted_sparse,
+    DispatchRow, OpenSparseRow, PoolRoundRow, WeightedSparseRow, ACTIVE_FRAC, BENCH_SEED as SEED,
+};
+use qlb_bench::endgame_pair;
+use qlb_core::step::decide_range_into;
+use qlb_core::{Move, SlackDamped};
+use qlb_engine::WorkerPool;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every heap allocation so the steady-state no-alloc claim of the
+/// pooled round is checkable, not aspirational.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Steady-state pooled rounds must not touch the allocator: warm the pool
+/// buffers up, then run 32 more rounds and demand the global allocation
+/// counter stands still. (The scoped-spawn baseline allocates every round
+/// by construction — thread stacks and fresh buffers.)
+fn assert_no_alloc_per_round(n: usize, threads: usize) {
+    let (inst, state) = endgame_pair(n, SEED, ACTIVE_FRAC);
+    let proto = SlackDamped::default();
+    let pool = WorkerPool::new(threads);
+    let chunk = n.div_ceil(threads).max(1);
+    let fill = |shard: usize, buf: &mut Vec<Move>| {
+        let lo = (shard * chunk).min(n);
+        let hi = (lo + chunk).min(n);
+        decide_range_into(&inst, &state, &proto, SEED, 9, lo, hi, buf);
+    };
+    let mut out = Vec::new();
+    for _ in 0..8 {
+        pool.decide_round(fill, &mut out, false); // warm-up: buffers grow once
+    }
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for _ in 0..32 {
+        pool.decide_round(fill, &mut out, false);
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "pooled rounds allocated {} times in steady state",
+        after - before
+    );
+    println!("no-alloc check: 32 pooled rounds (n = {n}, {threads} threads), 0 allocations");
+}
+
+fn write_summary(
+    dispatch: &DispatchRow,
+    rounds: &[PoolRoundRow],
+    open: &OpenSparseRow,
+    weighted: &WeightedSparseRow,
+) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
+    let mut latency = Vec::new();
+    for r in rounds {
+        latency.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"n\": {},\n",
+                "      \"threads\": {},\n",
+                "      \"seq_round_ns\": {:.0},\n",
+                "      \"scoped_spawn_round_ns\": {:.0},\n",
+                "      \"pooled_round_ns\": {:.0}\n",
+                "    }}"
+            ),
+            r.n, r.threads, r.seq_round_ns, r.scoped_round_ns, r.pooled_round_ns,
+        ));
+    }
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"persistent worker-pool executor and sparse open/weighted drivers\",\n",
+            "  \"seed\": {},\n",
+            "  \"dispatch_overhead\": {{\n",
+            "    \"comment\": \"no-op round: pure executor overhead, scoped spawn vs pool\",\n",
+            "    \"threads\": {},\n",
+            "    \"scoped_spawn_ns\": {:.0},\n",
+            "    \"pool_ns\": {:.0},\n",
+            "    \"reduction\": {:.1}\n",
+            "  }},\n",
+            "  \"round_latency\": [\n{}\n  ],\n",
+            "  \"open_sparse\": {{\n",
+            "    \"comment\": \"open system at rho = 0.3, pool 4x capacity (mostly parked)\",\n",
+            "    \"m\": {},\n",
+            "    \"pool\": {},\n",
+            "    \"rounds\": {},\n",
+            "    \"mean_active\": {:.1},\n",
+            "    \"dense_ms\": {:.2},\n",
+            "    \"sparse_ms\": {:.2},\n",
+            "    \"speedup\": {:.2}\n",
+            "  }},\n",
+            "  \"weighted_sparse\": {{\n",
+            "    \"comment\": \"tight-slack weighted run (gamma = 1.005, hotspot start)\",\n",
+            "    \"n\": {},\n",
+            "    \"rounds\": {},\n",
+            "    \"dense_ms\": {:.2},\n",
+            "    \"sparse_ms\": {:.2},\n",
+            "    \"speedup\": {:.2}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        SEED,
+        dispatch.threads,
+        dispatch.scoped_spawn_ns,
+        dispatch.pool_ns,
+        dispatch.reduction(),
+        latency.join(",\n"),
+        open.m,
+        open.pool,
+        open.rounds,
+        open.mean_active,
+        open.dense_ms,
+        open.sparse_ms,
+        open.speedup(),
+        weighted.n,
+        weighted.rounds,
+        weighted.dense_ms,
+        weighted.sparse_ms,
+        weighted.speedup(),
+    );
+    std::fs::write(path, json).expect("write BENCH_parallel.json");
+    println!("wrote {path}");
+}
+
+fn main() {
+    assert_no_alloc_per_round(100_000, 8);
+
+    let dispatch = measure_dispatch(8, 200);
+    println!(
+        "dispatch (8 threads, no-op round): scoped spawn {:>9.0} ns, pool {:>7.0} ns ({:.1}x)",
+        dispatch.scoped_spawn_ns,
+        dispatch.pool_ns,
+        dispatch.reduction()
+    );
+
+    let mut rounds = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let row = measure_pool_round(1_000_000, threads, 120);
+        println!(
+            "endgame round n = {:>7}, {} threads: seq {:>10.0} ns | scoped {:>10.0} ns | \
+             pooled {:>10.0} ns",
+            row.n, row.threads, row.seq_round_ns, row.scoped_round_ns, row.pooled_round_ns,
+        );
+        rounds.push(row);
+    }
+
+    let open = measure_open_sparse(256, 2_000);
+    println!(
+        "open system (m = {}, pool = {}, {} rounds, mean active {:.0}): dense {:.1} ms, \
+         sparse {:.1} ms ({:.1}x)",
+        open.m,
+        open.pool,
+        open.rounds,
+        open.mean_active,
+        open.dense_ms,
+        open.sparse_ms,
+        open.speedup()
+    );
+
+    let weighted = measure_weighted_sparse(100_000);
+    println!(
+        "weighted tight slack (n = {}, {} rounds): dense {:.1} ms, sparse {:.1} ms ({:.1}x)",
+        weighted.n,
+        weighted.rounds,
+        weighted.dense_ms,
+        weighted.sparse_ms,
+        weighted.speedup()
+    );
+
+    write_summary(&dispatch, &rounds, &open, &weighted);
+}

@@ -359,13 +359,7 @@ fn bench_e14_open(c: &mut Criterion) {
                 &caps,
                 1024,
                 &SlackDamped::default(),
-                OpenConfig {
-                    seed: 1,
-                    rounds: 200,
-                    arrivals_per_round: 8.0,
-                    departure_prob: 0.05,
-                    warmup: 50,
-                },
+                OpenConfig::new(1, 200, 8.0, 0.05).with_warmup(50),
             ))
         })
     });

@@ -1,14 +1,18 @@
 //! `qlb-bench-check` — the metrics-driven performance regression gate.
 //!
-//! Re-runs the measurements behind the committed `BENCH_sparse.json` and
-//! `BENCH_obs.json` (through the same code in `qlb_bench::checks`, so the
-//! numbers are comparable by construction) and fails if the machine
-//! under test regresses beyond tolerance:
+//! Re-runs the measurements behind the committed `BENCH_sparse.json`,
+//! `BENCH_parallel.json` and `BENCH_obs.json` (through the same code in
+//! `qlb_bench::checks`, so the numbers are comparable by construction)
+//! and fails if the machine under test regresses beyond tolerance:
 //!
 //! * **sparse executor**: the measured endgame round speedup and the
 //!   tight-slack full-run speedup must reach at least `--speedup-tolerance`
 //!   (default 0.35) of the committed values — a gate on *ratios*, so it is
 //!   robust to the absolute speed of the machine;
+//! * **worker pool**: pooled round dispatch must stay at least 5× cheaper
+//!   than the scoped-spawn baseline, and the sparse open-system and
+//!   weighted drivers must beat their dense counterparts outright on the
+//!   committed endgame-heavy workloads (`BENCH_parallel.json`);
 //! * **observability sinks**: the measured NoopSink and Recorder overheads
 //!   must stay under the budgets recorded in `BENCH_obs.json`
 //!   (`noop_overhead_budget_pct`, `recorder_overhead_budget_pct`) plus a
@@ -22,7 +26,9 @@
 //! Exit status 0 = all gates pass; 1 = regression; 2 = bad usage or
 //! missing/corrupt baseline JSON.
 
-use qlb_bench::checks::{measure_obs, measure_sparse};
+use qlb_bench::checks::{
+    measure_dispatch, measure_obs, measure_open_sparse, measure_sparse, measure_weighted_sparse,
+};
 use serde_json::{parse_value_str, Value};
 use std::process::exit;
 
@@ -93,6 +99,74 @@ fn check_sparse(baseline: &Value, sizes: &[usize], tolerance: f64, gates: &mut V
     }
 }
 
+/// Gates for `BENCH_parallel.json`. Unlike the size-swept sparse/obs
+/// gates, each section here has one committed configuration, re-measured
+/// identically in quick and full mode (all three are seconds-fast). The
+/// floors combine the relative tolerance with the PR's hard acceptance
+/// criteria: pooled dispatch must stay ≥ 5× cheaper than scoped spawn,
+/// and the sparse open/weighted drivers must beat dense outright.
+fn check_parallel(baseline: &Value, tolerance: f64, gates: &mut Vec<Gate>) {
+    if let Some(d) = baseline.get("dispatch_overhead") {
+        let threads = d.get("threads").and_then(Value::as_u64).unwrap_or(8) as usize;
+        let committed = f64_field(d, "reduction").unwrap_or(0.0);
+        let measured = measure_dispatch(threads, 100).reduction();
+        let floor = (committed * tolerance).max(5.0);
+        gates.push(Gate {
+            name: format!("parallel/dispatch_reduction/t{threads}"),
+            passed: measured >= floor,
+            detail: format!(
+                "pool {measured:.1}x cheaper than scoped spawn vs committed {committed:.1}x \
+                 (floor {floor:.1}x)"
+            ),
+        });
+    } else {
+        gates.push(Gate {
+            name: "parallel/dispatch_reduction".into(),
+            passed: false,
+            detail: "no dispatch_overhead section in BENCH_parallel.json".into(),
+        });
+    }
+    if let Some(o) = baseline.get("open_sparse") {
+        let m = o.get("m").and_then(Value::as_u64).unwrap_or(256) as usize;
+        let rounds = o.get("rounds").and_then(Value::as_u64).unwrap_or(2_000);
+        let committed = f64_field(o, "speedup").unwrap_or(0.0);
+        let measured = measure_open_sparse(m, rounds).speedup();
+        let floor = (committed * tolerance).max(1.0);
+        gates.push(Gate {
+            name: format!("parallel/open_sparse_speedup/m{m}"),
+            passed: measured >= floor,
+            detail: format!(
+                "sparse {measured:.1}x vs dense, committed {committed:.1}x (floor {floor:.1}x)"
+            ),
+        });
+    } else {
+        gates.push(Gate {
+            name: "parallel/open_sparse_speedup".into(),
+            passed: false,
+            detail: "no open_sparse section in BENCH_parallel.json".into(),
+        });
+    }
+    if let Some(w) = baseline.get("weighted_sparse") {
+        let n = w.get("n").and_then(Value::as_u64).unwrap_or(100_000) as usize;
+        let committed = f64_field(w, "speedup").unwrap_or(0.0);
+        let measured = measure_weighted_sparse(n).speedup();
+        let floor = (committed * tolerance).max(1.0);
+        gates.push(Gate {
+            name: format!("parallel/weighted_sparse_speedup/n{n}"),
+            passed: measured >= floor,
+            detail: format!(
+                "sparse {measured:.1}x vs dense, committed {committed:.1}x (floor {floor:.1}x)"
+            ),
+        });
+    } else {
+        gates.push(Gate {
+            name: "parallel/weighted_sparse_speedup".into(),
+            passed: false,
+            detail: "no weighted_sparse section in BENCH_parallel.json".into(),
+        });
+    }
+}
+
 fn check_obs(baseline: &Value, sizes: &[usize], reps: usize, margin: f64, gates: &mut Vec<Gate>) {
     // budgets live at the top level of BENCH_obs.json; fall back to the
     // historical budget prose ("< 2%") if a field is missing
@@ -150,6 +224,7 @@ fn main() {
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
     let sparse_baseline = load_json(&format!("{root}/BENCH_sparse.json"));
     let obs_baseline = load_json(&format!("{root}/BENCH_obs.json"));
+    let parallel_baseline = load_json(&format!("{root}/BENCH_parallel.json"));
 
     // quick mode exercises every gate at the smallest committed size (a
     // few seconds); the full gate re-measures the committed sizes up to
@@ -168,6 +243,7 @@ fn main() {
     );
     let mut gates = Vec::new();
     check_sparse(&sparse_baseline, sparse_sizes, tolerance, &mut gates);
+    check_parallel(&parallel_baseline, tolerance, &mut gates);
     check_obs(&obs_baseline, obs_sizes, reps, margin, &mut gates);
 
     let mut failed = 0usize;
@@ -197,7 +273,9 @@ fn print_help() {
          --speedup-tolerance R   sparse speedups must reach R x committed (default 0.35)\n  \
          --overhead-margin P     obs overheads may exceed their budget by P points (default 3)\n\n\
          Gates: sparse endgame round speedup, tight-slack run speedup (BENCH_sparse.json);\n\
-         NoopSink and Recorder overhead budgets (BENCH_obs.json). Measurements share code\n\
-         with the benches (qlb_bench::checks), so numbers are comparable by construction."
+         pool dispatch reduction >= 5x and sparse open/weighted drivers beating dense\n\
+         (BENCH_parallel.json); NoopSink and Recorder overhead budgets (BENCH_obs.json).\n\
+         Measurements share code with the benches (qlb_bench::checks), so numbers are\n\
+         comparable by construction."
     );
 }

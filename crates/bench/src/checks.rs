@@ -7,9 +7,13 @@
 //! capture their JSON summaries (keeping their criterion report groups
 //! local), and `qlb-bench-check` calls it to re-measure and compare.
 
-use qlb_core::step::{decide_active_into, decide_round_into};
-use qlb_core::{ActiveIndex, SlackDamped, State};
-use qlb_engine::{run, run_observed, run_sparse, RunConfig};
+use qlb_core::step::{decide_active_into, decide_range_into, decide_round_into};
+use qlb_core::weighted::{WeightedInstance, WeightedSlackDamped, WeightedState};
+use qlb_core::{ActiveIndex, Move, ResourceId, SlackDamped, State};
+use qlb_engine::{
+    run, run_observed, run_open_system, run_sparse, run_weighted_cfg, shard_bounds, Executor,
+    OpenConfig, RunConfig, WeightedConfig, WorkerPool,
+};
 use qlb_obs::{NoopSink, Recorder};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -208,6 +212,266 @@ pub fn tight_run_to_convergence(n: usize) -> (u64, f64, f64) {
 }
 
 // ---------------------------------------------------------------------
+// persistent worker-pool measurements (BENCH_parallel.json)
+// ---------------------------------------------------------------------
+
+/// Per-round *dispatch* cost of the two parallel executors: the retired
+/// scoped-spawn pattern (fresh OS threads + fresh move buffers every
+/// round) vs. the persistent [`WorkerPool`] (condvar wake of long-lived
+/// workers, reusable buffers). Both run a no-op round, so the number is
+/// pure executor overhead, independent of instance size or core count.
+#[derive(Debug, Clone)]
+pub struct DispatchRow {
+    /// Worker count.
+    pub threads: usize,
+    /// Mean ns of one no-op scoped-spawn round (the pre-pool executor).
+    pub scoped_spawn_ns: f64,
+    /// Mean ns of one no-op pooled round, same shard count.
+    pub pool_ns: f64,
+}
+
+impl DispatchRow {
+    /// How much cheaper pooled dispatch is (the regression-gated ratio).
+    pub fn reduction(&self) -> f64 {
+        self.scoped_spawn_ns / self.pool_ns
+    }
+}
+
+/// The scoped-spawn round `run_threaded` used before the worker pool:
+/// one fresh OS thread and one fresh move buffer per shard, every round.
+/// Kept here (only) as the bench baseline the pool is compared against.
+fn scoped_spawn_round<F: Fn(usize, &mut Vec<Move>) + Sync>(threads: usize, fill: &F) -> usize {
+    let mut shards: Vec<Vec<Move>> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|shard| {
+                s.spawn(move || {
+                    let mut buf = Vec::new();
+                    fill(shard, &mut buf);
+                    buf
+                })
+            })
+            .collect();
+        for h in handles {
+            shards.push(h.join().expect("bench shard panicked"));
+        }
+    });
+    shards.iter().map(Vec::len).sum()
+}
+
+/// Measure no-op round dispatch under both executors at `threads` shards.
+pub fn measure_dispatch(threads: usize, budget_ms: u64) -> DispatchRow {
+    let noop = |_shard: usize, _buf: &mut Vec<Move>| {};
+    let scoped_spawn_ns = ns_per_call(
+        || {
+            black_box(scoped_spawn_round(threads, &noop));
+        },
+        budget_ms,
+    );
+    let pool = WorkerPool::new(threads);
+    let mut out = Vec::new();
+    let pool_ns = ns_per_call(
+        || {
+            pool.decide_round(noop, &mut out, false);
+            black_box(out.len());
+        },
+        budget_ms,
+    );
+    DispatchRow {
+        threads,
+        scoped_spawn_ns,
+        pool_ns,
+    }
+}
+
+/// One row of the real-round latency table at size `n` (endgame state, the
+/// regime where executor overhead is the largest share of a round).
+#[derive(Debug, Clone)]
+pub struct PoolRoundRow {
+    /// Users.
+    pub n: usize,
+    /// Worker count.
+    pub threads: usize,
+    /// Mean ns of one sequential dense decision round.
+    pub seq_round_ns: f64,
+    /// Mean ns of the same round under the scoped-spawn executor.
+    pub scoped_round_ns: f64,
+    /// Mean ns of the same round under the persistent pool.
+    pub pooled_round_ns: f64,
+}
+
+/// Time one dense decision round over the pinned endgame state three ways:
+/// sequential, scoped-spawn sharded, pool sharded.
+pub fn measure_pool_round(n: usize, threads: usize, budget_ms: u64) -> PoolRoundRow {
+    let (inst, state) = crate::endgame_pair(n, BENCH_SEED, ACTIVE_FRAC);
+    let proto = SlackDamped::default();
+    let shards = shard_bounds(n, threads).len();
+    let chunk = n.div_ceil(shards).max(1);
+    let fill = |shard: usize, buf: &mut Vec<Move>| {
+        let lo = (shard * chunk).min(n);
+        let hi = (lo + chunk).min(n);
+        decide_range_into(&inst, &state, &proto, BENCH_SEED, 9, lo, hi, buf);
+    };
+
+    let mut out = Vec::new();
+    let seq_round_ns = ns_per_call(
+        || {
+            decide_round_into(&inst, &state, &proto, BENCH_SEED, 9, &mut out);
+            black_box(out.len());
+        },
+        budget_ms,
+    );
+    let scoped_round_ns = ns_per_call(
+        || {
+            black_box(scoped_spawn_round(shards, &fill));
+        },
+        budget_ms,
+    );
+    let pool = WorkerPool::new(shards);
+    let pooled_round_ns = ns_per_call(
+        || {
+            pool.decide_round(fill, &mut out, false);
+            black_box(out.len());
+        },
+        budget_ms,
+    );
+    PoolRoundRow {
+        n,
+        threads: shards,
+        seq_round_ns,
+        scoped_round_ns,
+        pooled_round_ns,
+    }
+}
+
+/// Dense vs. sparse open-system driver on an endgame-heavy workload.
+#[derive(Debug, Clone)]
+pub struct OpenSparseRow {
+    /// Resources.
+    pub m: usize,
+    /// User-pool size (mostly parked — the regime the sparse path targets).
+    pub pool: usize,
+    /// Simulated rounds.
+    pub rounds: u64,
+    /// Mean active users over the run.
+    pub mean_active: f64,
+    /// Best-of-2 dense driver wall time, ms.
+    pub dense_ms: f64,
+    /// Best-of-2 sparse driver wall time, ms.
+    pub sparse_ms: f64,
+}
+
+impl OpenSparseRow {
+    /// Dense/sparse full-run speedup (gated ≥ 1: sparse must beat dense).
+    pub fn speedup(&self) -> f64 {
+        self.dense_ms / self.sparse_ms
+    }
+}
+
+/// Run the open system at low offered load (ρ = 0.3) with a user pool four
+/// times the fleet capacity: the steady state keeps ~92 % of the pool
+/// parked, so a dense round wastes almost its whole scan on satisfied
+/// users — the open-system analogue of the closed-model endgame.
+pub fn measure_open_sparse(m: usize, rounds: u64) -> OpenSparseRow {
+    let caps = vec![10u32; m];
+    let total = 10 * m;
+    let mu = 0.05f64;
+    let lambda = 0.3 * mu * total as f64;
+    let pool = 4 * total;
+    let proto = SlackDamped::default();
+    let base = OpenConfig::new(BENCH_SEED, rounds, lambda, mu);
+
+    let mut dense_ms = f64::INFINITY;
+    let mut sparse_ms = f64::INFINITY;
+    let mut mean_active = 0.0;
+    for _ in 0..2 {
+        let t0 = Instant::now();
+        let dense = run_open_system(&caps, pool, &proto, base);
+        dense_ms = dense_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        let t0 = Instant::now();
+        let sparse = run_open_system(&caps, pool, &proto, base.with_executor(Executor::Sparse));
+        sparse_ms = sparse_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(dense.series, sparse.series, "open drivers diverged");
+        mean_active = dense.mean_active;
+    }
+    OpenSparseRow {
+        m,
+        pool,
+        rounds,
+        mean_active,
+        dense_ms,
+        sparse_ms,
+    }
+}
+
+/// Dense vs. sparse weighted engine on a tight-slack run.
+#[derive(Debug, Clone)]
+pub struct WeightedSparseRow {
+    /// Users.
+    pub n: usize,
+    /// Rounds to convergence (identical under both executors).
+    pub rounds: u64,
+    /// Best-of-2 dense run, ms.
+    pub dense_ms: f64,
+    /// Best-of-2 sparse run, ms.
+    pub sparse_ms: f64,
+}
+
+impl WeightedSparseRow {
+    /// Dense/sparse full-run speedup (gated ≥ 1: sparse must beat dense).
+    pub fn speedup(&self) -> f64 {
+        self.dense_ms / self.sparse_ms
+    }
+}
+
+/// The weighted analogue of [`tight_run_to_convergence`]: demands cycling
+/// 1..=3, capacity margin γ ≈ 1.005, hotspot start — a long convergence
+/// tail of nearly-empty rounds where the weighted active set pays off.
+/// Resources hold ~128 weight units each so the sub-percent slack target
+/// is actually representable in integer capacities.
+pub fn measure_weighted_sparse(n: usize) -> WeightedSparseRow {
+    let m = (n / 64).max(1);
+    let weights: Vec<u32> = (0..n).map(|i| 1 + (i as u32 % 3)).collect();
+    let total_w: u64 = weights.iter().map(|&w| w as u64).sum();
+    let per = ((1.005 * total_w as f64) / m as f64).ceil() as u64;
+    let winst = WeightedInstance::new(vec![per; m], weights).expect("valid weighted instance");
+    let start = WeightedState::new(&winst, vec![ResourceId(0); n]).expect("valid start");
+    let proto = WeightedSlackDamped::default();
+
+    let mut dense_ms = f64::INFINITY;
+    let mut sparse_ms = f64::INFINITY;
+    let mut rounds = 0u64;
+    for _ in 0..2 {
+        let t0 = Instant::now();
+        let dense = run_weighted_cfg(
+            &winst,
+            start.clone(),
+            &proto,
+            WeightedConfig::new(BENCH_SEED, 1_000_000),
+        );
+        dense_ms = dense_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        let t0 = Instant::now();
+        let sparse = run_weighted_cfg(
+            &winst,
+            start.clone(),
+            &proto,
+            WeightedConfig::new(BENCH_SEED, 1_000_000).with_executor(Executor::Sparse),
+        );
+        sparse_ms = sparse_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        assert!(dense.converged && sparse.converged);
+        assert_eq!(dense.state, sparse.state, "weighted executors diverged");
+        assert_eq!(dense.rounds, sparse.rounds);
+        rounds = dense.rounds;
+    }
+    WeightedSparseRow {
+        n,
+        rounds,
+        dense_ms,
+        sparse_ms,
+    }
+}
+
+// ---------------------------------------------------------------------
 // observability overhead measurements (BENCH_obs.json)
 // ---------------------------------------------------------------------
 
@@ -310,5 +574,35 @@ mod tests {
         assert!(row.active > 0);
         assert!(row.dense_round_ns > 0.0 && row.sparse_round_ns > 0.0);
         assert!(row.tight_rounds > 0);
+    }
+
+    #[test]
+    fn measure_dispatch_smoke() {
+        let row = measure_dispatch(4, 10);
+        assert_eq!(row.threads, 4);
+        assert!(row.scoped_spawn_ns > 0.0 && row.pool_ns > 0.0);
+        assert!(row.reduction() > 0.0);
+    }
+
+    #[test]
+    fn measure_pool_round_smoke() {
+        let row = measure_pool_round(2_048, 4, 5);
+        assert!(row.seq_round_ns > 0.0);
+        assert!(row.scoped_round_ns > 0.0);
+        assert!(row.pooled_round_ns > 0.0);
+    }
+
+    #[test]
+    fn measure_open_sparse_smoke() {
+        let row = measure_open_sparse(32, 80);
+        assert!(row.mean_active > 0.0);
+        assert!(row.dense_ms > 0.0 && row.sparse_ms > 0.0);
+    }
+
+    #[test]
+    fn measure_weighted_sparse_smoke() {
+        let row = measure_weighted_sparse(4_096);
+        assert!(row.rounds > 0);
+        assert!(row.dense_ms > 0.0 && row.sparse_ms > 0.0);
     }
 }

@@ -173,6 +173,58 @@ impl ActiveIndex {
         self.touched.clear();
     }
 
+    /// Apply a batch of **driver-side reassignments** (churn: arrivals,
+    /// departures, failures re-homing users) to `state` and the index.
+    ///
+    /// Unlike [`ActiveIndex::apply_moves`], the changes need not reference
+    /// start-of-round positions — each entry `(u, to)` re-homes `u` from
+    /// wherever it currently is. Cost is `O(batch + Σ occupancy of touched
+    /// non-exempt resources)`.
+    ///
+    /// `exempt` marks a resource whose occupants' satisfaction can never
+    /// change (an effectively infinite-capacity *parking* resource, as used
+    /// by the open-system driver): its occupant list — typically the bulk
+    /// of the user population — is skipped during the recheck. The moved
+    /// users themselves are always rechecked individually, so a user parked
+    /// by this batch leaves the unsatisfied set correctly.
+    pub fn apply_reassignments(
+        &mut self,
+        inst: &Instance,
+        state: &mut State,
+        changes: &[(UserId, ResourceId)],
+        exempt: Option<ResourceId>,
+    ) {
+        self.generation += 1;
+        debug_assert!(self.touched.is_empty());
+        for &(u, to) in changes {
+            let from = state.resource_of(u);
+            if from == to {
+                continue;
+            }
+            state.reassign(u, to);
+            self.relocate(u, from, to);
+            self.touch(from);
+            self.touch(to);
+        }
+
+        let touched = std::mem::take(&mut self.touched);
+        for &r in &touched {
+            if Some(r) == exempt {
+                continue;
+            }
+            for i in 0..self.occupants[r.index()].len() {
+                let u = self.occupants[r.index()][i];
+                self.set_active(u, !state.is_satisfied(inst, u));
+            }
+        }
+        self.touched = touched;
+        self.touched.clear();
+        // users that landed on the exempt resource were skipped above
+        for &(u, _) in changes {
+            self.set_active(u, !state.is_satisfied(inst, u));
+        }
+    }
+
     /// Move `u`'s occupancy record from `from` to `to`.
     fn relocate(&mut self, u: UserId, from: ResourceId, to: ResourceId) {
         let p = self.pos_in_resource[u.index()] as usize;
@@ -357,6 +409,44 @@ mod tests {
         idx.sorted_active_into(&mut buf);
         assert_eq!(buf, state.unsatisfied(&inst));
         assert_eq!(buf, inst.users().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reassignments_update_like_rebuild() {
+        // parking trick shape: last resource has effectively infinite cap
+        let inst = Instance::with_capacities(8, vec![3, 3, u32::MAX]).unwrap();
+        let parking = ResourceId(2);
+        let mut state = State::all_on(&inst, parking);
+        let mut idx = ActiveIndex::new(&inst, &state);
+        assert!(idx.is_empty(), "parked users are satisfied");
+
+        // arrivals: 5 users onto r0 (cap 3) → all 5 unsatisfied
+        let arrivals: Vec<(UserId, ResourceId)> =
+            (0..5).map(|u| (UserId(u), ResourceId(0))).collect();
+        idx.apply_reassignments(&inst, &mut state, &arrivals, Some(parking));
+        idx.assert_consistent(&inst, &state);
+        assert_eq!(idx.num_active(), 5);
+
+        // mixed batch: two depart back to parking, one hops to r1
+        let batch = vec![
+            (UserId(0), parking),
+            (UserId(1), parking),
+            (UserId(2), ResourceId(1)),
+        ];
+        idx.apply_reassignments(&inst, &mut state, &batch, Some(parking));
+        idx.assert_consistent(&inst, &state);
+        // r0 now holds users 3, 4 at load 2 ≤ 3; r1 holds user 2 at 1 ≤ 3
+        assert!(idx.is_empty());
+
+        // no-op entries (already there) change nothing
+        idx.apply_reassignments(
+            &inst,
+            &mut state,
+            &[(UserId(3), ResourceId(0))],
+            Some(parking),
+        );
+        idx.assert_consistent(&inst, &state);
+        assert!(idx.is_empty());
     }
 
     #[test]

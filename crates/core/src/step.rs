@@ -157,6 +157,37 @@ pub fn decide_active_into<P: Protocol + ?Sized>(
     }
 }
 
+/// Decide an explicit, already-ordered user list — the shard primitive of
+/// the **parallel sparse** executor.
+///
+/// `users` is one contiguous slice of the sorted active set (see
+/// [`ActiveIndex::sorted_active_into`]); concatenating the outputs of the
+/// slices in order reproduces [`decide_active_into`] exactly, because each
+/// user's decision is a pure function of `(seed, user, round)` and the
+/// start-of-round loads. The same soundness condition applies: the protocol
+/// must not act while satisfied.
+pub fn decide_users_into<P: Protocol + ?Sized>(
+    inst: &Instance,
+    state: &State,
+    users: &[UserId],
+    proto: &P,
+    seed: u64,
+    round: u64,
+    out: &mut Vec<Move>,
+) {
+    debug_assert!(
+        !proto.acts_when_satisfied(),
+        "active-set shards are unsound for protocols that act while satisfied"
+    );
+    let loads = state.loads();
+    for &user in users {
+        let own = state.resource_of(user);
+        if let Some(mv) = decide_user(inst, loads, own, user, proto, seed, round) {
+            out.push(mv);
+        }
+    }
+}
+
 /// Decide a contiguous user range `[lo, hi)` of a round, appending to `out`
 /// — the shard primitive of the threaded executor. Equivalent to the
 /// corresponding slice of [`decide_round_into`]'s output (the threaded

@@ -1,0 +1,255 @@
+//! Incremental unsatisfied set for the weighted model.
+//!
+//! Same design as the unit model's [`crate::active::ActiveIndex`] — per
+//! resource occupant lists plus a swap-remove unsatisfied set with a
+//! position index — specialized to `u64` weight arithmetic and
+//! [`WeightedState`] satisfaction (total weight within capacity). The
+//! weighted endgame is exactly where the active set pays off: late in a run
+//! only the heavy users still hunt for a hole big enough, so dense `O(n)`
+//! rounds discover over and over that almost nobody acts.
+//!
+//! Soundness needs no capability flag here: every weighted kernel's
+//! satisfied users return before consuming randomness (there is no
+//! weighted analogue of `acts_when_satisfied`), so skipping them never
+//! shifts another user's draws.
+
+use super::instance::WeightedInstance;
+use super::state::WeightedState;
+use crate::ids::{ResourceId, UserId};
+use crate::state::Move;
+
+/// Sentinel for "not in the unsatisfied set".
+const NOT_ACTIVE: u32 = u32::MAX;
+
+/// Occupant lists plus the unsatisfied set for a [`WeightedState`], kept in
+/// sync through [`WeightedActiveIndex::apply_moves`].
+#[derive(Debug, Clone)]
+pub struct WeightedActiveIndex {
+    occupants: Vec<Vec<UserId>>,
+    pos_in_resource: Vec<u32>,
+    unsat: Vec<UserId>,
+    unsat_pos: Vec<u32>,
+    touched_stamp: Vec<u64>,
+    touched: Vec<ResourceId>,
+    generation: u64,
+}
+
+impl WeightedActiveIndex {
+    /// Build the index for `state` in `O(n + m)`.
+    pub fn new(inst: &WeightedInstance, state: &WeightedState) -> Self {
+        let n = inst.num_users();
+        let m = inst.num_resources();
+        let mut occupants: Vec<Vec<UserId>> = vec![Vec::new(); m];
+        let mut pos_in_resource = vec![0u32; n];
+        for u in inst.users() {
+            let list = &mut occupants[state.resource_of(u).index()];
+            pos_in_resource[u.index()] = list.len() as u32;
+            list.push(u);
+        }
+        let mut unsat = Vec::new();
+        let mut unsat_pos = vec![NOT_ACTIVE; n];
+        for u in inst.users() {
+            if !state.is_satisfied(inst, u) {
+                unsat_pos[u.index()] = unsat.len() as u32;
+                unsat.push(u);
+            }
+        }
+        Self {
+            occupants,
+            pos_in_resource,
+            unsat,
+            unsat_pos,
+            touched_stamp: vec![0; m],
+            touched: Vec::new(),
+            generation: 0,
+        }
+    }
+
+    /// Number of currently unsatisfied users.
+    #[inline]
+    pub fn num_active(&self) -> usize {
+        self.unsat.len()
+    }
+
+    /// True iff every user is satisfied — [`WeightedState::is_legal`] in
+    /// O(1) (for states whose every user sits on an occupied resource,
+    /// which is all reachable states).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.unsat.is_empty()
+    }
+
+    /// Fill `buf` with the unsatisfied users in increasing user order (see
+    /// the unit-model twin for the crossover rationale).
+    pub fn sorted_active_into(&self, buf: &mut Vec<UserId>) {
+        buf.clear();
+        let active = self.unsat.len();
+        let sweep_cheaper = active
+            .checked_mul(usize::BITS as usize - active.leading_zeros() as usize)
+            .is_none_or(|sort_work| sort_work / 4 > self.unsat_pos.len());
+        if sweep_cheaper {
+            buf.extend(
+                self.unsat_pos
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &p)| p != NOT_ACTIVE)
+                    .map(|(u, _)| UserId(u as u32)),
+            );
+        } else {
+            buf.extend_from_slice(&self.unsat);
+            buf.sort_unstable();
+        }
+    }
+
+    /// Apply a batch of migrations to `state` and bring the index up to
+    /// date, in time `O(batch + Σ occupancy of touched resources)`.
+    pub fn apply_moves(
+        &mut self,
+        inst: &WeightedInstance,
+        state: &mut WeightedState,
+        moves: &[Move],
+    ) {
+        state.apply_moves(inst, moves);
+
+        self.generation += 1;
+        debug_assert!(self.touched.is_empty());
+        for mv in moves {
+            self.relocate(mv.user, mv.from, mv.to);
+            self.touch(mv.from);
+            self.touch(mv.to);
+        }
+
+        let touched = std::mem::take(&mut self.touched);
+        for &r in &touched {
+            for i in 0..self.occupants[r.index()].len() {
+                let u = self.occupants[r.index()][i];
+                self.set_active(u, !state.is_satisfied(inst, u));
+            }
+        }
+        self.touched = touched;
+        self.touched.clear();
+    }
+
+    fn relocate(&mut self, u: UserId, from: ResourceId, to: ResourceId) {
+        let p = self.pos_in_resource[u.index()] as usize;
+        let list = &mut self.occupants[from.index()];
+        debug_assert_eq!(list[p], u, "occupant index out of sync");
+        list.swap_remove(p);
+        if let Some(&moved) = list.get(p) {
+            self.pos_in_resource[moved.index()] = p as u32;
+        }
+        let dest = &mut self.occupants[to.index()];
+        self.pos_in_resource[u.index()] = dest.len() as u32;
+        dest.push(u);
+    }
+
+    fn touch(&mut self, r: ResourceId) {
+        if self.touched_stamp[r.index()] != self.generation {
+            self.touched_stamp[r.index()] = self.generation;
+            self.touched.push(r);
+        }
+    }
+
+    fn set_active(&mut self, u: UserId, active: bool) {
+        let p = self.unsat_pos[u.index()];
+        if active {
+            if p == NOT_ACTIVE {
+                self.unsat_pos[u.index()] = self.unsat.len() as u32;
+                self.unsat.push(u);
+            }
+        } else if p != NOT_ACTIVE {
+            self.unsat.swap_remove(p as usize);
+            if let Some(&moved) = self.unsat.get(p as usize) {
+                self.unsat_pos[moved.index()] = p;
+            }
+            self.unsat_pos[u.index()] = NOT_ACTIVE;
+        }
+    }
+
+    /// Brute-force consistency check against a from-scratch recomputation.
+    ///
+    /// # Panics
+    /// Panics with a description of the first divergence found.
+    pub fn assert_consistent(&self, inst: &WeightedInstance, state: &WeightedState) {
+        let mut seen = vec![false; inst.num_users()];
+        for (r, list) in self.occupants.iter().enumerate() {
+            for (i, &u) in list.iter().enumerate() {
+                assert_eq!(
+                    state.resource_of(u).index(),
+                    r,
+                    "occupant list of r{r} holds {u} which is elsewhere"
+                );
+                assert_eq!(
+                    self.pos_in_resource[u.index()] as usize,
+                    i,
+                    "position index of {u} out of sync"
+                );
+                assert!(!seen[u.index()], "{u} occupies two lists");
+                seen[u.index()] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "occupant lists miss a user");
+
+        let expected: Vec<UserId> = inst
+            .users()
+            .filter(|&u| !state.is_satisfied(inst, u))
+            .collect();
+        let mut got: Vec<UserId> = self.unsat.clone();
+        got.sort_unstable();
+        assert_eq!(got, expected, "unsatisfied set out of sync");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weighted::{decide_weighted_round, WeightedSlackDamped};
+
+    fn crowd() -> (WeightedInstance, WeightedState) {
+        let inst = WeightedInstance::new(vec![6; 8], vec![2; 12]).unwrap();
+        let state = WeightedState::all_on(&inst, ResourceId(0));
+        (inst, state)
+    }
+
+    #[test]
+    fn new_matches_brute_force() {
+        let (inst, state) = crowd();
+        let idx = WeightedActiveIndex::new(&inst, &state);
+        assert_eq!(idx.num_active(), 12);
+        idx.assert_consistent(&inst, &state);
+    }
+
+    #[test]
+    fn protocol_batches_keep_index_consistent() {
+        let (inst, mut state) = crowd();
+        let mut idx = WeightedActiveIndex::new(&inst, &state);
+        let proto = WeightedSlackDamped::default();
+        for round in 0..200u64 {
+            let moves = decide_weighted_round(&inst, &state, &proto, 11, round);
+            idx.apply_moves(&inst, &mut state, &moves);
+            idx.assert_consistent(&inst, &state);
+            assert_eq!(idx.num_active(), state.num_unsatisfied(&inst));
+            assert_eq!(idx.is_empty(), state.is_legal(&inst));
+            if idx.is_empty() {
+                return;
+            }
+        }
+        panic!("weighted crowd did not converge in 200 rounds");
+    }
+
+    #[test]
+    fn sorted_iteration_is_user_order() {
+        let (inst, mut state) = crowd();
+        let mut idx = WeightedActiveIndex::new(&inst, &state);
+        let proto = WeightedSlackDamped::default();
+        let moves = decide_weighted_round(&inst, &state, &proto, 3, 0);
+        idx.apply_moves(&inst, &mut state, &moves);
+        let mut buf = Vec::new();
+        idx.sorted_active_into(&mut buf);
+        let expected: Vec<UserId> = inst
+            .users()
+            .filter(|&u| !state.is_satisfied(&inst, u))
+            .collect();
+        assert_eq!(buf, expected);
+    }
+}

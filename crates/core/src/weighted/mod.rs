@@ -21,14 +21,19 @@
 //! types with `u64` load arithmetic) rather than threaded through the unit
 //! model's hot path, which stays allocation- and branch-lean.
 
+mod active;
 mod baseline;
 mod instance;
 mod protocol;
 mod state;
 mod step;
 
+pub use active::WeightedActiveIndex;
 pub use baseline::{first_fit_decreasing, weight_counting_feasible};
 pub use instance::WeightedInstance;
 pub use protocol::{WeightedConditional, WeightedProtocol, WeightedSlackDamped, WeightedView};
 pub use state::WeightedState;
-pub use step::{decide_weighted_round, decide_weighted_round_into, decide_weighted_user};
+pub use step::{
+    decide_weighted_range_into, decide_weighted_round, decide_weighted_round_into,
+    decide_weighted_user, decide_weighted_users_into,
+};

@@ -73,6 +73,59 @@ pub fn decide_weighted_round_into<P: WeightedProtocol + ?Sized>(
     }
 }
 
+/// Decide an explicit, already-ordered user list, appending to `out` — the
+/// shard primitive of the weighted **sparse** executors.
+///
+/// `users` is one contiguous slice of the sorted unsatisfied set (see
+/// [`super::WeightedActiveIndex::sorted_active_into`]); concatenating the
+/// slice outputs in order reproduces [`decide_weighted_round_into`] exactly,
+/// because satisfied users consume no randomness and each decision is a pure
+/// function of `(seed, user, round)` and start-of-round loads. The weighted
+/// model has no `acts_when_satisfied` escape hatch, so this is sound for
+/// every [`WeightedProtocol`].
+pub fn decide_weighted_users_into<P: WeightedProtocol + ?Sized>(
+    inst: &WeightedInstance,
+    state: &WeightedState,
+    users: &[UserId],
+    proto: &P,
+    seed: u64,
+    round: u64,
+    out: &mut Vec<Move>,
+) {
+    let loads = state.loads();
+    for &user in users {
+        let own = state.resource_of(user);
+        if let Some(mv) = decide_weighted_user(inst, loads, own, user, proto, seed, round) {
+            out.push(mv);
+        }
+    }
+}
+
+/// Decide a contiguous user range `[lo, hi)`, appending to `out` — the shard
+/// primitive of the weighted **threaded** executor. Equivalent to the
+/// corresponding slice of [`decide_weighted_round_into`]'s output.
+#[allow(clippy::too_many_arguments)]
+pub fn decide_weighted_range_into<P: WeightedProtocol + ?Sized>(
+    inst: &WeightedInstance,
+    state: &WeightedState,
+    proto: &P,
+    seed: u64,
+    round: u64,
+    lo: usize,
+    hi: usize,
+    out: &mut Vec<Move>,
+) {
+    debug_assert!(lo <= hi && hi <= inst.num_users());
+    let loads = state.loads();
+    for idx in lo..hi {
+        let user = UserId(idx as u32);
+        let own = state.resource_of(user);
+        if let Some(mv) = decide_weighted_user(inst, loads, own, user, proto, seed, round) {
+            out.push(mv);
+        }
+    }
+}
+
 /// Allocating convenience wrapper.
 pub fn decide_weighted_round<P: WeightedProtocol + ?Sized>(
     inst: &WeightedInstance,

@@ -1,13 +1,17 @@
 //! # qlb-engine — synchronous round engine for QoS load balancing
 //!
 //! Executes a `qlb-core` protocol over synchronous rounds, at laptop scale,
-//! with two executors that produce **bit-identical trajectories**:
+//! with a family of executors that produce **bit-identical trajectories**:
 //!
 //! * [`run()`](run()) — the sequential reference executor (allocation-free round
 //!   loop);
-//! * [`run_threaded`] — a sharded multi-threaded executor (`std::thread::
-//!   scope`); identical output is guaranteed by the counter-based RNG
-//!   streams of `qlb-rng` and verified by tests and experiment E10.
+//! * [`run_sparse`] — the active-set executor: `O(active)` rounds via an
+//!   incrementally maintained unsatisfied set;
+//! * [`run_threaded`] — round decisions sharded over a persistent
+//!   [`WorkerPool`] (long-lived workers, one condvar dispatch per round);
+//!   identical output is guaranteed by the counter-based RNG streams of
+//!   `qlb-rng` and verified by tests and experiment E10;
+//! * [`run_sparse_threaded`] — the active-set walk sharded over the pool.
 //!
 //! The engine also provides per-round [`trace`]s (potential decay, figure
 //! experiments), [`dynamics`] for churn/re-convergence experiments,
@@ -30,6 +34,7 @@
 
 pub mod dynamics;
 pub mod open;
+pub mod pool;
 pub mod run;
 pub mod trace;
 pub mod weighted;
@@ -40,9 +45,14 @@ pub use dynamics::{
 pub use open::{
     run_open_system, run_open_system_observed, OpenConfig, OpenOutcome, OpenRoundStats,
 };
+pub use pool::{shard_bounds, WorkerPool};
 pub use run::{
-    run, run_observed, run_sparse, run_sparse_observed, run_threaded, run_threaded_observed,
-    Executor, RunConfig, RunOutcome,
+    run, run_observed, run_sparse, run_sparse_observed, run_sparse_threaded,
+    run_sparse_threaded_observed, run_threaded, run_threaded_observed, Executor, RunConfig,
+    RunOutcome,
 };
 pub use trace::{RoundStats, Trace};
-pub use weighted::{run_weighted, run_weighted_observed, WeightedOutcome};
+pub use weighted::{
+    run_weighted, run_weighted_cfg, run_weighted_cfg_observed, run_weighted_observed,
+    WeightedConfig, WeightedOutcome,
+};

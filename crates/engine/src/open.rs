@@ -10,11 +10,28 @@
 //! random real resource, departures are reassignments back. The protocol
 //! itself is unchanged and unaware of the driver — exactly how churn would
 //! hit a deployed system.
+//!
+//! The driver supports the full [`Executor`] family. The sparse executors
+//! are the natural fit here: the steady-state active population is usually
+//! a small fraction of the user pool, so `O(pool)` dense rounds are almost
+//! entirely wasted scans of parked (always-satisfied) users. Arrivals,
+//! departures, **and** protocol migrations are all fed to the
+//! [`ActiveIndex`] as reassignment deltas with the parking resource
+//! exempted from occupant rechecks (its infinite capacity means its
+//! occupants' satisfaction never changes), keeping every round
+//! `O(churn + active)` instead of `O(pool)`.
 
-use qlb_core::step::decide_round_into;
-use qlb_core::{Instance, Move, Protocol, ResourceId, State, UserId};
+use crate::pool::{shard_bounds, WorkerPool};
+use crate::run::Executor;
+use qlb_core::step::{decide_active_into, decide_range_into, decide_round_into, decide_users_into};
+use qlb_core::{ActiveIndex, Instance, Move, Protocol, ResourceId, State, UserId};
 use qlb_obs::{timed, Counter, Event, Gauge, NoopSink, Phase, Sink};
 use qlb_rng::{Rng64, SplitMix64};
+use std::time::Instant;
+
+/// Below this many active users a pooled open-system round decides
+/// sequentially (same rationale as the closed-system threshold).
+const SPARSE_POOL_MIN_ACTIVE: usize = 1024;
 
 /// Configuration of an open-system run.
 #[derive(Debug, Clone, Copy)]
@@ -30,6 +47,36 @@ pub struct OpenConfig {
     pub departure_prob: f64,
     /// Rounds to discard before computing steady-state statistics.
     pub warmup: u64,
+    /// Round-execution strategy (default [`Executor::Dense`]; every
+    /// executor produces a bit-identical series).
+    pub executor: Executor,
+}
+
+impl OpenConfig {
+    /// Plain config: given seed, rounds, and rates; no warmup discard,
+    /// dense executor.
+    pub fn new(seed: u64, rounds: u64, arrivals_per_round: f64, departure_prob: f64) -> Self {
+        Self {
+            seed,
+            rounds,
+            arrivals_per_round,
+            departure_prob,
+            warmup: 0,
+            executor: Executor::Dense,
+        }
+    }
+
+    /// Set the warmup rounds discarded from steady-state statistics.
+    pub fn with_warmup(mut self, warmup: u64) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Select the round-execution strategy.
+    pub fn with_executor(mut self, executor: Executor) -> Self {
+        self.executor = executor;
+        self
+    }
 }
 
 /// Per-round observation of an open-system run.
@@ -63,7 +110,7 @@ pub struct OpenOutcome {
 ///
 /// # Panics
 /// Panics on nonsensical rates (negative arrivals, departure probability
-/// outside `[0, 1]`).
+/// outside `[0, 1]`) and on a threaded executor with zero threads.
 pub fn run_open_system<P: Protocol + ?Sized>(
     base_caps: &[u32],
     pool: usize,
@@ -100,38 +147,83 @@ pub fn run_open_system_observed<P: Protocol + ?Sized, S: Sink>(
     let inst = Instance::with_capacities(pool, caps).expect("non-empty capacities");
     let mut state = State::all_on(&inst, parking);
 
+    // Executor selection. The sparse index is unsound for protocols that
+    // act while satisfied — those fall back to the dense scan, exactly as
+    // the closed-system engine does.
+    let sparse_requested = matches!(cfg.executor, Executor::Sparse | Executor::SparseThreaded(_));
+    let use_sparse = sparse_requested && !proto.acts_when_satisfied();
+    if S::ENABLED && sparse_requested {
+        sink.add(Counter::ExecutorSwitches, 1);
+        sink.event(Event::ExecutorSwitch {
+            round: 0,
+            sparse: use_sparse,
+        });
+    }
+    let wpool = match cfg.executor {
+        Executor::Threaded(threads) | Executor::SparseThreaded(threads) => {
+            assert!(threads > 0, "need at least one thread");
+            let shards = shard_bounds(pool, threads).len();
+            (shards > 1).then(|| WorkerPool::new(shards))
+        }
+        _ => None,
+    };
+    // An open system starts all-parked (zero unsatisfied), so the index is
+    // built upfront — there is no crowded warm-up phase to skip.
+    let mut index = use_sparse.then(|| ActiveIndex::new(&inst, &state));
+
     // Parked users as a LIFO stack; active set as a boolean map.
     let mut parked: Vec<UserId> = inst.users().collect();
     let mut active = vec![false; pool];
+    let mut active_count = 0u64;
 
     let mut driver_rng = SplitMix64::new(qlb_rng::mix64_pair(cfg.seed, OPEN_SALT));
     let mut arrival_credit = 0.0f64;
     let mut moves: Vec<Move> = Vec::new();
+    let mut scratch: Vec<UserId> = Vec::new();
+    let mut changes: Vec<(UserId, ResourceId)> = Vec::new();
     let mut series = Vec::with_capacity(cfg.rounds as usize);
 
     for round in 0..cfg.rounds {
         // Arrivals.
         arrival_credit += cfg.arrivals_per_round;
         let mut arrived = 0u64;
+        changes.clear();
         while arrival_credit >= 1.0 {
             arrival_credit -= 1.0;
             let Some(u) = parked.pop() else { break };
             active[u.index()] = true;
             let r = ResourceId(driver_rng.uniform_usize(m) as u32);
-            state.reassign(u, r);
+            match index.as_mut() {
+                Some(_) => changes.push((u, r)),
+                None => state.reassign(u, r),
+            }
             arrived += 1;
         }
-        // Departures.
+        if let Some(index) = index.as_mut() {
+            index.apply_reassignments(&inst, &mut state, &changes, Some(parking));
+        }
+        active_count += arrived;
+        // Departures. The flag scan visits every pool slot, but the
+        // bernoulli draw is consumed only for active users, so the driver
+        // stream is independent of the pool layout.
         let mut departed = 0u64;
+        changes.clear();
         for (idx, is_active) in active.iter_mut().enumerate() {
             if *is_active && driver_rng.bernoulli(cfg.departure_prob) {
                 let u = UserId(idx as u32);
                 *is_active = false;
-                state.reassign(u, parking);
+                match index.as_mut() {
+                    Some(_) => changes.push((u, parking)),
+                    None => state.reassign(u, parking),
+                }
                 parked.push(u);
                 departed += 1;
             }
         }
+        if let Some(index) = index.as_mut() {
+            index.apply_reassignments(&inst, &mut state, &changes, Some(parking));
+        }
+        active_count -= departed;
         if S::ENABLED {
             if arrived > 0 {
                 sink.add(Counter::Arrivals, arrived);
@@ -151,23 +243,124 @@ pub fn run_open_system_observed<P: Protocol + ?Sized, S: Sink>(
         if S::ENABLED {
             sink.event(Event::RoundStart {
                 round,
-                active: state.num_unsatisfied(&inst) as u64,
+                active: match index.as_ref() {
+                    Some(index) => index.num_active() as u64,
+                    None => state.num_unsatisfied(&inst) as u64,
+                },
             });
         }
         // One protocol round (parked users are satisfied and never act).
-        timed(sink, Phase::Decide, || {
-            decide_round_into(&inst, &state, proto, cfg.seed, round, &mut moves)
-        });
+        match index.as_ref() {
+            Some(index) => {
+                let t0 = S::ENABLED.then(Instant::now);
+                match wpool.as_ref() {
+                    Some(wpool) if index.num_active() >= SPARSE_POOL_MIN_ACTIVE => {
+                        index.sorted_active_into(&mut scratch);
+                        let len = scratch.len();
+                        let chunk = len.div_ceil(wpool.threads()).max(1);
+                        let (state_ref, scratch_ref) = (&state, &scratch);
+                        let compute_ns = wpool.decide_round(
+                            |shard, out| {
+                                let lo = (shard * chunk).min(len);
+                                let hi = ((shard + 1) * chunk).min(len);
+                                if lo < hi {
+                                    decide_users_into(
+                                        &inst,
+                                        state_ref,
+                                        &scratch_ref[lo..hi],
+                                        proto,
+                                        cfg.seed,
+                                        round,
+                                        out,
+                                    );
+                                }
+                            },
+                            &mut moves,
+                            S::ENABLED,
+                        );
+                        emit_pooled_decide(sink, t0, compute_ns);
+                    }
+                    _ => {
+                        decide_active_into(
+                            &inst,
+                            &state,
+                            index,
+                            proto,
+                            cfg.seed,
+                            round,
+                            &mut moves,
+                            &mut scratch,
+                        );
+                        if let Some(t0) = t0 {
+                            sink.time(Phase::Decide, t0.elapsed().as_nanos() as u64);
+                        }
+                    }
+                }
+                if S::ENABLED {
+                    sink.add(Counter::SparseRounds, 1);
+                }
+            }
+            None => {
+                match wpool.as_ref() {
+                    Some(wpool) => {
+                        let t0 = S::ENABLED.then(Instant::now);
+                        let chunk = pool.div_ceil(wpool.threads()).max(1);
+                        let state_ref = &state;
+                        let compute_ns = wpool.decide_round(
+                            |shard, out| {
+                                let lo = (shard * chunk).min(pool);
+                                let hi = ((shard + 1) * chunk).min(pool);
+                                if lo < hi {
+                                    decide_range_into(
+                                        &inst, state_ref, proto, cfg.seed, round, lo, hi, out,
+                                    );
+                                }
+                            },
+                            &mut moves,
+                            S::ENABLED,
+                        );
+                        emit_pooled_decide(sink, t0, compute_ns);
+                    }
+                    None => {
+                        timed(sink, Phase::Decide, || {
+                            decide_round_into(&inst, &state, proto, cfg.seed, round, &mut moves)
+                        });
+                    }
+                }
+                if S::ENABLED {
+                    sink.add(Counter::DenseRounds, 1);
+                }
+            }
+        }
         debug_assert!(moves.iter().all(|mv| mv.from != parking));
-        timed(sink, Phase::Apply, || state.apply_moves(&inst, &moves));
+        match index.as_mut() {
+            Some(index) => {
+                // Protocol migrations are reassignment deltas too; the
+                // parking exemption keeps a stray move *into* parking from
+                // triggering an O(parked) occupant recheck.
+                changes.clear();
+                changes.extend(moves.iter().map(|mv| (mv.user, mv.to)));
+                timed(sink, Phase::Apply, || {
+                    index.apply_reassignments(&inst, &mut state, &changes, Some(parking))
+                });
+            }
+            None => {
+                timed(sink, Phase::Apply, || state.apply_moves(&inst, &moves));
+            }
+        }
 
-        let active_count = active.iter().filter(|&&a| a).count() as u64;
-        let unsatisfied = state.num_unsatisfied(&inst) as u64;
+        let unsatisfied = match index.as_ref() {
+            Some(index) => index.num_active() as u64,
+            None => state.num_unsatisfied(&inst) as u64,
+        };
         if S::ENABLED {
             sink.add(Counter::Rounds, 1);
             sink.add(Counter::Migrations, moves.len() as u64);
             sink.set(Gauge::ActiveUsers, active_count);
             sink.set(Gauge::Unsatisfied, unsatisfied);
+            if let Some(index) = index.as_ref() {
+                sink.set(Gauge::ActiveSetSize, index.num_active() as u64);
+            }
             sink.event(Event::RoundEnd {
                 round,
                 migrations: moves.len() as u64,
@@ -211,6 +404,18 @@ pub fn run_open_system_observed<P: Protocol + ?Sized, S: Sink>(
     }
 }
 
+/// Record the phase breakdown of one pooled open-system decide round (same
+/// scheme as the closed engine).
+#[inline]
+fn emit_pooled_decide<S: Sink>(sink: &mut S, t0: Option<Instant>, compute_ns: u64) {
+    if let Some(t0) = t0 {
+        let wall = t0.elapsed().as_nanos() as u64;
+        sink.time(Phase::Decide, wall);
+        sink.time(Phase::Compute, compute_ns.min(wall));
+        sink.time(Phase::ForkJoin, wall.saturating_sub(compute_ns));
+    }
+}
+
 /// Salt separating the arrival/departure driver stream from protocol
 /// streams: changing the churn pattern never perturbs protocol coins.
 const OPEN_SALT: u64 = 0x4f50_454e; // "OPEN"
@@ -221,13 +426,7 @@ mod tests {
     use qlb_core::SlackDamped;
 
     fn cfg(rounds: u64, lambda: f64, mu: f64) -> OpenConfig {
-        OpenConfig {
-            seed: 11,
-            rounds,
-            arrivals_per_round: lambda,
-            departure_prob: mu,
-            warmup: rounds / 4,
-        }
+        OpenConfig::new(11, rounds, lambda, mu).with_warmup(rounds / 4)
     }
 
     #[test]
@@ -279,6 +478,48 @@ mod tests {
         let a = run_open_system(&[10u32; 8], 100, &SlackDamped::default(), cfg(60, 2.0, 0.1));
         let b = run_open_system(&[10u32; 8], 100, &SlackDamped::default(), cfg(60, 2.0, 0.1));
         assert_eq!(a.series, b.series);
+    }
+
+    #[test]
+    fn every_executor_produces_identical_series() {
+        // churn-heavy: high arrival rate against a modest system, so rounds
+        // mix large arrival batches, departures, and protocol migrations
+        let base = cfg(150, 6.0, 0.08);
+        let caps = [8u32; 24];
+        let dense = run_open_system(&caps, 400, &SlackDamped::default(), base);
+        for exec in [
+            Executor::Sparse,
+            Executor::Threaded(4),
+            Executor::SparseThreaded(3),
+        ] {
+            let other = run_open_system(
+                &caps,
+                400,
+                &SlackDamped::default(),
+                base.with_executor(exec),
+            );
+            assert_eq!(dense.series, other.series, "{exec:?}");
+        }
+    }
+
+    #[test]
+    fn sparse_falls_back_for_acts_when_satisfied() {
+        // a protocol that acts while satisfied makes the active set
+        // unsound; the driver must fall back to dense and still match
+        let protos = qlb_core::registry(&Instance::with_capacities(4, vec![8; 8]).unwrap());
+        let Some(proto) = protos.iter().find(|p| p.acts_when_satisfied()) else {
+            return; // registry has no such protocol on this instance shape
+        };
+        let base = cfg(80, 3.0, 0.1);
+        let caps = [8u32; 8];
+        let dense = run_open_system(&caps, 100, proto.as_ref(), base);
+        let sparse = run_open_system(
+            &caps,
+            100,
+            proto.as_ref(),
+            base.with_executor(Executor::Sparse),
+        );
+        assert_eq!(dense.series, sparse.series);
     }
 
     #[test]

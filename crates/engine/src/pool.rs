@@ -1,0 +1,346 @@
+//! Persistent worker-pool round executor.
+//!
+//! The original threaded executor respawned OS threads and reallocated
+//! per-shard move buffers **every round** (`std::thread::scope` inside the
+//! decide closure). Thread spawn costs tens of microseconds; in the endgame
+//! — thousands of near-empty rounds — that fork/join overhead dominates the
+//! actual decision work. [`WorkerPool`] fixes the cost model:
+//!
+//! * workers are spawned **once per run** and parked on a condvar between
+//!   rounds; dispatching a round is an epoch bump plus a wake, roughly two
+//!   orders of magnitude cheaper than `threads` spawns (measured in
+//!   `BENCH_parallel.json`, gated by `qlb-bench-check`);
+//! * each worker owns a reusable `Vec<Move>` shard buffer that keeps its
+//!   capacity across rounds, so steady-state rounds allocate nothing;
+//! * jobs borrow the caller's stack (instance, state, protocol) for the
+//!   duration of one dispatch — the [`WorkerPool::run`] barrier returns
+//!   only after every worker has finished, which is what makes the borrow
+//!   sound.
+//!
+//! The pool is deliberately *not* a work-stealing scheduler: round decisions
+//! are uniform-cost scans over contiguous shards, so static sharding (the
+//! same partition the scoped executor used) is both optimal and — more
+//! importantly — **deterministic**: shard boundaries never depend on timing,
+//! so concatenating shard outputs in index order reproduces the sequential
+//! move list byte for byte.
+
+use qlb_core::Move;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Type-erased pointer to the per-dispatch job closure.
+///
+/// The closure is borrowed from [`WorkerPool::run`]'s caller; the raw
+/// pointer erases that lifetime so it can live in the shared slot. Safety
+/// rests on the dispatch barrier: `run` does not return until every worker
+/// has finished with the pointer.
+struct Job {
+    f: *const (dyn Fn(usize) + Sync),
+}
+
+// SAFETY: the pointee is `Sync` (bound enforced by `WorkerPool::run`) and
+// only dereferenced while the originating `run` call keeps the borrow alive.
+unsafe impl Send for Job {}
+
+/// Coordinator/worker shared state: the current job, its epoch, and the
+/// count of workers still running it.
+struct PoolState {
+    /// Bumped once per dispatched job; workers wait for it to advance.
+    epoch: u64,
+    /// The job of the current epoch (present while any worker may run it).
+    job: Option<Job>,
+    /// Workers that have not yet finished the current epoch's job.
+    pending: usize,
+    /// Set once by `Drop`; workers exit at the next wake.
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    /// Workers sleep here between rounds.
+    start: Condvar,
+    /// The coordinator sleeps here while `pending > 0`.
+    done: Condvar,
+}
+
+/// A pool of long-lived worker threads executing one sharded job at a time.
+///
+/// Created once per run; [`WorkerPool::run`] dispatches a closure to all
+/// shards (index `0..threads`) and blocks until every shard completed. The
+/// coordinator thread executes shard 0 itself, so a 1-thread pool spawns no
+/// OS threads at all and `run(f)` is exactly `f(0)`.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    /// Per-shard reusable move buffers (index 0 = coordinator's shard).
+    shards: Vec<Mutex<Vec<Move>>>,
+    /// Per-shard compute time of the last timed dispatch, in ns.
+    compute_ns: Vec<Mutex<u64>>,
+}
+
+impl WorkerPool {
+    /// Spawn a pool driving `threads` shards (`threads - 1` OS threads; the
+    /// coordinator works shard 0).
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                job: None,
+                pending: 0,
+                shutdown: false,
+            }),
+            start: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let workers = (1..threads)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("qlb-pool-{index}"))
+                    .spawn(move || worker_loop(&shared, index))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self {
+            shared,
+            workers,
+            shards: (0..threads).map(|_| Mutex::new(Vec::new())).collect(),
+            compute_ns: (0..threads).map(|_| Mutex::new(0)).collect(),
+        }
+    }
+
+    /// Number of shards (worker threads + the coordinator).
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Execute `f(shard)` for every shard index, in parallel, and return
+    /// once all shards completed. The closure may borrow the caller's stack
+    /// freely — the barrier keeps the borrow alive for exactly the dispatch.
+    pub fn run<F: Fn(usize) + Sync>(&self, f: &F) {
+        if self.workers.is_empty() {
+            f(0);
+            return;
+        }
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            debug_assert!(st.pending == 0 && st.job.is_none(), "overlapping dispatch");
+            let short: &(dyn Fn(usize) + Sync) = f;
+            // SAFETY (lifetime erasure): the transmute only extends the
+            // borrow's lifetime to `'static` so it fits the shared slot; the
+            // pointer is cleared below after `pending` drains to zero,
+            // before this borrow of `f` ends.
+            let long: &'static (dyn Fn(usize) + Sync + 'static) =
+                unsafe { std::mem::transmute(short) };
+            st.job = Some(Job {
+                f: long as *const _,
+            });
+            st.epoch += 1;
+            st.pending = self.workers.len();
+            self.shared.start.notify_all();
+        }
+        f(0);
+        let mut st = self.shared.state.lock().unwrap();
+        while st.pending > 0 {
+            st = self.shared.done.wait(st).unwrap();
+        }
+        st.job = None;
+    }
+
+    /// Dispatch one **decide round**: each shard fills its private reusable
+    /// buffer via `fill(shard, buf)`, then the buffers are drained into
+    /// `out` in shard order (shard 0 first) — the same concatenation order
+    /// the sequential scan produces. Buffers keep their capacity across
+    /// rounds, so steady-state rounds perform no allocation.
+    ///
+    /// Returns the longest single-shard compute time in ns when `timed` is
+    /// true (0 otherwise) so callers can split fork/join overhead from
+    /// useful work in the phase timers.
+    pub fn decide_round<F>(&self, fill: F, out: &mut Vec<Move>, timed: bool) -> u64
+    where
+        F: Fn(usize, &mut Vec<Move>) + Sync,
+    {
+        self.run(&|shard: usize| {
+            let t0 = timed.then(Instant::now);
+            let mut buf = self.shards[shard].lock().unwrap();
+            buf.clear();
+            fill(shard, &mut buf);
+            drop(buf);
+            if let Some(t0) = t0 {
+                *self.compute_ns[shard].lock().unwrap() = t0.elapsed().as_nanos() as u64;
+            }
+        });
+        out.clear();
+        let mut max_ns = 0u64;
+        for (i, shard) in self.shards.iter().enumerate() {
+            out.extend_from_slice(&shard.lock().unwrap());
+            if timed {
+                max_ns = max_ns.max(*self.compute_ns[i].lock().unwrap());
+            }
+        }
+        max_ns
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+            self.shared.start.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, index: usize) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen_epoch {
+                    break;
+                }
+                st = shared.start.wait(st).unwrap();
+            }
+            seen_epoch = st.epoch;
+            let job = st.job.as_ref().expect("job set for new epoch");
+            Job { f: job.f }
+        };
+        // SAFETY: the dispatching `run` call blocks until `pending == 0`,
+        // so the borrow behind the pointer is alive for this call.
+        (unsafe { &*job.f })(index);
+        let mut st = shared.state.lock().unwrap();
+        st.pending -= 1;
+        if st.pending == 0 {
+            shared.done.notify_one();
+        }
+    }
+}
+
+/// Split `0..n` into at most `threads` contiguous shards of near-equal
+/// size, dropping empty shards (the partition the scoped executor used,
+/// kept identical so both produce the same concatenation order).
+pub fn shard_bounds(n: usize, threads: usize) -> Vec<(usize, usize)> {
+    let chunk = n.div_ceil(threads.max(1)).max(1);
+    (0..threads)
+        .map(|t| ((t * chunk).min(n), ((t + 1) * chunk).min(n)))
+        .filter(|(lo, hi)| lo < hi)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_shard_exactly_once() {
+        let pool = WorkerPool::new(4);
+        let hits = [const { AtomicUsize::new(0) }; 4];
+        for _ in 0..100 {
+            pool.run(&|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 100));
+    }
+
+    #[test]
+    fn single_thread_pool_spawns_nothing() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let hit = AtomicUsize::new(0);
+        pool.run(&|i| {
+            assert_eq!(i, 0);
+            hit.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hit.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn decide_round_concatenates_in_shard_order() {
+        use qlb_core::{ResourceId, UserId};
+        let pool = WorkerPool::new(3);
+        let mut out = Vec::new();
+        for round in 0..50u32 {
+            let max_ns = pool.decide_round(
+                |shard, buf| {
+                    for k in 0..=shard as u32 {
+                        buf.push(Move {
+                            user: UserId(shard as u32 * 100 + k + round),
+                            from: ResourceId(0),
+                            to: ResourceId(1),
+                        });
+                    }
+                },
+                &mut out,
+                round % 2 == 0,
+            );
+            let users: Vec<u32> = out.iter().map(|mv| mv.user.0).collect();
+            assert_eq!(
+                users,
+                vec![
+                    round,
+                    100 + round,
+                    101 + round,
+                    200 + round,
+                    201 + round,
+                    202 + round
+                ]
+            );
+            if round % 2 == 1 {
+                assert_eq!(max_ns, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn borrows_caller_stack() {
+        let pool = WorkerPool::new(2);
+        let data = [1u64, 2, 3, 4];
+        let sums = [AtomicUsize::new(0), AtomicUsize::new(0)];
+        pool.run(&|i| {
+            sums[i].store(data.iter().sum::<u64>() as usize + i, Ordering::Relaxed);
+        });
+        assert_eq!(sums[0].load(Ordering::Relaxed), 10);
+        assert_eq!(sums[1].load(Ordering::Relaxed), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let _ = WorkerPool::new(0);
+    }
+
+    #[test]
+    fn shard_bounds_cover_range_without_overlap() {
+        for n in [0usize, 1, 7, 64, 1000] {
+            for threads in [1usize, 2, 3, 8, 2000] {
+                let bounds = shard_bounds(n, threads);
+                let mut covered = 0usize;
+                let mut prev_hi = 0usize;
+                for &(lo, hi) in &bounds {
+                    assert!(lo < hi);
+                    assert_eq!(lo, prev_hi);
+                    covered += hi - lo;
+                    prev_hi = hi;
+                }
+                assert_eq!(covered, n);
+                assert!(bounds.len() <= threads.max(1));
+            }
+        }
+    }
+}

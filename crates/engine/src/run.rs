@@ -1,9 +1,17 @@
 //! The round loop: sequential, threaded, and sparse executors.
 
+use crate::pool::{shard_bounds, WorkerPool};
 use crate::trace::Trace;
-use qlb_core::step::{decide_active_into, decide_range_into, decide_round_into};
+use qlb_core::step::{decide_active_into, decide_range_into, decide_round_into, decide_users_into};
 use qlb_core::{overload_potential, ActiveIndex, Instance, Move, Protocol, State, UserId};
 use qlb_obs::{timed, Counter, Event, Gauge, NoopSink, Phase, Sink};
+use std::time::Instant;
+
+/// Below this many active users a pooled sparse round decides sequentially:
+/// the per-user kernel is ~100 ns, so a sub-1024 batch is cheaper than one
+/// condvar dispatch. Purely a cost decision — shard outputs concatenate in
+/// user order either way, so the trajectory is unaffected.
+const SPARSE_POOL_MIN_ACTIVE: usize = 1024;
 
 /// Which round-execution strategy [`run`] uses.
 ///
@@ -17,7 +25,14 @@ use qlb_obs::{timed, Counter, Event, Gauge, NoopSink, Phase, Sink};
 ///   win in the endgame where few users remain unsatisfied. Unsound only
 ///   for protocols that act while satisfied
 ///   ([`Protocol::acts_when_satisfied`]); [`run`] detects those and falls
-///   back to dense automatically.
+///   back to dense automatically;
+/// * [`Executor::Threaded`] shards the dense scan over a persistent
+///   [`WorkerPool`] — `O(n / threads)`/round critical path, with one
+///   condvar dispatch (not `threads` thread spawns) of overhead per round;
+/// * [`Executor::SparseThreaded`] composes both: the active-set walk is
+///   sharded over the pool while it is large and runs sequentially once it
+///   is small — `O(active / threads)`/round, the same dense fallback rule
+///   as [`Executor::Sparse`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Executor {
     /// Full `O(n)` scan per round (reference).
@@ -26,6 +41,11 @@ pub enum Executor {
     /// Active-set scan, `O(unsatisfied)` per round, with automatic dense
     /// fallback where unsound.
     Sparse,
+    /// Dense scan sharded over a persistent pool of this many threads.
+    Threaded(usize),
+    /// Active-set scan sharded over a persistent pool of this many threads
+    /// (with the same automatic dense fallback as [`Executor::Sparse`]).
+    SparseThreaded(usize),
 }
 
 /// Configuration of one run.
@@ -78,6 +98,17 @@ impl RunConfig {
     pub fn sparse(self) -> Self {
         self.with_executor(Executor::Sparse)
     }
+
+    /// Shorthand for [`RunConfig::with_executor`]`(`[`Executor::Threaded`]`)`.
+    pub fn threaded(self, threads: usize) -> Self {
+        self.with_executor(Executor::Threaded(threads))
+    }
+
+    /// Shorthand for
+    /// [`RunConfig::with_executor`]`(`[`Executor::SparseThreaded`]`)`.
+    pub fn sparse_threaded(self, threads: usize) -> Self {
+        self.with_executor(Executor::SparseThreaded(threads))
+    }
 }
 
 /// Result of a run.
@@ -128,6 +159,12 @@ pub fn run_observed<P: Protocol + ?Sized, S: Sink>(
     match config.executor {
         Executor::Dense => run_dense(inst, state, proto, config, sink),
         Executor::Sparse => run_sparse_observed(inst, state, proto, config, sink),
+        Executor::Threaded(threads) => {
+            run_threaded_observed(inst, state, proto, config, threads, sink)
+        }
+        Executor::SparseThreaded(threads) => {
+            run_sparse_threaded_observed(inst, state, proto, config, threads, sink)
+        }
     }
 }
 
@@ -144,8 +181,62 @@ fn run_dense<P: Protocol + ?Sized, S: Sink>(
         proto,
         config,
         sink,
-        |inst, state, proto, seed, round, buf| {
-            decide_round_into(inst, state, proto, seed, round, buf);
+        |inst, state, proto, seed, round, buf, sink| {
+            timed(sink, Phase::Decide, || {
+                decide_round_into(inst, state, proto, seed, round, buf)
+            });
+        },
+    )
+}
+
+/// Record the phase breakdown of one pooled decide round: `Decide` is the
+/// round's wall time, `Compute` the longest single shard, and `ForkJoin`
+/// the remainder (dispatch, join, and shard-buffer drain). `t0` is `None`
+/// when the sink is disabled, in which case nothing is recorded.
+#[inline]
+fn emit_pooled_decide<S: Sink>(sink: &mut S, t0: Option<Instant>, compute_ns: u64) {
+    if let Some(t0) = t0 {
+        let wall = t0.elapsed().as_nanos() as u64;
+        sink.time(Phase::Decide, wall);
+        sink.time(Phase::Compute, compute_ns.min(wall));
+        sink.time(Phase::ForkJoin, wall.saturating_sub(compute_ns));
+    }
+}
+
+/// Dense round loop over a caller-provided persistent [`WorkerPool`]: the
+/// full user range is statically sharded once and every round is one pool
+/// dispatch. No per-round allocation: the pool reuses its shard buffers and
+/// shard boundaries are recomputed as index arithmetic.
+fn run_pooled_dense<P: Protocol + ?Sized, S: Sink>(
+    inst: &Instance,
+    state: State,
+    proto: &P,
+    config: RunConfig,
+    sink: &mut S,
+    pool: &WorkerPool,
+) -> RunOutcome {
+    let n = inst.num_users();
+    let chunk = n.div_ceil(pool.threads()).max(1);
+    run_with_decider(
+        inst,
+        state,
+        proto,
+        config,
+        sink,
+        move |inst, state, proto, seed, round, buf, sink| {
+            let t0 = S::ENABLED.then(Instant::now);
+            let compute_ns = pool.decide_round(
+                |shard, out| {
+                    let lo = (shard * chunk).min(n);
+                    let hi = ((shard + 1) * chunk).min(n);
+                    if lo < hi {
+                        decide_range_into(inst, state, proto, seed, round, lo, hi, out);
+                    }
+                },
+                buf,
+                S::ENABLED,
+            );
+            emit_pooled_decide(sink, t0, compute_ns);
         },
     )
 }
@@ -196,6 +287,57 @@ pub fn run_sparse_observed<P: Protocol + ?Sized, S: Sink>(
     config: RunConfig,
     sink: &mut S,
 ) -> RunOutcome {
+    run_sparse_core(inst, state, proto, config, sink, None)
+}
+
+/// Run with the **pooled sparse executor** ([`Executor::SparseThreaded`]):
+/// the sparse active-set walk of [`run_sparse`], with large rounds (warm-up
+/// dense rounds and big active sets) sharded over a persistent
+/// [`WorkerPool`] and small ones decided sequentially. Same trajectory and
+/// same automatic dense fallback as [`run_sparse`].
+///
+/// # Panics
+/// Panics if `threads == 0`.
+pub fn run_sparse_threaded<P: Protocol + ?Sized>(
+    inst: &Instance,
+    state: State,
+    proto: &P,
+    config: RunConfig,
+    threads: usize,
+) -> RunOutcome {
+    run_sparse_threaded_observed(inst, state, proto, config, threads, &mut NoopSink)
+}
+
+/// [`run_sparse_threaded`] with an observability sink attached. Pooled
+/// rounds additionally split the decide phase into [`Phase::Compute`] and
+/// [`Phase::ForkJoin`].
+///
+/// # Panics
+/// Panics if `threads == 0`.
+pub fn run_sparse_threaded_observed<P: Protocol + ?Sized, S: Sink>(
+    inst: &Instance,
+    state: State,
+    proto: &P,
+    config: RunConfig,
+    threads: usize,
+    sink: &mut S,
+) -> RunOutcome {
+    assert!(threads > 0, "need at least one thread");
+    if threads == 1 {
+        return run_sparse_core(inst, state, proto, config, sink, None);
+    }
+    let pool = WorkerPool::new(threads);
+    run_sparse_core(inst, state, proto, config, sink, Some(&pool))
+}
+
+fn run_sparse_core<P: Protocol + ?Sized, S: Sink>(
+    inst: &Instance,
+    state: State,
+    proto: &P,
+    config: RunConfig,
+    sink: &mut S,
+    pool: Option<&WorkerPool>,
+) -> RunOutcome {
     if proto.acts_when_satisfied() {
         // the active set would be unsound; record the decision and run dense
         if S::ENABLED {
@@ -204,7 +346,10 @@ pub fn run_sparse_observed<P: Protocol + ?Sized, S: Sink>(
                 sparse: false,
             });
         }
-        return run_dense(inst, state, proto, config, sink);
+        return match pool {
+            Some(pool) => run_pooled_dense(inst, state, proto, config, sink, pool),
+            None => run_dense(inst, state, proto, config, sink),
+        };
     }
 
     let mut state = state;
@@ -246,18 +391,65 @@ pub fn run_sparse_observed<P: Protocol + ?Sized, S: Sink>(
         }
         match active.as_mut() {
             Some(index) => {
-                timed(sink, Phase::Decide, || {
-                    decide_active_into(
-                        inst,
-                        &state,
-                        index,
-                        proto,
-                        config.seed,
-                        rounds,
-                        &mut moves,
-                        &mut scratch,
-                    )
-                });
+                match pool {
+                    Some(pool) => {
+                        let t0 = S::ENABLED.then(Instant::now);
+                        index.sorted_active_into(&mut scratch);
+                        let len = scratch.len();
+                        if len >= SPARSE_POOL_MIN_ACTIVE {
+                            let chunk = len.div_ceil(pool.threads()).max(1);
+                            let (state_ref, scratch_ref) = (&state, &scratch);
+                            let compute_ns = pool.decide_round(
+                                |shard, out| {
+                                    let lo = (shard * chunk).min(len);
+                                    let hi = ((shard + 1) * chunk).min(len);
+                                    if lo < hi {
+                                        decide_users_into(
+                                            inst,
+                                            state_ref,
+                                            &scratch_ref[lo..hi],
+                                            proto,
+                                            config.seed,
+                                            rounds,
+                                            out,
+                                        );
+                                    }
+                                },
+                                &mut moves,
+                                S::ENABLED,
+                            );
+                            emit_pooled_decide(sink, t0, compute_ns);
+                        } else {
+                            moves.clear();
+                            decide_users_into(
+                                inst,
+                                &state,
+                                &scratch,
+                                proto,
+                                config.seed,
+                                rounds,
+                                &mut moves,
+                            );
+                            if let Some(t0) = t0 {
+                                sink.time(Phase::Decide, t0.elapsed().as_nanos() as u64);
+                            }
+                        }
+                    }
+                    None => {
+                        timed(sink, Phase::Decide, || {
+                            decide_active_into(
+                                inst,
+                                &state,
+                                index,
+                                proto,
+                                config.seed,
+                                rounds,
+                                &mut moves,
+                                &mut scratch,
+                            )
+                        });
+                    }
+                }
                 if S::ENABLED {
                     sink.add(Counter::SparseRounds, 1);
                     sink.event(Event::MigrationBatch {
@@ -270,9 +462,39 @@ pub fn run_sparse_observed<P: Protocol + ?Sized, S: Sink>(
                 });
             }
             None => {
-                timed(sink, Phase::Decide, || {
-                    decide_round_into(inst, &state, proto, config.seed, rounds, &mut moves)
-                });
+                match pool {
+                    Some(pool) => {
+                        let t0 = S::ENABLED.then(Instant::now);
+                        let chunk = n.div_ceil(pool.threads()).max(1);
+                        let state_ref = &state;
+                        let compute_ns = pool.decide_round(
+                            |shard, out| {
+                                let lo = (shard * chunk).min(n);
+                                let hi = ((shard + 1) * chunk).min(n);
+                                if lo < hi {
+                                    decide_range_into(
+                                        inst,
+                                        state_ref,
+                                        proto,
+                                        config.seed,
+                                        rounds,
+                                        lo,
+                                        hi,
+                                        out,
+                                    );
+                                }
+                            },
+                            &mut moves,
+                            S::ENABLED,
+                        );
+                        emit_pooled_decide(sink, t0, compute_ns);
+                    }
+                    None => {
+                        timed(sink, Phase::Decide, || {
+                            decide_round_into(inst, &state, proto, config.seed, rounds, &mut moves)
+                        });
+                    }
+                }
                 if S::ENABLED {
                     sink.add(Counter::DenseRounds, 1);
                     sink.event(Event::MigrationBatch {
@@ -341,12 +563,19 @@ pub fn run_sparse_observed<P: Protocol + ?Sized, S: Sink>(
     }
 }
 
-/// Run a protocol with round decisions sharded over `threads` OS threads.
+/// Run a protocol with round decisions sharded over a persistent
+/// [`WorkerPool`] of `threads` threads.
 ///
 /// Produces the **same trajectory** as [`run`] for the same config: user
 /// decisions are pure functions of `(seed, user, round)` and the
 /// start-of-round state, so sharding only changes who computes them. Shard
 /// results are concatenated in user order before application.
+///
+/// The pool (and its reusable per-shard move buffers) is created **once per
+/// run** and every round is dispatched as an epoch bump on parked workers —
+/// the earlier `std::thread::scope`-per-round executor paid `threads`
+/// thread spawns and fresh shard allocations every round, which dominated
+/// endgame rounds (measured in `BENCH_parallel.json`).
 ///
 /// # Panics
 /// Panics if `threads == 0`.
@@ -362,7 +591,9 @@ pub fn run_threaded<P: Protocol + ?Sized>(
 
 /// [`run_threaded`] with an observability sink attached (see
 /// [`run_observed`] for the contract). The decide phase covers the whole
-/// fork/join of a round's shards.
+/// fork/join of a round's shards; pooled rounds additionally split it into
+/// [`Phase::Compute`] (longest shard) and [`Phase::ForkJoin`] (dispatch +
+/// join + drain overhead).
 ///
 /// # Panics
 /// Panics if `threads == 0`.
@@ -375,39 +606,15 @@ pub fn run_threaded_observed<P: Protocol + ?Sized, S: Sink>(
     sink: &mut S,
 ) -> RunOutcome {
     assert!(threads > 0, "need at least one thread");
-    let n = inst.num_users();
-    // Pre-compute shard boundaries once.
-    let chunk = n.div_ceil(threads.max(1)).max(1);
-    let bounds: Vec<(usize, usize)> = (0..threads)
-        .map(|t| ((t * chunk).min(n), ((t + 1) * chunk).min(n)))
-        .filter(|(lo, hi)| lo < hi)
-        .collect();
-
-    run_with_decider(
-        inst,
-        state,
-        proto,
-        config,
-        sink,
-        move |inst, state, proto, seed, round, buf| {
-            buf.clear();
-            if bounds.len() <= 1 {
-                decide_round_into(inst, state, proto, seed, round, buf);
-                return;
-            }
-            let mut shard_outputs: Vec<Vec<Move>> = bounds.iter().map(|_| Vec::new()).collect();
-            std::thread::scope(|scope| {
-                for (&(lo, hi), out) in bounds.iter().zip(shard_outputs.iter_mut()) {
-                    scope.spawn(move || {
-                        decide_range_into(inst, state, proto, seed, round, lo, hi, out);
-                    });
-                }
-            });
-            for shard in shard_outputs {
-                buf.extend(shard);
-            }
-        },
-    )
+    // More threads than non-empty shards would park idle workers; size the
+    // pool to the real shard count, and skip the pool entirely when one
+    // shard (⇒ the sequential scan) covers everything.
+    let shards = shard_bounds(inst.num_users(), threads).len();
+    if shards <= 1 {
+        return run_dense(inst, state, proto, config, sink);
+    }
+    let pool = WorkerPool::new(shards);
+    run_pooled_dense(inst, state, proto, config, sink, &pool)
 }
 
 /// Emit the post-round counters, gauges, and events. Everything here is
@@ -440,6 +647,9 @@ fn emit_round_end<S: Sink>(
     sink.event(Event::ConvergenceCheck { round, converged });
 }
 
+/// The dense round loop, generic over how a round is decided. The decider
+/// owns its own [`Phase::Decide`] emission (pooled deciders split it into
+/// compute and fork/join), which is why it receives the sink.
 fn run_with_decider<P, S, D>(
     inst: &Instance,
     mut state: State,
@@ -451,7 +661,7 @@ fn run_with_decider<P, S, D>(
 where
     P: Protocol + ?Sized,
     S: Sink,
-    D: FnMut(&Instance, &State, &P, u64, u64, &mut Vec<Move>),
+    D: FnMut(&Instance, &State, &P, u64, u64, &mut Vec<Move>, &mut S),
 {
     let mut trace = config.record_trace.then(Trace::default);
     if let Some(t) = trace.as_mut() {
@@ -480,9 +690,7 @@ where
                 active: entering,
             });
         }
-        timed(sink, Phase::Decide, || {
-            decide(inst, &state, proto, config.seed, rounds, &mut moves)
-        });
+        decide(inst, &state, proto, config.seed, rounds, &mut moves, sink);
         if S::ENABLED {
             sink.add(Counter::DenseRounds, 1);
             sink.event(Event::MigrationBatch {
@@ -773,6 +981,68 @@ mod tests {
             let (dt, st) = (dense.trace.unwrap(), sparse.trace.unwrap());
             assert_eq!(dt.rounds.len(), st.rounds.len(), "{name}");
         }
+    }
+
+    #[test]
+    fn pooled_executors_match_sequential_exactly() {
+        let (inst, s1) = hotspot(500, 16, 40);
+        for proto in qlb_core::registry(&inst) {
+            let dense = run(&inst, s1.clone(), proto.as_ref(), RunConfig::new(11, 2_000));
+            for exec in [
+                Executor::Threaded(3),
+                Executor::SparseThreaded(2),
+                Executor::SparseThreaded(8),
+            ] {
+                let pooled = run(
+                    &inst,
+                    s1.clone(),
+                    proto.as_ref(),
+                    RunConfig::new(11, 2_000).with_executor(exec),
+                );
+                let name = proto.name();
+                assert_eq!(dense.converged, pooled.converged, "{name} {exec:?}");
+                assert_eq!(dense.rounds, pooled.rounds, "{name} {exec:?}");
+                assert_eq!(dense.migrations, pooled.migrations, "{name} {exec:?}");
+                assert_eq!(dense.state, pooled.state, "{name} {exec:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_observed_splits_decide_phase() {
+        let (inst, s1) = hotspot(300, 16, 24);
+        let mut rec = Recorder::default();
+        let out = run_threaded_observed(
+            &inst,
+            s1,
+            &SlackDamped::default(),
+            RunConfig::new(5, 10_000),
+            4,
+            &mut rec,
+        );
+        assert!(out.converged);
+        let t = rec.timers();
+        assert_eq!(t.histogram(Phase::Decide).count(), out.rounds);
+        assert_eq!(t.histogram(Phase::Compute).count(), out.rounds);
+        assert_eq!(t.histogram(Phase::ForkJoin).count(), out.rounds);
+        // Decide = Compute + ForkJoin per round, so the totals must agree
+        // up to per-sample rounding.
+        let decide = t.total_ns(Phase::Decide);
+        let split = t.total_ns(Phase::Compute) + t.total_ns(Phase::ForkJoin);
+        assert!(split <= decide + out.rounds && decide <= split + out.rounds);
+    }
+
+    #[test]
+    fn sparse_threaded_more_threads_than_active_users() {
+        let (inst, state) = hotspot(6, 3, 3);
+        let out = run_sparse_threaded(
+            &inst,
+            state,
+            &SlackDamped::default(),
+            RunConfig::new(2, 1_000),
+            16,
+        );
+        assert!(out.converged);
     }
 
     #[test]

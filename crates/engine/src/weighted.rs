@@ -1,10 +1,69 @@
 //! Round loop for the weighted model.
+//!
+//! Mirrors the unit model's executor family ([`crate::run`]): a dense
+//! reference loop, a sparse active-set loop over
+//! [`WeightedActiveIndex`], and pooled variants of both sharded over the
+//! persistent [`WorkerPool`]. All four produce bit-identical trajectories;
+//! the weighted model has no `acts_when_satisfied` escape hatch, so the
+//! sparse executors are sound for **every** weighted protocol and need no
+//! dense fallback.
 
+use crate::pool::{shard_bounds, WorkerPool};
+use crate::run::Executor;
 use qlb_core::weighted::{
-    decide_weighted_round_into, WeightedInstance, WeightedProtocol, WeightedState,
+    decide_weighted_range_into, decide_weighted_round_into, decide_weighted_users_into,
+    WeightedActiveIndex, WeightedInstance, WeightedProtocol, WeightedState,
 };
-use qlb_core::Move;
+use qlb_core::{Move, UserId};
 use qlb_obs::{timed, Counter, Event, Gauge, NoopSink, Phase, Sink};
+use std::time::Instant;
+
+/// Below this many active users a pooled weighted round decides
+/// sequentially (same rationale as the unit model's threshold).
+const SPARSE_POOL_MIN_ACTIVE: usize = 1024;
+
+/// Configuration of one weighted run.
+#[derive(Debug, Clone, Copy)]
+pub struct WeightedConfig {
+    /// Seed of the run; all randomness is derived from it.
+    pub seed: u64,
+    /// Round budget; the run stops unconverged when exhausted.
+    pub max_rounds: u64,
+    /// Round-execution strategy (default [`Executor::Dense`]).
+    pub executor: Executor,
+}
+
+impl WeightedConfig {
+    /// Plain config: given seed and round budget, dense executor.
+    pub fn new(seed: u64, max_rounds: u64) -> Self {
+        Self {
+            seed,
+            max_rounds,
+            executor: Executor::Dense,
+        }
+    }
+
+    /// Select the round-execution strategy.
+    pub fn with_executor(mut self, executor: Executor) -> Self {
+        self.executor = executor;
+        self
+    }
+
+    /// Shorthand for [`Executor::Sparse`].
+    pub fn sparse(self) -> Self {
+        self.with_executor(Executor::Sparse)
+    }
+
+    /// Shorthand for [`Executor::Threaded`].
+    pub fn threaded(self, threads: usize) -> Self {
+        self.with_executor(Executor::Threaded(threads))
+    }
+
+    /// Shorthand for [`Executor::SparseThreaded`].
+    pub fn sparse_threaded(self, threads: usize) -> Self {
+        self.with_executor(Executor::SparseThreaded(threads))
+    }
+}
 
 /// Result of a weighted run.
 #[derive(Debug, Clone)]
@@ -22,9 +81,10 @@ pub struct WeightedOutcome {
     pub state: WeightedState,
 }
 
-/// Run a weighted protocol until legal or out of rounds (sequential; the
-/// decisions are order-independent exactly as in the unit model, so a
-/// sharded executor would produce the same trajectory).
+/// Run a weighted protocol until legal or out of rounds with the dense
+/// sequential executor (the decisions are order-independent exactly as in
+/// the unit model, so every other executor produces the same trajectory —
+/// select one via [`run_weighted_cfg`]).
 pub fn run_weighted<P: WeightedProtocol + ?Sized>(
     inst: &WeightedInstance,
     state: WeightedState,
@@ -32,7 +92,7 @@ pub fn run_weighted<P: WeightedProtocol + ?Sized>(
     seed: u64,
     max_rounds: u64,
 ) -> WeightedOutcome {
-    run_weighted_observed(inst, state, proto, seed, max_rounds, &mut NoopSink)
+    run_weighted_cfg(inst, state, proto, WeightedConfig::new(seed, max_rounds))
 }
 
 /// [`run_weighted`] with an observability sink attached: per-round events,
@@ -40,50 +100,259 @@ pub fn run_weighted<P: WeightedProtocol + ?Sized>(
 /// Derived data only — trajectories are bit-identical to [`run_weighted`].
 pub fn run_weighted_observed<P: WeightedProtocol + ?Sized, S: Sink>(
     inst: &WeightedInstance,
-    mut state: WeightedState,
+    state: WeightedState,
     proto: &P,
     seed: u64,
     max_rounds: u64,
     sink: &mut S,
 ) -> WeightedOutcome {
+    run_weighted_cfg_observed(
+        inst,
+        state,
+        proto,
+        WeightedConfig::new(seed, max_rounds),
+        sink,
+    )
+}
+
+/// Run a weighted protocol with the executor selected by
+/// [`WeightedConfig::executor`]. All executors are bit-identical; sparse
+/// rounds cost `O(active)` instead of `O(n)` (with the same dense warm-up /
+/// batch-size switch rule as the unit model), and the threaded variants
+/// shard rounds over a persistent [`WorkerPool`].
+pub fn run_weighted_cfg<P: WeightedProtocol + ?Sized>(
+    inst: &WeightedInstance,
+    state: WeightedState,
+    proto: &P,
+    config: WeightedConfig,
+) -> WeightedOutcome {
+    run_weighted_cfg_observed(inst, state, proto, config, &mut NoopSink)
+}
+
+/// [`run_weighted_cfg`] with an observability sink attached. Pooled rounds
+/// split the decide phase into [`Phase::Compute`] and [`Phase::ForkJoin`].
+///
+/// # Panics
+/// Panics if the executor is threaded with zero threads.
+pub fn run_weighted_cfg_observed<P: WeightedProtocol + ?Sized, S: Sink>(
+    inst: &WeightedInstance,
+    state: WeightedState,
+    proto: &P,
+    config: WeightedConfig,
+    sink: &mut S,
+) -> WeightedOutcome {
+    match config.executor {
+        Executor::Dense => run_weighted_core(inst, state, proto, config, sink, None, false),
+        Executor::Sparse => run_weighted_core(inst, state, proto, config, sink, None, true),
+        Executor::Threaded(threads) | Executor::SparseThreaded(threads) => {
+            assert!(threads > 0, "need at least one thread");
+            let sparse = matches!(config.executor, Executor::SparseThreaded(_));
+            let shards = shard_bounds(inst.num_users(), threads).len();
+            if shards <= 1 {
+                return run_weighted_core(inst, state, proto, config, sink, None, sparse);
+            }
+            let pool = WorkerPool::new(shards);
+            run_weighted_core(inst, state, proto, config, sink, Some(&pool), sparse)
+        }
+    }
+}
+
+/// Record the phase breakdown of one pooled weighted decide round (same
+/// scheme as the unit model: `Decide` = wall, `Compute` = longest shard,
+/// `ForkJoin` = the rest).
+#[inline]
+fn emit_pooled_decide<S: Sink>(sink: &mut S, t0: Option<Instant>, compute_ns: u64) {
+    if let Some(t0) = t0 {
+        let wall = t0.elapsed().as_nanos() as u64;
+        sink.time(Phase::Decide, wall);
+        sink.time(Phase::Compute, compute_ns.min(wall));
+        sink.time(Phase::ForkJoin, wall.saturating_sub(compute_ns));
+    }
+}
+
+fn run_weighted_core<P: WeightedProtocol + ?Sized, S: Sink>(
+    inst: &WeightedInstance,
+    mut state: WeightedState,
+    proto: &P,
+    config: WeightedConfig,
+    sink: &mut S,
+    pool: Option<&WorkerPool>,
+    use_sparse: bool,
+) -> WeightedOutcome {
+    let n = inst.num_users().max(1);
+    let unsat0 = state.num_unsatisfied(inst);
+    // sparse regime from the start ⇒ build the index immediately; otherwise
+    // warm up dense and switch when batches shrink (identical decisions
+    // either way, so the trajectory is unaffected)
+    let mut active: Option<WeightedActiveIndex> =
+        (use_sparse && unsat0 * 8 < n).then(|| WeightedActiveIndex::new(inst, &state));
+    if S::ENABLED && active.is_some() {
+        sink.add(Counter::ExecutorSwitches, 1);
+        sink.event(Event::ExecutorSwitch {
+            round: 0,
+            sparse: true,
+        });
+    }
     let mut moves: Vec<Move> = Vec::new();
+    let mut scratch: Vec<UserId> = Vec::new();
     let mut rounds = 0u64;
     let mut migrations = 0u64;
     let mut weight_moved = 0u64;
-    let mut converged = state.is_legal(inst);
+    let mut converged = unsat0 == 0;
     // carried from round end to the next round start: one unsatisfied scan
     // per round, not two
-    let mut entering = if S::ENABLED && !converged {
-        state.num_unsatisfied(inst) as u64
-    } else {
-        0
-    };
-    while !converged && rounds < max_rounds {
+    let mut entering = unsat0 as u64;
+
+    while !converged && rounds < config.max_rounds {
         if S::ENABLED {
             sink.event(Event::RoundStart {
                 round: rounds,
                 active: entering,
             });
         }
-        timed(sink, Phase::Decide, || {
-            decide_weighted_round_into(inst, &state, proto, seed, rounds, &mut moves)
-        });
+        match active.as_ref() {
+            Some(index) => {
+                let t0 = S::ENABLED.then(Instant::now);
+                index.sorted_active_into(&mut scratch);
+                let len = scratch.len();
+                match pool {
+                    Some(pool) if len >= SPARSE_POOL_MIN_ACTIVE => {
+                        let chunk = len.div_ceil(pool.threads()).max(1);
+                        let (state_ref, scratch_ref) = (&state, &scratch);
+                        let compute_ns = pool.decide_round(
+                            |shard, out| {
+                                let lo = (shard * chunk).min(len);
+                                let hi = ((shard + 1) * chunk).min(len);
+                                if lo < hi {
+                                    decide_weighted_users_into(
+                                        inst,
+                                        state_ref,
+                                        &scratch_ref[lo..hi],
+                                        proto,
+                                        config.seed,
+                                        rounds,
+                                        out,
+                                    );
+                                }
+                            },
+                            &mut moves,
+                            S::ENABLED,
+                        );
+                        emit_pooled_decide(sink, t0, compute_ns);
+                    }
+                    _ => {
+                        moves.clear();
+                        decide_weighted_users_into(
+                            inst,
+                            &state,
+                            &scratch,
+                            proto,
+                            config.seed,
+                            rounds,
+                            &mut moves,
+                        );
+                        if let Some(t0) = t0 {
+                            sink.time(Phase::Decide, t0.elapsed().as_nanos() as u64);
+                        }
+                    }
+                }
+                if S::ENABLED {
+                    sink.add(Counter::SparseRounds, 1);
+                }
+            }
+            None => {
+                match pool {
+                    Some(pool) => {
+                        let t0 = S::ENABLED.then(Instant::now);
+                        let chunk = n.div_ceil(pool.threads()).max(1);
+                        let state_ref = &state;
+                        let compute_ns = pool.decide_round(
+                            |shard, out| {
+                                let lo = (shard * chunk).min(n);
+                                let hi = ((shard + 1) * chunk).min(n);
+                                if lo < hi {
+                                    decide_weighted_range_into(
+                                        inst,
+                                        state_ref,
+                                        proto,
+                                        config.seed,
+                                        rounds,
+                                        lo,
+                                        hi,
+                                        out,
+                                    );
+                                }
+                            },
+                            &mut moves,
+                            S::ENABLED,
+                        );
+                        emit_pooled_decide(sink, t0, compute_ns);
+                    }
+                    None => {
+                        timed(sink, Phase::Decide, || {
+                            decide_weighted_round_into(
+                                inst,
+                                &state,
+                                proto,
+                                config.seed,
+                                rounds,
+                                &mut moves,
+                            )
+                        });
+                    }
+                }
+                if S::ENABLED {
+                    sink.add(Counter::DenseRounds, 1);
+                }
+            }
+        }
+        if S::ENABLED {
+            sink.event(Event::MigrationBatch {
+                round: rounds,
+                size: moves.len() as u64,
+            });
+        }
         let batch_weight = moves.iter().map(|mv| inst.weight(mv.user)).sum::<u64>();
         weight_moved += batch_weight;
-        timed(sink, Phase::Apply, || state.apply_moves(inst, &moves));
+        match active.as_mut() {
+            Some(index) => timed(sink, Phase::Apply, || {
+                index.apply_moves(inst, &mut state, &moves)
+            }),
+            None => {
+                timed(sink, Phase::Apply, || state.apply_moves(inst, &moves));
+                // batch size tracks the active count for the damped
+                // kernels; once it shrinks, the index starts paying off
+                if use_sparse && moves.len() * 8 < n {
+                    active = Some(WeightedActiveIndex::new(inst, &state));
+                    if S::ENABLED {
+                        sink.add(Counter::ExecutorSwitches, 1);
+                        sink.event(Event::ExecutorSwitch {
+                            round: rounds + 1,
+                            sparse: true,
+                        });
+                    }
+                }
+            }
+        }
         migrations += moves.len() as u64;
         rounds += 1;
-        converged = timed(sink, Phase::Convergence, || state.is_legal(inst));
+        converged = timed(sink, Phase::Convergence, || match active.as_ref() {
+            Some(index) => index.is_empty(),
+            None => state.is_legal(inst),
+        });
         if S::ENABLED {
-            let unsatisfied = if converged {
-                0
-            } else {
-                state.num_unsatisfied(inst) as u64
+            let unsatisfied = match active.as_ref() {
+                Some(index) => index.num_active() as u64,
+                None if converged => 0,
+                None => state.num_unsatisfied(inst) as u64,
             };
             sink.add(Counter::Rounds, 1);
             sink.add(Counter::Migrations, moves.len() as u64);
             sink.add(Counter::WeightMoved, batch_weight);
             sink.set(Gauge::Unsatisfied, unsatisfied);
+            if let Some(index) = active.as_ref() {
+                sink.set(Gauge::ActiveSetSize, index.num_active() as u64);
+            }
             sink.event(Event::RoundEnd {
                 round: rounds - 1,
                 migrations: moves.len() as u64,
@@ -93,6 +362,7 @@ pub fn run_weighted_observed<P: WeightedProtocol + ?Sized, S: Sink>(
             entering = unsatisfied;
         }
     }
+    debug_assert_eq!(converged, state.is_legal(inst));
     WeightedOutcome {
         converged,
         rounds,
@@ -183,5 +453,89 @@ mod tests {
         assert_eq!(w_out.migrations, u_out.migrations);
         let unit_loads: Vec<u64> = u_out.state.loads().iter().map(|&x| x as u64).collect();
         assert_eq!(w_out.state.loads(), &unit_loads[..]);
+    }
+
+    #[test]
+    fn every_executor_matches_dense_exactly() {
+        let mut weights = vec![1u32; 80];
+        weights.extend(vec![4u32; 20]);
+        let inst = WeightedInstance::new(vec![8; 24], weights).unwrap();
+        let s = WeightedState::all_on(&inst, ResourceId(0));
+        let protos: [&dyn WeightedProtocol; 2] =
+            [&WeightedSlackDamped::default(), &WeightedConditional];
+        for proto in protos {
+            let dense = run_weighted_cfg(&inst, s.clone(), proto, WeightedConfig::new(11, 10_000));
+            for exec in [
+                Executor::Sparse,
+                Executor::Threaded(3),
+                Executor::SparseThreaded(4),
+            ] {
+                let other = run_weighted_cfg(
+                    &inst,
+                    s.clone(),
+                    proto,
+                    WeightedConfig::new(11, 10_000).with_executor(exec),
+                );
+                let name = proto.name();
+                assert_eq!(dense.converged, other.converged, "{name} {exec:?}");
+                assert_eq!(dense.rounds, other.rounds, "{name} {exec:?}");
+                assert_eq!(dense.migrations, other.migrations, "{name} {exec:?}");
+                assert_eq!(dense.weight_moved, other.weight_moved, "{name} {exec:?}");
+                assert_eq!(dense.state, other.state, "{name} {exec:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_observed_counts_round_split() {
+        use qlb_obs::Recorder;
+        // endgame-shaped start: 3 weight-2 users on each of 64 cap-8
+        // resources (satisfied), plus 2 extra crowding resource 0 — only
+        // r0's 5 occupants are unsatisfied, so the run starts sparse
+        let inst = WeightedInstance::new(vec![8; 64], vec![2; 194]).unwrap();
+        let mut assignment: Vec<ResourceId> = (0..192).map(|i| ResourceId(i / 3)).collect();
+        assignment.extend([ResourceId(0), ResourceId(0)]);
+        let state = WeightedState::new(&inst, assignment).unwrap();
+        let mut rec = Recorder::default();
+        let out = run_weighted_cfg_observed(
+            &inst,
+            state,
+            &WeightedSlackDamped::default(),
+            WeightedConfig::new(3, 10_000).sparse(),
+            &mut rec,
+        );
+        assert!(out.converged);
+        assert_eq!(
+            rec.counter(Counter::DenseRounds) + rec.counter(Counter::SparseRounds),
+            out.rounds
+        );
+        assert!(rec.counter(Counter::SparseRounds) > 0, "never went sparse");
+        assert_eq!(rec.counter(Counter::WeightMoved), out.weight_moved);
+    }
+
+    #[test]
+    fn threads_beyond_users_collapse_to_sequential() {
+        let inst = WeightedInstance::new(vec![4; 4], vec![2; 6]).unwrap();
+        let state = WeightedState::all_on(&inst, ResourceId(0));
+        let out = run_weighted_cfg(
+            &inst,
+            state,
+            &WeightedSlackDamped::default(),
+            WeightedConfig::new(2, 10_000).threaded(64),
+        );
+        assert!(out.converged);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let inst = WeightedInstance::new(vec![4; 4], vec![2; 6]).unwrap();
+        let state = WeightedState::all_on(&inst, ResourceId(0));
+        let _ = run_weighted_cfg(
+            &inst,
+            state,
+            &WeightedSlackDamped::default(),
+            WeightedConfig::new(2, 10).threaded(0),
+        );
     }
 }

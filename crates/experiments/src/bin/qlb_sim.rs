@@ -11,11 +11,17 @@
 //! qlb-sim --emit-preset > fleet.json           # starting template
 //! ```
 
+use qlb_core::weighted::{
+    WeightedConditional, WeightedInstance, WeightedProtocol, WeightedSlackDamped, WeightedState,
+};
 use qlb_core::{
     BlindUniform, ClassId, ConditionalUniform, Instance, Protocol, SlackDamped,
     SlackDampedCapacitySampling, State, ThresholdLevels,
 };
-use qlb_engine::{run_observed, run_open_system_observed, OpenConfig, RunConfig};
+use qlb_engine::{
+    run_observed, run_open_system_observed, run_weighted_cfg_observed, Executor, OpenConfig,
+    RunConfig, WeightedConfig,
+};
 use qlb_obs::{replay::Summary, NoopSink, Recorder, Sink, StreamSink};
 use qlb_runtime::{run_distributed_observed, RuntimeConfig};
 use qlb_stats::sparkline_fit;
@@ -169,42 +175,90 @@ fn main() {
     });
     let metrics_summary = args.iter().any(|a| a == "--metrics-summary");
 
-    let executor = get("--executor").unwrap_or_else(|| "engine".into());
-    if executor == "sparse" && proto.acts_when_satisfied() {
-        // validate up front and announce the decision rather than leaving
-        // the silent in-engine fallback as the only record of it
+    // Driver (which engine loops the rounds: closed | open | weighted |
+    // runtime) and executor (how one round is decided: dense | sparse |
+    // threaded | sparse-threaded) are orthogonal flags — every driver
+    // accepts every executor. The pre-driver CLI spelled drivers as
+    // --executor values; those legacy spellings keep working.
+    let driver_flag = get("--driver");
+    let exec_flag = get("--executor").unwrap_or_else(|| "dense".into());
+    let (driver, exec_name) = match exec_flag.as_str() {
+        "engine" => (
+            driver_flag.unwrap_or_else(|| "closed".into()),
+            "dense".into(),
+        ),
+        "runtime" => ("runtime".into(), "dense".into()),
+        "open" => ("open".into(), "dense".into()),
+        _ => (driver_flag.unwrap_or_else(|| "closed".into()), exec_flag),
+    };
+    let threads: usize = get("--threads").map_or(4, |s| {
+        s.parse().unwrap_or_else(|_| {
+            eprintln!("bad --threads");
+            exit(2)
+        })
+    });
+    if threads == 0 {
+        eprintln!("--threads must be at least 1");
+        exit(2);
+    }
+    let exec = match exec_name.as_str() {
+        "dense" => Executor::Dense,
+        "sparse" => Executor::Sparse,
+        "threaded" => Executor::Threaded(threads),
+        "sparse-threaded" => Executor::SparseThreaded(threads),
+        other => {
+            eprintln!(
+                "unknown executor {other}; choose dense | sparse | threaded | sparse-threaded"
+            );
+            exit(2);
+        }
+    };
+    // Validate the sparse-soundness fallback up front and announce the
+    // decision rather than leaving the silent in-engine fallback as the
+    // only record of it. (The weighted model has no acts-while-satisfied
+    // kernels, so its sparse path never falls back.)
+    let sparse_requested = matches!(exec, Executor::Sparse | Executor::SparseThreaded(_));
+    if sparse_requested && driver != "weighted" && proto.acts_when_satisfied() {
         println!(
             "note: protocol '{}' acts while satisfied — the sparse active-set executor \
              is unsound for it; falling back to the dense executor (same trajectory)",
             proto.name()
         );
     }
-    let open_cfg = OpenConfig {
+    let weight_max: u32 = get("--weight-max").map_or(4, |s| {
+        s.parse().unwrap_or_else(|_| {
+            eprintln!("bad --weight-max");
+            exit(2)
+        })
+    });
+    if weight_max == 0 {
+        eprintln!("--weight-max must be at least 1");
+        exit(2);
+    }
+    let open_rounds: u64 = get("--rounds").map_or(2_000, |s| {
+        s.parse().unwrap_or_else(|_| {
+            eprintln!("bad --rounds");
+            exit(2)
+        })
+    });
+    let open_cfg = OpenConfig::new(
         seed,
-        rounds: get("--rounds").map_or(2_000, |s| {
-            s.parse().unwrap_or_else(|_| {
-                eprintln!("bad --rounds");
-                exit(2)
-            })
-        }),
-        arrivals_per_round: get("--arrivals-per-round").map_or(4.0, |s| {
+        open_rounds,
+        get("--arrivals-per-round").map_or(4.0, |s| {
             s.parse().unwrap_or_else(|_| {
                 eprintln!("bad --arrivals-per-round");
                 exit(2)
             })
         }),
-        departure_prob: get("--departure-prob").map_or(0.02, |s| {
+        get("--departure-prob").map_or(0.02, |s| {
             s.parse().unwrap_or_else(|_| {
                 eprintln!("bad --departure-prob");
                 exit(2)
             })
         }),
-        warmup: 0,
-    };
-    let open_cfg = OpenConfig {
-        warmup: open_cfg.rounds / 4,
-        ..open_cfg
-    };
+    )
+    .with_warmup(open_rounds / 4)
+    .with_executor(exec);
 
     let outcome = if let Some(path) = metrics_stream.as_deref() {
         let file = std::fs::File::create(path).unwrap_or_else(|e| {
@@ -216,7 +270,9 @@ fn main() {
             &inst,
             state,
             proto.as_ref(),
-            &executor,
+            &driver,
+            &proto_name,
+            weight_max,
             seed,
             max_rounds,
             open_cfg,
@@ -249,7 +305,9 @@ fn main() {
             &inst,
             state,
             proto.as_ref(),
-            &executor,
+            &driver,
+            &proto_name,
+            weight_max,
             seed,
             max_rounds,
             open_cfg,
@@ -280,7 +338,9 @@ fn main() {
             &inst,
             state,
             proto.as_ref(),
-            &executor,
+            &driver,
+            &proto_name,
+            weight_max,
             seed,
             max_rounds,
             open_cfg,
@@ -292,27 +352,30 @@ fn main() {
     }
 }
 
-/// Run the selected executor with the chosen sink monomorphized in, print
-/// its executor-specific digest, and return `(converged, rounds,
+/// Run the selected driver with the chosen sink monomorphized in, print
+/// its driver-specific digest, and return `(converged, rounds,
 /// migrations)` — or `None` for the open-system driver, which reports
-/// steady-state statistics instead of a convergence verdict.
+/// steady-state statistics instead of a convergence verdict. The round
+/// executor rides in `open_cfg.executor` (every driver honours it).
 #[allow(clippy::too_many_arguments)]
 fn simulate<S: Sink>(
     inst: &Instance,
     state: State,
     proto: &dyn Protocol,
-    executor: &str,
+    driver: &str,
+    proto_name: &str,
+    weight_max: u32,
     seed: u64,
     max_rounds: u64,
     open_cfg: OpenConfig,
     sink: &mut S,
 ) -> Option<(bool, u64, u64)> {
-    match executor {
-        kind @ ("engine" | "sparse") => {
-            let mut config = RunConfig::new(seed, max_rounds).with_trace();
-            if kind == "sparse" {
-                config = config.sparse();
-            }
+    let exec = open_cfg.executor;
+    match driver {
+        "closed" => {
+            let config = RunConfig::new(seed, max_rounds)
+                .with_trace()
+                .with_executor(exec);
             let out = run_observed(inst, state, proto, config, sink);
             let trace = out.trace.expect("trace requested");
             let unsat: Vec<f64> = trace.rounds.iter().map(|r| r.unsatisfied as f64).collect();
@@ -329,7 +392,7 @@ fn simulate<S: Sink>(
             // the scenario supplies the fleet shape; the driver runs it as
             // an open system (arrivals/departures via the parking trick)
             if inst.num_classes() != 1 {
-                eprintln!("--executor open needs a single-class scenario");
+                eprintln!("--driver open needs a single-class scenario");
                 exit(2);
             }
             let caps = inst.cap_row(ClassId(0)).to_vec();
@@ -346,8 +409,52 @@ fn simulate<S: Sink>(
             );
             None
         }
+        "weighted" => {
+            // Lift the scenario into the weighted model: user i gets demand
+            // 1 + (i mod --weight-max), and capacities scale by the mean
+            // demand so the capacity margin γ of the unit scenario carries
+            // over. The placement is reused verbatim.
+            if inst.num_classes() != 1 {
+                eprintln!("--driver weighted needs a single-class scenario");
+                exit(2);
+            }
+            let n = inst.num_users();
+            let weights: Vec<u32> = (0..n).map(|i| 1 + (i as u32 % weight_max)).collect();
+            let total_w: u64 = weights.iter().map(|&w| w as u64).sum();
+            let caps: Vec<u64> = inst
+                .cap_row(ClassId(0))
+                .iter()
+                .map(|&c| ((c as u64) * total_w).div_ceil(n as u64))
+                .collect();
+            let winst = WeightedInstance::new(caps, weights).unwrap_or_else(|e| {
+                eprintln!("weighted lift failed: {e}");
+                exit(2);
+            });
+            let wstate =
+                WeightedState::new(&winst, state.assignment().to_vec()).unwrap_or_else(|e| {
+                    eprintln!("weighted lift failed: {e}");
+                    exit(2);
+                });
+            let wproto: Box<dyn WeightedProtocol> = match proto_name {
+                "slack-damped" => Box::new(WeightedSlackDamped::default()),
+                "conditional" => Box::new(WeightedConditional),
+                other => {
+                    eprintln!(
+                        "--driver weighted supports slack-damped | conditional (got {other})"
+                    );
+                    exit(2);
+                }
+            };
+            let config = WeightedConfig::new(seed, max_rounds).with_executor(exec);
+            let out = run_weighted_cfg_observed(&winst, wstate, wproto.as_ref(), config, sink);
+            println!(
+                "weighted model: total demand {total_w}, weight moved {}",
+                out.weight_moved
+            );
+            Some((out.converged, out.rounds, out.migrations))
+        }
         other => {
-            eprintln!("unknown executor {other}; choose engine | sparse | runtime | open");
+            eprintln!("unknown driver {other}; choose closed | open | weighted | runtime");
             exit(2);
         }
     }
@@ -365,13 +472,20 @@ fn report(converged: bool, rounds: u64, migrations: u64) {
 fn print_help() {
     println!(
         "qlb-sim — run a QoS load-balancing scenario\n\n\
-         USAGE:\n  qlb-sim --scenario FILE [--seed N] [--protocol P] [--executor E] [--max-rounds N]\n  \
+         USAGE:\n  qlb-sim --scenario FILE [--seed N] [--protocol P] [--driver D] [--executor E]\n          \
+         [--threads T] [--max-rounds N]\n  \
          qlb-sim --preset flash-crowd\n  qlb-sim --emit-preset > fleet.json\n\n\
          PROTOCOLS: blind | conditional | slack-damped (default) | capacity-sampling | levels\n\
          TOPOLOGY:  --topology ring | torus | complete (neighbour-restricted diffusion)\n\
-         EXECUTORS: engine (default) | sparse (active-set engine) | runtime | open\n\
+         DRIVERS:   closed (default) | open | weighted | runtime — which loop runs the rounds\n\
+         EXECUTORS: dense (default) | sparse | threaded | sparse-threaded — how one round\n           \
+         is decided; every driver accepts every executor, and every executor\n           \
+         produces the same trajectory bit for bit. --threads N (default 4) sizes\n           \
+         the persistent worker pool for the threaded executors.\n           \
+         (Legacy spellings --executor engine|runtime|open still map to drivers.)\n\
          OPEN:      --rounds N --arrivals-per-round X --departure-prob P (open-system driver;\n           \
          the scenario supplies capacities and the user pool)\n\
+         WEIGHTED:  --weight-max W (demands cycle 1..=W; capacities rescale to keep γ)\n\
          METRICS:   --metrics-out FILE.jsonl (dump events/counters/timers as JSONL post hoc)\n           \
          --metrics-stream FILE.jsonl [--flush-every K] (write the JSONL while the\n           \
          run executes; tail it with qlb-trace --follow)\n           \

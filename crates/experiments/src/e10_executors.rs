@@ -93,6 +93,31 @@ pub fn run(quick: bool) -> ExperimentResult {
         ]);
     }
 
+    // The combined executor: sparse active-set sharded across the
+    // persistent worker pool (same pool as the threaded rows above).
+    for threads in [2usize, 8] {
+        let t0 = Instant::now();
+        let out = qlb_engine::run(
+            &inst,
+            start_state.clone(),
+            &proto,
+            RunConfig::new(seed, max_rounds)
+                .with_executor(qlb_engine::Executor::SparseThreaded(threads)),
+        );
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        let same = out.rounds == reference.rounds
+            && out.migrations == reference.migrations
+            && out.state == reference.state;
+        all_equal &= same;
+        table.row(vec![
+            format!("engine (sparse, {threads} threads)"),
+            out.rounds.to_string(),
+            out.migrations.to_string(),
+            if same { "yes" } else { "NO" }.into(),
+            format!("{ms:.1}"),
+        ]);
+    }
+
     let mut sparse_rec = Recorder::default();
     let t0 = Instant::now();
     let sparse = run_sparse_observed(
@@ -189,7 +214,7 @@ mod tests {
     fn quick_run_equivalence_passes() {
         let res = run(true);
         assert!(res.notes[0].contains("PASS"), "{:?}", res.notes);
-        assert_eq!(res.tables[0].num_rows(), 7);
+        assert_eq!(res.tables[0].num_rows(), 9);
         // phase breakdown covers both observed executors
         assert_eq!(res.tables.len(), 2);
         assert!(res.tables[1].num_rows() >= 4);

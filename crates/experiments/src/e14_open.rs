@@ -53,13 +53,7 @@ pub fn run(quick: bool) -> ExperimentResult {
                 &caps,
                 pool,
                 &SlackDamped::default(),
-                OpenConfig {
-                    seed,
-                    rounds,
-                    arrivals_per_round: lambda,
-                    departure_prob: mu,
-                    warmup: rounds / 4,
-                },
+                OpenConfig::new(seed, rounds, lambda, mu).with_warmup(rounds / 4),
             );
             unsat.push(out.mean_unsatisfied_frac);
             worst.push(out.max_unsatisfied_frac);

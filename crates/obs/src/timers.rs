@@ -17,16 +17,24 @@ pub enum Phase {
     Barrier,
     /// Checking convergence.
     Convergence,
+    /// Pool-executor dispatch + join overhead of a decide round: the wall
+    /// time of the round minus the longest single shard's compute time.
+    ForkJoin,
+    /// Longest single-shard compute time of a pooled decide round (the
+    /// critical-path useful work; `Decide` = `Compute` + `ForkJoin`).
+    Compute,
 }
 
 impl Phase {
     /// Every phase, in storage order.
-    pub const ALL: [Phase; 5] = [
+    pub const ALL: [Phase; 7] = [
         Phase::Decide,
         Phase::Apply,
         Phase::Snapshot,
         Phase::Barrier,
         Phase::Convergence,
+        Phase::ForkJoin,
+        Phase::Compute,
     ];
 
     /// Export name (stable; used in JSONL dumps).
@@ -37,6 +45,8 @@ impl Phase {
             Phase::Snapshot => "snapshot",
             Phase::Barrier => "barrier",
             Phase::Convergence => "convergence",
+            Phase::ForkJoin => "fork_join",
+            Phase::Compute => "compute",
         }
     }
 }

@@ -208,13 +208,7 @@ fn open_system_pipeline() {
         &[10u32; 32],
         512,
         &SlackDamped::default(),
-        OpenConfig {
-            seed: 3,
-            rounds: 200,
-            arrivals_per_round: 4.0,
-            departure_prob: 0.05,
-            warmup: 50,
-        },
+        OpenConfig::new(3, 200, 4.0, 0.05).with_warmup(50),
     );
     // offered load ρ = 4 / (0.05 · 320) = 0.25: almost nobody unsatisfied
     assert!(out.mean_active > 40.0);

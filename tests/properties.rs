@@ -3,8 +3,10 @@
 use proptest::prelude::*;
 use qoslb::core::potential::unsatisfied_potential;
 use qoslb::core::step::decide_round;
+use qoslb::core::weighted::{WeightedInstance, WeightedSlackDamped, WeightedState};
 use qoslb::engine::{
-    perturb_uniform, run, run_observed, run_sparse_observed, run_with_churn, ChurnConfig, RunConfig,
+    perturb_uniform, run, run_observed, run_open_system, run_sparse_observed, run_weighted_cfg,
+    run_with_churn, ChurnConfig, OpenConfig, RunConfig, WeightedConfig,
 };
 use qoslb::flow::{brute_force_feasible, flow_feasible};
 use qoslb::obs::{Counter, Recorder};
@@ -316,6 +318,96 @@ proptest! {
         prop_assert_eq!(dense.recovery_rounds, sparse.recovery_rounds);
         prop_assert_eq!(dense.displaced, sparse.displaced);
         prop_assert_eq!(dense.all_recovered, sparse.all_recovered);
+    }
+
+    /// The persistent worker-pool executors reproduce the dense trajectory
+    /// bit-for-bit for **every** registered protocol kernel — including
+    /// pools far wider than the user count, where most shards are empty.
+    #[test]
+    fn pooled_executors_match_dense(
+        (inst, state, seed) in small_instance(),
+        budget in 1u64..200,
+        threads in 1usize..9,
+    ) {
+        for proto in qoslb::core::protocol::registry(&inst) {
+            let name = proto.name();
+            let dense = run(&inst, state.clone(), proto.as_ref(), RunConfig::new(seed, budget));
+            for executor in [
+                Executor::Threaded(threads),
+                Executor::SparseThreaded(threads),
+                // wider than any instance the strategy generates (n ≤ 64):
+                // excess shards must collapse away without changing anything
+                Executor::Threaded(128),
+                Executor::SparseThreaded(128),
+            ] {
+                let cfg = RunConfig::new(seed, budget).with_executor(executor);
+                let pooled = run(&inst, state.clone(), proto.as_ref(), cfg);
+                prop_assert_eq!(dense.converged, pooled.converged, "{} {:?}", name, executor);
+                prop_assert_eq!(dense.rounds, pooled.rounds, "{} {:?}", name, executor);
+                prop_assert_eq!(dense.migrations, pooled.migrations, "{} {:?}", name, executor);
+                prop_assert_eq!(&dense.state, &pooled.state, "{} {:?}", name, executor);
+            }
+        }
+    }
+
+    /// The open-system driver produces an identical per-round series under
+    /// every executor, on churn-heavy workloads where the active set turns
+    /// over constantly (arrivals and departures every round).
+    #[test]
+    fn open_system_executors_produce_identical_series(
+        caps in proptest::collection::vec(2u32..12, 4..24),
+        seed in 0u64..=u64::MAX,
+        arrivals in 0.5f64..8.0,
+        departure in 0.01f64..0.25,
+    ) {
+        let total: u64 = caps.iter().map(|&c| c as u64).sum();
+        let pool = (total as usize).max(32);
+        let base = OpenConfig::new(seed, 120, arrivals, departure);
+        let dense = run_open_system(&caps, pool, &SlackDamped::default(), base);
+        for executor in [
+            Executor::Sparse,
+            Executor::Threaded(3),
+            Executor::SparseThreaded(4),
+        ] {
+            let cfg = base.with_executor(executor);
+            let out = run_open_system(&caps, pool, &SlackDamped::default(), cfg);
+            prop_assert_eq!(&dense.series, &out.series, "{:?}", executor);
+        }
+    }
+
+    /// The weighted engine's sparse and pooled executors reproduce the
+    /// weighted dense trajectory bit-for-bit.
+    #[test]
+    fn weighted_executors_match_dense(
+        (inst, state, seed) in small_instance(),
+        budget in 1u64..200,
+        weight_max in 1u32..6,
+    ) {
+        let n = inst.num_users();
+        let weights: Vec<u32> = (0..n).map(|i| 1 + (i as u32 % weight_max)).collect();
+        let total_w: u64 = weights.iter().map(|&w| w as u64).sum();
+        let caps: Vec<u64> = inst
+            .cap_row(ClassId(0))
+            .iter()
+            .map(|&c| ((c as u64) * total_w).div_ceil(n as u64))
+            .collect();
+        let winst = WeightedInstance::new(caps, weights).unwrap();
+        let start = WeightedState::new(&winst, state.assignment().to_vec()).unwrap();
+        let proto = WeightedSlackDamped::default();
+        let dense = run_weighted_cfg(&winst, start.clone(), &proto, WeightedConfig::new(seed, budget));
+        for executor in [
+            Executor::Sparse,
+            Executor::Threaded(3),
+            Executor::SparseThreaded(4),
+        ] {
+            let cfg = WeightedConfig::new(seed, budget).with_executor(executor);
+            let out = run_weighted_cfg(&winst, start.clone(), &proto, cfg);
+            prop_assert_eq!(dense.converged, out.converged, "{:?}", executor);
+            prop_assert_eq!(dense.rounds, out.rounds, "{:?}", executor);
+            prop_assert_eq!(dense.migrations, out.migrations, "{:?}", executor);
+            prop_assert_eq!(dense.weight_moved, out.weight_moved, "{:?}", executor);
+            prop_assert_eq!(&dense.state, &out.state, "{:?}", executor);
+        }
     }
 
     /// The incrementally-maintained unsatisfied set equals a brute-force
