@@ -18,15 +18,23 @@
 //! used by CI.
 
 use criterion::Criterion;
-use qlb_bench::checks::{measure_obs, ObsRow, BENCH_SEED as SEED};
+use qlb_bench::checks::{
+    measure_obs, measure_shard_timing, ObsRow, ShardTimingRow, BENCH_SEED as SEED,
+};
 use qlb_core::SlackDamped;
-use qlb_engine::{run, run_observed, RunConfig};
+use qlb_engine::{run, run_observed, Executor, RunConfig};
 use qlb_obs::{NoopSink, Recorder};
 
 /// Committed budget for the disabled-sink overhead, percent.
 const NOOP_BUDGET_PCT: f64 = 2.0;
 /// Committed budget for the full-recorder overhead, percent.
 const RECORDER_BUDGET_PCT: f64 = 10.0;
+/// Committed budget for the marginal per-shard profiling overhead on a
+/// pooled run (recorder with shard timing on vs off), percent.
+const SHARD_TIMING_BUDGET_PCT: f64 = 2.0;
+/// Pooled-run shape of the shard-timing overhead measurement.
+const SHARD_TIMING_N: usize = 65_536;
+const SHARD_TIMING_THREADS: usize = 8;
 
 fn criterion_report(n: usize, c: &mut Criterion) {
     let (inst, start) = qlb_bench::standard_pair(n, SEED);
@@ -48,7 +56,40 @@ fn criterion_report(n: usize, c: &mut Criterion) {
     g.finish();
 }
 
-fn write_summary(rows: &[ObsRow]) {
+fn criterion_shard_timing_report(n: usize, threads: usize, c: &mut Criterion) {
+    let (inst, start) = qlb_bench::standard_pair(n, SEED);
+    let proto = SlackDamped::default();
+    let cfg = RunConfig::new(SEED, 1_000_000).with_executor(Executor::Threaded(threads));
+    let mut g = c.benchmark_group(format!("shard_timing/n{n}_t{threads}"));
+    g.bench_function("plain", |b| {
+        b.iter(|| run(&inst, start.clone(), &proto, cfg).rounds)
+    });
+    g.bench_function("noop_sink", |b| {
+        b.iter(|| run_observed(&inst, start.clone(), &proto, cfg, &mut NoopSink).rounds)
+    });
+    g.bench_function("recorder_timing_off", |b| {
+        b.iter(|| {
+            let mut rec = Recorder::default();
+            run_observed(
+                &inst,
+                start.clone(),
+                &proto,
+                cfg.with_shard_timing(false),
+                &mut rec,
+            )
+            .rounds
+        })
+    });
+    g.bench_function("recorder_timing_on", |b| {
+        b.iter(|| {
+            let mut rec = Recorder::default();
+            run_observed(&inst, start.clone(), &proto, cfg, &mut rec).rounds
+        })
+    });
+    g.finish();
+}
+
+fn write_summary(rows: &[ObsRow], shard: &ShardTimingRow) {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
     let mut entries = Vec::new();
     for r in rows {
@@ -83,29 +124,61 @@ fn write_summary(rows: &[ObsRow]) {
         .iter()
         .map(|r| r.recorder_overhead_pct)
         .fold(f64::NEG_INFINITY, f64::max);
+    let shard_entry = format!(
+        concat!(
+            "  \"shard_timing\": {{\n",
+            "    \"n\": {},\n",
+            "    \"threads\": {},\n",
+            "    \"rounds\": {},\n",
+            "    \"plain_run_ms\": {:.3},\n",
+            "    \"noop_sink_run_ms\": {:.3},\n",
+            "    \"recorder_timing_off_ms\": {:.3},\n",
+            "    \"recorder_timing_on_ms\": {:.3},\n",
+            "    \"noop_overhead_pct\": {:.2},\n",
+            "    \"timing_overhead_pct\": {:.2},\n",
+            "    \"timing_overhead_budget_pct\": {:.1}\n",
+            "  }},"
+        ),
+        shard.n,
+        shard.threads,
+        shard.rounds,
+        shard.plain_ms,
+        shard.noop_ms,
+        shard.recorder_off_ms,
+        shard.recorder_on_ms,
+        shard.noop_overhead_pct,
+        shard.timing_overhead_pct,
+        SHARD_TIMING_BUDGET_PCT,
+    );
     let json = format!(
         concat!(
             "{{\n",
             "  \"bench\": \"qlb-obs sink overhead on the E1 convergence kernel\",\n",
             "  \"scenario\": \"slack-damped, gamma = 1.25, capacity 10, m = n/8, \
              hotspot start, run to convergence, seed {}\",\n",
-            "  \"budget\": \"disabled (NoopSink) overhead < {}%, recorder overhead < {}%\",\n",
+            "  \"budget\": \"disabled (NoopSink) overhead < {}%, recorder overhead < {}%, \
+             per-shard profiling (pooled, on vs off) < {}%\",\n",
             "  \"noop_overhead_budget_pct\": {:.1},\n",
             "  \"recorder_overhead_budget_pct\": {:.1},\n",
             "  \"worst_noop_overhead_pct\": {:.2},\n",
             "  \"worst_recorder_overhead_pct\": {:.2},\n",
             "  \"budget_met\": {},\n",
+            "{}\n",
             "  \"results\": [\n{}\n  ]\n",
             "}}\n"
         ),
         SEED,
         NOOP_BUDGET_PCT,
         RECORDER_BUDGET_PCT,
+        SHARD_TIMING_BUDGET_PCT,
         NOOP_BUDGET_PCT,
         RECORDER_BUDGET_PCT,
         worst_noop,
         worst_recorder,
-        worst_noop < NOOP_BUDGET_PCT && worst_recorder < RECORDER_BUDGET_PCT,
+        worst_noop < NOOP_BUDGET_PCT
+            && worst_recorder < RECORDER_BUDGET_PCT
+            && shard.timing_overhead_pct < SHARD_TIMING_BUDGET_PCT,
+        shard_entry,
         entries.join(",\n")
     );
     std::fs::write(path, json).expect("write BENCH_obs.json");
@@ -138,11 +211,31 @@ fn main() {
         );
         rows.push(row);
     }
+    let (shard_n, shard_threads, shard_reps) = if smoke {
+        (4_096, 3, 2)
+    } else {
+        (SHARD_TIMING_N, SHARD_TIMING_THREADS, reps)
+    };
+    criterion_shard_timing_report(shard_n, shard_threads, &mut c);
+    let shard = measure_shard_timing(shard_n, shard_threads, shard_reps);
+    println!(
+        "shard timing n = {:>7}, t = {} ({} rounds): plain {:>8.2} ms | noop {:>8.2} ms \
+         ({:+.2}%) | recorder off {:>8.2} ms | on {:>8.2} ms ({:+.2}% marginal)",
+        shard.n,
+        shard.threads,
+        shard.rounds,
+        shard.plain_ms,
+        shard.noop_ms,
+        shard.noop_overhead_pct,
+        shard.recorder_off_ms,
+        shard.recorder_on_ms,
+        shard.timing_overhead_pct,
+    );
     if smoke {
         // CI smoke: exercise every path but leave the committed numbers
         // (from a full local run) alone
         println!("smoke mode (--test): BENCH_obs.json not rewritten");
         return;
     }
-    write_summary(&rows);
+    write_summary(&rows, &shard);
 }

@@ -27,7 +27,8 @@
 //! missing/corrupt baseline JSON.
 
 use qlb_bench::checks::{
-    measure_dispatch, measure_obs, measure_open_sparse, measure_sparse, measure_weighted_sparse,
+    measure_dispatch, measure_obs, measure_open_sparse, measure_shard_timing, measure_sparse,
+    measure_weighted_sparse,
 };
 use serde_json::{parse_value_str, Value};
 use std::process::exit;
@@ -195,6 +196,51 @@ fn check_obs(baseline: &Value, sizes: &[usize], reps: usize, margin: f64, gates:
     }
 }
 
+/// Gate on the per-shard profiling cost recorded in the `shard_timing`
+/// section of `BENCH_obs.json`: the marginal on-vs-off overhead under the
+/// recorder must stay inside its committed budget, and the NoopSink path
+/// must stay at ≈ 0 % (the profiling hook compiles away entirely).
+fn check_shard_timing(baseline: &Value, reps: usize, margin: f64, gates: &mut Vec<Gate>) {
+    let Some(section) = baseline.get("shard_timing") else {
+        gates.push(Gate {
+            name: "obs/shard_timing".into(),
+            passed: false,
+            detail: "no shard_timing section in BENCH_obs.json".into(),
+        });
+        return;
+    };
+    let n = section.get("n").and_then(Value::as_u64).unwrap_or(65_536) as usize;
+    let threads = section.get("threads").and_then(Value::as_u64).unwrap_or(8) as usize;
+    let budget = f64_field(section, "timing_overhead_budget_pct").unwrap_or(2.0);
+    // The pooled 8-thread kernel converges in a handful of rounds, so one
+    // repetition is a few ms and scheduler noise per rep runs several
+    // percent — too wide for the ≈-0 noop gate at `--quick` rep counts.
+    // Reps are cheap here; take enough for a stable paired median.
+    let measured = measure_shard_timing(n, threads, reps.max(21));
+    // Even the paired median swings ±4–5% on this kernel (thread placement
+    // persists within one run invocation), so the ≈-0 noop gate gets twice
+    // the sequential-kernel noise margin: it exists to catch a broken
+    // `const ENABLED` short-circuit, not sub-noise drift.
+    let noop_cap = 2.0 * margin;
+    gates.push(Gate {
+        name: format!("obs/shard_timing/n{n}_t{threads}/noop"),
+        passed: measured.noop_overhead_pct <= noop_cap,
+        detail: format!(
+            "NoopSink pooled run {:+.2}% vs plain (must be ≈ 0: cap {noop_cap:.1}%)",
+            measured.noop_overhead_pct
+        ),
+    });
+    gates.push(Gate {
+        name: format!("obs/shard_timing/n{n}_t{threads}/marginal"),
+        passed: measured.timing_overhead_pct <= budget + margin,
+        detail: format!(
+            "per-shard profile {:+.2}% on vs off under the recorder \
+             (budget {budget:.1}% +{margin:.1} noise margin)",
+            measured.timing_overhead_pct
+        ),
+    });
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -245,6 +291,7 @@ fn main() {
     check_sparse(&sparse_baseline, sparse_sizes, tolerance, &mut gates);
     check_parallel(&parallel_baseline, tolerance, &mut gates);
     check_obs(&obs_baseline, obs_sizes, reps, margin, &mut gates);
+    check_shard_timing(&obs_baseline, reps, margin, &mut gates);
 
     let mut failed = 0usize;
     for g in &gates {
@@ -274,7 +321,8 @@ fn print_help() {
          --overhead-margin P     obs overheads may exceed their budget by P points (default 3)\n\n\
          Gates: sparse endgame round speedup, tight-slack run speedup (BENCH_sparse.json);\n\
          pool dispatch reduction >= 5x and sparse open/weighted drivers beating dense\n\
-         (BENCH_parallel.json); NoopSink and Recorder overhead budgets (BENCH_obs.json).\n\
+         (BENCH_parallel.json); NoopSink and Recorder overhead budgets plus the pooled\n\
+         per-shard profiling budget (< 2% on vs off, ~0% disabled) (BENCH_obs.json).\n\
          Measurements share code with the benches (qlb_bench::checks), so numbers are\n\
          comparable by construction."
     );

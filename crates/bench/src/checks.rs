@@ -549,6 +549,87 @@ pub fn measure_obs(n: usize, reps: usize) -> ObsRow {
     }
 }
 
+/// Per-shard instrumentation overhead on a pooled run.
+#[derive(Debug, Clone)]
+pub struct ShardTimingRow {
+    /// Users.
+    pub n: usize,
+    /// Worker threads of the pooled executor.
+    pub threads: usize,
+    /// Rounds of the kernel run.
+    pub rounds: u64,
+    /// Best-of-reps plain pooled `run`, ms.
+    pub plain_ms: f64,
+    /// Best-of-reps pooled `run_observed(NoopSink)` (shard timing
+    /// requested but compiled away), ms.
+    pub noop_ms: f64,
+    /// Best-of-reps pooled `run_observed(Recorder)` with shard timing
+    /// off, ms.
+    pub recorder_off_ms: f64,
+    /// Best-of-reps pooled `run_observed(Recorder)` with shard timing
+    /// on, ms.
+    pub recorder_on_ms: f64,
+    /// Median paired noop/plain overhead, percent (must be ≈ 0: the
+    /// `const ENABLED` short-circuit folds the whole profiling path away).
+    pub noop_overhead_pct: f64,
+    /// Median paired on/off overhead under the recorder, percent — the
+    /// marginal cost of the per-shard profile itself.
+    pub timing_overhead_pct: f64,
+}
+
+/// Time the E1 kernel under the pooled executor four ways — plain `run`,
+/// `run_observed(NoopSink)`, and `run_observed(Recorder)` with shard
+/// timing off and on — using the same interleaved paired-median scheme as
+/// [`measure_obs`]. The on/off pair isolates the marginal cost of the
+/// per-shard profile (scratch locking, per-shard clock reads, histogram
+/// updates) from the rest of the recorder.
+pub fn measure_shard_timing(n: usize, threads: usize, reps: usize) -> ShardTimingRow {
+    let (inst, start) = crate::standard_pair(n, BENCH_SEED);
+    let proto = SlackDamped::default();
+    let base = RunConfig::new(BENCH_SEED, 1_000_000).with_executor(Executor::Threaded(threads));
+    let off_cfg = base.with_shard_timing(false);
+
+    let mut plain = || run(&inst, start.clone(), &proto, base).rounds;
+    let mut noop = || run_observed(&inst, start.clone(), &proto, base, &mut NoopSink).rounds;
+    let mut rec_off = || {
+        let mut rec = Recorder::default();
+        run_observed(&inst, start.clone(), &proto, off_cfg, &mut rec).rounds
+    };
+    let mut rec_on = || {
+        let mut rec = Recorder::default();
+        run_observed(&inst, start.clone(), &proto, base, &mut rec).rounds
+    };
+    black_box((plain(), noop(), rec_off(), rec_on()));
+    let (mut noop_ratio, mut timing_ratio) = (Vec::new(), Vec::new());
+    let (mut plain_ms, mut noop_ms, mut off_ms, mut on_ms) =
+        (f64::INFINITY, f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        let p = once_ms(&mut plain);
+        let s = once_ms(&mut noop);
+        let off = once_ms(&mut rec_off);
+        let on = once_ms(&mut rec_on);
+        noop_ratio.push(s / p);
+        timing_ratio.push(on / off);
+        plain_ms = plain_ms.min(p);
+        noop_ms = noop_ms.min(s);
+        off_ms = off_ms.min(off);
+        on_ms = on_ms.min(on);
+    }
+
+    let rounds = run(&inst, start, &proto, base).rounds;
+    ShardTimingRow {
+        n,
+        threads,
+        rounds,
+        plain_ms,
+        noop_ms,
+        recorder_off_ms: off_ms,
+        recorder_on_ms: on_ms,
+        noop_overhead_pct: 100.0 * (median(&mut noop_ratio) - 1.0),
+        timing_overhead_pct: 100.0 * (median(&mut timing_ratio) - 1.0),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -566,6 +647,15 @@ mod tests {
         assert!(row.rounds > 0);
         assert!(row.plain_ms.is_finite() && row.plain_ms > 0.0);
         assert!(row.events_recorded > 0);
+    }
+
+    #[test]
+    fn measure_shard_timing_smoke() {
+        let row = measure_shard_timing(4_096, 3, 2);
+        assert_eq!(row.threads, 3);
+        assert!(row.rounds > 0);
+        assert!(row.plain_ms > 0.0 && row.recorder_on_ms > 0.0);
+        assert!(row.noop_overhead_pct.is_finite() && row.timing_overhead_pct.is_finite());
     }
 
     #[test]

@@ -50,6 +50,12 @@ pub struct OpenConfig {
     /// Round-execution strategy (default [`Executor::Dense`]; every
     /// executor produces a bit-identical series).
     pub executor: Executor,
+    /// Sample the `k` hottest *real* resources (parking excluded) at each
+    /// observed round end (0 = off).
+    pub topk_resources: usize,
+    /// Record per-shard compute/wake profiles on observed pooled rounds
+    /// (default on).
+    pub shard_timing: bool,
 }
 
 impl OpenConfig {
@@ -63,6 +69,8 @@ impl OpenConfig {
             departure_prob,
             warmup: 0,
             executor: Executor::Dense,
+            topk_resources: 0,
+            shard_timing: true,
         }
     }
 
@@ -75,6 +83,19 @@ impl OpenConfig {
     /// Select the round-execution strategy.
     pub fn with_executor(mut self, executor: Executor) -> Self {
         self.executor = executor;
+        self
+    }
+
+    /// Sample the `k` hottest real resources at each observed round end
+    /// (0 disables).
+    pub fn with_topk_resources(mut self, k: usize) -> Self {
+        self.topk_resources = k;
+        self
+    }
+
+    /// Toggle per-shard compute/wake profiling of observed pooled rounds.
+    pub fn with_shard_timing(mut self, on: bool) -> Self {
+        self.shard_timing = on;
         self
     }
 }
@@ -259,7 +280,7 @@ pub fn run_open_system_observed<P: Protocol + ?Sized, S: Sink>(
                         let len = scratch.len();
                         let chunk = len.div_ceil(wpool.threads()).max(1);
                         let (state_ref, scratch_ref) = (&state, &scratch);
-                        let compute_ns = wpool.decide_round(
+                        wpool.decide_round_observed(
                             |shard, out| {
                                 let lo = (shard * chunk).min(len);
                                 let hi = ((shard + 1) * chunk).min(len);
@@ -276,9 +297,9 @@ pub fn run_open_system_observed<P: Protocol + ?Sized, S: Sink>(
                                 }
                             },
                             &mut moves,
-                            S::ENABLED,
+                            sink,
+                            cfg.shard_timing,
                         );
-                        emit_pooled_decide(sink, t0, compute_ns);
                     }
                     _ => {
                         decide_active_into(
@@ -303,10 +324,9 @@ pub fn run_open_system_observed<P: Protocol + ?Sized, S: Sink>(
             None => {
                 match wpool.as_ref() {
                     Some(wpool) => {
-                        let t0 = S::ENABLED.then(Instant::now);
                         let chunk = pool.div_ceil(wpool.threads()).max(1);
                         let state_ref = &state;
-                        let compute_ns = wpool.decide_round(
+                        wpool.decide_round_observed(
                             |shard, out| {
                                 let lo = (shard * chunk).min(pool);
                                 let hi = ((shard + 1) * chunk).min(pool);
@@ -317,9 +337,9 @@ pub fn run_open_system_observed<P: Protocol + ?Sized, S: Sink>(
                                 }
                             },
                             &mut moves,
-                            S::ENABLED,
+                            sink,
+                            cfg.shard_timing,
                         );
-                        emit_pooled_decide(sink, t0, compute_ns);
                     }
                     None => {
                         timed(sink, Phase::Decide, || {
@@ -367,6 +387,12 @@ pub fn run_open_system_observed<P: Protocol + ?Sized, S: Sink>(
                 unsatisfied,
                 overload: None,
             });
+            if cfg.topk_resources > 0 {
+                // Slice off the parking resource (index m): its load is the
+                // parked population and would swamp any congestion sample.
+                let loads = &state.loads()[..m];
+                sink.topk(round, &qlb_obs::top_k_entries(loads, cfg.topk_resources));
+            }
         }
         series.push(OpenRoundStats {
             round,
@@ -404,18 +430,6 @@ pub fn run_open_system_observed<P: Protocol + ?Sized, S: Sink>(
     }
 }
 
-/// Record the phase breakdown of one pooled open-system decide round (same
-/// scheme as the closed engine).
-#[inline]
-fn emit_pooled_decide<S: Sink>(sink: &mut S, t0: Option<Instant>, compute_ns: u64) {
-    if let Some(t0) = t0 {
-        let wall = t0.elapsed().as_nanos() as u64;
-        sink.time(Phase::Decide, wall);
-        sink.time(Phase::Compute, compute_ns.min(wall));
-        sink.time(Phase::ForkJoin, wall.saturating_sub(compute_ns));
-    }
-}
-
 /// Salt separating the arrival/departure driver stream from protocol
 /// streams: changing the churn pattern never perturbs protocol coins.
 const OPEN_SALT: u64 = 0x4f50_454e; // "OPEN"
@@ -427,6 +441,30 @@ mod tests {
 
     fn cfg(rounds: u64, lambda: f64, mu: f64) -> OpenConfig {
         OpenConfig::new(11, rounds, lambda, mu).with_warmup(rounds / 4)
+    }
+
+    #[test]
+    fn topk_samples_exclude_parking_resource() {
+        use qlb_obs::Recorder;
+        let caps = [4u32; 16];
+        let mut rec = Recorder::default();
+        let _ = run_open_system_observed(
+            &caps,
+            200,
+            &SlackDamped::default(),
+            cfg(60, 4.0, 0.05).with_topk_resources(3),
+            &mut rec,
+        );
+        let samples = rec.topk_series().samples();
+        assert!(!samples.is_empty(), "no top-k samples retained");
+        for (_, entries) in samples {
+            assert!(!entries.is_empty() && entries.len() <= 3);
+            for e in entries {
+                // the parking resource (index m = caps.len()) must never
+                // appear in a congestion sample
+                assert!((e.resource as usize) < caps.len(), "parking sampled");
+            }
+        }
     }
 
     #[test]

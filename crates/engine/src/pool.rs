@@ -25,6 +25,7 @@
 //! move list byte for byte.
 
 use qlb_core::Move;
+use qlb_obs::{Phase, Sink};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -77,6 +78,15 @@ pub struct WorkerPool {
     shards: Vec<Mutex<Vec<Move>>>,
     /// Per-shard compute time of the last timed dispatch, in ns.
     compute_ns: Vec<Mutex<u64>>,
+    /// Per-shard dispatch wake latency of the last timed dispatch, in ns:
+    /// from just before the epoch bump to the closure starting on the
+    /// shard. Shard 0 is the coordinator, so its sample measures the
+    /// dispatch lock + notify cost rather than a condvar wake.
+    wake_ns: Vec<Mutex<u64>>,
+    /// Reusable (compute, wake) snapshot buffers for
+    /// [`WorkerPool::decide_round_observed`], so per-shard profiling adds
+    /// no steady-state allocation.
+    profile_scratch: Mutex<(Vec<u64>, Vec<u64>)>,
 }
 
 impl WorkerPool {
@@ -111,6 +121,8 @@ impl WorkerPool {
             workers,
             shards: (0..threads).map(|_| Mutex::new(Vec::new())).collect(),
             compute_ns: (0..threads).map(|_| Mutex::new(0)).collect(),
+            wake_ns: (0..threads).map(|_| Mutex::new(0)).collect(),
+            profile_scratch: Mutex::new((Vec::new(), Vec::new())),
         }
     }
 
@@ -166,7 +178,11 @@ impl WorkerPool {
     where
         F: Fn(usize, &mut Vec<Move>) + Sync,
     {
+        let dispatched = timed.then(Instant::now);
         self.run(&|shard: usize| {
+            if let Some(d0) = dispatched {
+                *self.wake_ns[shard].lock().unwrap() = d0.elapsed().as_nanos() as u64;
+            }
             let t0 = timed.then(Instant::now);
             let mut buf = self.shards[shard].lock().unwrap();
             buf.clear();
@@ -185,6 +201,51 @@ impl WorkerPool {
             }
         }
         max_ns
+    }
+
+    /// [`WorkerPool::decide_round`] with the observability emission all
+    /// observed pooled drivers share: `Decide` is the round's wall time,
+    /// `Compute` the longest single shard, `ForkJoin` the remainder
+    /// (dispatch, join, and shard-buffer drain). With `shard_timing` the
+    /// per-shard compute times (each clipped to the round's wall time, so
+    /// their per-round maximum sums exactly to the `Compute` aggregate)
+    /// and dispatch wake latencies are forwarded to
+    /// [`Sink::shard_round`] as well.
+    ///
+    /// With a disabled sink this is exactly the untimed
+    /// [`WorkerPool::decide_round`] — no clock reads, no emission.
+    pub fn decide_round_observed<S, F>(
+        &self,
+        fill: F,
+        out: &mut Vec<Move>,
+        sink: &mut S,
+        shard_timing: bool,
+    ) where
+        S: Sink,
+        F: Fn(usize, &mut Vec<Move>) + Sync,
+    {
+        if !S::ENABLED {
+            self.decide_round(fill, out, false);
+            return;
+        }
+        let t0 = Instant::now();
+        let max_ns = self.decide_round(fill, out, true);
+        let wall = t0.elapsed().as_nanos() as u64;
+        let compute = max_ns.min(wall);
+        sink.time(Phase::Decide, wall);
+        sink.time(Phase::Compute, compute);
+        sink.time(Phase::ForkJoin, wall.saturating_sub(compute));
+        if shard_timing {
+            let mut scratch = self.profile_scratch.lock().unwrap();
+            let (compute_v, wake_v) = &mut *scratch;
+            compute_v.clear();
+            wake_v.clear();
+            for i in 0..self.shards.len() {
+                compute_v.push((*self.compute_ns[i].lock().unwrap()).min(wall));
+                wake_v.push(*self.wake_ns[i].lock().unwrap());
+            }
+            sink.shard_round(compute_v, wake_v);
+        }
     }
 }
 
@@ -323,6 +384,50 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn zero_threads_panics() {
         let _ = WorkerPool::new(0);
+    }
+
+    #[test]
+    fn decide_round_observed_profiles_every_shard() {
+        use qlb_core::{ResourceId, UserId};
+        use qlb_obs::Recorder;
+        let pool = WorkerPool::new(3);
+        let mut rec = Recorder::default();
+        let mut out = Vec::new();
+        for round in 0..20u32 {
+            pool.decide_round_observed(
+                |shard, buf| {
+                    buf.push(Move {
+                        user: UserId(shard as u32 * 10 + round),
+                        from: ResourceId(0),
+                        to: ResourceId(1),
+                    });
+                },
+                &mut out,
+                &mut rec,
+                true,
+            );
+            assert_eq!(out.len(), 3);
+        }
+        let st = rec.shard_timers();
+        assert_eq!(st.num_shards(), 3);
+        assert_eq!(st.rounds(), 20);
+        assert_eq!(st.dispatch().count(), 60);
+        // per-round shard maxima (clipped to wall) sum exactly to the
+        // aggregate Compute phase total
+        assert_eq!(st.critical_ns(), rec.timers().total_ns(Phase::Compute));
+        assert_eq!(rec.timers().histogram(Phase::Decide).count(), 20);
+        assert_eq!(rec.timers().histogram(Phase::ForkJoin).count(), 20);
+    }
+
+    #[test]
+    fn decide_round_observed_noop_sink_records_nothing() {
+        use qlb_obs::NoopSink;
+        let pool = WorkerPool::new(2);
+        let mut out = Vec::new();
+        pool.decide_round_observed(|_, _| {}, &mut out, &mut NoopSink, true);
+        // untimed path: the wake/compute slots were never written
+        assert_eq!(*pool.wake_ns[0].lock().unwrap(), 0);
+        assert_eq!(*pool.compute_ns[1].lock().unwrap(), 0);
     }
 
     #[test]

@@ -61,6 +61,14 @@ pub struct RunConfig {
     pub track_user_times: bool,
     /// Round-execution strategy (default [`Executor::Dense`]).
     pub executor: Executor,
+    /// Sample the `k` hottest resources at each observed round end
+    /// (0 = off). Flows to [`qlb_obs::Sink::topk`]; the recording sinks
+    /// retain a decimated series.
+    pub topk_resources: usize,
+    /// Record per-shard compute/wake profiles on observed pooled rounds
+    /// (default on; irrelevant for sequential executors and disabled
+    /// sinks).
+    pub shard_timing: bool,
 }
 
 impl RunConfig {
@@ -72,7 +80,22 @@ impl RunConfig {
             record_trace: false,
             track_user_times: false,
             executor: Executor::Dense,
+            topk_resources: 0,
+            shard_timing: true,
         }
+    }
+
+    /// Sample the `k` hottest resources at each observed round end
+    /// (0 disables).
+    pub fn with_topk_resources(mut self, k: usize) -> Self {
+        self.topk_resources = k;
+        self
+    }
+
+    /// Toggle per-shard compute/wake profiling of observed pooled rounds.
+    pub fn with_shard_timing(mut self, on: bool) -> Self {
+        self.shard_timing = on;
+        self
     }
 
     /// Enable per-round tracing.
@@ -189,20 +212,6 @@ fn run_dense<P: Protocol + ?Sized, S: Sink>(
     )
 }
 
-/// Record the phase breakdown of one pooled decide round: `Decide` is the
-/// round's wall time, `Compute` the longest single shard, and `ForkJoin`
-/// the remainder (dispatch, join, and shard-buffer drain). `t0` is `None`
-/// when the sink is disabled, in which case nothing is recorded.
-#[inline]
-fn emit_pooled_decide<S: Sink>(sink: &mut S, t0: Option<Instant>, compute_ns: u64) {
-    if let Some(t0) = t0 {
-        let wall = t0.elapsed().as_nanos() as u64;
-        sink.time(Phase::Decide, wall);
-        sink.time(Phase::Compute, compute_ns.min(wall));
-        sink.time(Phase::ForkJoin, wall.saturating_sub(compute_ns));
-    }
-}
-
 /// Dense round loop over a caller-provided persistent [`WorkerPool`]: the
 /// full user range is statically sharded once and every round is one pool
 /// dispatch. No per-round allocation: the pool reuses its shard buffers and
@@ -224,8 +233,7 @@ fn run_pooled_dense<P: Protocol + ?Sized, S: Sink>(
         config,
         sink,
         move |inst, state, proto, seed, round, buf, sink| {
-            let t0 = S::ENABLED.then(Instant::now);
-            let compute_ns = pool.decide_round(
+            pool.decide_round_observed(
                 |shard, out| {
                     let lo = (shard * chunk).min(n);
                     let hi = ((shard + 1) * chunk).min(n);
@@ -234,9 +242,9 @@ fn run_pooled_dense<P: Protocol + ?Sized, S: Sink>(
                     }
                 },
                 buf,
-                S::ENABLED,
+                sink,
+                config.shard_timing,
             );
-            emit_pooled_decide(sink, t0, compute_ns);
         },
     )
 }
@@ -399,7 +407,7 @@ fn run_sparse_core<P: Protocol + ?Sized, S: Sink>(
                         if len >= SPARSE_POOL_MIN_ACTIVE {
                             let chunk = len.div_ceil(pool.threads()).max(1);
                             let (state_ref, scratch_ref) = (&state, &scratch);
-                            let compute_ns = pool.decide_round(
+                            pool.decide_round_observed(
                                 |shard, out| {
                                     let lo = (shard * chunk).min(len);
                                     let hi = ((shard + 1) * chunk).min(len);
@@ -416,9 +424,9 @@ fn run_sparse_core<P: Protocol + ?Sized, S: Sink>(
                                     }
                                 },
                                 &mut moves,
-                                S::ENABLED,
+                                sink,
+                                config.shard_timing,
                             );
-                            emit_pooled_decide(sink, t0, compute_ns);
                         } else {
                             moves.clear();
                             decide_users_into(
@@ -464,10 +472,9 @@ fn run_sparse_core<P: Protocol + ?Sized, S: Sink>(
             None => {
                 match pool {
                     Some(pool) => {
-                        let t0 = S::ENABLED.then(Instant::now);
                         let chunk = n.div_ceil(pool.threads()).max(1);
                         let state_ref = &state;
-                        let compute_ns = pool.decide_round(
+                        pool.decide_round_observed(
                             |shard, out| {
                                 let lo = (shard * chunk).min(n);
                                 let hi = ((shard + 1) * chunk).min(n);
@@ -485,9 +492,9 @@ fn run_sparse_core<P: Protocol + ?Sized, S: Sink>(
                                 }
                             },
                             &mut moves,
-                            S::ENABLED,
+                            sink,
+                            config.shard_timing,
                         );
-                        emit_pooled_decide(sink, t0, compute_ns);
                     }
                     None => {
                         timed(sink, Phase::Decide, || {
@@ -545,6 +552,7 @@ fn run_sparse_core<P: Protocol + ?Sized, S: Sink>(
                 moves.len() as u64,
                 converged,
                 unsatisfied,
+                config.topk_resources,
             );
             entering = unsatisfied;
             if let Some(index) = active.as_ref() {
@@ -621,7 +629,10 @@ pub fn run_threaded_observed<P: Protocol + ?Sized, S: Sink>(
 /// *derived* from the already-updated state — it must never feed back into
 /// decisions. `unsatisfied` is passed in (the caller usually has it for
 /// free: the sparse index knows it in O(1), and the dense loops reuse it as
-/// the next round's `RoundStart` active count, halving the scans).
+/// the next round's `RoundStart` active count, halving the scans). With
+/// `topk > 0` the `topk` hottest resources are offered to the sink as a
+/// congestion sample.
+#[allow(clippy::too_many_arguments)]
 fn emit_round_end<S: Sink>(
     inst: &Instance,
     state: &State,
@@ -630,6 +641,7 @@ fn emit_round_end<S: Sink>(
     batch: u64,
     converged: bool,
     unsatisfied: u64,
+    topk: usize,
 ) {
     let overload = (inst.num_classes() == 1).then(|| overload_potential(inst, state));
     sink.add(Counter::Rounds, 1);
@@ -645,6 +657,9 @@ fn emit_round_end<S: Sink>(
         overload,
     });
     sink.event(Event::ConvergenceCheck { round, converged });
+    if topk > 0 {
+        sink.topk(round, &qlb_obs::top_k_entries(state.loads(), topk));
+    }
 }
 
 /// The dense round loop, generic over how a round is decided. The decider
@@ -722,6 +737,7 @@ where
                 moves.len() as u64,
                 converged,
                 unsatisfied,
+                config.topk_resources,
             );
             entering = unsatisfied;
         }

@@ -31,6 +31,12 @@ pub struct WeightedConfig {
     pub max_rounds: u64,
     /// Round-execution strategy (default [`Executor::Dense`]).
     pub executor: Executor,
+    /// Sample the `k` hottest resources (by weighted load) at each observed
+    /// round end (0 = off).
+    pub topk_resources: usize,
+    /// Record per-shard compute/wake profiles on observed pooled rounds
+    /// (default on).
+    pub shard_timing: bool,
 }
 
 impl WeightedConfig {
@@ -40,12 +46,27 @@ impl WeightedConfig {
             seed,
             max_rounds,
             executor: Executor::Dense,
+            topk_resources: 0,
+            shard_timing: true,
         }
     }
 
     /// Select the round-execution strategy.
     pub fn with_executor(mut self, executor: Executor) -> Self {
         self.executor = executor;
+        self
+    }
+
+    /// Sample the `k` hottest resources at each observed round end
+    /// (0 disables).
+    pub fn with_topk_resources(mut self, k: usize) -> Self {
+        self.topk_resources = k;
+        self
+    }
+
+    /// Toggle per-shard compute/wake profiling of observed pooled rounds.
+    pub fn with_shard_timing(mut self, on: bool) -> Self {
+        self.shard_timing = on;
         self
     }
 
@@ -157,19 +178,6 @@ pub fn run_weighted_cfg_observed<P: WeightedProtocol + ?Sized, S: Sink>(
     }
 }
 
-/// Record the phase breakdown of one pooled weighted decide round (same
-/// scheme as the unit model: `Decide` = wall, `Compute` = longest shard,
-/// `ForkJoin` = the rest).
-#[inline]
-fn emit_pooled_decide<S: Sink>(sink: &mut S, t0: Option<Instant>, compute_ns: u64) {
-    if let Some(t0) = t0 {
-        let wall = t0.elapsed().as_nanos() as u64;
-        sink.time(Phase::Decide, wall);
-        sink.time(Phase::Compute, compute_ns.min(wall));
-        sink.time(Phase::ForkJoin, wall.saturating_sub(compute_ns));
-    }
-}
-
 fn run_weighted_core<P: WeightedProtocol + ?Sized, S: Sink>(
     inst: &WeightedInstance,
     mut state: WeightedState,
@@ -219,7 +227,7 @@ fn run_weighted_core<P: WeightedProtocol + ?Sized, S: Sink>(
                     Some(pool) if len >= SPARSE_POOL_MIN_ACTIVE => {
                         let chunk = len.div_ceil(pool.threads()).max(1);
                         let (state_ref, scratch_ref) = (&state, &scratch);
-                        let compute_ns = pool.decide_round(
+                        pool.decide_round_observed(
                             |shard, out| {
                                 let lo = (shard * chunk).min(len);
                                 let hi = ((shard + 1) * chunk).min(len);
@@ -236,9 +244,9 @@ fn run_weighted_core<P: WeightedProtocol + ?Sized, S: Sink>(
                                 }
                             },
                             &mut moves,
-                            S::ENABLED,
+                            sink,
+                            config.shard_timing,
                         );
-                        emit_pooled_decide(sink, t0, compute_ns);
                     }
                     _ => {
                         moves.clear();
@@ -263,10 +271,9 @@ fn run_weighted_core<P: WeightedProtocol + ?Sized, S: Sink>(
             None => {
                 match pool {
                     Some(pool) => {
-                        let t0 = S::ENABLED.then(Instant::now);
                         let chunk = n.div_ceil(pool.threads()).max(1);
                         let state_ref = &state;
-                        let compute_ns = pool.decide_round(
+                        pool.decide_round_observed(
                             |shard, out| {
                                 let lo = (shard * chunk).min(n);
                                 let hi = ((shard + 1) * chunk).min(n);
@@ -284,9 +291,9 @@ fn run_weighted_core<P: WeightedProtocol + ?Sized, S: Sink>(
                                 }
                             },
                             &mut moves,
-                            S::ENABLED,
+                            sink,
+                            config.shard_timing,
                         );
-                        emit_pooled_decide(sink, t0, compute_ns);
                     }
                     None => {
                         timed(sink, Phase::Decide, || {
@@ -359,6 +366,10 @@ fn run_weighted_core<P: WeightedProtocol + ?Sized, S: Sink>(
                 unsatisfied,
                 overload: None,
             });
+            if config.topk_resources > 0 {
+                let entries = qlb_obs::top_k_entries(state.loads(), config.topk_resources);
+                sink.topk(rounds - 1, &entries);
+            }
             entering = unsatisfied;
         }
     }
@@ -484,6 +495,35 @@ mod tests {
                 assert_eq!(dense.state, other.state, "{name} {exec:?}");
             }
         }
+    }
+
+    #[test]
+    fn observed_run_samples_topk_and_shard_profile() {
+        use qlb_obs::Recorder;
+        let inst = WeightedInstance::new(vec![8; 32], vec![3; 48]).unwrap();
+        let state = WeightedState::all_on(&inst, ResourceId(0));
+        let mut rec = Recorder::default();
+        let out = run_weighted_cfg_observed(
+            &inst,
+            state,
+            &WeightedSlackDamped::default(),
+            WeightedConfig::new(9, 10_000)
+                .threaded(3)
+                .with_topk_resources(4),
+            &mut rec,
+        );
+        assert!(out.converged);
+        let samples = rec.topk_series().samples();
+        assert!(!samples.is_empty(), "no top-k samples retained");
+        // samples are taken at round end: descending by load, ≤ k entries
+        let (round0, entries0) = &samples[0];
+        assert_eq!(*round0, 0);
+        assert!(!entries0.is_empty() && entries0.len() <= 4);
+        assert!(entries0.windows(2).all(|w| w[0].load >= w[1].load));
+        // dense pooled rounds were profiled per shard
+        let st = rec.shard_timers();
+        assert!(!st.is_empty(), "no shard profile recorded");
+        assert_eq!(st.num_shards(), 3);
     }
 
     #[test]

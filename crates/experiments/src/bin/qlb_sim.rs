@@ -174,6 +174,23 @@ fn main() {
         })
     });
     let metrics_summary = args.iter().any(|a| a == "--metrics-summary");
+    // Profiling knobs: sample the k hottest resources at each round end and
+    // toggle the per-shard compute/wake profile of pooled rounds. Both ride
+    // on whichever sink is active; with the NoopSink they cost nothing.
+    let topk_resources: usize = get("--topk-resources").map_or(0, |s| {
+        s.parse().unwrap_or_else(|_| {
+            eprintln!("bad --topk-resources");
+            exit(2)
+        })
+    });
+    let shard_timing = match get("--shard-timing").as_deref() {
+        None | Some("on") => true,
+        Some("off") => false,
+        Some(other) => {
+            eprintln!("bad --shard-timing {other}; choose on | off");
+            exit(2);
+        }
+    };
 
     // Driver (which engine loops the rounds: closed | open | weighted |
     // runtime) and executor (how one round is decided: dense | sparse |
@@ -258,7 +275,9 @@ fn main() {
         }),
     )
     .with_warmup(open_rounds / 4)
-    .with_executor(exec);
+    .with_executor(exec)
+    .with_topk_resources(topk_resources)
+    .with_shard_timing(shard_timing);
 
     let outcome = if let Some(path) = metrics_stream.as_deref() {
         let file = std::fs::File::create(path).unwrap_or_else(|e| {
@@ -375,7 +394,9 @@ fn simulate<S: Sink>(
         "closed" => {
             let config = RunConfig::new(seed, max_rounds)
                 .with_trace()
-                .with_executor(exec);
+                .with_executor(exec)
+                .with_topk_resources(open_cfg.topk_resources)
+                .with_shard_timing(open_cfg.shard_timing);
             let out = run_observed(inst, state, proto, config, sink);
             let trace = out.trace.expect("trace requested");
             let unsat: Vec<f64> = trace.rounds.iter().map(|r| r.unsatisfied as f64).collect();
@@ -445,7 +466,10 @@ fn simulate<S: Sink>(
                     exit(2);
                 }
             };
-            let config = WeightedConfig::new(seed, max_rounds).with_executor(exec);
+            let config = WeightedConfig::new(seed, max_rounds)
+                .with_executor(exec)
+                .with_topk_resources(open_cfg.topk_resources)
+                .with_shard_timing(open_cfg.shard_timing);
             let out = run_weighted_cfg_observed(&winst, wstate, wproto.as_ref(), config, sink);
             println!(
                 "weighted model: total demand {total_w}, weight moved {}",
@@ -489,6 +513,9 @@ fn print_help() {
          METRICS:   --metrics-out FILE.jsonl (dump events/counters/timers as JSONL post hoc)\n           \
          --metrics-stream FILE.jsonl [--flush-every K] (write the JSONL while the\n           \
          run executes; tail it with qlb-trace --follow)\n           \
-         --metrics-summary (replay the trace into a digest on stdout)"
+         --metrics-summary (replay the trace into a digest on stdout)\n\
+         PROFILING: --topk-resources K (sample the K hottest resources each round; default 0)\n           \
+         --shard-timing on|off (per-shard compute/wake profile of pooled rounds;\n           \
+         default on) — inspect both with qlb-trace profile FILE.jsonl"
     );
 }

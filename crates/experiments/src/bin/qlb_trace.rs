@@ -1,20 +1,26 @@
-//! `qlb-trace` — inspect a JSONL metrics trace, complete or still growing.
+//! `qlb-trace` — inspect and compare JSONL metrics traces.
 //!
 //! The offline half of the streaming pipeline: `qlb-sim --metrics-stream
 //! run.jsonl` (or `--metrics-out`) writes the trace, `qlb-trace` reads it
-//! back through the same `qlb_obs::replay` code path and prints the Φ
-//! trajectory, per-phase latency breakdown, message/snapshot counters, and
-//! churn summaries.
+//! back through the same `qlb_obs::replay` code path.
 //!
 //! ```text
 //! qlb-trace run.jsonl               # analyze a finished (or killed) run
 //! qlb-trace run.jsonl --follow      # tail a run that is still writing
+//! qlb-trace profile run.jsonl       # per-shard profile + congestion heatmap
+//! qlb-trace compare a.jsonl b.jsonl # diff two runs; nonzero exit on regression
 //! ```
 //!
 //! A trace cut mid-record by a crash is reported as truncated and analyzed
-//! up to the cut — never a fatal error. In `--follow` mode the tool prints
+//! up to the cut — never a parse error. An incomplete trace (no end-of-run
+//! trailer, e.g. the writer hit a latched I/O error and never finished)
+//! still prints its analysis but the exit status is 1, so scripts can tell
+//! a clean run from an interrupted one. In `--follow` mode the tool prints
 //! one line per round as it lands, stops when the end-of-run trailer
 //! arrives, and gives up after `--idle-ms` without growth.
+//!
+//! Exit status: 0 clean, 1 incomplete trace or compare regression, 2 usage
+//! or unreadable/corrupt trace.
 
 use qlb_obs::recorder::Record;
 use qlb_obs::replay::{Summary, TraceReader};
@@ -29,6 +35,48 @@ fn main() {
         print_help();
         return;
     }
+    match args[0].as_str() {
+        "profile" => profile_cmd(&args[1..]),
+        "compare" => compare_cmd(&args[1..]),
+        _ => analyze_cmd(&args),
+    }
+}
+
+/// First non-flag argument, or usage error.
+fn positional(args: &[String], what: &str) -> String {
+    match args.iter().find(|a| !a.starts_with("--")) {
+        Some(p) => p.clone(),
+        None => {
+            eprintln!("need {what}; see qlb-trace --help");
+            exit(2);
+        }
+    }
+}
+
+/// Read and parse a whole trace file (exit 2 on I/O or corrupt trace).
+fn load_summary(path: &str) -> Summary {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(2);
+    });
+    Summary::from_jsonl(&text).unwrap_or_else(|e| {
+        eprintln!("{path}: corrupt trace: {e}");
+        exit(2);
+    })
+}
+
+/// A trace without the end-of-run trailer (or cut mid-record) comes from a
+/// writer that died or hit a latched I/O error before `finish()` — the
+/// analysis is still printed, but the exit status must reflect it.
+fn exit_incomplete(path: &str, summary: &Summary) -> ! {
+    if summary.truncated {
+        eprintln!("{path}: trace cut mid-record — analyzed up to the cut");
+    }
+    eprintln!("{path}: incomplete trace (no end-of-run trailer): the writer was interrupted or hit an I/O error");
+    exit(1);
+}
+
+fn analyze_cmd(args: &[String]) {
     let get = |flag: &str| {
         args.iter()
             .position(|a| a == flag)
@@ -44,13 +92,7 @@ fn main() {
         })
     };
 
-    let path = match args.iter().find(|a| !a.starts_with("--")) {
-        Some(p) => p.clone(),
-        None => {
-            eprintln!("need a trace file; see qlb-trace --help");
-            exit(2);
-        }
-    };
+    let path = positional(args, "a trace file");
     let follow = args.iter().any(|a| a == "--follow");
 
     let summary = if follow {
@@ -58,17 +100,22 @@ fn main() {
         let poll_ms = parse_ms("--poll-ms", 200).max(1);
         follow_trace(&path, idle_ms, poll_ms)
     } else {
-        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-            eprintln!("cannot read {path}: {e}");
-            exit(2);
-        });
-        Summary::from_jsonl(&text).unwrap_or_else(|e| {
-            eprintln!("{path}: corrupt trace: {e}");
-            exit(2);
-        })
+        load_summary(&path)
     };
 
     print!("{}", report(&summary));
+    if summary.truncated || !summary.saw_trailer() {
+        exit_incomplete(&path, &summary);
+    }
+}
+
+fn profile_cmd(args: &[String]) {
+    let path = positional(args, "a trace file");
+    let summary = load_summary(&path);
+    print!("{}", profile_report(&summary));
+    if summary.truncated || !summary.saw_trailer() {
+        exit_incomplete(&path, &summary);
+    }
 }
 
 /// Tail a growing trace: poll the file for new bytes, parse them
@@ -193,17 +240,293 @@ fn report(summary: &Summary) -> String {
     out
 }
 
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1e3
+}
+
+/// The `profile` digest: per-shard utilization table, barrier-skew
+/// percentiles, the dispatch wake-latency histogram, and the sampled
+/// top-k congestion heatmap.
+fn profile_report(summary: &Summary) -> String {
+    let mut out = String::new();
+    if summary.shards.is_empty() {
+        out.push_str(
+            "no per-shard profile in this trace — record one with a threaded \
+             executor (qlb-sim --executor threaded) and shard timing on\n",
+        );
+    } else {
+        // The longest shard of every pooled round is exactly the aggregate
+        // compute phase (the critical path), so per-shard busy time over
+        // that total is the utilization of the parallel section.
+        let critical_ns = summary.phases.get("compute").map_or(0, |&(_, t, _)| t);
+        let rounds = summary.shards.iter().map(|s| s.0).max().unwrap_or(0);
+        out.push_str(&format!(
+            "per-shard profile: {} shards over {} pooled rounds (critical path {:.3} ms)\n",
+            summary.shards.len(),
+            rounds,
+            ms(critical_ns),
+        ));
+        out.push_str("  shard    rounds     busy ms   worst round µs   utilization\n");
+        for (i, &(rounds, total_ns, max_ns)) in summary.shards.iter().enumerate() {
+            let util = if critical_ns > 0 {
+                100.0 * total_ns as f64 / critical_ns as f64
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "  {i:>5}  {rounds:>8}  {:>10.3}  {:>15.1}  {util:>11.1}%\n",
+                ms(total_ns),
+                us(max_ns),
+            ));
+        }
+    }
+    if let Some(skew) = summary.latency_hists.get("barrier_skew") {
+        out.push_str(&format!(
+            "barrier skew (max−min shard compute per round): p50 {:.1} µs, p95 {:.1} µs, \
+             max {:.1} µs over {} rounds\n",
+            us(skew.p50_ns),
+            us(skew.p95_ns),
+            us(skew.max_ns),
+            skew.count,
+        ));
+    }
+    if let Some(wake) = summary.latency_hists.get("dispatch_wake") {
+        out.push_str(&format!(
+            "dispatch wake latency (epoch publish → worker start): p50 {:.1} µs, \
+             p95 {:.1} µs, max {:.1} µs over {} wakes\n",
+            us(wake.p50_ns),
+            us(wake.p95_ns),
+            us(wake.max_ns),
+            wake.count,
+        ));
+        let peak = wake.buckets.iter().map(|&(_, c)| c).max().unwrap_or(0);
+        for &(bucket, count) in &wake.buckets {
+            let limit_ns = qlb_obs::Histogram::bucket_limit(bucket as usize);
+            let bar = "#".repeat(((count * 40).div_ceil(peak.max(1))) as usize);
+            out.push_str(&format!(
+                "  < {:>10.1} µs  {count:>8}  {bar}\n",
+                us(limit_ns)
+            ));
+        }
+    }
+    out.push_str(&topk_heatmap(summary));
+    out
+}
+
+/// Render the sampled top-k congestion series as one sparkline row per
+/// resource (hottest first), each point the resource's load at that sample
+/// (0 when it fell out of the top k).
+fn topk_heatmap(summary: &Summary) -> String {
+    if summary.topk.is_empty() {
+        return String::new();
+    }
+    let samples = &summary.topk;
+    // resources ever seen, keyed by their peak load
+    let mut peak: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    for (_, entries) in samples {
+        for &(resource, load) in entries {
+            let p = peak.entry(resource).or_insert(0);
+            *p = (*p).max(load);
+        }
+    }
+    let mut hottest: Vec<(u64, u64)> = peak.into_iter().collect();
+    hottest.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let shown = hottest.len().min(10);
+    let (first, last) = (samples[0].0, samples[samples.len() - 1].0);
+    let mut out = format!(
+        "top-k congestion: {} samples over rounds {first}..={last}, {} hot resources \
+         ({} shown, hottest first)\n",
+        samples.len(),
+        hottest.len(),
+        shown,
+    );
+    for &(resource, peak_load) in &hottest[..shown] {
+        let series: Vec<f64> = samples
+            .iter()
+            .map(|(_, entries)| {
+                entries
+                    .iter()
+                    .find(|&&(r, _)| r == resource)
+                    .map_or(0.0, |&(_, load)| load as f64)
+            })
+            .collect();
+        out.push_str(&format!(
+            "  r{resource:<6} {} peak {peak_load}\n",
+            sparkline_fit(&series, 50)
+        ));
+    }
+    out
+}
+
+/// Percentage change from `a` to `b` (None when the baseline is zero).
+fn pct(a: u64, b: u64) -> Option<f64> {
+    (a > 0).then(|| 100.0 * (b as f64 - a as f64) / a as f64)
+}
+
+fn fmt_pct(a: u64, b: u64) -> String {
+    match pct(a, b) {
+        Some(p) => format!("{p:+.1}%"),
+        None if b > 0 => "+∞".into(),
+        None => "±0.0%".into(),
+    }
+}
+
+fn compare_cmd(args: &[String]) {
+    let threshold: f64 = args
+        .iter()
+        .position(|a| a == "--threshold")
+        .and_then(|i| args.get(i + 1))
+        .map_or(10.0, |s| {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("bad --threshold");
+                exit(2)
+            })
+        });
+    // `--threshold 10` leaves its value as a positional-looking token;
+    // filter it out by position.
+    let mut positionals = Vec::new();
+    let mut skip_next = false;
+    for a in args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a == "--threshold" {
+            skip_next = true;
+        } else if !a.starts_with("--") {
+            positionals.push(a.clone());
+        }
+    }
+    if positionals.len() != 2 {
+        eprintln!("compare needs exactly two trace files; see qlb-trace --help");
+        exit(2);
+    }
+    let (path_a, path_b) = (&positionals[0], &positionals[1]);
+    let a = load_summary(path_a);
+    let b = load_summary(path_b);
+    for (path, s) in [(path_a, &a), (path_b, &b)] {
+        if s.truncated || !s.saw_trailer() {
+            eprintln!("{path}: incomplete trace — refusing to gate on a partial run");
+            exit(1);
+        }
+    }
+
+    println!("comparing {path_a} (baseline) → {path_b} (candidate), threshold ±{threshold}%");
+
+    // Deterministic protocol work: these are reproducible across machines,
+    // so they are the regression gate. Wall-clock deltas below are
+    // informational only.
+    let mut regressions: Vec<String> = Vec::new();
+    let gated = ["rounds", "migrations", "messages_sent", "weight_moved"];
+    println!("protocol work (gated):");
+    for name in gated {
+        let (va, vb) = (counter_of(&a, name), counter_of(&b, name));
+        if va == 0 && vb == 0 {
+            continue;
+        }
+        let delta = fmt_pct(va, vb);
+        let exceeded = match pct(va, vb) {
+            Some(p) => p > threshold,
+            None => vb > 0, // sprang from zero: always over threshold
+        };
+        let mark = if exceeded { "  ← REGRESSION" } else { "" };
+        println!("  {name:<14} {va:>12} → {vb:>12}  ({delta}){mark}");
+        if exceeded {
+            regressions.push(format!("{name} {delta} exceeds +{threshold}%"));
+        }
+    }
+    if let (Some(ra), Some(rb)) = (convergence_round(&a), convergence_round(&b)) {
+        println!("  convergence round: {ra} → {rb}");
+    }
+
+    // Φ-trajectory ratio: area under the overload-potential curve.
+    let (phi_a, phi_b) = (phi_area(&a), phi_area(&b));
+    if phi_a > 0.0 || phi_b > 0.0 {
+        let ratio = if phi_a > 0.0 {
+            phi_b / phi_a
+        } else {
+            f64::INFINITY
+        };
+        println!("Φ-trajectory area: {phi_a:.0} → {phi_b:.0} (ratio {ratio:.3})");
+    }
+
+    // Per-phase wall-clock breakdown (machine-dependent, never gated).
+    let phase_names: std::collections::BTreeSet<&String> =
+        a.phases.keys().chain(b.phases.keys()).collect();
+    if !phase_names.is_empty() {
+        println!("phase breakdown (wall-clock, informational):");
+        for name in phase_names {
+            let ta = a.phases.get(name).map_or(0, |&(_, t, _)| t);
+            let tb = b.phases.get(name).map_or(0, |&(_, t, _)| t);
+            println!(
+                "  {name:<12} {:>10.3} ms → {:>10.3} ms  ({})",
+                ms(ta),
+                ms(tb),
+                fmt_pct(ta, tb)
+            );
+        }
+    }
+    // Snapshot-pipeline counters (informational).
+    for name in [
+        "snapshots_sent",
+        "stale_snapshots",
+        "arrivals",
+        "departures",
+    ] {
+        let (va, vb) = (counter_of(&a, name), counter_of(&b, name));
+        if va + vb > 0 {
+            println!("  {name:<14} {va:>12} → {vb:>12}  ({})", fmt_pct(va, vb));
+        }
+    }
+
+    if regressions.is_empty() {
+        println!("no regression beyond ±{threshold}% on gated counters");
+    } else {
+        for r in &regressions {
+            println!("REGRESSION: {r}");
+        }
+        exit(1);
+    }
+}
+
+fn counter_of(s: &Summary, name: &str) -> u64 {
+    s.counters.get(name).copied().unwrap_or(0)
+}
+
+/// Round of the last `RoundEnd` event — the convergence round for runs
+/// that converged (and the cutoff round otherwise).
+fn convergence_round(s: &Summary) -> Option<u64> {
+    (s.rounds > 0).then(|| s.rounds - 1)
+}
+
+/// Area under the Φ (overload-potential) trajectory.
+fn phi_area(s: &Summary) -> f64 {
+    s.overload_series.iter().map(|&v| v as f64).sum()
+}
+
 fn print_help() {
     println!(
-        "qlb-trace — inspect a qlb JSONL metrics trace (complete or live)\n\n\
+        "qlb-trace — inspect and compare qlb JSONL metrics traces\n\n\
          USAGE:\n  qlb-trace FILE.jsonl                analyze a finished or interrupted trace\n  \
-         qlb-trace FILE.jsonl --follow       tail a trace that is still being written\n\n\
+         qlb-trace FILE.jsonl --follow       tail a trace that is still being written\n  \
+         qlb-trace profile FILE.jsonl        per-shard utilization, barrier skew, wake\n                                      \
+         latency, and the top-k congestion heatmap\n  \
+         qlb-trace compare A.jsonl B.jsonl   diff two runs (baseline → candidate)\n\n\
          OPTIONS:\n  --follow         poll the file and print each round as it lands\n  \
          --idle-ms N      stop following after N ms without growth (default 10000)\n  \
-         --poll-ms N      polling interval in ms (default 200)\n\n\
+         --poll-ms N      polling interval in ms (default 200)\n  \
+         --threshold PCT  compare: flag gated counters that grew more than PCT%\n                   \
+         (default 10); wall-clock deltas are never gated\n\n\
          Traces come from qlb-sim --metrics-stream FILE.jsonl (live) or\n\
          --metrics-out FILE.jsonl (post hoc); both formats are identical.\n\
-         A trace cut mid-record (killed run) is reported as truncated and\n\
-         analyzed up to the cut."
+         Record the profile inputs with qlb-sim --executor threaded\n\
+         [--topk-resources K] [--shard-timing on|off].\n\n\
+         EXIT STATUS: 0 clean; 1 incomplete trace (no end-of-run trailer —\n\
+         interrupted writer or latched I/O error) or compare regression;\n\
+         2 usage error or unreadable/corrupt trace."
     );
 }

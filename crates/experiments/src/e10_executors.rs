@@ -9,12 +9,26 @@
 
 use crate::ExperimentResult;
 use qlb_core::{ResourceId, SlackDamped, State};
-use qlb_engine::{run_observed, run_sparse_observed, run_threaded, RunConfig};
+use qlb_engine::{run_observed, run_sparse_observed, Executor, RunConfig};
 use qlb_obs::{Counter, Phase, Recorder};
 use qlb_runtime::{run_distributed, RuntimeConfig};
 use qlb_stats::Table;
 use qlb_workload::{CapacityDist, Placement, Scenario};
 use std::time::Instant;
+
+/// Barrier-skew cell for an executor row: p95 of the per-round
+/// (max − min) shard compute time, from the per-shard profile the
+/// recorder collected. Executors that never dispatched a pooled round
+/// (sequential, pure sparse, actor runtime) have no shard profile and
+/// render as "—".
+fn skew_cell(rec: &Recorder) -> String {
+    let st = rec.shard_timers();
+    if st.rounds() == 0 {
+        "—".into()
+    } else {
+        format!("{:.1}", st.skew().quantile(0.95) as f64 / 1e3)
+    }
+}
 
 /// Run E10.
 pub fn run(quick: bool) -> ExperimentResult {
@@ -45,6 +59,7 @@ pub fn run(quick: bool) -> ExperimentResult {
             "migrations",
             "state identical",
             "wall time (ms)",
+            "barrier skew p95 (µs)",
         ],
     );
 
@@ -67,42 +82,54 @@ pub fn run(quick: bool) -> ExperimentResult {
         reference.migrations.to_string(),
         "reference".into(),
         format!("{ref_ms:.1}"),
+        skew_cell(&ref_rec),
     ]);
 
+    // Pooled rows run observed with per-shard timing on (the default) so
+    // the barrier-skew column comes from the same profile `qlb-trace
+    // profile` reports. The recorder overhead is a few percent (see
+    // BENCH_obs.json) and applies uniformly to the timed rows.
     let mut all_equal = true;
+    let mut pooled_skew_rounds = 0u64;
     for threads in [1usize, 2, 4, 8] {
+        let mut rec = Recorder::default();
         let t0 = Instant::now();
-        let out = run_threaded(
+        let out = run_observed(
             &inst,
             start_state.clone(),
             &proto,
-            RunConfig::new(seed, max_rounds),
-            threads,
+            RunConfig::new(seed, max_rounds).with_executor(Executor::Threaded(threads)),
+            &mut rec,
         );
         let ms = t0.elapsed().as_secs_f64() * 1e3;
         let same = out.rounds == reference.rounds
             && out.migrations == reference.migrations
             && out.state == reference.state;
         all_equal &= same;
+        pooled_skew_rounds += rec.shard_timers().rounds();
         table.row(vec![
             format!("engine ({threads} threads)"),
             out.rounds.to_string(),
             out.migrations.to_string(),
             if same { "yes" } else { "NO" }.into(),
             format!("{ms:.1}"),
+            skew_cell(&rec),
         ]);
     }
 
     // The combined executor: sparse active-set sharded across the
     // persistent worker pool (same pool as the threaded rows above).
+    // Rounds below the pooling threshold run sequentially, so the skew
+    // profile only covers the pooled prefix of the run.
     for threads in [2usize, 8] {
+        let mut rec = Recorder::default();
         let t0 = Instant::now();
-        let out = qlb_engine::run(
+        let out = run_observed(
             &inst,
             start_state.clone(),
             &proto,
-            RunConfig::new(seed, max_rounds)
-                .with_executor(qlb_engine::Executor::SparseThreaded(threads)),
+            RunConfig::new(seed, max_rounds).with_executor(Executor::SparseThreaded(threads)),
+            &mut rec,
         );
         let ms = t0.elapsed().as_secs_f64() * 1e3;
         let same = out.rounds == reference.rounds
@@ -115,6 +142,7 @@ pub fn run(quick: bool) -> ExperimentResult {
             out.migrations.to_string(),
             if same { "yes" } else { "NO" }.into(),
             format!("{ms:.1}"),
+            skew_cell(&rec),
         ]);
     }
 
@@ -138,6 +166,7 @@ pub fn run(quick: bool) -> ExperimentResult {
         sparse.migrations.to_string(),
         if same { "yes" } else { "NO" }.into(),
         format!("{ms:.1}"),
+        skew_cell(&sparse_rec),
     ]);
 
     let t0 = Instant::now();
@@ -158,6 +187,7 @@ pub fn run(quick: bool) -> ExperimentResult {
         dist.migrations.to_string(),
         if same { "yes" } else { "NO" }.into(),
         format!("{ms:.1}"),
+        "—".into(),
     ]);
 
     // Phase breakdown from the qlb-obs timers: where each executor's
@@ -195,6 +225,11 @@ pub fn run(quick: bool) -> ExperimentResult {
             sparse_rec.counter(Counter::SparseRounds),
             sparse_rec.counter(Counter::ExecutorSwitches),
         ),
+        format!(
+            "barrier skew = p95 of per-round (max − min) shard compute time from the \
+             per-shard profile; {pooled_skew_rounds} pooled rounds profiled across the \
+             threaded rows (— where the executor never dispatched a pooled round)"
+        ),
     ];
 
     ExperimentResult {
@@ -219,5 +254,22 @@ mod tests {
         assert_eq!(res.tables.len(), 2);
         assert!(res.tables[1].num_rows() >= 4);
         assert!(res.notes[1].contains("sparse"));
+        // every genuinely pooled threaded row carries a numeric
+        // barrier-skew cell; single-thread rows fall back to the
+        // sequential scan and show "—" like the reference row
+        let csv = res.tables[0].to_csv();
+        assert!(csv.lines().next().unwrap().contains("barrier skew p95"));
+        for line in csv
+            .lines()
+            .filter(|l| l.contains(" threads)") && !l.contains("(1 threads)"))
+        {
+            assert!(!line.ends_with("—"), "missing skew on pooled row: {line}");
+        }
+        assert!(csv
+            .lines()
+            .find(|l| l.starts_with("engine (sequential)"))
+            .unwrap()
+            .ends_with("—"));
+        assert!(res.notes[2].contains("barrier skew"));
     }
 }

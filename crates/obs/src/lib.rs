@@ -16,6 +16,9 @@
 //!   `serde_json`);
 //! * [`timers`] — **phase timers**: monotonic scoped timings aggregated
 //!   into per-phase histograms, for wall-clock breakdowns of a run;
+//! * [`profile`] — **per-shard profiling**: per-worker compute
+//!   aggregates, barrier-skew and dispatch wake-latency histograms, and
+//!   a sampled top-k per-resource congestion series for pooled runs;
 //! * [`sink`] — the [`Sink`] trait the instrumented crates emit through.
 //!   It is monomorphized into the round loops (no `dyn` on the hot path);
 //!   the default [`NoopSink`] has `ENABLED = false`, so every emission
@@ -56,6 +59,7 @@
 
 pub mod event;
 pub mod metrics;
+pub mod profile;
 pub mod recorder;
 pub mod replay;
 pub mod sink;
@@ -64,6 +68,7 @@ pub mod timers;
 
 pub use event::{Event, EventRing};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use profile::{top_k_entries, ShardTimers, TopKEntry, TopKSeries};
 pub use recorder::Recorder;
 pub use replay::TraceReader;
 pub use sink::{timed, NoopSink, Sink};

@@ -196,6 +196,27 @@ impl Histogram {
         &self.buckets
     }
 
+    /// Approximate quantile `q` (in `[0, 1]`) of the recorded samples:
+    /// the upper bound of the first bucket whose cumulative count reaches
+    /// `q · count`, clamped to the observed maximum (so `quantile(1.0)`
+    /// is exactly [`Histogram::max`]). Returns 0 when empty. Power-of-two
+    /// buckets make this accurate to within a factor of two — enough to
+    /// tell a 2 µs barrier skew from a 2 ms one.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_limit(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
     /// Upper bound (exclusive) of a bucket's value range.
     pub fn bucket_limit(i: usize) -> u64 {
         if i == 0 {

@@ -1,0 +1,307 @@
+//! Per-shard profiling: where a pooled round's wall clock actually goes.
+//!
+//! The aggregate [`Phase`](crate::Phase) timers answer *how much* time the
+//! pool spends computing vs forking/joining, but not *where*: a single slow
+//! shard and a uniformly slow pool look identical. This module records the
+//! per-worker view a sharded-state design decision needs:
+//!
+//! * [`ShardTimers`] — per-shard `Compute` aggregates plus a **barrier
+//!   skew** histogram (per-round `max − min` shard compute time: the time
+//!   fast shards spend waiting at the implicit join) and a **dispatch
+//!   wake latency** histogram (epoch bump → closure start, the
+//!   condvar-handoff cost of the pool);
+//! * [`TopKSeries`] — a sampled series of the hottest resources per round
+//!   (top-k by load), decimated deterministically so a million-round run
+//!   keeps a bounded, evenly spaced sample;
+//! * [`top_k_entries`] — the selection helper the drivers call at round
+//!   end when top-k sampling is on.
+//!
+//! Everything here is derived data fed through [`Sink::shard_round`] and
+//! [`Sink::topk`](crate::Sink::topk); with a
+//! [`NoopSink`](crate::NoopSink) the emission sites constant-fold away.
+//!
+//! [`Sink::shard_round`]: crate::Sink::shard_round
+
+use crate::metrics::Histogram;
+use serde::{Deserialize, Serialize};
+
+/// Export name of the barrier-skew latency histogram.
+pub const SKEW_HIST_NAME: &str = "barrier_skew";
+
+/// Export name of the dispatch wake-latency histogram.
+pub const WAKE_HIST_NAME: &str = "dispatch_wake";
+
+/// One non-empty bucket of an exported latency histogram: bucket index
+/// (per [`Histogram::bucket_of`]) and its sample count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistBucket {
+    /// Bucket index; values in `[2^(bucket-1), 2^bucket)` (0 holds 0).
+    pub bucket: u64,
+    /// Samples in the bucket.
+    pub count: u64,
+}
+
+/// One entry of a top-k congestion sample: a resource and its load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TopKEntry {
+    /// Resource id.
+    pub resource: u64,
+    /// Its load (users, or total weight in the weighted model).
+    pub load: u64,
+}
+
+/// Per-shard compute aggregates plus the skew and wake-latency
+/// histograms of every pooled round observed so far.
+///
+/// Fed one call per pooled decide round via [`ShardTimers::record_round`]
+/// with the per-shard compute times (each already clipped to the round's
+/// wall time by the pool) and the per-shard dispatch wake latencies.
+#[derive(Debug, Clone, Default)]
+pub struct ShardTimers {
+    /// Per shard: (rounds, total compute ns, max single-round compute ns).
+    shards: Vec<(u64, u64, u64)>,
+    /// Per-round `max − min` shard compute time.
+    skew: Histogram,
+    /// Per-shard dispatch wake latency samples (all shards pooled).
+    dispatch: Histogram,
+    /// Sum over rounds of the slowest shard's compute time — the
+    /// critical path, the denominator of [`ShardTimers::utilization`].
+    critical_ns: u64,
+}
+
+impl ShardTimers {
+    /// Record one pooled round: `compute_ns[i]` is shard `i`'s compute
+    /// time, `wake_ns[i]` its dispatch wake latency. Empty `compute_ns`
+    /// is a no-op; `wake_ns` may be empty (wake timing disabled).
+    pub fn record_round(&mut self, compute_ns: &[u64], wake_ns: &[u64]) {
+        if compute_ns.is_empty() {
+            return;
+        }
+        if self.shards.len() < compute_ns.len() {
+            self.shards.resize(compute_ns.len(), (0, 0, 0));
+        }
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        for (i, &ns) in compute_ns.iter().enumerate() {
+            let (rounds, total, max_one) = &mut self.shards[i];
+            *rounds += 1;
+            *total += ns;
+            *max_one = (*max_one).max(ns);
+            min = min.min(ns);
+            max = max.max(ns);
+        }
+        self.skew.observe(max - min);
+        self.critical_ns += max;
+        for &w in wake_ns {
+            self.dispatch.observe(w);
+        }
+    }
+
+    /// Number of shards seen so far.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Pooled rounds recorded.
+    pub fn rounds(&self) -> u64 {
+        self.skew.count()
+    }
+
+    /// Shard `i`'s aggregate: (rounds, total compute ns, max round ns).
+    pub fn shard(&self, i: usize) -> (u64, u64, u64) {
+        self.shards.get(i).copied().unwrap_or((0, 0, 0))
+    }
+
+    /// The barrier-skew histogram (per-round `max − min` compute ns).
+    pub fn skew(&self) -> &Histogram {
+        &self.skew
+    }
+
+    /// The dispatch wake-latency histogram (epoch bump → closure start).
+    pub fn dispatch(&self) -> &Histogram {
+        &self.dispatch
+    }
+
+    /// Total critical-path compute time: Σ over rounds of the slowest
+    /// shard. Equals the aggregate `Phase::Compute` total of the same run.
+    pub fn critical_ns(&self) -> u64 {
+        self.critical_ns
+    }
+
+    /// Shard `i`'s utilization: its total compute time as a fraction of
+    /// the critical path (1.0 = this shard was the bottleneck every
+    /// round; low values = the shard mostly waits at the barrier).
+    pub fn utilization(&self, i: usize) -> f64 {
+        let (_, total, _) = self.shard(i);
+        total as f64 / self.critical_ns.max(1) as f64
+    }
+
+    /// True when no pooled round has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+}
+
+/// Default cap on retained top-k samples before decimation.
+pub const DEFAULT_TOPK_SAMPLES: usize = 256;
+
+/// A bounded, deterministically decimated series of top-k congestion
+/// samples.
+///
+/// Samples are kept for rounds divisible by the current `stride`; when
+/// the retained set would exceed the cap, the stride doubles and already
+/// retained samples are re-filtered — so a run of any length ends with at
+/// most `cap` samples, evenly spaced, and the result depends only on the
+/// sequence of offered rounds (never on timing). [`Recorder`] and
+/// [`StreamSink`] attached to the same run therefore retain identical
+/// series, preserving the byte-identity of their dumps.
+///
+/// [`Recorder`]: crate::Recorder
+/// [`StreamSink`]: crate::StreamSink
+#[derive(Debug, Clone)]
+pub struct TopKSeries {
+    samples: Vec<(u64, Vec<TopKEntry>)>,
+    stride: u64,
+    cap: usize,
+}
+
+impl Default for TopKSeries {
+    fn default() -> Self {
+        Self::with_cap(DEFAULT_TOPK_SAMPLES)
+    }
+}
+
+impl TopKSeries {
+    /// A series retaining at most `cap` samples (min 2).
+    pub fn with_cap(cap: usize) -> Self {
+        Self {
+            samples: Vec::new(),
+            stride: 1,
+            cap: cap.max(2),
+        }
+    }
+
+    /// Offer one round's top-k entries; retained iff the round lands on
+    /// the current stride. Empty entries are ignored.
+    pub fn push(&mut self, round: u64, entries: &[TopKEntry]) {
+        if entries.is_empty() || !round.is_multiple_of(self.stride) {
+            return;
+        }
+        if self.samples.len() >= self.cap {
+            self.stride *= 2;
+            let stride = self.stride;
+            self.samples.retain(|&(r, _)| r % stride == 0);
+            if !round.is_multiple_of(self.stride) {
+                return;
+            }
+        }
+        self.samples.push((round, entries.to_vec()));
+    }
+
+    /// The retained samples, in round order.
+    pub fn samples(&self) -> &[(u64, Vec<TopKEntry>)] {
+        &self.samples
+    }
+
+    /// The current retention stride (1 until the cap is first hit).
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+/// Select the `k` highest-load resources (ties broken toward the lower
+/// resource id), in descending load order. The drivers call this at round
+/// end when top-k sampling is enabled; `loads` is the per-resource load
+/// vector (`u32` users or `u64` weight — anything widening to `u64`).
+pub fn top_k_entries<L: Into<u64> + Copy>(loads: &[L], k: usize) -> Vec<TopKEntry> {
+    let k = k.min(loads.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut all: Vec<TopKEntry> = loads
+        .iter()
+        .enumerate()
+        .map(|(r, &l)| TopKEntry {
+            resource: r as u64,
+            load: l.into(),
+        })
+        .collect();
+    let ord = |a: &TopKEntry, b: &TopKEntry| b.load.cmp(&a.load).then(a.resource.cmp(&b.resource));
+    if k < all.len() {
+        all.select_nth_unstable_by(k - 1, ord);
+        all.truncate(k);
+    }
+    all.sort_unstable_by(ord);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_timers_aggregate_and_derive_skew() {
+        let mut t = ShardTimers::default();
+        t.record_round(&[100, 300, 200], &[5, 9, 7]);
+        t.record_round(&[400, 100, 250], &[4, 8, 6]);
+        assert_eq!(t.num_shards(), 3);
+        assert_eq!(t.rounds(), 2);
+        assert_eq!(t.shard(0), (2, 500, 400));
+        assert_eq!(t.shard(1), (2, 400, 300));
+        assert_eq!(t.critical_ns(), 700); // 300 + 400
+        assert_eq!(t.skew().count(), 2);
+        assert_eq!(t.skew().max(), 300); // round 2: 400 − 100
+        assert_eq!(t.dispatch().count(), 6);
+        assert!((t.utilization(0) - 500.0 / 700.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shard_timers_ignore_empty_rounds_and_grow() {
+        let mut t = ShardTimers::default();
+        t.record_round(&[], &[]);
+        assert!(t.is_empty());
+        t.record_round(&[10], &[]);
+        t.record_round(&[10, 20], &[1, 2]);
+        assert_eq!(t.num_shards(), 2);
+        assert_eq!(t.shard(1), (1, 20, 20));
+    }
+
+    #[test]
+    fn topk_series_decimates_deterministically() {
+        let mut s = TopKSeries::with_cap(4);
+        let e = [TopKEntry {
+            resource: 0,
+            load: 9,
+        }];
+        for round in 0..64u64 {
+            s.push(round, &e);
+        }
+        assert!(s.samples().len() <= 4);
+        assert!(s.stride() > 1);
+        // retained rounds all land on the final stride
+        for &(r, _) in s.samples() {
+            assert_eq!(r % s.stride(), 0);
+        }
+        // a replay of the same offers yields the identical series
+        let mut s2 = TopKSeries::with_cap(4);
+        for round in 0..64u64 {
+            s2.push(round, &e);
+        }
+        assert_eq!(s.samples(), s2.samples());
+    }
+
+    #[test]
+    fn top_k_selects_highest_with_stable_ties() {
+        let loads: [u32; 6] = [3, 9, 1, 9, 4, 0];
+        let top = top_k_entries(&loads, 3);
+        let picked: Vec<(u64, u64)> = top.iter().map(|e| (e.resource, e.load)).collect();
+        assert_eq!(picked, vec![(1, 9), (3, 9), (4, 4)]);
+        assert!(top_k_entries(&loads, 0).is_empty());
+        assert_eq!(top_k_entries(&loads, 100).len(), 6);
+    }
+}

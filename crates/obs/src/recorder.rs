@@ -2,7 +2,9 @@
 //! exportable as JSONL.
 
 use crate::event::{Event, EventRing};
-use crate::metrics::{Counter, Gauge, MetricsRegistry};
+use crate::metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+use crate::profile::{HistBucket, ShardTimers, TopKEntry, TopKSeries};
+use crate::profile::{SKEW_HIST_NAME, WAKE_HIST_NAME};
 use crate::sink::Sink;
 use crate::timers::{Phase, PhaseTimers};
 use serde::{Deserialize, Serialize};
@@ -50,6 +52,44 @@ pub enum Record {
         /// Oldest events overwritten because the ring was full.
         dropped: u64,
     },
+    /// One shard's compute aggregate over all pooled rounds (trailer).
+    Shard {
+        /// Shard index (0 = the pool coordinator's shard).
+        shard: u64,
+        /// Pooled rounds this shard computed.
+        rounds: u64,
+        /// Total compute nanoseconds across those rounds.
+        total_ns: u64,
+        /// Largest single-round compute time in nanoseconds.
+        max_ns: u64,
+    },
+    /// A named latency histogram (trailer): `barrier_skew` (per-round
+    /// max−min shard compute time) or `dispatch_wake` (pool epoch/condvar
+    /// handoff latency).
+    LatencyHist {
+        /// Histogram name ([`SKEW_HIST_NAME`] / [`WAKE_HIST_NAME`]).
+        name: String,
+        /// Samples recorded.
+        count: u64,
+        /// Total nanoseconds.
+        total_ns: u64,
+        /// Largest single sample in nanoseconds.
+        max_ns: u64,
+        /// Approximate median sample in nanoseconds.
+        p50_ns: u64,
+        /// Approximate 95th-percentile sample in nanoseconds.
+        p95_ns: u64,
+        /// Non-empty power-of-two buckets.
+        buckets: Vec<HistBucket>,
+    },
+    /// One retained top-k congestion sample (trailer; the series is
+    /// decimated by [`TopKSeries`]).
+    TopK {
+        /// Round the sample describes.
+        round: u64,
+        /// The hottest resources, highest load first.
+        entries: Vec<TopKEntry>,
+    },
 }
 
 /// A recording [`Sink`]: dense metrics, a bounded event ring, and phase
@@ -60,6 +100,8 @@ pub struct Recorder {
     metrics: MetricsRegistry,
     events: EventRing,
     timers: PhaseTimers,
+    shard_timers: ShardTimers,
+    topk: TopKSeries,
 }
 
 impl Recorder {
@@ -91,6 +133,18 @@ impl Recorder {
         &self.timers
     }
 
+    /// The per-shard profile (empty unless a pooled executor ran with
+    /// shard timing on).
+    pub fn shard_timers(&self) -> &ShardTimers {
+        &self.shard_timers
+    }
+
+    /// The retained top-k congestion series (empty unless sampling was
+    /// requested).
+    pub fn topk_series(&self) -> &TopKSeries {
+        &self.topk
+    }
+
     /// Shorthand for a cumulative counter value.
     pub fn counter(&self, c: Counter) -> u64 {
         self.metrics.counter(c)
@@ -117,6 +171,8 @@ impl Recorder {
             &mut out,
             &self.metrics,
             &self.timers,
+            &self.shard_timers,
+            &self.topk,
             self.events.total_recorded(),
             self.events.dropped(),
         );
@@ -130,15 +186,41 @@ pub(crate) fn push_record_line(out: &mut String, record: &Record) {
     out.push('\n');
 }
 
+/// Serialize a latency [`Histogram`] into its exported [`Record`] form
+/// (non-empty buckets only, with derived p50/p95).
+pub(crate) fn latency_hist_record(name: &str, h: &Histogram) -> Record {
+    Record::LatencyHist {
+        name: name.to_string(),
+        count: h.count(),
+        total_ns: h.sum(),
+        max_ns: h.max(),
+        p50_ns: h.quantile(0.50),
+        p95_ns: h.quantile(0.95),
+        buckets: h
+            .buckets()
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| HistBucket {
+                bucket: i as u64,
+                count: c,
+            })
+            .collect(),
+    }
+}
+
 /// Append the end-of-run trailer: ring accounting, then non-zero counters,
-/// gauges, and non-empty phase aggregates, in stable registry order. This
-/// is the single definition of the trailer layout — [`Recorder::to_jsonl`]
-/// and [`crate::StreamSink::finish`] both call it, so post-hoc dumps and
-/// streamed traces stay byte-compatible.
+/// gauges, non-empty phase aggregates, the per-shard profile (shard
+/// aggregates, skew and wake histograms), and the retained top-k series,
+/// in stable registry order. This is the single definition of the trailer
+/// layout — [`Recorder::to_jsonl`] and [`crate::StreamSink::finish`] both
+/// call it, so post-hoc dumps and streamed traces stay byte-compatible.
 pub(crate) fn write_trailer(
     out: &mut String,
     metrics: &MetricsRegistry,
     timers: &PhaseTimers,
+    shard_timers: &ShardTimers,
+    topk: &TopKSeries,
     recorded: u64,
     dropped: u64,
 ) {
@@ -181,6 +263,35 @@ pub(crate) fn write_trailer(
             );
         }
     }
+    for shard in 0..shard_timers.num_shards() {
+        let (rounds, total_ns, max_ns) = shard_timers.shard(shard);
+        push_record_line(
+            out,
+            &Record::Shard {
+                shard: shard as u64,
+                rounds,
+                total_ns,
+                max_ns,
+            },
+        );
+    }
+    for (name, h) in [
+        (SKEW_HIST_NAME, shard_timers.skew()),
+        (WAKE_HIST_NAME, shard_timers.dispatch()),
+    ] {
+        if h.count() > 0 {
+            push_record_line(out, &latency_hist_record(name, h));
+        }
+    }
+    for (round, entries) in topk.samples() {
+        push_record_line(
+            out,
+            &Record::TopK {
+                round: *round,
+                entries: entries.clone(),
+            },
+        );
+    }
 }
 
 impl Sink for Recorder {
@@ -204,6 +315,16 @@ impl Sink for Recorder {
     #[inline]
     fn time(&mut self, p: Phase, ns: u64) {
         self.timers.record(p, ns);
+    }
+
+    #[inline]
+    fn shard_round(&mut self, compute_ns: &[u64], wake_ns: &[u64]) {
+        self.shard_timers.record_round(compute_ns, wake_ns);
+    }
+
+    #[inline]
+    fn topk(&mut self, round: u64, entries: &[TopKEntry]) {
+        self.topk.push(round, entries);
     }
 }
 
@@ -259,5 +380,42 @@ mod tests {
                 dropped: 0
             }
         )));
+    }
+
+    #[test]
+    fn trailer_carries_shard_profile_and_topk() {
+        let mut rec = Recorder::default();
+        rec.shard_round(&[100, 300], &[5, 9]);
+        rec.shard_round(&[250, 150], &[4, 8]);
+        rec.topk(
+            0,
+            &[TopKEntry {
+                resource: 3,
+                load: 12,
+            }],
+        );
+        let jsonl = rec.to_jsonl();
+        let records: Vec<Record> = jsonl
+            .lines()
+            .map(|l| serde_json::from_str(l).expect("line parses"))
+            .collect();
+        assert!(records.iter().any(|r| matches!(
+            r,
+            Record::Shard {
+                shard: 1,
+                rounds: 2,
+                total_ns: 450,
+                max_ns: 300
+            }
+        )));
+        assert!(records.iter().any(
+            |r| matches!(r, Record::LatencyHist { name, count: 2, .. } if name == SKEW_HIST_NAME)
+        ));
+        assert!(records.iter().any(
+            |r| matches!(r, Record::LatencyHist { name, count: 4, .. } if name == WAKE_HIST_NAME)
+        ));
+        assert!(records
+            .iter()
+            .any(|r| matches!(r, Record::TopK { round: 0, entries } if entries.len() == 1)));
     }
 }

@@ -19,6 +19,7 @@
 //! [`crate::Recorder`]'s dump equals one computed from the re-read file.
 
 use crate::event::Event;
+use crate::profile::SKEW_HIST_NAME;
 use crate::recorder::Record;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -46,6 +47,16 @@ pub struct Summary {
     pub gauges: BTreeMap<String, u64>,
     /// Phase aggregates: name → (count, total ns, max ns).
     pub phases: BTreeMap<String, (u64, u64, u64)>,
+    /// Per-shard compute aggregates, indexed by shard: (rounds, total
+    /// ns, max ns). Empty unless the run used a pooled executor with
+    /// shard timing on.
+    pub shards: Vec<(u64, u64, u64)>,
+    /// Exported latency histograms by name (`barrier_skew`,
+    /// `dispatch_wake`).
+    pub latency_hists: BTreeMap<String, LatencySummary>,
+    /// Retained top-k congestion samples: (round, [(resource, load)]),
+    /// in round order.
+    pub topk: Vec<(u64, Vec<(u64, u64)>)>,
     /// True when the input ended mid-record (a crash or kill during a
     /// write): the partial tail was skipped, everything before it counted.
     pub truncated: bool,
@@ -57,6 +68,23 @@ pub struct Summary {
     round_end_migrations: u64,
     /// A RingInfo record was ingested (start of the end-of-run trailer).
     saw_ring_info: bool,
+}
+
+/// An ingested latency histogram (one [`Record::LatencyHist`] line).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Total nanoseconds.
+    pub total_ns: u64,
+    /// Largest single sample in nanoseconds.
+    pub max_ns: u64,
+    /// Approximate median in nanoseconds.
+    pub p50_ns: u64,
+    /// Approximate 95th percentile in nanoseconds.
+    pub p95_ns: u64,
+    /// Non-empty power-of-two buckets: (bucket index, count).
+    pub buckets: Vec<(u64, u64)>,
 }
 
 /// Error parsing a JSONL dump.
@@ -164,6 +192,45 @@ impl Summary {
                 self.ring = (*recorded, *dropped);
                 self.saw_ring_info = true;
             }
+            Record::Shard {
+                shard,
+                rounds,
+                total_ns,
+                max_ns,
+            } => {
+                let i = *shard as usize;
+                if self.shards.len() <= i {
+                    self.shards.resize(i + 1, (0, 0, 0));
+                }
+                self.shards[i] = (*rounds, *total_ns, *max_ns);
+            }
+            Record::LatencyHist {
+                name,
+                count,
+                total_ns,
+                max_ns,
+                p50_ns,
+                p95_ns,
+                buckets,
+            } => {
+                self.latency_hists.insert(
+                    name.clone(),
+                    LatencySummary {
+                        count: *count,
+                        total_ns: *total_ns,
+                        max_ns: *max_ns,
+                        p50_ns: *p50_ns,
+                        p95_ns: *p95_ns,
+                        buckets: buckets.iter().map(|b| (b.bucket, b.count)).collect(),
+                    },
+                );
+            }
+            Record::TopK { round, entries } => {
+                self.topk.push((
+                    *round,
+                    entries.iter().map(|e| (e.resource, e.load)).collect(),
+                ));
+            }
         }
         self.rounds = self
             .counters
@@ -244,6 +311,27 @@ impl Summary {
                 ));
             }
         }
+        if !self.shards.is_empty() {
+            let rounds = self.shards.iter().map(|&(r, _, _)| r).max().unwrap_or(0);
+            out.push_str(&format!(
+                "shard profile: {} shards over {} pooled rounds",
+                self.shards.len(),
+                rounds
+            ));
+            if let Some(skew) = self.latency_hists.get(SKEW_HIST_NAME) {
+                out.push_str(&format!(
+                    ", barrier skew p95 {:.1} µs",
+                    skew.p95_ns as f64 / 1e3
+                ));
+            }
+            out.push_str(" (see qlb-trace profile)\n");
+        }
+        if !self.topk.is_empty() {
+            out.push_str(&format!(
+                "top-k congestion: {} samples retained (see qlb-trace profile)\n",
+                self.topk.len()
+            ));
+        }
         out
     }
 }
@@ -307,6 +395,7 @@ impl TraceReader {
 mod tests {
     use super::*;
     use crate::metrics::Counter;
+    use crate::profile::TopKEntry;
     use crate::recorder::Recorder;
     use crate::sink::Sink;
     use crate::timers::Phase;
@@ -327,6 +416,14 @@ mod tests {
             rec.add(Counter::Rounds, 1);
             rec.add(Counter::Migrations, 2);
             rec.time(Phase::Decide, 1_000 + round);
+            rec.shard_round(&[500 + round, 900 + round], &[40, 65]);
+            rec.topk(
+                round,
+                &[TopKEntry {
+                    resource: round,
+                    load: 9 - round,
+                }],
+            );
         }
         rec
     }
@@ -342,6 +439,27 @@ mod tests {
         assert_eq!(s.events_by_kind["RoundEnd"], 3);
         assert_eq!(s.ring, (6, 0));
         assert_eq!(s.phases["decide"].0, 3);
+    }
+
+    #[test]
+    fn shard_profile_and_topk_round_trip() {
+        let rec = sample_recorder();
+        let s = Summary::from_jsonl(&rec.to_jsonl()).unwrap();
+        assert_eq!(s.shards.len(), 2);
+        assert_eq!(s.shards[0], (3, 500 + 501 + 502, 502));
+        assert_eq!(s.shards[1], (3, 900 + 901 + 902, 902));
+        let skew = &s.latency_hists[SKEW_HIST_NAME];
+        assert_eq!(skew.count, 3);
+        assert_eq!(skew.max_ns, 400);
+        assert!(!skew.buckets.is_empty());
+        assert_eq!(s.latency_hists["dispatch_wake"].count, 6);
+        assert_eq!(
+            s.topk,
+            vec![(0, vec![(0, 9)]), (1, vec![(1, 8)]), (2, vec![(2, 7)])]
+        );
+        let rendered = s.render();
+        assert!(rendered.contains("shard profile: 2 shards"));
+        assert!(rendered.contains("top-k congestion: 3 samples"));
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use crate::event::Event;
 use crate::metrics::{Counter, Gauge};
+use crate::profile::TopKEntry;
 use crate::timers::Phase;
 use std::time::Instant;
 
@@ -35,6 +36,20 @@ pub trait Sink {
 
     /// Record a phase timing in nanoseconds.
     fn time(&mut self, p: Phase, ns: u64);
+
+    /// Record one pooled round's per-shard profile: `compute_ns[i]` is
+    /// shard `i`'s compute time (clipped to the round's wall time by the
+    /// pool), `wake_ns[i]` its dispatch wake latency. Default: ignored —
+    /// only the recording sinks accumulate
+    /// [`ShardTimers`](crate::profile::ShardTimers).
+    #[inline]
+    fn shard_round(&mut self, _compute_ns: &[u64], _wake_ns: &[u64]) {}
+
+    /// Offer a round's top-k congestion sample (hottest resources by
+    /// load). Default: ignored — the recording sinks retain a decimated
+    /// [`TopKSeries`](crate::profile::TopKSeries).
+    #[inline]
+    fn topk(&mut self, _round: u64, _entries: &[TopKEntry]) {}
 }
 
 /// The default sink: records nothing, costs nothing.

@@ -36,6 +36,7 @@
 
 use crate::event::Event;
 use crate::metrics::{Counter, Gauge, MetricsRegistry};
+use crate::profile::{ShardTimers, TopKEntry, TopKSeries};
 use crate::recorder::{push_record_line, write_trailer, Record};
 use crate::sink::Sink;
 use crate::timers::{Phase, PhaseTimers};
@@ -60,6 +61,8 @@ pub struct StreamSink<W: Write> {
     buf: String,
     metrics: MetricsRegistry,
     timers: PhaseTimers,
+    shard_timers: ShardTimers,
+    topk: TopKSeries,
     next_seq: u64,
     /// RoundEnd events seen since the last flush.
     rounds_since_flush: u64,
@@ -83,6 +86,8 @@ impl<W: Write> StreamSink<W> {
             buf: String::new(),
             metrics: MetricsRegistry::default(),
             timers: PhaseTimers::default(),
+            shard_timers: ShardTimers::default(),
+            topk: TopKSeries::default(),
             next_seq: 0,
             rounds_since_flush: 0,
             flush_every: flush_every.max(1),
@@ -105,6 +110,12 @@ impl<W: Write> StreamSink<W> {
     /// The phase timers accumulated so far.
     pub fn timers(&self) -> &PhaseTimers {
         &self.timers
+    }
+
+    /// The per-shard profile accumulated so far (empty unless a pooled
+    /// executor ran with shard timing on).
+    pub fn shard_timers(&self) -> &ShardTimers {
+        &self.shard_timers
     }
 
     /// Shorthand for a cumulative counter value.
@@ -147,7 +158,15 @@ impl<W: Write> StreamSink<W> {
     /// Returns the first I/O error hit at any point while streaming.
     pub fn finish(mut self) -> io::Result<W> {
         self.finished = true;
-        write_trailer(&mut self.buf, &self.metrics, &self.timers, self.next_seq, 0);
+        write_trailer(
+            &mut self.buf,
+            &self.metrics,
+            &self.timers,
+            &self.shard_timers,
+            &self.topk,
+            self.next_seq,
+            0,
+        );
         self.flush_buf();
         match self.failed.take() {
             Some(e) => Err(e),
@@ -197,6 +216,16 @@ impl<W: Write> Sink for StreamSink<W> {
     #[inline]
     fn time(&mut self, p: Phase, ns: u64) {
         self.timers.record(p, ns);
+    }
+
+    #[inline]
+    fn shard_round(&mut self, compute_ns: &[u64], wake_ns: &[u64]) {
+        self.shard_timers.record_round(compute_ns, wake_ns);
+    }
+
+    #[inline]
+    fn topk(&mut self, round: u64, entries: &[TopKEntry]) {
+        self.topk.push(round, entries);
     }
 }
 
@@ -248,6 +277,20 @@ mod tests {
             sink.add(Counter::Migrations, 2);
             sink.time(Phase::Decide, 1_000 + round);
             sink.set(Gauge::Unsatisfied, 9 - round);
+            sink.shard_round(&[800 + round, 1_200 + round], &[40 + round, 60 + round]);
+            sink.topk(
+                round,
+                &[
+                    TopKEntry {
+                        resource: 1,
+                        load: 30 - round,
+                    },
+                    TopKEntry {
+                        resource: 4,
+                        load: 20 - round,
+                    },
+                ],
+            );
             sink.event(Event::RoundEnd {
                 round,
                 migrations: 2,

@@ -5,9 +5,10 @@
 //! the `truncated` flag instead of failing.
 
 use proptest::prelude::*;
-use qoslb::engine::{run_observed, RunConfig};
+use qoslb::engine::{run_observed, Executor, RunConfig};
+use qoslb::obs::recorder::Record;
 use qoslb::obs::replay::Summary;
-use qoslb::obs::{Recorder, StreamSink};
+use qoslb::obs::{Phase, Recorder, StreamSink};
 use qoslb::prelude::*;
 use qoslb::workload::calibrate_slack;
 
@@ -35,26 +36,45 @@ fn small_instance() -> impl Strategy<Value = (Instance, State, u64)> {
         })
 }
 
-/// Zero the wall-clock nanosecond fields of `Phase` trailer lines. Two
-/// separate runs of the same seeded trajectory read different clocks, so
-/// byte-identity between a streamed trace and a post-hoc dump holds for
-/// every byte *except* these timings.
-fn zero_phase_timings(text: &str) -> String {
+/// Canonicalize the clock-derived fields of a trace. Two separate runs of
+/// the same seeded trajectory read different clocks, so byte-identity
+/// between a streamed trace and a post-hoc dump holds for every field
+/// *except* wall-clock durations: `Phase` and `Shard` totals/maxima, and
+/// everything in a `LatencyHist` but its sample count (the percentiles
+/// and power-of-two buckets bin clock readings). Each line is parsed as a
+/// typed [`Record`] and re-serialized, so the normalization itself fails
+/// loudly if the line framing ever breaks.
+fn normalize_timings(text: &str) -> String {
     let mut out = String::with_capacity(text.len());
     for line in text.lines() {
-        let mut line = line.to_string();
-        if line.starts_with("{\"Phase\"") {
-            for key in ["\"total_ns\":", "\"max_ns\":"] {
-                if let Some(i) = line.find(key) {
-                    let start = i + key.len();
-                    let digits = line[start..]
-                        .find(|c: char| !c.is_ascii_digit())
-                        .map_or(line.len(), |d| start + d);
-                    line.replace_range(start..digits, "0");
-                }
+        let mut record: Record = serde_json::from_str(line).expect("well-formed record line");
+        match &mut record {
+            Record::Phase {
+                total_ns, max_ns, ..
             }
+            | Record::Shard {
+                total_ns, max_ns, ..
+            } => {
+                *total_ns = 0;
+                *max_ns = 0;
+            }
+            Record::LatencyHist {
+                total_ns,
+                max_ns,
+                p50_ns,
+                p95_ns,
+                buckets,
+                ..
+            } => {
+                *total_ns = 0;
+                *max_ns = 0;
+                *p50_ns = 0;
+                *p95_ns = 0;
+                buckets.clear();
+            }
+            _ => {}
         }
-        out.push_str(&line);
+        out.push_str(&serde_json::to_string(&record).expect("record re-serializes"));
         out.push('\n');
     }
     out
@@ -91,35 +111,51 @@ proptest! {
         flush_every in 1u64..32,
     ) {
         for proto in qoslb::core::protocol::registry(&inst) {
-            let cfg = RunConfig::new(seed, budget);
-            let name = proto.name();
+            // dense sequential, and pooled with the profiling records on:
+            // the trailer then carries Shard / LatencyHist / TopK lines too
+            let configs = [
+                RunConfig::new(seed, budget),
+                RunConfig::new(seed, budget)
+                    .with_executor(Executor::Threaded(3))
+                    .with_topk_resources(3),
+            ];
+            for cfg in configs {
+                let name = proto.name();
 
-            let mut rec = Recorder::default();
-            run_observed(&inst, state.clone(), proto.as_ref(), cfg, &mut rec);
-            let dump = rec.to_jsonl();
+                let mut rec = Recorder::default();
+                run_observed(&inst, state.clone(), proto.as_ref(), cfg, &mut rec);
+                let dump = rec.to_jsonl();
 
-            let streamed =
-                stream_run(&inst, state.clone(), proto.as_ref(), cfg, flush_every);
-            prop_assert_eq!(
-                zero_phase_timings(&streamed),
-                zero_phase_timings(&dump),
-                "stream != dump for {}",
-                name
-            );
+                let streamed =
+                    stream_run(&inst, state.clone(), proto.as_ref(), cfg, flush_every);
+                prop_assert_eq!(
+                    normalize_timings(&streamed),
+                    normalize_timings(&dump),
+                    "stream != dump for {}",
+                    name
+                );
 
-            // and both replay to the same summary (phase timings aside)
-            let a = Summary::from_jsonl(&streamed).expect("streamed trace replays");
-            let b = Summary::from_jsonl(&dump).expect("dump replays");
-            prop_assert_eq!(&a.events_by_kind, &b.events_by_kind, "{}", name);
-            prop_assert_eq!(a.ring, b.ring, "{}", name);
-            prop_assert_eq!(&a.counters, &b.counters, "{}", name);
-            prop_assert_eq!(&a.gauges, &b.gauges, "{}", name);
-            let phase_counts = |s: &Summary| -> Vec<(String, u64)> {
-                s.phases.iter().map(|(k, v)| (k.clone(), v.0)).collect()
-            };
-            prop_assert_eq!(phase_counts(&a), phase_counts(&b), "{}", name);
-            prop_assert!(a.saw_trailer(), "finished stream carries a trailer ({})", name);
-            prop_assert!(!a.truncated, "finished stream is not truncated ({})", name);
+                // and both replay to the same summary (phase timings aside)
+                let a = Summary::from_jsonl(&streamed).expect("streamed trace replays");
+                let b = Summary::from_jsonl(&dump).expect("dump replays");
+                prop_assert_eq!(&a.events_by_kind, &b.events_by_kind, "{}", name);
+                prop_assert_eq!(a.ring, b.ring, "{}", name);
+                prop_assert_eq!(&a.counters, &b.counters, "{}", name);
+                prop_assert_eq!(&a.gauges, &b.gauges, "{}", name);
+                let phase_counts = |s: &Summary| -> Vec<(String, u64)> {
+                    s.phases.iter().map(|(k, v)| (k.clone(), v.0)).collect()
+                };
+                prop_assert_eq!(phase_counts(&a), phase_counts(&b), "{}", name);
+                // per-shard round counts and the decimated top-k series are
+                // trajectory-derived, so they agree exactly across the runs
+                let shard_rounds = |s: &Summary| -> Vec<u64> {
+                    s.shards.iter().map(|&(r, _, _)| r).collect()
+                };
+                prop_assert_eq!(shard_rounds(&a), shard_rounds(&b), "{}", name);
+                prop_assert_eq!(&a.topk, &b.topk, "{}", name);
+                prop_assert!(a.saw_trailer(), "finished stream carries a trailer ({})", name);
+                prop_assert!(!a.truncated, "finished stream is not truncated ({})", name);
+            }
         }
     }
 
@@ -133,7 +169,11 @@ proptest! {
         budget in 1u64..120,
         cut_back in 1usize..40,
     ) {
-        let cfg = RunConfig::new(seed, budget);
+        // pooled + top-k so the cut can land inside the new Shard /
+        // LatencyHist / TopK trailer lines as well
+        let cfg = RunConfig::new(seed, budget)
+            .with_executor(Executor::Threaded(2))
+            .with_topk_resources(2);
         let full = stream_run(&inst, state, &SlackDamped::default(), cfg, 1);
 
         // chop `cut_back` bytes off the end, then make sure the cut is
@@ -195,6 +235,56 @@ fn ring_wraparound_drop_accounting_survives_replay() {
     assert_eq!(retained, 8);
     // counters are ring-independent: the full run is still accounted
     assert_eq!(summary.counters.get("rounds"), Some(&out.rounds));
+}
+
+/// The per-shard profile is consistent with the aggregate phase timers and
+/// survives the JSONL round trip intact: every pooled round contributes
+/// its longest (wall-clipped) shard to `Phase::Compute`, so the profile's
+/// critical path equals the aggregate compute total *exactly*, and the
+/// shard table, skew/wake histograms, and decimated top-k series replay
+/// unchanged.
+#[test]
+fn pooled_profile_matches_aggregate_compute_and_round_trips() {
+    let inst = Instance::uniform(512, 64, 10).unwrap();
+    let state = State::all_on(&inst, ResourceId(0));
+    let cfg = RunConfig::new(5, 10_000)
+        .with_executor(Executor::Threaded(3))
+        .with_topk_resources(4);
+
+    let mut rec = Recorder::default();
+    let out = run_observed(&inst, state, &SlackDamped::default(), cfg, &mut rec);
+    assert!(out.converged);
+
+    let st = rec.shard_timers();
+    assert!(!st.is_empty(), "pooled run must record a shard profile");
+    assert_eq!(st.num_shards(), 3);
+    assert_eq!(st.rounds(), st.skew().count(), "one skew sample per round");
+    // sample-by-sample: max over wall-clipped shard computes IS the
+    // Phase::Compute sample, so the totals agree to the nanosecond
+    assert_eq!(st.critical_ns(), rec.timers().total_ns(Phase::Compute));
+    // each shard saw every pooled round
+    for i in 0..st.num_shards() {
+        assert_eq!(st.shard(i).0, st.rounds());
+    }
+
+    let summary = Summary::from_jsonl(&rec.to_jsonl()).expect("trace replays");
+    assert_eq!(summary.shards.len(), 3);
+    for (i, &row) in summary.shards.iter().enumerate() {
+        assert_eq!(row, st.shard(i), "shard {i} row round-trips");
+    }
+    let skew = &summary.latency_hists["barrier_skew"];
+    assert_eq!(skew.count, st.skew().count());
+    assert_eq!(skew.max_ns, st.skew().max());
+    let wake = &summary.latency_hists["dispatch_wake"];
+    assert_eq!(wake.count, st.dispatch().count());
+    let expected: Vec<(u64, Vec<(u64, u64)>)> = rec
+        .topk_series()
+        .samples()
+        .iter()
+        .map(|(r, es)| (*r, es.iter().map(|e| (e.resource, e.load)).collect()))
+        .collect();
+    assert!(!expected.is_empty(), "top-k sampling was on");
+    assert_eq!(summary.topk, expected, "top-k series round-trips");
 }
 
 /// An interrupted stream (sink dropped without `finish`) has no trailer:
