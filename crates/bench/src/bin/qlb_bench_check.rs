@@ -10,9 +10,11 @@
 //!   (default 0.35) of the committed values — a gate on *ratios*, so it is
 //!   robust to the absolute speed of the machine;
 //! * **worker pool**: pooled round dispatch must stay at least 5× cheaper
-//!   than the scoped-spawn baseline, and the sparse open-system and
-//!   weighted drivers must beat their dense counterparts outright on the
-//!   committed endgame-heavy workloads (`BENCH_parallel.json`);
+//!   than the scoped-spawn baseline, the SoA `RoundView` pooled round must
+//!   stay at least 3× faster than the dense sequential round at the
+//!   committed top thread count, and the sparse open-system and weighted
+//!   drivers must beat their dense counterparts outright on the committed
+//!   endgame-heavy workloads (`BENCH_parallel.json`);
 //! * **observability sinks**: the measured NoopSink and Recorder overheads
 //!   must stay under the budgets recorded in `BENCH_obs.json`
 //!   (`noop_overhead_budget_pct`, `recorder_overhead_budget_pct`) plus a
@@ -27,8 +29,8 @@
 //! missing/corrupt baseline JSON.
 
 use qlb_bench::checks::{
-    measure_dispatch, measure_obs, measure_open_sparse, measure_shard_timing, measure_sparse,
-    measure_weighted_sparse,
+    measure_dispatch, measure_obs, measure_open_sparse, measure_scaling, measure_shard_timing,
+    measure_sparse, measure_weighted_sparse,
 };
 use serde_json::{parse_value_str, Value};
 use std::process::exit;
@@ -125,6 +127,42 @@ fn check_parallel(baseline: &Value, tolerance: f64, gates: &mut Vec<Gate>) {
             name: "parallel/dispatch_reduction".into(),
             passed: false,
             detail: "no dispatch_overhead section in BENCH_parallel.json".into(),
+        });
+    }
+    let scaling_row = baseline
+        .get("scaling")
+        .and_then(|s| s.get("rows"))
+        .and_then(|rows| match rows {
+            Value::Array(rows) => rows
+                .iter()
+                .max_by_key(|r| r.get("threads").and_then(Value::as_u64).unwrap_or(0)),
+            _ => None,
+        });
+    if let Some(row) = scaling_row {
+        let n = row.get("n").and_then(Value::as_u64).unwrap_or(1_000_000) as usize;
+        let threads = row.get("threads").and_then(Value::as_u64).unwrap_or(8) as usize;
+        let committed = f64_field(row, "speedup").unwrap_or(0.0);
+        let measured = measure_scaling(n, &[threads], 60)
+            .first()
+            .map(|r| r.speedup())
+            .unwrap_or(0.0);
+        // hard floor from the PR acceptance criteria: the SoA pooled round
+        // must be ≥ 3× faster than the dense sequential round at the
+        // committed top thread count, whatever the machine
+        let floor = (committed * tolerance).max(3.0);
+        gates.push(Gate {
+            name: format!("parallel/scaling_speedup/n{n}/t{threads}"),
+            passed: measured >= floor,
+            detail: format!(
+                "SoA pooled round {measured:.2}x vs dense sequential, committed {committed:.2}x \
+                 (floor {floor:.2}x)"
+            ),
+        });
+    } else {
+        gates.push(Gate {
+            name: "parallel/scaling_speedup".into(),
+            passed: false,
+            detail: "no scaling section in BENCH_parallel.json".into(),
         });
     }
     if let Some(o) = baseline.get("open_sparse") {
@@ -320,7 +358,8 @@ fn print_help() {
          --speedup-tolerance R   sparse speedups must reach R x committed (default 0.35)\n  \
          --overhead-margin P     obs overheads may exceed their budget by P points (default 3)\n\n\
          Gates: sparse endgame round speedup, tight-slack run speedup (BENCH_sparse.json);\n\
-         pool dispatch reduction >= 5x and sparse open/weighted drivers beating dense\n\
+         pool dispatch reduction >= 5x, SoA pooled round >= 3x dense sequential at the\n\
+         committed top thread count, and sparse open/weighted drivers beating dense\n\
          (BENCH_parallel.json); NoopSink and Recorder overhead budgets plus the pooled\n\
          per-shard profiling budget (< 2% on vs off, ~0% disabled) (BENCH_obs.json).\n\
          Measurements share code with the benches (qlb_bench::checks), so numbers are\n\

@@ -9,13 +9,16 @@
 
 use qlb_core::step::{decide_active_into, decide_range_into, decide_round_into};
 use qlb_core::weighted::{WeightedInstance, WeightedSlackDamped, WeightedState};
-use qlb_core::{ActiveIndex, Move, ResourceId, SlackDamped, State};
+use qlb_core::{
+    ActiveIndex, Move, ResourceId, RoundView, ShardDeltas, ShardScratch, SlackDamped, State,
+};
 use qlb_engine::{
-    run, run_observed, run_open_system, run_sparse, run_weighted_cfg, shard_bounds, Executor,
-    OpenConfig, RunConfig, WeightedConfig, WorkerPool,
+    run, run_observed, run_open_system, run_sparse, run_weighted_cfg, shard_bounds, shard_chunk,
+    shards_for, Executor, OpenConfig, RunConfig, WeightedConfig, WorkerPool,
 };
 use qlb_obs::{NoopSink, Recorder};
 use std::hint::black_box;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Seed every regression-gated measurement runs under (also baked into the
@@ -342,6 +345,101 @@ pub fn measure_pool_round(n: usize, threads: usize, budget_ms: u64) -> PoolRound
         scoped_round_ns,
         pooled_round_ns,
     }
+}
+
+/// One row of the SoA-kernel scaling table: sequential dense reference vs.
+/// the pooled struct-of-arrays round at a given thread count.
+#[derive(Debug, Clone)]
+pub struct ScalingRow {
+    /// Users.
+    pub n: usize,
+    /// Requested thread count (1 = the pool degenerates to the coordinator).
+    pub threads: usize,
+    /// Mean ns of one sequential dense reference round
+    /// (`decide_round_into` over the `State`).
+    pub seq_round_ns: f64,
+    /// Mean ns of the same round decided through the pooled
+    /// [`RoundView`] two-pass kernel.
+    pub pooled_round_ns: f64,
+}
+
+impl ScalingRow {
+    /// Sequential-reference / pooled-SoA round speedup (the regression-gated
+    /// ratio at the highest thread count).
+    pub fn speedup(&self) -> f64 {
+        self.seq_round_ns / self.pooled_round_ns
+    }
+}
+
+/// Measure the SoA round kernel's scaling over the pinned endgame state at
+/// size `n`: one sequential dense reference, then the pooled
+/// [`RoundView`] round at each requested thread count — the exact decide
+/// path `run_threaded` executes per round (bitmap filter, batched RNG,
+/// per-shard deltas), minus the coordinator merge (the round is re-decided
+/// from the same state every iteration, so there is nothing to merge).
+pub fn measure_scaling(n: usize, threads: &[usize], budget_ms: u64) -> Vec<ScalingRow> {
+    let (inst, state) = crate::endgame_pair(n, BENCH_SEED, ACTIVE_FRAC);
+    let proto = SlackDamped::default();
+    let mut out = Vec::new();
+
+    let seq_round_ns = ns_per_call(
+        || {
+            decide_round_into(&inst, &state, &proto, BENCH_SEED, 9, &mut out);
+            black_box(out.len());
+        },
+        budget_ms,
+    );
+
+    let view = RoundView::new(&inst, &state);
+    threads
+        .iter()
+        .map(|&t| {
+            let active = shards_for(n, t);
+            let chunk = shard_chunk(n, t);
+            let pool = WorkerPool::new(active);
+            let slots: Vec<Mutex<(ShardDeltas, ShardScratch)>> = (0..active)
+                .map(|_| Mutex::new((ShardDeltas::new(inst.num_resources()), ShardScratch::new())))
+                .collect();
+            let view_ref = &view;
+            let slots_ref = &slots;
+            let inst_ref = &inst;
+            let proto_ref = &proto;
+            let pooled_round_ns = ns_per_call(
+                || {
+                    pool.decide_round_on(
+                        |shard, buf| {
+                            let lo = (shard * chunk).min(n);
+                            let hi = ((shard + 1) * chunk).min(n);
+                            if lo < hi {
+                                let mut slot = slots_ref[shard].lock().unwrap();
+                                let (deltas, scratch) = &mut *slot;
+                                view_ref.decide_shard_into(
+                                    inst_ref, proto_ref, BENCH_SEED, 9, lo, hi, buf, scratch,
+                                    deltas,
+                                );
+                            }
+                        },
+                        &mut out,
+                        false,
+                        active,
+                    );
+                    // discard the deltas without merging: every iteration
+                    // re-decides the same round from the same view
+                    for slot in slots_ref {
+                        slot.lock().unwrap().0.advance();
+                    }
+                    black_box(out.len());
+                },
+                budget_ms,
+            );
+            ScalingRow {
+                n,
+                threads: t,
+                seq_round_ns,
+                pooled_round_ns,
+            }
+        })
+        .collect()
 }
 
 /// Dense vs. sparse open-system driver on an endgame-heavy workload.
@@ -680,6 +778,16 @@ mod tests {
         assert!(row.seq_round_ns > 0.0);
         assert!(row.scoped_round_ns > 0.0);
         assert!(row.pooled_round_ns > 0.0);
+    }
+
+    #[test]
+    fn measure_scaling_smoke() {
+        let rows = measure_scaling(4_096, &[1, 2], 5);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert!(row.seq_round_ns > 0.0 && row.pooled_round_ns > 0.0);
+            assert!(row.speedup() > 0.0);
+        }
     }
 
     #[test]

@@ -32,6 +32,9 @@
 //! * [`step`] — one synchronous round, factored so every executor (the
 //!   sequential engine, the threaded engine, and the message-passing actor
 //!   runtime in `qlb-runtime`) produces bit-identical trajectories;
+//! * [`view`] — the cache-conscious struct-of-arrays round view (SoA
+//!   arrays, unsatisfied-resource bitmaps, per-shard delta merge) behind
+//!   the pooled executors' hot decide kernel;
 //! * [`baseline`] — centralized greedy assignment and sequential
 //!   best-response dynamics, the classical comparison points;
 //! * [`weighted`] — the weighted-demand (bin-packing-flavoured) extension
@@ -72,6 +75,7 @@ pub mod potential;
 pub mod protocol;
 pub mod state;
 pub mod step;
+pub mod view;
 pub mod weighted;
 
 /// Convenient re-exports of the types almost every consumer needs.
@@ -89,6 +93,7 @@ pub mod prelude {
         ThresholdLevels,
     };
     pub use crate::state::{Move, State};
+    pub use crate::view::{RoundView, ShardDeltas, ShardScratch};
 }
 
 pub use prelude::*;

@@ -44,11 +44,34 @@ pub fn decide_user<P: Protocol + ?Sized>(
     if satisfied && !proto.acts_when_satisfied() {
         return None;
     }
+    let mut rng = RoundStream::new(seed, user.0 as u64, round);
+    decide_unsatisfied_user(inst, loads, own, user, proto, round, &mut rng)
+}
+
+/// The post-gate half of [`decide_user`]: class gating, target sampling,
+/// and the migration coin, drawing from a caller-supplied stream.
+///
+/// The caller must already have applied the satisfied-users-do-nothing
+/// gate (or the protocol must act while satisfied), and `rng` must be the
+/// **fresh** `(seed, user, round)` stream — typically rebuilt from a
+/// precomputed base via [`RoundStream::from_base`] by the batched SoA
+/// kernel ([`RoundView`](crate::RoundView)). Draw-for-draw identical to
+/// the tail of [`decide_user`] by construction.
+#[inline]
+pub fn decide_unsatisfied_user<P: Protocol + ?Sized>(
+    inst: &Instance,
+    loads: &[u32],
+    own: ResourceId,
+    user: UserId,
+    proto: &P,
+    round: u64,
+    rng: &mut RoundStream,
+) -> Option<Move> {
+    let class = inst.class_of(user);
     if !proto.is_active(class, round) {
         return None;
     }
-    let mut rng = RoundStream::new(seed, user.0 as u64, round);
-    let target = proto.sample_target(inst, own, &mut rng);
+    let target = proto.sample_target(inst, own, rng);
     if target == own {
         return None;
     }
@@ -58,8 +81,8 @@ pub fn decide_user<P: Protocol + ?Sized>(
         round,
         own: ResourceView {
             id: own,
-            load: own_load,
-            cap: own_cap,
+            load: loads[own.index()],
+            cap: inst.cap(class, own),
         },
         target: ResourceView {
             id: target,
@@ -67,7 +90,7 @@ pub fn decide_user<P: Protocol + ?Sized>(
             cap: inst.cap(class, target),
         },
     };
-    match proto.decide(&view, &mut rng) {
+    match proto.decide(&view, rng) {
         Decision::Move => Some(Move {
             user,
             from: own,

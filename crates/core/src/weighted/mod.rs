@@ -27,6 +27,7 @@ mod instance;
 mod protocol;
 mod state;
 mod step;
+mod view;
 
 pub use active::WeightedActiveIndex;
 pub use baseline::{first_fit_decreasing, weight_counting_feasible};
@@ -35,5 +36,6 @@ pub use protocol::{WeightedConditional, WeightedProtocol, WeightedSlackDamped, W
 pub use state::WeightedState;
 pub use step::{
     decide_weighted_range_into, decide_weighted_round, decide_weighted_round_into,
-    decide_weighted_user, decide_weighted_users_into,
+    decide_weighted_unsatisfied_user, decide_weighted_user, decide_weighted_users_into,
 };
+pub use view::WeightedRoundView;

@@ -30,21 +30,42 @@ pub fn decide_weighted_user<P: WeightedProtocol + ?Sized>(
         return None; // satisfied
     }
     let mut rng = RoundStream::new(seed, user.0 as u64, round);
+    decide_weighted_unsatisfied_user(inst, loads, own, user, proto, &mut rng)
+}
+
+/// The post-gate half of [`decide_weighted_user`]: target sampling and the
+/// migration decision, drawing from a caller-supplied stream.
+///
+/// The caller must already have applied the satisfied-users-do-nothing
+/// gate, and `rng` must be the **fresh** `(seed, user, round)` stream —
+/// typically rebuilt from a precomputed base via
+/// [`RoundStream::from_base`] by the batched SoA kernel
+/// ([`WeightedRoundView`](super::WeightedRoundView)). Draw-for-draw
+/// identical to the tail of [`decide_weighted_user`] by construction.
+#[inline]
+pub fn decide_weighted_unsatisfied_user<P: WeightedProtocol + ?Sized>(
+    inst: &WeightedInstance,
+    loads: &[u64],
+    own: ResourceId,
+    user: UserId,
+    proto: &P,
+    rng: &mut RoundStream,
+) -> Option<Move> {
     let target = ResourceId(rng.uniform_usize(inst.num_resources()) as u32);
     if target == own {
         return None;
     }
     let own_view = WeightedView {
         id: own,
-        load: own_load,
-        cap: own_cap,
+        load: loads[own.index()],
+        cap: inst.cap(own),
     };
     let target_view = WeightedView {
         id: target,
         load: loads[target.index()],
         cap: inst.cap(target),
     };
-    match proto.decide(inst.weight(user), own_view, target_view, &mut rng) {
+    match proto.decide(inst.weight(user), own_view, target_view, rng) {
         Decision::Move => Some(Move {
             user,
             from: own,

@@ -1,0 +1,259 @@
+//! Struct-of-arrays round view for the weighted model.
+//!
+//! The weighted analogue of [`RoundView`](crate::view::RoundView): one
+//! unsatisfied-resource bitmap (the weighted model has no QoS classes —
+//! satisfaction is per-resource: `cap > 0 && load ≤ cap` over `u64`
+//! loads), a 64-byte-aligned `u32` assignment array, and a `u64` load
+//! copy. The two-pass kernel, batched RNG refill, and per-shard delta
+//! merge work exactly as in the unit model; deltas carry user *weights*
+//! instead of ±1. The weighted model has no `acts_when_satisfied` escape
+//! hatch, so the bitmap filter is sound for every [`WeightedProtocol`].
+
+use super::instance::WeightedInstance;
+use super::protocol::WeightedProtocol;
+use super::state::WeightedState;
+use super::step::decide_weighted_unsatisfied_user;
+use crate::ids::{ResourceId, UserId};
+use crate::state::Move;
+use crate::view::{AlignedU32, AlignedU64, ShardDeltas, ShardScratch};
+use qlb_rng::{fill_round_bases, RoundStream};
+
+/// The weighted struct-of-arrays round view (see the module docs).
+pub struct WeightedRoundView {
+    /// `assign[u]` = resource of user `u`.
+    assign: AlignedU32,
+    /// Per-resource load (total weight) copy.
+    loads: AlignedU64,
+    /// Bit `r` set iff resource `r` is unsatisfying (`cap == 0` or
+    /// `load > cap`).
+    unsat: AlignedU64,
+}
+
+impl WeightedRoundView {
+    /// Build the view of `state`.
+    pub fn new(inst: &WeightedInstance, state: &WeightedState) -> Self {
+        let mut v = Self {
+            assign: AlignedU32::default(),
+            loads: AlignedU64::default(),
+            unsat: AlignedU64::default(),
+        };
+        v.rebuild(inst, state);
+        v
+    }
+
+    /// Rebuild from scratch (reusing storage).
+    pub fn rebuild(&mut self, inst: &WeightedInstance, state: &WeightedState) {
+        let n = inst.num_users();
+        let m = inst.num_resources();
+        self.assign.reset(n);
+        for (dst, u) in self.assign.as_mut_slice().iter_mut().zip(inst.users()) {
+            *dst = state.resource_of(u).0;
+        }
+        self.loads.reset(m);
+        self.loads.as_mut_slice().copy_from_slice(state.loads());
+        self.unsat.reset(m.div_ceil(64));
+        for r in 0..m as u32 {
+            self.refresh_bit(inst, r);
+        }
+    }
+
+    /// Whether resource `r`'s unsatisfied bit is set.
+    pub fn is_unsat(&self, r: ResourceId) -> bool {
+        (self.unsat.as_slice()[(r.0 >> 6) as usize] >> (r.0 & 63)) & 1 != 0
+    }
+
+    #[inline]
+    fn refresh_bit(&mut self, inst: &WeightedInstance, r: u32) {
+        let load = self.loads.as_slice()[r as usize];
+        let cap = inst.cap(ResourceId(r));
+        let word = &mut self.unsat.as_mut_slice()[(r >> 6) as usize];
+        let bit = 1u64 << (r & 63);
+        if cap > 0 && load <= cap {
+            *word &= !bit;
+        } else {
+            *word |= bit;
+        }
+    }
+
+    /// Decide the users of shard `[lo, hi)` with the two-pass kernel,
+    /// appending migrations to `out` (in user order) and recording their
+    /// weighted load effects into `deltas`. Identical output to
+    /// [`decide_weighted_range_into`](super::decide_weighted_range_into)
+    /// on the state this view mirrors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn decide_shard_into<P: WeightedProtocol + ?Sized>(
+        &self,
+        inst: &WeightedInstance,
+        proto: &P,
+        seed: u64,
+        round: u64,
+        lo: usize,
+        hi: usize,
+        out: &mut Vec<Move>,
+        scratch: &mut ShardScratch,
+        deltas: &mut ShardDeltas,
+    ) {
+        debug_assert!(lo <= hi && hi <= self.assign.len);
+        let assign = self.assign.as_slice();
+        let loads = self.loads.as_slice();
+        let bm = self.unsat.as_slice();
+
+        scratch.batch.clear();
+        for (i, &r) in assign[lo..hi].iter().enumerate() {
+            // SAFETY: `r < m` (state invariant) so `r >> 6` is in range.
+            let w = unsafe { *bm.get_unchecked((r >> 6) as usize) };
+            if (w >> (r & 63)) & 1 != 0 {
+                scratch.batch.push((lo + i) as u32);
+            }
+        }
+
+        fill_round_bases(seed, round, &scratch.batch, &mut scratch.bases);
+        for (&idx, &base) in scratch.batch.iter().zip(&scratch.bases) {
+            let user = UserId(idx);
+            let own = ResourceId(assign[idx as usize]);
+            let mut rng = RoundStream::from_base(base);
+            if let Some(mv) =
+                decide_weighted_unsatisfied_user(inst, loads, own, user, proto, &mut rng)
+            {
+                deltas.record_weight(mv.from, mv.to, inst.weight(mv.user));
+                out.push(mv);
+            }
+        }
+    }
+
+    /// Coordinator merge, phase 1 of 2: fold one shard's load deltas into
+    /// the view — all shards before any [`WeightedRoundView::repair_touched`].
+    pub fn merge_loads(&mut self, deltas: &ShardDeltas) {
+        let loads = self.loads.as_mut_slice();
+        for &r in deltas.touched() {
+            let next = loads[r as usize] as i64 + deltas.delta_of(r);
+            debug_assert!(next >= 0, "weighted load underflow");
+            loads[r as usize] = next as u64;
+        }
+    }
+
+    /// Apply the round's concatenated moves to the assignment array.
+    pub fn apply_assignments(&mut self, moves: &[Move]) {
+        let assign = self.assign.as_mut_slice();
+        for mv in moves {
+            debug_assert_eq!(assign[mv.user.index()], mv.from.0, "stale move");
+            assign[mv.user.index()] = mv.to.0;
+        }
+    }
+
+    /// Coordinator merge, phase 2 of 2: recompute the bits of one shard's
+    /// touched resources (loads already final) and reset its deltas.
+    pub fn repair_touched(&mut self, inst: &WeightedInstance, deltas: &mut ShardDeltas) {
+        for i in 0..deltas.touched().len() {
+            self.refresh_bit(inst, deltas.touched()[i]);
+        }
+        deltas.advance();
+    }
+
+    /// Debug check: the view mirrors `state` exactly. Test/debug use only.
+    pub fn assert_synced(&self, inst: &WeightedInstance, state: &WeightedState) {
+        assert_eq!(self.assign.len, inst.num_users());
+        for u in inst.users() {
+            assert_eq!(
+                self.assign.as_slice()[u.index()],
+                state.resource_of(u).0,
+                "assign[{u:?}]"
+            );
+        }
+        assert_eq!(self.loads.as_slice(), state.loads());
+        for r in 0..inst.num_resources() {
+            let r = ResourceId(r as u32);
+            let cap = inst.cap(r);
+            let satisfied = cap > 0 && state.load(r) <= cap;
+            assert_eq!(self.is_unsat(r), !satisfied, "bit {r:?}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weighted::step::decide_weighted_range_into;
+    use crate::weighted::{WeightedConditional, WeightedSlackDamped};
+
+    fn crowd(n: usize) -> (WeightedInstance, WeightedState) {
+        let weights: Vec<u32> = (0..n).map(|i| 1 + (i % 4) as u32).collect();
+        let total: u64 = weights.iter().map(|&w| w as u64).sum();
+        let m = 16;
+        let inst = WeightedInstance::new(vec![total / m as u64; m], weights).unwrap();
+        let state = WeightedState::all_on(&inst, ResourceId(0));
+        (inst, state)
+    }
+
+    #[test]
+    fn shard_kernel_matches_range_reference() {
+        let (inst, state) = crowd(300);
+        let view = WeightedRoundView::new(&inst, &state);
+        view.assert_synced(&inst, &state);
+        let mut scratch = ShardScratch::new();
+        let mut deltas = ShardDeltas::new(inst.num_resources());
+        let protos: [&dyn WeightedProtocol; 2] =
+            [&WeightedSlackDamped::default(), &WeightedConditional];
+        for proto in protos {
+            for round in 0..4 {
+                let mut want = Vec::new();
+                decide_weighted_range_into(&inst, &state, proto, 7, round, 0, 300, &mut want);
+                let mut got = Vec::new();
+                for (lo, hi) in [(0, 100), (100, 101), (101, 300)] {
+                    view.decide_shard_into(
+                        &inst,
+                        proto,
+                        7,
+                        round,
+                        lo,
+                        hi,
+                        &mut got,
+                        &mut scratch,
+                        &mut deltas,
+                    );
+                }
+                assert_eq!(got, want, "round {round}");
+                deltas.advance();
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_delta_merge_tracks_apply_moves() {
+        let (inst, mut state) = crowd(300);
+        let mut view = WeightedRoundView::new(&inst, &state);
+        let proto = WeightedSlackDamped::default();
+        let mut scratch = ShardScratch::new();
+        let mut deltas: Vec<ShardDeltas> = (0..2)
+            .map(|_| ShardDeltas::new(inst.num_resources()))
+            .collect();
+        for round in 0..40u64 {
+            let mut moves = Vec::new();
+            for (shard, (lo, hi)) in [(0, 150), (150, 300)].iter().enumerate() {
+                view.decide_shard_into(
+                    &inst,
+                    &proto,
+                    11,
+                    round,
+                    *lo,
+                    *hi,
+                    &mut moves,
+                    &mut scratch,
+                    &mut deltas[shard],
+                );
+            }
+            state.apply_moves(&inst, &moves);
+            for d in &deltas {
+                view.merge_loads(d);
+            }
+            view.apply_assignments(&moves);
+            for d in deltas.iter_mut() {
+                view.repair_touched(&inst, d);
+            }
+            view.assert_synced(&inst, &state);
+            if state.is_legal(&inst) {
+                break;
+            }
+        }
+    }
+}

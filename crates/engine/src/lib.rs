@@ -7,10 +7,12 @@
 //!   loop);
 //! * [`run_sparse`] — the active-set executor: `O(active)` rounds via an
 //!   incrementally maintained unsatisfied set;
-//! * [`run_threaded`] — round decisions sharded over a persistent
-//!   [`WorkerPool`] (long-lived workers, one condvar dispatch per round);
-//!   identical output is guaranteed by the counter-based RNG streams of
-//!   `qlb-rng` and verified by tests and experiment E10;
+//! * [`run_threaded`] — round decisions over the struct-of-arrays
+//!   `RoundView` kernel, sharded on cache-line boundaries over a persistent
+//!   [`WorkerPool`] (long-lived parked workers, one epoch bump + unpark of
+//!   the non-empty shards per round); identical output is guaranteed by the
+//!   counter-based RNG streams of `qlb-rng` and verified by tests and
+//!   experiment E10;
 //! * [`run_sparse_threaded`] — the active-set walk sharded over the pool.
 //!
 //! The engine also provides per-round [`trace`]s (potential decay, figure
@@ -45,7 +47,7 @@ pub use dynamics::{
 pub use open::{
     run_open_system, run_open_system_observed, OpenConfig, OpenOutcome, OpenRoundStats,
 };
-pub use pool::{shard_bounds, WorkerPool};
+pub use pool::{shard_bounds, shard_chunk, shards_for, WorkerPool};
 pub use run::{
     run, run_observed, run_sparse, run_sparse_observed, run_sparse_threaded,
     run_sparse_threaded_observed, run_threaded, run_threaded_observed, Executor, RunConfig,

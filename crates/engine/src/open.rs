@@ -21,9 +21,9 @@
 //! occupants' satisfaction never changes), keeping every round
 //! `O(churn + active)` instead of `O(pool)`.
 
-use crate::pool::{shard_bounds, WorkerPool};
-use crate::run::Executor;
-use qlb_core::step::{decide_active_into, decide_range_into, decide_round_into, decide_users_into};
+use crate::pool::{shard_bounds, shard_chunk, shards_for, WorkerPool};
+use crate::run::{Executor, ViewShards};
+use qlb_core::step::{decide_active_into, decide_round_into, decide_users_into};
 use qlb_core::{ActiveIndex, Instance, Move, Protocol, ResourceId, State, UserId};
 use qlb_obs::{timed, Counter, Event, Gauge, NoopSink, Phase, Sink};
 use qlb_rng::{Rng64, SplitMix64};
@@ -191,6 +191,15 @@ pub fn run_open_system_observed<P: Protocol + ?Sized, S: Sink>(
     // An open system starts all-parked (zero unsatisfied), so the index is
     // built upfront — there is no crowded warm-up phase to skip.
     let mut index = use_sparse.then(|| ActiveIndex::new(&inst, &state));
+    // Dense pooled runs decide against the SoA round view; churn
+    // reassignments are mirrored into it so it always reflects the state
+    // the next round decides from. (Parked users' bits stay 0 — the
+    // parking resource's infinite capacity always satisfies — so the
+    // kernel's bitmap pass filters them out at streaming speed.)
+    let mut dense_view: Option<ViewShards> = match (&wpool, use_sparse) {
+        (Some(wp), false) => Some(ViewShards::new(&inst, &state, wp.threads())),
+        _ => None,
+    };
 
     // Parked users as a LIFO stack; active set as a boolean map.
     let mut parked: Vec<UserId> = inst.users().collect();
@@ -216,7 +225,12 @@ pub fn run_open_system_observed<P: Protocol + ?Sized, S: Sink>(
             let r = ResourceId(driver_rng.uniform_usize(m) as u32);
             match index.as_mut() {
                 Some(_) => changes.push((u, r)),
-                None => state.reassign(u, r),
+                None => {
+                    state.reassign(u, r);
+                    if let Some(vs) = dense_view.as_mut() {
+                        vs.view.reassign(&inst, u, r);
+                    }
+                }
             }
             arrived += 1;
         }
@@ -235,7 +249,12 @@ pub fn run_open_system_observed<P: Protocol + ?Sized, S: Sink>(
                 *is_active = false;
                 match index.as_mut() {
                     Some(_) => changes.push((u, parking)),
-                    None => state.reassign(u, parking),
+                    None => {
+                        state.reassign(u, parking);
+                        if let Some(vs) = dense_view.as_mut() {
+                            vs.view.reassign(&inst, u, parking);
+                        }
+                    }
                 }
                 parked.push(u);
                 departed += 1;
@@ -278,9 +297,10 @@ pub fn run_open_system_observed<P: Protocol + ?Sized, S: Sink>(
                     Some(wpool) if index.num_active() >= SPARSE_POOL_MIN_ACTIVE => {
                         index.sorted_active_into(&mut scratch);
                         let len = scratch.len();
-                        let chunk = len.div_ceil(wpool.threads()).max(1);
+                        let chunk = shard_chunk(len, wpool.threads());
                         let (state_ref, scratch_ref) = (&state, &scratch);
-                        wpool.decide_round_observed(
+                        // wake only the shards the batch fills
+                        wpool.decide_round_observed_on(
                             |shard, out| {
                                 let lo = (shard * chunk).min(len);
                                 let hi = ((shard + 1) * chunk).min(len);
@@ -299,6 +319,7 @@ pub fn run_open_system_observed<P: Protocol + ?Sized, S: Sink>(
                             &mut moves,
                             sink,
                             cfg.shard_timing,
+                            shards_for(len, wpool.threads()),
                         );
                     }
                     _ => {
@@ -324,18 +345,18 @@ pub fn run_open_system_observed<P: Protocol + ?Sized, S: Sink>(
             None => {
                 match wpool.as_ref() {
                     Some(wpool) => {
-                        let chunk = pool.div_ceil(wpool.threads()).max(1);
-                        let state_ref = &state;
-                        wpool.decide_round_observed(
-                            |shard, out| {
-                                let lo = (shard * chunk).min(pool);
-                                let hi = ((shard + 1) * chunk).min(pool);
-                                if lo < hi {
-                                    decide_range_into(
-                                        &inst, state_ref, proto, cfg.seed, round, lo, hi, out,
-                                    );
-                                }
-                            },
+                        let vs = dense_view
+                            .as_mut()
+                            .expect("view built for dense pooled run");
+                        if cfg!(debug_assertions) {
+                            vs.view.assert_synced(&inst, &state);
+                        }
+                        vs.decide_round(
+                            &inst,
+                            proto,
+                            cfg.seed,
+                            round,
+                            wpool,
                             &mut moves,
                             sink,
                             cfg.shard_timing,

@@ -6,12 +6,21 @@
 //! — thousands of near-empty rounds — that fork/join overhead dominates the
 //! actual decision work. [`WorkerPool`] fixes the cost model:
 //!
-//! * workers are spawned **once per run** and parked on a condvar between
-//!   rounds; dispatching a round is an epoch bump plus a wake, roughly two
-//!   orders of magnitude cheaper than `threads` spawns (measured in
-//!   `BENCH_parallel.json`, gated by `qlb-bench-check`);
+//! * workers are spawned **once per run** and parked between rounds;
+//!   dispatching a round is an epoch bump plus one `unpark` per
+//!   participating worker, roughly two orders of magnitude cheaper than
+//!   `threads` spawns (measured in `BENCH_parallel.json`, gated by
+//!   `qlb-bench-check`);
+//! * dispatch wakes **only the shards that have work**
+//!   ([`WorkerPool::run_on`]): a sparse round whose active set fills two
+//!   shards leaves the other six workers parked instead of paying their
+//!   wake latency every round;
 //! * each worker owns a reusable `Vec<Move>` shard buffer that keeps its
 //!   capacity across rounds, so steady-state rounds allocate nothing;
+//! * per-shard profiling slots are cache-line-isolated atomics
+//!   ([`PaddedSlot`]) — the previous `Vec<Mutex<u64>>` packed eight
+//!   hot-written slots into two cache lines, so every timed round
+//!   ping-ponged the lines across all workers;
 //! * jobs borrow the caller's stack (instance, state, protocol) for the
 //!   duration of one dispatch — the [`WorkerPool::run`] barrier returns
 //!   only after every worker has finished, which is what makes the borrow
@@ -22,10 +31,13 @@
 //! same partition the scoped executor used) is both optimal and — more
 //! importantly — **deterministic**: shard boundaries never depend on timing,
 //! so concatenating shard outputs in index order reproduces the sequential
-//! move list byte for byte.
+//! move list byte for byte. Shard boundaries are rounded up to 64-byte
+//! lines of the struct-of-arrays assignment array ([`shard_chunk`]), so two
+//! shards never stream the same cache line.
 
 use qlb_core::Move;
 use qlb_obs::{Phase, Sink};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -44,13 +56,16 @@ struct Job {
 // only dereferenced while the originating `run` call keeps the borrow alive.
 unsafe impl Send for Job {}
 
-/// Coordinator/worker shared state: the current job, its epoch, and the
-/// count of workers still running it.
+/// Coordinator/worker shared state: the current job, its epoch, the number
+/// of shards participating, and the count of workers still running it.
 struct PoolState {
     /// Bumped once per dispatched job; workers wait for it to advance.
     epoch: u64,
     /// The job of the current epoch (present while any worker may run it).
     job: Option<Job>,
+    /// Shards participating in the current epoch (`1..=threads`); workers
+    /// with shard index `>= active` sit the epoch out and stay parked.
+    active: usize,
     /// Workers that have not yet finished the current epoch's job.
     pending: usize,
     /// Set once by `Drop`; workers exit at the next wake.
@@ -59,30 +74,46 @@ struct PoolState {
 
 struct Shared {
     state: Mutex<PoolState>,
-    /// Workers sleep here between rounds.
-    start: Condvar,
-    /// The coordinator sleeps here while `pending > 0`.
+    /// The coordinator sleeps here while `pending > 0`. (Workers sleep in
+    /// `std::thread::park`, woken individually — a shared condvar would
+    /// wake every worker on every dispatch even when only two shards have
+    /// work.)
     done: Condvar,
 }
+
+/// A per-shard profiling slot on its own pair of cache lines.
+///
+/// Every worker writes its slot on every timed round; padding to 128 bytes
+/// (two lines, defeating the adjacent-line prefetcher) keeps those writes
+/// from invalidating each other's lines. Relaxed ordering suffices: the
+/// slot is written before the worker's `pending` decrement (a mutex
+/// release) and read after the coordinator observes `pending == 0` (a
+/// mutex acquire), so the barrier orders the accesses.
+#[repr(align(128))]
+#[derive(Default)]
+struct PaddedSlot(AtomicU64);
+
+const _: () = assert!(std::mem::size_of::<PaddedSlot>() == 128);
 
 /// A pool of long-lived worker threads executing one sharded job at a time.
 ///
 /// Created once per run; [`WorkerPool::run`] dispatches a closure to all
-/// shards (index `0..threads`) and blocks until every shard completed. The
-/// coordinator thread executes shard 0 itself, so a 1-thread pool spawns no
-/// OS threads at all and `run(f)` is exactly `f(0)`.
+/// shards (index `0..threads`) and blocks until every shard completed,
+/// [`WorkerPool::run_on`] to a prefix of them. The coordinator thread
+/// executes shard 0 itself, so a 1-thread pool spawns no OS threads at all
+/// and `run(f)` is exactly `f(0)`.
 pub struct WorkerPool {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
     /// Per-shard reusable move buffers (index 0 = coordinator's shard).
     shards: Vec<Mutex<Vec<Move>>>,
     /// Per-shard compute time of the last timed dispatch, in ns.
-    compute_ns: Vec<Mutex<u64>>,
+    compute_ns: Vec<PaddedSlot>,
     /// Per-shard dispatch wake latency of the last timed dispatch, in ns:
     /// from just before the epoch bump to the closure starting on the
     /// shard. Shard 0 is the coordinator, so its sample measures the
-    /// dispatch lock + notify cost rather than a condvar wake.
-    wake_ns: Vec<Mutex<u64>>,
+    /// dispatch lock + unpark cost rather than a real wake.
+    wake_ns: Vec<PaddedSlot>,
     /// Reusable (compute, wake) snapshot buffers for
     /// [`WorkerPool::decide_round_observed`], so per-shard profiling adds
     /// no steady-state allocation.
@@ -101,10 +132,10 @@ impl WorkerPool {
             state: Mutex::new(PoolState {
                 epoch: 0,
                 job: None,
+                active: 0,
                 pending: 0,
                 shutdown: false,
             }),
-            start: Condvar::new(),
             done: Condvar::new(),
         });
         let workers = (1..threads)
@@ -120,8 +151,8 @@ impl WorkerPool {
             shared,
             workers,
             shards: (0..threads).map(|_| Mutex::new(Vec::new())).collect(),
-            compute_ns: (0..threads).map(|_| Mutex::new(0)).collect(),
-            wake_ns: (0..threads).map(|_| Mutex::new(0)).collect(),
+            compute_ns: (0..threads).map(|_| PaddedSlot::default()).collect(),
+            wake_ns: (0..threads).map(|_| PaddedSlot::default()).collect(),
             profile_scratch: Mutex::new((Vec::new(), Vec::new())),
         }
     }
@@ -136,7 +167,17 @@ impl WorkerPool {
     /// once all shards completed. The closure may borrow the caller's stack
     /// freely — the barrier keeps the borrow alive for exactly the dispatch.
     pub fn run<F: Fn(usize) + Sync>(&self, f: &F) {
-        if self.workers.is_empty() {
+        self.run_on(f, self.threads());
+    }
+
+    /// Execute `f(shard)` for shards `0..active` only, leaving the
+    /// remaining workers parked — the cheap dispatch for rounds whose work
+    /// fills fewer shards than the pool has. `active` is clamped to
+    /// `1..=threads()`; `run_on(f, 1)` is exactly `f(0)` with no wake at
+    /// all.
+    pub fn run_on<F: Fn(usize) + Sync>(&self, f: &F, active: usize) {
+        let active = active.clamp(1, self.threads());
+        if active == 1 {
             f(0);
             return;
         }
@@ -154,8 +195,14 @@ impl WorkerPool {
                 f: long as *const _,
             });
             st.epoch += 1;
-            st.pending = self.workers.len();
-            self.shared.start.notify_all();
+            st.active = active;
+            st.pending = active - 1;
+        }
+        // Wake only the participating workers (worker i drives shard i+1).
+        // The unpark token makes this race-free: a worker that has observed
+        // the new epoch already simply consumes the token at its next park.
+        for w in &self.workers[..active - 1] {
+            w.thread().unpark();
         }
         f(0);
         let mut st = self.shared.state.lock().unwrap();
@@ -165,71 +212,96 @@ impl WorkerPool {
         st.job = None;
     }
 
-    /// Dispatch one **decide round**: each shard fills its private reusable
-    /// buffer via `fill(shard, buf)`, then the buffers are drained into
-    /// `out` in shard order (shard 0 first) — the same concatenation order
-    /// the sequential scan produces. Buffers keep their capacity across
-    /// rounds, so steady-state rounds perform no allocation.
+    /// Dispatch one **decide round** over shards `0..active`: each shard
+    /// fills its private reusable buffer via `fill(shard, buf)`, then the
+    /// buffers are drained into `out` in shard order (shard 0 first) — the
+    /// same concatenation order the sequential scan produces. Buffers keep
+    /// their capacity across rounds, so steady-state rounds perform no
+    /// allocation.
     ///
     /// Returns the longest single-shard compute time in ns when `timed` is
     /// true (0 otherwise) so callers can split fork/join overhead from
     /// useful work in the phase timers.
-    pub fn decide_round<F>(&self, fill: F, out: &mut Vec<Move>, timed: bool) -> u64
+    pub fn decide_round_on<F>(
+        &self,
+        fill: F,
+        out: &mut Vec<Move>,
+        timed: bool,
+        active: usize,
+    ) -> u64
     where
         F: Fn(usize, &mut Vec<Move>) + Sync,
     {
+        let active = active.clamp(1, self.threads());
         let dispatched = timed.then(Instant::now);
-        self.run(&|shard: usize| {
-            if let Some(d0) = dispatched {
-                *self.wake_ns[shard].lock().unwrap() = d0.elapsed().as_nanos() as u64;
-            }
-            let t0 = timed.then(Instant::now);
-            let mut buf = self.shards[shard].lock().unwrap();
-            buf.clear();
-            fill(shard, &mut buf);
-            drop(buf);
-            if let Some(t0) = t0 {
-                *self.compute_ns[shard].lock().unwrap() = t0.elapsed().as_nanos() as u64;
-            }
-        });
+        self.run_on(
+            &|shard: usize| {
+                if let Some(d0) = dispatched {
+                    self.wake_ns[shard]
+                        .0
+                        .store(d0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                }
+                let t0 = timed.then(Instant::now);
+                let mut buf = self.shards[shard].lock().unwrap();
+                buf.clear();
+                fill(shard, &mut buf);
+                drop(buf);
+                if let Some(t0) = t0 {
+                    self.compute_ns[shard]
+                        .0
+                        .store(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                }
+            },
+            active,
+        );
         out.clear();
         let mut max_ns = 0u64;
-        for (i, shard) in self.shards.iter().enumerate() {
+        for (i, shard) in self.shards.iter().take(active).enumerate() {
             out.extend_from_slice(&shard.lock().unwrap());
             if timed {
-                max_ns = max_ns.max(*self.compute_ns[i].lock().unwrap());
+                max_ns = max_ns.max(self.compute_ns[i].0.load(Ordering::Relaxed));
             }
         }
         max_ns
     }
 
-    /// [`WorkerPool::decide_round`] with the observability emission all
+    /// [`WorkerPool::decide_round_on`] over the full pool.
+    pub fn decide_round<F>(&self, fill: F, out: &mut Vec<Move>, timed: bool) -> u64
+    where
+        F: Fn(usize, &mut Vec<Move>) + Sync,
+    {
+        self.decide_round_on(fill, out, timed, self.threads())
+    }
+
+    /// [`WorkerPool::decide_round_on`] with the observability emission all
     /// observed pooled drivers share: `Decide` is the round's wall time,
     /// `Compute` the longest single shard, `ForkJoin` the remainder
     /// (dispatch, join, and shard-buffer drain). With `shard_timing` the
-    /// per-shard compute times (each clipped to the round's wall time, so
-    /// their per-round maximum sums exactly to the `Compute` aggregate)
-    /// and dispatch wake latencies are forwarded to
-    /// [`Sink::shard_round`] as well.
+    /// per-shard compute times of the participating shards (each clipped
+    /// to the round's wall time, so their per-round maximum sums exactly
+    /// to the `Compute` aggregate) and dispatch wake latencies are
+    /// forwarded to [`Sink::shard_round`] as well.
     ///
     /// With a disabled sink this is exactly the untimed
-    /// [`WorkerPool::decide_round`] — no clock reads, no emission.
-    pub fn decide_round_observed<S, F>(
+    /// [`WorkerPool::decide_round_on`] — no clock reads, no emission.
+    pub fn decide_round_observed_on<S, F>(
         &self,
         fill: F,
         out: &mut Vec<Move>,
         sink: &mut S,
         shard_timing: bool,
+        active: usize,
     ) where
         S: Sink,
         F: Fn(usize, &mut Vec<Move>) + Sync,
     {
+        let active = active.clamp(1, self.threads());
         if !S::ENABLED {
-            self.decide_round(fill, out, false);
+            self.decide_round_on(fill, out, false, active);
             return;
         }
         let t0 = Instant::now();
-        let max_ns = self.decide_round(fill, out, true);
+        let max_ns = self.decide_round_on(fill, out, true, active);
         let wall = t0.elapsed().as_nanos() as u64;
         let compute = max_ns.min(wall);
         sink.time(Phase::Decide, wall);
@@ -240,12 +312,26 @@ impl WorkerPool {
             let (compute_v, wake_v) = &mut *scratch;
             compute_v.clear();
             wake_v.clear();
-            for i in 0..self.shards.len() {
-                compute_v.push((*self.compute_ns[i].lock().unwrap()).min(wall));
-                wake_v.push(*self.wake_ns[i].lock().unwrap());
+            for i in 0..active {
+                compute_v.push(self.compute_ns[i].0.load(Ordering::Relaxed).min(wall));
+                wake_v.push(self.wake_ns[i].0.load(Ordering::Relaxed));
             }
             sink.shard_round(compute_v, wake_v);
         }
+    }
+
+    /// [`WorkerPool::decide_round_observed_on`] over the full pool.
+    pub fn decide_round_observed<S, F>(
+        &self,
+        fill: F,
+        out: &mut Vec<Move>,
+        sink: &mut S,
+        shard_timing: bool,
+    ) where
+        S: Sink,
+        F: Fn(usize, &mut Vec<Move>) + Sync,
+    {
+        self.decide_round_observed_on(fill, out, sink, shard_timing, self.threads());
     }
 }
 
@@ -254,7 +340,9 @@ impl Drop for WorkerPool {
         {
             let mut st = self.shared.state.lock().unwrap();
             st.shutdown = true;
-            self.shared.start.notify_all();
+        }
+        for w in &self.workers {
+            w.thread().unpark();
         }
         for w in self.workers.drain(..) {
             let _ = w.join();
@@ -272,15 +360,22 @@ fn worker_loop(shared: &Shared, index: usize) {
                     return;
                 }
                 if st.epoch != seen_epoch {
-                    break;
+                    if index < st.active {
+                        break;
+                    }
+                    // an epoch this worker sits out: acknowledge it so a
+                    // later spurious wake cannot mistake it for fresh work
+                    seen_epoch = st.epoch;
                 }
-                st = shared.start.wait(st).unwrap();
+                drop(st);
+                std::thread::park();
+                st = shared.state.lock().unwrap();
             }
             seen_epoch = st.epoch;
             let job = st.job.as_ref().expect("job set for new epoch");
             Job { f: job.f }
         };
-        // SAFETY: the dispatching `run` call blocks until `pending == 0`,
+        // SAFETY: the dispatching `run_on` call blocks until `pending == 0`,
         // so the borrow behind the pointer is alive for this call.
         (unsafe { &*job.f })(index);
         let mut st = shared.state.lock().unwrap();
@@ -291,11 +386,28 @@ fn worker_loop(shared: &Shared, index: usize) {
     }
 }
 
+/// The shard size the pooled executors use for a round over `len` items on
+/// a `threads`-shard pool: the near-equal split, rounded **up to 16 items
+/// (one 64-byte cache line of the `u32` SoA arrays)** so consecutive
+/// shards never stream the same line of the assignment array.
+pub fn shard_chunk(len: usize, threads: usize) -> usize {
+    len.div_ceil(threads.max(1)).max(1).next_multiple_of(16)
+}
+
+/// Number of non-empty shards a round over `len` items occupies (at least
+/// 1 — an empty round still runs the coordinator's no-op shard). This is
+/// the `active` argument the pooled drivers pass to
+/// [`WorkerPool::run_on`]-based dispatch so workers without a shard stay
+/// parked.
+pub fn shards_for(len: usize, threads: usize) -> usize {
+    len.div_ceil(shard_chunk(len, threads)).max(1)
+}
+
 /// Split `0..n` into at most `threads` contiguous shards of near-equal
-/// size, dropping empty shards (the partition the scoped executor used,
-/// kept identical so both produce the same concatenation order).
+/// size (boundaries cache-line-rounded per [`shard_chunk`]), dropping
+/// empty shards.
 pub fn shard_bounds(n: usize, threads: usize) -> Vec<(usize, usize)> {
-    let chunk = n.div_ceil(threads.max(1)).max(1);
+    let chunk = shard_chunk(n, threads);
     (0..threads)
         .map(|t| ((t * chunk).min(n), ((t + 1) * chunk).min(n)))
         .filter(|(lo, hi)| lo < hi)
@@ -305,7 +417,7 @@ pub fn shard_bounds(n: usize, threads: usize) -> Vec<(usize, usize)> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::atomic::AtomicUsize;
 
     #[test]
     fn runs_every_shard_exactly_once() {
@@ -317,6 +429,54 @@ mod tests {
             });
         }
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 100));
+    }
+
+    #[test]
+    fn run_on_skips_parked_shards() {
+        let pool = WorkerPool::new(4);
+        let hits = [const { AtomicUsize::new(0) }; 4];
+        for _ in 0..50 {
+            pool.run_on(
+                &|i| {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                },
+                2,
+            );
+        }
+        assert_eq!(hits[0].load(Ordering::Relaxed), 50);
+        assert_eq!(hits[1].load(Ordering::Relaxed), 50);
+        assert_eq!(hits[2].load(Ordering::Relaxed), 0);
+        assert_eq!(hits[3].load(Ordering::Relaxed), 0);
+        // the full pool still works after partial dispatches
+        pool.run(&|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) >= 1));
+        assert_eq!(hits[3].load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn run_on_alternating_widths() {
+        // interleave narrow and wide dispatches: every width must hit
+        // exactly its prefix, and sat-out workers must rejoin cleanly
+        let pool = WorkerPool::new(4);
+        let hits = [const { AtomicUsize::new(0) }; 4];
+        let mut expected = [0usize; 4];
+        for round in 0..60 {
+            let active = 1 + round % 4;
+            pool.run_on(
+                &|i| {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                },
+                active,
+            );
+            for e in expected.iter_mut().take(active) {
+                *e += 1;
+            }
+        }
+        for (h, e) in hits.iter().zip(expected) {
+            assert_eq!(h.load(Ordering::Relaxed), e);
+        }
     }
 
     #[test]
@@ -366,6 +526,41 @@ mod tests {
                 assert_eq!(max_ns, 0);
             }
         }
+    }
+
+    #[test]
+    fn decide_round_on_drains_active_shards_only() {
+        use qlb_core::{ResourceId, UserId};
+        let pool = WorkerPool::new(4);
+        let mut out = Vec::new();
+        // seed every shard's buffer with a full dispatch...
+        pool.decide_round(
+            |shard, buf| {
+                buf.push(Move {
+                    user: UserId(shard as u32),
+                    from: ResourceId(0),
+                    to: ResourceId(1),
+                });
+            },
+            &mut out,
+            false,
+        );
+        assert_eq!(out.len(), 4);
+        // ...then a 2-shard round must not leak shard 2/3's stale moves
+        pool.decide_round_on(
+            |shard, buf| {
+                buf.push(Move {
+                    user: UserId(10 + shard as u32),
+                    from: ResourceId(0),
+                    to: ResourceId(1),
+                });
+            },
+            &mut out,
+            false,
+            2,
+        );
+        let users: Vec<u32> = out.iter().map(|mv| mv.user.0).collect();
+        assert_eq!(users, vec![10, 11]);
     }
 
     #[test]
@@ -420,14 +615,28 @@ mod tests {
     }
 
     #[test]
+    fn decide_round_observed_on_profiles_active_prefix() {
+        use qlb_obs::Recorder;
+        let pool = WorkerPool::new(4);
+        let mut rec = Recorder::default();
+        let mut out = Vec::new();
+        for _ in 0..10 {
+            pool.decide_round_observed_on(|_, _| {}, &mut out, &mut rec, true, 2);
+        }
+        let st = rec.shard_timers();
+        assert_eq!(st.num_shards(), 2, "only participating shards profiled");
+        assert_eq!(st.dispatch().count(), 20);
+    }
+
+    #[test]
     fn decide_round_observed_noop_sink_records_nothing() {
         use qlb_obs::NoopSink;
         let pool = WorkerPool::new(2);
         let mut out = Vec::new();
         pool.decide_round_observed(|_, _| {}, &mut out, &mut NoopSink, true);
         // untimed path: the wake/compute slots were never written
-        assert_eq!(*pool.wake_ns[0].lock().unwrap(), 0);
-        assert_eq!(*pool.compute_ns[1].lock().unwrap(), 0);
+        assert_eq!(pool.wake_ns[0].0.load(Ordering::Relaxed), 0);
+        assert_eq!(pool.compute_ns[1].0.load(Ordering::Relaxed), 0);
     }
 
     #[test]
@@ -445,7 +654,29 @@ mod tests {
                 }
                 assert_eq!(covered, n);
                 assert!(bounds.len() <= threads.max(1));
+                if n > 0 {
+                    assert_eq!(bounds.len(), shards_for(n, threads));
+                }
             }
         }
+    }
+
+    #[test]
+    fn shard_boundaries_are_cache_line_rounded() {
+        for n in [100usize, 1000, 1 << 20] {
+            for threads in [2usize, 3, 8] {
+                let chunk = shard_chunk(n, threads);
+                assert_eq!(chunk % 16, 0, "chunk {chunk} not line-rounded");
+                for &(lo, hi) in &shard_bounds(n, threads) {
+                    assert_eq!(lo % 16, 0, "shard start {lo} mid-line");
+                    assert!(hi == n || hi % 16 == 0);
+                }
+                assert_eq!(shards_for(n, threads), shard_bounds(n, threads).len());
+            }
+        }
+        // tiny rounds collapse to one shard instead of waking the pool
+        assert_eq!(shards_for(10, 8), 1);
+        assert_eq!(shards_for(0, 8), 1);
+        assert_eq!(shards_for(17, 8), 2);
     }
 }

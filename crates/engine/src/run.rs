@@ -1,10 +1,14 @@
 //! The round loop: sequential, threaded, and sparse executors.
 
-use crate::pool::{shard_bounds, WorkerPool};
+use crate::pool::{shard_bounds, shard_chunk, shards_for, WorkerPool};
 use crate::trace::Trace;
-use qlb_core::step::{decide_active_into, decide_range_into, decide_round_into, decide_users_into};
-use qlb_core::{overload_potential, ActiveIndex, Instance, Move, Protocol, State, UserId};
+use qlb_core::step::{decide_active_into, decide_round_into, decide_users_into};
+use qlb_core::{
+    overload_potential, ActiveIndex, Instance, Move, Protocol, RoundView, ShardDeltas,
+    ShardScratch, State, UserId,
+};
 use qlb_obs::{timed, Counter, Event, Gauge, NoopSink, Phase, Sink};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Below this many active users a pooled sparse round decides sequentially:
@@ -212,10 +216,83 @@ fn run_dense<P: Protocol + ?Sized, S: Sink>(
     )
 }
 
+/// The pooled dense decide path's owned state: the struct-of-arrays
+/// [`RoundView`] plus one `(deltas, scratch)` slot per shard. During a
+/// dispatch each shard locks only its own slot (uncontended by
+/// construction); between dispatches the coordinator folds the slots back
+/// into the view.
+pub(crate) struct ViewShards {
+    pub(crate) view: RoundView,
+    slots: Vec<Mutex<(ShardDeltas, ShardScratch)>>,
+}
+
+impl ViewShards {
+    pub(crate) fn new(inst: &Instance, state: &State, shards: usize) -> Self {
+        Self {
+            view: RoundView::new(inst, state),
+            slots: (0..shards)
+                .map(|_| Mutex::new((ShardDeltas::new(inst.num_resources()), ShardScratch::new())))
+                .collect(),
+        }
+    }
+
+    /// One pooled dense round: decide all `n` users via the SoA two-pass
+    /// kernel (sharded on cache-line boundaries, waking only non-empty
+    /// shards), then merge the per-shard deltas so the view mirrors the
+    /// post-round state. The move list in `buf` is byte-identical to the
+    /// sequential scan's.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn decide_round<P: Protocol + ?Sized, S: Sink>(
+        &mut self,
+        inst: &Instance,
+        proto: &P,
+        seed: u64,
+        round: u64,
+        pool: &WorkerPool,
+        buf: &mut Vec<Move>,
+        sink: &mut S,
+        shard_timing: bool,
+    ) {
+        let n = inst.num_users();
+        let chunk = shard_chunk(n, pool.threads());
+        let (view, slots) = (&self.view, &self.slots);
+        pool.decide_round_observed_on(
+            |shard, out| {
+                let lo = (shard * chunk).min(n);
+                let hi = ((shard + 1) * chunk).min(n);
+                if lo < hi {
+                    let mut slot = slots[shard].lock().unwrap();
+                    let (deltas, scratch) = &mut *slot;
+                    view.decide_shard_into(inst, proto, seed, round, lo, hi, out, scratch, deltas);
+                }
+            },
+            buf,
+            sink,
+            shard_timing,
+            shards_for(n, pool.threads()),
+        );
+        // Coordinator merge, ordered per the RoundView contract: every
+        // shard's loads first, then the assignment writes, then the bit
+        // repair of each shard's touched set (which needs final loads).
+        timed(sink, Phase::Apply, || {
+            for slot in &self.slots {
+                self.view.merge_loads(&slot.lock().unwrap().0);
+            }
+            self.view.apply_assignments(buf);
+            for slot in &self.slots {
+                self.view.repair_touched(inst, &mut slot.lock().unwrap().0);
+            }
+        });
+    }
+}
+
 /// Dense round loop over a caller-provided persistent [`WorkerPool`]: the
-/// full user range is statically sharded once and every round is one pool
-/// dispatch. No per-round allocation: the pool reuses its shard buffers and
-/// shard boundaries are recomputed as index arithmetic.
+/// full user range is statically sharded once (on cache-line boundaries)
+/// and every round is one pool dispatch deciding against the
+/// struct-of-arrays [`RoundView`] — contiguous assignment/bitmap arrays
+/// instead of the pointer-rich [`State`], per-shard delta buffers instead
+/// of shared counters. No per-round allocation: the pool reuses its shard
+/// buffers, the view its arrays.
 fn run_pooled_dense<P: Protocol + ?Sized, S: Sink>(
     inst: &Instance,
     state: State,
@@ -224,8 +301,7 @@ fn run_pooled_dense<P: Protocol + ?Sized, S: Sink>(
     sink: &mut S,
     pool: &WorkerPool,
 ) -> RunOutcome {
-    let n = inst.num_users();
-    let chunk = n.div_ceil(pool.threads()).max(1);
+    let mut vs = ViewShards::new(inst, &state, pool.threads());
     run_with_decider(
         inst,
         state,
@@ -233,14 +309,15 @@ fn run_pooled_dense<P: Protocol + ?Sized, S: Sink>(
         config,
         sink,
         move |inst, state, proto, seed, round, buf, sink| {
-            pool.decide_round_observed(
-                |shard, out| {
-                    let lo = (shard * chunk).min(n);
-                    let hi = ((shard + 1) * chunk).min(n);
-                    if lo < hi {
-                        decide_range_into(inst, state, proto, seed, round, lo, hi, out);
-                    }
-                },
+            if cfg!(debug_assertions) {
+                vs.view.assert_synced(inst, state);
+            }
+            vs.decide_round(
+                inst,
+                proto,
+                seed,
+                round,
+                pool,
                 buf,
                 sink,
                 config.shard_timing,
@@ -383,6 +460,9 @@ fn run_sparse_core<P: Protocol + ?Sized, S: Sink>(
     }
     let mut moves: Vec<Move> = Vec::new();
     let mut scratch: Vec<UserId> = Vec::new();
+    // SoA view of the dense warm-up rounds (pooled runs only); dropped at
+    // the switch to the sparse index
+    let mut warmup_view: Option<ViewShards> = None;
     let mut rounds = 0u64;
     let mut migrations = 0u64;
     let mut converged = unsat0 == 0;
@@ -405,9 +485,11 @@ fn run_sparse_core<P: Protocol + ?Sized, S: Sink>(
                         index.sorted_active_into(&mut scratch);
                         let len = scratch.len();
                         if len >= SPARSE_POOL_MIN_ACTIVE {
-                            let chunk = len.div_ceil(pool.threads()).max(1);
+                            let chunk = shard_chunk(len, pool.threads());
                             let (state_ref, scratch_ref) = (&state, &scratch);
-                            pool.decide_round_observed(
+                            // wake only the shards the batch fills — small
+                            // active sets stop paying full-pool wake latency
+                            pool.decide_round_observed_on(
                                 |shard, out| {
                                     let lo = (shard * chunk).min(len);
                                     let hi = ((shard + 1) * chunk).min(len);
@@ -426,6 +508,7 @@ fn run_sparse_core<P: Protocol + ?Sized, S: Sink>(
                                 &mut moves,
                                 sink,
                                 config.shard_timing,
+                                shards_for(len, pool.threads()),
                             );
                         } else {
                             moves.clear();
@@ -472,25 +555,17 @@ fn run_sparse_core<P: Protocol + ?Sized, S: Sink>(
             None => {
                 match pool {
                     Some(pool) => {
-                        let chunk = n.div_ceil(pool.threads()).max(1);
-                        let state_ref = &state;
-                        pool.decide_round_observed(
-                            |shard, out| {
-                                let lo = (shard * chunk).min(n);
-                                let hi = ((shard + 1) * chunk).min(n);
-                                if lo < hi {
-                                    decide_range_into(
-                                        inst,
-                                        state_ref,
-                                        proto,
-                                        config.seed,
-                                        rounds,
-                                        lo,
-                                        hi,
-                                        out,
-                                    );
-                                }
-                            },
+                        let vs = warmup_view
+                            .get_or_insert_with(|| ViewShards::new(inst, &state, pool.threads()));
+                        if cfg!(debug_assertions) {
+                            vs.view.assert_synced(inst, &state);
+                        }
+                        vs.decide_round(
+                            inst,
+                            proto,
+                            config.seed,
+                            rounds,
+                            pool,
                             &mut moves,
                             sink,
                             config.shard_timing,
@@ -514,6 +589,7 @@ fn run_sparse_core<P: Protocol + ?Sized, S: Sink>(
                 // kernels; once it shrinks, the index starts paying off
                 if moves.len() * 8 < n {
                     active = Some(ActiveIndex::new(inst, &state));
+                    warmup_view = None;
                     if S::ENABLED {
                         sink.add(Counter::ExecutorSwitches, 1);
                         sink.event(Event::ExecutorSwitch {

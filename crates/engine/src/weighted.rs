@@ -8,19 +8,80 @@
 //! sparse executors are sound for **every** weighted protocol and need no
 //! dense fallback.
 
-use crate::pool::{shard_bounds, WorkerPool};
+use crate::pool::{shard_bounds, shard_chunk, shards_for, WorkerPool};
 use crate::run::Executor;
 use qlb_core::weighted::{
-    decide_weighted_range_into, decide_weighted_round_into, decide_weighted_users_into,
-    WeightedActiveIndex, WeightedInstance, WeightedProtocol, WeightedState,
+    decide_weighted_round_into, decide_weighted_users_into, WeightedActiveIndex, WeightedInstance,
+    WeightedProtocol, WeightedRoundView, WeightedState,
 };
-use qlb_core::{Move, UserId};
+use qlb_core::{Move, ShardDeltas, ShardScratch, UserId};
 use qlb_obs::{timed, Counter, Event, Gauge, NoopSink, Phase, Sink};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Below this many active users a pooled weighted round decides
 /// sequentially (same rationale as the unit model's threshold).
 const SPARSE_POOL_MIN_ACTIVE: usize = 1024;
+
+/// The weighted pooled dense decide path's owned state: the SoA
+/// [`WeightedRoundView`] plus one `(deltas, scratch)` slot per shard —
+/// the weighted mirror of the unit model's `ViewShards` in [`crate::run`].
+struct WeightedViewShards {
+    view: WeightedRoundView,
+    slots: Vec<Mutex<(ShardDeltas, ShardScratch)>>,
+}
+
+impl WeightedViewShards {
+    fn new(inst: &WeightedInstance, state: &WeightedState, shards: usize) -> Self {
+        Self {
+            view: WeightedRoundView::new(inst, state),
+            slots: (0..shards)
+                .map(|_| Mutex::new((ShardDeltas::new(inst.num_resources()), ShardScratch::new())))
+                .collect(),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn decide_round<P: WeightedProtocol + ?Sized, S: Sink>(
+        &mut self,
+        inst: &WeightedInstance,
+        proto: &P,
+        seed: u64,
+        round: u64,
+        pool: &WorkerPool,
+        buf: &mut Vec<Move>,
+        sink: &mut S,
+        shard_timing: bool,
+    ) {
+        let n = inst.num_users();
+        let chunk = shard_chunk(n, pool.threads());
+        let (view, slots) = (&self.view, &self.slots);
+        pool.decide_round_observed_on(
+            |shard, out| {
+                let lo = (shard * chunk).min(n);
+                let hi = ((shard + 1) * chunk).min(n);
+                if lo < hi {
+                    let mut slot = slots[shard].lock().unwrap();
+                    let (deltas, scratch) = &mut *slot;
+                    view.decide_shard_into(inst, proto, seed, round, lo, hi, out, scratch, deltas);
+                }
+            },
+            buf,
+            sink,
+            shard_timing,
+            shards_for(n, pool.threads()),
+        );
+        timed(sink, Phase::Apply, || {
+            for slot in &self.slots {
+                self.view.merge_loads(&slot.lock().unwrap().0);
+            }
+            self.view.apply_assignments(buf);
+            for slot in &self.slots {
+                self.view.repair_touched(inst, &mut slot.lock().unwrap().0);
+            }
+        });
+    }
+}
 
 /// Configuration of one weighted run.
 #[derive(Debug, Clone, Copy)]
@@ -203,6 +264,9 @@ fn run_weighted_core<P: WeightedProtocol + ?Sized, S: Sink>(
     }
     let mut moves: Vec<Move> = Vec::new();
     let mut scratch: Vec<UserId> = Vec::new();
+    // SoA view of the dense pooled rounds; dropped at the switch to the
+    // sparse index
+    let mut warmup_view: Option<WeightedViewShards> = None;
     let mut rounds = 0u64;
     let mut migrations = 0u64;
     let mut weight_moved = 0u64;
@@ -225,9 +289,10 @@ fn run_weighted_core<P: WeightedProtocol + ?Sized, S: Sink>(
                 let len = scratch.len();
                 match pool {
                     Some(pool) if len >= SPARSE_POOL_MIN_ACTIVE => {
-                        let chunk = len.div_ceil(pool.threads()).max(1);
+                        let chunk = shard_chunk(len, pool.threads());
                         let (state_ref, scratch_ref) = (&state, &scratch);
-                        pool.decide_round_observed(
+                        // wake only the shards the batch fills
+                        pool.decide_round_observed_on(
                             |shard, out| {
                                 let lo = (shard * chunk).min(len);
                                 let hi = ((shard + 1) * chunk).min(len);
@@ -246,6 +311,7 @@ fn run_weighted_core<P: WeightedProtocol + ?Sized, S: Sink>(
                             &mut moves,
                             sink,
                             config.shard_timing,
+                            shards_for(len, pool.threads()),
                         );
                     }
                     _ => {
@@ -271,25 +337,18 @@ fn run_weighted_core<P: WeightedProtocol + ?Sized, S: Sink>(
             None => {
                 match pool {
                     Some(pool) => {
-                        let chunk = n.div_ceil(pool.threads()).max(1);
-                        let state_ref = &state;
-                        pool.decide_round_observed(
-                            |shard, out| {
-                                let lo = (shard * chunk).min(n);
-                                let hi = ((shard + 1) * chunk).min(n);
-                                if lo < hi {
-                                    decide_weighted_range_into(
-                                        inst,
-                                        state_ref,
-                                        proto,
-                                        config.seed,
-                                        rounds,
-                                        lo,
-                                        hi,
-                                        out,
-                                    );
-                                }
-                            },
+                        let vs = warmup_view.get_or_insert_with(|| {
+                            WeightedViewShards::new(inst, &state, pool.threads())
+                        });
+                        if cfg!(debug_assertions) {
+                            vs.view.assert_synced(inst, &state);
+                        }
+                        vs.decide_round(
+                            inst,
+                            proto,
+                            config.seed,
+                            rounds,
+                            pool,
                             &mut moves,
                             sink,
                             config.shard_timing,
@@ -331,6 +390,7 @@ fn run_weighted_core<P: WeightedProtocol + ?Sized, S: Sink>(
                 // kernels; once it shrinks, the index starts paying off
                 if use_sparse && moves.len() * 8 < n {
                     active = Some(WeightedActiveIndex::new(inst, &state));
+                    warmup_view = None;
                     if S::ENABLED {
                         sink.add(Counter::ExecutorSwitches, 1);
                         sink.event(Event::ExecutorSwitch {

@@ -283,6 +283,15 @@ fn profile_report(summary: &Summary) -> String {
                 us(max_ns),
             ));
         }
+        if let Some(util) = summary.mean_round_util_pct {
+            // the table above charges every round against the summed
+            // critical path, so a few OS-stalled rounds drag all shards
+            // down; this is the round-by-round balance of the sharding
+            out.push_str(&format!(
+                "mean per-round utilization: {util:.1}% \
+                 (Σ shard compute / (shards × slowest), averaged per round)\n"
+            ));
+        }
     }
     if let Some(skew) = summary.latency_hists.get("barrier_skew") {
         out.push_str(&format!(

@@ -8,12 +8,16 @@
 //! are embarrassingly parallel).
 
 use crate::ExperimentResult;
-use qlb_core::{ResourceId, SlackDamped, State};
-use qlb_engine::{run_observed, run_sparse_observed, Executor, RunConfig};
+use qlb_core::step::decide_round_into;
+use qlb_core::{Move, ResourceId, RoundView, ShardDeltas, ShardScratch, SlackDamped, State};
+use qlb_engine::{
+    run_observed, run_sparse_observed, shard_chunk, shards_for, Executor, RunConfig, WorkerPool,
+};
 use qlb_obs::{Counter, Phase, Recorder};
 use qlb_runtime::{run_distributed, RuntimeConfig};
 use qlb_stats::Table;
 use qlb_workload::{CapacityDist, Placement, Scenario};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Barrier-skew cell for an executor row: p95 of the per-round
@@ -91,6 +95,7 @@ pub fn run(quick: bool) -> ExperimentResult {
     // BENCH_obs.json) and applies uniformly to the timed rows.
     let mut all_equal = true;
     let mut pooled_skew_rounds = 0u64;
+    let mut util_8t = None;
     for threads in [1usize, 2, 4, 8] {
         let mut rec = Recorder::default();
         let t0 = Instant::now();
@@ -107,6 +112,9 @@ pub fn run(quick: bool) -> ExperimentResult {
             && out.state == reference.state;
         all_equal &= same;
         pooled_skew_rounds += rec.shard_timers().rounds();
+        if threads == 8 && rec.shard_timers().rounds() > 0 {
+            util_8t = Some(100.0 * rec.shard_timers().mean_round_utilization());
+        }
         table.row(vec![
             format!("engine ({threads} threads)"),
             out.rounds.to_string(),
@@ -213,6 +221,73 @@ pub fn run(quick: bool) -> ExperimentResult {
         }
     }
 
+    // Table 8c — the SoA round-view kernel against the dense sequential
+    // decide on one endgame round (most users satisfied, where the bitmap
+    // pre-filter turns the round into a streaming scan). Decide phase
+    // only, same measurement the `parallel/scaling` gate of
+    // `qlb-bench-check` re-runs against `BENCH_parallel.json`.
+    let endgame = qlb_engine::run(
+        &inst,
+        State::all_on(&inst, ResourceId(0)),
+        &proto,
+        RunConfig::new(seed, reference.rounds.saturating_sub(2).max(1)),
+    );
+    let eg_state = endgame.state;
+    let reps = if quick { 5 } else { 20 };
+    let time_ns = |f: &mut dyn FnMut()| {
+        f();
+        f(); // warm caches and buffers
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        t0.elapsed().as_nanos() as f64 / reps as f64
+    };
+    let mut out = Vec::new();
+    let seq_ns = time_ns(&mut || {
+        decide_round_into(&inst, &eg_state, &proto, seed, 9, &mut out);
+    });
+    let mut scale_table = Table::new(
+        format!("Table 8c — SoA round-view kernel scaling (endgame round, decide only, n = {n})"),
+        &[
+            "threads",
+            "seq decide (µs)",
+            "SoA pooled decide (µs)",
+            "speedup",
+        ],
+    );
+    let view = RoundView::new(&inst, &eg_state);
+    for threads in [1usize, 2, 4, 8] {
+        let active = shards_for(n, threads);
+        let chunk = shard_chunk(n, threads);
+        let pool = WorkerPool::new(active);
+        let slots: Vec<Mutex<(ShardDeltas, ShardScratch)>> = (0..active)
+            .map(|_| Mutex::new((ShardDeltas::new(inst.num_resources()), ShardScratch::new())))
+            .collect();
+        let (view_ref, inst_ref, slots_ref) = (&view, &inst, &slots);
+        let fill = move |shard: usize, buf: &mut Vec<Move>| {
+            let lo = (shard * chunk).min(n);
+            let hi = ((shard + 1) * chunk).min(n);
+            if lo < hi {
+                let mut slot = slots_ref[shard].lock().unwrap();
+                let (deltas, scratch) = &mut *slot;
+                view_ref.decide_shard_into(inst_ref, &proto, seed, 9, lo, hi, buf, scratch, deltas);
+            }
+        };
+        let pooled_ns = time_ns(&mut || {
+            pool.decide_round_on(fill, &mut out, false, active);
+            for slot in slots_ref {
+                slot.lock().unwrap().0.advance();
+            }
+        });
+        scale_table.row(vec![
+            threads.to_string(),
+            format!("{:.1}", seq_ns / 1e3),
+            format!("{:.1}", pooled_ns / 1e3),
+            format!("{:.2}", seq_ns / pooled_ns),
+        ]);
+    }
+
     let notes = vec![
         format!(
             "equivalence check: all executors bit-identical to the sequential reference: {}",
@@ -230,13 +305,21 @@ pub fn run(quick: bool) -> ExperimentResult {
              per-shard profile; {pooled_skew_rounds} pooled rounds profiled across the \
              threaded rows (— where the executor never dispatched a pooled round)"
         ),
+        match util_8t {
+            Some(u) => format!(
+                "mean per-round shard utilization at 8 threads: {u:.1}% \
+                 (Σ shard compute / (shards × slowest), averaged per round)"
+            ),
+            None => "mean per-round shard utilization at 8 threads: no pooled rounds profiled"
+                .to_string(),
+        },
     ];
 
     ExperimentResult {
         id: "E10",
         artifact: "Table 8",
         title: "Executor equivalence and parallel scaling",
-        tables: vec![table, phase_table],
+        tables: vec![table, phase_table, scale_table],
         notes,
     }
 }
@@ -250,9 +333,17 @@ mod tests {
         let res = run(true);
         assert!(res.notes[0].contains("PASS"), "{:?}", res.notes);
         assert_eq!(res.tables[0].num_rows(), 9);
-        // phase breakdown covers both observed executors
-        assert_eq!(res.tables.len(), 2);
+        // phase breakdown covers both observed executors, and the SoA
+        // scaling table has one row per thread count
+        assert_eq!(res.tables.len(), 3);
         assert!(res.tables[1].num_rows() >= 4);
+        assert_eq!(res.tables[2].num_rows(), 4);
+        assert!(res.tables[2]
+            .to_csv()
+            .lines()
+            .next()
+            .unwrap()
+            .contains("speedup"));
         assert!(res.notes[1].contains("sparse"));
         // every genuinely pooled threaded row carries a numeric
         // barrier-skew cell; single-thread rows fall back to the

@@ -67,6 +67,10 @@ pub struct ShardTimers {
     /// Sum over rounds of the slowest shard's compute time — the
     /// critical path, the denominator of [`ShardTimers::utilization`].
     critical_ns: u64,
+    /// Sum over rounds of that round's utilization (Σ shard compute over
+    /// shards × slowest shard) — the numerator of
+    /// [`ShardTimers::mean_round_utilization`].
+    round_util_sum: f64,
 }
 
 impl ShardTimers {
@@ -82,6 +86,7 @@ impl ShardTimers {
         }
         let mut min = u64::MAX;
         let mut max = 0u64;
+        let mut sum = 0u64;
         for (i, &ns) in compute_ns.iter().enumerate() {
             let (rounds, total, max_one) = &mut self.shards[i];
             *rounds += 1;
@@ -89,9 +94,11 @@ impl ShardTimers {
             *max_one = (*max_one).max(ns);
             min = min.min(ns);
             max = max.max(ns);
+            sum += ns;
         }
         self.skew.observe(max - min);
         self.critical_ns += max;
+        self.round_util_sum += sum as f64 / (compute_ns.len() as u64 * max.max(1)) as f64;
         for &w in wake_ns {
             self.dispatch.observe(w);
         }
@@ -134,6 +141,16 @@ impl ShardTimers {
     pub fn utilization(&self, i: usize) -> f64 {
         let (_, total, _) = self.shard(i);
         total as f64 / self.critical_ns.max(1) as f64
+    }
+
+    /// Mean over pooled rounds of that round's utilization: Σ shard
+    /// compute over shards × the round's slowest shard. Unlike the
+    /// aggregate [`ShardTimers::utilization`] (which charges every round
+    /// against the summed critical path, so a few stalled rounds drag all
+    /// shards down), this measures the round-by-round balance of the
+    /// sharding itself.
+    pub fn mean_round_utilization(&self) -> f64 {
+        self.round_util_sum / self.rounds().max(1) as f64
     }
 
     /// True when no pooled round has been recorded.

@@ -63,6 +63,14 @@ pub enum Record {
         /// Largest single-round compute time in nanoseconds.
         max_ns: u64,
     },
+    /// Mean per-round shard utilization (trailer): Σ shard compute over
+    /// shards × the round's slowest shard, averaged over pooled rounds —
+    /// the balance of the sharding itself, robust to a few stalled rounds
+    /// inflating the aggregate critical path.
+    ShardUtil {
+        /// Mean per-round utilization in percent (100 = perfectly even).
+        mean_round_pct: f64,
+    },
     /// A named latency histogram (trailer): `barrier_skew` (per-round
     /// max−min shard compute time) or `dispatch_wake` (pool epoch/condvar
     /// handoff latency).
@@ -272,6 +280,14 @@ pub(crate) fn write_trailer(
                 rounds,
                 total_ns,
                 max_ns,
+            },
+        );
+    }
+    if !shard_timers.is_empty() {
+        push_record_line(
+            out,
+            &Record::ShardUtil {
+                mean_round_pct: 100.0 * shard_timers.mean_round_utilization(),
             },
         );
     }

@@ -51,6 +51,10 @@ pub struct Summary {
     /// ns, max ns). Empty unless the run used a pooled executor with
     /// shard timing on.
     pub shards: Vec<(u64, u64, u64)>,
+    /// Mean per-round shard utilization in percent (Σ shard compute over
+    /// shards × the round's slowest shard, averaged over pooled rounds);
+    /// `None` when the trace predates the field or holds no shard profile.
+    pub mean_round_util_pct: Option<f64>,
     /// Exported latency histograms by name (`barrier_skew`,
     /// `dispatch_wake`).
     pub latency_hists: BTreeMap<String, LatencySummary>,
@@ -204,6 +208,9 @@ impl Summary {
                 }
                 self.shards[i] = (*rounds, *total_ns, *max_ns);
             }
+            Record::ShardUtil { mean_round_pct } => {
+                self.mean_round_util_pct = Some(*mean_round_pct);
+            }
             Record::LatencyHist {
                 name,
                 count,
@@ -318,6 +325,9 @@ impl Summary {
                 self.shards.len(),
                 rounds
             ));
+            if let Some(util) = self.mean_round_util_pct {
+                out.push_str(&format!(", mean round utilization {util:.1}%"));
+            }
             if let Some(skew) = self.latency_hists.get(SKEW_HIST_NAME) {
                 out.push_str(&format!(
                     ", barrier skew p95 {:.1} µs",

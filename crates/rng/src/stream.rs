@@ -28,11 +28,26 @@ impl RoundStream {
     /// Stream for `stream` (e.g. a user id) in `round` of run `seed`.
     #[inline]
     pub fn new(seed: u64, stream: u64, round: u64) -> Self {
+        Self::from_base(Self::base(seed, stream, round))
+    }
+
+    /// The folded base of the `(seed, stream, round)` stream — the only
+    /// per-stream state. `from_base(base(s, u, t))` is exactly `new(s, u, t)`;
+    /// splitting the two lets batch kernels precompute bases for a whole
+    /// block of users in one pass (see [`fill_round_bases`]) instead of
+    /// re-folding coordinates inside the per-user hot loop.
+    #[inline]
+    pub fn base(seed: u64, stream: u64, round: u64) -> u64 {
         // Fold the three coordinates with two asymmetric pair-mixes.
         // `seed` and `stream` are mixed first so that all rounds of one user
         // share a well-separated lane; `round` then offsets within the lane.
         let lane = mix64_pair(seed, stream);
-        let base = mix64_pair(lane, round);
+        mix64_pair(lane, round)
+    }
+
+    /// Rebuild a fresh (zero-draw) stream from a precomputed base.
+    #[inline]
+    pub fn from_base(base: u64) -> Self {
         Self { base, counter: 0 }
     }
 
@@ -60,6 +75,23 @@ impl Rng64 for RoundStream {
         )));
         self.counter += 1;
         out
+    }
+}
+
+/// Fill `out` with the [`RoundStream::base`] of every stream id in
+/// `streams` for `(seed, round)` — the batched-RNG primitive of the SoA
+/// decide kernel. Each shard refills one small buffer per round from this
+/// and rebuilds streams with [`RoundStream::from_base`]; draw-for-draw the
+/// result is identical to constructing each stream with
+/// [`RoundStream::new`], so batching can never change a decision.
+///
+/// `out` is cleared first; reusing one buffer keeps the hot loop
+/// allocation-free.
+pub fn fill_round_bases(seed: u64, round: u64, streams: &[u32], out: &mut Vec<u64>) {
+    out.clear();
+    out.reserve(streams.len());
+    for &s in streams {
+        out.push(RoundStream::base(seed, s as u64, round));
     }
 }
 
@@ -125,6 +157,30 @@ mod tests {
         let expected = n as f64 / buckets as f64;
         for &c in &counts {
             assert!(((c as f64 - expected) / expected).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn base_round_trip_is_bit_identical() {
+        for (seed, stream, round) in [(0, 0, 0), (7, 11, 13), (u64::MAX, 42, 9)] {
+            let mut a = RoundStream::new(seed, stream, round);
+            let mut b = RoundStream::from_base(RoundStream::base(seed, stream, round));
+            for _ in 0..16 {
+                assert_eq!(a.next_u64(), b.next_u64());
+            }
+        }
+    }
+
+    #[test]
+    fn fill_round_bases_matches_per_user_construction() {
+        let users: Vec<u32> = [3u32, 0, 17, 999_999, 17].into();
+        let mut bases = vec![1, 2, 3]; // stale content must be cleared
+        fill_round_bases(42, 6, &users, &mut bases);
+        assert_eq!(bases.len(), users.len());
+        for (&u, &b) in users.iter().zip(&bases) {
+            let mut batched = RoundStream::from_base(b);
+            let mut fresh = RoundStream::new(42, u as u64, 6);
+            assert_eq!(batched.next_u64(), fresh.next_u64());
         }
     }
 

@@ -39,8 +39,9 @@ fn small_instance() -> impl Strategy<Value = (Instance, State, u64)> {
 /// Canonicalize the clock-derived fields of a trace. Two separate runs of
 /// the same seeded trajectory read different clocks, so byte-identity
 /// between a streamed trace and a post-hoc dump holds for every field
-/// *except* wall-clock durations: `Phase` and `Shard` totals/maxima, and
-/// everything in a `LatencyHist` but its sample count (the percentiles
+/// *except* wall-clock durations: `Phase` and `Shard` totals/maxima, the
+/// `ShardUtil` ratio, and everything in a `LatencyHist` but its sample
+/// count (the percentiles
 /// and power-of-two buckets bin clock readings). Each line is parsed as a
 /// typed [`Record`] and re-serialized, so the normalization itself fails
 /// loudly if the line framing ever breaks.
@@ -71,6 +72,9 @@ fn normalize_timings(text: &str) -> String {
                 *p50_ns = 0;
                 *p95_ns = 0;
                 buckets.clear();
+            }
+            Record::ShardUtil { mean_round_pct } => {
+                *mean_round_pct = 0.0;
             }
             _ => {}
         }
