@@ -1,0 +1,107 @@
+//! **Serving throughput: steady-state placements/sec and placement
+//! latency of the `qlb-serve` stack.**
+//!
+//! Drives the in-process serving stack (wire-protocol parse → admission →
+//! placement → reply, via `qlb_serve::handle_line`) at steady state: every
+//! iteration departs the oldest ticket and places a replacement, with the
+//! background rebalancer ticking under synthetic backlog every batch — the
+//! same loop `qlb-serve`'s daemon executes per request batch, minus the
+//! socket syscalls. The measurement lives in [`qlb_bench::checks`] so this
+//! bench and the `qlb-bench-check` regression gate time exactly the same
+//! thing. Writes a machine-readable summary to `BENCH_serve.json` at the
+//! repository root (referenced from `CHANGES.md`).
+//!
+//! The PR acceptance floor — ≥ 50k placements/sec at n = 10⁶ steady state
+//! with bounded p95 — is recorded in the JSON (`floor_places_per_sec`) and
+//! enforced by `qlb-bench-check`, including `--quick`.
+
+use qlb_bench::checks::{measure_serve, ServeRow, BENCH_SEED as SEED};
+
+/// Committed sizes: the quick-gate size and the acceptance-criterion size.
+const SIZES: &[(usize, u64)] = &[(65_536, 60_000), (1_000_000, 120_000)];
+
+/// The PR's hard throughput floor at n = 10⁶.
+const FLOOR_PLACES_PER_SEC: f64 = 50_000.0;
+
+fn write_summary(rows: &[ServeRow]) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    let mut out = Vec::new();
+    for r in rows {
+        out.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"n\": {},\n",
+                "      \"m\": {},\n",
+                "      \"requests\": {},\n",
+                "      \"elapsed_ms\": {:.1},\n",
+                "      \"places_per_sec\": {:.0},\n",
+                "      \"place_p50_us\": {:.2},\n",
+                "      \"place_p95_us\": {:.2},\n",
+                "      \"place_max_us\": {:.2},\n",
+                "      \"ticks\": {},\n",
+                "      \"rebalance_rounds\": {},\n",
+                "      \"starved_ticks\": {}\n",
+                "    }}"
+            ),
+            r.n,
+            r.m,
+            r.requests,
+            r.elapsed_ms,
+            r.places_per_sec(),
+            r.place_p50_ns as f64 / 1e3,
+            r.place_p95_ns as f64 / 1e3,
+            r.place_max_ns as f64 / 1e3,
+            r.ticks,
+            r.rebalance_rounds,
+            r.starved_ticks,
+        ));
+    }
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"steady-state serving throughput of the qlb-serve stack \
+             (depart + place per iteration, rebalancer ticking under synthetic backlog)\",\n",
+            "  \"seed\": {},\n",
+            "  \"floor_places_per_sec\": {:.0},\n",
+            "  \"results\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        SEED,
+        FLOOR_PLACES_PER_SEC,
+        out.join(",\n"),
+    );
+    std::fs::write(path, json).expect("write BENCH_serve.json");
+    println!("wrote {path}");
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let mut rows = Vec::new();
+    let sizes: &[(usize, u64)] = if smoke { &[(8_192, 4_000)] } else { SIZES };
+    for &(n, requests) in sizes {
+        let row = measure_serve(n, requests);
+        println!(
+            "serve n = {:>8} (m = {:>6}): {:>9.0} places/sec | p50 {:>7.2} µs | p95 {:>7.2} µs \
+             | max {:>8.2} µs | {} ticks, {} rounds, {} starved",
+            row.n,
+            row.m,
+            row.places_per_sec(),
+            row.place_p50_ns as f64 / 1e3,
+            row.place_p95_ns as f64 / 1e3,
+            row.place_max_ns as f64 / 1e3,
+            row.ticks,
+            row.rebalance_rounds,
+            row.starved_ticks,
+        );
+        assert_eq!(
+            row.starved_ticks, 0,
+            "rebalancer starved under backlog — the budget floor is broken"
+        );
+        rows.push(row);
+    }
+    if smoke {
+        println!("smoke mode (--test): BENCH_serve.json not rewritten");
+        return;
+    }
+    write_summary(&rows);
+}

@@ -18,7 +18,13 @@
 //! * **observability sinks**: the measured NoopSink and Recorder overheads
 //!   must stay under the budgets recorded in `BENCH_obs.json`
 //!   (`noop_overhead_budget_pct`, `recorder_overhead_budget_pct`) plus a
-//!   noise margin (`--overhead-margin`, default 3 percentage points).
+//!   noise margin (`--overhead-margin`, default 3 percentage points);
+//! * **serving stack**: steady-state placements/sec through the full
+//!   `qlb-serve` request path must reach at least `--speedup-tolerance` of
+//!   the committed throughput AND the hard acceptance floor recorded in
+//!   `BENCH_serve.json` (`floor_places_per_sec`, 50k/s), placement p95
+//!   latency must stay within `1/tolerance` of the committed value, and
+//!   the background rebalancer must never starve under backlog.
 //!
 //! ```text
 //! qlb-bench-check            # full gate (the committed sizes up to 10^5)
@@ -29,8 +35,8 @@
 //! missing/corrupt baseline JSON.
 
 use qlb_bench::checks::{
-    measure_dispatch, measure_obs, measure_open_sparse, measure_scaling, measure_shard_timing,
-    measure_sparse, measure_weighted_sparse,
+    measure_dispatch, measure_obs, measure_open_sparse, measure_scaling, measure_serve,
+    measure_shard_timing, measure_sparse, measure_weighted_sparse,
 };
 use serde_json::{parse_value_str, Value};
 use std::process::exit;
@@ -279,6 +285,67 @@ fn check_shard_timing(baseline: &Value, reps: usize, margin: f64, gates: &mut Ve
     });
 }
 
+/// Gates for `BENCH_serve.json`: the steady-state serving loop (depart +
+/// place through `handle_line`, rebalancer ticking under synthetic
+/// backlog) re-measured at the committed sizes. Three gates per size:
+///
+/// * throughput ≥ max(committed × tolerance, `floor_places_per_sec`) —
+///   the hard 50k/s acceptance floor applies at every size, so `--quick`
+///   enforces it too;
+/// * placement p95 ≤ committed p95 / tolerance (latency gates invert:
+///   bigger is worse);
+/// * zero starved ticks — the budget floor (`tick_budget ≥ 1`) must hold
+///   however deep the backlog.
+fn check_serve(baseline: &Value, sizes: &[usize], tolerance: f64, gates: &mut Vec<Gate>) {
+    let hard_floor = f64_field(baseline, "floor_places_per_sec").unwrap_or(50_000.0);
+    for &n in sizes {
+        let Some(row) = result_row(baseline, n) else {
+            gates.push(Gate {
+                name: format!("serve/n{n}"),
+                passed: false,
+                detail: format!("no committed row for n = {n} in BENCH_serve.json"),
+            });
+            continue;
+        };
+        let requests = row
+            .get("requests")
+            .and_then(Value::as_u64)
+            .unwrap_or(60_000);
+        let committed_pps = f64_field(row, "places_per_sec").unwrap_or(0.0);
+        let committed_p95 = f64_field(row, "place_p95_us").unwrap_or(0.0);
+        let measured = measure_serve(n, requests);
+        let pps = measured.places_per_sec();
+        let floor = (committed_pps * tolerance).max(hard_floor);
+        gates.push(Gate {
+            name: format!("serve/n{n}/places_per_sec"),
+            passed: pps >= floor,
+            detail: format!(
+                "measured {pps:.0}/s vs committed {committed_pps:.0}/s \
+                 (floor {floor:.0}/s incl. the {hard_floor:.0}/s acceptance floor)"
+            ),
+        });
+        let p95_us = measured.place_p95_ns as f64 / 1e3;
+        let cap = committed_p95 / tolerance;
+        gates.push(Gate {
+            name: format!("serve/n{n}/place_p95"),
+            passed: committed_p95 > 0.0 && p95_us <= cap,
+            detail: format!(
+                "measured p95 {p95_us:.2} µs vs committed {committed_p95:.2} µs \
+                 (cap {cap:.2} µs at tolerance {tolerance})"
+            ),
+        });
+        gates.push(Gate {
+            name: format!("serve/n{n}/rebalancer_liveness"),
+            passed: measured.starved_ticks == 0,
+            detail: format!(
+                "{} of {} backlogged ticks ran zero rebalance rounds \
+                 (budget floor must keep the rebalancer live)",
+                measured.starved_ticks, measured.ticks
+            ),
+        });
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -309,16 +376,24 @@ fn main() {
     let sparse_baseline = load_json(&format!("{root}/BENCH_sparse.json"));
     let obs_baseline = load_json(&format!("{root}/BENCH_obs.json"));
     let parallel_baseline = load_json(&format!("{root}/BENCH_parallel.json"));
+    let serve_baseline = load_json(&format!("{root}/BENCH_serve.json"));
 
     // quick mode exercises every gate at the smallest committed size (a
     // few seconds); the full gate re-measures the committed sizes up to
-    // 10^5 / 262k (the 10^6 row takes multiple seconds per run and adds
-    // nothing to a ratio gate)
-    let (sparse_sizes, obs_sizes, reps): (&[usize], &[usize], usize) = if quick {
-        (&[10_000], &[65_536], 7)
-    } else {
-        (&[10_000, 100_000], &[65_536, 262_144], 15)
-    };
+    // 10^5 / 262k for the ratio gates (their 10^6 rows take multiple
+    // seconds per run and add nothing to a ratio) plus the serve 10^6 row,
+    // where the 50k places/sec acceptance floor is an absolute criterion
+    let (sparse_sizes, obs_sizes, serve_sizes, reps): (&[usize], &[usize], &[usize], usize) =
+        if quick {
+            (&[10_000], &[65_536], &[65_536], 7)
+        } else {
+            (
+                &[10_000, 100_000],
+                &[65_536, 262_144],
+                &[65_536, 1_000_000],
+                15,
+            )
+        };
 
     let mode = if quick { "quick" } else { "full" };
     println!(
@@ -330,6 +405,7 @@ fn main() {
     check_parallel(&parallel_baseline, tolerance, &mut gates);
     check_obs(&obs_baseline, obs_sizes, reps, margin, &mut gates);
     check_shard_timing(&obs_baseline, reps, margin, &mut gates);
+    check_serve(&serve_baseline, serve_sizes, tolerance, &mut gates);
 
     let mut failed = 0usize;
     for g in &gates {
@@ -361,7 +437,10 @@ fn print_help() {
          pool dispatch reduction >= 5x, SoA pooled round >= 3x dense sequential at the\n\
          committed top thread count, and sparse open/weighted drivers beating dense\n\
          (BENCH_parallel.json); NoopSink and Recorder overhead budgets plus the pooled\n\
-         per-shard profiling budget (< 2% on vs off, ~0% disabled) (BENCH_obs.json).\n\
+         per-shard profiling budget (< 2% on vs off, ~0% disabled) (BENCH_obs.json);\n\
+         serving throughput >= max(tolerance x committed, the 50k/s acceptance floor),\n\
+         placement p95 within 1/tolerance of committed, and a never-starved rebalancer\n\
+         (BENCH_serve.json).\n\
          Measurements share code with the benches (qlb_bench::checks), so numbers are\n\
          comparable by construction."
     );

@@ -728,6 +728,143 @@ pub fn measure_shard_timing(n: usize, threads: usize, reps: usize) -> ShardTimin
     }
 }
 
+// ---------------------------------------------------------------------
+// serve daemon measurements (BENCH_serve.json)
+// ---------------------------------------------------------------------
+
+/// One steady-state serving measurement at pool size `n`.
+///
+/// The measured loop drives the in-process serving stack end to end —
+/// wire-protocol parse, admission, placement, reply formatting — through
+/// `qlb_serve::handle_line`, exactly what the daemon's serve loop executes
+/// per request (minus the socket syscalls, which belong to the kernel, not
+/// this codebase). Each iteration departs the oldest ticket and places a
+/// replacement, so the system stays at `n` active slots; every `BATCH`
+/// requests the background rebalancer gets a tick under a synthetic
+/// backlog, which pins the adaptive budget at its floor — the starvation
+/// gate asserts the floor really is a floor.
+#[derive(Debug, Clone)]
+pub struct ServeRow {
+    /// Steady-state active slots.
+    pub n: usize,
+    /// Real resources.
+    pub m: usize,
+    /// Place requests measured.
+    pub requests: u64,
+    /// Wall time of the measured loop, ms.
+    pub elapsed_ms: f64,
+    /// Median in-process placement latency, ns.
+    pub place_p50_ns: u64,
+    /// p95 in-process placement latency, ns.
+    pub place_p95_ns: u64,
+    /// Worst in-process placement latency, ns.
+    pub place_max_ns: u64,
+    /// Scheduler ticks taken during the measured loop.
+    pub ticks: u64,
+    /// Rebalance rounds those ticks executed.
+    pub rebalance_rounds: u64,
+    /// Ticks that had unsatisfied users but executed zero rounds — the
+    /// backpressure budget floor guarantees this stays 0.
+    pub starved_ticks: u64,
+}
+
+impl ServeRow {
+    /// Sustained placements per second over the measured loop (departs and
+    /// rebalance ticks included in the denominator — this is serving
+    /// throughput, not a placement microbenchmark).
+    pub fn places_per_sec(&self) -> f64 {
+        self.requests as f64 / (self.elapsed_ms / 1e3)
+    }
+}
+
+/// Requests between rebalancer ticks in [`measure_serve`] (mirrors the
+/// daemon's default batch of a busy loop).
+const SERVE_BATCH: u64 = 64;
+
+/// Measure steady-state serving at pool size `n` over `requests`
+/// place/depart pairs. Fleet shape mirrors the sparse bench scenario:
+/// `m = n/64` resources with capacity margin γ = 1.25.
+pub fn measure_serve(n: usize, requests: u64) -> ServeRow {
+    use qlb_serve::{handle_line, ServeConfig, ServeCore};
+    let m = (n / 64).max(8);
+    let cap = ((1.25 * n as f64) / m as f64).ceil() as u32;
+    let cfg = ServeConfig::new(BENCH_SEED);
+    let mut core =
+        ServeCore::with_capacities(&vec![cap; m], n + 4_096, cfg).expect("bench fleet is feasible");
+    let mut sink = NoopSink;
+
+    // Warm fill to the steady state and let the rebalancer settle.
+    let mut tickets = std::collections::VecDeque::with_capacity(n + 1);
+    for _ in 0..n {
+        let out = core
+            .place(qlb_core::ClassId(0), 1, &mut sink)
+            .expect("warm fill fits under the admission bound");
+        tickets.push_back(out.user.0);
+    }
+    for _ in 0..10_000 {
+        if core.unsatisfied() == 0 {
+            break;
+        }
+        core.tick(0, false, &mut sink);
+    }
+
+    // Measured loop: depart oldest, place replacement, tick per batch.
+    let place_req = "{\"op\":\"place\"}";
+    let mut lat = Vec::with_capacity(requests as usize);
+    let mut depart_req = String::with_capacity(40);
+    let (mut ticks, mut rounds, mut starved) = (0u64, 0u64, 0u64);
+    let t0 = Instant::now();
+    for i in 0..requests {
+        let oldest = tickets.pop_front().expect("steady state keeps n tickets");
+        depart_req.clear();
+        use std::fmt::Write as _;
+        let _ = write!(depart_req, "{{\"op\":\"depart\",\"user\":{oldest}}}");
+        let reply = handle_line(&mut core, &depart_req, &mut sink);
+        debug_assert!(reply.text.contains("\"ok\":true"), "{}", reply.text);
+        let tp = Instant::now();
+        let reply = handle_line(&mut core, place_req, &mut sink);
+        lat.push(tp.elapsed().as_nanos() as u64);
+        tickets.push_back(extract_user(&reply.text));
+        if (i + 1) % SERVE_BATCH == 0 {
+            let had_work = core.unsatisfied() > 0;
+            let out = core.tick(SERVE_BATCH as usize, false, &mut sink);
+            ticks += 1;
+            rounds += out.rounds as u64;
+            if had_work && out.rounds == 0 {
+                starved += 1;
+            }
+        }
+    }
+    let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+    lat.sort_unstable();
+    let pct = |p: f64| lat[((lat.len() - 1) as f64 * p) as usize];
+    ServeRow {
+        n,
+        m,
+        requests,
+        elapsed_ms,
+        place_p50_ns: pct(0.50),
+        place_p95_ns: pct(0.95),
+        place_max_ns: pct(1.0),
+        ticks,
+        rebalance_rounds: rounds,
+        starved_ticks: starved,
+    }
+}
+
+/// Pull the admitted ticket id out of a place reply without a full JSON
+/// parse (reply extraction is client work, not daemon work — keep it off
+/// the measured path's allocator).
+fn extract_user(reply: &str) -> u32 {
+    let key = "\"user\":";
+    let at = reply.find(key).expect("admitted place reply carries user") + key.len();
+    let digits: String = reply[at..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().expect("user id is numeric")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -802,5 +939,18 @@ mod tests {
         let row = measure_weighted_sparse(4_096);
         assert!(row.rounds > 0);
         assert!(row.dense_ms > 0.0 && row.sparse_ms > 0.0);
+    }
+
+    #[test]
+    fn measure_serve_smoke() {
+        let row = measure_serve(4_096, 2_000);
+        assert_eq!(row.n, 4_096);
+        assert!(row.places_per_sec() > 0.0);
+        assert!(row.place_p95_ns >= row.place_p50_ns);
+        assert!(row.ticks > 0);
+        assert_eq!(
+            row.starved_ticks, 0,
+            "backpressure floor must prevent starvation"
+        );
     }
 }

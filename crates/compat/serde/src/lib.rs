@@ -53,6 +53,22 @@ impl Value {
             .and_then(|entries| entries.iter().find(|(k, _)| k == key).map(|(_, v)| v))
     }
 
+    /// Borrow the string if this value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Interpret this value as `bool` if it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
     /// Interpret this value as `u64` if it is an integral number.
     pub fn as_u64(&self) -> Option<u64> {
         match *self {

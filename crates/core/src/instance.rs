@@ -90,6 +90,70 @@ impl Instance {
         })
     }
 
+    /// Augment this instance with one **parking** resource of effectively
+    /// infinite capacity (`u32::MAX` for every class), appended at index
+    /// `m`, and optionally grow the user pool by `extra[k]` users of class
+    /// `k` (appended after the existing users, so existing user ids are
+    /// unchanged).
+    ///
+    /// This is the open-system "parking trick" as an instance transform:
+    /// users assigned to the parking resource are always satisfied and
+    /// never act, so a driver can model arrivals as reassignments out of
+    /// parking and departures as reassignments back — see
+    /// `qlb-engine::open` and the `qlb-serve` daemon.
+    ///
+    /// # Errors
+    /// [`Error::BadParameter`] if `extra` is non-empty and its length is
+    /// not the class count.
+    pub fn with_parking(&self, extra: &[usize]) -> Result<Instance> {
+        let kk = self.num_classes();
+        if !extra.is_empty() && extra.len() != kk {
+            return Err(Error::BadParameter {
+                detail: format!("extra has {} entries for {kk} classes", extra.len()),
+            });
+        }
+        let m = self.num_resources();
+        let mut resources = self.resources.clone();
+        resources.push(Resource {
+            speed: u32::MAX as f64,
+        });
+        // Re-flatten row-major with the parking column appended per class.
+        let mut eff_cap = Vec::with_capacity(kk * (m + 1));
+        for k in 0..kk {
+            eff_cap.extend_from_slice(&self.eff_cap[k * m..(k + 1) * m]);
+            eff_cap.push(u32::MAX);
+        }
+        let mut class_of = self.class_of.clone();
+        for (k, &count) in extra.iter().enumerate() {
+            class_of.extend(std::iter::repeat_n(ClassId(k as u32), count));
+        }
+        Ok(Instance {
+            resources,
+            classes: self.classes.clone(),
+            class_of,
+            eff_cap,
+        })
+    }
+
+    /// A copy of this instance with resource `r` drained: its effective
+    /// capacity is zeroed for **every** class, so no user is ever satisfied
+    /// there and load-aware protocols never migrate onto it. Occupants of a
+    /// drained resource become unsatisfied and the sampling protocol walks
+    /// them off — this is how `qlb-serve` retires a resource without a
+    /// dedicated migration code path.
+    ///
+    /// # Panics
+    /// Panics if `r` is out of range.
+    pub fn with_resource_drained(&self, r: ResourceId) -> Instance {
+        let m = self.num_resources();
+        assert!(r.index() < m, "resource {} out of range", r.index());
+        let mut drained = self.clone();
+        for k in 0..self.num_classes() {
+            drained.eff_cap[k * m + r.index()] = 0;
+        }
+        drained
+    }
+
     // ------------------------------------------------------------------
     // dimensions
     // ------------------------------------------------------------------
@@ -602,5 +666,51 @@ mod tests {
     fn slack_factor_panics_on_empty() {
         let inst = Instance::uniform(0, 1, 1).unwrap();
         let _ = inst.slack_factor();
+    }
+
+    #[test]
+    fn with_parking_appends_infinite_resource_and_users() {
+        let inst = InstanceBuilder::new()
+            .speeds(vec![1.0, 2.0, 3.0])
+            .latency_class(1.0, 2)
+            .latency_class(2.0, 1)
+            .build()
+            .unwrap();
+        let parked = inst.with_parking(&[3, 0]).unwrap();
+        let m = inst.num_resources();
+        assert_eq!(parked.num_resources(), m + 1);
+        assert_eq!(parked.num_users(), 6);
+        assert_eq!(parked.num_classes(), 2);
+        // existing capacities carry over per class, parking is u32::MAX
+        assert_eq!(parked.cap_row(ClassId(0)), &[1, 2, 3, u32::MAX]);
+        assert_eq!(parked.cap_row(ClassId(1)), &[2, 4, 6, u32::MAX]);
+        // existing user classes unchanged; extras appended to class 0
+        assert_eq!(parked.class_of(UserId(0)), ClassId(0));
+        assert_eq!(parked.class_of(UserId(2)), ClassId(1));
+        assert_eq!(parked.class_of(UserId(5)), ClassId(0));
+        // parking satisfies every class at any load
+        let parking = ResourceId(m as u32);
+        assert!(parked.satisfies(ClassId(0), parking, u32::MAX));
+        assert!(parked.satisfies(ClassId(1), parking, u32::MAX));
+        // class-count mismatch is rejected
+        assert!(inst.with_parking(&[1]).is_err());
+        // empty extra keeps the pool size
+        assert_eq!(inst.with_parking(&[]).unwrap().num_users(), 3);
+    }
+
+    #[test]
+    fn with_resource_drained_zeroes_every_class() {
+        let inst = InstanceBuilder::new()
+            .speeds(vec![1.0, 2.0, 3.0])
+            .latency_class(1.0, 1)
+            .latency_class(2.0, 1)
+            .build()
+            .unwrap();
+        let drained = inst.with_resource_drained(ResourceId(1));
+        assert_eq!(drained.cap_row(ClassId(0)), &[1, 0, 3]);
+        assert_eq!(drained.cap_row(ClassId(1)), &[2, 0, 6]);
+        assert!(!drained.satisfies(ClassId(0), ResourceId(1), 0));
+        // the original is untouched
+        assert_eq!(inst.cap(ClassId(0), ResourceId(1)), 2);
     }
 }

@@ -89,8 +89,8 @@ pub mod prelude {
     pub use crate::potential::{max_overload, overload_potential, quadratic_potential};
     pub use crate::protocol::{
         registry, BlindUniform, ConditionalUniform, Decision, LocalView, PartialParticipation,
-        Protocol, ResourceView, SamplingStrategy, SlackDamped, SlackDampedCapacitySampling,
-        ThresholdLevels,
+        Protocol, ResourceView, RestrictTargets, SamplingStrategy, SlackDamped,
+        SlackDampedCapacitySampling, ThresholdLevels,
     };
     pub use crate::state::{Move, State};
     pub use crate::view::{RoundView, ShardDeltas, ShardScratch};

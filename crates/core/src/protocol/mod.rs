@@ -29,6 +29,7 @@ mod capacity_sampling;
 mod conditional;
 mod levels;
 mod participation;
+mod restricted;
 mod slack;
 
 pub use blind::BlindUniform;
@@ -36,6 +37,7 @@ pub use capacity_sampling::SlackDampedCapacitySampling;
 pub use conditional::ConditionalUniform;
 pub use levels::ThresholdLevels;
 pub use participation::PartialParticipation;
+pub use restricted::RestrictTargets;
 pub use slack::SlackDamped;
 
 use crate::ids::{ClassId, ResourceId, UserId};

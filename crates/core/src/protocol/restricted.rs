@@ -1,0 +1,132 @@
+//! Target-restricted wrapper: confine a kernel's sampling to a prefix of
+//! the resource set.
+//!
+//! Open-system drivers augment the instance with a virtual **parking**
+//! resource of infinite capacity at index `m` (see
+//! [`Instance::with_parking`](crate::Instance::with_parking)). The default
+//! [`Protocol::sample_target`] samples uniformly over *all*
+//! `inst.num_resources()` resources — including parking — so an unwrapped
+//! kernel would occasionally "migrate" a live user into the parking lot,
+//! silently removing it from service. [`RestrictTargets`] fixes the
+//! sampling universe to the first `real` resources while delegating every
+//! decision to the inner kernel, preserving the executor draw-order
+//! contract (one uniform draw for the target, then the kernel's coins).
+
+use super::{Decision, LocalView, Protocol, SamplingStrategy};
+use crate::ids::{ClassId, ResourceId};
+use crate::instance::Instance;
+use qlb_rng::{Rng64, RoundStream};
+
+/// A [`Protocol`] adaptor that samples targets uniformly from the first
+/// `real` resources only, delegating the migration decision (and round
+/// gating) to the wrapped kernel.
+///
+/// Only uniform-sampling kernels can be wrapped: a capacity-proportional
+/// sampler owns its target distribution, and silently replacing it would
+/// change the protocol. The constructor enforces this.
+#[derive(Debug, Clone)]
+pub struct RestrictTargets<P: Protocol + ?Sized> {
+    real: usize,
+    inner: Box<P>,
+}
+
+impl<P: Protocol + ?Sized> RestrictTargets<P> {
+    /// Wrap `inner`, restricting target sampling to resources `0..real`.
+    ///
+    /// # Panics
+    /// Panics if `real` is zero or if `inner` does not use
+    /// [`SamplingStrategy::Uniform`].
+    pub fn new(inner: Box<P>, real: usize) -> Self {
+        assert!(real > 0, "need at least one sampleable resource");
+        assert!(
+            inner.sampling() == SamplingStrategy::Uniform,
+            "RestrictTargets only wraps uniform-sampling kernels (got {})",
+            inner.name()
+        );
+        Self { real, inner }
+    }
+
+    /// The size of the restricted sampling universe.
+    pub fn real_resources(&self) -> usize {
+        self.real
+    }
+
+    /// The wrapped kernel.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+}
+
+impl<P: Protocol + ?Sized> Protocol for RestrictTargets<P> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn sampling(&self) -> SamplingStrategy {
+        SamplingStrategy::Uniform
+    }
+
+    fn sample_target(
+        &self,
+        _inst: &Instance,
+        _view_of_own: ResourceId,
+        rng: &mut RoundStream,
+    ) -> ResourceId {
+        ResourceId(rng.uniform_usize(self.real) as u32)
+    }
+
+    fn decide(&self, view: &LocalView, rng: &mut RoundStream) -> Decision {
+        self.inner.decide(view, rng)
+    }
+
+    fn is_active(&self, class: ClassId, round: u64) -> bool {
+        self.inner.is_active(class, round)
+    }
+
+    fn acts_when_satisfied(&self) -> bool {
+        self.inner.acts_when_satisfied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{BlindUniform, SlackDamped, SlackDampedCapacitySampling};
+
+    #[test]
+    fn samples_stay_inside_the_real_prefix() {
+        // 8 real resources + 1 parking at index 8
+        let inst = Instance::uniform(16, 9, 100).unwrap();
+        let p: RestrictTargets<dyn Protocol> =
+            RestrictTargets::new(Box::new(SlackDamped::default()), 8);
+        for round in 0..200 {
+            let mut rng = RoundStream::new(42, 3, round);
+            let t = p.sample_target(&inst, ResourceId(0), &mut rng);
+            assert!(t.index() < 8, "sampled parking at round {round}");
+        }
+    }
+
+    #[test]
+    fn delegates_decide_to_inner_kernel() {
+        let p = RestrictTargets::new(Box::new(BlindUniform), 4);
+        let v = crate::protocol::test_support::view(5, 4, 0, 4);
+        let mut rng = RoundStream::new(1, 1, 1);
+        // blind always moves
+        assert_eq!(p.decide(&v, &mut rng), Decision::Move);
+        assert_eq!(p.name(), BlindUniform.name());
+        assert!(!p.acts_when_satisfied());
+    }
+
+    #[test]
+    #[should_panic(expected = "uniform-sampling")]
+    fn rejects_capacity_samplers() {
+        let inst = Instance::uniform(4, 4, 5).unwrap();
+        let _ = RestrictTargets::new(Box::new(SlackDampedCapacitySampling::new(&inst)), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn rejects_empty_universe() {
+        let _ = RestrictTargets::new(Box::new(SlackDamped::default()), 0);
+    }
+}

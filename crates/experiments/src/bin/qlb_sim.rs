@@ -64,12 +64,8 @@ fn main() {
     };
 
     let scenario = if let Some(path) = get("--scenario") {
-        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-            eprintln!("cannot read {path}: {e}");
-            exit(2);
-        });
-        Scenario::from_json(&text).unwrap_or_else(|e| {
-            eprintln!("cannot parse {path}: {e}");
+        Scenario::from_path(&path).unwrap_or_else(|e| {
+            eprintln!("{e}");
             exit(2);
         })
     } else if get("--preset").as_deref() == Some("flash-crowd")

@@ -17,10 +17,12 @@
 //! still prints its analysis but the exit status is 1, so scripts can tell
 //! a clean run from an interrupted one. In `--follow` mode the tool prints
 //! one line per round as it lands, stops when the end-of-run trailer
-//! arrives, and gives up after `--idle-ms` without growth.
+//! arrives, gives up after `--idle-ms` without growth, and exits 2 if the
+//! trace file is deleted or truncated mid-follow (both intervals must be
+//! positive integers — zero and negatives are usage errors).
 //!
 //! Exit status: 0 clean, 1 incomplete trace or compare regression, 2 usage
-//! or unreadable/corrupt trace.
+//! or unreadable/corrupt trace (including deleted/truncated mid-follow).
 
 use qlb_obs::recorder::Record;
 use qlb_obs::replay::{Summary, TraceReader};
@@ -83,12 +85,20 @@ fn analyze_cmd(args: &[String]) {
             .and_then(|i| args.get(i + 1))
             .cloned()
     };
+    // Both follow intervals must be strictly positive: a zero poll would
+    // spin, a zero idle timeout would bail before the first poll, and a
+    // negative value is not a duration. All three are usage errors (exit 2).
     let parse_ms = |flag: &str, default: u64| -> u64 {
         get(flag).map_or(default, |s| {
-            s.parse().unwrap_or_else(|_| {
-                eprintln!("bad {flag}");
+            let v: u64 = s.parse().unwrap_or_else(|_| {
+                eprintln!("bad {flag}: expected a positive integer of milliseconds");
                 exit(2)
-            })
+            });
+            if v == 0 {
+                eprintln!("bad {flag}: must be positive, got 0");
+                exit(2);
+            }
+            v
         })
     };
 
@@ -97,7 +107,7 @@ fn analyze_cmd(args: &[String]) {
 
     let summary = if follow {
         let idle_ms = parse_ms("--idle-ms", 10_000);
-        let poll_ms = parse_ms("--poll-ms", 200).max(1);
+        let poll_ms = parse_ms("--poll-ms", 200);
         follow_trace(&path, idle_ms, poll_ms)
     } else {
         load_summary(&path)
@@ -121,6 +131,12 @@ fn profile_cmd(args: &[String]) {
 /// Tail a growing trace: poll the file for new bytes, parse them
 /// incrementally, and print a line per completed round. Returns when the
 /// end-of-run trailer arrives or the file stops growing for `idle_ms`.
+///
+/// A file that does not exist *yet* counts as idle (the writer may still
+/// be starting up), but a file that disappears or shrinks *after* bytes
+/// were read is gone for good — deleted or rotated under the follower —
+/// and waiting out the idle timeout would only hide that. That exits 2
+/// immediately (the documented unreadable-trace status).
 fn follow_trace(path: &str, idle_ms: u64, poll_ms: u64) -> Summary {
     let mut summary = Summary::default();
     let mut reader = TraceReader::new();
@@ -131,8 +147,16 @@ fn follow_trace(path: &str, idle_ms: u64, poll_ms: u64) -> Summary {
     loop {
         // the writer may not have created the file yet; that counts as idle
         let grew = match std::fs::File::open(path) {
+            Err(_) if offset > 0 => {
+                eprintln!("{path}: trace file deleted mid-follow");
+                exit(2);
+            }
             Ok(mut f) => {
                 let len = f.metadata().map(|m| m.len()).unwrap_or(0);
+                if len < offset {
+                    eprintln!("{path}: trace file truncated mid-follow (rotated or rewritten)");
+                    exit(2);
+                }
                 if len > offset {
                     f.seek(SeekFrom::Start(offset)).expect("seek");
                     buf.clear();
@@ -526,8 +550,10 @@ fn print_help() {
          latency, and the top-k congestion heatmap\n  \
          qlb-trace compare A.jsonl B.jsonl   diff two runs (baseline → candidate)\n\n\
          OPTIONS:\n  --follow         poll the file and print each round as it lands\n  \
-         --idle-ms N      stop following after N ms without growth (default 10000)\n  \
-         --poll-ms N      polling interval in ms (default 200)\n  \
+         --idle-ms N      stop following after N ms without growth (default 10000;\n                   \
+         must be a positive integer, else exit 2)\n  \
+         --poll-ms N      polling interval in ms (default 200; must be a positive\n                   \
+         integer, else exit 2)\n  \
          --threshold PCT  compare: flag gated counters that grew more than PCT%\n                   \
          (default 10); wall-clock deltas are never gated\n\n\
          Traces come from qlb-sim --metrics-stream FILE.jsonl (live) or\n\
@@ -536,6 +562,7 @@ fn print_help() {
          [--topk-resources K] [--shard-timing on|off].\n\n\
          EXIT STATUS: 0 clean; 1 incomplete trace (no end-of-run trailer —\n\
          interrupted writer or latched I/O error) or compare regression;\n\
-         2 usage error or unreadable/corrupt trace."
+         2 usage error or unreadable/corrupt trace, including a trace file\n\
+         deleted or truncated while --follow was tailing it."
     );
 }

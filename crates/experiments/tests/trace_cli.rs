@@ -1,0 +1,129 @@
+//! `qlb-trace` CLI contract tests: the `--follow` interval flags are
+//! validated (zero and non-numeric values are usage errors, exit 2), and a
+//! trace file deleted out from under `--follow` exits 2 immediately
+//! instead of idling out — both documented in `qlb-trace --help`.
+
+use qlb_obs::{Event, Sink, StreamSink};
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+fn trace_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_qlb-trace")
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("qlb-trace-cli-{tag}-{}.jsonl", std::process::id()))
+}
+
+/// Write a partial trace (a few round records, flushed, no trailer) — the
+/// shape `--follow` sees while a run is still writing.
+fn write_partial_trace(path: &PathBuf) {
+    let f = std::fs::File::create(path).unwrap();
+    let mut sink = StreamSink::with_flush_every(f, 1);
+    for round in 0..3u64 {
+        sink.event(Event::RoundStart { round, active: 4 });
+        sink.event(Event::RoundEnd {
+            round,
+            migrations: 1,
+            unsatisfied: 3 - round,
+            overload: None,
+        });
+    }
+    // dropped without finish(): buffered lines land, no trailer
+}
+
+#[test]
+fn zero_and_garbage_follow_intervals_are_usage_errors() {
+    let path = temp_path("flags");
+    write_partial_trace(&path);
+    for args in [
+        ["--follow", "--idle-ms", "0"],
+        ["--follow", "--poll-ms", "0"],
+        ["--follow", "--idle-ms", "-50"],
+        ["--follow", "--poll-ms", "soon"],
+    ] {
+        let out = Command::new(trace_bin())
+            .arg(&path)
+            .args(args)
+            .output()
+            .expect("run qlb-trace");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{args:?} should be a usage error; stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("bad --"),
+            "no diagnostic for {args:?}: {stderr}"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn follow_times_out_idle_with_the_incomplete_status() {
+    let path = temp_path("idle");
+    write_partial_trace(&path);
+    let out = Command::new(trace_bin())
+        .arg(&path)
+        .args(["--follow", "--idle-ms", "100", "--poll-ms", "10"])
+        .output()
+        .expect("run qlb-trace");
+    // no trailer ever arrives → incomplete trace, exit 1 (not a crash)
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("no growth"),
+        "missing idle notice: {stdout}"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn deleting_the_trace_mid_follow_exits_2() {
+    let path = temp_path("deleted");
+    write_partial_trace(&path);
+    let mut child = Command::new(trace_bin())
+        .arg(&path)
+        // idle timeout far longer than the test: only deletion can end it
+        .args(["--follow", "--idle-ms", "60000", "--poll-ms", "10"])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn qlb-trace");
+    // give the follower time to read the existing bytes, then delete
+    std::thread::sleep(Duration::from_millis(300));
+    std::fs::remove_file(&path).unwrap();
+    let t0 = Instant::now();
+    let status = loop {
+        if let Some(st) = child.try_wait().expect("try_wait") {
+            break st;
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(20),
+            "qlb-trace kept following a deleted trace"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert_eq!(status.code(), Some(2), "deletion mid-follow must exit 2");
+    let mut stderr = String::new();
+    use std::io::Read;
+    child
+        .stderr
+        .take()
+        .unwrap()
+        .read_to_string(&mut stderr)
+        .unwrap();
+    assert!(
+        stderr.contains("deleted mid-follow"),
+        "missing diagnostic: {stderr}"
+    );
+}

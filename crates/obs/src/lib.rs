@@ -68,7 +68,7 @@ pub mod timers;
 
 pub use event::{Event, EventRing};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
-pub use profile::{top_k_entries, ShardTimers, TopKEntry, TopKSeries};
+pub use profile::{top_k_entries, LatencyHists, ShardTimers, TopKEntry, TopKSeries};
 pub use recorder::Recorder;
 pub use replay::TraceReader;
 pub use sink::{timed, NoopSink, Sink};

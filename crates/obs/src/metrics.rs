@@ -40,6 +40,12 @@ pub enum Counter {
     Departures,
     /// Total weight moved (weighted model).
     WeightMoved,
+    /// Placement requests admitted (`qlb-serve`).
+    Placements,
+    /// Placement requests rejected by admission control (`qlb-serve`).
+    AdmissionRejects,
+    /// Resource drains initiated (`qlb-serve`).
+    Drains,
 }
 
 /// Point-in-time gauges. The discriminant is the dense storage index.
@@ -60,7 +66,7 @@ pub enum Gauge {
 
 impl Counter {
     /// Every counter, in storage order.
-    pub const ALL: [Counter; 15] = [
+    pub const ALL: [Counter; 18] = [
         Counter::Rounds,
         Counter::Migrations,
         Counter::DenseRounds,
@@ -76,6 +82,9 @@ impl Counter {
         Counter::Arrivals,
         Counter::Departures,
         Counter::WeightMoved,
+        Counter::Placements,
+        Counter::AdmissionRejects,
+        Counter::Drains,
     ];
 
     /// Export name (stable; used in JSONL dumps).
@@ -96,6 +105,9 @@ impl Counter {
             Counter::Arrivals => "arrivals",
             Counter::Departures => "departures",
             Counter::WeightMoved => "weight_moved",
+            Counter::Placements => "placements",
+            Counter::AdmissionRejects => "admission_rejects",
+            Counter::Drains => "drains",
         }
     }
 }

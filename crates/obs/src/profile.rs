@@ -31,6 +31,65 @@ pub const SKEW_HIST_NAME: &str = "barrier_skew";
 /// Export name of the dispatch wake-latency histogram.
 pub const WAKE_HIST_NAME: &str = "dispatch_wake";
 
+/// Export name of the all-requests latency histogram (`qlb-serve`):
+/// receipt of a request line to response written.
+pub const REQUEST_HIST_NAME: &str = "request_latency";
+
+/// Export name of the placement-only latency histogram (`qlb-serve`): the
+/// subset of [`REQUEST_HIST_NAME`] covering `place` requests, the quantity
+/// the serve bench gates on.
+pub const PLACE_HIST_NAME: &str = "place_latency";
+
+/// Named latency histograms fed through [`Sink::latency`], in first-seen
+/// order.
+///
+/// Unlike the fixed [`Phase`](crate::Phase) vocabulary, these are open:
+/// a driver can record any named latency series (the serve daemon records
+/// request and placement latencies) and it flows to the trace trailer as a
+/// [`LatencyHist`](crate::recorder::Record::LatencyHist) record without a
+/// schema change. First-seen ordering is deterministic for a deterministic
+/// run, which preserves the byte-identity of [`Recorder`] and
+/// [`StreamSink`] dumps attached to the same run.
+///
+/// [`Sink::latency`]: crate::Sink::latency
+/// [`Recorder`]: crate::Recorder
+/// [`StreamSink`]: crate::StreamSink
+#[derive(Debug, Clone, Default)]
+pub struct LatencyHists {
+    hists: Vec<(&'static str, Histogram)>,
+}
+
+impl LatencyHists {
+    /// Record one sample under `name`, creating the histogram on first use.
+    pub fn record(&mut self, name: &'static str, ns: u64) {
+        match self.hists.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, h)) => h.observe(ns),
+            None => {
+                let mut h = Histogram::default();
+                h.observe(ns);
+                self.hists.push((name, h));
+            }
+        }
+    }
+
+    /// The histogram recorded under `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&Histogram> {
+        self.hists
+            .iter()
+            .find_map(|(n, h)| (*n == name).then_some(h))
+    }
+
+    /// Iterate `(name, histogram)` pairs in first-seen order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &Histogram)> {
+        self.hists.iter().map(|(n, h)| (*n, h))
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.hists.is_empty()
+    }
+}
+
 /// One non-empty bucket of an exported latency histogram: bucket index
 /// (per [`Histogram::bucket_of`]) and its sample count.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]

@@ -3,7 +3,7 @@
 
 use crate::event::{Event, EventRing};
 use crate::metrics::{Counter, Gauge, Histogram, MetricsRegistry};
-use crate::profile::{HistBucket, ShardTimers, TopKEntry, TopKSeries};
+use crate::profile::{HistBucket, LatencyHists, ShardTimers, TopKEntry, TopKSeries};
 use crate::profile::{SKEW_HIST_NAME, WAKE_HIST_NAME};
 use crate::sink::Sink;
 use crate::timers::{Phase, PhaseTimers};
@@ -110,6 +110,7 @@ pub struct Recorder {
     timers: PhaseTimers,
     shard_timers: ShardTimers,
     topk: TopKSeries,
+    latency: LatencyHists,
 }
 
 impl Recorder {
@@ -153,6 +154,12 @@ impl Recorder {
         &self.topk
     }
 
+    /// The named latency histograms (empty unless a driver recorded any,
+    /// e.g. the serve daemon's request latencies).
+    pub fn latency_hists(&self) -> &LatencyHists {
+        &self.latency
+    }
+
     /// Shorthand for a cumulative counter value.
     pub fn counter(&self, c: Counter) -> u64 {
         self.metrics.counter(c)
@@ -180,6 +187,7 @@ impl Recorder {
             &self.metrics,
             &self.timers,
             &self.shard_timers,
+            &self.latency,
             &self.topk,
             self.events.total_recorded(),
             self.events.dropped(),
@@ -223,11 +231,13 @@ pub(crate) fn latency_hist_record(name: &str, h: &Histogram) -> Record {
 /// in stable registry order. This is the single definition of the trailer
 /// layout — [`Recorder::to_jsonl`] and [`crate::StreamSink::finish`] both
 /// call it, so post-hoc dumps and streamed traces stay byte-compatible.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn write_trailer(
     out: &mut String,
     metrics: &MetricsRegistry,
     timers: &PhaseTimers,
     shard_timers: &ShardTimers,
+    latency: &LatencyHists,
     topk: &TopKSeries,
     recorded: u64,
     dropped: u64,
@@ -299,6 +309,11 @@ pub(crate) fn write_trailer(
             push_record_line(out, &latency_hist_record(name, h));
         }
     }
+    for (name, h) in latency.iter() {
+        if h.count() > 0 {
+            push_record_line(out, &latency_hist_record(name, h));
+        }
+    }
     for (round, entries) in topk.samples() {
         push_record_line(
             out,
@@ -341,6 +356,11 @@ impl Sink for Recorder {
     #[inline]
     fn topk(&mut self, round: u64, entries: &[TopKEntry]) {
         self.topk.push(round, entries);
+    }
+
+    #[inline]
+    fn latency(&mut self, name: &'static str, ns: u64) {
+        self.latency.record(name, ns);
     }
 }
 

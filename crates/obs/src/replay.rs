@@ -19,7 +19,7 @@
 //! [`crate::Recorder`]'s dump equals one computed from the re-read file.
 
 use crate::event::Event;
-use crate::profile::SKEW_HIST_NAME;
+use crate::profile::{PLACE_HIST_NAME, REQUEST_HIST_NAME, SKEW_HIST_NAME};
 use crate::recorder::Record;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -335,6 +335,22 @@ impl Summary {
                 ));
             }
             out.push_str(" (see qlb-trace profile)\n");
+        }
+        if let Some(req) = self.latency_hists.get(REQUEST_HIST_NAME) {
+            out.push_str(&format!(
+                "requests: {} served, latency p50 {:.1} µs, p95 {:.1} µs, max {:.1} µs",
+                req.count,
+                req.p50_ns as f64 / 1e3,
+                req.p95_ns as f64 / 1e3,
+                req.max_ns as f64 / 1e3
+            ));
+            if let Some(place) = self.latency_hists.get(PLACE_HIST_NAME) {
+                out.push_str(&format!(
+                    "; placements p95 {:.1} µs",
+                    place.p95_ns as f64 / 1e3
+                ));
+            }
+            out.push('\n');
         }
         if !self.topk.is_empty() {
             out.push_str(&format!(

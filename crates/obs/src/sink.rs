@@ -50,6 +50,13 @@ pub trait Sink {
     /// [`TopKSeries`](crate::profile::TopKSeries).
     #[inline]
     fn topk(&mut self, _round: u64, _entries: &[TopKEntry]) {}
+
+    /// Record one sample of a named latency series (e.g. the serve
+    /// daemon's request latency). Default: ignored — the recording sinks
+    /// accumulate [`LatencyHists`](crate::profile::LatencyHists) and
+    /// export them as trailer records.
+    #[inline]
+    fn latency(&mut self, _name: &'static str, _ns: u64) {}
 }
 
 /// The default sink: records nothing, costs nothing.

@@ -36,7 +36,7 @@
 
 use crate::event::Event;
 use crate::metrics::{Counter, Gauge, MetricsRegistry};
-use crate::profile::{ShardTimers, TopKEntry, TopKSeries};
+use crate::profile::{LatencyHists, ShardTimers, TopKEntry, TopKSeries};
 use crate::recorder::{push_record_line, write_trailer, Record};
 use crate::sink::Sink;
 use crate::timers::{Phase, PhaseTimers};
@@ -63,6 +63,7 @@ pub struct StreamSink<W: Write> {
     timers: PhaseTimers,
     shard_timers: ShardTimers,
     topk: TopKSeries,
+    latency: LatencyHists,
     next_seq: u64,
     /// RoundEnd events seen since the last flush.
     rounds_since_flush: u64,
@@ -88,6 +89,7 @@ impl<W: Write> StreamSink<W> {
             timers: PhaseTimers::default(),
             shard_timers: ShardTimers::default(),
             topk: TopKSeries::default(),
+            latency: LatencyHists::default(),
             next_seq: 0,
             rounds_since_flush: 0,
             flush_every: flush_every.max(1),
@@ -116,6 +118,12 @@ impl<W: Write> StreamSink<W> {
     /// executor ran with shard timing on).
     pub fn shard_timers(&self) -> &ShardTimers {
         &self.shard_timers
+    }
+
+    /// The named latency histograms accumulated so far (empty unless the
+    /// driver records any, e.g. the serve daemon's request latencies).
+    pub fn latency_hists(&self) -> &LatencyHists {
+        &self.latency
     }
 
     /// Shorthand for a cumulative counter value.
@@ -163,6 +171,7 @@ impl<W: Write> StreamSink<W> {
             &self.metrics,
             &self.timers,
             &self.shard_timers,
+            &self.latency,
             &self.topk,
             self.next_seq,
             0,
@@ -227,6 +236,11 @@ impl<W: Write> Sink for StreamSink<W> {
     fn topk(&mut self, round: u64, entries: &[TopKEntry]) {
         self.topk.push(round, entries);
     }
+
+    #[inline]
+    fn latency(&mut self, name: &'static str, ns: u64) {
+        self.latency.record(name, ns);
+    }
 }
 
 impl<W: Write> Drop for StreamSink<W> {
@@ -278,6 +292,7 @@ mod tests {
             sink.time(Phase::Decide, 1_000 + round);
             sink.set(Gauge::Unsatisfied, 9 - round);
             sink.shard_round(&[800 + round, 1_200 + round], &[40 + round, 60 + round]);
+            sink.latency(crate::profile::REQUEST_HIST_NAME, 3_000 + round);
             sink.topk(
                 round,
                 &[

@@ -1,0 +1,175 @@
+//! `qlb-serve` — the QoS placement daemon.
+//!
+//! ```text
+//! qlb-serve --socket /tmp/qlb.sock --resources 64 --cap 16
+//! qlb-serve --tcp 127.0.0.1:7070 --scenario fleet.json --trace serve.jsonl
+//! ```
+//!
+//! Speak the line-delimited JSON protocol over the socket (see
+//! `DESIGN.md` §8), or use `qlb-serve-load` as a ready-made client. With
+//! `--trace`, tail the file with `qlb-trace --follow` for a live ops
+//! dashboard; the trailer (request/placement latency histograms,
+//! admission counters) is flushed on clean shutdown.
+
+use qlb_obs::{NoopSink, StreamSink};
+use qlb_serve::{run_daemon, DaemonOptions, ServeConfig, ServeCore, ServeListener, ServeProtocol};
+use qlb_workload::Scenario;
+use std::io::BufWriter;
+use std::process::exit;
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        print_help();
+        return;
+    }
+    let get = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let parse_u64 = |flag: &str, default: u64| -> u64 {
+        get(flag).map_or(default, |s| {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("bad {flag}");
+                exit(2)
+            })
+        })
+    };
+
+    // --- core configuration ---
+    let seed = parse_u64("--seed", 0);
+    let protocol = match get("--protocol").as_deref() {
+        None => ServeProtocol::SlackDamped,
+        Some(name) => ServeProtocol::from_name(name).unwrap_or_else(|| {
+            eprintln!("unknown protocol {name}; choose slack-damped | conditional");
+            exit(2)
+        }),
+    };
+    let admit_frac: f64 = get("--admit-frac").map_or(0.95, |s| {
+        s.parse().unwrap_or_else(|_| {
+            eprintln!("bad --admit-frac");
+            exit(2)
+        })
+    });
+    if !(admit_frac > 0.0 && admit_frac <= 1.0) {
+        eprintln!("--admit-frac must be in (0, 1]");
+        exit(2);
+    }
+    let cfg = ServeConfig::new(seed)
+        .with_protocol(protocol)
+        .with_admit_frac(admit_frac)
+        .with_max_tick_rounds(parse_u64("--tick-rounds", 8) as u32)
+        .with_probes(parse_u64("--probes", 2) as u32)
+        .with_threads(parse_u64("--threads", 1) as usize);
+
+    // --- the world: a scenario file or a flat fleet ---
+    let core = if let Some(path) = get("--scenario") {
+        let sc = Scenario::from_path(&path).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            exit(2)
+        });
+        let extra = parse_u64("--extra-slots", (sc.num_users() / 4).max(64) as u64) as usize;
+        let build_seed = parse_u64("--build-seed", seed);
+        ServeCore::from_scenario(&sc, build_seed, extra, cfg).unwrap_or_else(|e| {
+            eprintln!("cannot serve scenario {path}: {e}");
+            exit(1)
+        })
+    } else {
+        let m = parse_u64("--resources", 64) as usize;
+        let cap = parse_u64("--cap", 16) as u32;
+        if m == 0 || cap == 0 {
+            eprintln!("--resources and --cap must be at least 1");
+            exit(2);
+        }
+        let pool = parse_u64("--pool", (m as u64) * (cap as u64)) as usize;
+        ServeCore::with_capacities(&vec![cap; m], pool, cfg).unwrap_or_else(|e| {
+            eprintln!("cannot build fleet: {e}");
+            exit(1)
+        })
+    };
+
+    // --- the socket ---
+    let listener = match (get("--socket"), get("--tcp")) {
+        (Some(path), None) => ServeListener::bind_unix(&path).unwrap_or_else(|e| {
+            eprintln!("cannot bind unix socket {path}: {e}");
+            exit(1)
+        }),
+        (None, Some(addr)) => ServeListener::bind_tcp(&addr).unwrap_or_else(|e| {
+            eprintln!("cannot bind tcp {addr}: {e}");
+            exit(1)
+        }),
+        _ => {
+            eprintln!("need exactly one of --socket PATH or --tcp ADDR");
+            exit(2);
+        }
+    };
+
+    let opts = DaemonOptions {
+        max_batch: parse_u64("--batch", 256).max(1) as usize,
+        idle_poll: Duration::from_millis(parse_u64("--idle-ms", 20).max(1)),
+    };
+
+    println!(
+        "qlb-serve listening on {} — {} resources, {} classes, pool {}, protocol {}, φ {admit_frac}",
+        listener.describe(),
+        core.num_resources(),
+        core.num_classes(),
+        core.free_slots() + core.active_slots(),
+        protocol.name(),
+    );
+
+    // --- run, with or without a streaming trace ---
+    let served = if let Some(path) = get("--trace") {
+        let flush_every = parse_u64("--flush-every", qlb_obs::DEFAULT_FLUSH_EVERY);
+        let file = std::fs::File::create(&path).unwrap_or_else(|e| {
+            eprintln!("cannot create {path}: {e}");
+            exit(1)
+        });
+        let mut sink = StreamSink::with_flush_every(BufWriter::new(file), flush_every);
+        let served = run_daemon(core, listener, &mut sink, opts).unwrap_or_else(|e| {
+            eprintln!("serve loop failed: {e}");
+            exit(1)
+        });
+        if let Err(e) = sink.finish() {
+            eprintln!("error finishing trace {path}: {e}");
+            exit(1);
+        }
+        println!("trace written to {path}");
+        served
+    } else {
+        run_daemon(core, listener, &mut NoopSink, opts).unwrap_or_else(|e| {
+            eprintln!("serve loop failed: {e}");
+            exit(1)
+        })
+    };
+    println!("qlb-serve: clean shutdown after {served} requests");
+}
+
+fn print_help() {
+    println!(
+        "qlb-serve — long-running QoS placement daemon\n\n\
+         USAGE:\n  qlb-serve --socket PATH | --tcp ADDR [options]\n\n\
+         WORLD:     --resources M (default 64) --cap C (default 16) --pool N (default M·C)\n           \
+         --scenario FILE [--build-seed N] [--extra-slots K] — serve a workload\n           \
+         scenario's fleet instead, with its placement pre-admitted\n\
+         POLICY:    --protocol slack-damped (default) | conditional — the rebalance kernel\n           \
+         --admit-frac F (default 0.95) — admission utilization bound φ\n           \
+         --tick-rounds K (default 8) — rebalance budget per idle tick (halves per\n           \
+         doubling of request backlog, floor 1)\n           \
+         --probes D (default 2) — placement candidates sampled per request\n\
+         RUNTIME:   --seed N (default 0) --threads T (default 1; >1 enables pooled rounds)\n           \
+         --batch B (default 256) --idle-ms MS (default 20)\n\
+         TRACE:     --trace FILE.jsonl [--flush-every K] — stream the obs trace; tail it\n           \
+         with `qlb-trace --follow FILE.jsonl` as a live dashboard. The trailer\n           \
+         carries request/placement latency histograms and admission counters.\n\n\
+         PROTOCOL (line-delimited JSON over the socket):\n  \
+         {{\"op\":\"place\"[,\"class\":K][,\"weight\":W]}}   admission + placement\n  \
+         {{\"op\":\"depart\",\"user\":U}}                  release a placement\n  \
+         {{\"op\":\"query\"[,\"resource\":R]}}             congestion / satisfaction\n  \
+         {{\"op\":\"drain\",\"resource\":R}}               retire a resource\n  \
+         {{\"op\":\"shutdown\"}}                         flush trailer, exit"
+    );
+}

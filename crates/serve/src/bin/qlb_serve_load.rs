@@ -1,0 +1,247 @@
+//! `qlb-serve-load` — load generator and smoke client for `qlb-serve`.
+//!
+//! ```text
+//! qlb-serve-load --socket /tmp/qlb.sock --placements 100 --drain 0 --shutdown
+//! ```
+//!
+//! Connects to a running daemon, issues `--placements` synchronous place
+//! requests (departing a fraction as it goes to model churn), optionally
+//! drains a resource and polls `query` until the drain completes, then
+//! optionally shuts the daemon down. Prints a client-side latency digest
+//! and exits 0 only if every step succeeded — which is exactly what the
+//! CI smoke job asserts.
+
+use serde_json::{parse_value_str, Value};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::process::exit;
+use std::time::{Duration, Instant};
+
+struct Client {
+    reader: BufReader<Box<dyn std::io::Read>>,
+    writer: Box<dyn Write>,
+    line: String,
+}
+
+impl Client {
+    fn connect_unix(path: &str) -> std::io::Result<Self> {
+        let stream = UnixStream::connect(path)?;
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(Box::new(stream)),
+            writer: Box::new(writer),
+            line: String::new(),
+        })
+    }
+
+    fn connect_tcp(addr: &str) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(Box::new(stream)),
+            writer: Box::new(writer),
+            line: String::new(),
+        })
+    }
+
+    /// One synchronous request; returns the parsed reply.
+    fn ask(&mut self, req: &str) -> Result<Value, String> {
+        self.writer
+            .write_all(req.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("write failed: {e}"))?;
+        self.line.clear();
+        let n = self
+            .reader
+            .read_line(&mut self.line)
+            .map_err(|e| format!("read failed: {e}"))?;
+        if n == 0 {
+            return Err("daemon closed the connection".into());
+        }
+        parse_value_str(self.line.trim()).map_err(|e| format!("bad reply {:?}: {e}", self.line))
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        print_help();
+        return;
+    }
+    let get = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let parse_u64 = |flag: &str, default: u64| -> u64 {
+        get(flag).map_or(default, |s| {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("bad {flag}");
+                exit(2)
+            })
+        })
+    };
+
+    let placements = parse_u64("--placements", 100);
+    let class = parse_u64("--class", 0) as u32;
+    let weight = parse_u64("--weight", 1).max(1) as u32;
+    let depart_every = parse_u64("--depart-every", 4);
+    let drain = get("--drain").map(|s| {
+        s.parse::<u32>().unwrap_or_else(|_| {
+            eprintln!("bad --drain");
+            exit(2)
+        })
+    });
+    let shutdown = args.iter().any(|a| a == "--shutdown");
+    let timeout = Duration::from_millis(parse_u64("--timeout-ms", 30_000));
+
+    let mut client = match (get("--socket"), get("--tcp")) {
+        (Some(path), None) => connect_retry(|| Client::connect_unix(&path), timeout, &path),
+        (None, Some(addr)) => connect_retry(|| Client::connect_tcp(&addr), timeout, &addr),
+        _ => {
+            eprintln!("need exactly one of --socket PATH or --tcp ADDR");
+            exit(2);
+        }
+    };
+
+    // --- placements (with churn) ---
+    let mut tickets: Vec<u64> = Vec::new();
+    let mut admitted = 0u64;
+    let mut rejected = 0u64;
+    let mut lat_us: Vec<u64> = Vec::with_capacity(placements as usize);
+    let place_req = format!("{{\"op\":\"place\",\"class\":{class},\"weight\":{weight}}}");
+    for i in 0..placements {
+        let t0 = Instant::now();
+        let v = client.ask(&place_req).unwrap_or_else(die);
+        lat_us.push(t0.elapsed().as_micros() as u64);
+        expect_ok(&v, "place");
+        if v.get("admitted").and_then(Value::as_bool) == Some(true) {
+            admitted += 1;
+            let user = v
+                .get("user")
+                .and_then(Value::as_u64)
+                .unwrap_or_else(|| die("place reply missing user".into()));
+            tickets.push(user);
+        } else {
+            rejected += 1;
+        }
+        if depart_every > 0 && (i + 1) % depart_every == 0 {
+            if let Some(user) = tickets.pop() {
+                let v = client
+                    .ask(&format!("{{\"op\":\"depart\",\"user\":{user}}}"))
+                    .unwrap_or_else(die);
+                expect_ok(&v, "depart");
+            }
+        }
+    }
+    lat_us.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if lat_us.is_empty() {
+            0
+        } else {
+            lat_us[((lat_us.len() - 1) as f64 * p) as usize]
+        }
+    };
+    println!(
+        "placements: {admitted} admitted, {rejected} rejected; client latency p50 {} µs, p95 {} µs, max {} µs",
+        pct(0.50),
+        pct(0.95),
+        pct(1.0)
+    );
+
+    // --- drain + poll to completion ---
+    if let Some(r) = drain {
+        let v = client
+            .ask(&format!("{{\"op\":\"drain\",\"resource\":{r}}}"))
+            .unwrap_or_else(die);
+        expect_ok(&v, "drain");
+        let occupants = v.get("occupants").and_then(Value::as_u64).unwrap_or(0);
+        let t0 = Instant::now();
+        loop {
+            let v = client
+                .ask(&format!("{{\"op\":\"query\",\"resource\":{r}}}"))
+                .unwrap_or_else(die);
+            expect_ok(&v, "query");
+            let res = v
+                .get("resource")
+                .unwrap_or_else(|| die("query reply missing resource".into()));
+            if res.get("drained").and_then(Value::as_bool) == Some(true) {
+                break;
+            }
+            if t0.elapsed() > timeout {
+                eprintln!("drain of resource {r} did not finish within {timeout:?}");
+                exit(1);
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        println!(
+            "drain: resource {r} emptied of {occupants} occupants in {:.1} ms",
+            t0.elapsed().as_secs_f64() * 1e3
+        );
+    }
+
+    // --- final query + optional shutdown ---
+    let v = client.ask("{\"op\":\"query\"}").unwrap_or_else(die);
+    expect_ok(&v, "query");
+    let active = v.get("active").and_then(Value::as_u64).unwrap_or(0);
+    let unsat = v.get("unsatisfied").and_then(Value::as_u64).unwrap_or(0);
+    println!("final state: {active} active slots, {unsat} unsatisfied");
+
+    if shutdown {
+        let v = client.ask("{\"op\":\"shutdown\"}").unwrap_or_else(die);
+        expect_ok(&v, "shutdown");
+        println!("daemon shut down");
+    }
+}
+
+fn connect_retry<C>(
+    mut connect: impl FnMut() -> std::io::Result<C>,
+    timeout: Duration,
+    what: &str,
+) -> C {
+    let t0 = Instant::now();
+    loop {
+        match connect() {
+            Ok(c) => return c,
+            Err(e) => {
+                if t0.elapsed() > timeout {
+                    eprintln!("cannot connect to {what}: {e}");
+                    exit(1);
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        }
+    }
+}
+
+fn expect_ok(v: &Value, op: &str) {
+    if v.get("ok").and_then(Value::as_bool) != Some(true) {
+        eprintln!("{op} failed: {v:?}");
+        exit(1);
+    }
+}
+
+fn die<T>(msg: String) -> T {
+    eprintln!("{msg}");
+    exit(1);
+}
+
+fn print_help() {
+    println!(
+        "qlb-serve-load — load generator / smoke client for qlb-serve\n\n\
+         USAGE:\n  qlb-serve-load --socket PATH | --tcp ADDR [options]\n\n\
+         OPTIONS:\n  \
+         --placements N   place requests to issue (default 100)\n  \
+         --class K        QoS class to request (default 0)\n  \
+         --weight W       slots per placement (default 1)\n  \
+         --depart-every D depart one earlier ticket every D placements (default 4; 0 = never)\n  \
+         --drain R        drain resource R afterwards and poll query until it empties\n  \
+         --shutdown       shut the daemon down at the end\n  \
+         --timeout-ms MS  connect/drain timeout (default 30000)\n\n\
+         Exits 0 only if every request succeeded (admission rejections are fine)."
+    );
+}

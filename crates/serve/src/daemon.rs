@@ -1,0 +1,354 @@
+//! The socket daemon: listeners, connection fan-in, and the serve loop.
+//!
+//! Topology is deliberately simple and std-only:
+//!
+//! * an **acceptor thread** blocks on the listener (Unix or TCP) and, per
+//!   connection, spawns a **reader thread** that turns the socket into a
+//!   stream of request lines (each stamped with its arrival instant);
+//! * everything funnels through one mpsc channel into the **serve loop**,
+//!   which owns the [`ServeCore`] and the trace sink exclusively — no
+//!   locks, no shared state, and the single-writer discipline keeps the
+//!   whole trajectory deterministic for a fixed request interleaving;
+//! * the loop alternates request batches with scheduler ticks: drain the
+//!   channel, answer up to [`DaemonOptions::max_batch`] requests, then
+//!   give the background rebalancer a tick whose round budget shrinks as
+//!   the backlog grows ([`ServeCore::tick_budget`]) — requests have
+//!   priority, the rebalancer has a floor, neither starves.
+//!
+//! Request latency (receipt → reply written) feeds the
+//! [`REQUEST_HIST_NAME`] histogram through the sink; placements
+//! additionally feed [`PLACE_HIST_NAME`]. Both ride the trace trailer, so
+//! `qlb-trace` reports daemon latency percentiles offline or live.
+
+use crate::core::ServeCore;
+use crate::proto::{handle_line, OpKind};
+use qlb_obs::profile::{PLACE_HIST_NAME, REQUEST_HIST_NAME};
+use qlb_obs::{Event, Sink};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpListener;
+use std::os::unix::net::UnixListener;
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// A bound listening socket.
+#[derive(Debug)]
+pub enum ServeListener {
+    /// Unix-domain stream socket.
+    Unix(UnixListener),
+    /// TCP socket.
+    Tcp(TcpListener),
+}
+
+impl ServeListener {
+    /// Bind a Unix socket at `path` (removing a stale socket file first).
+    pub fn bind_unix(path: &str) -> io::Result<Self> {
+        if std::fs::metadata(path).is_ok() {
+            std::fs::remove_file(path)?;
+        }
+        Ok(Self::Unix(UnixListener::bind(path)?))
+    }
+
+    /// Bind a TCP socket at `addr` (e.g. `127.0.0.1:7070`).
+    pub fn bind_tcp(addr: &str) -> io::Result<Self> {
+        Ok(Self::Tcp(TcpListener::bind(addr)?))
+    }
+
+    /// Human-readable bound address.
+    pub fn describe(&self) -> String {
+        match self {
+            Self::Unix(l) => match l.local_addr() {
+                Ok(a) => format!("unix:{:?}", a),
+                Err(_) => "unix:?".into(),
+            },
+            Self::Tcp(l) => match l.local_addr() {
+                Ok(a) => format!("tcp:{a}"),
+                Err(_) => "tcp:?".into(),
+            },
+        }
+    }
+}
+
+/// Serve-loop tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct DaemonOptions {
+    /// Requests answered per batch before the rebalancer gets a tick.
+    pub max_batch: usize,
+    /// Idle wait per loop iteration when no requests are queued; also the
+    /// idle tick cadence.
+    pub idle_poll: Duration,
+}
+
+impl Default for DaemonOptions {
+    fn default() -> Self {
+        Self {
+            max_batch: 256,
+            idle_poll: Duration::from_millis(20),
+        }
+    }
+}
+
+enum ConnMsg {
+    Open {
+        conn: u64,
+        writer: Box<dyn Write + Send>,
+    },
+    Line {
+        conn: u64,
+        line: String,
+        at: Instant,
+    },
+    Closed {
+        conn: u64,
+    },
+}
+
+fn spawn_reader<R>(conn: u64, stream: R, tx: mpsc::Sender<ConnMsg>)
+where
+    R: Read + Send + 'static,
+{
+    thread::spawn(move || {
+        let reader = BufReader::new(stream);
+        for line in reader.lines() {
+            let Ok(line) = line else { break };
+            let at = Instant::now();
+            if tx.send(ConnMsg::Line { conn, line, at }).is_err() {
+                return; // serve loop is gone
+            }
+        }
+        let _ = tx.send(ConnMsg::Closed { conn });
+    });
+}
+
+fn spawn_acceptor(listener: ServeListener, tx: mpsc::Sender<ConnMsg>) {
+    thread::spawn(move || {
+        let mut next_conn = 0u64;
+        match listener {
+            ServeListener::Unix(l) => {
+                for stream in l.incoming() {
+                    let Ok(stream) = stream else { continue };
+                    let Ok(writer) = stream.try_clone() else {
+                        continue;
+                    };
+                    let conn = next_conn;
+                    next_conn += 1;
+                    if tx
+                        .send(ConnMsg::Open {
+                            conn,
+                            writer: Box::new(writer),
+                        })
+                        .is_err()
+                    {
+                        return;
+                    }
+                    spawn_reader(conn, stream, tx.clone());
+                }
+            }
+            ServeListener::Tcp(l) => {
+                for stream in l.incoming() {
+                    let Ok(stream) = stream else { continue };
+                    let _ = stream.set_nodelay(true);
+                    let Ok(writer) = stream.try_clone() else {
+                        continue;
+                    };
+                    let conn = next_conn;
+                    next_conn += 1;
+                    if tx
+                        .send(ConnMsg::Open {
+                            conn,
+                            writer: Box::new(writer),
+                        })
+                        .is_err()
+                    {
+                        return;
+                    }
+                    spawn_reader(conn, stream, tx.clone());
+                }
+            }
+        }
+    });
+}
+
+/// Run the serve loop until a `shutdown` request arrives. Returns the
+/// number of requests served. The caller finishes the sink afterwards
+/// (writing the trace trailer); the acceptor thread is left parked on
+/// `accept` and dies with the process — documented daemon behavior.
+pub fn run_daemon<S: Sink>(
+    mut core: ServeCore,
+    listener: ServeListener,
+    sink: &mut S,
+    opts: DaemonOptions,
+) -> io::Result<u64> {
+    let (tx, rx) = mpsc::channel::<ConnMsg>();
+    spawn_acceptor(listener, tx);
+    let mut writers: HashMap<u64, Box<dyn Write + Send>> = HashMap::new();
+    let mut queue: VecDeque<(u64, String, Instant)> = VecDeque::new();
+    let mut served = 0u64;
+    let mut shutdown = false;
+
+    let ingest = |msg: ConnMsg,
+                  writers: &mut HashMap<u64, Box<dyn Write + Send>>,
+                  queue: &mut VecDeque<(u64, String, Instant)>| {
+        match msg {
+            ConnMsg::Open { conn, writer } => {
+                writers.insert(conn, writer);
+            }
+            ConnMsg::Line { conn, line, at } => {
+                if !line.trim().is_empty() {
+                    queue.push_back((conn, line, at));
+                }
+            }
+            ConnMsg::Closed { conn } => {
+                writers.remove(&conn);
+            }
+        }
+    };
+
+    while !shutdown {
+        // Ingest: block briefly when idle, then drain whatever is ready.
+        if queue.is_empty() {
+            match rx.recv_timeout(opts.idle_poll) {
+                Ok(msg) => ingest(msg, &mut writers, &mut queue),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        while let Ok(msg) = rx.try_recv() {
+            ingest(msg, &mut writers, &mut queue);
+        }
+
+        // Answer a batch.
+        let batch = queue.len().min(opts.max_batch);
+        let mut placements = 0u64;
+        let mut departures = 0u64;
+        for _ in 0..batch {
+            let (conn, line, at) = queue.pop_front().expect("batch ≤ queue length");
+            let reply = handle_line(&mut core, &line, sink);
+            match reply.kind {
+                OpKind::Place => placements += 1,
+                OpKind::Depart => departures += 1,
+                _ => {}
+            }
+            if let Some(w) = writers.get_mut(&conn) {
+                let sent = w
+                    .write_all(reply.text.as_bytes())
+                    .and_then(|()| w.write_all(b"\n"))
+                    .and_then(|()| w.flush());
+                if sent.is_err() {
+                    writers.remove(&conn);
+                }
+            }
+            if S::ENABLED {
+                let ns = at.elapsed().as_nanos() as u64;
+                sink.latency(REQUEST_HIST_NAME, ns);
+                if reply.kind == OpKind::Place {
+                    sink.latency(PLACE_HIST_NAME, ns);
+                }
+            }
+            served += 1;
+            if reply.shutdown {
+                shutdown = true;
+                break;
+            }
+        }
+        if S::ENABLED && placements + departures > 0 {
+            // Open-system vocabulary: a batch is an arrival/departure wave.
+            if placements > 0 {
+                sink.event(Event::Arrivals {
+                    round: core.round(),
+                    count: placements,
+                });
+            }
+            if departures > 0 {
+                sink.event(Event::Departures {
+                    round: core.round(),
+                    count: departures,
+                });
+            }
+        }
+
+        // Rebalance between batches; heartbeat when we did request work so
+        // a live dashboard sees round records even in a satisfied steady
+        // state.
+        core.tick(queue.len(), batch > 0, sink);
+    }
+    Ok(served)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::ServeConfig;
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+
+    fn temp_sock(tag: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "qlb-serve-daemon-{tag}-{}.sock",
+            std::process::id()
+        ));
+        p
+    }
+
+    #[test]
+    fn unix_daemon_round_trip() {
+        let path = temp_sock("unit");
+        let path_s = path.to_str().unwrap().to_string();
+        let core = ServeCore::with_capacities(&[8; 4], 32, ServeConfig::new(2)).unwrap();
+        let listener = ServeListener::bind_unix(&path_s).unwrap();
+        let handle = thread::spawn(move || {
+            let mut sink = qlb_obs::NoopSink;
+            run_daemon(core, listener, &mut sink, DaemonOptions::default()).unwrap()
+        });
+
+        let stream = UnixStream::connect(&path).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut w = stream;
+        let mut line = String::new();
+        let mut ask = |req: &str, line: &mut String| {
+            w.write_all(req.as_bytes()).unwrap();
+            w.write_all(b"\n").unwrap();
+            w.flush().unwrap();
+            line.clear();
+            reader.read_line(line).unwrap();
+        };
+        ask("{\"op\":\"place\"}", &mut line);
+        assert!(line.contains("\"admitted\":true"), "got {line}");
+        ask("{\"op\":\"query\"}", &mut line);
+        assert!(line.contains("\"active\":1"), "got {line}");
+        ask("{\"op\":\"shutdown\"}", &mut line);
+        assert!(line.contains("\"op\":\"shutdown\""), "got {line}");
+        let served = handle.join().unwrap();
+        assert_eq!(served, 3);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn tcp_daemon_round_trip() {
+        let core = ServeCore::with_capacities(&[8; 4], 32, ServeConfig::new(2)).unwrap();
+        let listener = ServeListener::bind_tcp("127.0.0.1:0").unwrap();
+        let addr = match &listener {
+            ServeListener::Tcp(l) => l.local_addr().unwrap(),
+            _ => unreachable!(),
+        };
+        let handle = thread::spawn(move || {
+            let mut sink = qlb_obs::NoopSink;
+            run_daemon(core, listener, &mut sink, DaemonOptions::default()).unwrap()
+        });
+        let stream = std::net::TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut w = stream;
+        w.write_all(b"{\"op\":\"place\",\"weight\":2}\n{\"op\":\"shutdown\"}\n")
+            .unwrap();
+        w.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"weight\":2"), "got {line}");
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("shutdown"), "got {line}");
+        assert_eq!(handle.join().unwrap(), 2);
+    }
+}

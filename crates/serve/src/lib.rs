@@ -1,0 +1,39 @@
+//! `qlb-serve`: a long-running QoS placement daemon.
+//!
+//! This crate turns the workspace's simulation engine into a *service*:
+//! a daemon that owns a live open-system instance, answers synchronous
+//! placement requests with an admission decision, and keeps a background
+//! rebalancer — the paper's sampling protocol, run through the existing
+//! executor kernels — converging the placement between request batches.
+//!
+//! The crate is split exactly along its trust boundaries:
+//!
+//! * [`core`] — the placement state machine ([`ServeCore`]): admission,
+//!   placement, departure, drains, and the budgeted scheduler tick. Pure
+//!   compute, no I/O; the serve bench and the unit tests drive it
+//!   directly.
+//! * [`proto`] — the line-delimited JSON wire protocol: request parsing
+//!   and reply formatting, one dispatch point ([`proto::handle_line`]).
+//! * [`daemon`] — the socket front-end: Unix/TCP listeners, per
+//!   connection reader threads, and the batch/tick serve loop.
+//!
+//! The `qlb-serve` binary wires the three to a CLI; `qlb-serve-load` is
+//! the matching load/smoke client used by CI and the benches.
+//!
+//! Observability reuses `qlb-obs` wholesale: hand the daemon a
+//! [`StreamSink`](qlb_obs::StreamSink) and `qlb-trace --follow` becomes
+//! the live ops dashboard, with request/placement latency histograms and
+//! admission counters riding the standard trace trailer.
+
+#![warn(missing_docs)]
+
+pub mod core;
+pub mod daemon;
+pub mod proto;
+
+pub use crate::core::{
+    ClassStats, DepartOutcome, DrainOutcome, PlaceOutcome, RejectReason, ResourceStats,
+    ServeConfig, ServeCore, ServeProtocol, TickOutcome,
+};
+pub use crate::daemon::{run_daemon, DaemonOptions, ServeListener};
+pub use crate::proto::{handle_line, parse_request, OpKind, Reply, Request};

@@ -1,0 +1,449 @@
+//! The line-delimited JSON wire protocol.
+//!
+//! Each request is one JSON object on one line; each reply is one JSON
+//! object on one line. The grammar (also documented in `DESIGN.md` §8):
+//!
+//! ```text
+//! {"op":"place"[,"class":K][,"weight":W]}     → admission + placement
+//! {"op":"depart","user":U}                    → release a placement
+//! {"op":"query"[,"resource":R]}               → congestion / satisfaction
+//! {"op":"drain","resource":R}                 → retire a resource
+//! {"op":"shutdown"}                           → flush trailer, exit
+//! ```
+//!
+//! Replies always carry `"ok"`: `true` means the request was understood
+//! and processed — note an admission *rejection* is a processed request
+//! (`"ok":true,"admitted":false,"reason":…`), not an error. `"ok":false`
+//! is reserved for malformed or invalid requests and carries `"error"`.
+//!
+//! Parsing uses the vendored `serde_json` value parser; replies are
+//! hand-formatted (the schema is flat and fixed, and this keeps the
+//! response path allocation-light).
+
+use crate::core::{PlaceOutcome, RejectReason, ServeCore};
+use qlb_core::{ClassId, ResourceId, UserId};
+use qlb_obs::Sink;
+use serde_json::{parse_value_str, Value};
+
+/// A parsed request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// Admission + placement of `weight` slots of `class`.
+    Place {
+        /// QoS class (default 0).
+        class: u32,
+        /// Slots requested (default 1).
+        weight: u32,
+    },
+    /// Release the placement with ticket `user`.
+    Depart {
+        /// Ticket from a `place` reply.
+        user: u32,
+    },
+    /// Congestion / satisfaction snapshot.
+    Query {
+        /// Optional single-resource focus.
+        resource: Option<u32>,
+    },
+    /// Retire a resource.
+    Drain {
+        /// Resource to drain.
+        resource: u32,
+    },
+    /// Flush the trace trailer and exit.
+    Shutdown,
+}
+
+/// Parse one request line. `Err` is a human-readable reason suitable for
+/// an `"ok":false` reply.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = parse_value_str(line).map_err(|e| format!("bad json: {e}"))?;
+    let op = v
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "missing \"op\"".to_string())?;
+    let u32_field = |name: &str| -> Result<Option<u32>, String> {
+        match v.get(name) {
+            None | Some(Value::Null) => Ok(None),
+            Some(x) => match x.as_u64() {
+                Some(n) if n <= u32::MAX as u64 => Ok(Some(n as u32)),
+                _ => Err(format!("\"{name}\" must be a u32")),
+            },
+        }
+    };
+    match op {
+        "place" => {
+            let class = u32_field("class")?.unwrap_or(0);
+            let weight = u32_field("weight")?.unwrap_or(1);
+            if weight == 0 {
+                return Err("\"weight\" must be ≥ 1".into());
+            }
+            Ok(Request::Place { class, weight })
+        }
+        "depart" => {
+            let user = u32_field("user")?.ok_or("\"depart\" needs \"user\"")?;
+            Ok(Request::Depart { user })
+        }
+        "query" => Ok(Request::Query {
+            resource: u32_field("resource")?,
+        }),
+        "drain" => {
+            let resource = u32_field("resource")?.ok_or("\"drain\" needs \"resource\"")?;
+            Ok(Request::Drain { resource })
+        }
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!("unknown op \"{other}\"")),
+    }
+}
+
+/// Which verb a reply answered — the daemon uses this for latency
+/// attribution (placements get their own histogram) and batch events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// A `place` (admitted or rejected).
+    Place,
+    /// A `depart`.
+    Depart,
+    /// A `query`.
+    Query,
+    /// A `drain`.
+    Drain,
+    /// A `shutdown`.
+    Shutdown,
+    /// A malformed request.
+    Invalid,
+}
+
+/// One processed request: the reply line (no trailing newline) plus
+/// routing facts for the daemon loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reply {
+    /// The JSON reply line.
+    pub text: String,
+    /// What kind of request this answered.
+    pub kind: OpKind,
+    /// Whether the daemon should stop after sending this reply.
+    pub shutdown: bool,
+}
+
+impl Reply {
+    fn new(text: String, kind: OpKind) -> Self {
+        Self {
+            text,
+            kind,
+            shutdown: false,
+        }
+    }
+}
+
+fn error_reply(op: OpKind, msg: &str) -> Reply {
+    Reply::new(format!("{{\"ok\":false,\"error\":{}}}", json_str(msg)), op)
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars) —
+/// enough for the error messages we emit.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn place_reply(out: &PlaceOutcome) -> Reply {
+    Reply::new(
+        format!(
+            "{{\"ok\":true,\"op\":\"place\",\"admitted\":true,\"user\":{},\"resource\":{},\"weight\":{},\"load\":{},\"cap\":{},\"satisfied\":{}}}",
+            out.user.0, out.resource.0, out.weight, out.load, out.cap, out.satisfied
+        ),
+        OpKind::Place,
+    )
+}
+
+fn reject_reply(reason: RejectReason) -> Reply {
+    Reply::new(
+        format!(
+            "{{\"ok\":true,\"op\":\"place\",\"admitted\":false,\"reason\":\"{}\"}}",
+            reason.as_str()
+        ),
+        OpKind::Place,
+    )
+}
+
+fn query_reply(core: &ServeCore, resource: Option<u32>) -> Reply {
+    let (placements, rejects, departures, drains) = core.totals();
+    let mut s = format!(
+        "{{\"ok\":true,\"op\":\"query\",\"active\":{},\"free\":{},\"unsatisfied\":{},\"round\":{},\"placements\":{},\"rejects\":{},\"departures\":{},\"drains\":{}",
+        core.active_slots(),
+        core.free_slots(),
+        core.unsatisfied(),
+        core.round(),
+        placements,
+        rejects,
+        departures,
+        drains
+    );
+    s.push_str(",\"draining\":[");
+    for (i, r) in core.draining_resources().iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&r.to_string());
+    }
+    s.push_str("],\"classes\":[");
+    for (i, cs) in core.class_stats().iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"class\":{},\"active\":{},\"unsatisfied\":{}}}",
+            cs.class.0, cs.active, cs.unsatisfied
+        ));
+    }
+    s.push(']');
+    if let Some(r) = resource {
+        let rs = core.resource_stats(ResourceId(r));
+        s.push_str(&format!(
+            ",\"resource\":{{\"id\":{},\"load\":{},\"cap\":{},\"draining\":{},\"drained\":{}}}",
+            rs.resource.0, rs.load, rs.cap, rs.draining, rs.drained
+        ));
+    }
+    s.push('}');
+    Reply::new(s, OpKind::Query)
+}
+
+/// Parse and execute one request line against the core, producing the
+/// reply line. This is the single dispatch point shared by the socket
+/// daemon, the serve bench, and the lifecycle tests.
+pub fn handle_line<S: Sink>(core: &mut ServeCore, line: &str, sink: &mut S) -> Reply {
+    let req = match parse_request(line) {
+        Ok(r) => r,
+        Err(e) => return error_reply(OpKind::Invalid, &e),
+    };
+    match req {
+        Request::Place { class, weight } => {
+            if (class as usize) >= core.num_classes() {
+                return error_reply(
+                    OpKind::Place,
+                    &format!("class {class} out of range (have {})", core.num_classes()),
+                );
+            }
+            match core.place(ClassId(class), weight, sink) {
+                Ok(out) => place_reply(&out),
+                Err(reason) => reject_reply(reason),
+            }
+        }
+        Request::Depart { user } => match core.depart(UserId(user), sink) {
+            Ok(out) => Reply::new(
+                format!(
+                    "{{\"ok\":true,\"op\":\"depart\",\"user\":{user},\"released\":{}}}",
+                    out.released
+                ),
+                OpKind::Depart,
+            ),
+            Err(e) => error_reply(OpKind::Depart, &e),
+        },
+        Request::Query { resource } => {
+            if let Some(r) = resource {
+                if (r as usize) >= core.num_resources() {
+                    return error_reply(
+                        OpKind::Query,
+                        &format!("resource {r} out of range (have {})", core.num_resources()),
+                    );
+                }
+            }
+            query_reply(core, resource)
+        }
+        Request::Drain { resource } => {
+            if (resource as usize) >= core.num_resources() {
+                return error_reply(
+                    OpKind::Drain,
+                    &format!(
+                        "resource {resource} out of range (have {})",
+                        core.num_resources()
+                    ),
+                );
+            }
+            match core.drain(ResourceId(resource), sink) {
+                Ok(out) => Reply::new(
+                    format!(
+                        "{{\"ok\":true,\"op\":\"drain\",\"resource\":{},\"occupants\":{}}}",
+                        out.resource.0, out.occupants
+                    ),
+                    OpKind::Drain,
+                ),
+                Err(e) => error_reply(OpKind::Drain, &e),
+            }
+        }
+        Request::Shutdown => {
+            let mut r = Reply::new(
+                "{\"ok\":true,\"op\":\"shutdown\"}".to_string(),
+                OpKind::Shutdown,
+            );
+            r.shutdown = true;
+            r
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::ServeConfig;
+    use qlb_obs::NoopSink;
+
+    fn core() -> ServeCore {
+        ServeCore::with_capacities(&[4; 8], 64, ServeConfig::new(7)).unwrap()
+    }
+
+    fn get<'v>(v: &'v Value, k: &str) -> &'v Value {
+        v.get(k).unwrap_or_else(|| panic!("missing key {k}"))
+    }
+
+    #[test]
+    fn parse_all_ops() {
+        assert_eq!(
+            parse_request("{\"op\":\"place\"}").unwrap(),
+            Request::Place {
+                class: 0,
+                weight: 1
+            }
+        );
+        assert_eq!(
+            parse_request("{\"op\":\"place\",\"class\":2,\"weight\":3}").unwrap(),
+            Request::Place {
+                class: 2,
+                weight: 3
+            }
+        );
+        assert_eq!(
+            parse_request("{\"op\":\"depart\",\"user\":9}").unwrap(),
+            Request::Depart { user: 9 }
+        );
+        assert_eq!(
+            parse_request("{\"op\":\"query\"}").unwrap(),
+            Request::Query { resource: None }
+        );
+        assert_eq!(
+            parse_request("{\"op\":\"query\",\"resource\":1}").unwrap(),
+            Request::Query { resource: Some(1) }
+        );
+        assert_eq!(
+            parse_request("{\"op\":\"drain\",\"resource\":4}").unwrap(),
+            Request::Drain { resource: 4 }
+        );
+        assert_eq!(
+            parse_request("{\"op\":\"shutdown\"}").unwrap(),
+            Request::Shutdown
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request("{}").is_err());
+        assert!(parse_request("{\"op\":\"fly\"}").is_err());
+        assert!(parse_request("{\"op\":\"depart\"}").is_err());
+        assert!(parse_request("{\"op\":\"drain\"}").is_err());
+        assert!(parse_request("{\"op\":\"place\",\"weight\":0}").is_err());
+        assert!(parse_request("{\"op\":\"place\",\"weight\":-1}").is_err());
+    }
+
+    #[test]
+    fn place_reply_roundtrips_as_json() {
+        let mut c = core();
+        let mut sink = NoopSink;
+        let r = handle_line(&mut c, "{\"op\":\"place\"}", &mut sink);
+        assert_eq!(r.kind, OpKind::Place);
+        assert!(!r.shutdown);
+        let v = parse_value_str(&r.text).unwrap();
+        assert_eq!(get(&v, "ok").as_bool(), Some(true));
+        assert_eq!(get(&v, "admitted").as_bool(), Some(true));
+        let user = get(&v, "user").as_u64().unwrap();
+        // and the ticket departs cleanly
+        let r = handle_line(
+            &mut c,
+            &format!("{{\"op\":\"depart\",\"user\":{user}}}"),
+            &mut sink,
+        );
+        let v = parse_value_str(&r.text).unwrap();
+        assert_eq!(get(&v, "released").as_u64(), Some(1));
+    }
+
+    #[test]
+    fn rejection_is_ok_true() {
+        let mut c = ServeCore::with_capacities(&[1], 2, ServeConfig::new(1)).unwrap();
+        let mut sink = NoopSink;
+        // cap 1, φ=0.95 → floor 0 admitted slots: immediate capacity reject
+        let r = handle_line(&mut c, "{\"op\":\"place\"}", &mut sink);
+        let v = parse_value_str(&r.text).unwrap();
+        assert_eq!(get(&v, "ok").as_bool(), Some(true));
+        assert_eq!(get(&v, "admitted").as_bool(), Some(false));
+        assert_eq!(get(&v, "reason").as_str(), Some("capacity"));
+    }
+
+    #[test]
+    fn query_reports_shape() {
+        let mut c = core();
+        let mut sink = NoopSink;
+        for _ in 0..5 {
+            handle_line(&mut c, "{\"op\":\"place\"}", &mut sink);
+        }
+        handle_line(&mut c, "{\"op\":\"drain\",\"resource\":3}", &mut sink);
+        let r = handle_line(&mut c, "{\"op\":\"query\",\"resource\":3}", &mut sink);
+        let v = parse_value_str(&r.text).unwrap();
+        assert_eq!(get(&v, "active").as_u64(), Some(5));
+        assert_eq!(get(&v, "placements").as_u64(), Some(5));
+        assert_eq!(get(&v, "drains").as_u64(), Some(1));
+        let res = get(&v, "resource");
+        assert_eq!(get(res, "id").as_u64(), Some(3));
+        assert_eq!(get(res, "draining").as_bool(), Some(true));
+        let classes = match get(&v, "classes") {
+            Value::Array(a) => a,
+            other => panic!("classes not an array: {other:?}"),
+        };
+        assert_eq!(classes.len(), 1);
+    }
+
+    #[test]
+    fn invalid_requests_get_ok_false() {
+        let mut c = core();
+        let mut sink = NoopSink;
+        for bad in [
+            "nope",
+            "{\"op\":\"depart\",\"user\":12345}",
+            "{\"op\":\"drain\",\"resource\":99}",
+            "{\"op\":\"query\",\"resource\":99}",
+            "{\"op\":\"place\",\"class\":7}",
+        ] {
+            let r = handle_line(&mut c, bad, &mut sink);
+            let v = parse_value_str(&r.text).unwrap();
+            assert_eq!(get(&v, "ok").as_bool(), Some(false), "line: {bad}");
+            assert!(v.get("error").is_some(), "line: {bad}");
+        }
+    }
+
+    #[test]
+    fn shutdown_sets_flag() {
+        let mut c = core();
+        let mut sink = NoopSink;
+        let r = handle_line(&mut c, "{\"op\":\"shutdown\"}", &mut sink);
+        assert!(r.shutdown);
+        assert_eq!(r.kind, OpKind::Shutdown);
+    }
+
+    #[test]
+    fn json_str_escapes() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

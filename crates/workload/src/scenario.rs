@@ -196,6 +196,16 @@ impl Scenario {
     pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
         serde_json::from_str(s)
     }
+
+    /// Load a scenario from a JSON file — the one loader behind
+    /// `qlb-sim --scenario` and `qlb-serve --scenario`, so every tool
+    /// reports read and parse failures the same way.
+    pub fn from_path(path: impl AsRef<std::path::Path>) -> Result<Self, String> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Self::from_json(&text).map_err(|e| format!("cannot parse {}: {e}", path.display()))
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,95 @@
+//! Placement service: the `qlb-serve` core embedded in-process.
+//!
+//! The daemon in `crates/serve` is a thin socket loop around
+//! [`qoslb::serve::ServeCore`] — everything interesting (admission
+//! control, best-of-k placement probing, weighted groups, draining, and
+//! the background rebalancer running the paper's sampling protocol) lives
+//! in the core and embeds directly. This example runs a small service
+//! lifecycle without any sockets: admit a workload, watch the rebalancer
+//! keep it legal, drain a machine for maintenance, and read the books.
+//!
+//! ```text
+//! cargo run --release --example placement_service
+//! ```
+
+use qoslb::prelude::*;
+use qoslb::serve::ServeProtocol;
+
+fn main() {
+    // A 64-machine fleet, capacity 16 each; pool sized for 800 tenants.
+    let caps = vec![16u32; 64];
+    let mut cfg = ServeConfig::new(42);
+    cfg.protocol = ServeProtocol::SlackDamped;
+    cfg.admit_frac = 0.95; // keep 5% headroom for rebalancing
+    cfg.probes = 2; // best-of-2 placement probing
+    let mut core = ServeCore::with_capacities(&caps, 800, cfg).expect("feasible service");
+    let mut sink = NoopSink;
+
+    // --- admit tenants until admission control says stop ---
+    let mut tickets = Vec::new();
+    let mut rejected = 0u64;
+    for i in 0.. {
+        // every 5th tenant wants a weighted group of 3 co-located slots
+        let weight = if i % 5 == 0 { 3 } else { 1 };
+        match core.place(ClassId(0), weight, &mut sink) {
+            Ok(out) => tickets.push(out.user),
+            Err(reason) => {
+                rejected += 1;
+                println!(
+                    "admission closed after {} tenants ({reason:?})",
+                    tickets.len()
+                );
+                break;
+            }
+        }
+        // the rebalancer runs between request batches, never in-line
+        if i % 64 == 63 {
+            core.tick(0, false, &mut sink);
+        }
+    }
+    println!(
+        "service: {} slots active on {} machines, {} unsatisfied, round {}",
+        core.active_slots(),
+        core.num_resources(),
+        core.unsatisfied(),
+        core.round()
+    );
+
+    // --- drain machine 7 for maintenance ---
+    let drained = core
+        .drain(ResourceId(7), &mut sink)
+        .expect("resource 7 exists");
+    println!(
+        "draining machine 7: {} occupants to walk off via the protocol kernel",
+        drained.occupants
+    );
+    let mut ticks = 0u32;
+    while !core.resource_stats(ResourceId(7)).drained {
+        core.tick(0, false, &mut sink);
+        ticks += 1;
+        assert!(ticks < 10_000, "drain must complete");
+    }
+    println!(
+        "machine 7 empty after {ticks} ticks; {} unsatisfied elsewhere",
+        core.unsatisfied()
+    );
+
+    // settle everyone displaced by the drain
+    let mut settle_migrations = 0u64;
+    while core.unsatisfied() > 0 {
+        settle_migrations += core.tick(0, false, &mut sink).migrations;
+    }
+    let (placements, rejects, _departures, drains) = core.totals();
+    println!(
+        "steady state: {placements} placements, {rejects} rejections \
+         ({rejected} seen here), {drains} drain, {settle_migrations} migrations \
+         to re-settle, everyone satisfied"
+    );
+
+    // --- tenants leave; weighted groups release all their slots at once ---
+    for t in tickets {
+        core.depart(t, &mut sink).expect("live ticket");
+    }
+    assert_eq!(core.active_slots(), 0);
+    println!("all tenants departed; service empty");
+}

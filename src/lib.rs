@@ -20,7 +20,10 @@
 //! * [`topo`] (`qlb-topo`) — resource graphs and topology-restricted
 //!   kernels;
 //! * [`analysis`] (`qlb-analysis`) — exact Markov-chain expectations for
-//!   tiny instances.
+//!   tiny instances;
+//! * [`serve`] (`qlb-serve`) — the `qlb-serve` placement daemon: live
+//!   admission control, synchronous placement, and a background
+//!   rebalancer over a line-delimited JSON socket protocol.
 //!
 //! ## Quickstart
 //!
@@ -48,6 +51,7 @@ pub use qlb_flow as flow;
 pub use qlb_obs as obs;
 pub use qlb_rng as rng;
 pub use qlb_runtime as runtime;
+pub use qlb_serve as serve;
 pub use qlb_stats as stats;
 pub use qlb_topo as topo;
 pub use qlb_workload as workload;
@@ -60,5 +64,6 @@ pub mod prelude {
     };
     pub use qlb_obs::{NoopSink, Recorder, Sink};
     pub use qlb_runtime::{run_distributed, DistributedOutcome, RuntimeConfig};
+    pub use qlb_serve::{RejectReason, ServeConfig, ServeCore};
     pub use qlb_workload::{CapacityDist, ClassSpec, Placement, Scenario};
 }

@@ -35,6 +35,70 @@ fn library_is_nonempty_and_parses() {
     }
 }
 
+/// The four scenarios the docs and CLI examples reference by name must
+/// stay committed under those names — `qlb-sim --scenario` and
+/// `qlb-serve --scenario` point users at these files.
+#[test]
+fn the_documented_scenario_files_exist() {
+    let names = load_all().into_iter().map(|(f, _)| f).collect::<Vec<_>>();
+    for expected in [
+        "flash_crowd.json",
+        "tight_packing.json",
+        "two_tier_qos.json",
+        "zipf_fleet.json",
+    ] {
+        assert!(
+            names.iter().any(|n| n == expected),
+            "scenarios/{expected} is missing (have {names:?})"
+        );
+    }
+}
+
+/// Every shipped scenario must also boot the serving stack: the same
+/// loader feeds `qlb-serve --scenario`, which grandfathers the scenario
+/// population, keeps spare pool slots for live admissions, and rebalances
+/// in the background. One placement and a few ticks must work on each.
+#[test]
+fn every_scenario_boots_the_serving_stack() {
+    use qoslb::serve::{ServeConfig, ServeCore};
+
+    for (file, sc) in load_all() {
+        let mut core = ServeCore::from_scenario(&sc, 0, 64, ServeConfig::new(9))
+            .unwrap_or_else(|e| panic!("{file} does not boot qlb-serve: {e}"));
+        let grandfathered = core.active_slots();
+        assert!(
+            grandfathered >= sc.num_users() as u64,
+            "{file}: scenario population not grandfathered"
+        );
+        let mut sink = qoslb::obs::NoopSink;
+        // A tightly-packed scenario may legitimately answer `Capacity` to
+        // the first live request — admission control doing its job — but
+        // either way the core must answer deterministically, keep its
+        // books, and keep ticking.
+        let placed = core.place(qoslb::core::ClassId(0), 1, &mut sink);
+        match &placed {
+            Ok(_) => assert_eq!(core.active_slots(), grandfathered + 1),
+            Err(reason) => {
+                assert_eq!(
+                    core.active_slots(),
+                    grandfathered,
+                    "{file}: rejected ({reason:?}) yet the books moved"
+                );
+            }
+        }
+        // a few rebalancer ticks with a synthetic backlog must run rounds
+        // when anyone is unsatisfied and never panic when nobody is
+        for _ in 0..5 {
+            core.tick(8, false, &mut sink);
+        }
+        if let Ok(out) = placed {
+            core.depart(out.user, &mut sink)
+                .unwrap_or_else(|e| panic!("{file}: departure failed: {e}"));
+            assert_eq!(core.active_slots(), grandfathered);
+        }
+    }
+}
+
 #[test]
 fn every_scenario_builds_feasibly_across_seeds() {
     for (file, sc) in load_all() {
