@@ -16,10 +16,16 @@
 //! machine-readable summary to `BENCH_obs.json` at the repository root.
 //! Run with `--test` for a smoke pass (tiny sizes, no JSON written) —
 //! used by CI.
+//!
+//! Two marginal-cost sections ride along: the pooled per-shard profiling
+//! overhead (`shard_timing`, recorder on vs off, **< 2 %**) and the live
+//! telemetry plane's windowed aggregation on the steady-state serving loop
+//! (`windowed`, [`qlb_bench::checks::measure_window`], **< 2 %**).
 
 use criterion::Criterion;
 use qlb_bench::checks::{
-    measure_obs, measure_shard_timing, ObsRow, ShardTimingRow, BENCH_SEED as SEED,
+    measure_obs, measure_shard_timing, measure_window, ObsRow, ShardTimingRow, WindowRow,
+    BENCH_SEED as SEED,
 };
 use qlb_core::SlackDamped;
 use qlb_engine::{run, run_observed, Executor, RunConfig};
@@ -35,6 +41,12 @@ const SHARD_TIMING_BUDGET_PCT: f64 = 2.0;
 /// Pooled-run shape of the shard-timing overhead measurement.
 const SHARD_TIMING_N: usize = 65_536;
 const SHARD_TIMING_THREADS: usize = 8;
+/// Committed budget for the windowed-telemetry marginal overhead on the
+/// steady-state serving loop, percent.
+const WINDOW_BUDGET_PCT: f64 = 2.0;
+/// Serving-loop shape of the windowed-telemetry overhead measurement.
+const WINDOW_N: usize = 65_536;
+const WINDOW_REQUESTS: u64 = 16_384;
 
 fn criterion_report(n: usize, c: &mut Criterion) {
     let (inst, start) = qlb_bench::standard_pair(n, SEED);
@@ -89,7 +101,7 @@ fn criterion_shard_timing_report(n: usize, threads: usize, c: &mut Criterion) {
     g.finish();
 }
 
-fn write_summary(rows: &[ObsRow], shard: &ShardTimingRow) {
+fn write_summary(rows: &[ObsRow], shard: &ShardTimingRow, window: &WindowRow) {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
     let mut entries = Vec::new();
     for r in rows {
@@ -150,6 +162,26 @@ fn write_summary(rows: &[ObsRow], shard: &ShardTimingRow) {
         shard.timing_overhead_pct,
         SHARD_TIMING_BUDGET_PCT,
     );
+    let window_entry = format!(
+        concat!(
+            "  \"windowed\": {{\n",
+            "    \"n\": {},\n",
+            "    \"requests_per_rep\": {},\n",
+            "    \"base_serve_ms\": {:.3},\n",
+            "    \"telemetry_serve_ms\": {:.3},\n",
+            "    \"window_overhead_pct\": {:.2},\n",
+            "    \"snapshots\": {},\n",
+            "    \"window_overhead_budget_pct\": {:.1}\n",
+            "  }},"
+        ),
+        window.n,
+        window.requests,
+        window.base_ms,
+        window.telemetry_ms,
+        window.window_overhead_pct,
+        window.snapshots,
+        WINDOW_BUDGET_PCT,
+    );
     let json = format!(
         concat!(
             "{{\n",
@@ -157,12 +189,14 @@ fn write_summary(rows: &[ObsRow], shard: &ShardTimingRow) {
             "  \"scenario\": \"slack-damped, gamma = 1.25, capacity 10, m = n/8, \
              hotspot start, run to convergence, seed {}\",\n",
             "  \"budget\": \"disabled (NoopSink) overhead < {}%, recorder overhead < {}%, \
-             per-shard profiling (pooled, on vs off) < {}%\",\n",
+             per-shard profiling (pooled, on vs off) < {}%, \
+             windowed telemetry on the serving loop < {}%\",\n",
             "  \"noop_overhead_budget_pct\": {:.1},\n",
             "  \"recorder_overhead_budget_pct\": {:.1},\n",
             "  \"worst_noop_overhead_pct\": {:.2},\n",
             "  \"worst_recorder_overhead_pct\": {:.2},\n",
             "  \"budget_met\": {},\n",
+            "{}\n",
             "{}\n",
             "  \"results\": [\n{}\n  ]\n",
             "}}\n"
@@ -171,14 +205,17 @@ fn write_summary(rows: &[ObsRow], shard: &ShardTimingRow) {
         NOOP_BUDGET_PCT,
         RECORDER_BUDGET_PCT,
         SHARD_TIMING_BUDGET_PCT,
+        WINDOW_BUDGET_PCT,
         NOOP_BUDGET_PCT,
         RECORDER_BUDGET_PCT,
         worst_noop,
         worst_recorder,
         worst_noop < NOOP_BUDGET_PCT
             && worst_recorder < RECORDER_BUDGET_PCT
-            && shard.timing_overhead_pct < SHARD_TIMING_BUDGET_PCT,
+            && shard.timing_overhead_pct < SHARD_TIMING_BUDGET_PCT
+            && window.window_overhead_pct < WINDOW_BUDGET_PCT,
         shard_entry,
+        window_entry,
         entries.join(",\n")
     );
     std::fs::write(path, json).expect("write BENCH_obs.json");
@@ -231,11 +268,27 @@ fn main() {
         shard.recorder_on_ms,
         shard.timing_overhead_pct,
     );
+    let (window_n, window_requests, window_reps) = if smoke {
+        (4_096, 2_048, 2)
+    } else {
+        (WINDOW_N, WINDOW_REQUESTS, reps)
+    };
+    let window = measure_window(window_n, window_requests, window_reps);
+    println!(
+        "windowed telemetry n = {:>7} ({} req/rep): base {:>8.2} ms | telemetry {:>8.2} ms \
+         ({:+.2}% marginal, {} snapshots)",
+        window.n,
+        window.requests,
+        window.base_ms,
+        window.telemetry_ms,
+        window.window_overhead_pct,
+        window.snapshots,
+    );
     if smoke {
         // CI smoke: exercise every path but leave the committed numbers
         // (from a full local run) alone
         println!("smoke mode (--test): BENCH_obs.json not rewritten");
         return;
     }
-    write_summary(&rows, &shard);
+    write_summary(&rows, &shard, &window);
 }

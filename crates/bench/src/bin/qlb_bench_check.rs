@@ -18,7 +18,9 @@
 //! * **observability sinks**: the measured NoopSink and Recorder overheads
 //!   must stay under the budgets recorded in `BENCH_obs.json`
 //!   (`noop_overhead_budget_pct`, `recorder_overhead_budget_pct`) plus a
-//!   noise margin (`--overhead-margin`, default 3 percentage points);
+//!   noise margin (`--overhead-margin`, default 3 percentage points), and
+//!   the windowed telemetry plane's marginal cost on the serving loop must
+//!   stay inside the committed `windowed` budget (< 2 %) the same way;
 //! * **serving stack**: steady-state placements/sec through the full
 //!   `qlb-serve` request path must reach at least `--speedup-tolerance` of
 //!   the committed throughput AND the hard acceptance floor recorded in
@@ -36,7 +38,7 @@
 
 use qlb_bench::checks::{
     measure_dispatch, measure_obs, measure_open_sparse, measure_scaling, measure_serve,
-    measure_shard_timing, measure_sparse, measure_weighted_sparse,
+    measure_shard_timing, measure_sparse, measure_weighted_sparse, measure_window,
 };
 use serde_json::{parse_value_str, Value};
 use std::process::exit;
@@ -285,6 +287,49 @@ fn check_shard_timing(baseline: &Value, reps: usize, margin: f64, gates: &mut Ve
     });
 }
 
+/// Gate on the windowed-telemetry cost recorded in the `windowed` section
+/// of `BENCH_obs.json`: the marginal overhead of feeding the live
+/// telemetry plane (per-request latency into the windowed aggregator,
+/// per-tick SLO accounting, periodic snapshots) on the steady-state
+/// serving loop must stay inside its committed budget. Runs in `--quick`
+/// too — at a shorter batch, never a smaller cadence, so the snapshot path
+/// is always exercised.
+fn check_window(baseline: &Value, quick: bool, reps: usize, margin: f64, gates: &mut Vec<Gate>) {
+    let Some(section) = baseline.get("windowed") else {
+        gates.push(Gate {
+            name: "obs/windowed".into(),
+            passed: false,
+            detail: "no windowed section in BENCH_obs.json".into(),
+        });
+        return;
+    };
+    let n = section.get("n").and_then(Value::as_u64).unwrap_or(65_536) as usize;
+    let committed_requests = section
+        .get("requests_per_rep")
+        .and_then(Value::as_u64)
+        .unwrap_or(16_384);
+    // a quarter batch still spans 16+ rebalancer ticks, so every telemetry
+    // rep crosses at least one snapshot cadence
+    let requests = if quick {
+        (committed_requests / 4).max(2_048)
+    } else {
+        committed_requests
+    };
+    let budget = f64_field(section, "window_overhead_budget_pct").unwrap_or(2.0);
+    // same few-ms-per-rep noise profile as the shard-timing gate: take
+    // enough reps for a stable paired median
+    let measured = measure_window(n, requests, reps.max(15));
+    gates.push(Gate {
+        name: format!("obs/windowed/n{n}/marginal"),
+        passed: measured.window_overhead_pct <= budget + margin,
+        detail: format!(
+            "telemetry plane {:+.2}% on vs off the serving loop, {} snapshots \
+             (budget {budget:.1}% +{margin:.1} noise margin)",
+            measured.window_overhead_pct, measured.snapshots
+        ),
+    });
+}
+
 /// Gates for `BENCH_serve.json`: the steady-state serving loop (depart +
 /// place through `handle_line`, rebalancer ticking under synthetic
 /// backlog) re-measured at the committed sizes. Three gates per size:
@@ -405,6 +450,7 @@ fn main() {
     check_parallel(&parallel_baseline, tolerance, &mut gates);
     check_obs(&obs_baseline, obs_sizes, reps, margin, &mut gates);
     check_shard_timing(&obs_baseline, reps, margin, &mut gates);
+    check_window(&obs_baseline, quick, reps, margin, &mut gates);
     check_serve(&serve_baseline, serve_sizes, tolerance, &mut gates);
 
     let mut failed = 0usize;
@@ -436,8 +482,9 @@ fn print_help() {
          Gates: sparse endgame round speedup, tight-slack run speedup (BENCH_sparse.json);\n\
          pool dispatch reduction >= 5x, SoA pooled round >= 3x dense sequential at the\n\
          committed top thread count, and sparse open/weighted drivers beating dense\n\
-         (BENCH_parallel.json); NoopSink and Recorder overhead budgets plus the pooled\n\
-         per-shard profiling budget (< 2% on vs off, ~0% disabled) (BENCH_obs.json);\n\
+         (BENCH_parallel.json); NoopSink and Recorder overhead budgets, the pooled\n\
+         per-shard profiling budget (< 2% on vs off, ~0% disabled), and the windowed\n\
+         telemetry plane's marginal cost on the serving loop (< 2%) (BENCH_obs.json);\n\
          serving throughput >= max(tolerance x committed, the 50k/s acceptance floor),\n\
          placement p95 within 1/tolerance of committed, and a never-starved rebalancer\n\
          (BENCH_serve.json).\n\

@@ -852,6 +852,161 @@ pub fn measure_serve(n: usize, requests: u64) -> ServeRow {
     }
 }
 
+/// Marginal cost of the live telemetry plane on the steady-state serving
+/// loop (the windowed-aggregation overhead committed to `BENCH_obs.json`).
+#[derive(Debug, Clone)]
+pub struct WindowRow {
+    /// Steady-state active slots.
+    pub n: usize,
+    /// Place/depart pairs per measured repetition.
+    pub requests: u64,
+    /// Best-of-reps serving loop without telemetry, ms.
+    pub base_ms: f64,
+    /// Best-of-reps serving loop feeding [`qlb_serve::ServeTelemetry`], ms.
+    pub telemetry_ms: f64,
+    /// Median paired telemetry/base overhead, percent — the gated number.
+    pub window_overhead_pct: f64,
+    /// Stats snapshots taken across all telemetry repetitions.
+    pub snapshots: u64,
+}
+
+/// One batch of the steady-state serving loop from [`measure_serve`]
+/// (depart oldest + place replacement through `handle_line`, rebalancer
+/// tick every [`SERVE_BATCH`] requests), optionally feeding the telemetry
+/// plane exactly the way the daemon does: per-request latency into
+/// `on_request`, per-tick `on_tick`, and a full `snapshot` every
+/// [`qlb_serve::TelemetryOptions::DEFAULT_STATS_EVERY`] ticks. Both
+/// variants time each request (the daemon reads the clock
+/// unconditionally), so the paired ratio isolates the windowed-aggregation
+/// work itself. Returns snapshots taken.
+fn window_batch(
+    core: &mut qlb_serve::ServeCore,
+    tickets: &mut std::collections::VecDeque<u32>,
+    requests: u64,
+    ticks: &mut u64,
+    mut tel: Option<&mut qlb_serve::ServeTelemetry>,
+) -> u64 {
+    use std::fmt::Write as _;
+    let mut sink = NoopSink;
+    let place_req = "{\"op\":\"place\"}";
+    let mut depart_req = String::with_capacity(40);
+    let mut snaps = 0u64;
+    for i in 0..requests {
+        let oldest = tickets.pop_front().expect("steady state keeps n tickets");
+        depart_req.clear();
+        let _ = write!(depart_req, "{{\"op\":\"depart\",\"user\":{oldest}}}");
+        let t0 = Instant::now();
+        let reply = qlb_serve::handle_line(core, &depart_req, &mut sink);
+        let ns = t0.elapsed().as_nanos() as u64;
+        debug_assert!(reply.text.contains("\"ok\":true"), "{}", reply.text);
+        if let Some(t) = tel.as_deref_mut() {
+            t.on_request(false, ns);
+        }
+        let t0 = Instant::now();
+        let reply = qlb_serve::handle_line(core, place_req, &mut sink);
+        let ns = t0.elapsed().as_nanos() as u64;
+        if let Some(t) = tel.as_deref_mut() {
+            t.on_request(true, ns);
+        }
+        tickets.push_back(extract_user(&reply.text));
+        if (i + 1) % SERVE_BATCH == 0 {
+            core.tick(SERVE_BATCH as usize, false, &mut sink);
+            *ticks += 1;
+            if let Some(t) = tel.as_deref_mut() {
+                t.on_tick(core, SERVE_BATCH as usize);
+                if ticks.is_multiple_of(qlb_serve::TelemetryOptions::DEFAULT_STATS_EVERY) {
+                    black_box(t.snapshot(core));
+                    snaps += 1;
+                }
+            }
+        }
+    }
+    snaps
+}
+
+/// Measure the telemetry plane's marginal cost on the serving loop at pool
+/// size `n`. Each of the `reps` repetitions alternates base (no telemetry)
+/// and telemetry **slices** of one snapshot cadence period
+/// (`SERVE_BATCH × DEFAULT_STATS_EVERY` requests, so every telemetry slice
+/// carries exactly one snapshot build), and the overhead is the median of
+/// the per-slice-pair ratios. Slice-level pairing matters: machine noise on
+/// a shared box swings whole batches by several percent, and a tight
+/// base/telemetry alternation samples the same noise on both sides where
+/// batch-level pairing would not.
+pub fn measure_window(n: usize, requests: u64, reps: usize) -> WindowRow {
+    use qlb_serve::{ServeConfig, ServeCore, ServeTelemetry};
+    let m = (n / 64).max(8);
+    let cap = ((1.25 * n as f64) / m as f64).ceil() as u32;
+    let cfg = ServeConfig::new(BENCH_SEED);
+    let mut core =
+        ServeCore::with_capacities(&vec![cap; m], n + 4_096, cfg).expect("bench fleet is feasible");
+    let mut sink = NoopSink;
+
+    let mut tickets = std::collections::VecDeque::with_capacity(n + 1);
+    for _ in 0..n {
+        let out = core
+            .place(qlb_core::ClassId(0), 1, &mut sink)
+            .expect("warm fill fits under the admission bound");
+        tickets.push_back(out.user.0);
+    }
+    for _ in 0..10_000 {
+        if core.unsatisfied() == 0 {
+            break;
+        }
+        core.tick(0, false, &mut sink);
+    }
+
+    let mut tel = ServeTelemetry::new(core.num_classes(), core.max_tick_rounds());
+    // One slice per snapshot cadence period; separate tick counters keep
+    // the telemetry cadence regular (exactly one snapshot per slice).
+    let slice = SERVE_BATCH * qlb_serve::TelemetryOptions::DEFAULT_STATS_EVERY;
+    let slices = (requests / slice).max(1);
+    let mut base_ticks = 0u64;
+    let mut tel_ticks = 0u64;
+    let mut snapshots = 0u64;
+    // warm-up pass of each variant before any timed sample
+    window_batch(&mut core, &mut tickets, slice, &mut base_ticks, None);
+    snapshots += window_batch(
+        &mut core,
+        &mut tickets,
+        slice,
+        &mut tel_ticks,
+        Some(&mut tel),
+    );
+    let mut ratio = Vec::new();
+    let (mut base_ms, mut telemetry_ms) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        let (mut b_rep, mut t_rep) = (0.0f64, 0.0f64);
+        for _ in 0..slices {
+            let t0 = Instant::now();
+            window_batch(&mut core, &mut tickets, slice, &mut base_ticks, None);
+            let b = t0.elapsed().as_secs_f64() * 1e3;
+            let t0 = Instant::now();
+            snapshots += window_batch(
+                &mut core,
+                &mut tickets,
+                slice,
+                &mut tel_ticks,
+                Some(&mut tel),
+            );
+            let t = t0.elapsed().as_secs_f64() * 1e3;
+            ratio.push(t / b);
+            b_rep += b;
+            t_rep += t;
+        }
+        base_ms = base_ms.min(b_rep);
+        telemetry_ms = telemetry_ms.min(t_rep);
+    }
+    WindowRow {
+        n,
+        requests,
+        base_ms,
+        telemetry_ms,
+        window_overhead_pct: 100.0 * (median(&mut ratio) - 1.0),
+        snapshots,
+    }
+}
+
 /// Pull the admitted ticket id out of a place reply without a full JSON
 /// parse (reply extraction is client work, not daemon work — keep it off
 /// the measured path's allocator).
@@ -868,6 +1023,108 @@ fn extract_user(reply: &str) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    #[ignore]
+    fn window_overhead_probe() {
+        let row = measure_window(65_536, 16_384, 9);
+        println!(
+            "probe: base {:.2} ms | telemetry {:.2} ms | overhead {:+.2}% ({} snaps)",
+            row.base_ms, row.telemetry_ms, row.window_overhead_pct, row.snapshots
+        );
+    }
+
+    #[test]
+    #[ignore]
+    fn window_null_probe() {
+        // Paired base-vs-base: any nonzero "overhead" here is measurement
+        // bias/noise, not telemetry cost.
+        use qlb_serve::{ServeConfig, ServeCore};
+        let n = 65_536usize;
+        let m = n / 64;
+        let cap = ((1.25 * n as f64) / m as f64).ceil() as u32;
+        let mut core =
+            ServeCore::with_capacities(&vec![cap; m], n + 4_096, ServeConfig::new(BENCH_SEED))
+                .unwrap();
+        let mut sink = NoopSink;
+        let mut tickets = std::collections::VecDeque::with_capacity(n + 1);
+        for _ in 0..n {
+            let out = core.place(qlb_core::ClassId(0), 1, &mut sink).unwrap();
+            tickets.push_back(out.user.0);
+        }
+        for _ in 0..10_000 {
+            if core.unsatisfied() == 0 {
+                break;
+            }
+            core.tick(0, false, &mut sink);
+        }
+        let mut ticks = 0u64;
+        let slice = 2_048u64;
+        window_batch(&mut core, &mut tickets, slice, &mut ticks, None);
+        window_batch(&mut core, &mut tickets, slice, &mut ticks, None);
+        let mut ratio = Vec::new();
+        for _ in 0..15 * 8 {
+            let t0 = Instant::now();
+            window_batch(&mut core, &mut tickets, slice, &mut ticks, None);
+            let a = t0.elapsed().as_secs_f64();
+            let t0 = Instant::now();
+            window_batch(&mut core, &mut tickets, slice, &mut ticks, None);
+            let b = t0.elapsed().as_secs_f64();
+            ratio.push(b / a);
+        }
+        let med = 100.0 * (median(&mut ratio) - 1.0);
+        ratio.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let p = |q: f64| 100.0 * (ratio[(q * (ratio.len() - 1) as f64) as usize] - 1.0);
+        println!(
+            "null slice-pair overhead: median {med:+.2}% | p10 {:+.2}% | p90 {:+.2}%",
+            p(0.1),
+            p(0.9)
+        );
+    }
+
+    #[test]
+    #[ignore]
+    fn window_cost_breakdown() {
+        use qlb_serve::{ServeConfig, ServeCore, ServeTelemetry};
+        let n = 65_536;
+        let m = n / 64;
+        let cfg = ServeConfig::new(BENCH_SEED);
+        let mut core = ServeCore::with_capacities(&vec![1_300; m], n + 4_096, cfg).unwrap();
+        let mut sink = NoopSink;
+        for _ in 0..n {
+            core.place(qlb_core::ClassId(0), 1, &mut sink).unwrap();
+        }
+        for _ in 0..10_000 {
+            if core.unsatisfied() == 0 {
+                break;
+            }
+            core.tick(0, false, &mut sink);
+        }
+        let mut tel = ServeTelemetry::new(core.num_classes(), core.max_tick_rounds());
+        let reps = 200_000u64;
+        let t0 = Instant::now();
+        for i in 0..reps {
+            tel.on_request(i % 2 == 0, 1_000 + i % 512);
+        }
+        let per_req = t0.elapsed().as_nanos() as f64 / reps as f64;
+        let t0 = Instant::now();
+        for _ in 0..reps / 10 {
+            tel.on_tick(&core, 64);
+        }
+        let per_tick = t0.elapsed().as_nanos() as f64 / (reps / 10) as f64;
+        let t0 = Instant::now();
+        for _ in 0..reps / 100 {
+            black_box(tel.snapshot(&core));
+        }
+        let per_snap = t0.elapsed().as_nanos() as f64 / (reps / 100) as f64;
+        println!(
+            "on_request {per_req:.1} ns | on_tick {per_tick:.1} ns | snapshot {per_snap:.1} ns\n\
+             per-pair estimate: {:.1} ns (3 observes) + {:.1} ns (tick/64) + {:.1} ns (snap/2048)",
+            per_req * 3.0 / 2.0,
+            per_tick / 64.0,
+            per_snap / 2_048.0,
+        );
+    }
 
     #[test]
     fn median_of_odd_and_even() {
@@ -939,6 +1196,17 @@ mod tests {
         let row = measure_weighted_sparse(4_096);
         assert!(row.rounds > 0);
         assert!(row.dense_ms > 0.0 && row.sparse_ms > 0.0);
+    }
+
+    #[test]
+    fn measure_window_smoke() {
+        // 2048 requests = 32 ticks per batch, so the default 32-tick
+        // snapshot cadence fires at least once per telemetry batch
+        let row = measure_window(4_096, 2_048, 2);
+        assert_eq!(row.n, 4_096);
+        assert!(row.base_ms > 0.0 && row.telemetry_ms > 0.0);
+        assert!(row.window_overhead_pct.is_finite());
+        assert!(row.snapshots >= 3, "snapshot cadence never fired");
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! qlb-trace run.jsonl --follow      # tail a run that is still writing
 //! qlb-trace profile run.jsonl       # per-shard profile + congestion heatmap
 //! qlb-trace compare a.jsonl b.jsonl # diff two runs; nonzero exit on regression
+//! qlb-trace watch --tcp HOST:PORT   # live telemetry dashboard off a daemon
+//! qlb-trace watch serve.jsonl       # same dashboard off recorded snapshots
 //! ```
 //!
 //! A trace cut mid-record by a crash is reported as truncated and analyzed
@@ -21,14 +23,22 @@
 //! trace file is deleted or truncated mid-follow (both intervals must be
 //! positive integers — zero and negatives are usage errors).
 //!
+//! `watch` renders the live telemetry dashboard: rolling request/placement
+//! rates with sparkline history, windowed latency digests, per-class SLO
+//! violation bars, and the rebalancer's budget utilization — either by
+//! polling a running daemon's `{"op":"stats"}` wire op (`--tcp`/`--socket`)
+//! or from the `StatsSnapshot` records a traced daemon leaves in its
+//! trailer. `--once` renders a single frame and exits (status 1 when a
+//! trace holds no snapshots), which is what the CI smoke job asserts.
+//!
 //! Exit status: 0 clean, 1 incomplete trace or compare regression, 2 usage
 //! or unreadable/corrupt trace (including deleted/truncated mid-follow).
 
 use qlb_obs::recorder::Record;
 use qlb_obs::replay::{Summary, TraceReader};
-use qlb_obs::Event;
+use qlb_obs::{Event, StatsSnapshot};
 use qlb_stats::sparkline_fit;
-use std::io::{Read, Seek, SeekFrom};
+use std::io::{BufRead, BufReader, Read, Seek, SeekFrom, Write};
 use std::process::exit;
 
 fn main() {
@@ -40,6 +50,7 @@ fn main() {
     match args[0].as_str() {
         "profile" => profile_cmd(&args[1..]),
         "compare" => compare_cmd(&args[1..]),
+        "watch" => watch_cmd(&args[1..]),
         _ => analyze_cmd(&args),
     }
 }
@@ -146,37 +157,7 @@ fn follow_trace(path: &str, idle_ms: u64, poll_ms: u64) -> Summary {
     let mut buf = Vec::new();
     loop {
         // the writer may not have created the file yet; that counts as idle
-        let grew = match std::fs::File::open(path) {
-            Err(_) if offset > 0 => {
-                eprintln!("{path}: trace file deleted mid-follow");
-                exit(2);
-            }
-            Ok(mut f) => {
-                let len = f.metadata().map(|m| m.len()).unwrap_or(0);
-                if len < offset {
-                    eprintln!("{path}: trace file truncated mid-follow (rotated or rewritten)");
-                    exit(2);
-                }
-                if len > offset {
-                    f.seek(SeekFrom::Start(offset)).expect("seek");
-                    buf.clear();
-                    (&mut f)
-                        .take(len - offset)
-                        .read_to_end(&mut buf)
-                        .expect("read");
-                    offset = len;
-                    let chunk = String::from_utf8_lossy(&buf);
-                    if let Err(e) = reader.feed(&chunk, &mut records) {
-                        eprintln!("{path}: corrupt trace: {e}");
-                        exit(2);
-                    }
-                    true
-                } else {
-                    false
-                }
-            }
-            Err(_) => false,
-        };
+        let grew = poll_trace_growth(path, &mut offset, &mut buf, &mut reader, &mut records);
         for record in records.drain(..) {
             if let Record::Event {
                 event:
@@ -222,6 +203,369 @@ fn follow_trace(path: &str, idle_ms: u64, poll_ms: u64) -> Summary {
         summary.truncated = true;
     }
     summary
+}
+
+/// Read any bytes of `path` past `*offset` and feed them to `reader`.
+/// Returns whether the file grew. A file that does not exist *yet* counts
+/// as no growth (the writer may still be starting up); one that disappears
+/// or shrinks after bytes were read is gone for good, and a parse error is
+/// a corrupt trace — both exit 2, the documented unreadable-trace status.
+fn poll_trace_growth(
+    path: &str,
+    offset: &mut u64,
+    buf: &mut Vec<u8>,
+    reader: &mut TraceReader,
+    records: &mut Vec<Record>,
+) -> bool {
+    match std::fs::File::open(path) {
+        Err(_) if *offset > 0 => {
+            eprintln!("{path}: trace file deleted mid-follow");
+            exit(2);
+        }
+        Ok(mut f) => {
+            let len = f.metadata().map(|m| m.len()).unwrap_or(0);
+            if len < *offset {
+                eprintln!("{path}: trace file truncated mid-follow (rotated or rewritten)");
+                exit(2);
+            }
+            if len > *offset {
+                f.seek(SeekFrom::Start(*offset)).expect("seek");
+                buf.clear();
+                (&mut f).take(len - *offset).read_to_end(buf).expect("read");
+                *offset = len;
+                let chunk = String::from_utf8_lossy(buf);
+                if let Err(e) = reader.feed(&chunk, records) {
+                    eprintln!("{path}: corrupt trace: {e}");
+                    exit(2);
+                }
+                true
+            } else {
+                false
+            }
+        }
+        Err(_) => false,
+    }
+}
+
+// ---------- watch: the live telemetry dashboard ----------
+
+/// How many snapshots the live dashboard keeps for its rate sparklines.
+const WATCH_HISTORY: usize = 240;
+
+/// Line-oriented client for the daemon socket (watch live mode).
+struct StatsClient {
+    reader: BufReader<Box<dyn Read>>,
+    writer: Box<dyn Write>,
+    line: String,
+}
+
+impl StatsClient {
+    fn connect_tcp(addr: &str) -> std::io::Result<Self> {
+        let stream = std::net::TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(Box::new(stream)),
+            writer: Box::new(writer),
+            line: String::new(),
+        })
+    }
+
+    fn connect_unix(path: &str) -> std::io::Result<Self> {
+        let stream = std::os::unix::net::UnixStream::connect(path)?;
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(Box::new(stream)),
+            writer: Box::new(writer),
+            line: String::new(),
+        })
+    }
+
+    /// One synchronous `{"op":"stats"}` round trip.
+    fn poll(&mut self) -> Result<StatsSnapshot, String> {
+        self.writer
+            .write_all(b"{\"op\":\"stats\"}\n")
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("write failed: {e}"))?;
+        self.line.clear();
+        let n = self
+            .reader
+            .read_line(&mut self.line)
+            .map_err(|e| format!("read failed: {e}"))?;
+        if n == 0 {
+            return Err("daemon closed the connection".into());
+        }
+        parse_stats_reply(self.line.trim())
+    }
+}
+
+/// Extract the snapshot out of a `{"ok":true,...,"stats":{...}}` reply.
+/// The daemon serializes the snapshot as the *last* reply field, so the
+/// object is exactly the suffix between `"stats":` and the reply's closing
+/// brace — no JSON-tree-to-struct conversion needed.
+fn parse_stats_reply(reply: &str) -> Result<StatsSnapshot, String> {
+    if !reply.starts_with("{\"ok\":true") {
+        return Err(format!("stats op failed: {reply}"));
+    }
+    let idx = reply
+        .find("\"stats\":")
+        .ok_or_else(|| format!("reply has no stats object: {reply}"))?;
+    let inner = reply[idx + "\"stats\":".len()..]
+        .strip_suffix('}')
+        .ok_or_else(|| format!("malformed stats reply: {reply}"))?;
+    serde_json::from_str::<StatsSnapshot>(inner).map_err(|e| format!("bad stats object: {e}"))
+}
+
+/// First non-flag token that is not the value of a value-taking flag.
+fn watch_positional(args: &[String]) -> Option<String> {
+    const VALUE_FLAGS: [&str; 4] = ["--interval-ms", "--idle-ms", "--tcp", "--socket"];
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if VALUE_FLAGS.contains(&a.as_str()) {
+            skip = true;
+        } else if !a.starts_with("--") {
+            return Some(a.clone());
+        }
+    }
+    None
+}
+
+fn watch_cmd(args: &[String]) {
+    let get = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let parse_ms = |flag: &str, default: u64| -> u64 {
+        get(flag).map_or(default, |s| {
+            let v: u64 = s.parse().unwrap_or_else(|_| {
+                eprintln!("bad {flag}: expected a positive integer of milliseconds");
+                exit(2)
+            });
+            if v == 0 {
+                eprintln!("bad {flag}: must be positive, got 0");
+                exit(2);
+            }
+            v
+        })
+    };
+    let once = args.iter().any(|a| a == "--once");
+    let interval_ms = parse_ms("--interval-ms", 1_000);
+    let idle_ms = parse_ms("--idle-ms", 10_000);
+    match (get("--tcp"), get("--socket")) {
+        (Some(_), Some(_)) => {
+            eprintln!("watch takes at most one of --tcp ADDR or --socket PATH");
+            exit(2);
+        }
+        (None, None) => {
+            let Some(path) = watch_positional(args) else {
+                eprintln!("watch needs a trace file, --tcp ADDR, or --socket PATH");
+                exit(2);
+            };
+            watch_trace(&path, once, interval_ms, idle_ms);
+        }
+        (tcp, socket) => watch_live(tcp.as_deref(), socket.as_deref(), once, interval_ms),
+    }
+}
+
+/// Poll a live daemon's `stats` op and keep redrawing the dashboard.
+fn watch_live(tcp: Option<&str>, socket: Option<&str>, once: bool, interval_ms: u64) {
+    let target = tcp.or(socket).expect("caller validated").to_string();
+    let mut client = match tcp {
+        Some(addr) => StatsClient::connect_tcp(addr),
+        None => StatsClient::connect_unix(socket.expect("caller validated")),
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("cannot connect to {target}: {e}");
+        exit(2);
+    });
+    let mut history: Vec<StatsSnapshot> = Vec::new();
+    loop {
+        match client.poll() {
+            Ok(snap) => {
+                if history.len() == WATCH_HISTORY {
+                    history.remove(0);
+                }
+                history.push(snap);
+                if !once {
+                    print!("\x1b[2J\x1b[H");
+                }
+                print!("{}", render_watch(&history, &format!("live {target}")));
+                std::io::stdout().flush().ok();
+            }
+            Err(e) => {
+                // a daemon that answered at least once and then went away
+                // (e.g. a clean shutdown) ends the watch, not the script
+                if history.is_empty() {
+                    eprintln!("{target}: {e}");
+                    exit(2);
+                }
+                println!("-- {e}; stopping --");
+                return;
+            }
+        }
+        if once {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}
+
+/// Render the dashboard from a trace's recorded `StatsSnapshot` records —
+/// once from a finished trace, or following a growing one.
+fn watch_trace(path: &str, once: bool, interval_ms: u64, idle_ms: u64) {
+    if once {
+        let summary = load_summary(path);
+        if summary.stats_snapshots.is_empty() {
+            eprintln!(
+                "{path}: no stats snapshots in this trace — record one with \
+                 qlb-serve --trace and --stats-every > 0"
+            );
+            exit(1);
+        }
+        print!(
+            "{}",
+            render_watch(&summary.stats_snapshots, &format!("trace {path}"))
+        );
+        return;
+    }
+    let mut summary = Summary::default();
+    let mut reader = TraceReader::new();
+    let mut records: Vec<Record> = Vec::new();
+    let mut offset: u64 = 0;
+    let mut idle = 0u64;
+    let mut buf = Vec::new();
+    let mut rendered = 0usize;
+    loop {
+        let grew = poll_trace_growth(path, &mut offset, &mut buf, &mut reader, &mut records);
+        for record in records.drain(..) {
+            summary.ingest(&record);
+        }
+        if summary.stats_snapshots.len() > rendered {
+            rendered = summary.stats_snapshots.len();
+            print!(
+                "\x1b[2J\x1b[H{}",
+                render_watch(
+                    &summary.stats_snapshots,
+                    &format!("trace {path} (following)")
+                )
+            );
+            std::io::stdout().flush().ok();
+        }
+        if summary.saw_trailer() {
+            println!("-- run finished (trailer seen) --");
+            break;
+        }
+        if grew {
+            idle = 0;
+        } else {
+            idle += interval_ms;
+            if idle >= idle_ms {
+                println!("-- no growth for {idle_ms} ms; stopping --");
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+        }
+    }
+    if summary.stats_snapshots.is_empty() {
+        eprintln!(
+            "{path}: no stats snapshots in this trace — record one with \
+             qlb-serve --trace and --stats-every > 0"
+        );
+        exit(1);
+    }
+}
+
+/// A fixed-width `[####......]` fill bar for a fraction in `[0, 1]`.
+fn bar(frac: f64, width: usize) -> String {
+    let filled = ((frac.clamp(0.0, 1.0) * width as f64).round() as usize).min(width);
+    format!("[{}{}]", "#".repeat(filled), ".".repeat(width - filled))
+}
+
+/// One dashboard frame: newest snapshot in full, rate sparklines over the
+/// retained history.
+fn render_watch(history: &[StatsSnapshot], source: &str) -> String {
+    let snap = history.last().expect("render_watch needs a snapshot");
+    let mut out = format!(
+        "qlb-serve telemetry — {source}\n\
+         tick {:>8}   uptime {:>9.1} s   {} snapshots retained\n",
+        snap.tick,
+        snap.uptime_ms as f64 / 1e3,
+        history.len(),
+    );
+    out.push_str(&format!(
+        "placement: {} active, {} unsatisfied; admission rejects \
+         pool {} / capacity {} / draining {}\n",
+        snap.active,
+        snap.unsatisfied,
+        snap.rejects_pool,
+        snap.rejects_capacity,
+        snap.rejects_draining,
+    ));
+    let util = if snap.budget_max > 0 {
+        snap.budget as f64 / snap.budget_max as f64
+    } else {
+        0.0
+    };
+    out.push_str(&format!(
+        "rebalancer: backlog {:>5}   budget {}/{} {} {:>5.1}%   {} starved ticks\n",
+        snap.backlog,
+        snap.budget,
+        snap.budget_max,
+        bar(util, 10),
+        util * 100.0,
+        snap.starved_ticks,
+    ));
+    if !snap.rates.is_empty() {
+        out.push_str("rates                 1s/s       10s/s       60s/s   1s history\n");
+        for r in &snap.rates {
+            let series: Vec<f64> = history
+                .iter()
+                .filter_map(|s| s.rates.iter().find(|x| x.name == r.name).map(|x| x.r1s))
+                .collect();
+            out.push_str(&format!(
+                "  {:<16} {:>8.1} {:>11.1} {:>11.1}   {}\n",
+                r.name,
+                r.r1s,
+                r.r10s,
+                r.r60s,
+                sparkline_fit(&series, 30),
+            ));
+        }
+    }
+    if !snap.latency.is_empty() {
+        out.push_str("latency (windowed quantiles):\n");
+        for d in &snap.latency {
+            out.push_str(&format!(
+                "  {:<16} p50 {:>8.1} µs   p95 {:>8.1} µs   p99 {:>8.1} µs   ({} samples)\n",
+                d.name,
+                us(d.p50_ns),
+                us(d.p95_ns),
+                us(d.p99_ns),
+                d.count,
+            ));
+        }
+    }
+    if !snap.classes.is_empty() {
+        out.push_str("per-class SLO violation (10 s window | lifetime):\n");
+        for c in &snap.classes {
+            out.push_str(&format!(
+                "  class {:<4} {} {:>5.1}% | {:>5.1}%   ({} active, {} unsatisfied)\n",
+                c.class,
+                bar(c.violation_windowed, 20),
+                c.violation_windowed * 100.0,
+                c.violation_total * 100.0,
+                c.active,
+                c.unsatisfied,
+            ));
+        }
+    }
+    out
 }
 
 /// The full digest: the shared [`Summary::render`] body plus the Φ
@@ -548,7 +892,17 @@ fn print_help() {
          qlb-trace FILE.jsonl --follow       tail a trace that is still being written\n  \
          qlb-trace profile FILE.jsonl        per-shard utilization, barrier skew, wake\n                                      \
          latency, and the top-k congestion heatmap\n  \
-         qlb-trace compare A.jsonl B.jsonl   diff two runs (baseline → candidate)\n\n\
+         qlb-trace compare A.jsonl B.jsonl   diff two runs (baseline → candidate)\n  \
+         qlb-trace watch TARGET              live telemetry dashboard: rate sparklines,\n                                      \
+         latency digests, per-class SLO violation\n                                      \
+         bars, rebalancer budget utilization\n\n\
+         WATCH TARGETS:\n  \
+         --tcp ADDR       poll a live daemon's {{\"op\":\"stats\"}} over TCP\n  \
+         --socket PATH    same over a Unix socket\n  \
+         FILE.jsonl       replay StatsSnapshot records from a qlb-serve trace\n                   \
+         (follows a growing trace; --once renders the newest and exits,\n                   \
+         status 1 if the trace has no snapshots)\n  \
+         --interval-ms N  refresh interval (default 1000)\n\n\
          OPTIONS:\n  --follow         poll the file and print each round as it lands\n  \
          --idle-ms N      stop following after N ms without growth (default 10000;\n                   \
          must be a positive integer, else exit 2)\n  \

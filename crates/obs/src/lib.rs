@@ -31,7 +31,13 @@
 //!   [`replay::TraceReader`] parses a still-growing stream incrementally;
 //! * [`stream`] — [`StreamSink`], the incremental JSONL exporter for
 //!   long-running drivers: events become lines as they happen, flushed at
-//!   round boundaries, with crash-tolerant framing the reader understands.
+//!   round boundaries, with crash-tolerant framing the reader understands;
+//! * [`window`] — **windowed aggregation** for live telemetry: a
+//!   [`WindowedAggregator`] ring of fixed-width time buckets over the
+//!   dense counter/gauge ids plus windowed histogram merges (rolling
+//!   1s/10s/60s rates, windowed quantiles, per-class SLO time-in-violation)
+//!   and the [`StatsSnapshot`] record a serving daemon periodically files
+//!   into its trace trailer via a bounded [`StatsSeries`].
 //!
 //! ## Determinism contract
 //!
@@ -65,6 +71,7 @@ pub mod replay;
 pub mod sink;
 pub mod stream;
 pub mod timers;
+pub mod window;
 
 pub use event::{Event, EventRing};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
@@ -74,3 +81,7 @@ pub use replay::TraceReader;
 pub use sink::{timed, NoopSink, Sink};
 pub use stream::{StreamSink, DEFAULT_FLUSH_EVERY};
 pub use timers::{Phase, PhaseTimers};
+pub use window::{
+    ClassSlo, LatencyDigest, RateSample, StatsSeries, StatsSnapshot, WindowedAggregator,
+    RATE_WINDOWS_MS,
+};

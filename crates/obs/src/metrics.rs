@@ -46,6 +46,10 @@ pub enum Counter {
     AdmissionRejects,
     /// Resource drains initiated (`qlb-serve`).
     Drains,
+    /// Slots released by daemon-side departures (`qlb-serve`). Kept
+    /// separate from the open-system [`Counter::Departures`] so daemon
+    /// stats can never be conflated with open-driver churn drains.
+    ServeDeparts,
 }
 
 /// Point-in-time gauges. The discriminant is the dense storage index.
@@ -66,7 +70,7 @@ pub enum Gauge {
 
 impl Counter {
     /// Every counter, in storage order.
-    pub const ALL: [Counter; 18] = [
+    pub const ALL: [Counter; 19] = [
         Counter::Rounds,
         Counter::Migrations,
         Counter::DenseRounds,
@@ -85,6 +89,7 @@ impl Counter {
         Counter::Placements,
         Counter::AdmissionRejects,
         Counter::Drains,
+        Counter::ServeDeparts,
     ];
 
     /// Export name (stable; used in JSONL dumps).
@@ -108,7 +113,14 @@ impl Counter {
             Counter::Placements => "placements",
             Counter::AdmissionRejects => "admission_rejects",
             Counter::Drains => "drains",
+            Counter::ServeDeparts => "serve_departs",
         }
+    }
+
+    /// Prometheus exposition name: the [`Counter::name`] export name under
+    /// the `qlb_` namespace with the conventional `_total` suffix.
+    pub fn prom_name(self) -> String {
+        format!("qlb_{}_total", self.name())
     }
 }
 
@@ -132,6 +144,12 @@ impl Gauge {
             Gauge::ActiveUsers => "active_users",
         }
     }
+
+    /// Prometheus exposition name: the [`Gauge::name`] export name under
+    /// the `qlb_` namespace (no suffix — gauges are point-in-time).
+    pub fn prom_name(self) -> String {
+        format!("qlb_{}", self.name())
+    }
 }
 
 /// Number of fixed histogram buckets: bucket `i` holds values whose
@@ -144,7 +162,7 @@ pub const HIST_BUCKETS: usize = 65;
 /// Recording is an increment at a computed index — no allocation, no
 /// comparison ladder — which is what lets phase timers run inside the
 /// round loop.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     buckets: [u64; HIST_BUCKETS],
     count: u64,
@@ -249,6 +267,63 @@ impl Histogram {
         self.sum = self.sum.saturating_add(other.sum);
         self.max = self.max.max(other.max);
     }
+
+    /// The histogram of samples recorded since `earlier` — `earlier` must
+    /// be a previous snapshot of this (cumulative, monotone) histogram.
+    /// Bucket counts, count, and sum subtract exactly; the delta's `max`
+    /// is approximate when the period's largest sample did not raise the
+    /// cumulative maximum (it is then clamped to the upper bound of the
+    /// highest non-empty delta bucket), which only tightens the
+    /// [`Histogram::quantile`] clamp. This is what lets a windowed view
+    /// difference cumulative snapshots without touching emission sites.
+    pub fn delta_since(&self, earlier: &Histogram) -> Histogram {
+        let mut d = Histogram::default();
+        let mut highest = 0usize;
+        for (i, (a, b)) in self.buckets.iter().zip(earlier.buckets.iter()).enumerate() {
+            let c = a.saturating_sub(*b);
+            d.buckets[i] = c;
+            if c > 0 {
+                highest = i;
+            }
+        }
+        d.count = self.count.saturating_sub(earlier.count);
+        d.sum = self.sum.saturating_sub(earlier.sum);
+        d.max = if self.max > earlier.max || d.count == 0 {
+            self.max
+        } else {
+            Self::bucket_limit(highest).min(self.max)
+        };
+        d
+    }
+
+    /// Fold the period since `last` into `into` — exactly
+    /// [`Histogram::merge`] of [`Histogram::delta_since`], fused into a
+    /// single pass with no temporary — then advance `last` to `self`.
+    /// This is the per-tick hot path of a windowed aggregation
+    /// differencing cumulative histograms, so the common all-zero-delta
+    /// bucket work is skipped entirely.
+    pub fn fold_delta(&self, last: &mut Histogram, into: &mut Histogram) {
+        let dcount = self.count.saturating_sub(last.count);
+        let mut highest = 0usize;
+        if dcount > 0 {
+            for i in 0..HIST_BUCKETS {
+                let c = self.buckets[i].saturating_sub(last.buckets[i]);
+                if c > 0 {
+                    into.buckets[i] += c;
+                    highest = i;
+                }
+            }
+        }
+        into.count += dcount;
+        into.sum = into.sum.saturating_add(self.sum.saturating_sub(last.sum));
+        let dmax = if self.max > last.max || dcount == 0 {
+            self.max
+        } else {
+            Self::bucket_limit(highest).min(self.max)
+        };
+        into.max = into.max.max(dmax);
+        last.clone_from(self);
+    }
 }
 
 /// The registry: dense arrays of counter totals and gauge values, plus a
@@ -316,6 +391,33 @@ mod tests {
     use super::*;
 
     #[test]
+    fn fold_delta_matches_merge_of_delta_since() {
+        // fold_delta is the fused form of merge(delta_since): drive a
+        // cumulative histogram through several periods and check both
+        // the folded slot and the advanced `last` agree with the
+        // two-step form at every period boundary.
+        let mut cum = Histogram::default();
+        let mut last_fused = Histogram::default();
+        let mut slot_fused = Histogram::default();
+        let mut last_two = Histogram::default();
+        let mut slot_two = Histogram::default();
+        let samples: [&[u64]; 4] = [&[3, 900, 17], &[], &[1 << 40, 2], &[55, 55, 55, 0]];
+        for period in samples {
+            for &v in period {
+                cum.observe(v);
+            }
+            cum.fold_delta(&mut last_fused, &mut slot_fused);
+            slot_two.merge(&cum.delta_since(&last_two));
+            last_two = cum.clone();
+            assert_eq!(slot_fused, slot_two);
+            assert_eq!(last_fused, cum);
+        }
+        assert_eq!(slot_fused.count(), cum.count());
+        assert_eq!(slot_fused.sum(), cum.sum());
+        assert_eq!(slot_fused.quantile(0.5), cum.quantile(0.5));
+    }
+
+    #[test]
     fn counters_accumulate_and_mark_resets_deltas() {
         let mut m = MetricsRegistry::default();
         m.add(Counter::Rounds, 1);
@@ -357,6 +459,32 @@ mod tests {
     }
 
     #[test]
+    fn delta_since_recovers_the_period() {
+        let mut h = Histogram::default();
+        h.observe(100);
+        h.observe(7);
+        let earlier = h.clone();
+        h.observe(3);
+        h.observe(40);
+        let d = h.delta_since(&earlier);
+        assert_eq!(d.count(), 2);
+        assert_eq!(d.sum(), 43);
+        assert_eq!(d.buckets()[Histogram::bucket_of(3)], 1);
+        assert_eq!(d.buckets()[Histogram::bucket_of(40)], 1);
+        // the cumulative max (100) predates the period: the delta max is
+        // clamped to the highest non-empty delta bucket's limit
+        assert!(d.max() >= 40 && d.max() <= 64, "max {}", d.max());
+        // a period that raises the max reports it exactly
+        let earlier = h.clone();
+        h.observe(5_000);
+        assert_eq!(h.delta_since(&earlier).max(), 5_000);
+        // empty period
+        let empty = h.delta_since(&h);
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty.sum(), 0);
+    }
+
+    #[test]
     fn histogram_merge_adds_counts() {
         let mut a = Histogram::default();
         let mut b = Histogram::default();
@@ -369,14 +497,30 @@ mod tests {
         assert_eq!(a.max(), 9);
     }
 
+    /// `[a-z_][a-z0-9_]*` — the charset every export and Prometheus name
+    /// must satisfy (hand-rolled; no regex crate in the workspace).
+    fn is_valid_metric_name(s: &str) -> bool {
+        let mut chars = s.chars();
+        let ok_first = matches!(chars.next(), Some(c) if c.is_ascii_lowercase() || c == '_');
+        ok_first && chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+    }
+
     #[test]
     fn names_are_unique() {
-        let mut names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
-        names.extend(Gauge::ALL.iter().map(|g| g.name()));
+        // Export names and Prometheus names, pooled: pairwise distinct and
+        // all matching [a-z_][a-z0-9_]* — a future enum addition that
+        // would silently collide at the export boundary fails here.
+        let mut names: Vec<String> = Counter::ALL.iter().map(|c| c.name().to_string()).collect();
+        names.extend(Gauge::ALL.iter().map(|g| g.name().to_string()));
+        names.extend(Counter::ALL.iter().map(|c| c.prom_name()));
+        names.extend(Gauge::ALL.iter().map(|g| g.prom_name()));
+        for name in &names {
+            assert!(is_valid_metric_name(name), "bad metric name {name:?}");
+        }
         let total = names.len();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), total);
+        assert_eq!(names.len(), total, "metric names collide: {names:?}");
     }
 
     #[test]

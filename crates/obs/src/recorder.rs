@@ -7,6 +7,7 @@ use crate::profile::{HistBucket, LatencyHists, ShardTimers, TopKEntry, TopKSerie
 use crate::profile::{SKEW_HIST_NAME, WAKE_HIST_NAME};
 use crate::sink::Sink;
 use crate::timers::{Phase, PhaseTimers};
+use crate::window::{StatsSeries, StatsSnapshot};
 use serde::{Deserialize, Serialize};
 
 /// One line of a JSONL dump. Externally tagged, so each line is
@@ -98,6 +99,12 @@ pub enum Record {
         /// The hottest resources, highest load first.
         entries: Vec<TopKEntry>,
     },
+    /// One retained live-telemetry snapshot (trailer; the series is
+    /// decimated by [`StatsSeries`]).
+    StatsSnapshot {
+        /// The snapshot.
+        snap: StatsSnapshot,
+    },
 }
 
 /// A recording [`Sink`]: dense metrics, a bounded event ring, and phase
@@ -111,6 +118,7 @@ pub struct Recorder {
     shard_timers: ShardTimers,
     topk: TopKSeries,
     latency: LatencyHists,
+    stats: StatsSeries,
 }
 
 impl Recorder {
@@ -160,6 +168,12 @@ impl Recorder {
         &self.latency
     }
 
+    /// The retained live-telemetry snapshot series (empty unless a serving
+    /// daemon offered periodic [`StatsSnapshot`]s).
+    pub fn stats_series(&self) -> &StatsSeries {
+        &self.stats
+    }
+
     /// Shorthand for a cumulative counter value.
     pub fn counter(&self, c: Counter) -> u64 {
         self.metrics.counter(c)
@@ -189,6 +203,7 @@ impl Recorder {
             &self.shard_timers,
             &self.latency,
             &self.topk,
+            &self.stats,
             self.events.total_recorded(),
             self.events.dropped(),
         );
@@ -239,6 +254,7 @@ pub(crate) fn write_trailer(
     shard_timers: &ShardTimers,
     latency: &LatencyHists,
     topk: &TopKSeries,
+    stats: &StatsSeries,
     recorded: u64,
     dropped: u64,
 ) {
@@ -323,6 +339,9 @@ pub(crate) fn write_trailer(
             },
         );
     }
+    for snap in stats.samples() {
+        push_record_line(out, &Record::StatsSnapshot { snap: snap.clone() });
+    }
 }
 
 impl Sink for Recorder {
@@ -361,6 +380,11 @@ impl Sink for Recorder {
     #[inline]
     fn latency(&mut self, name: &'static str, ns: u64) {
         self.latency.record(name, ns);
+    }
+
+    #[inline]
+    fn stats_snapshot(&mut self, snap: &StatsSnapshot) {
+        self.stats.push(snap);
     }
 }
 

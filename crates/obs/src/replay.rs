@@ -21,6 +21,7 @@
 use crate::event::Event;
 use crate::profile::{PLACE_HIST_NAME, REQUEST_HIST_NAME, SKEW_HIST_NAME};
 use crate::recorder::Record;
+use crate::window::StatsSnapshot;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -61,6 +62,9 @@ pub struct Summary {
     /// Retained top-k congestion samples: (round, [(resource, load)]),
     /// in round order.
     pub topk: Vec<(u64, Vec<(u64, u64)>)>,
+    /// Retained live-telemetry snapshots (serve-daemon traces only), in
+    /// tick order — what `qlb-trace watch <trace>` renders.
+    pub stats_snapshots: Vec<StatsSnapshot>,
     /// True when the input ended mid-record (a crash or kill during a
     /// write): the partial tail was skipped, everything before it counted.
     pub truncated: bool,
@@ -238,6 +242,9 @@ impl Summary {
                     entries.iter().map(|e| (e.resource, e.load)).collect(),
                 ));
             }
+            Record::StatsSnapshot { snap } => {
+                self.stats_snapshots.push(snap.clone());
+            }
         }
         self.rounds = self
             .counters
@@ -356,6 +363,12 @@ impl Summary {
             out.push_str(&format!(
                 "top-k congestion: {} samples retained (see qlb-trace profile)\n",
                 self.topk.len()
+            ));
+        }
+        if !self.stats_snapshots.is_empty() {
+            out.push_str(&format!(
+                "telemetry: {} stats snapshots retained (see qlb-trace watch)\n",
+                self.stats_snapshots.len()
             ));
         }
         out

@@ -12,6 +12,7 @@ use crate::event::Event;
 use crate::metrics::{Counter, Gauge};
 use crate::profile::TopKEntry;
 use crate::timers::Phase;
+use crate::window::StatsSnapshot;
 use std::time::Instant;
 
 /// Consumer of observability emissions.
@@ -57,6 +58,13 @@ pub trait Sink {
     /// export them as trailer records.
     #[inline]
     fn latency(&mut self, _name: &'static str, _ns: u64) {}
+
+    /// Offer a periodic live-telemetry snapshot (the serve daemon's
+    /// windowed view). Default: ignored — the recording sinks retain a
+    /// decimated [`StatsSeries`](crate::window::StatsSeries) and export it
+    /// as trailer records.
+    #[inline]
+    fn stats_snapshot(&mut self, _snap: &StatsSnapshot) {}
 }
 
 /// The default sink: records nothing, costs nothing.

@@ -40,6 +40,7 @@ use crate::profile::{LatencyHists, ShardTimers, TopKEntry, TopKSeries};
 use crate::recorder::{push_record_line, write_trailer, Record};
 use crate::sink::Sink;
 use crate::timers::{Phase, PhaseTimers};
+use crate::window::{StatsSeries, StatsSnapshot};
 use std::io::{self, Write};
 
 /// Default flush cadence: push buffered lines after every round.
@@ -64,6 +65,7 @@ pub struct StreamSink<W: Write> {
     shard_timers: ShardTimers,
     topk: TopKSeries,
     latency: LatencyHists,
+    stats: StatsSeries,
     next_seq: u64,
     /// RoundEnd events seen since the last flush.
     rounds_since_flush: u64,
@@ -90,6 +92,7 @@ impl<W: Write> StreamSink<W> {
             shard_timers: ShardTimers::default(),
             topk: TopKSeries::default(),
             latency: LatencyHists::default(),
+            stats: StatsSeries::default(),
             next_seq: 0,
             rounds_since_flush: 0,
             flush_every: flush_every.max(1),
@@ -173,6 +176,7 @@ impl<W: Write> StreamSink<W> {
             &self.shard_timers,
             &self.latency,
             &self.topk,
+            &self.stats,
             self.next_seq,
             0,
         );
@@ -240,6 +244,11 @@ impl<W: Write> Sink for StreamSink<W> {
     #[inline]
     fn latency(&mut self, name: &'static str, ns: u64) {
         self.latency.record(name, ns);
+    }
+
+    #[inline]
+    fn stats_snapshot(&mut self, snap: &StatsSnapshot) {
+        self.stats.push(snap);
     }
 }
 

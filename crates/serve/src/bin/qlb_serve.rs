@@ -9,10 +9,16 @@
 //! `DESIGN.md` §8), or use `qlb-serve-load` as a ready-made client. With
 //! `--trace`, tail the file with `qlb-trace --follow` for a live ops
 //! dashboard; the trailer (request/placement latency histograms,
-//! admission counters) is flushed on clean shutdown.
+//! admission counters, periodic stats snapshots) is flushed on clean
+//! shutdown. `--metrics-http ADDR` additionally serves Prometheus text
+//! exposition, and `{"op":"stats"}` answers with the windowed telemetry
+//! view — see `qlb-trace watch` for the live dashboard.
 
 use qlb_obs::{NoopSink, StreamSink};
-use qlb_serve::{run_daemon, DaemonOptions, ServeConfig, ServeCore, ServeListener, ServeProtocol};
+use qlb_serve::{
+    run_daemon_telemetry, DaemonOptions, ServeConfig, ServeCore, ServeListener, ServeProtocol,
+    TelemetryOptions,
+};
 use qlb_workload::Scenario;
 use std::io::BufWriter;
 use std::process::exit;
@@ -112,6 +118,23 @@ fn main() {
         idle_poll: Duration::from_millis(parse_u64("--idle-ms", 20).max(1)),
     };
 
+    // --- telemetry plane: trailer-snapshot cadence + Prometheus endpoint ---
+    let metrics_http = get("--metrics-http").map(|addr| {
+        std::net::TcpListener::bind(&addr).unwrap_or_else(|e| {
+            eprintln!("cannot bind metrics endpoint {addr}: {e}");
+            exit(1)
+        })
+    });
+    if let Some(l) = &metrics_http {
+        if let Ok(addr) = l.local_addr() {
+            println!("qlb-serve metrics exposition on http://{addr}/metrics");
+        }
+    }
+    let tel_opts = TelemetryOptions {
+        metrics_http,
+        stats_every: parse_u64("--stats-every", TelemetryOptions::DEFAULT_STATS_EVERY),
+    };
+
     println!(
         "qlb-serve listening on {} — {} resources, {} classes, pool {}, protocol {}, φ {admit_frac}",
         listener.describe(),
@@ -129,10 +152,11 @@ fn main() {
             exit(1)
         });
         let mut sink = StreamSink::with_flush_every(BufWriter::new(file), flush_every);
-        let served = run_daemon(core, listener, &mut sink, opts).unwrap_or_else(|e| {
-            eprintln!("serve loop failed: {e}");
-            exit(1)
-        });
+        let served = run_daemon_telemetry(core, listener, &mut sink, opts, tel_opts)
+            .unwrap_or_else(|e| {
+                eprintln!("serve loop failed: {e}");
+                exit(1)
+            });
         if let Err(e) = sink.finish() {
             eprintln!("error finishing trace {path}: {e}");
             exit(1);
@@ -140,7 +164,7 @@ fn main() {
         println!("trace written to {path}");
         served
     } else {
-        run_daemon(core, listener, &mut NoopSink, opts).unwrap_or_else(|e| {
+        run_daemon_telemetry(core, listener, &mut NoopSink, opts, tel_opts).unwrap_or_else(|e| {
             eprintln!("serve loop failed: {e}");
             exit(1)
         })
@@ -164,11 +188,16 @@ fn print_help() {
          --batch B (default 256) --idle-ms MS (default 20)\n\
          TRACE:     --trace FILE.jsonl [--flush-every K] — stream the obs trace; tail it\n           \
          with `qlb-trace --follow FILE.jsonl` as a live dashboard. The trailer\n           \
-         carries request/placement latency histograms and admission counters.\n\n\
+         carries request/placement latency histograms and admission counters.\n\
+         TELEMETRY: --metrics-http ADDR — serve Prometheus text exposition at /metrics\n           \
+         (answered from the serve loop itself; no extra writer threads)\n           \
+         --stats-every N (default 32) — record a StatsSnapshot trailer record\n           \
+         every N scheduler ticks when tracing (0 = never)\n\n\
          PROTOCOL (line-delimited JSON over the socket):\n  \
          {{\"op\":\"place\"[,\"class\":K][,\"weight\":W]}}   admission + placement\n  \
          {{\"op\":\"depart\",\"user\":U}}                  release a placement\n  \
          {{\"op\":\"query\"[,\"resource\":R]}}             congestion / satisfaction\n  \
+         {{\"op\":\"stats\"}}                            windowed rates + SLO accounting\n  \
          {{\"op\":\"drain\",\"resource\":R}}               retire a resource\n  \
          {{\"op\":\"shutdown\"}}                         flush trailer, exit"
     );

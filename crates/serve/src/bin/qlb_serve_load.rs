@@ -16,6 +16,8 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
 use std::process::exit;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 struct Client {
@@ -98,14 +100,41 @@ fn main() {
     });
     let shutdown = args.iter().any(|a| a == "--shutdown");
     let timeout = Duration::from_millis(parse_u64("--timeout-ms", 30_000));
+    let stats_interval_ms = parse_u64("--stats-interval-ms", 0);
 
-    let mut client = match (get("--socket"), get("--tcp")) {
-        (Some(path), None) => connect_retry(|| Client::connect_unix(&path), timeout, &path),
-        (None, Some(addr)) => connect_retry(|| Client::connect_tcp(&addr), timeout, &addr),
+    let (socket, tcp) = (get("--socket"), get("--tcp"));
+    let mut client = match (&socket, &tcp) {
+        (Some(path), None) => connect_retry(|| Client::connect_unix(path), timeout, path),
+        (None, Some(addr)) => connect_retry(|| Client::connect_tcp(addr), timeout, addr),
         _ => {
             eprintln!("need exactly one of --socket PATH or --tcp ADDR");
             exit(2);
         }
+    };
+
+    // --- background stats poller (its own connection, satellite of the
+    // telemetry plane: exercises `{"op":"stats"}` while load is in flight) ---
+    let stop = Arc::new(AtomicBool::new(false));
+    let poller = if stats_interval_ms > 0 {
+        let stop = Arc::clone(&stop);
+        let (socket, tcp) = (socket.clone(), tcp.clone());
+        Some(std::thread::spawn(move || -> u64 {
+            let mut c = match (&socket, &tcp) {
+                (Some(path), None) => connect_retry(|| Client::connect_unix(path), timeout, path),
+                (None, Some(addr)) => connect_retry(|| Client::connect_tcp(addr), timeout, addr),
+                _ => unreachable!("validated above"),
+            };
+            let mut polls = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let v = c.ask("{\"op\":\"stats\"}").unwrap_or_else(die);
+                expect_ok(&v, "stats");
+                polls += 1;
+                std::thread::sleep(Duration::from_millis(stats_interval_ms));
+            }
+            polls
+        }))
+    } else {
+        None
     };
 
     // --- placements (with churn) ---
@@ -191,6 +220,18 @@ fn main() {
     let unsat = v.get("unsatisfied").and_then(Value::as_u64).unwrap_or(0);
     println!("final state: {active} active slots, {unsat} unsatisfied");
 
+    // --- final telemetry report (when the poller ran) ---
+    if let Some(handle) = poller {
+        stop.store(true, Ordering::Relaxed);
+        let polls = handle.join().unwrap_or_else(|_| {
+            eprintln!("stats poller panicked");
+            exit(1)
+        });
+        let v = client.ask("{\"op\":\"stats\"}").unwrap_or_else(die);
+        expect_ok(&v, "stats");
+        print_stats_report(&v, polls);
+    }
+
     if shutdown {
         let v = client.ask("{\"op\":\"shutdown\"}").unwrap_or_else(die);
         expect_ok(&v, "shutdown");
@@ -218,6 +259,49 @@ fn connect_retry<C>(
     }
 }
 
+/// Render the final `{"op":"stats"}` reply: windowed rates, per-class SLO
+/// violation fractions, and the rebalancer's posture.
+fn print_stats_report(v: &Value, polls: u64) {
+    let stats = v
+        .get("stats")
+        .unwrap_or_else(|| die("stats reply missing stats object".into()));
+    println!("telemetry: {polls} in-flight stats polls succeeded");
+    if let Some(Value::Array(rates)) = stats.get("rates") {
+        for r in rates {
+            let name = r.get("name").and_then(Value::as_str).unwrap_or("?");
+            let f = |k: &str| r.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+            println!(
+                "  rate {name:<18} {:>10.1}/s (1s) {:>10.1}/s (10s) {:>10.1}/s (60s)",
+                f("r1s"),
+                f("r10s"),
+                f("r60s")
+            );
+        }
+    }
+    if let Some(Value::Array(classes)) = stats.get("classes") {
+        for c in classes {
+            let k = c.get("class").and_then(Value::as_u64).unwrap_or(0);
+            let f = |key: &str| c.get(key).and_then(Value::as_f64).unwrap_or(0.0);
+            println!(
+                "  class {k}: violation {:.1}% windowed, {:.1}% lifetime",
+                f("violation_windowed") * 100.0,
+                f("violation_total") * 100.0
+            );
+        }
+    }
+    let g = |k: &str| stats.get(k).and_then(Value::as_u64).unwrap_or(0);
+    println!(
+        "  rebalancer: backlog {}, budget {}/{}, {} starved ticks; rejects pool {} capacity {} draining {}",
+        g("backlog"),
+        g("budget"),
+        g("budget_max"),
+        g("starved_ticks"),
+        g("rejects_pool"),
+        g("rejects_capacity"),
+        g("rejects_draining"),
+    );
+}
+
 fn expect_ok(v: &Value, op: &str) {
     if v.get("ok").and_then(Value::as_bool) != Some(true) {
         eprintln!("{op} failed: {v:?}");
@@ -240,6 +324,8 @@ fn print_help() {
          --weight W       slots per placement (default 1)\n  \
          --depart-every D depart one earlier ticket every D placements (default 4; 0 = never)\n  \
          --drain R        drain resource R afterwards and poll query until it empties\n  \
+         --stats-interval-ms MS  poll {{\"op\":\"stats\"}} on a second connection every MS\n                   \
+         during the run and print a final rates/violations report (0 = off)\n  \
          --shutdown       shut the daemon down at the end\n  \
          --timeout-ms MS  connect/drain timeout (default 30000)\n\n\
          Exits 0 only if every request succeeded (admission rejections are fine)."

@@ -206,6 +206,16 @@ impl RejectReason {
             Self::AllDraining => "draining",
         }
     }
+
+    /// Dense index into per-reason breakdown arrays
+    /// ([`ServeCore::reject_reasons`]).
+    fn index(self) -> usize {
+        match self {
+            Self::PoolExhausted => 0,
+            Self::Capacity => 1,
+            Self::AllDraining => 2,
+        }
+    }
 }
 
 /// A successful admission: the ticket (`user`) plus the initial placement.
@@ -310,8 +320,10 @@ pub struct ServeCore {
     // lifetime statistics (also exported as counters via the sink)
     placements: u64,
     rejects: u64,
+    rejects_by_reason: [u64; 3],
     departures: u64,
     drains: u64,
+    migrations_total: u64,
     // reusable round scratch
     moves: Vec<Move>,
     scratch: Vec<UserId>,
@@ -431,8 +443,10 @@ impl ServeCore {
             wpool,
             placements: 0,
             rejects: 0,
+            rejects_by_reason: [0; 3],
             departures: 0,
             drains: 0,
+            migrations_total: 0,
             moves: Vec::new(),
             scratch: Vec::new(),
             changes: Vec::new(),
@@ -475,6 +489,7 @@ impl ServeCore {
         };
         if let Err(reason) = verdict {
             self.rejects += 1;
+            self.rejects_by_reason[reason.index()] += 1;
             if S::ENABLED {
                 sink.add(Counter::AdmissionRejects, 1);
             }
@@ -583,7 +598,7 @@ impl ServeCore {
         self.class_active[k] -= released as u64;
         self.departures += 1;
         if S::ENABLED {
-            sink.add(Counter::Departures, released as u64);
+            sink.add(Counter::ServeDeparts, released as u64);
         }
         Ok(DepartOutcome { released })
     }
@@ -742,6 +757,7 @@ impl ServeCore {
             }
         }
         let migrations = self.moves.len() as u64;
+        self.migrations_total += migrations;
         self.changes.clear();
         self.changes
             .extend(self.moves.iter().map(|mv| (mv.user, mv.to)));
@@ -807,6 +823,26 @@ impl ServeCore {
         (self.placements, self.rejects, self.departures, self.drains)
     }
 
+    /// Lifetime admission rejects broken down by reason:
+    /// `(pool, capacity, draining)` — see [`RejectReason::as_str`] for the
+    /// wire names.
+    pub fn reject_reasons(&self) -> (u64, u64, u64) {
+        let [pool, capacity, draining] = self.rejects_by_reason;
+        (pool, capacity, draining)
+    }
+
+    /// Lifetime migrations applied by the background rebalancer.
+    pub fn migrations_total(&self) -> u64 {
+        self.migrations_total
+    }
+
+    /// The configured per-tick round-budget ceiling
+    /// ([`ServeConfig::max_tick_rounds`]) — the denominator of a budget
+    /// utilization readout.
+    pub fn max_tick_rounds(&self) -> u32 {
+        self.cfg.max_tick_rounds.max(1)
+    }
+
     /// Number of real (non-parking) resources.
     pub fn num_resources(&self) -> usize {
         self.real_m
@@ -817,12 +853,23 @@ impl ServeCore {
         self.inst.num_classes()
     }
 
+    /// Per-class unsatisfied counts into a caller-owned buffer
+    /// (`O(unsatisfied)`, allocation-free once the buffer is warm):
+    /// `out[k]` becomes the number of unsatisfied active users in class
+    /// `k`. The per-tick shape of [`ServeCore::class_stats`] for the
+    /// telemetry path.
+    pub fn class_unsatisfied_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.resize(self.inst.num_classes(), 0);
+        for &u in self.index.active() {
+            out[self.inst.class_of(u).index()] += 1;
+        }
+    }
+
     /// Per-class active/unsatisfied breakdown (`O(unsatisfied)`).
     pub fn class_stats(&self) -> Vec<ClassStats> {
-        let mut unsat = vec![0u64; self.inst.num_classes()];
-        for &u in self.index.active() {
-            unsat[self.inst.class_of(u).index()] += 1;
-        }
+        let mut unsat = Vec::new();
+        self.class_unsatisfied_into(&mut unsat);
         (0..self.inst.num_classes())
             .map(|k| ClassStats {
                 class: ClassId(k as u32),
@@ -1057,8 +1104,15 @@ mod tests {
         c.drain(ResourceId(0), &mut rec).unwrap();
         assert!(rec.counter(Counter::Placements) >= 2);
         assert!(rec.counter(Counter::AdmissionRejects) >= 1);
-        assert_eq!(rec.counter(Counter::Departures), 1);
+        // serve-side departures are their own counter, distinct from the
+        // open-system churn counter
+        assert_eq!(rec.counter(Counter::ServeDeparts), 1);
+        assert_eq!(rec.counter(Counter::Departures), 0);
         assert_eq!(rec.counter(Counter::Drains), 1);
+        let (pool, capacity, draining) = c.reject_reasons();
+        assert_eq!(pool + capacity + draining, c.totals().1);
+        assert!(capacity >= 1);
+        assert_eq!(draining, 0);
     }
 
     #[test]

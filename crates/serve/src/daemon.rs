@@ -21,12 +21,13 @@
 //! `qlb-trace` reports daemon latency percentiles offline or live.
 
 use crate::core::ServeCore;
-use crate::proto::{handle_line, OpKind};
+use crate::proto::{handle_line_with_stats, OpKind};
+use crate::telemetry::{render_prometheus, ServeTelemetry};
 use qlb_obs::profile::{PLACE_HIST_NAME, REQUEST_HIST_NAME};
 use qlb_obs::{Event, Sink};
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::TcpListener;
+use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::UnixListener;
 use std::sync::mpsc::{self, RecvTimeoutError};
 use std::thread;
@@ -89,6 +90,33 @@ impl Default for DaemonOptions {
     }
 }
 
+/// Telemetry-plane options of the serve loop, separate from
+/// [`DaemonOptions`] so existing callers keep their defaults.
+#[derive(Debug, Default)]
+pub struct TelemetryOptions {
+    /// Bound listener for the Prometheus `/metrics` endpoint (`None` =
+    /// disabled). Scrape connections are forwarded into the serve loop
+    /// and answered there — the exposition is rendered by the single
+    /// writer, lock-free.
+    pub metrics_http: Option<TcpListener>,
+    /// Offer a [`qlb_obs::StatsSnapshot`] to the sink every this many
+    /// scheduler ticks (0 = never).
+    pub stats_every: u64,
+}
+
+impl TelemetryOptions {
+    /// Default trailer-snapshot cadence (every 32 scheduler ticks).
+    pub const DEFAULT_STATS_EVERY: u64 = 32;
+
+    /// Options with the default snapshot cadence and no HTTP endpoint.
+    pub fn with_defaults() -> Self {
+        Self {
+            metrics_http: None,
+            stats_every: Self::DEFAULT_STATS_EVERY,
+        }
+    }
+}
+
 enum ConnMsg {
     Open {
         conn: u64,
@@ -101,6 +129,11 @@ enum ConnMsg {
     },
     Closed {
         conn: u64,
+    },
+    /// An HTTP scrape connection whose request head has been consumed;
+    /// the serve loop writes the exposition response and drops it.
+    Scrape {
+        stream: TcpStream,
     },
 }
 
@@ -170,18 +203,94 @@ fn spawn_acceptor(listener: ServeListener, tx: mpsc::Sender<ConnMsg>) {
     });
 }
 
-/// Run the serve loop until a `shutdown` request arrives. Returns the
-/// number of requests served. The caller finishes the sink afterwards
-/// (writing the trace trailer); the acceptor thread is left parked on
-/// `accept` and dies with the process — documented daemon behavior.
+/// Consume one HTTP request head (bounded, best-effort): a Prometheus
+/// scrape sends a small GET; we only need to drain it before replying.
+fn drain_http_head(stream: &TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let mut buf = [0u8; 1024];
+    let mut head: Vec<u8> = Vec::new();
+    let mut s = stream;
+    while head.len() < 8 * 1024 {
+        match s.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Acceptor for the Prometheus endpoint: reads each scrape's request
+/// head, then forwards the connection into the serve loop for the reply.
+fn spawn_metrics_acceptor(listener: TcpListener, tx: mpsc::Sender<ConnMsg>) {
+    thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { continue };
+            drain_http_head(&stream);
+            if tx.send(ConnMsg::Scrape { stream }).is_err() {
+                return;
+            }
+        }
+    });
+}
+
+/// Write one `200 OK` text-exposition response and close the connection.
+fn answer_scrape(mut stream: TcpStream, body: &str) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let head = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body.as_bytes()))
+        .and_then(|()| stream.flush());
+}
+
+/// Run the serve loop until a `shutdown` request arrives, with the
+/// default telemetry plane (stats op live, periodic trailer snapshots,
+/// no HTTP endpoint). Returns the number of requests served. The caller
+/// finishes the sink afterwards (writing the trace trailer); the
+/// acceptor thread is left parked on `accept` and dies with the process
+/// — documented daemon behavior.
 pub fn run_daemon<S: Sink>(
-    mut core: ServeCore,
+    core: ServeCore,
     listener: ServeListener,
     sink: &mut S,
     opts: DaemonOptions,
 ) -> io::Result<u64> {
+    run_daemon_telemetry(
+        core,
+        listener,
+        sink,
+        opts,
+        TelemetryOptions::with_defaults(),
+    )
+}
+
+/// [`run_daemon`] with an explicit telemetry plane: the serve loop owns a
+/// [`ServeTelemetry`] (so `{"op":"stats"}` answers with windowed rates
+/// whatever the sink), offers a snapshot to the sink every
+/// [`TelemetryOptions::stats_every`] ticks, and — when
+/// [`TelemetryOptions::metrics_http`] is bound — answers Prometheus
+/// scrapes from the same single-writer loop.
+pub fn run_daemon_telemetry<S: Sink>(
+    mut core: ServeCore,
+    listener: ServeListener,
+    sink: &mut S,
+    opts: DaemonOptions,
+    tel_opts: TelemetryOptions,
+) -> io::Result<u64> {
     let (tx, rx) = mpsc::channel::<ConnMsg>();
+    if let Some(http) = tel_opts.metrics_http {
+        spawn_metrics_acceptor(http, tx.clone());
+    }
     spawn_acceptor(listener, tx);
+    let mut tel = ServeTelemetry::new(core.num_classes(), core.max_tick_rounds());
+    let mut scrapes: Vec<TcpStream> = Vec::new();
     let mut writers: HashMap<u64, Box<dyn Write + Send>> = HashMap::new();
     let mut queue: VecDeque<(u64, String, Instant)> = VecDeque::new();
     let mut served = 0u64;
@@ -189,7 +298,8 @@ pub fn run_daemon<S: Sink>(
 
     let ingest = |msg: ConnMsg,
                   writers: &mut HashMap<u64, Box<dyn Write + Send>>,
-                  queue: &mut VecDeque<(u64, String, Instant)>| {
+                  queue: &mut VecDeque<(u64, String, Instant)>,
+                  scrapes: &mut Vec<TcpStream>| {
         match msg {
             ConnMsg::Open { conn, writer } => {
                 writers.insert(conn, writer);
@@ -202,6 +312,9 @@ pub fn run_daemon<S: Sink>(
             ConnMsg::Closed { conn } => {
                 writers.remove(&conn);
             }
+            ConnMsg::Scrape { stream } => {
+                scrapes.push(stream);
+            }
         }
     };
 
@@ -209,13 +322,13 @@ pub fn run_daemon<S: Sink>(
         // Ingest: block briefly when idle, then drain whatever is ready.
         if queue.is_empty() {
             match rx.recv_timeout(opts.idle_poll) {
-                Ok(msg) => ingest(msg, &mut writers, &mut queue),
+                Ok(msg) => ingest(msg, &mut writers, &mut queue, &mut scrapes),
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => break,
             }
         }
         while let Ok(msg) = rx.try_recv() {
-            ingest(msg, &mut writers, &mut queue);
+            ingest(msg, &mut writers, &mut queue, &mut scrapes);
         }
 
         // Answer a batch.
@@ -224,7 +337,7 @@ pub fn run_daemon<S: Sink>(
         let mut departures = 0u64;
         for _ in 0..batch {
             let (conn, line, at) = queue.pop_front().expect("batch ≤ queue length");
-            let reply = handle_line(&mut core, &line, sink);
+            let reply = handle_line_with_stats(&mut core, Some(&tel), &line, sink);
             match reply.kind {
                 OpKind::Place => placements += 1,
                 OpKind::Depart => departures += 1,
@@ -239,8 +352,11 @@ pub fn run_daemon<S: Sink>(
                     writers.remove(&conn);
                 }
             }
+            // latency is measured unconditionally: telemetry always wants
+            // it, and the sink gets a copy when recording
+            let ns = at.elapsed().as_nanos() as u64;
+            tel.on_request(reply.kind == OpKind::Place, ns);
             if S::ENABLED {
-                let ns = at.elapsed().as_nanos() as u64;
                 sink.latency(REQUEST_HIST_NAME, ns);
                 if reply.kind == OpKind::Place {
                     sink.latency(PLACE_HIST_NAME, ns);
@@ -271,7 +387,24 @@ pub fn run_daemon<S: Sink>(
         // Rebalance between batches; heartbeat when we did request work so
         // a live dashboard sees round records even in a satisfied steady
         // state.
-        core.tick(queue.len(), batch > 0, sink);
+        let backlog = queue.len();
+        core.tick(backlog, batch > 0, sink);
+        tel.on_tick(&core, backlog);
+        if S::ENABLED
+            && tel_opts.stats_every > 0
+            && tel.ticks().is_multiple_of(tel_opts.stats_every)
+        {
+            sink.stats_snapshot(&tel.snapshot(&core));
+        }
+
+        // Answer any pending Prometheus scrapes: render once per batch,
+        // from the single writer — no locks.
+        if !scrapes.is_empty() {
+            let body = render_prometheus(&tel, &core);
+            for stream in scrapes.drain(..) {
+                answer_scrape(stream, &body);
+            }
+        }
     }
     Ok(served)
 }
@@ -323,6 +456,66 @@ mod tests {
         let served = handle.join().unwrap();
         assert_eq!(served, 3);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stats_op_and_metrics_endpoint_answer_live() {
+        let core = ServeCore::with_capacities(&[8; 4], 32, ServeConfig::new(2)).unwrap();
+        let listener = ServeListener::bind_tcp("127.0.0.1:0").unwrap();
+        let addr = match &listener {
+            ServeListener::Tcp(l) => l.local_addr().unwrap(),
+            _ => unreachable!(),
+        };
+        let http = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let http_addr = http.local_addr().unwrap();
+        let handle = thread::spawn(move || {
+            let mut sink = qlb_obs::NoopSink;
+            run_daemon_telemetry(
+                core,
+                listener,
+                &mut sink,
+                DaemonOptions::default(),
+                TelemetryOptions {
+                    metrics_http: Some(http),
+                    stats_every: 4,
+                },
+            )
+            .unwrap()
+        });
+        let stream = std::net::TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut w = stream;
+        let mut line = String::new();
+        let mut ask = |req: &str, line: &mut String| {
+            w.write_all(req.as_bytes()).unwrap();
+            w.write_all(b"\n").unwrap();
+            w.flush().unwrap();
+            line.clear();
+            reader.read_line(line).unwrap();
+        };
+        ask("{\"op\":\"place\"}", &mut line);
+        assert!(line.contains("\"admitted\":true"), "got {line}");
+        ask("{\"op\":\"stats\"}", &mut line);
+        assert!(line.contains("\"op\":\"stats\""), "got {line}");
+        assert!(line.contains("\"rates\":["), "got {line}");
+        assert!(line.contains("\"classes\":["), "got {line}");
+        assert!(line.contains("\"budget_max\":"), "got {line}");
+
+        // Prometheus scrape over real HTTP
+        let mut http_conn = std::net::TcpStream::connect(http_addr).unwrap();
+        http_conn
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        http_conn.flush().unwrap();
+        let mut response = String::new();
+        http_conn.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "got {response}");
+        assert!(response.contains("qlb_placements_total 1"), "{response}");
+        assert!(response.contains("# TYPE qlb_slo_violation_ratio gauge"));
+
+        ask("{\"op\":\"shutdown\"}", &mut line);
+        assert!(line.contains("shutdown"), "got {line}");
+        handle.join().unwrap();
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //!   and reply formatting, one dispatch point ([`proto::handle_line`]).
 //! * [`daemon`] — the socket front-end: Unix/TCP listeners, per
 //!   connection reader threads, and the batch/tick serve loop.
+//! * [`telemetry`] — the live telemetry plane ([`ServeTelemetry`]):
+//!   windowed rates, latency digests, and per-class SLO accounting behind
+//!   the `stats` wire op, periodic trace-trailer snapshots, and the
+//!   optional Prometheus `/metrics` endpoint (`--metrics-http`).
 //!
 //! The `qlb-serve` binary wires the three to a CLI; `qlb-serve-load` is
 //! the matching load/smoke client used by CI and the benches.
@@ -30,10 +34,16 @@
 pub mod core;
 pub mod daemon;
 pub mod proto;
+pub mod telemetry;
 
 pub use crate::core::{
     ClassStats, DepartOutcome, DrainOutcome, PlaceOutcome, RejectReason, ResourceStats,
     ServeConfig, ServeCore, ServeProtocol, TickOutcome,
 };
-pub use crate::daemon::{run_daemon, DaemonOptions, ServeListener};
-pub use crate::proto::{handle_line, parse_request, OpKind, Reply, Request};
+pub use crate::daemon::{
+    run_daemon, run_daemon_telemetry, DaemonOptions, ServeListener, TelemetryOptions,
+};
+pub use crate::proto::{
+    handle_line, handle_line_with_stats, parse_request, OpKind, Reply, Request,
+};
+pub use crate::telemetry::{cumulative_snapshot, render_prometheus, ServeTelemetry};

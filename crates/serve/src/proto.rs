@@ -7,6 +7,7 @@
 //! {"op":"place"[,"class":K][,"weight":W]}     → admission + placement
 //! {"op":"depart","user":U}                    → release a placement
 //! {"op":"query"[,"resource":R]}               → congestion / satisfaction
+//! {"op":"stats"}                              → windowed live telemetry
 //! {"op":"drain","resource":R}                 → retire a resource
 //! {"op":"shutdown"}                           → flush trailer, exit
 //! ```
@@ -21,6 +22,7 @@
 //! response path allocation-light).
 
 use crate::core::{PlaceOutcome, RejectReason, ServeCore};
+use crate::telemetry::{cumulative_snapshot, ServeTelemetry};
 use qlb_core::{ClassId, ResourceId, UserId};
 use qlb_obs::Sink;
 use serde_json::{parse_value_str, Value};
@@ -45,6 +47,9 @@ pub enum Request {
         /// Optional single-resource focus.
         resource: Option<u32>,
     },
+    /// Windowed live-telemetry snapshot (rates, latency digests,
+    /// per-class SLO violation fractions, rebalancer health).
+    Stats,
     /// Retire a resource.
     Drain {
         /// Resource to drain.
@@ -87,6 +92,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "query" => Ok(Request::Query {
             resource: u32_field("resource")?,
         }),
+        "stats" => Ok(Request::Stats),
         "drain" => {
             let resource = u32_field("resource")?.ok_or("\"drain\" needs \"resource\"")?;
             Ok(Request::Drain { resource })
@@ -106,6 +112,8 @@ pub enum OpKind {
     Depart,
     /// A `query`.
     Query,
+    /// A `stats`.
+    Stats,
     /// A `drain`.
     Drain,
     /// A `shutdown`.
@@ -182,14 +190,18 @@ fn reject_reply(reason: RejectReason) -> Reply {
 
 fn query_reply(core: &ServeCore, resource: Option<u32>) -> Reply {
     let (placements, rejects, departures, drains) = core.totals();
+    let (pool, capacity, draining) = core.reject_reasons();
     let mut s = format!(
-        "{{\"ok\":true,\"op\":\"query\",\"active\":{},\"free\":{},\"unsatisfied\":{},\"round\":{},\"placements\":{},\"rejects\":{},\"departures\":{},\"drains\":{}",
+        "{{\"ok\":true,\"op\":\"query\",\"active\":{},\"free\":{},\"unsatisfied\":{},\"round\":{},\"placements\":{},\"rejects\":{},\"reject_reasons\":{{\"pool\":{},\"capacity\":{},\"draining\":{}}},\"departures\":{},\"drains\":{}",
         core.active_slots(),
         core.free_slots(),
         core.unsatisfied(),
         core.round(),
         placements,
         rejects,
+        pool,
+        capacity,
+        draining,
         departures,
         drains
     );
@@ -222,10 +234,36 @@ fn query_reply(core: &ServeCore, resource: Option<u32>) -> Reply {
     Reply::new(s, OpKind::Query)
 }
 
+fn stats_reply(core: &ServeCore, tel: Option<&ServeTelemetry>) -> Reply {
+    let snap = match tel {
+        Some(tel) => tel.snapshot(core),
+        None => cumulative_snapshot(core),
+    };
+    let body = serde_json::to_string(&snap).expect("snapshot serializes");
+    Reply::new(
+        format!("{{\"ok\":true,\"op\":\"stats\",\"stats\":{body}}}"),
+        OpKind::Stats,
+    )
+}
+
 /// Parse and execute one request line against the core, producing the
 /// reply line. This is the single dispatch point shared by the socket
-/// daemon, the serve bench, and the lifecycle tests.
+/// daemon, the serve bench, and the lifecycle tests. A `stats` request
+/// through this entry point answers with cumulative tallies only (no
+/// windowed telemetry) — the daemon routes through
+/// [`handle_line_with_stats`] instead.
 pub fn handle_line<S: Sink>(core: &mut ServeCore, line: &str, sink: &mut S) -> Reply {
+    handle_line_with_stats(core, None, line, sink)
+}
+
+/// [`handle_line`] with a live [`ServeTelemetry`] behind the `stats` op:
+/// the daemon's dispatch point.
+pub fn handle_line_with_stats<S: Sink>(
+    core: &mut ServeCore,
+    tel: Option<&ServeTelemetry>,
+    line: &str,
+    sink: &mut S,
+) -> Reply {
     let req = match parse_request(line) {
         Ok(r) => r,
         Err(e) => return error_reply(OpKind::Invalid, &e),
@@ -264,6 +302,7 @@ pub fn handle_line<S: Sink>(core: &mut ServeCore, line: &str, sink: &mut S) -> R
             }
             query_reply(core, resource)
         }
+        Request::Stats => stats_reply(core, tel),
         Request::Drain { resource } => {
             if (resource as usize) >= core.num_resources() {
                 return error_reply(
@@ -342,6 +381,7 @@ mod tests {
             parse_request("{\"op\":\"drain\",\"resource\":4}").unwrap(),
             Request::Drain { resource: 4 }
         );
+        assert_eq!(parse_request("{\"op\":\"stats\"}").unwrap(), Request::Stats);
         assert_eq!(
             parse_request("{\"op\":\"shutdown\"}").unwrap(),
             Request::Shutdown
@@ -413,6 +453,62 @@ mod tests {
             other => panic!("classes not an array: {other:?}"),
         };
         assert_eq!(classes.len(), 1);
+    }
+
+    #[test]
+    fn query_reports_reject_reasons() {
+        let mut c = ServeCore::with_capacities(&[1], 2, ServeConfig::new(1)).unwrap();
+        let mut sink = NoopSink;
+        handle_line(&mut c, "{\"op\":\"place\"}", &mut sink); // capacity reject
+        let r = handle_line(&mut c, "{\"op\":\"query\"}", &mut sink);
+        let v = parse_value_str(&r.text).unwrap();
+        let reasons = get(&v, "reject_reasons");
+        assert_eq!(get(reasons, "pool").as_u64(), Some(0));
+        assert_eq!(get(reasons, "capacity").as_u64(), Some(1));
+        assert_eq!(get(reasons, "draining").as_u64(), Some(0));
+    }
+
+    #[test]
+    fn stats_without_telemetry_reports_cumulative_tallies() {
+        let mut c = core();
+        let mut sink = NoopSink;
+        for _ in 0..3 {
+            handle_line(&mut c, "{\"op\":\"place\"}", &mut sink);
+        }
+        let r = handle_line(&mut c, "{\"op\":\"stats\"}", &mut sink);
+        assert_eq!(r.kind, OpKind::Stats);
+        let v = parse_value_str(&r.text).unwrap();
+        assert_eq!(get(&v, "ok").as_bool(), Some(true));
+        let stats = get(&v, "stats");
+        assert_eq!(get(stats, "active").as_u64(), Some(3));
+        assert!(stats.get("classes").is_some());
+    }
+
+    #[test]
+    fn stats_with_telemetry_reports_windowed_rates() {
+        let mut c = core();
+        let mut tel = ServeTelemetry::new(c.num_classes(), c.max_tick_rounds());
+        let mut sink = NoopSink;
+        for _ in 0..4 {
+            handle_line(&mut c, "{\"op\":\"place\"}", &mut sink);
+        }
+        tel.on_request(true, 1_000);
+        tel.on_tick_at(&c, 0, 0);
+        tel.on_tick_at(&c, 0, 500);
+        let r = handle_line_with_stats(&mut c, Some(&tel), "{\"op\":\"stats\"}", &mut sink);
+        let v = parse_value_str(&r.text).unwrap();
+        let stats = get(&v, "stats");
+        assert_eq!(get(stats, "tick").as_u64(), Some(2));
+        let rates = match get(stats, "rates") {
+            Value::Array(a) => a,
+            other => panic!("rates not an array: {other:?}"),
+        };
+        assert!(!rates.is_empty());
+        let placements = rates
+            .iter()
+            .find(|r| r.get("name").and_then(Value::as_str) == Some("placements"))
+            .expect("placements rate present");
+        assert!(placements.get("r1s").and_then(Value::as_f64).unwrap() > 0.0);
     }
 
     #[test]

@@ -128,6 +128,8 @@ fn full_lifecycle_over_a_unix_socket() {
             "42",
             "--idle-ms",
             "2",
+            "--stats-every",
+            "4",
         ],
     );
     let mut c = Client::connect(&d);
@@ -153,6 +155,72 @@ fn full_lifecycle_over_a_unix_socket() {
         other => panic!("classes not an array: {other:?}"),
     };
     assert_eq!(classes.len(), 2);
+    // nothing rejected yet: the per-reason breakdown is present and zero
+    let rr = get(&v, "reject_reasons");
+    for reason in ["pool", "capacity", "draining"] {
+        assert_eq!(u64_of(rr, reason), 0, "unexpected {reason} rejects");
+    }
+
+    // --- live stats: windowed rates and per-class SLO accounting ---
+    let v = c.ask("{\"op\":\"stats\"}");
+    assert_eq!(get(&v, "ok"), &Value::Bool(true), "reply {v:?}");
+    assert_eq!(get(&v, "op"), &Value::String("stats".into()));
+    let stats = get(&v, "stats");
+    assert!(u64_of(stats, "tick") >= 1, "telemetry saw no ticks: {v:?}");
+    assert_eq!(u64_of(stats, "budget_max"), 8);
+    let rates = match get(stats, "rates") {
+        Value::Array(a) => a,
+        other => panic!("rates not an array: {other:?}"),
+    };
+    let rate_names: Vec<&str> = rates
+        .iter()
+        .map(|r| get(r, "name").as_str().expect("rate name"))
+        .collect();
+    for expect in ["requests", "placements", "serve_departs", "rounds"] {
+        assert!(rate_names.contains(&expect), "no {expect} rate in {v:?}");
+    }
+    // Rates divide by covered wall time, which is still ~0 ms this early;
+    // keep asking (each ask is itself traffic) until the window opens.
+    let t0 = Instant::now();
+    loop {
+        let v = c.ask("{\"op\":\"stats\"}");
+        let stats = get(&v, "stats");
+        let rates = match get(stats, "rates") {
+            Value::Array(a) => a,
+            other => panic!("rates not an array: {other:?}"),
+        };
+        let req_rate = rates
+            .iter()
+            .find(|r| get(r, "name").as_str() == Some("requests"))
+            .expect("requests rate present");
+        if get(req_rate, "r60s").as_f64().expect("r60s is a number") > 0.0 {
+            break;
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(20),
+            "request rate never went live: {v:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let slo = match get(stats, "classes") {
+        Value::Array(a) => a,
+        other => panic!("stats classes not an array: {other:?}"),
+    };
+    assert_eq!(slo.len(), 2);
+    for cs in slo {
+        let w = get(cs, "violation_windowed")
+            .as_f64()
+            .expect("windowed fraction");
+        let t = get(cs, "violation_total").as_f64().expect("total fraction");
+        assert!(
+            (0.0..=1.0).contains(&w),
+            "violation_windowed out of range: {cs:?}"
+        );
+        assert!(
+            (0.0..=1.0).contains(&t),
+            "violation_total out of range: {cs:?}"
+        );
+    }
 
     // --- malformed requests answer ok:false and do not wedge the daemon ---
     let v = c.ask("{\"op\":\"warp\"}");
@@ -224,9 +292,34 @@ fn full_lifecycle_over_a_unix_socket() {
         summary.counters.get("drains").copied().unwrap_or(0) == 1,
         "drains counter missing from trailer"
     );
+    // 5 departures released weights 1+2+1+1+3 = 8 slots, attributed to
+    // the daemon-side serve_departs counter — not the open-driver
+    // departures counter
+    assert_eq!(
+        summary.counters.get("serve_departs").copied().unwrap_or(0),
+        8,
+        "daemon departures must land in the serve_departs counter: {:?}",
+        summary.counters
+    );
+    assert_eq!(
+        summary.counters.get("departures").copied().unwrap_or(0),
+        0,
+        "open-system departures counter must stay untouched by daemon departs"
+    );
     assert!(
         summary.latency_hists.contains_key("request_latency"),
         "request latency histogram missing from trailer"
+    );
+    // --stats-every 4 over a run with many idle ticks: periodic snapshots
+    // landed in the trace, in tick order
+    assert!(
+        !summary.stats_snapshots.is_empty(),
+        "no StatsSnapshot records in the trace"
+    );
+    let snap_ticks: Vec<u64> = summary.stats_snapshots.iter().map(|s| s.tick).collect();
+    assert!(
+        snap_ticks.windows(2).all(|w| w[0] < w[1]),
+        "snapshot ticks not strictly increasing: {snap_ticks:?}"
     );
 
     // --- qlb-trace (built alongside in the workspace) exits 0 on it ---
@@ -284,6 +377,18 @@ fn rejections_and_all_draining() {
     // the occupant can still depart while parked-in-limbo
     let v = c.ask(&format!("{{\"op\":\"depart\",\"user\":{user}}}"));
     assert_eq!(get(&v, "ok"), &Value::Bool(true));
+    // both reject reasons are attributed, in the query breakdown and in
+    // the stats snapshot
+    let v = c.ask("{\"op\":\"query\"}");
+    let rr = get(&v, "reject_reasons");
+    assert_eq!(u64_of(rr, "capacity"), 1);
+    assert_eq!(u64_of(rr, "draining"), 1);
+    assert_eq!(u64_of(rr, "pool"), 0);
+    let v = c.ask("{\"op\":\"stats\"}");
+    let stats = get(&v, "stats");
+    assert_eq!(u64_of(stats, "rejects_capacity"), 1);
+    assert_eq!(u64_of(stats, "rejects_draining"), 1);
+    assert_eq!(u64_of(stats, "rejects_pool"), 0);
     let v = c.ask("{\"op\":\"shutdown\"}");
     assert_eq!(get(&v, "ok"), &Value::Bool(true));
     assert!(d.child.wait_with_timeout().success());

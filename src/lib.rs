@@ -13,8 +13,11 @@
 //! * [`runtime`] (`qlb-runtime`) — message-passing actor runtime;
 //! * [`workload`] (`qlb-workload`) — scenario generators;
 //! * [`flow`] (`qlb-flow`) — max-flow feasibility substrate;
-//! * [`obs`] (`qlb-obs`) — metrics, event tracing, and phase timers
-//!   (monomorphized sinks, zero-cost when disabled);
+//! * [`obs`] (`qlb-obs`) — metrics, event tracing, phase timers
+//!   (monomorphized sinks, zero-cost when disabled), and the windowed
+//!   live-telemetry aggregator (rolling rates, latency digests,
+//!   per-class SLO accounting) behind the daemon's `stats` op,
+//!   Prometheus exposition, and `qlb-trace watch` dashboard;
 //! * [`stats`] (`qlb-stats`) — experiment statistics;
 //! * [`rng`] (`qlb-rng`) — deterministic counter-based randomness;
 //! * [`topo`] (`qlb-topo`) — resource graphs and topology-restricted
@@ -22,8 +25,9 @@
 //! * [`analysis`] (`qlb-analysis`) — exact Markov-chain expectations for
 //!   tiny instances;
 //! * [`serve`] (`qlb-serve`) — the `qlb-serve` placement daemon: live
-//!   admission control, synchronous placement, and a background
-//!   rebalancer over a line-delimited JSON socket protocol.
+//!   admission control, synchronous placement, a background
+//!   rebalancer, and a live telemetry plane (`{"op":"stats"}`,
+//!   `/metrics`) over a line-delimited JSON socket protocol.
 //!
 //! ## Quickstart
 //!

@@ -8,7 +8,10 @@ use proptest::prelude::*;
 use qoslb::engine::{run_observed, Executor, RunConfig};
 use qoslb::obs::recorder::Record;
 use qoslb::obs::replay::Summary;
-use qoslb::obs::{Phase, Recorder, StreamSink};
+use qoslb::obs::{
+    ClassSlo, Histogram, LatencyDigest, Phase, RateSample, Recorder, Sink, StatsSnapshot,
+    StreamSink,
+};
 use qoslb::prelude::*;
 use qoslb::workload::calibrate_slack;
 
@@ -202,6 +205,127 @@ proptest! {
         let clean = Summary::from_jsonl(clean_prefix).expect("clean prefix replays");
         prop_assert_eq!(summary.events_by_kind, clean.events_by_kind);
         prop_assert_eq!(summary.counters, clean.counters);
+    }
+}
+
+/// A synthetic but fully populated telemetry snapshot — every field and
+/// nested vector exercised so the JSONL round trip covers the whole wire
+/// shape, including exactly representable f64 fractions.
+fn synth_snapshot(tick: u64, seed: u64) -> StatsSnapshot {
+    StatsSnapshot {
+        tick,
+        uptime_ms: tick * 250,
+        active: 100 + seed % 50,
+        unsatisfied: seed % 4,
+        backlog: seed % 17,
+        budget: 1 + seed % 8,
+        budget_max: 8,
+        starved_ticks: seed % 3,
+        rates: vec![
+            RateSample {
+                name: "requests".to_string(),
+                r1s: (seed % 7) as f64 * 0.5,
+                r10s: (seed % 11) as f64 * 0.25,
+                r60s: (seed % 13) as f64 * 0.125,
+            },
+            RateSample {
+                name: "placements".to_string(),
+                r1s: (seed % 5) as f64,
+                r10s: (seed % 9) as f64 * 0.5,
+                r60s: (seed % 3) as f64 * 0.25,
+            },
+        ],
+        latency: vec![LatencyDigest {
+            name: "request_latency".to_string(),
+            count: tick * 64,
+            p50_ns: 4_096 + seed % 1_000,
+            p95_ns: 8_192 + seed % 1_000,
+            p99_ns: 16_384 + seed % 1_000,
+        }],
+        classes: vec![ClassSlo {
+            class: 0,
+            active: 100,
+            unsatisfied: seed % 4,
+            violation_windowed: (seed % 4) as f64 * 0.25,
+            violation_total: (seed % 8) as f64 * 0.125,
+        }],
+        rejects_pool: seed % 23,
+        rejects_capacity: seed % 19,
+        rejects_draining: seed % 2,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// **Telemetry snapshots round-trip byte-identically.** The sim engine
+    /// never emits [`StatsSnapshot`]s, so feed a synthetic series through
+    /// [`Sink::stats_snapshot`] into both a `Recorder` and a `StreamSink`
+    /// on top of the same seeded run: the trailer records must be
+    /// byte-for-byte identical across the two sinks, and replay must
+    /// reconstruct the exact snapshots — every counter, rate, digest, and
+    /// SLO fraction — through the JSONL round trip.
+    #[test]
+    fn stats_snapshots_round_trip_byte_identical(
+        (inst, state, seed) in small_instance(),
+        budget in 1u64..60,
+        count in 1u64..40,
+        flush_every in 1u64..8,
+    ) {
+        let cfg = RunConfig::new(seed, budget);
+        let proto = SlackDamped::default();
+        let snaps: Vec<StatsSnapshot> = (1..=count)
+            .map(|i| synth_snapshot(i, seed.wrapping_mul(i)))
+            .collect();
+
+        let mut rec = Recorder::default();
+        run_observed(&inst, state.clone(), &proto, cfg, &mut rec);
+        for s in &snaps {
+            rec.stats_snapshot(s);
+        }
+        let dump = rec.to_jsonl();
+
+        let mut sink = StreamSink::with_flush_every(Vec::new(), flush_every);
+        run_observed(&inst, state.clone(), &proto, cfg, &mut sink);
+        for s in &snaps {
+            sink.stats_snapshot(s);
+        }
+        let bytes = sink.finish().expect("in-memory writer cannot fail");
+        let streamed = String::from_utf8(bytes).expect("trace is UTF-8");
+
+        prop_assert_eq!(normalize_timings(&streamed), normalize_timings(&dump));
+
+        let summary = Summary::from_jsonl(&streamed).expect("snapshot trace replays");
+        prop_assert_eq!(&summary.stats_snapshots, &snaps);
+        prop_assert!(summary.saw_trailer());
+    }
+
+    /// **Windowed quantiles equal whole-run quantiles.** The windowed view
+    /// differences a cumulative histogram into per-period deltas
+    /// ([`Histogram::delta_since`]) and folds them back with
+    /// [`Histogram::merge`]: for any sample stream and any period
+    /// boundaries, the merged histogram must equal the whole-run one
+    /// exactly — same buckets, count, sum, and therefore identical
+    /// quantiles at every probe point.
+    #[test]
+    fn windowed_hist_merge_matches_whole_run(
+        samples in proptest::collection::vec(0u64..(1u64 << 48), 1..200),
+        period in 1usize..20,
+    ) {
+        let mut cum = Histogram::default();
+        let mut prev = Histogram::default();
+        let mut merged = Histogram::default();
+        for chunk in samples.chunks(period) {
+            for &v in chunk {
+                cum.observe(v);
+            }
+            merged.merge(&cum.delta_since(&prev));
+            prev = cum.clone();
+        }
+        prop_assert_eq!(&merged, &cum);
+        for q in [0.0, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(merged.quantile(q), cum.quantile(q), "quantile {} diverges", q);
+        }
     }
 }
 
