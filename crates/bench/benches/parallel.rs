@@ -28,32 +28,13 @@ use qlb_bench::endgame_pair;
 use qlb_core::step::decide_range_into;
 use qlb_core::{Move, RoundView, ShardDeltas, ShardScratch, SlackDamped};
 use qlb_engine::{shard_chunk, shards_for, WorkerPool};
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-/// Counts every heap allocation so the steady-state no-alloc claim of the
-/// pooled round is checkable, not aspirational.
-struct CountingAlloc;
-
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
-
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        unsafe { System.alloc(layout) }
-    }
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        unsafe { System.dealloc(ptr, layout) }
-    }
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        unsafe { System.realloc(ptr, layout, new_size) }
-    }
-}
-
+// The shared counting allocator behind all memory gates (`qlb_obs::mem`)
+// makes the steady-state no-alloc claim of the pooled round checkable,
+// not aspirational.
 #[global_allocator]
-static GLOBAL: CountingAlloc = CountingAlloc;
+static GLOBAL: qlb_obs::CountingAlloc = qlb_obs::CountingAlloc;
 
 /// Steady-state pooled rounds must not touch the allocator: warm the pool
 /// buffers up, then run 32 more rounds and demand the global allocation
@@ -73,11 +54,11 @@ fn assert_no_alloc_per_round(n: usize, threads: usize) {
     for _ in 0..8 {
         pool.decide_round(fill, &mut out, false); // warm-up: buffers grow once
     }
-    let before = ALLOCS.load(Ordering::SeqCst);
+    let before = qlb_obs::mem::total_allocs();
     for _ in 0..32 {
         pool.decide_round(fill, &mut out, false);
     }
-    let after = ALLOCS.load(Ordering::SeqCst);
+    let after = qlb_obs::mem::total_allocs();
     assert_eq!(
         after - before,
         0,
@@ -122,11 +103,11 @@ fn assert_no_alloc_view_round(n: usize, threads: usize) {
     for _ in 0..8 {
         round(&mut out); // warm-up: scratch and delta buffers grow once
     }
-    let before = ALLOCS.load(Ordering::SeqCst);
+    let before = qlb_obs::mem::total_allocs();
     for _ in 0..32 {
         round(&mut out);
     }
-    let after = ALLOCS.load(Ordering::SeqCst);
+    let after = qlb_obs::mem::total_allocs();
     assert_eq!(
         after - before,
         0,

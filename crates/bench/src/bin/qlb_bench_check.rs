@@ -26,7 +26,13 @@
 //!   the committed throughput AND the hard acceptance floor recorded in
 //!   `BENCH_serve.json` (`floor_places_per_sec`, 50k/s), placement p95
 //!   latency must stay within `1/tolerance` of the committed value, and
-//!   the background rebalancer must never starve under backlog.
+//!   the background rebalancer must never starve under backlog;
+//! * **memory** (`BENCH_mem.json`): the shard-owned pooled round must run
+//!   32 steady-state rounds with **zero** allocations and a round peak at
+//!   or under the committed 12 bytes/user acceptance budget (exact, so
+//!   enforced identically in `--quick`), and every executor's working-set
+//!   bytes/user must stay within `--mem-growth` (default 1.35×) of the
+//!   committed baseline.
 //!
 //! ```text
 //! qlb-bench-check            # full gate (the committed sizes up to 10^5)
@@ -37,11 +43,17 @@
 //! missing/corrupt baseline JSON.
 
 use qlb_bench::checks::{
-    measure_dispatch, measure_obs, measure_open_sparse, measure_scaling, measure_serve,
-    measure_shard_timing, measure_sparse, measure_weighted_sparse, measure_window,
+    measure_dispatch, measure_mem_chunked, measure_mem_dense, measure_mem_pooled, measure_obs,
+    measure_open_sparse, measure_scaling, measure_serve, measure_shard_timing, measure_sparse,
+    measure_weighted_sparse, measure_window, MemRow,
 };
 use serde_json::{parse_value_str, Value};
 use std::process::exit;
+
+// The memory gates count real allocations, so the gate binary itself runs
+// under the shared counting allocator (same one the benches install).
+#[global_allocator]
+static GLOBAL: qlb_obs::CountingAlloc = qlb_obs::CountingAlloc;
 
 struct Gate {
     name: String,
@@ -391,6 +403,105 @@ fn check_serve(baseline: &Value, sizes: &[usize], tolerance: f64, gates: &mut Ve
     }
 }
 
+/// Gates for `BENCH_mem.json`: re-measure each committed executor row at
+/// its committed size and enforce
+///
+/// * the **hard acceptance gates** on the shard-owned pooled round —
+///   zero steady-state allocations, and a steady-state round peak at or
+///   under the committed `pooled_round_peak_bytes_per_user_max` budget
+///   (12 bytes/user at n = 10⁶) — in `--quick` too: allocation counts
+///   are exact, not timing-noisy, so there is no small-size variant;
+/// * a **regression cap** on every row's working-set bytes/user (and the
+///   chunked whole-run peak): measured ≤ committed × `growth`. Byte
+///   counts are deterministic for a fixed seed, so the cap is tight.
+fn check_mem(baseline: &Value, growth: f64, gates: &mut Vec<Gate>) {
+    let peak_cap = baseline
+        .get("gates")
+        .and_then(|g| f64_field(g, "pooled_round_peak_bytes_per_user_max"))
+        .unwrap_or(12.0);
+    let rows = match baseline.get("results") {
+        Some(Value::Array(rows)) => rows,
+        _ => {
+            gates.push(Gate {
+                name: "mem/results".into(),
+                passed: false,
+                detail: "no results array in BENCH_mem.json".into(),
+            });
+            return;
+        }
+    };
+    for row in rows {
+        let executor = row
+            .get("executor")
+            .and_then(Value::as_str)
+            .unwrap_or("")
+            .to_string();
+        let n = row.get("n").and_then(Value::as_u64).unwrap_or(0) as usize;
+        let threads = row.get("threads").and_then(Value::as_u64).unwrap_or(1) as usize;
+        let committed_ws = f64_field(row, "working_set_bytes_per_user").unwrap_or(0.0);
+        let measured: MemRow = match executor.as_str() {
+            "dense-seq" => measure_mem_dense(n),
+            "pooled-soa" => measure_mem_pooled(n, threads),
+            "chunked" => measure_mem_chunked(n),
+            other => {
+                gates.push(Gate {
+                    name: format!("mem/{other}"),
+                    passed: false,
+                    detail: format!("unknown executor '{other}' in BENCH_mem.json"),
+                });
+                continue;
+            }
+        };
+        let ws = measured.working_set_bytes_per_user();
+        // absolute floor of 0.05 B/user so an essentially-zero committed
+        // working set (the chunked uniform start) stays checkable
+        let ws_cap = (committed_ws * growth).max(0.05);
+        gates.push(Gate {
+            name: format!("mem/{executor}/n{n}/working_set"),
+            passed: ws <= ws_cap,
+            detail: format!(
+                "measured {ws:.2} B/user vs committed {committed_ws:.2} B/user \
+                 (cap {ws_cap:.2} at growth {growth})"
+            ),
+        });
+        match executor.as_str() {
+            "pooled-soa" => {
+                gates.push(Gate {
+                    name: format!("mem/{executor}/n{n}/steady_allocs"),
+                    passed: measured.steady_allocs == 0,
+                    detail: format!(
+                        "{} allocations across 32 steady-state shard-owned rounds (must be 0)",
+                        measured.steady_allocs
+                    ),
+                });
+                let peak = measured.round_peak_bytes_per_user();
+                gates.push(Gate {
+                    name: format!("mem/{executor}/n{n}/round_peak"),
+                    passed: peak <= peak_cap,
+                    detail: format!(
+                        "steady-state round peak {peak:.2} B/user vs the hard \
+                         {peak_cap:.1} B/user acceptance gate"
+                    ),
+                });
+            }
+            "chunked" => {
+                let committed_peak = f64_field(row, "round_peak_bytes_per_user").unwrap_or(0.0);
+                let peak = measured.round_peak_bytes_per_user();
+                let cap = committed_peak * growth;
+                gates.push(Gate {
+                    name: format!("mem/{executor}/n{n}/run_peak"),
+                    passed: committed_peak > 0.0 && peak <= cap,
+                    detail: format!(
+                        "whole-run peak {peak:.2} B/user vs committed {committed_peak:.2} \
+                         (cap {cap:.2} at growth {growth})"
+                    ),
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -417,11 +528,19 @@ fn main() {
         })
     });
 
+    let mem_growth: f64 = get("--mem-growth").map_or(1.35, |s| {
+        s.parse().unwrap_or_else(|_| {
+            eprintln!("bad --mem-growth");
+            exit(2)
+        })
+    });
+
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
     let sparse_baseline = load_json(&format!("{root}/BENCH_sparse.json"));
     let obs_baseline = load_json(&format!("{root}/BENCH_obs.json"));
     let parallel_baseline = load_json(&format!("{root}/BENCH_parallel.json"));
     let serve_baseline = load_json(&format!("{root}/BENCH_serve.json"));
+    let mem_baseline = load_json(&format!("{root}/BENCH_mem.json"));
 
     // quick mode exercises every gate at the smallest committed size (a
     // few seconds); the full gate re-measures the committed sizes up to
@@ -452,6 +571,7 @@ fn main() {
     check_shard_timing(&obs_baseline, reps, margin, &mut gates);
     check_window(&obs_baseline, quick, reps, margin, &mut gates);
     check_serve(&serve_baseline, serve_sizes, tolerance, &mut gates);
+    check_mem(&mem_baseline, mem_growth, &mut gates);
 
     let mut failed = 0usize;
     for g in &gates {
@@ -475,10 +595,11 @@ fn main() {
 fn print_help() {
     println!(
         "qlb-bench-check — re-measure the committed BENCH_*.json baselines and fail on regression\n\n\
-         USAGE:\n  qlb-bench-check [--quick] [--speedup-tolerance R] [--overhead-margin P]\n\n\
+         USAGE:\n  qlb-bench-check [--quick] [--speedup-tolerance R] [--overhead-margin P] [--mem-growth G]\n\n\
          OPTIONS:\n  --quick                 smallest committed size per gate (CI smoke, ~seconds)\n  \
          --speedup-tolerance R   sparse speedups must reach R x committed (default 0.35)\n  \
-         --overhead-margin P     obs overheads may exceed their budget by P points (default 3)\n\n\
+         --overhead-margin P     obs overheads may exceed their budget by P points (default 3)\n  \
+         --mem-growth G          working sets may grow to G x committed bytes/user (default 1.35)\n\n\
          Gates: sparse endgame round speedup, tight-slack run speedup (BENCH_sparse.json);\n\
          pool dispatch reduction >= 5x, SoA pooled round >= 3x dense sequential at the\n\
          committed top thread count, and sparse open/weighted drivers beating dense\n\
@@ -487,7 +608,8 @@ fn print_help() {
          telemetry plane's marginal cost on the serving loop (< 2%) (BENCH_obs.json);\n\
          serving throughput >= max(tolerance x committed, the 50k/s acceptance floor),\n\
          placement p95 within 1/tolerance of committed, and a never-starved rebalancer\n\
-         (BENCH_serve.json).\n\
+         (BENCH_serve.json); zero-alloc shard-owned pooled rounds under the 12 B/user\n\
+         round-peak acceptance gate plus working-set regression caps (BENCH_mem.json).\n\
          Measurements share code with the benches (qlb_bench::checks), so numbers are\n\
          comparable by construction."
     );

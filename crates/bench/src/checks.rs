@@ -1007,6 +1007,191 @@ pub fn measure_window(n: usize, requests: u64, reps: usize) -> WindowRow {
     }
 }
 
+// ---------------------------------------------------------------------
+// memory measurements (BENCH_mem.json)
+// ---------------------------------------------------------------------
+
+/// One memory-accounting row: the working set an executor holds for an
+/// instance plus what its measured region allocates. Produced only under
+/// the counting global allocator ([`qlb_obs::mem`]); the `mem` bench and
+/// `qlb-bench-check` both install it.
+///
+/// The measured region differs by executor (and the JSON row says which):
+/// for the round executors (`dense-seq`, `pooled-soa`) it is 32
+/// steady-state rounds after warm-up — the tentpole's zero-copy claim —
+/// while for `chunked` it is a whole run to convergence from the hotspot
+/// start, the capacity-planning number for huge `n`.
+#[derive(Debug, Clone)]
+pub struct MemRow {
+    /// Which executor the row describes.
+    pub executor: &'static str,
+    /// Users.
+    pub n: usize,
+    /// Worker threads (1 = sequential).
+    pub threads: usize,
+    /// Live bytes the executor's state occupies (dense `State`, SoA view +
+    /// shard slots + pool buffers, or resident chunk bytes).
+    pub working_set_bytes: usize,
+    /// Peak bytes allocated above the steady-state baseline across the
+    /// measured region.
+    pub round_peak_bytes: usize,
+    /// Allocations across the measured region (gated to 0 for the
+    /// steady-state pooled round).
+    pub steady_allocs: u64,
+}
+
+impl MemRow {
+    /// Working set normalized by population.
+    pub fn working_set_bytes_per_user(&self) -> f64 {
+        self.working_set_bytes as f64 / self.n as f64
+    }
+    /// Measured-region peak normalized by population (the ≤ 12 B/user
+    /// acceptance gate for `pooled-soa`).
+    pub fn round_peak_bytes_per_user(&self) -> f64 {
+        self.round_peak_bytes as f64 / self.n as f64
+    }
+}
+
+/// Panic unless the counting allocator is actually installed — a memory
+/// row measured under the system allocator would read all-zero and pass
+/// every gate vacuously.
+fn require_counting() {
+    assert!(
+        qlb_obs::mem::counting(),
+        "memory measurement requires the qlb_obs::mem::CountingAlloc global allocator"
+    );
+}
+
+/// Memory row of the sequential dense executor: working set = one dense
+/// `State` clone; measured region = 32 warm decision rounds over the
+/// pinned endgame state (buffer reuse keeps them alloc-free too).
+pub fn measure_mem_dense(n: usize) -> MemRow {
+    require_counting();
+    let (inst, seed_state) = crate::endgame_pair(n, BENCH_SEED, ACTIVE_FRAC);
+    let proto = SlackDamped::default();
+    let setup = qlb_obs::MemMark::here();
+    let state = seed_state.clone();
+    let working_set_bytes = setup.live_since();
+    let mut moves = Vec::new();
+    for _ in 0..4 {
+        decide_round_into(&inst, &state, &proto, BENCH_SEED, 9, &mut moves);
+    }
+    let mark = qlb_obs::MemMark::here();
+    for _ in 0..32 {
+        decide_round_into(&inst, &state, &proto, BENCH_SEED, 9, &mut moves);
+        black_box(moves.len());
+    }
+    MemRow {
+        executor: "dense-seq",
+        n,
+        threads: 1,
+        working_set_bytes,
+        round_peak_bytes: mark.peak_since(),
+        steady_allocs: mark.allocs_since(),
+    }
+}
+
+/// Memory row of the shard-owned pooled SoA executor — the tentpole gate.
+/// Working set = the `RoundView` (aligned assignment cells, loads,
+/// unsatisfied bitmaps) plus per-shard delta/scratch slots, pool buffers,
+/// and the merged move buffer, all after warm-up; measured region = 32
+/// full steady-state rounds (decide → merge loads → apply → repair),
+/// exactly the phases `run_threaded`'s owned path executes, which must
+/// allocate **nothing** and therefore peak at 0 bytes.
+pub fn measure_mem_pooled(n: usize, threads: usize) -> MemRow {
+    require_counting();
+    let (inst, state) = crate::endgame_pair(n, BENCH_SEED, ACTIVE_FRAC);
+    let proto = SlackDamped::default();
+    let active = shards_for(n, threads);
+    let chunk = shard_chunk(n, threads);
+    let setup = qlb_obs::MemMark::here();
+    let mut view = RoundView::new(&inst, &state);
+    drop(state); // the view owns the round state from here on
+    let slots: Vec<Mutex<(ShardDeltas, ShardScratch)>> = (0..active)
+        .map(|_| Mutex::new((ShardDeltas::new(inst.num_resources()), ShardScratch::new())))
+        .collect();
+    let pool = WorkerPool::new(active);
+    let mut out = Vec::new();
+
+    let mut round = 0u64;
+    let mut full_round = |view: &mut RoundView, out: &mut Vec<Move>| {
+        {
+            let r = round;
+            let view_ref = &*view;
+            let slots_ref = &slots;
+            let inst_ref = &inst;
+            let proto_ref = &proto;
+            pool.decide_round_on(
+                |shard, buf| {
+                    let lo = (shard * chunk).min(n);
+                    let hi = ((shard + 1) * chunk).min(n);
+                    if lo < hi {
+                        let mut slot = slots_ref[shard].lock().unwrap();
+                        let (deltas, scratch) = &mut *slot;
+                        view_ref.decide_shard_into(
+                            inst_ref, proto_ref, BENCH_SEED, r, lo, hi, buf, scratch, deltas,
+                        );
+                    }
+                },
+                out,
+                false,
+                active,
+            );
+        }
+        for slot in &slots {
+            view.merge_loads(&slot.lock().unwrap().0);
+        }
+        view.apply_assignments(out);
+        for slot in &slots {
+            view.repair_touched(&inst, &mut slot.lock().unwrap().0);
+        }
+        round += 1;
+    };
+
+    for _ in 0..8 {
+        full_round(&mut view, &mut out); // warm-up: buffers grow once
+    }
+    let working_set_bytes = setup.live_since();
+    let mark = qlb_obs::MemMark::here();
+    for _ in 0..32 {
+        full_round(&mut view, &mut out);
+        black_box(out.len());
+    }
+    MemRow {
+        executor: "pooled-soa",
+        n,
+        threads,
+        working_set_bytes,
+        round_peak_bytes: mark.peak_since(),
+        steady_allocs: mark.allocs_since(),
+    }
+}
+
+/// Memory row of the chunked lazily-materialized executor: working set =
+/// resident chunk bytes of the hotspot start (uniform chunks, so ~0);
+/// measured region = the **whole run** to convergence, including the
+/// final dense `State` materialization — the honest peak a capacity plan
+/// for huge `n` must budget for.
+pub fn measure_mem_chunked(n: usize) -> MemRow {
+    require_counting();
+    let (inst, _) = crate::standard_pair(n, BENCH_SEED);
+    let proto = SlackDamped::default();
+    let mark = qlb_obs::MemMark::here();
+    let assign = qlb_engine::hotspot_chunked(&inst, ResourceId(0));
+    let working_set_bytes = assign.resident_bytes();
+    let (out, _assign) =
+        qlb_engine::run_chunked(&inst, assign, &proto, RunConfig::new(BENCH_SEED, 1_000_000));
+    assert!(out.converged, "chunked mem run must converge");
+    MemRow {
+        executor: "chunked",
+        n,
+        threads: 1,
+        working_set_bytes,
+        round_peak_bytes: mark.peak_since(),
+        steady_allocs: mark.allocs_since(),
+    }
+}
+
 /// Pull the admitted ticket id out of a place reply without a full JSON
 /// parse (reply extraction is client work, not daemon work — keep it off
 /// the measured path's allocator).

@@ -1,0 +1,430 @@
+//! Chunked, lazily-materialized assignment arrays with optional
+//! file-backed spill.
+//!
+//! A dense `Vec<u32>` assignment costs 4 bytes per user no matter how the
+//! run behaves; at `n = 10⁸` that is 400 MB before the round view doubles
+//! it. [`ChunkedAssign`] stores the array as fixed-size chunks
+//! ([`CHUNK_USERS`] users each) in one of three representations:
+//!
+//! * **Uniform(r)** — every user in the chunk sits on resource `r`.
+//!   Costs `O(1)` regardless of chunk size; this is every chunk of an
+//!   `all_on` start, and stays cheap for chunks whose users never move.
+//! * **Dense** — a materialized boxed slice, created lazily on first
+//!   write into the chunk.
+//! * **Spilled** — the dense payload parked in a spill file
+//!   ([`ChunkedAssign::enable_spill`]); re-materialized transparently on
+//!   access and re-parked by [`ChunkedAssign::spill_over`] when the
+//!   resident budget is exceeded.
+//!
+//! The large-`n` executor in `qlb-engine` walks chunks in order; a
+//! uniform chunk on a satisfied resource is skipped in `O(1)` — the exact
+//! "satisfied users do nothing and consume no randomness" gate of the
+//! dense kernel — which is what makes round cost proportional to
+//! *touched* users.
+
+use crate::error::{Error, Result};
+use crate::ids::{ResourceId, UserId};
+use crate::instance::Instance;
+use crate::state::State;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+
+/// Users per chunk: 2¹⁶ users = 256 KiB dense payload, small enough to
+/// stream through L2 and a sensible spill-file I/O unit.
+pub const CHUNK_USERS: usize = 1 << 16;
+
+enum Chunk {
+    /// Every user in the chunk on this resource.
+    Uniform(u32),
+    /// Materialized values (chunk length many).
+    Dense(Box<[u32]>),
+    /// Parked in the spill file at this chunk-slot offset.
+    Spilled,
+}
+
+struct Spill {
+    file: File,
+    /// Byte offset of each chunk's slot in the file (assigned on first
+    /// spill of that chunk, then reused — chunks have a fixed max size).
+    slot: Vec<Option<u64>>,
+    end: u64,
+}
+
+/// A chunked assignment array (see module docs).
+pub struct ChunkedAssign {
+    n: usize,
+    chunks: Vec<Chunk>,
+    spill: Option<Spill>,
+}
+
+impl ChunkedAssign {
+    /// Every user on resource `r` — the `all_on` hotspot start in `O(1)`
+    /// memory per chunk.
+    pub fn uniform(n: usize, r: ResourceId) -> Self {
+        Self {
+            n,
+            chunks: (0..n.div_ceil(CHUNK_USERS))
+                .map(|_| Chunk::Uniform(r.0))
+                .collect(),
+            spill: None,
+        }
+    }
+
+    /// Build from a dense slice, collapsing constant chunks to uniform.
+    pub fn from_assign(assign: &[u32]) -> Self {
+        let chunks = assign
+            .chunks(CHUNK_USERS)
+            .map(|c| {
+                let first = c[0];
+                if c.iter().all(|&v| v == first) {
+                    Chunk::Uniform(first)
+                } else {
+                    Chunk::Dense(c.to_vec().into_boxed_slice())
+                }
+            })
+            .collect();
+        Self {
+            n: assign.len(),
+            chunks,
+            spill: None,
+        }
+    }
+
+    /// Build from a dense [`State`].
+    pub fn from_state(state: &State) -> Self {
+        let dense: Vec<u32> = state.assignment().iter().map(|r| r.0).collect();
+        Self::from_assign(&dense)
+    }
+
+    /// Users covered.
+    pub fn num_users(&self) -> usize {
+        self.n
+    }
+
+    /// Number of chunks.
+    pub fn num_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Length of chunk `c` in users (all [`CHUNK_USERS`] except a ragged
+    /// tail).
+    pub fn chunk_len(&self, c: usize) -> usize {
+        if c + 1 == self.chunks.len() && !self.n.is_multiple_of(CHUNK_USERS) {
+            self.n % CHUNK_USERS
+        } else {
+            CHUNK_USERS
+        }
+    }
+
+    /// If chunk `c` is uniform, its resource.
+    pub fn uniform_of(&self, c: usize) -> Option<ResourceId> {
+        match self.chunks[c] {
+            Chunk::Uniform(r) => Some(ResourceId(r)),
+            _ => None,
+        }
+    }
+
+    /// Count of chunks in each representation: `(uniform, dense,
+    /// spilled)`.
+    pub fn repr_counts(&self) -> (usize, usize, usize) {
+        let mut counts = (0, 0, 0);
+        for c in &self.chunks {
+            match c {
+                Chunk::Uniform(_) => counts.0 += 1,
+                Chunk::Dense(_) => counts.1 += 1,
+                Chunk::Spilled => counts.2 += 1,
+            }
+        }
+        counts
+    }
+
+    /// Bytes held in materialized (dense) chunks right now.
+    pub fn resident_bytes(&self) -> usize {
+        self.chunks
+            .iter()
+            .filter(|c| matches!(c, Chunk::Dense(_)))
+            .count()
+            * CHUNK_USERS
+            * std::mem::size_of::<u32>()
+    }
+
+    /// Attach a spill file (created anew; truncated if it exists). From
+    /// here [`ChunkedAssign::spill_over`] can park cold dense chunks on
+    /// disk and accesses re-materialize them transparently.
+    pub fn enable_spill(&mut self, path: &std::path::Path) -> Result<()> {
+        let file = File::options()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|e| Error::BadParameter {
+                detail: format!("cannot open spill file {}: {e}", path.display()),
+            })?;
+        self.spill = Some(Spill {
+            file,
+            slot: vec![None; self.chunks.len()],
+            end: 0,
+        });
+        Ok(())
+    }
+
+    /// Whether a spill file is attached.
+    pub fn spill_enabled(&self) -> bool {
+        self.spill.is_some()
+    }
+
+    fn unspill(&mut self, c: usize) {
+        if !matches!(self.chunks[c], Chunk::Spilled) {
+            return;
+        }
+        let spill = self.spill.as_mut().expect("spilled chunk without a file");
+        let off = spill.slot[c].expect("spilled chunk without a slot");
+        let len = if c + 1 == self.chunks.len() && !self.n.is_multiple_of(CHUNK_USERS) {
+            self.n % CHUNK_USERS
+        } else {
+            CHUNK_USERS
+        };
+        let mut bytes = vec![0u8; len * 4];
+        spill
+            .file
+            .seek(SeekFrom::Start(off))
+            .and_then(|_| spill.file.read_exact(&mut bytes))
+            .expect("spill file read failed");
+        let vals: Vec<u32> = bytes
+            .chunks_exact(4)
+            .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+            .collect();
+        self.chunks[c] = Chunk::Dense(vals.into_boxed_slice());
+    }
+
+    /// Park dense chunks on disk until at most `max_resident` remain
+    /// materialized (no-op without [`ChunkedAssign::enable_spill`]).
+    /// Returns how many chunks were spilled.
+    pub fn spill_over(&mut self, max_resident: usize) -> usize {
+        if self.spill.is_none() {
+            return 0;
+        }
+        let dense: Vec<usize> = self
+            .chunks
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| matches!(c, Chunk::Dense(_)))
+            .map(|(i, _)| i)
+            .collect();
+        if dense.len() <= max_resident {
+            return 0;
+        }
+        let mut spilled = 0;
+        for &c in &dense[..dense.len() - max_resident] {
+            let Chunk::Dense(vals) = std::mem::replace(&mut self.chunks[c], Chunk::Spilled) else {
+                unreachable!()
+            };
+            let spill = self.spill.as_mut().unwrap();
+            let off = *spill.slot[c].get_or_insert_with(|| {
+                let off = spill.end;
+                spill.end += (CHUNK_USERS * 4) as u64;
+                off
+            });
+            let mut bytes = Vec::with_capacity(vals.len() * 4);
+            for &v in vals.iter() {
+                bytes.extend_from_slice(&v.to_le_bytes());
+            }
+            spill
+                .file
+                .seek(SeekFrom::Start(off))
+                .and_then(|_| spill.file.write_all(&bytes))
+                .expect("spill file write failed");
+            spilled += 1;
+        }
+        spilled
+    }
+
+    /// Resource of user `u` (may re-materialize a spilled chunk).
+    pub fn get(&mut self, u: UserId) -> ResourceId {
+        let i = u.index();
+        assert!(i < self.n, "user out of range");
+        let c = i / CHUNK_USERS;
+        self.unspill(c);
+        match &self.chunks[c] {
+            Chunk::Uniform(r) => ResourceId(*r),
+            Chunk::Dense(vals) => ResourceId(vals[i % CHUNK_USERS]),
+            Chunk::Spilled => unreachable!("unspilled above"),
+        }
+    }
+
+    /// Reassign user `u` to `to`, materializing its chunk if needed.
+    pub fn set(&mut self, u: UserId, to: ResourceId) {
+        let i = u.index();
+        assert!(i < self.n, "user out of range");
+        let c = i / CHUNK_USERS;
+        self.unspill(c);
+        let len = self.chunk_len(c);
+        match &mut self.chunks[c] {
+            Chunk::Uniform(r) => {
+                if *r != to.0 {
+                    let mut vals = vec![*r; len].into_boxed_slice();
+                    vals[i % CHUNK_USERS] = to.0;
+                    self.chunks[c] = Chunk::Dense(vals);
+                }
+            }
+            Chunk::Dense(vals) => vals[i % CHUNK_USERS] = to.0,
+            Chunk::Spilled => unreachable!("unspilled above"),
+        }
+    }
+
+    /// Stream chunk `c`'s values into `scratch` (resized to the chunk
+    /// length) and return `(first user index, &values)`. A spilled chunk
+    /// is read into `scratch` **without** re-materializing it in memory —
+    /// the walk stays within the resident budget.
+    pub fn read_chunk<'a>(&'a self, c: usize, scratch: &'a mut Vec<u32>) -> (usize, &'a [u32]) {
+        let lo = c * CHUNK_USERS;
+        let len = self.chunk_len(c);
+        match &self.chunks[c] {
+            Chunk::Uniform(r) => {
+                scratch.clear();
+                scratch.resize(len, *r);
+                (lo, scratch.as_slice())
+            }
+            Chunk::Dense(vals) => (lo, &vals[..len]),
+            Chunk::Spilled => {
+                let spill = self.spill.as_ref().expect("spilled chunk without a file");
+                let off = spill.slot[c].expect("spilled chunk without a slot");
+                let mut bytes = vec![0u8; len * 4];
+                let mut f = &spill.file;
+                f.seek(SeekFrom::Start(off))
+                    .and_then(|_| f.read_exact(&mut bytes))
+                    .expect("spill file read failed");
+                scratch.clear();
+                scratch.extend(
+                    bytes
+                        .chunks_exact(4)
+                        .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]])),
+                );
+                (lo, scratch.as_slice())
+            }
+        }
+    }
+
+    /// Reconstruct the dense [`State`] (validates against `inst`).
+    ///
+    /// # Errors
+    /// Propagates [`State::new`]'s validation errors.
+    pub fn to_state(&self, inst: &Instance) -> Result<State> {
+        let mut assignment = Vec::with_capacity(self.n);
+        let mut scratch = Vec::new();
+        for c in 0..self.chunks.len() {
+            let (_, vals) = self.read_chunk(c, &mut scratch);
+            assignment.extend(vals.iter().map(|&v| ResourceId(v)));
+        }
+        State::new(inst, assignment)
+    }
+
+    /// Per-resource loads of the whole array, recounted in one pass
+    /// (uniform chunks count in `O(1)`).
+    pub fn count_loads(&self, m: usize) -> Vec<u32> {
+        let mut loads = vec![0u32; m];
+        let mut scratch = Vec::new();
+        for c in 0..self.chunks.len() {
+            if let Chunk::Uniform(r) = self.chunks[c] {
+                loads[r as usize] +=
+                    u32::try_from(self.chunk_len(c)).expect("chunk length fits u32");
+                continue;
+            }
+            let (_, vals) = self.read_chunk(c, &mut scratch);
+            for &v in vals {
+                loads[v as usize] += 1;
+            }
+        }
+        loads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_start_is_o1_per_chunk() {
+        let a = ChunkedAssign::uniform(10 * CHUNK_USERS + 5, ResourceId(3));
+        assert_eq!(a.num_chunks(), 11);
+        assert_eq!(a.repr_counts(), (11, 0, 0));
+        assert_eq!(a.resident_bytes(), 0);
+        assert_eq!(a.chunk_len(10), 5);
+    }
+
+    #[test]
+    fn set_materializes_only_touched_chunks() {
+        let mut a = ChunkedAssign::uniform(4 * CHUNK_USERS, ResourceId(0));
+        a.set(UserId((2 * CHUNK_USERS + 7) as u32), ResourceId(9));
+        assert_eq!(a.repr_counts(), (3, 1, 0));
+        assert_eq!(a.get(UserId((2 * CHUNK_USERS + 7) as u32)), ResourceId(9));
+        assert_eq!(a.get(UserId(0)), ResourceId(0));
+        // writing the uniform value is a no-op and stays uniform
+        a.set(UserId(1), ResourceId(0));
+        assert_eq!(a.repr_counts(), (3, 1, 0));
+    }
+
+    #[test]
+    fn from_assign_collapses_constant_chunks() {
+        let mut dense = vec![2u32; 2 * CHUNK_USERS + 10];
+        dense[CHUNK_USERS + 3] = 5;
+        let a = ChunkedAssign::from_assign(&dense);
+        assert_eq!(a.repr_counts(), (2, 1, 0));
+        let mut scratch = Vec::new();
+        let (lo, vals) = a.read_chunk(1, &mut scratch);
+        assert_eq!(lo, CHUNK_USERS);
+        assert_eq!(vals[3], 5);
+        assert_eq!(vals[4], 2);
+    }
+
+    #[test]
+    fn state_round_trip_and_loads() {
+        let inst = Instance::uniform(1000, 8, 200).unwrap();
+        let state = State::random(&inst, 5);
+        let a = ChunkedAssign::from_state(&state);
+        assert_eq!(a.count_loads(8), state.loads());
+        assert_eq!(a.to_state(&inst).unwrap(), state);
+    }
+
+    #[test]
+    fn spill_round_trip() {
+        let dir = std::env::temp_dir().join("qlb-chunked-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("spill-{}.bin", std::process::id()));
+
+        let n = 3 * CHUNK_USERS + 100;
+        let mut a = ChunkedAssign::uniform(n, ResourceId(1));
+        // touch every chunk so all become dense
+        for c in 0..a.num_chunks() {
+            a.set(UserId((c * CHUNK_USERS) as u32), ResourceId(2));
+        }
+        assert_eq!(a.repr_counts(), (0, 4, 0));
+        a.enable_spill(&path).unwrap();
+        let spilled = a.spill_over(1);
+        assert_eq!(spilled, 3);
+        assert_eq!(a.repr_counts().2, 3);
+        assert_eq!(a.resident_bytes(), CHUNK_USERS * 4);
+        // reads see through the spill
+        assert_eq!(a.get(UserId(0)), ResourceId(2));
+        assert_eq!(a.get(UserId(1)), ResourceId(1));
+        // read_chunk on a still-spilled chunk must not re-materialize
+        let (_, _, before) = a.repr_counts();
+        let mut scratch = Vec::new();
+        let spilled_chunk = (0..a.num_chunks())
+            .find(|&c| {
+                // get() above unspilled chunk 0; find one still parked
+                matches!(a.chunks[c], Chunk::Spilled)
+            })
+            .unwrap();
+        let (lo, vals) = a.read_chunk(spilled_chunk, &mut scratch);
+        assert_eq!(vals[0], 2);
+        assert_eq!(lo, spilled_chunk * CHUNK_USERS);
+        assert_eq!(a.repr_counts().2, before);
+        // loads recount over mixed representations
+        let loads = a.count_loads(4);
+        assert_eq!(loads[2], 4);
+        assert_eq!(loads[1] as usize, n - 4);
+        std::fs::remove_file(&path).ok();
+    }
+}

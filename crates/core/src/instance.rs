@@ -113,6 +113,12 @@ impl Instance {
             });
         }
         let m = self.num_resources();
+        let grown: usize = self.num_users() + extra.iter().sum::<usize>();
+        if u32::try_from(grown).is_err() {
+            return Err(Error::BadParameter {
+                detail: format!("{grown} users exceed the 32-bit user-id space"),
+            });
+        }
         let mut resources = self.resources.clone();
         resources.push(Resource {
             speed: u32::MAX as f64,
@@ -448,6 +454,22 @@ impl InstanceBuilder {
         if self.classes.len() > 16 {
             return Err(Error::BadParameter {
                 detail: format!("{} classes exceed the supported 16", self.classes.len()),
+            });
+        }
+        // user ids and load counters are 32-bit: reject sizes that would
+        // silently wrap in the `as u32` id derivations downstream
+        let n: usize = self.classes.iter().map(|c| c.count).sum();
+        if u32::try_from(n).is_err() {
+            return Err(Error::BadParameter {
+                detail: format!("{n} users exceed the 32-bit user-id space"),
+            });
+        }
+        if u32::try_from(self.speeds.len()).is_err() {
+            return Err(Error::BadParameter {
+                detail: format!(
+                    "{} resources exceed the 32-bit resource-id space",
+                    self.speeds.len()
+                ),
             });
         }
         for &s in &self.speeds {

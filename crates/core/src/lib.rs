@@ -35,6 +35,12 @@
 //! * [`view`] — the cache-conscious struct-of-arrays round view (SoA
 //!   arrays, unsatisfied-resource bitmaps, per-shard delta merge) behind
 //!   the pooled executors' hot decide kernel;
+//! * [`delta`] — delta-compressed, generation-stamped assignment
+//!   snapshots (varint run-length over changed user ranges) for trace
+//!   trailers, runtime state reconstruction, and serve-daemon export;
+//! * [`chunked`] — chunked, lazily-materialized assignment arrays with
+//!   optional file-backed spill, so huge-`n` runs hold memory
+//!   proportional to *touched* users;
 //! * [`baseline`] — centralized greedy assignment and sequential
 //!   best-response dynamics, the classical comparison points;
 //! * [`weighted`] — the weighted-demand (bin-packing-flavoured) extension
@@ -66,7 +72,9 @@
 
 pub mod active;
 pub mod baseline;
+pub mod chunked;
 pub mod convergence;
+pub mod delta;
 pub mod error;
 pub mod ids;
 pub mod instance;
@@ -82,11 +90,15 @@ pub mod weighted;
 pub mod prelude {
     pub use crate::active::ActiveIndex;
     pub use crate::baseline::{best_response_run, greedy_assign, BestResponseOutcome};
+    pub use crate::chunked::{ChunkedAssign, CHUNK_USERS};
     pub use crate::convergence::ConvergenceTracker;
+    pub use crate::delta::{DeltaError, StateDelta};
     pub use crate::error::{Error, Result};
     pub use crate::ids::{ClassId, ResourceId, UserId};
     pub use crate::instance::{Instance, InstanceBuilder, QosClass, Resource};
-    pub use crate::potential::{max_overload, overload_potential, quadratic_potential};
+    pub use crate::potential::{
+        max_overload, overload_potential, overload_potential_loads, quadratic_potential,
+    };
     pub use crate::protocol::{
         registry, BlindUniform, ConditionalUniform, Decision, LocalView, PartialParticipation,
         Protocol, ResourceView, RestrictTargets, SamplingStrategy, SlackDamped,

@@ -21,14 +21,23 @@ use crate::state::State;
 /// Panics on multi-class instances, where per-resource overload is not
 /// well-defined (use [`unsatisfied_potential`] instead).
 pub fn overload_potential(inst: &Instance, state: &State) -> u64 {
+    overload_potential_loads(inst, state.loads())
+}
+
+/// [`overload_potential`] computed from a raw congestion vector — the
+/// shard-owned executor keeps per-resource loads without a dense
+/// [`State`], and its observability needs the same Lyapunov trace.
+///
+/// # Panics
+/// Panics on multi-class instances (see [`overload_potential`]).
+pub fn overload_potential_loads(inst: &Instance, loads: &[u32]) -> u64 {
     assert_eq!(
         inst.num_classes(),
         1,
         "overload potential is defined for single-class instances"
     );
     let caps = inst.cap_row(ClassId(0));
-    state
-        .loads()
+    loads
         .iter()
         .zip(caps)
         .map(|(&x, &c)| (x as u64).saturating_sub(c as u64))

@@ -54,7 +54,10 @@ impl State {
         assert!(r.index() < inst.num_resources(), "resource out of range");
         let n = inst.num_users();
         let mut loads = vec![0u32; inst.num_resources()];
-        loads[r.index()] = n as u32;
+        // the per-resource load counters are u32; a silent `as` cast here
+        // would wrap for n > u32::MAX and corrupt every load-derived count
+        loads[r.index()] = u32::try_from(n)
+            .unwrap_or_else(|_| panic!("user count {n} overflows the u32 load counters"));
         State {
             assignment: vec![r; n],
             loads,

@@ -38,6 +38,7 @@ use crate::protocol::Protocol;
 use crate::state::{Move, State};
 use crate::step::{decide_unsatisfied_user, decide_user};
 use qlb_rng::{fill_round_bases, RoundStream};
+use std::cell::UnsafeCell;
 
 /// One 64-byte cache line of `u32`s (16 lanes).
 #[repr(C, align(64))]
@@ -92,6 +93,83 @@ macro_rules! aligned_buf {
 
 aligned_buf!(AlignedU32, LineU32, u32, 16);
 aligned_buf!(AlignedU64, LineU64, u64, 8);
+
+/// One 64-byte cache line of interior-mutable `u32`s — the storage of the
+/// **shard-owned** assignment array, writable through a shared reference
+/// by the worker that owns the enclosing user range.
+#[repr(C, align(64))]
+struct CellLineU32(UnsafeCell<[u32; 16]>);
+
+// SAFETY: the buffer is shared across worker threads, but the round
+// protocol is phased: during a decide dispatch everyone only reads, and
+// during an apply dispatch each worker writes only its own disjoint,
+// line-aligned user range (`shard_chunk` rounds shard boundaries to whole
+// cache lines). The pool barrier separates the phases, so no element is
+// ever written concurrently with a read or another write.
+unsafe impl Sync for CellLineU32 {}
+
+const _: () = assert!(std::mem::size_of::<CellLineU32>() == 64);
+
+/// The shard-owned variant of `AlignedU32`: identical 64-byte-aligned
+/// layout, but elements may additionally be written **through `&self`**
+/// via [`AlignedCellU32::write`] under the phase discipline documented on
+/// [`CellLineU32`].
+#[derive(Default)]
+pub(crate) struct AlignedCellU32 {
+    lines: Vec<CellLineU32>,
+    len: usize,
+}
+
+impl AlignedCellU32 {
+    /// Resize to `len` elements, zero-filling fresh storage.
+    fn reset(&mut self, len: usize) {
+        self.lines.clear();
+        self.lines
+            .resize_with(len.div_ceil(16), || CellLineU32(UnsafeCell::new([0; 16])));
+        self.len = len;
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[u32] {
+        // SAFETY: `UnsafeCell<[u32; 16]>` has the layout of `[u32; 16]`
+        // and `CellLineU32` is `repr(C, align(64))` around it, so `lines`
+        // is `len.div_ceil(16) * 16 ≥ len` contiguous aligned `u32`s.
+        // Callers only hold the slice outside write phases (see
+        // `CellLineU32`), so no write aliases it.
+        unsafe { std::slice::from_raw_parts(self.lines.as_ptr() as *const u32, self.len) }
+    }
+
+    #[inline]
+    fn as_mut_slice(&mut self) -> &mut [u32] {
+        // SAFETY: as `as_slice`, and `&mut self` excludes all sharing.
+        unsafe { std::slice::from_raw_parts_mut(self.lines.as_mut_ptr() as *mut u32, self.len) }
+    }
+
+    /// Read element `i` without forming a whole-buffer slice (usable while
+    /// *other* elements are being written by other shards).
+    ///
+    /// # Safety
+    /// No other thread may be writing element `i` concurrently.
+    #[inline]
+    unsafe fn read(&self, i: usize) -> u32 {
+        debug_assert!(i < self.len);
+        let line = &*self.lines.as_ptr().add(i >> 4);
+        (*line.0.get())[i & 15]
+    }
+
+    /// Write element `i` through a shared reference.
+    ///
+    /// # Safety
+    /// No other thread may read or write element `i` concurrently; the
+    /// workspace upholds this with disjoint line-aligned shard ranges and
+    /// the pool barrier between phases.
+    #[inline]
+    unsafe fn write(&self, i: usize, v: u32) {
+        debug_assert!(i < self.len);
+        let line = &*self.lines.as_ptr().add(i >> 4);
+        (*line.0.get())[i & 15] = v;
+    }
+}
 
 /// Per-shard reusable buffers of the two-pass kernel: the pass-1 batch of
 /// unsatisfied user indices and the batched RNG bases of pass 2. One per
@@ -197,8 +275,10 @@ impl ShardDeltas {
 /// stay in the [`Instance`], shared by reference with every shard — the
 /// view holds only the per-round mutable arrays.
 pub struct RoundView {
-    /// `assign[u]` = resource of user `u` (SoA copy of the assignment).
-    assign: AlignedU32,
+    /// `assign[u]` = resource of user `u`. Shard-owned storage: during a
+    /// pooled apply phase each worker writes its own line-aligned range in
+    /// place ([`RoundView::apply_shard_assignments`]).
+    assign: AlignedCellU32,
     /// Class id per user; empty for single-class instances.
     class_ids: AlignedU32,
     /// Per-resource load copy.
@@ -215,7 +295,7 @@ impl RoundView {
     /// Build the view of `state`.
     pub fn new(inst: &Instance, state: &State) -> Self {
         let mut v = Self {
-            assign: AlignedU32::default(),
+            assign: AlignedCellU32::default(),
             class_ids: AlignedU32::default(),
             loads: AlignedU32::default(),
             unsat: AlignedU64::default(),
@@ -396,6 +476,104 @@ impl RoundView {
             debug_assert_eq!(assign[mv.user.index()], mv.from.0, "stale move");
             assign[mv.user.index()] = mv.to.0;
         }
+    }
+
+    /// Worker-side in-place assignment apply for the shard that **owns**
+    /// users `[lo, hi)`: writes the shard's own moves straight into its
+    /// slice of the assignment array, through a shared view reference.
+    ///
+    /// This is the shard-owned half of the zero-copy round: shard ranges
+    /// are disjoint and cache-line-aligned (the pool rounds shard
+    /// boundaries to whole lines), so concurrent shard applies never touch
+    /// the same line, and the pool barrier separates this write phase from
+    /// every reader. Each shard's decide output only contains its own
+    /// users, so the round's concatenated move list splits cleanly along
+    /// shard boundaries.
+    ///
+    /// # Panics
+    /// Debug builds panic on a move for a user outside `[lo, hi)` or one
+    /// whose `from` disagrees with the view (a stale move).
+    pub fn apply_shard_assignments(&self, lo: usize, hi: usize, moves: &[Move]) {
+        debug_assert!(lo <= hi && hi <= self.assign.len);
+        for mv in moves {
+            let u = mv.user.index();
+            debug_assert!(
+                (lo..hi).contains(&u),
+                "move for {} outside shard [{lo}, {hi})",
+                mv.user
+            );
+            // SAFETY: `u` lies in this shard's owned range; no other
+            // thread touches it during the apply phase (see above), which
+            // also makes the single-element read race-free.
+            unsafe {
+                debug_assert_eq!(self.assign.read(u), mv.from.0, "stale move");
+                self.assign.write(u, mv.to.0);
+            }
+        }
+    }
+
+    /// Number of users the view covers.
+    pub fn num_users(&self) -> usize {
+        self.assign.len
+    }
+
+    /// Number of unsatisfied users, computed from the view alone — the
+    /// shard-owned executor has no dense [`State`] to ask. Single-class:
+    /// `O(m)` (every user on an unsatisfying resource is unsatisfied, so
+    /// sum those loads). Multi-class: `O(n)` bit probes over the
+    /// assignment and class arrays.
+    pub fn num_unsatisfied(&self) -> usize {
+        let loads = self.loads.as_slice();
+        let unsat = self.unsat.as_slice();
+        if self.classes == 1 {
+            let bm = &unsat[..self.words];
+            return loads
+                .iter()
+                .enumerate()
+                .filter(|&(r, &x)| x > 0 && (bm[r >> 6] >> (r & 63)) & 1 != 0)
+                .map(|(_, &x)| x as usize)
+                .sum();
+        }
+        let assign = self.assign.as_slice();
+        let classes = self.class_ids.as_slice();
+        let words = self.words;
+        (0..assign.len())
+            .filter(|&i| {
+                let r = assign[i];
+                let k = classes[i] as usize;
+                (unsat[k * words + (r >> 6) as usize] >> (r & 63)) & 1 != 0
+            })
+            .count()
+    }
+
+    /// Is the mirrored state legal (every user satisfied)? Single-class:
+    /// `O(m)`; multi-class: `O(n)`. Agrees with [`State::is_legal`] on the
+    /// state the view mirrors.
+    pub fn is_legal(&self) -> bool {
+        if self.classes == 1 {
+            let loads = self.loads.as_slice();
+            let bm = &self.unsat.as_slice()[..self.words];
+            return loads
+                .iter()
+                .enumerate()
+                .all(|(r, &x)| x == 0 || (bm[r >> 6] >> (r & 63)) & 1 == 0);
+        }
+        self.num_unsatisfied() == 0
+    }
+
+    /// Reconstruct a dense [`State`] from the view — the inverse of
+    /// [`RoundView::new`], used by the shard-owned executor to hand a
+    /// `State` back at run end. `O(n + m)`.
+    pub fn to_state(&self, inst: &Instance) -> State {
+        let assignment = self
+            .assign
+            .as_slice()
+            .iter()
+            .map(|&r| ResourceId(r))
+            .collect();
+        let state = State::new(inst, assignment).expect("view invariant: assignment valid");
+        debug_assert_eq!(state.loads(), self.loads.as_slice(), "view loads drifted");
+        state
     }
 
     /// Coordinator merge, phase 2 of 2: recompute the unsatisfied bits of
@@ -609,6 +787,68 @@ mod tests {
             view.reassign(&inst, UserId(u), ResourceId(to));
             view.assert_synced(&inst, &state);
         }
+    }
+
+    #[test]
+    fn view_legality_and_shard_owned_apply_match_state() {
+        let (inst, mut state) = hotspot(300, 16, 24);
+        let mut view = RoundView::new(&inst, &state);
+        assert_eq!(view.num_unsatisfied(), state.num_unsatisfied(&inst));
+        assert!(!view.is_legal());
+        let proto = SlackDamped::default();
+        let mut scratch = ShardScratch::new();
+        let mut deltas = ShardDeltas::new(inst.num_resources());
+        let bounds = [(0usize, 128usize), (128, 256), (256, 300)];
+        for round in 0..60u64 {
+            let mut moves = Vec::new();
+            let mut splits = Vec::new();
+            for &(lo, hi) in &bounds {
+                let before = moves.len();
+                view.decide_shard_into(
+                    &inst,
+                    &proto,
+                    5,
+                    round,
+                    lo,
+                    hi,
+                    &mut moves,
+                    &mut scratch,
+                    &mut deltas,
+                );
+                splits.push(moves.len() - before);
+            }
+            state.apply_moves(&inst, &moves);
+            view.merge_loads(&deltas);
+            // shard-owned apply: each shard writes its own slice in place
+            let mut off = 0;
+            for (&(lo, hi), &count) in bounds.iter().zip(&splits) {
+                view.apply_shard_assignments(lo, hi, &moves[off..off + count]);
+                off += count;
+            }
+            view.repair_touched(&inst, &mut deltas);
+            view.assert_synced(&inst, &state);
+            assert_eq!(view.num_unsatisfied(), state.num_unsatisfied(&inst));
+            assert_eq!(view.is_legal(), state.is_legal(&inst));
+            if view.is_legal() {
+                break;
+            }
+        }
+        assert!(view.is_legal(), "sanity: run converges");
+        assert_eq!(view.to_state(&inst), state);
+    }
+
+    #[test]
+    fn multi_class_view_unsatisfied_matches_state() {
+        let inst = InstanceBuilder::new()
+            .speeds(vec![4.0, 4.0, 8.0])
+            .latency_class(0.5, 40)
+            .latency_class(1.0, 60)
+            .build()
+            .unwrap();
+        let state = State::all_on(&inst, ResourceId(0));
+        let view = RoundView::new(&inst, &state);
+        assert_eq!(view.num_unsatisfied(), state.num_unsatisfied(&inst));
+        assert_eq!(view.is_legal(), state.is_legal(&inst));
     }
 
     #[test]

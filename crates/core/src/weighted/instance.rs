@@ -28,6 +28,13 @@ impl WeightedInstance {
                 detail: format!("user u{i} has zero weight"),
             });
         }
+        // user ids are 32-bit; a larger pool would wrap the `as u32` id
+        // derivations in the kernels
+        if u32::try_from(weights.len()).is_err() {
+            return Err(Error::BadParameter {
+                detail: format!("{} users exceed the 32-bit user-id space", weights.len()),
+            });
+        }
         Ok(Self { caps, weights })
     }
 

@@ -1,0 +1,339 @@
+//! Huge-`n` executor over chunked, lazily-materialized assignments.
+//!
+//! The dense executors hold 4 bytes per user in the assignment array (and
+//! the pooled ones a second copy in the round view); at `n = 10⁸` that is
+//! closer to a gigabyte than to cache. This driver runs the same
+//! synchronous rounds over a [`ChunkedAssign`]: chunks of users that have
+//! never split off their start resource stay **uniform** (`O(1)` memory),
+//! and with [`RunConfig::with_spill`] cold materialized chunks are parked
+//! in a spill file so resident memory stays bounded by the touched set.
+//!
+//! Bit-identity with the dense reference executor rests on the same gate
+//! as the sparse one: satisfied users return from the kernel **before
+//! consuming any randomness**, so an entire uniform chunk on a satisfied
+//! resource can be skipped in `O(1)` without perturbing any other user's
+//! `(seed, user, round)` stream. The skip is taken only when that gate is
+//! sound — single-class instances and protocols that do not act while
+//! satisfied; otherwise every user is walked (identical output, higher
+//! cost).
+
+use crate::run::{RunConfig, RunOutcome};
+use qlb_core::step::decide_user;
+use qlb_core::{ChunkedAssign, ClassId, Instance, Move, Protocol, State, UserId};
+use qlb_obs::{timed, Counter, Event, Gauge, NoopSink, Phase, Sink};
+
+/// Materialized chunks kept resident between rounds when spilling is on:
+/// 64 chunks × 256 KiB = 16 MiB of hot assignment data.
+const SPILL_RESIDENT_CHUNKS: usize = 64;
+
+/// Run a protocol over a chunked assignment until legal or out of rounds
+/// (sequential; see module docs for the memory model). Tracing is not
+/// supported here — a per-round dense trace would defeat the point — so
+/// [`RunConfig::record_trace`] is ignored and the outcome carries no
+/// trace.
+pub fn run_chunked<P: Protocol + ?Sized>(
+    inst: &Instance,
+    assign: ChunkedAssign,
+    proto: &P,
+    config: RunConfig,
+) -> (RunOutcome, ChunkedAssign) {
+    run_chunked_observed(inst, assign, proto, config, &mut NoopSink)
+}
+
+/// [`run_chunked`] with an observability sink attached (same emission
+/// contract as [`crate::run::run_observed`], minus per-shard timings —
+/// this executor is sequential).
+pub fn run_chunked_observed<P: Protocol + ?Sized, S: Sink>(
+    inst: &Instance,
+    mut assign: ChunkedAssign,
+    proto: &P,
+    config: RunConfig,
+    sink: &mut S,
+) -> (RunOutcome, ChunkedAssign) {
+    let m = inst.num_resources();
+    let n = inst.num_users();
+    assert_eq!(
+        assign.num_users(),
+        n,
+        "assignment does not cover the instance"
+    );
+
+    if config.spill && !assign.spill_enabled() {
+        let dir = std::env::var_os("QLB_SPILL_DIR")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(std::env::temp_dir);
+        let path = dir.join(format!("qlb-spill-{}.bin", std::process::id()));
+        assign
+            .enable_spill(&path)
+            .expect("cannot create spill file");
+    }
+
+    let mut loads = assign.count_loads(m);
+    // The O(1) uniform-chunk skip is sound exactly when the satisfied gate
+    // fires before any randomness: single-class capacities and a protocol
+    // that never acts while satisfied.
+    let can_skip = inst.num_classes() == 1 && !proto.acts_when_satisfied();
+    let caps: Vec<u32> = (0..m)
+        .map(|r| inst.cap(ClassId(0), qlb_core::ResourceId(r as u32)))
+        .collect();
+
+    let mut moves: Vec<Move> = Vec::new();
+    let mut scratch: Vec<u32> = Vec::new();
+    let mut rounds = 0u64;
+    let mut migrations = 0u64;
+    let mut converged = is_legal_chunked(inst, &mut assign, &loads, &caps);
+    let mut entering = if S::ENABLED && !converged {
+        count_unsatisfied(inst, &mut assign, &loads, &caps)
+    } else {
+        0
+    };
+
+    while !converged && rounds < config.max_rounds {
+        if S::ENABLED {
+            sink.event(Event::RoundStart {
+                round: rounds,
+                active: entering,
+            });
+        }
+        timed(sink, Phase::Decide, || {
+            moves.clear();
+            for c in 0..assign.num_chunks() {
+                if can_skip {
+                    if let Some(r) = assign.uniform_of(c) {
+                        let (cap, load) = (caps[r.index()], loads[r.index()]);
+                        if cap > 0 && load <= cap {
+                            continue; // whole chunk satisfied: no randomness consumed
+                        }
+                    }
+                }
+                let (lo, vals) = assign.read_chunk(c, &mut scratch);
+                for (i, &own) in vals.iter().enumerate() {
+                    let user = UserId((lo + i) as u32);
+                    if let Some(mv) = decide_user(
+                        inst,
+                        &loads,
+                        qlb_core::ResourceId(own),
+                        user,
+                        proto,
+                        config.seed,
+                        rounds,
+                    ) {
+                        moves.push(mv);
+                    }
+                }
+            }
+        });
+        if S::ENABLED {
+            sink.add(Counter::DenseRounds, 1);
+            sink.event(Event::MigrationBatch {
+                round: rounds,
+                size: moves.len() as u64,
+            });
+        }
+        timed(sink, Phase::Apply, || {
+            for mv in &moves {
+                assign.set(mv.user, mv.to);
+                loads[mv.from.index()] -= 1;
+                loads[mv.to.index()] += 1;
+            }
+        });
+        migrations += moves.len() as u64;
+        rounds += 1;
+        if config.spill {
+            assign.spill_over(SPILL_RESIDENT_CHUNKS);
+        }
+        converged = timed(sink, Phase::Convergence, || {
+            is_legal_chunked(inst, &mut assign, &loads, &caps)
+        });
+        if S::ENABLED {
+            let unsatisfied = if converged {
+                0
+            } else {
+                count_unsatisfied(inst, &mut assign, &loads, &caps)
+            };
+            sink.add(Counter::Rounds, 1);
+            sink.add(Counter::Migrations, moves.len() as u64);
+            sink.set(Gauge::Unsatisfied, unsatisfied);
+            sink.event(Event::RoundEnd {
+                round: rounds - 1,
+                migrations: moves.len() as u64,
+                unsatisfied,
+                overload: (inst.num_classes() == 1)
+                    .then(|| qlb_core::overload_potential_loads(inst, &loads)),
+            });
+            sink.event(Event::ConvergenceCheck {
+                round: rounds - 1,
+                converged,
+            });
+            if config.topk_resources > 0 {
+                sink.topk(
+                    rounds - 1,
+                    &qlb_obs::top_k_entries(&loads, config.topk_resources),
+                );
+            }
+            entering = unsatisfied;
+        }
+    }
+
+    let state = assign
+        .to_state(inst)
+        .expect("chunked executor invariant: assignment stays valid");
+    debug_assert_eq!(state.loads(), &loads[..]);
+    (
+        RunOutcome {
+            converged,
+            rounds,
+            migrations,
+            state,
+            trace: None,
+        },
+        assign,
+    )
+}
+
+/// Legality over loads alone for single-class instances (`O(m)`); the
+/// multi-class check probes every user through the chunked array.
+fn is_legal_chunked(
+    inst: &Instance,
+    assign: &mut ChunkedAssign,
+    loads: &[u32],
+    caps: &[u32],
+) -> bool {
+    if inst.num_classes() == 1 {
+        // a resource is fine iff it is empty or within its (positive) cap
+        return loads
+            .iter()
+            .zip(caps)
+            .all(|(&x, &c)| x == 0 || (c > 0 && x <= c));
+    }
+    count_unsatisfied(inst, assign, loads, caps) == 0
+}
+
+fn count_unsatisfied(
+    inst: &Instance,
+    assign: &mut ChunkedAssign,
+    loads: &[u32],
+    _caps: &[u32],
+) -> u64 {
+    let mut scratch = Vec::new();
+    let mut count = 0u64;
+    for c in 0..assign.num_chunks() {
+        let (lo, vals) = assign.read_chunk(c, &mut scratch);
+        for (i, &own) in vals.iter().enumerate() {
+            let user = UserId((lo + i) as u32);
+            let cap = inst.cap(inst.class_of(user), qlb_core::ResourceId(own));
+            if !(cap > 0 && loads[own as usize] <= cap) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Convenience: start every user on one resource (the adversarial hotspot
+/// start of the paper's experiments) without materializing a dense state.
+pub fn hotspot_chunked(inst: &Instance, r: qlb_core::ResourceId) -> ChunkedAssign {
+    ChunkedAssign::uniform(inst.num_users(), r)
+}
+
+/// Convenience: build a chunked assignment from a dense [`State`].
+pub fn chunked_from_state(state: &State) -> ChunkedAssign {
+    ChunkedAssign::from_state(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::{run, RunConfig};
+    use qlb_core::{ResourceId, SlackDamped};
+
+    #[test]
+    fn chunked_matches_dense_exactly_across_registry() {
+        let inst = Instance::uniform(500, 16, 40).unwrap();
+        let start = State::all_on(&inst, ResourceId(0));
+        for proto in qlb_core::registry(&inst) {
+            let dense = run(
+                &inst,
+                start.clone(),
+                proto.as_ref(),
+                RunConfig::new(11, 2_000),
+            );
+            let (chunked, _) = run_chunked(
+                &inst,
+                ChunkedAssign::from_state(&start),
+                proto.as_ref(),
+                RunConfig::new(11, 2_000),
+            );
+            let name = proto.name();
+            assert_eq!(dense.converged, chunked.converged, "{name}");
+            assert_eq!(dense.rounds, chunked.rounds, "{name}");
+            assert_eq!(dense.migrations, chunked.migrations, "{name}");
+            assert_eq!(dense.state, chunked.state, "{name}");
+        }
+    }
+
+    #[test]
+    fn chunked_uniform_start_matches_dense() {
+        let inst = Instance::uniform(300, 8, 50).unwrap();
+        let dense = run(
+            &inst,
+            State::all_on(&inst, ResourceId(2)),
+            &SlackDamped::default(),
+            RunConfig::new(5, 2_000),
+        );
+        let (chunked, assign) = run_chunked(
+            &inst,
+            hotspot_chunked(&inst, ResourceId(2)),
+            &SlackDamped::default(),
+            RunConfig::new(5, 2_000),
+        );
+        assert_eq!(dense.state, chunked.state);
+        assert_eq!(assign.count_loads(8), dense.state.loads());
+    }
+
+    #[test]
+    fn chunked_with_spill_matches_dense() {
+        let inst = Instance::uniform(400, 16, 30).unwrap();
+        let start = State::all_on(&inst, ResourceId(0));
+        let dense = run(
+            &inst,
+            start.clone(),
+            &SlackDamped::default(),
+            RunConfig::new(9, 2_000),
+        );
+        let (chunked, _) = run_chunked(
+            &inst,
+            ChunkedAssign::from_state(&start),
+            &SlackDamped::default(),
+            RunConfig::new(9, 2_000).with_spill(true),
+        );
+        assert_eq!(dense.state, chunked.state);
+        assert_eq!(dense.rounds, chunked.rounds);
+    }
+
+    #[test]
+    fn chunked_multi_class_matches_dense() {
+        use qlb_core::InstanceBuilder;
+        let inst = InstanceBuilder::new()
+            .speeds(vec![4.0, 4.0, 4.0, 4.0])
+            .latency_class(1.0, 6)
+            .latency_class(2.0, 6)
+            .build()
+            .unwrap();
+        let start = State::all_on(&inst, ResourceId(0));
+        let dense = run(
+            &inst,
+            start.clone(),
+            &SlackDamped::default(),
+            RunConfig::new(3, 2_000),
+        );
+        let (chunked, _) = run_chunked(
+            &inst,
+            ChunkedAssign::from_state(&start),
+            &SlackDamped::default(),
+            RunConfig::new(3, 2_000),
+        );
+        assert_eq!(dense.converged, chunked.converged);
+        assert_eq!(dense.state, chunked.state);
+    }
+}

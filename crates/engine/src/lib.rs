@@ -17,8 +17,9 @@
 //!
 //! The engine also provides per-round [`trace`]s (potential decay, figure
 //! experiments), [`dynamics`] for churn/re-convergence experiments,
-//! [`open`] for open-system (arrival/departure) driving, and [`weighted`]
-//! for the weighted-demand extension.
+//! [`open`] for open-system (arrival/departure) driving, [`large`] for
+//! huge-`n` runs over chunked assignments with optional file-backed
+//! spill, and [`weighted`] for the weighted-demand extension.
 //!
 //! ```
 //! use qlb_core::prelude::*;
@@ -35,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod dynamics;
+pub mod large;
 pub mod open;
 pub mod pool;
 pub mod run;
@@ -44,6 +46,7 @@ pub mod weighted;
 pub use dynamics::{
     perturb_uniform, run_with_churn, run_with_churn_observed, ChurnConfig, ChurnOutcome,
 };
+pub use large::{chunked_from_state, hotspot_chunked, run_chunked, run_chunked_observed};
 pub use open::{
     run_open_system, run_open_system_observed, OpenConfig, OpenOutcome, OpenRoundStats,
 };

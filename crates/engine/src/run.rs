@@ -4,7 +4,7 @@ use crate::pool::{shard_bounds, shard_chunk, shards_for, WorkerPool};
 use crate::trace::Trace;
 use qlb_core::step::{decide_active_into, decide_round_into, decide_users_into};
 use qlb_core::{
-    overload_potential, ActiveIndex, Instance, Move, Protocol, RoundView, ShardDeltas,
+    overload_potential_loads, ActiveIndex, Instance, Move, Protocol, RoundView, ShardDeltas,
     ShardScratch, State, UserId,
 };
 use qlb_obs::{timed, Counter, Event, Gauge, NoopSink, Phase, Sink};
@@ -16,6 +16,12 @@ use std::time::Instant;
 /// condvar dispatch. Purely a cost decision — shard outputs concatenate in
 /// user order either way, so the trajectory is unaffected.
 const SPARSE_POOL_MIN_ACTIVE: usize = 1024;
+
+/// Below this many moves the shard-owned executor applies the batch on the
+/// coordinator instead of waking the pool a second time: the in-place write
+/// is ~5 ns/move, so a small batch is cheaper than one dispatch round-trip.
+/// Purely a cost decision — both paths write the same cells.
+const OWNED_APPLY_MIN_BATCH: usize = 4096;
 
 /// Which round-execution strategy [`run`] uses.
 ///
@@ -73,6 +79,10 @@ pub struct RunConfig {
     /// (default on; irrelevant for sequential executors and disabled
     /// sinks).
     pub shard_timing: bool,
+    /// Spill cold assignment chunks to a temp file between rounds (only
+    /// meaningful for [`crate::large::run_chunked`]; spill directory from
+    /// `QLB_SPILL_DIR`, else the system temp dir).
+    pub spill: bool,
 }
 
 impl RunConfig {
@@ -86,7 +96,15 @@ impl RunConfig {
             executor: Executor::Dense,
             topk_resources: 0,
             shard_timing: true,
+            spill: false,
         }
+    }
+
+    /// Toggle chunk spilling for the chunked huge-`n` executor
+    /// (see [`RunConfig::spill`]).
+    pub fn with_spill(mut self, on: bool) -> Self {
+        self.spill = on;
+        self
     }
 
     /// Sample the `k` hottest resources at each observed round end
@@ -283,6 +301,163 @@ impl ViewShards {
                 self.view.repair_touched(inst, &mut slot.lock().unwrap().0);
             }
         });
+    }
+
+    /// [`ViewShards::decide_round`] for the shard-owned executor: large
+    /// migration batches are applied **by the workers themselves**, each
+    /// writing only its own cache-line-aligned user range of the interior-
+    /// mutable assignment array. The decide dispatch drains shards in
+    /// order and each shard emits moves in user order, so `buf` is
+    /// globally sorted by user index — each worker recovers its slice with
+    /// two binary searches, no extra bookkeeping, no array copy.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn decide_round_owned<P: Protocol + ?Sized, S: Sink>(
+        &mut self,
+        inst: &Instance,
+        proto: &P,
+        seed: u64,
+        round: u64,
+        pool: &WorkerPool,
+        buf: &mut Vec<Move>,
+        sink: &mut S,
+        shard_timing: bool,
+    ) {
+        let n = inst.num_users();
+        let chunk = shard_chunk(n, pool.threads());
+        let active = shards_for(n, pool.threads());
+        let (view, slots) = (&self.view, &self.slots);
+        pool.decide_round_observed_on(
+            |shard, out| {
+                let lo = (shard * chunk).min(n);
+                let hi = ((shard + 1) * chunk).min(n);
+                if lo < hi {
+                    let mut slot = slots[shard].lock().unwrap();
+                    let (deltas, scratch) = &mut *slot;
+                    view.decide_shard_into(inst, proto, seed, round, lo, hi, out, scratch, deltas);
+                }
+            },
+            buf,
+            sink,
+            shard_timing,
+            active,
+        );
+        timed(sink, Phase::Apply, || {
+            for slot in &self.slots {
+                self.view.merge_loads(&slot.lock().unwrap().0);
+            }
+            if buf.len() >= OWNED_APPLY_MIN_BATCH {
+                let view = &self.view;
+                let moves: &[Move] = buf;
+                pool.run_on(
+                    &|shard| {
+                        let lo = (shard * chunk).min(n);
+                        let hi = ((shard + 1) * chunk).min(n);
+                        if lo < hi {
+                            let start = moves.partition_point(|mv| mv.user.index() < lo);
+                            let end = moves.partition_point(|mv| mv.user.index() < hi);
+                            view.apply_shard_assignments(lo, hi, &moves[start..end]);
+                        }
+                    },
+                    active,
+                );
+            } else {
+                self.view.apply_assignments(buf);
+            }
+            for slot in &self.slots {
+                self.view.repair_touched(inst, &mut slot.lock().unwrap().0);
+            }
+        });
+    }
+}
+
+/// The **shard-owned** pooled round loop: no dense [`State`] is kept at
+/// all. The struct-of-arrays [`RoundView`] is built once from the start
+/// state, the workers decide against it and apply their own ranges in
+/// place, and the coordinator holds only the `m` per-resource loads plus
+/// the per-(class, resource) unsatisfied bitmaps. Steady-state rounds are
+/// **zero-copy and zero-allocation** (asserted in the memory bench);
+/// memory cost beyond the view is `O(moves)` for the round's batch.
+///
+/// Trajectory is bit-identical to [`run_pooled_dense`] — same decide
+/// kernel, same merge order, same cells written — the only difference is
+/// *who* writes the assignment array. Trace recording needs a dense
+/// [`State`] per round, so [`run_threaded_observed`] routes traced runs to
+/// [`run_pooled_dense`] instead.
+fn run_pooled_owned<P: Protocol + ?Sized, S: Sink>(
+    inst: &Instance,
+    state: State,
+    proto: &P,
+    config: RunConfig,
+    sink: &mut S,
+    pool: &WorkerPool,
+) -> RunOutcome {
+    debug_assert!(!config.record_trace, "traced runs keep the dense state");
+    let mut vs = ViewShards::new(inst, &state, pool.threads());
+    drop(state); // from here the view IS the state
+
+    let mut moves: Vec<Move> = Vec::new();
+    let mut rounds = 0u64;
+    let mut migrations = 0u64;
+    let mut converged = vs.view.is_legal();
+    let mut entering = if S::ENABLED && !converged {
+        vs.view.num_unsatisfied() as u64
+    } else {
+        0
+    };
+
+    while !converged && rounds < config.max_rounds {
+        if S::ENABLED {
+            sink.event(Event::RoundStart {
+                round: rounds,
+                active: entering,
+            });
+        }
+        vs.decide_round_owned(
+            inst,
+            proto,
+            config.seed,
+            rounds,
+            pool,
+            &mut moves,
+            sink,
+            config.shard_timing,
+        );
+        if S::ENABLED {
+            sink.add(Counter::DenseRounds, 1);
+            sink.event(Event::MigrationBatch {
+                round: rounds,
+                size: moves.len() as u64,
+            });
+        }
+        migrations += moves.len() as u64;
+        rounds += 1;
+        converged = timed(sink, Phase::Convergence, || vs.view.is_legal());
+        if S::ENABLED {
+            let unsatisfied = if converged {
+                0
+            } else {
+                vs.view.num_unsatisfied() as u64
+            };
+            emit_round_end_loads(
+                inst,
+                vs.view.loads(),
+                sink,
+                rounds - 1,
+                moves.len() as u64,
+                converged,
+                unsatisfied,
+                config.topk_resources,
+            );
+            entering = unsatisfied;
+        }
+    }
+
+    RunOutcome {
+        converged,
+        rounds,
+        migrations,
+        state: vs.view.to_state(inst),
+        trace: None,
     }
 }
 
@@ -698,7 +873,12 @@ pub fn run_threaded_observed<P: Protocol + ?Sized, S: Sink>(
         return run_dense(inst, state, proto, config, sink);
     }
     let pool = WorkerPool::new(shards);
-    run_pooled_dense(inst, state, proto, config, sink, &pool)
+    if config.record_trace {
+        // per-round trace entries need a dense State alongside the view
+        run_pooled_dense(inst, state, proto, config, sink, &pool)
+    } else {
+        run_pooled_owned(inst, state, proto, config, sink, &pool)
+    }
 }
 
 /// Emit the post-round counters, gauges, and events. Everything here is
@@ -719,7 +899,33 @@ fn emit_round_end<S: Sink>(
     unsatisfied: u64,
     topk: usize,
 ) {
-    let overload = (inst.num_classes() == 1).then(|| overload_potential(inst, state));
+    emit_round_end_loads(
+        inst,
+        state.loads(),
+        sink,
+        round,
+        batch,
+        converged,
+        unsatisfied,
+        topk,
+    );
+}
+
+/// [`emit_round_end`] from a raw congestion vector — the shard-owned
+/// executor has no dense [`State`] to pass, and every emitted quantity is
+/// derivable from the loads alone.
+#[allow(clippy::too_many_arguments)]
+fn emit_round_end_loads<S: Sink>(
+    inst: &Instance,
+    loads: &[u32],
+    sink: &mut S,
+    round: u64,
+    batch: u64,
+    converged: bool,
+    unsatisfied: u64,
+    topk: usize,
+) {
+    let overload = (inst.num_classes() == 1).then(|| overload_potential_loads(inst, loads));
     sink.add(Counter::Rounds, 1);
     sink.add(Counter::Migrations, batch);
     sink.set(Gauge::Unsatisfied, unsatisfied);
@@ -734,7 +940,7 @@ fn emit_round_end<S: Sink>(
     });
     sink.event(Event::ConvergenceCheck { round, converged });
     if topk > 0 {
-        sink.topk(round, &qlb_obs::top_k_entries(state.loads(), topk));
+        sink.topk(round, &qlb_obs::top_k_entries(loads, topk));
     }
 }
 

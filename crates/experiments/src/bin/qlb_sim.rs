@@ -30,6 +30,12 @@ use qlb_workload::{CapacityDist, Placement, Scenario};
 use std::io::BufWriter;
 use std::process::exit;
 
+// Counting allocator so `--mem-summary` can report the process high-water
+// mark; when the flag is absent the bookkeeping is four relaxed atomics
+// per allocation — noise for a CLI run.
+#[global_allocator]
+static GLOBAL: qlb_obs::CountingAlloc = qlb_obs::CountingAlloc;
+
 fn preset() -> Scenario {
     Scenario::single_class(
         "flash-crowd",
@@ -362,6 +368,16 @@ fn main() {
             &mut NoopSink,
         )
     };
+    if args.iter().any(|a| a == "--mem-summary") {
+        let n = inst.num_users().max(1);
+        let peak = qlb_obs::mem::peak_bytes();
+        println!(
+            "memory: peak {peak} bytes ({:.2} bytes/user over n = {}), {} allocations",
+            peak as f64 / n as f64,
+            inst.num_users(),
+            qlb_obs::mem::total_allocs(),
+        );
+    }
     if let Some((converged, rounds, migrations)) = outcome {
         report(converged, rounds, migrations);
     }
@@ -512,6 +528,7 @@ fn print_help() {
          --metrics-summary (replay the trace into a digest on stdout)\n\
          PROFILING: --topk-resources K (sample the K hottest resources each round; default 0)\n           \
          --shard-timing on|off (per-shard compute/wake profile of pooled rounds;\n           \
-         default on) — inspect both with qlb-trace profile FILE.jsonl"
+         default on) — inspect both with qlb-trace profile FILE.jsonl\n           \
+         --mem-summary (print the process peak allocation and bytes/user at exit)"
     );
 }

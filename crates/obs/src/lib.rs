@@ -19,6 +19,9 @@
 //! * [`profile`] — **per-shard profiling**: per-worker compute
 //!   aggregates, barrier-skew and dispatch wake-latency histograms, and
 //!   a sampled top-k per-resource congestion series for pooled runs;
+//! * [`mem`] — the **counting global allocator** behind the memory bench
+//!   gates: live/peak/allocation-count atomics, [`MemMark`] region
+//!   measurement, and the zero-alloc steady-state proofs;
 //! * [`sink`] — the [`Sink`] trait the instrumented crates emit through.
 //!   It is monomorphized into the round loops (no `dyn` on the hot path);
 //!   the default [`NoopSink`] has `ENABLED = false`, so every emission
@@ -64,6 +67,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod mem;
 pub mod metrics;
 pub mod profile;
 pub mod recorder;
@@ -74,11 +78,12 @@ pub mod timers;
 pub mod window;
 
 pub use event::{Event, EventRing};
+pub use mem::{CountingAlloc, MemMark};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use profile::{top_k_entries, LatencyHists, ShardTimers, TopKEntry, TopKSeries};
-pub use recorder::Recorder;
+pub use recorder::{DeltaSeries, Recorder};
 pub use replay::TraceReader;
-pub use sink::{timed, NoopSink, Sink};
+pub use sink::{timed, DeltaSnapshot, NoopSink, Sink};
 pub use stream::{StreamSink, DEFAULT_FLUSH_EVERY};
 pub use timers::{Phase, PhaseTimers};
 pub use window::{

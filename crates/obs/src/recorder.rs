@@ -5,7 +5,7 @@ use crate::event::{Event, EventRing};
 use crate::metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 use crate::profile::{HistBucket, LatencyHists, ShardTimers, TopKEntry, TopKSeries};
 use crate::profile::{SKEW_HIST_NAME, WAKE_HIST_NAME};
-use crate::sink::Sink;
+use crate::sink::{DeltaSnapshot, Sink};
 use crate::timers::{Phase, PhaseTimers};
 use crate::window::{StatsSeries, StatsSnapshot};
 use serde::{Deserialize, Serialize};
@@ -105,6 +105,73 @@ pub enum Record {
         /// The snapshot.
         snap: StatsSnapshot,
     },
+    /// One retained delta-compressed assignment snapshot (trailer). The
+    /// payload is the hex of a `qlb-core` `StateDelta` wire blob
+    /// (`StateDelta::to_bytes`/`from_bytes`); the summary fields ride
+    /// alongside so readers that do not link `qlb-core` can still report
+    /// on it.
+    StateDelta {
+        /// Round (or op sequence) the snapshot describes.
+        round: u64,
+        /// Generation the delta applies on top of.
+        base_gen: u64,
+        /// Generation reached after applying it.
+        gen: u64,
+        /// Users covered.
+        users: u64,
+        /// Users whose assignment changes.
+        changed: u64,
+        /// Hex-encoded serialized delta.
+        hex: String,
+    },
+}
+
+/// Retained delta-snapshot series (see [`Record::StateDelta`]). Snapshots
+/// are rare (end-of-run export, recovery checkpoints), so the series keeps
+/// everything it is offered.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaSeries {
+    items: Vec<(u64, u64, u64, u64, u64, Vec<u8>)>,
+}
+
+impl DeltaSeries {
+    /// Retain one snapshot (copies the payload).
+    pub fn push(&mut self, d: &DeltaSnapshot<'_>) {
+        self.items.push((
+            d.round,
+            d.base_gen,
+            d.gen,
+            d.users,
+            d.changed,
+            d.bytes.to_vec(),
+        ));
+    }
+
+    /// Snapshots retained.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no snapshot was offered.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The raw serialized payload of snapshot `i` (insertion order).
+    pub fn bytes(&self, i: usize) -> &[u8] {
+        &self.items[i].5
+    }
+}
+
+/// Lowercase hex of a byte string (the trailer's payload encoding —
+/// JSONL lines must stay valid UTF-8).
+fn hex_encode(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push(char::from_digit((b >> 4) as u32, 16).expect("nibble"));
+        s.push(char::from_digit((b & 15) as u32, 16).expect("nibble"));
+    }
+    s
 }
 
 /// A recording [`Sink`]: dense metrics, a bounded event ring, and phase
@@ -119,6 +186,7 @@ pub struct Recorder {
     topk: TopKSeries,
     latency: LatencyHists,
     stats: StatsSeries,
+    deltas: DeltaSeries,
 }
 
 impl Recorder {
@@ -174,6 +242,13 @@ impl Recorder {
         &self.stats
     }
 
+    /// The retained delta-snapshot series (empty unless a driver offered
+    /// [`DeltaSnapshot`]s, e.g. the runtime's recovery checkpoints or the
+    /// serve daemon's drain export).
+    pub fn delta_series(&self) -> &DeltaSeries {
+        &self.deltas
+    }
+
     /// Shorthand for a cumulative counter value.
     pub fn counter(&self, c: Counter) -> u64 {
         self.metrics.counter(c)
@@ -204,6 +279,7 @@ impl Recorder {
             &self.latency,
             &self.topk,
             &self.stats,
+            &self.deltas,
             self.events.total_recorded(),
             self.events.dropped(),
         );
@@ -255,6 +331,7 @@ pub(crate) fn write_trailer(
     latency: &LatencyHists,
     topk: &TopKSeries,
     stats: &StatsSeries,
+    deltas: &DeltaSeries,
     recorded: u64,
     dropped: u64,
 ) {
@@ -342,6 +419,19 @@ pub(crate) fn write_trailer(
     for snap in stats.samples() {
         push_record_line(out, &Record::StatsSnapshot { snap: snap.clone() });
     }
+    for &(round, base_gen, gen, users, changed, ref bytes) in &deltas.items {
+        push_record_line(
+            out,
+            &Record::StateDelta {
+                round,
+                base_gen,
+                gen,
+                users,
+                changed,
+                hex: hex_encode(bytes),
+            },
+        );
+    }
 }
 
 impl Sink for Recorder {
@@ -385,6 +475,11 @@ impl Sink for Recorder {
     #[inline]
     fn stats_snapshot(&mut self, snap: &StatsSnapshot) {
         self.stats.push(snap);
+    }
+
+    #[inline]
+    fn delta_snapshot(&mut self, d: &DeltaSnapshot<'_>) {
+        self.deltas.push(d);
     }
 }
 

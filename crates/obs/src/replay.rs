@@ -65,6 +65,10 @@ pub struct Summary {
     /// Retained live-telemetry snapshots (serve-daemon traces only), in
     /// tick order — what `qlb-trace watch <trace>` renders.
     pub stats_snapshots: Vec<StatsSnapshot>,
+    /// Retained delta-compressed assignment snapshots, in emission order
+    /// (the hex payload decodes with `qlb_core::delta::from_hex` +
+    /// `StateDelta::from_bytes`).
+    pub state_deltas: Vec<StateDeltaSummary>,
     /// True when the input ended mid-record (a crash or kill during a
     /// write): the partial tail was skipped, everything before it counted.
     pub truncated: bool,
@@ -76,6 +80,23 @@ pub struct Summary {
     round_end_migrations: u64,
     /// A RingInfo record was ingested (start of the end-of-run trailer).
     saw_ring_info: bool,
+}
+
+/// An ingested delta snapshot (one [`Record::StateDelta`] line).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StateDeltaSummary {
+    /// Round (or op sequence) the snapshot describes.
+    pub round: u64,
+    /// Generation the delta applies on top of.
+    pub base_gen: u64,
+    /// Generation reached after applying it.
+    pub gen: u64,
+    /// Users covered.
+    pub users: u64,
+    /// Users whose assignment changes.
+    pub changed: u64,
+    /// Hex of the serialized delta.
+    pub hex: String,
 }
 
 /// An ingested latency histogram (one [`Record::LatencyHist`] line).
@@ -244,6 +265,23 @@ impl Summary {
             }
             Record::StatsSnapshot { snap } => {
                 self.stats_snapshots.push(snap.clone());
+            }
+            Record::StateDelta {
+                round,
+                base_gen,
+                gen,
+                users,
+                changed,
+                hex,
+            } => {
+                self.state_deltas.push(StateDeltaSummary {
+                    round: *round,
+                    base_gen: *base_gen,
+                    gen: *gen,
+                    users: *users,
+                    changed: *changed,
+                    hex: hex.clone(),
+                });
             }
         }
         self.rounds = self

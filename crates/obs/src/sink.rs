@@ -15,6 +15,32 @@ use crate::timers::Phase;
 use crate::window::StatsSnapshot;
 use std::time::Instant;
 
+/// A delta-compressed assignment snapshot offered to a sink (borrowed;
+/// recording sinks copy what they retain).
+///
+/// The payload is an opaque `qlb-core` `StateDelta` wire blob
+/// (`StateDelta::to_bytes`) — this crate does not depend on `qlb-core`,
+/// so the fields a reader needs without decoding ride alongside the raw
+/// bytes. Like every emission, snapshots are derived data only: re-running
+/// the seed reproduces them.
+#[derive(Debug, Clone, Copy)]
+pub struct DeltaSnapshot<'a> {
+    /// Round (or serve-daemon op sequence) the snapshot describes.
+    pub round: u64,
+    /// Generation the delta applies on top of (`0` and `full` snapshots
+    /// apply anywhere).
+    pub base_gen: u64,
+    /// Generation reached after applying the delta.
+    pub gen: u64,
+    /// Users covered by the underlying assignment array.
+    pub users: u64,
+    /// Users whose assignment the delta changes.
+    pub changed: u64,
+    /// The serialized `StateDelta` (version, flags, generations, counts,
+    /// varint run-length payload).
+    pub bytes: &'a [u8],
+}
+
 /// Consumer of observability emissions.
 ///
 /// Implementations must be pure observers: a sink receives derived
@@ -65,6 +91,13 @@ pub trait Sink {
     /// as trailer records.
     #[inline]
     fn stats_snapshot(&mut self, _snap: &StatsSnapshot) {}
+
+    /// Offer a delta-compressed assignment snapshot (end-of-run state
+    /// export, runtime recovery checkpoint, serve-daemon drain). Default:
+    /// ignored — the recording sinks retain the series and export it as
+    /// hex-payload trailer records.
+    #[inline]
+    fn delta_snapshot(&mut self, _d: &DeltaSnapshot<'_>) {}
 }
 
 /// The default sink: records nothing, costs nothing.

@@ -37,8 +37,8 @@
 use crate::event::Event;
 use crate::metrics::{Counter, Gauge, MetricsRegistry};
 use crate::profile::{LatencyHists, ShardTimers, TopKEntry, TopKSeries};
-use crate::recorder::{push_record_line, write_trailer, Record};
-use crate::sink::Sink;
+use crate::recorder::{push_record_line, write_trailer, DeltaSeries, Record};
+use crate::sink::{DeltaSnapshot, Sink};
 use crate::timers::{Phase, PhaseTimers};
 use crate::window::{StatsSeries, StatsSnapshot};
 use std::io::{self, Write};
@@ -66,6 +66,7 @@ pub struct StreamSink<W: Write> {
     topk: TopKSeries,
     latency: LatencyHists,
     stats: StatsSeries,
+    deltas: DeltaSeries,
     next_seq: u64,
     /// RoundEnd events seen since the last flush.
     rounds_since_flush: u64,
@@ -93,6 +94,7 @@ impl<W: Write> StreamSink<W> {
             topk: TopKSeries::default(),
             latency: LatencyHists::default(),
             stats: StatsSeries::default(),
+            deltas: DeltaSeries::default(),
             next_seq: 0,
             rounds_since_flush: 0,
             flush_every: flush_every.max(1),
@@ -177,6 +179,7 @@ impl<W: Write> StreamSink<W> {
             &self.latency,
             &self.topk,
             &self.stats,
+            &self.deltas,
             self.next_seq,
             0,
         );
@@ -249,6 +252,11 @@ impl<W: Write> Sink for StreamSink<W> {
     #[inline]
     fn stats_snapshot(&mut self, snap: &StatsSnapshot) {
         self.stats.push(snap);
+    }
+
+    #[inline]
+    fn delta_snapshot(&mut self, d: &DeltaSnapshot<'_>) {
+        self.deltas.push(d);
     }
 }
 

@@ -4,8 +4,8 @@ use crate::messages::{ToCoordinator, ToResource, ToUser};
 use crate::resource_shard::ResourceShard;
 use crate::user_shard::UserShard;
 use crossbeam::channel::unbounded;
-use qlb_core::{Instance, Protocol, ResourceId, State};
-use qlb_obs::{timed, Counter, Event, Gauge, NoopSink, Phase, Sink};
+use qlb_core::{Instance, Protocol, ResourceId, State, StateDelta};
+use qlb_obs::{timed, Counter, DeltaSnapshot, Event, Gauge, NoopSink, Phase, Sink};
 
 /// Configuration of a distributed run.
 #[derive(Debug, Clone, Copy)]
@@ -137,7 +137,9 @@ pub fn run_distributed_observed<P: Protocol + ?Sized, S: Sink>(
     let res_txs: Vec<_> = res_channels.iter().map(|(tx, _)| tx.clone()).collect();
     let user_txs: Vec<_> = user_channels.iter().map(|(tx, _)| tx.clone()).collect();
 
-    let mut outcome_state_assignment = vec![ResourceId(0); n];
+    // The coordinator keeps the initial assignment; user shards hand back
+    // only deltas against it at teardown.
+    let mut outcome_assign: Vec<u32> = state.assignment().iter().map(|r| r.0).collect();
     let mut rounds = 0u64;
     let mut migrations = 0u64;
     let mut messages = 0u64;
@@ -272,11 +274,13 @@ pub fn run_distributed_observed<P: Protocol + ?Sized, S: Sink>(
         }
         let mut finals = 0usize;
         while finals < us {
-            if let ToCoordinator::FinalAssign { start, assignment } =
+            if let ToCoordinator::FinalAssign { start, delta } =
                 coord_rx.recv().expect("user shard alive")
             {
-                outcome_state_assignment[start..start + assignment.len()]
-                    .copy_from_slice(&assignment);
+                let d = StateDelta::from_bytes(&delta).expect("well-formed shard delta");
+                let end = start + d.num_users() as usize;
+                d.apply(&mut outcome_assign[start..end], 0)
+                    .expect("shard delta applies to the initial positions");
                 finals += 1;
             }
         }
@@ -291,16 +295,38 @@ pub fn run_distributed_observed<P: Protocol + ?Sized, S: Sink>(
                 sink.add(Counter::StaleSnapshots, stale);
             }
         }
-        let assembled =
-            State::new(inst, outcome_state_assignment.clone()).expect("valid assembled state");
+        let assembled = State::new(
+            inst,
+            outcome_assign.iter().map(|&r| ResourceId(r)).collect(),
+        )
+        .expect("valid assembled state");
         assert_eq!(
             assembled.loads(),
             &true_loads[..],
             "shard ground truths diverged — runtime bug"
         );
+        // Trailer checkpoint: the whole run as one delta over the initial
+        // assignment — what a recovering coordinator would need to rebuild
+        // the final state from the start state alone.
+        if S::ENABLED {
+            let initial: Vec<u32> = state.assignment().iter().map(|r| r.0).collect();
+            let d = StateDelta::encode(&initial, &outcome_assign, 0, rounds.max(1));
+            sink.delta_snapshot(&DeltaSnapshot {
+                round: rounds,
+                base_gen: d.base_gen(),
+                gen: d.gen(),
+                users: d.num_users(),
+                changed: d.changed(),
+                bytes: &d.to_bytes(),
+            });
+        }
     });
 
-    let state = State::new(inst, outcome_state_assignment).expect("valid final state");
+    let state = State::new(
+        inst,
+        outcome_assign.iter().map(|&r| ResourceId(r)).collect(),
+    )
+    .expect("valid final state");
     // With lossy links the coordinator's stop condition is based on possibly
     // stale observations; the reported flag is always TRUE legality.
     let converged = converged && state.is_legal(inst);

@@ -1,6 +1,6 @@
 //! Wire messages between the coordinator, resource shards, and user shards.
 
-use qlb_core::{Move, ResourceId};
+use qlb_core::Move;
 
 /// Messages received by a resource shard (from the coordinator and from
 /// every user shard, multiplexed on one channel).
@@ -55,11 +55,15 @@ pub(crate) enum ToCoordinator {
         /// (0 in synchronous mode) — feeds the staleness gauge.
         max_staleness: u64,
     },
-    /// Final positions of a user shard (sent after `Stop`).
+    /// Final positions of a user shard (sent after `Stop`),
+    /// delta-compressed against the shard's **initial** positions — the
+    /// coordinator still holds those, so only the users that actually
+    /// moved cross the wire (`qlb_core::StateDelta` wire format, base
+    /// generation 0).
     FinalAssign {
         /// First user index of the shard.
         start: usize,
-        /// Position of each user in the shard.
-        assignment: Vec<ResourceId>,
+        /// Serialized [`qlb_core::StateDelta`] over the shard's users.
+        delta: Vec<u8>,
     },
 }

@@ -4,7 +4,7 @@
 use crate::messages::{ToCoordinator, ToResource, ToUser};
 use crossbeam::channel::{Receiver, Sender};
 use qlb_core::step::decide_user;
-use qlb_core::{Instance, Protocol, ResourceId, UserId};
+use qlb_core::{Instance, Protocol, ResourceId, StateDelta, UserId};
 use qlb_rng::{Rng64, RoundStream};
 use std::collections::{HashMap, VecDeque};
 
@@ -21,6 +21,9 @@ pub(crate) struct UserShard<'a, P: Protocol + ?Sized> {
     start: usize,
     /// Current position of each owned user (ground truth for these users).
     positions: Vec<ResourceId>,
+    /// Positions at spawn time — the base the final-state delta is encoded
+    /// against (the coordinator still holds the same base).
+    initial: Vec<u32>,
     /// Inbox.
     rx: Receiver<ToUser>,
     /// All resource shards (each receives our batch every round).
@@ -51,12 +54,14 @@ impl<'a, P: Protocol + ?Sized> UserShard<'a, P> {
         max_delay: u64,
     ) -> Self {
         let num_res_shards = res_txs.len();
+        let initial = positions.iter().map(|r| r.0).collect();
         Self {
             inst,
             proto,
             seed,
             start,
             positions,
+            initial,
             rx,
             res_txs,
             coord_tx,
@@ -83,9 +88,11 @@ impl<'a, P: Protocol + ?Sized> UserShard<'a, P> {
                 ToUser::Stop => break,
             }
         }
+        let current: Vec<u32> = self.positions.iter().map(|r| r.0).collect();
+        let delta = StateDelta::encode(&self.initial, &current, 0, 1);
         let _ = self.coord_tx.send(ToCoordinator::FinalAssign {
             start: self.start,
-            assignment: self.positions.clone(),
+            delta: delta.to_bytes(),
         });
     }
 
@@ -237,11 +244,16 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
-        // final positions reflect the moves
+        // final positions reflect the moves, reconstructed through the
+        // delta the shard sent
         match crx.recv().unwrap() {
-            ToCoordinator::FinalAssign { assignment, .. } => {
+            ToCoordinator::FinalAssign { start, delta } => {
+                assert_eq!(start, 0);
+                let d = StateDelta::from_bytes(&delta).unwrap();
+                let mut assignment: Vec<u32> = state.assignment().iter().map(|r| r.0).collect();
+                d.apply(&mut assignment, 0).unwrap();
                 for mv in &expected {
-                    assert_eq!(assignment[mv.user.index()], mv.to);
+                    assert_eq!(assignment[mv.user.index()], mv.to.0);
                 }
             }
             other => panic!("unexpected {other:?}"),

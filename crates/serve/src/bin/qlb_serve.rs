@@ -24,6 +24,12 @@ use std::io::BufWriter;
 use std::process::exit;
 use std::time::Duration;
 
+// Counting allocator so `--mem-summary` can report the daemon's high-water
+// mark at shutdown; without the flag the bookkeeping is four relaxed
+// atomics per allocation — negligible next to socket I/O.
+#[global_allocator]
+static GLOBAL: qlb_obs::CountingAlloc = qlb_obs::CountingAlloc;
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
@@ -135,12 +141,13 @@ fn main() {
         stats_every: parse_u64("--stats-every", TelemetryOptions::DEFAULT_STATS_EVERY),
     };
 
+    let pool_slots = core.free_slots() + core.active_slots();
     println!(
         "qlb-serve listening on {} — {} resources, {} classes, pool {}, protocol {}, φ {admit_frac}",
         listener.describe(),
         core.num_resources(),
         core.num_classes(),
-        core.free_slots() + core.active_slots(),
+        pool_slots,
         protocol.name(),
     );
 
@@ -169,6 +176,14 @@ fn main() {
             exit(1)
         })
     };
+    if args.iter().any(|a| a == "--mem-summary") {
+        let peak = qlb_obs::mem::peak_bytes();
+        println!(
+            "memory: peak {peak} bytes ({:.2} bytes/slot over pool {pool_slots}), {} allocations",
+            peak as f64 / (pool_slots as f64).max(1.0),
+            qlb_obs::mem::total_allocs(),
+        );
+    }
     println!("qlb-serve: clean shutdown after {served} requests");
 }
 
@@ -192,7 +207,8 @@ fn print_help() {
          TELEMETRY: --metrics-http ADDR — serve Prometheus text exposition at /metrics\n           \
          (answered from the serve loop itself; no extra writer threads)\n           \
          --stats-every N (default 32) — record a StatsSnapshot trailer record\n           \
-         every N scheduler ticks when tracing (0 = never)\n\n\
+         every N scheduler ticks when tracing (0 = never)\n           \
+         --mem-summary — print the peak allocation and bytes/slot at shutdown\n\n\
          PROTOCOL (line-delimited JSON over the socket):\n  \
          {{\"op\":\"place\"[,\"class\":K][,\"weight\":W]}}   admission + placement\n  \
          {{\"op\":\"depart\",\"user\":U}}                  release a placement\n  \

@@ -51,7 +51,7 @@
 use qlb_core::step::{decide_active_into, decide_users_into};
 use qlb_core::{
     ActiveIndex, ClassId, ConditionalUniform, Instance, Move, Protocol, ResourceId,
-    RestrictTargets, SlackDamped, State, UserId,
+    RestrictTargets, SlackDamped, State, StateDelta, UserId,
 };
 use qlb_engine::{shard_chunk, shards_for, WorkerPool};
 use qlb_obs::{timed, Counter, Event, Gauge, Phase, Sink};
@@ -328,6 +328,10 @@ pub struct ServeCore {
     moves: Vec<Move>,
     scratch: Vec<UserId>,
     changes: Vec<(UserId, ResourceId)>,
+    /// Assignment at the last [`ServeCore::export_delta`] (the delta
+    /// base), stamped with `export_gen`; starts at the initial state.
+    export_base: Vec<u32>,
+    export_gen: u64,
 }
 
 impl ServeCore {
@@ -421,6 +425,7 @@ impl ServeCore {
             .collect();
         let proto = cfg.protocol.build(real_m);
         let wpool = (cfg.threads > 1).then(|| WorkerPool::new(cfg.threads));
+        let state_base = state.assignment().iter().map(|r| r.0).collect();
         Self {
             inst,
             state,
@@ -450,6 +455,8 @@ impl ServeCore {
             moves: Vec::new(),
             scratch: Vec::new(),
             changes: Vec::new(),
+            export_base: state_base,
+            export_gen: 0,
         }
     }
 
@@ -913,6 +920,31 @@ impl ServeCore {
         &self.state
     }
 
+    /// Export the placement changes since the previous export as a
+    /// [`StateDelta`] and advance the export base to the current
+    /// assignment. The first call encodes against the initial state;
+    /// applying the returned deltas in order to that initial assignment
+    /// reproduces [`ServeCore::state`] exactly, so a supervisor can keep
+    /// a live replica paying only for the users that actually moved.
+    pub fn export_delta(&mut self) -> StateDelta {
+        let current: Vec<u32> = self.state.assignment().iter().map(|r| r.0).collect();
+        let d = StateDelta::encode(
+            &self.export_base,
+            &current,
+            self.export_gen,
+            self.export_gen + 1,
+        );
+        self.export_base = current;
+        self.export_gen += 1;
+        d
+    }
+
+    /// Generation stamp of the current export base (number of
+    /// [`ServeCore::export_delta`] calls so far).
+    pub fn export_generation(&self) -> u64 {
+        self.export_gen
+    }
+
     /// The (parking-augmented, possibly drained) instance.
     pub fn instance(&self) -> &Instance {
         &self.inst
@@ -1136,5 +1168,33 @@ mod tests {
         // and new arrivals use the spare slots
         let p = c.place(ClassId(0), 1, &mut sink).unwrap();
         assert!(p.user.index() < 128);
+    }
+
+    #[test]
+    fn export_delta_chain_tracks_live_state() {
+        let mut c = small();
+        let mut sink = NoopSink;
+        // Replica starts at the initial (all-parked) assignment.
+        let mut replica: Vec<u32> = c.state().assignment().iter().map(|r| r.0).collect();
+        for step in 0..3 {
+            for _ in 0..5 {
+                c.place(ClassId(0), 1, &mut sink).unwrap();
+            }
+            c.tick(0, true, &mut sink);
+            if step == 1 {
+                c.depart(UserId(c.state().num_users() as u32 - 1), &mut sink)
+                    .unwrap();
+            }
+            let d = c.export_delta();
+            assert_eq!(d.base_gen(), step);
+            assert_eq!(d.gen(), step + 1);
+            d.apply(&mut replica, step).unwrap();
+            let live: Vec<u32> = c.state().assignment().iter().map(|r| r.0).collect();
+            assert_eq!(replica, live, "replica diverged at export {step}");
+        }
+        // A quiet period exports an empty (but well-formed) delta.
+        let d = c.export_delta();
+        assert_eq!(d.changed(), 0);
+        assert_eq!(c.export_generation(), 4);
     }
 }

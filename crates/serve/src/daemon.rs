@@ -406,6 +406,20 @@ pub fn run_daemon_telemetry<S: Sink>(
             }
         }
     }
+    // Whole-run placement checkpoint: one delta against the assignment at
+    // startup, so a trace consumer can rebuild the final placement without
+    // a dense dump.
+    if S::ENABLED {
+        let d = core.export_delta();
+        sink.delta_snapshot(&qlb_obs::DeltaSnapshot {
+            round: core.round(),
+            base_gen: d.base_gen(),
+            gen: d.gen(),
+            users: d.num_users(),
+            changed: d.changed(),
+            bytes: &d.to_bytes(),
+        });
+    }
     Ok(served)
 }
 
