@@ -17,15 +17,19 @@
 //! Run with `--test` for a smoke pass (tiny sizes, no JSON written) —
 //! used by CI.
 //!
-//! Two marginal-cost sections ride along: the pooled per-shard profiling
-//! overhead (`shard_timing`, recorder on vs off, **< 2 %**) and the live
+//! Three marginal-cost sections ride along: the pooled per-shard profiling
+//! overhead (`shard_timing`, recorder on vs off, **< 2 %**), the live
 //! telemetry plane's windowed aggregation on the steady-state serving loop
-//! (`windowed`, [`qlb_bench::checks::measure_window`], **< 2 %**).
+//! (`windowed`, [`qlb_bench::checks::measure_window`], **< 2 %**), and the
+//! causal span layer on the same loop (`spans`,
+//! [`qlb_bench::checks::measure_spans`]: every-request tracing, the
+//! daemon's default `--span-sample 64` — gated at **< 2 %** — and the
+//! disabled branch, which must sit at ≈ 0).
 
 use criterion::Criterion;
 use qlb_bench::checks::{
-    measure_obs, measure_shard_timing, measure_window, ObsRow, ShardTimingRow, WindowRow,
-    BENCH_SEED as SEED,
+    measure_obs, measure_shard_timing, measure_spans, measure_window, ObsRow, ShardTimingRow,
+    SpansRow, WindowRow, BENCH_SEED as SEED,
 };
 use qlb_core::SlackDamped;
 use qlb_engine::{run, run_observed, Executor, RunConfig};
@@ -47,6 +51,10 @@ const WINDOW_BUDGET_PCT: f64 = 2.0;
 /// Serving-loop shape of the windowed-telemetry overhead measurement.
 const WINDOW_N: usize = 65_536;
 const WINDOW_REQUESTS: u64 = 16_384;
+/// Committed budget for the span layer's marginal overhead at the
+/// daemon's default head-sampling rate (`--span-sample 64`), percent —
+/// the PR's serving-loop acceptance criterion.
+const SPANS_BUDGET_PCT: f64 = 2.0;
 
 fn criterion_report(n: usize, c: &mut Criterion) {
     let (inst, start) = qlb_bench::standard_pair(n, SEED);
@@ -101,7 +109,7 @@ fn criterion_shard_timing_report(n: usize, threads: usize, c: &mut Criterion) {
     g.finish();
 }
 
-fn write_summary(rows: &[ObsRow], shard: &ShardTimingRow, window: &WindowRow) {
+fn write_summary(rows: &[ObsRow], shard: &ShardTimingRow, window: &WindowRow, spans: &SpansRow) {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
     let mut entries = Vec::new();
     for r in rows {
@@ -182,6 +190,34 @@ fn write_summary(rows: &[ObsRow], shard: &ShardTimingRow, window: &WindowRow) {
         window.snapshots,
         WINDOW_BUDGET_PCT,
     );
+    let spans_entry = format!(
+        concat!(
+            "  \"spans\": {{\n",
+            "    \"n\": {},\n",
+            "    \"requests_per_rep\": {},\n",
+            "    \"base_serve_ms\": {:.3},\n",
+            "    \"sample1_serve_ms\": {:.3},\n",
+            "    \"sample64_serve_ms\": {:.3},\n",
+            "    \"disabled_serve_ms\": {:.3},\n",
+            "    \"sample1_overhead_pct\": {:.2},\n",
+            "    \"sample64_overhead_pct\": {:.2},\n",
+            "    \"disabled_overhead_pct\": {:.2},\n",
+            "    \"spans_built\": {},\n",
+            "    \"sample64_overhead_budget_pct\": {:.1}\n",
+            "  }},"
+        ),
+        spans.n,
+        spans.requests,
+        spans.base_ms,
+        spans.sample1_ms,
+        spans.sample64_ms,
+        spans.disabled_ms,
+        spans.sample1_overhead_pct,
+        spans.sample64_overhead_pct,
+        spans.disabled_overhead_pct,
+        spans.spans_built,
+        SPANS_BUDGET_PCT,
+    );
     let json = format!(
         concat!(
             "{{\n",
@@ -190,12 +226,14 @@ fn write_summary(rows: &[ObsRow], shard: &ShardTimingRow, window: &WindowRow) {
              hotspot start, run to convergence, seed {}\",\n",
             "  \"budget\": \"disabled (NoopSink) overhead < {}%, recorder overhead < {}%, \
              per-shard profiling (pooled, on vs off) < {}%, \
-             windowed telemetry on the serving loop < {}%\",\n",
+             windowed telemetry on the serving loop < {}%, \
+             causal spans at --span-sample 64 < {}%\",\n",
             "  \"noop_overhead_budget_pct\": {:.1},\n",
             "  \"recorder_overhead_budget_pct\": {:.1},\n",
             "  \"worst_noop_overhead_pct\": {:.2},\n",
             "  \"worst_recorder_overhead_pct\": {:.2},\n",
             "  \"budget_met\": {},\n",
+            "{}\n",
             "{}\n",
             "{}\n",
             "  \"results\": [\n{}\n  ]\n",
@@ -206,6 +244,7 @@ fn write_summary(rows: &[ObsRow], shard: &ShardTimingRow, window: &WindowRow) {
         RECORDER_BUDGET_PCT,
         SHARD_TIMING_BUDGET_PCT,
         WINDOW_BUDGET_PCT,
+        SPANS_BUDGET_PCT,
         NOOP_BUDGET_PCT,
         RECORDER_BUDGET_PCT,
         worst_noop,
@@ -213,9 +252,11 @@ fn write_summary(rows: &[ObsRow], shard: &ShardTimingRow, window: &WindowRow) {
         worst_noop < NOOP_BUDGET_PCT
             && worst_recorder < RECORDER_BUDGET_PCT
             && shard.timing_overhead_pct < SHARD_TIMING_BUDGET_PCT
-            && window.window_overhead_pct < WINDOW_BUDGET_PCT,
+            && window.window_overhead_pct < WINDOW_BUDGET_PCT
+            && spans.sample64_overhead_pct < SPANS_BUDGET_PCT,
         shard_entry,
         window_entry,
+        spans_entry,
         entries.join(",\n")
     );
     std::fs::write(path, json).expect("write BENCH_obs.json");
@@ -284,11 +325,26 @@ fn main() {
         window.window_overhead_pct,
         window.snapshots,
     );
+    let spans = measure_spans(window_n, window_requests, window_reps);
+    println!(
+        "causal spans n = {:>7} ({} req/rep): base {:>8.2} ms | sample=1 {:>8.2} ms ({:+.2}%) | \
+         sample=64 {:>8.2} ms ({:+.2}%) | disabled {:>8.2} ms ({:+.2}%) | {} spans",
+        spans.n,
+        spans.requests,
+        spans.base_ms,
+        spans.sample1_ms,
+        spans.sample1_overhead_pct,
+        spans.sample64_ms,
+        spans.sample64_overhead_pct,
+        spans.disabled_ms,
+        spans.disabled_overhead_pct,
+        spans.spans_built,
+    );
     if smoke {
         // CI smoke: exercise every path but leave the committed numbers
         // (from a full local run) alone
         println!("smoke mode (--test): BENCH_obs.json not rewritten");
         return;
     }
-    write_summary(&rows, &shard, &window);
+    write_summary(&rows, &shard, &window, &spans);
 }

@@ -20,7 +20,10 @@
 //!   (`noop_overhead_budget_pct`, `recorder_overhead_budget_pct`) plus a
 //!   noise margin (`--overhead-margin`, default 3 percentage points), and
 //!   the windowed telemetry plane's marginal cost on the serving loop must
-//!   stay inside the committed `windowed` budget (< 2 %) the same way;
+//!   stay inside the committed `windowed` budget (< 2 %) the same way, and
+//!   the causal span layer at the daemon's default `--span-sample 64` must
+//!   stay inside the committed `spans` budget (< 2 %) with its disabled
+//!   branch at ≈ 0;
 //! * **serving stack**: steady-state placements/sec through the full
 //!   `qlb-serve` request path must reach at least `--speedup-tolerance` of
 //!   the committed throughput AND the hard acceptance floor recorded in
@@ -44,8 +47,8 @@
 
 use qlb_bench::checks::{
     measure_dispatch, measure_mem_chunked, measure_mem_dense, measure_mem_pooled, measure_obs,
-    measure_open_sparse, measure_scaling, measure_serve, measure_shard_timing, measure_sparse,
-    measure_weighted_sparse, measure_window, MemRow,
+    measure_open_sparse, measure_scaling, measure_serve, measure_shard_timing, measure_spans,
+    measure_sparse, measure_weighted_sparse, measure_window, MemRow,
 };
 use serde_json::{parse_value_str, Value};
 use std::process::exit;
@@ -342,6 +345,57 @@ fn check_window(baseline: &Value, quick: bool, reps: usize, margin: f64, gates: 
     });
 }
 
+/// Gate on the causal-span cost recorded in the `spans` section of
+/// `BENCH_obs.json`: at the daemon's default head-sampling rate
+/// (`--span-sample 64`) the span layer's marginal overhead on the
+/// steady-state serving loop must stay inside the committed budget (the
+/// < 2 % acceptance criterion), and the spans-disabled branch must stay
+/// at ≈ 0 (the spanned dispatch refactor may not tax untraced requests).
+/// Runs in `--quick` too, at the same shortened batch as the windowed
+/// gate.
+fn check_spans(baseline: &Value, quick: bool, reps: usize, margin: f64, gates: &mut Vec<Gate>) {
+    let Some(section) = baseline.get("spans") else {
+        gates.push(Gate {
+            name: "obs/spans".into(),
+            passed: false,
+            detail: "no spans section in BENCH_obs.json".into(),
+        });
+        return;
+    };
+    let n = section.get("n").and_then(Value::as_u64).unwrap_or(65_536) as usize;
+    let committed_requests = section
+        .get("requests_per_rep")
+        .and_then(Value::as_u64)
+        .unwrap_or(16_384);
+    let requests = if quick {
+        (committed_requests / 4).max(2_048)
+    } else {
+        committed_requests
+    };
+    let budget = f64_field(section, "sample64_overhead_budget_pct").unwrap_or(2.0);
+    let measured = measure_spans(n, requests, reps.max(15));
+    gates.push(Gate {
+        name: format!("obs/spans/n{n}/sample64"),
+        passed: measured.sample64_overhead_pct <= budget + margin,
+        detail: format!(
+            "span plane at --span-sample 64 {:+.2}% on vs off the serving loop \
+             (budget {budget:.1}% +{margin:.1} noise margin)",
+            measured.sample64_overhead_pct
+        ),
+    });
+    // same doubled margin as the shard-timing ≈-0 gate: this exists to
+    // catch a sampled-out path that started doing real work, not noise
+    let off_cap = 2.0 * margin;
+    gates.push(Gate {
+        name: format!("obs/spans/n{n}/disabled"),
+        passed: measured.disabled_overhead_pct <= off_cap,
+        detail: format!(
+            "spans-off branch {:+.2}% vs plain dispatch (must be ≈ 0: cap {off_cap:.1}%)",
+            measured.disabled_overhead_pct
+        ),
+    });
+}
+
 /// Gates for `BENCH_serve.json`: the steady-state serving loop (depart +
 /// place through `handle_line`, rebalancer ticking under synthetic
 /// backlog) re-measured at the committed sizes. Three gates per size:
@@ -570,6 +624,7 @@ fn main() {
     check_obs(&obs_baseline, obs_sizes, reps, margin, &mut gates);
     check_shard_timing(&obs_baseline, reps, margin, &mut gates);
     check_window(&obs_baseline, quick, reps, margin, &mut gates);
+    check_spans(&obs_baseline, quick, reps, margin, &mut gates);
     check_serve(&serve_baseline, serve_sizes, tolerance, &mut gates);
     check_mem(&mem_baseline, mem_growth, &mut gates);
 
@@ -604,8 +659,9 @@ fn print_help() {
          pool dispatch reduction >= 5x, SoA pooled round >= 3x dense sequential at the\n\
          committed top thread count, and sparse open/weighted drivers beating dense\n\
          (BENCH_parallel.json); NoopSink and Recorder overhead budgets, the pooled\n\
-         per-shard profiling budget (< 2% on vs off, ~0% disabled), and the windowed\n\
-         telemetry plane's marginal cost on the serving loop (< 2%) (BENCH_obs.json);\n\
+         per-shard profiling budget (< 2% on vs off, ~0% disabled), the windowed\n\
+         telemetry plane's marginal cost on the serving loop (< 2%), and the causal\n\
+         span layer at --span-sample 64 (< 2%, ~0% disabled) (BENCH_obs.json);\n\
          serving throughput >= max(tolerance x committed, the 50k/s acceptance floor),\n\
          placement p95 within 1/tolerance of committed, and a never-starved rebalancer\n\
          (BENCH_serve.json); zero-alloc shard-owned pooled rounds under the 12 B/user\n\

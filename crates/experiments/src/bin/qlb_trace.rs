@@ -51,6 +51,8 @@ fn main() {
         "profile" => profile_cmd(&args[1..]),
         "compare" => compare_cmd(&args[1..]),
         "watch" => watch_cmd(&args[1..]),
+        "spans" => spans_cmd(&args[1..]),
+        "blackbox" => blackbox_cmd(&args[1..]),
         _ => analyze_cmd(&args),
     }
 }
@@ -739,6 +741,243 @@ fn topk_heatmap(summary: &Summary) -> String {
     out
 }
 
+// ---------- spans: causal request spans + lifecycles ----------
+
+/// Quantile of a sorted sample set (nearest-rank; 0 when empty).
+fn quantile_of(sorted: &[u64], f: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * f).round() as usize;
+    sorted[idx]
+}
+
+fn spans_cmd(args: &[String]) {
+    let path = positional(args, "a trace file");
+    let slowest: usize = args
+        .iter()
+        .position(|a| a == "--slowest")
+        .and_then(|i| args.get(i + 1))
+        .map_or(10, |s| {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("bad --slowest");
+                exit(2)
+            })
+        });
+    let ticket: Option<u64> = args
+        .iter()
+        .position(|a| a == "--ticket")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("bad --ticket");
+                exit(2)
+            })
+        });
+    let summary = load_summary(&path);
+    if summary.spans.is_empty() {
+        eprintln!(
+            "{path}: no causal spans in this trace — record them with \
+             qlb-serve --trace and --span-sample > 0"
+        );
+        exit(1);
+    }
+    print!("{}", spans_report(&summary, slowest, ticket));
+    if summary.truncated || !summary.saw_trailer() {
+        exit_incomplete(&path, &summary);
+    }
+}
+
+/// The spans digest: verdict counts, per-phase latency breakdown,
+/// slowest-spans table, and ticket lifecycles (admission → moves →
+/// depart).
+fn spans_report(summary: &Summary, slowest: usize, only_ticket: Option<u64>) -> String {
+    let spans = &summary.spans;
+    let mut out = format!("causal spans: {} retained\n", spans.len());
+
+    // op / verdict counts
+    let mut by_kind: std::collections::BTreeMap<(String, String), u64> =
+        std::collections::BTreeMap::new();
+    for s in spans {
+        *by_kind
+            .entry((s.op.clone(), s.verdict.clone()))
+            .or_insert(0) += 1;
+    }
+    for ((op, verdict), count) in &by_kind {
+        out.push_str(&format!("  {op:<8} {verdict:<10} {count:>8}\n"));
+    }
+
+    // per-phase latency breakdown over wire-op spans (migrations are
+    // continuation stamps with no clocks of their own)
+    let wire: Vec<_> = spans.iter().filter(|s| s.op != "migrate").collect();
+    if !wire.is_empty() {
+        let mut cols: [(&str, Vec<u64>); 5] = [
+            ("parse", Vec::new()),
+            ("admit", Vec::new()),
+            ("probe", Vec::new()),
+            ("reply", Vec::new()),
+            ("total", Vec::new()),
+        ];
+        for s in &wire {
+            cols[0].1.push(s.parse_ns);
+            cols[1].1.push(s.admit_ns);
+            cols[2].1.push(s.probe_ns);
+            cols[3].1.push(s.reply_ns);
+            cols[4].1.push(s.total_ns);
+        }
+        out.push_str(&format!(
+            "per-phase latency over {} sampled wire ops:\n  phase        p50 µs      p95 µs      p99 µs\n",
+            wire.len()
+        ));
+        for (name, mut v) in cols {
+            v.sort_unstable();
+            out.push_str(&format!(
+                "  {name:<8} {:>9.2} {:>11.2} {:>11.2}\n",
+                us(quantile_of(&v, 0.50)),
+                us(quantile_of(&v, 0.95)),
+                us(quantile_of(&v, 0.99)),
+            ));
+        }
+
+        // slowest spans
+        let mut by_total: Vec<_> = wire.clone();
+        by_total.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.id.cmp(&b.id)));
+        let shown = by_total.len().min(slowest.max(1));
+        out.push_str(&format!(
+            "slowest {shown} spans:\n  span id  op       verdict      total µs   parse    admit    probe    reply   probes\n"
+        ));
+        for s in &by_total[..shown] {
+            out.push_str(&format!(
+                "  {:>7}  {:<8} {:<10} {:>9.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8}\n",
+                s.id,
+                s.op,
+                s.verdict,
+                us(s.total_ns),
+                us(s.parse_ns),
+                us(s.admit_ns),
+                us(s.probe_ns),
+                us(s.reply_ns),
+                s.probes,
+            ));
+        }
+    }
+
+    // lifecycles: group by ticket, order by span id (arrival order)
+    let mut lives: std::collections::BTreeMap<u64, Vec<&qlb_obs::SpanRecord>> =
+        std::collections::BTreeMap::new();
+    for s in spans {
+        if let Some(t) = s.ticket {
+            if only_ticket.is_none_or(|want| want == t) {
+                lives.entry(t).or_default().push(s);
+            }
+        }
+    }
+    lives.values_mut().for_each(|v| v.sort_by_key(|s| s.id));
+    // only stories with some history are interesting (unless asked for)
+    let stories: Vec<_> = lives
+        .iter()
+        .filter(|(_, v)| only_ticket.is_some() || v.len() > 1)
+        .collect();
+    if !stories.is_empty() {
+        const MAX_STORIES: usize = 20;
+        let shown = stories.len().min(MAX_STORIES);
+        out.push_str(&format!(
+            "lifecycles (admission → moves → depart), {shown} of {} shown:\n",
+            stories.len()
+        ));
+        for (ticket, story) in &stories[..shown] {
+            let mut steps: Vec<String> = Vec::new();
+            for s in story.iter() {
+                let step = match (s.op.as_str(), s.verdict.as_str()) {
+                    ("place", "admitted") => match s.resource {
+                        Some(r) => format!("admitted r{r}"),
+                        None => "admitted".to_string(),
+                    },
+                    ("place", v) => format!("rejected ({v})"),
+                    ("migrate", _) => match (s.from, s.resource) {
+                        (Some(a), Some(b)) => format!("moved r{a}->r{b}"),
+                        _ => "moved".to_string(),
+                    },
+                    ("depart", "departed") => "departed".to_string(),
+                    (op, v) => format!("{op} ({v})"),
+                };
+                steps.push(step);
+            }
+            let ids: Vec<String> = story.iter().map(|s| s.id.to_string()).collect();
+            out.push_str(&format!(
+                "  ticket {ticket}: {}  [span ids {}]\n",
+                steps.join(" -> "),
+                ids.join(",")
+            ));
+        }
+    } else if let Some(t) = only_ticket {
+        out.push_str(&format!("no spans for ticket {t}\n"));
+    }
+    out
+}
+
+// ---------- blackbox: flight-recorder dump reader ----------
+
+fn blackbox_cmd(args: &[String]) {
+    let target = positional(args, "a black-box file or flight-recorder directory");
+    // a directory means "the newest dump in it"
+    let path = if std::fs::metadata(&target)
+        .map(|m| m.is_dir())
+        .unwrap_or(false)
+    {
+        let mut dumps: Vec<std::path::PathBuf> = std::fs::read_dir(&target)
+            .map(|rd| {
+                rd.filter_map(|e| e.ok().map(|e| e.path()))
+                    .filter(|p| {
+                        p.file_name()
+                            .and_then(|n| n.to_str())
+                            .is_some_and(|n| n.starts_with("blackbox-") && n.ends_with(".jsonl"))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        dumps.sort();
+        match dumps.pop() {
+            Some(p) => p.to_string_lossy().into_owned(),
+            None => {
+                eprintln!("{target}: no blackbox-*.jsonl dumps in this directory");
+                exit(1);
+            }
+        }
+    } else {
+        target
+    };
+    let summary = load_summary(&path);
+    let Some((trigger, tick, uptime_ms, spans, dropped)) = summary.blackbox.clone() else {
+        eprintln!("{path}: not a black-box dump (no BlackBox header record)");
+        exit(1);
+    };
+    println!(
+        "black box {path}\n  trigger: {trigger} at tick {tick} (uptime {:.1} s)\n  \
+         evidence: {spans} spans, {} tick marks retained; {dropped} older records \
+         dropped by the flight ring",
+        uptime_ms as f64 / 1e3,
+        summary.tick_marks.len(),
+    );
+    if !summary.tick_marks.is_empty() {
+        const SHOW: usize = 10;
+        let marks = &summary.tick_marks;
+        let from = marks.len().saturating_sub(SHOW);
+        println!(
+            "  last {} ticks:    tick   backlog    budget    active   unsatisfied",
+            marks.len() - from
+        );
+        for &(tick, backlog, budget, active, unsatisfied) in &marks[from..] {
+            println!(
+                "             {tick:>11} {backlog:>9} {budget:>9} {active:>9} {unsatisfied:>13}"
+            );
+        }
+    }
+    if !summary.spans.is_empty() {
+        print!("{}", spans_report(&summary, 5, None));
+    }
+}
+
 /// Percentage change from `a` to `b` (None when the baseline is zero).
 fn pct(a: u64, b: u64) -> Option<f64> {
     (a > 0).then(|| 100.0 * (b as f64 - a as f64) / a as f64)
@@ -895,7 +1134,15 @@ fn print_help() {
          qlb-trace compare A.jsonl B.jsonl   diff two runs (baseline → candidate)\n  \
          qlb-trace watch TARGET              live telemetry dashboard: rate sparklines,\n                                      \
          latency digests, per-class SLO violation\n                                      \
-         bars, rebalancer budget utilization\n\n\
+         bars, rebalancer budget utilization\n  \
+         qlb-trace spans FILE.jsonl          causal request spans: per-phase latency\n                                      \
+         breakdown (parse/admit/probe/reply), the\n                                      \
+         slowest-spans table, and per-ticket life-\n                                      \
+         cycles (admission → moves → depart)\n                                      \
+         [--slowest N] [--ticket T]\n  \
+         qlb-trace blackbox PATH             read a flight-recorder dump (or the newest\n                                      \
+         blackbox-*.jsonl when PATH is a directory):\n                                      \
+         trigger, tick context, retained spans\n\n\
          WATCH TARGETS:\n  \
          --tcp ADDR       poll a live daemon's {{\"op\":\"stats\"}} over TCP\n  \
          --socket PATH    same over a Unix socket\n  \

@@ -26,6 +26,12 @@
 //!   It is monomorphized into the round loops (no `dyn` on the hot path);
 //!   the default [`NoopSink`] has `ENABLED = false`, so every emission
 //!   site folds away at compile time and an unobserved run pays nothing;
+//! * [`span`] — **causal request spans**: the per-operation
+//!   [`SpanRecord`] (op, verdict, probe evidence, per-phase wall-clock)
+//!   keyed by placement ticket, retained by the recording sinks in a
+//!   bounded [`SpanSeries`] and exported as trailer records — the
+//!   substrate of `qlb-trace spans` and the serve daemon's flight
+//!   recorder;
 //! * [`recorder`] — [`Recorder`], the everything-on implementation of
 //!   [`Sink`] (registry + ring buffer + timers), with a JSONL dump of the
 //!   whole run;
@@ -73,6 +79,7 @@ pub mod profile;
 pub mod recorder;
 pub mod replay;
 pub mod sink;
+pub mod span;
 pub mod stream;
 pub mod timers;
 pub mod window;
@@ -84,6 +91,7 @@ pub use profile::{top_k_entries, LatencyHists, ShardTimers, TopKEntry, TopKSerie
 pub use recorder::{DeltaSeries, Recorder};
 pub use replay::TraceReader;
 pub use sink::{timed, DeltaSnapshot, NoopSink, Sink};
+pub use span::{SpanRecord, SpanSeries, DEFAULT_SPAN_CAP};
 pub use stream::{StreamSink, DEFAULT_FLUSH_EVERY};
 pub use timers::{Phase, PhaseTimers};
 pub use window::{

@@ -6,6 +6,7 @@ use crate::metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 use crate::profile::{HistBucket, LatencyHists, ShardTimers, TopKEntry, TopKSeries};
 use crate::profile::{SKEW_HIST_NAME, WAKE_HIST_NAME};
 use crate::sink::{DeltaSnapshot, Sink};
+use crate::span::{SpanRecord, SpanSeries};
 use crate::timers::{Phase, PhaseTimers};
 use crate::window::{StatsSeries, StatsSnapshot};
 use serde::{Deserialize, Serialize};
@@ -124,6 +125,43 @@ pub enum Record {
         /// Hex-encoded serialized delta.
         hex: String,
     },
+    /// One retained causal request span (trailer; the series is bounded
+    /// by [`SpanSeries`]).
+    Span {
+        /// The span.
+        span: SpanRecord,
+    },
+    /// Flight-recorder dump header: why and when the black box was cut.
+    /// Written only by the serve daemon's flight recorder, never by the
+    /// trailer — its presence marks a file as a black-box dump.
+    BlackBox {
+        /// The trigger that fired (`starved_tick`, `slo_burn`,
+        /// `reject_spike`, `p99_over_bound`).
+        trigger: String,
+        /// Scheduler tick the trigger fired at.
+        tick: u64,
+        /// Daemon uptime (ms) at the dump.
+        uptime_ms: u64,
+        /// Spans in the dumped ring.
+        spans: u64,
+        /// Records dropped from the ring before the dump (overflow).
+        dropped: u64,
+    },
+    /// One scheduler tick's context line (flight-recorder ring only):
+    /// the per-tick state a black-box reader needs to line spans up with
+    /// rebalancer behaviour.
+    TickMark {
+        /// The tick.
+        tick: u64,
+        /// Request-queue backlog at the tick.
+        backlog: u64,
+        /// Rebalancer round budget granted.
+        budget: u64,
+        /// Placed slots after the tick.
+        active: u64,
+        /// Unsatisfied users after the tick.
+        unsatisfied: u64,
+    },
 }
 
 /// Retained delta-snapshot series (see [`Record::StateDelta`]). Snapshots
@@ -187,6 +225,7 @@ pub struct Recorder {
     latency: LatencyHists,
     stats: StatsSeries,
     deltas: DeltaSeries,
+    spans: SpanSeries,
 }
 
 impl Recorder {
@@ -249,6 +288,12 @@ impl Recorder {
         &self.deltas
     }
 
+    /// The retained causal span series (empty unless a serving daemon
+    /// emitted sampled [`SpanRecord`]s).
+    pub fn span_series(&self) -> &SpanSeries {
+        &self.spans
+    }
+
     /// Shorthand for a cumulative counter value.
     pub fn counter(&self, c: Counter) -> u64 {
         self.metrics.counter(c)
@@ -280,6 +325,7 @@ impl Recorder {
             &self.topk,
             &self.stats,
             &self.deltas,
+            &self.spans,
             self.events.total_recorded(),
             self.events.dropped(),
         );
@@ -332,6 +378,7 @@ pub(crate) fn write_trailer(
     topk: &TopKSeries,
     stats: &StatsSeries,
     deltas: &DeltaSeries,
+    spans: &SpanSeries,
     recorded: u64,
     dropped: u64,
 ) {
@@ -432,6 +479,9 @@ pub(crate) fn write_trailer(
             },
         );
     }
+    for span in spans.iter() {
+        push_record_line(out, &Record::Span { span: span.clone() });
+    }
 }
 
 impl Sink for Recorder {
@@ -480,6 +530,11 @@ impl Sink for Recorder {
     #[inline]
     fn delta_snapshot(&mut self, d: &DeltaSnapshot<'_>) {
         self.deltas.push(d);
+    }
+
+    #[inline]
+    fn span(&mut self, s: &SpanRecord) {
+        self.spans.push(s);
     }
 }
 

@@ -21,6 +21,7 @@
 use crate::event::Event;
 use crate::profile::{PLACE_HIST_NAME, REQUEST_HIST_NAME, SKEW_HIST_NAME};
 use crate::recorder::Record;
+use crate::span::SpanRecord;
 use crate::window::StatsSnapshot;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -69,6 +70,15 @@ pub struct Summary {
     /// (the hex payload decodes with `qlb_core::delta::from_hex` +
     /// `StateDelta::from_bytes`).
     pub state_deltas: Vec<StateDeltaSummary>,
+    /// Retained causal request spans, in emission order — what
+    /// `qlb-trace spans` reconstructs lifecycles from.
+    pub spans: Vec<SpanRecord>,
+    /// Black-box dump header, when the input is a flight-recorder dump:
+    /// (trigger, tick, uptime ms, spans, dropped).
+    pub blackbox: Option<(String, u64, u64, u64, u64)>,
+    /// Tick context lines (flight-recorder dumps only): (tick, backlog,
+    /// budget, active, unsatisfied), in tick order.
+    pub tick_marks: Vec<(u64, u64, u64, u64, u64)>,
     /// True when the input ended mid-record (a crash or kill during a
     /// write): the partial tail was skipped, everything before it counted.
     pub truncated: bool,
@@ -283,6 +293,28 @@ impl Summary {
                     hex: hex.clone(),
                 });
             }
+            Record::Span { span } => {
+                self.spans.push(span.clone());
+            }
+            Record::BlackBox {
+                trigger,
+                tick,
+                uptime_ms,
+                spans,
+                dropped,
+            } => {
+                self.blackbox = Some((trigger.clone(), *tick, *uptime_ms, *spans, *dropped));
+            }
+            Record::TickMark {
+                tick,
+                backlog,
+                budget,
+                active,
+                unsatisfied,
+            } => {
+                self.tick_marks
+                    .push((*tick, *backlog, *budget, *active, *unsatisfied));
+            }
         }
         self.rounds = self
             .counters
@@ -407,6 +439,17 @@ impl Summary {
             out.push_str(&format!(
                 "telemetry: {} stats snapshots retained (see qlb-trace watch)\n",
                 self.stats_snapshots.len()
+            ));
+        }
+        if !self.spans.is_empty() {
+            out.push_str(&format!(
+                "spans: {} causal request spans retained (see qlb-trace spans)\n",
+                self.spans.len()
+            ));
+        }
+        if let Some((trigger, tick, uptime_ms, spans, _)) = &self.blackbox {
+            out.push_str(&format!(
+                "black box: trigger {trigger} at tick {tick} ({uptime_ms} ms uptime), {spans} spans in ring\n"
             ));
         }
         out
@@ -647,6 +690,57 @@ mod tests {
         reader.feed("opped\":0}}\n", &mut records).unwrap();
         assert_eq!(records.len(), 1);
         assert!(reader.pending().is_empty());
+    }
+
+    #[test]
+    fn spans_round_trip_through_the_dump() {
+        let mut rec = sample_recorder();
+        rec.span(&SpanRecord {
+            id: 42,
+            op: crate::span::SPAN_OP_PLACE.to_string(),
+            ticket: Some(7),
+            class: Some(1),
+            verdict: "admitted".to_string(),
+            probes: 2,
+            headroom: vec![6, -1],
+            resource: Some(3),
+            from: None,
+            parse_ns: 120,
+            admit_ns: 900,
+            probe_ns: 500,
+            reply_ns: 80,
+            total_ns: 1_150,
+        });
+        let s = Summary::from_jsonl(&rec.to_jsonl()).unwrap();
+        assert_eq!(s.spans.len(), 1);
+        assert_eq!(s.spans[0].ticket, Some(7));
+        assert_eq!(s.spans[0].headroom, vec![6, -1]);
+        assert!(s.render().contains("spans: 1 causal request spans"));
+    }
+
+    #[test]
+    fn blackbox_header_and_tick_marks_are_ingested() {
+        let mut s = Summary::default();
+        s.ingest(&Record::BlackBox {
+            trigger: "starved_tick".to_string(),
+            tick: 9,
+            uptime_ms: 1_234,
+            spans: 5,
+            dropped: 0,
+        });
+        s.ingest(&Record::TickMark {
+            tick: 9,
+            backlog: 80,
+            budget: 1,
+            active: 100,
+            unsatisfied: 3,
+        });
+        assert_eq!(
+            s.blackbox,
+            Some(("starved_tick".to_string(), 9, 1_234, 5, 0))
+        );
+        assert_eq!(s.tick_marks, vec![(9, 80, 1, 100, 3)]);
+        assert!(s.render().contains("black box: trigger starved_tick"));
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use crate::event::Event;
 use crate::metrics::{Counter, Gauge};
 use crate::profile::TopKEntry;
+use crate::span::SpanRecord;
 use crate::timers::Phase;
 use crate::window::StatsSnapshot;
 use std::time::Instant;
@@ -98,6 +99,13 @@ pub trait Sink {
     /// hex-payload trailer records.
     #[inline]
     fn delta_snapshot(&mut self, _d: &DeltaSnapshot<'_>) {}
+
+    /// Offer one causal request span (the serve daemon's sampled
+    /// per-operation record). Default: ignored — the recording sinks
+    /// retain a bounded [`SpanSeries`](crate::span::SpanSeries) and
+    /// export it as trailer records.
+    #[inline]
+    fn span(&mut self, _s: &SpanRecord) {}
 }
 
 /// The default sink: records nothing, costs nothing.

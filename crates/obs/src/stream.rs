@@ -39,6 +39,7 @@ use crate::metrics::{Counter, Gauge, MetricsRegistry};
 use crate::profile::{LatencyHists, ShardTimers, TopKEntry, TopKSeries};
 use crate::recorder::{push_record_line, write_trailer, DeltaSeries, Record};
 use crate::sink::{DeltaSnapshot, Sink};
+use crate::span::{SpanRecord, SpanSeries};
 use crate::timers::{Phase, PhaseTimers};
 use crate::window::{StatsSeries, StatsSnapshot};
 use std::io::{self, Write};
@@ -67,6 +68,7 @@ pub struct StreamSink<W: Write> {
     latency: LatencyHists,
     stats: StatsSeries,
     deltas: DeltaSeries,
+    spans: SpanSeries,
     next_seq: u64,
     /// RoundEnd events seen since the last flush.
     rounds_since_flush: u64,
@@ -95,6 +97,7 @@ impl<W: Write> StreamSink<W> {
             latency: LatencyHists::default(),
             stats: StatsSeries::default(),
             deltas: DeltaSeries::default(),
+            spans: SpanSeries::default(),
             next_seq: 0,
             rounds_since_flush: 0,
             flush_every: flush_every.max(1),
@@ -180,6 +183,7 @@ impl<W: Write> StreamSink<W> {
             &self.topk,
             &self.stats,
             &self.deltas,
+            &self.spans,
             self.next_seq,
             0,
         );
@@ -258,6 +262,11 @@ impl<W: Write> Sink for StreamSink<W> {
     fn delta_snapshot(&mut self, d: &DeltaSnapshot<'_>) {
         self.deltas.push(d);
     }
+
+    #[inline]
+    fn span(&mut self, s: &SpanRecord) {
+        self.spans.push(s);
+    }
 }
 
 impl<W: Write> Drop for StreamSink<W> {
@@ -310,6 +319,22 @@ mod tests {
             sink.set(Gauge::Unsatisfied, 9 - round);
             sink.shard_round(&[800 + round, 1_200 + round], &[40 + round, 60 + round]);
             sink.latency(crate::profile::REQUEST_HIST_NAME, 3_000 + round);
+            sink.span(&SpanRecord {
+                id: round,
+                op: crate::span::SPAN_OP_PLACE.to_string(),
+                ticket: Some(round),
+                class: Some(round % 3),
+                verdict: "admitted".to_string(),
+                probes: 2,
+                headroom: vec![5 - round as i64, 2],
+                resource: Some(round % 4),
+                from: None,
+                parse_ns: 90 + round,
+                admit_ns: 700 + round,
+                probe_ns: 400 + round,
+                reply_ns: 60 + round,
+                total_ns: 900 + round,
+            });
             sink.topk(
                 round,
                 &[

@@ -568,6 +568,31 @@ mod tests {
     }
 
     #[test]
+    fn jump_of_exactly_one_horizon_does_not_double_count() {
+        // The boundary between the in-window walk and the far-future
+        // reset: the next observation lands exactly `slots.len()` buckets
+        // after the previous one, so the cursor wraps all the way around
+        // onto the very slot holding the old delta. That slot must be
+        // reset, not merged — an un-reset wrap would let the old 9 count
+        // once as stale state and once under the new bucket id.
+        let mut w = agg(10, 4);
+        w.observe(0);
+        w.record_counter(Counter::Migrations, 9);
+        w.observe(40); // exactly one full horizon (4 × 10 ms) later
+        assert_eq!(
+            w.window_delta(Counter::Migrations, 40),
+            0,
+            "the pre-wrap delta is a full horizon old and must be forgotten"
+        );
+        // only the post-wrap increment (12 − 9 = 3) is windowed — not the
+        // cumulative 12, and not 9 + 3
+        w.record_counter(Counter::Migrations, 12);
+        assert_eq!(w.window_delta(Counter::Migrations, 40), 3);
+        assert_eq!(w.window_covered_ms(40), 40);
+        assert_eq!(w.rate(Counter::Migrations, 40), 3.0 * 1_000.0 / 40.0);
+    }
+
+    #[test]
     fn windowed_hist_merges_bucket_deltas() {
         let mut w = agg(100, 16);
         let mut cum = Histogram::default();

@@ -16,8 +16,8 @@
 
 use qlb_obs::{NoopSink, StreamSink};
 use qlb_serve::{
-    run_daemon_telemetry, DaemonOptions, ServeConfig, ServeCore, ServeListener, ServeProtocol,
-    TelemetryOptions,
+    run_daemon_telemetry, DaemonOptions, FlightOptions, ServeConfig, ServeCore, ServeListener,
+    ServeProtocol, TelemetryOptions,
 };
 use qlb_workload::Scenario;
 use std::io::BufWriter;
@@ -136,9 +136,20 @@ fn main() {
             println!("qlb-serve metrics exposition on http://{addr}/metrics");
         }
     }
+    let flight = get("--flight-recorder").map(|dir| {
+        let mut fo = FlightOptions::new(dir);
+        fo.p99_bound_ns = parse_u64("--flight-p99-ns", fo.p99_bound_ns);
+        fo.reject_spike = parse_u64("--flight-reject-spike", fo.reject_spike);
+        fo
+    });
+    // Spans default on (every 64th op) whenever the flight recorder is
+    // armed — a black box without spans is only tick marks.
+    let span_default = if flight.is_some() { 64 } else { 0 };
     let tel_opts = TelemetryOptions {
         metrics_http,
         stats_every: parse_u64("--stats-every", TelemetryOptions::DEFAULT_STATS_EVERY),
+        span_sample: parse_u64("--span-sample", span_default),
+        flight,
     };
 
     let pool_slots = core.free_slots() + core.active_slots();
@@ -208,7 +219,15 @@ fn print_help() {
          (answered from the serve loop itself; no extra writer threads)\n           \
          --stats-every N (default 32) — record a StatsSnapshot trailer record\n           \
          every N scheduler ticks when tracing (0 = never)\n           \
-         --mem-summary — print the peak allocation and bytes/slot at shutdown\n\n\
+         --mem-summary — print the peak allocation and bytes/slot at shutdown\n\
+         SPANS:     --span-sample N — trace every Nth wire op as a causal span\n           \
+         (1 = all, 0 = off; default 0, or 64 when the flight recorder is on).\n           \
+         Spans ride the trace trailer; read them with `qlb-trace spans`.\n           \
+         --flight-recorder DIR — arm the anomaly-triggered flight recorder:\n           \
+         dump a black-box JSONL into DIR when a starved tick, SLO burn,\n           \
+         reject spike, or p99 bound fires; read with `qlb-trace blackbox`\n           \
+         --flight-p99-ns NS (default off) --flight-reject-spike N (default 64)\n           \
+         — tune the latency / reject triggers\n\n\
          PROTOCOL (line-delimited JSON over the socket):\n  \
          {{\"op\":\"place\"[,\"class\":K][,\"weight\":W]}}   admission + placement\n  \
          {{\"op\":\"depart\",\"user\":U}}                  release a placement\n  \

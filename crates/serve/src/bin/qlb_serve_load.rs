@@ -138,32 +138,51 @@ fn main() {
     };
 
     // --- placements (with churn) ---
+    // `ok:false` replies are protocol errors (admission rejections answer
+    // `ok:true, admitted:false`): count them, keep them out of the latency
+    // digest, keep the run going, and decide the exit status at the end —
+    // a single malformed reply must fail the smoke run, not hide in the
+    // percentiles or abort it half-measured.
     let mut tickets: Vec<u64> = Vec::new();
     let mut admitted = 0u64;
     let mut rejected = 0u64;
+    let mut error_replies = 0u64;
+    let mut first_error: Option<String> = None;
+    let mut note_error = |v: &Value, op: &str, error_replies: &mut u64| {
+        *error_replies += 1;
+        if first_error.is_none() {
+            first_error = Some(format!("{op} answered {v:?}"));
+        }
+    };
     let mut lat_us: Vec<u64> = Vec::with_capacity(placements as usize);
     let place_req = format!("{{\"op\":\"place\",\"class\":{class},\"weight\":{weight}}}");
     for i in 0..placements {
         let t0 = Instant::now();
         let v = client.ask(&place_req).unwrap_or_else(die);
-        lat_us.push(t0.elapsed().as_micros() as u64);
-        expect_ok(&v, "place");
-        if v.get("admitted").and_then(Value::as_bool) == Some(true) {
-            admitted += 1;
-            let user = v
-                .get("user")
-                .and_then(Value::as_u64)
-                .unwrap_or_else(|| die("place reply missing user".into()));
-            tickets.push(user);
+        let elapsed_us = t0.elapsed().as_micros() as u64;
+        if v.get("ok").and_then(Value::as_bool) != Some(true) {
+            note_error(&v, "place", &mut error_replies);
         } else {
-            rejected += 1;
+            lat_us.push(elapsed_us);
+            if v.get("admitted").and_then(Value::as_bool) == Some(true) {
+                admitted += 1;
+                let user = v
+                    .get("user")
+                    .and_then(Value::as_u64)
+                    .unwrap_or_else(|| die("place reply missing user".into()));
+                tickets.push(user);
+            } else {
+                rejected += 1;
+            }
         }
         if depart_every > 0 && (i + 1) % depart_every == 0 {
             if let Some(user) = tickets.pop() {
                 let v = client
                     .ask(&format!("{{\"op\":\"depart\",\"user\":{user}}}"))
                     .unwrap_or_else(die);
-                expect_ok(&v, "depart");
+                if v.get("ok").and_then(Value::as_bool) != Some(true) {
+                    note_error(&v, "depart", &mut error_replies);
+                }
             }
         }
     }
@@ -176,7 +195,8 @@ fn main() {
         }
     };
     println!(
-        "placements: {admitted} admitted, {rejected} rejected; client latency p50 {} µs, p95 {} µs, max {} µs",
+        "placements: {admitted} admitted, {rejected} rejected, {error_replies} error replies; \
+         client latency p50 {} µs, p95 {} µs, max {} µs",
         pct(0.50),
         pct(0.95),
         pct(1.0)
@@ -236,6 +256,14 @@ fn main() {
         let v = client.ask("{\"op\":\"shutdown\"}").unwrap_or_else(die);
         expect_ok(&v, "shutdown");
         println!("daemon shut down");
+    }
+
+    if error_replies > 0 {
+        eprintln!(
+            "{error_replies} error replies (ok:false) during the load run; first: {}",
+            first_error.as_deref().unwrap_or("?")
+        );
+        exit(1);
     }
 }
 
@@ -328,6 +356,8 @@ fn print_help() {
          during the run and print a final rates/violations report (0 = off)\n  \
          --shutdown       shut the daemon down at the end\n  \
          --timeout-ms MS  connect/drain timeout (default 30000)\n\n\
-         Exits 0 only if every request succeeded (admission rejections are fine)."
+         Exits 0 only if every request succeeded. Admission rejections (ok:true,\n\
+         admitted:false) are fine; protocol error replies (ok:false) are counted,\n\
+         kept out of the latency digest, reported at exit, and fail the run."
     );
 }

@@ -218,6 +218,42 @@ impl RejectReason {
     }
 }
 
+/// Probe evidence captured by [`ServeCore::place_traced`] for a causal
+/// span: how many placement candidates were evaluated and the class
+/// headroom each showed. Reusable scratch — the daemon keeps one and the
+/// headroom vector's allocation is amortized away.
+#[derive(Debug, Clone, Default)]
+pub struct PlaceTrace {
+    /// Candidates evaluated (equals the configured probe count unless the
+    /// admission was rejected before probing).
+    pub probes: u64,
+    /// Per-probe headroom (`cap − load`, signed), in probe order.
+    pub headroom: Vec<i64>,
+    /// Wall-clock spent in the probe loop (ns).
+    pub probe_ns: u64,
+}
+
+impl PlaceTrace {
+    fn clear(&mut self) {
+        self.probes = 0;
+        self.headroom.clear();
+        self.probe_ns = 0;
+    }
+}
+
+/// One rebalancer migration captured by [`ServeCore::tick_traced`]: the
+/// moved user with its source and destination — the causal-continuation
+/// feed for sampled placement spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MoveRecord {
+    /// The moved user (a slot id; group leaders are the span tickets).
+    pub user: UserId,
+    /// Resource the user was on before the round.
+    pub from: ResourceId,
+    /// Resource the round moved it to.
+    pub to: ResourceId,
+}
+
 /// A successful admission: the ticket (`user`) plus the initial placement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PlaceOutcome {
@@ -477,6 +513,31 @@ impl ServeCore {
         weight: u32,
         sink: &mut S,
     ) -> Result<PlaceOutcome, RejectReason> {
+        self.place_inner(class, weight, sink, None)
+    }
+
+    /// [`ServeCore::place`] with probe evidence captured into `trace` —
+    /// the span-instrumented path. The trajectory is identical to an
+    /// untraced call: the trace only records headrooms the probe loop
+    /// already computed.
+    pub fn place_traced<S: Sink>(
+        &mut self,
+        class: ClassId,
+        weight: u32,
+        sink: &mut S,
+        trace: &mut PlaceTrace,
+    ) -> Result<PlaceOutcome, RejectReason> {
+        trace.clear();
+        self.place_inner(class, weight, sink, Some(trace))
+    }
+
+    fn place_inner<S: Sink>(
+        &mut self,
+        class: ClassId,
+        weight: u32,
+        sink: &mut S,
+        trace: Option<&mut PlaceTrace>,
+    ) -> Result<PlaceOutcome, RejectReason> {
         assert!(
             class.index() < self.inst.num_classes(),
             "class out of range"
@@ -503,7 +564,15 @@ impl ServeCore {
             return Err(reason);
         }
         // Best-of-`probes` by class headroom among non-draining resources.
-        let target = self.probe_target(class);
+        let target = match trace {
+            Some(tr) => {
+                let t0 = Instant::now();
+                let target = self.probe_target(class, Some(&mut *tr));
+                tr.probe_ns = t0.elapsed().as_nanos() as u64;
+                target
+            }
+            None => self.probe_target(class, None),
+        };
         let mut leader = UserId(0);
         let mut prev = NO_NEXT;
         self.changes.clear();
@@ -542,7 +611,7 @@ impl ServeCore {
 
     /// Sample placement candidates and keep the one with the most class
     /// headroom (capacity − load; ties to the first sampled).
-    fn probe_target(&mut self, class: ClassId) -> ResourceId {
+    fn probe_target(&mut self, class: ClassId, mut trace: Option<&mut PlaceTrace>) -> ResourceId {
         debug_assert!(self.draining_count < self.real_m);
         let mut best: Option<(ResourceId, i64)> = None;
         let mut probes_left = self.cfg.probes;
@@ -567,6 +636,10 @@ impl ServeCore {
             };
             probes_left -= 1;
             let headroom = self.inst.cap(class, r) as i64 - self.state.load(r) as i64;
+            if let Some(t) = trace.as_deref_mut() {
+                t.probes += 1;
+                t.headroom.push(headroom);
+            }
             if best.is_none_or(|(_, h)| headroom > h) {
                 best = Some((r, headroom));
             }
@@ -670,13 +743,39 @@ impl ServeCore {
     /// one empty round to the sink so a tailing dashboard still sees
     /// progress (and the streaming sink's round-aligned flush fires).
     pub fn tick<S: Sink>(&mut self, pending: usize, heartbeat: bool, sink: &mut S) -> TickOutcome {
+        self.tick_inner(pending, heartbeat, sink, None)
+    }
+
+    /// [`ServeCore::tick`] with every applied migration captured into
+    /// `moves_out` (appended; the caller clears) — the causal-continuation
+    /// feed: the daemon matches the moved users against its sampled
+    /// tickets and stamps `migrate` spans. Trajectory-identical to an
+    /// untraced tick: sources are read from the state the round already
+    /// produced, before the moves are applied.
+    pub fn tick_traced<S: Sink>(
+        &mut self,
+        pending: usize,
+        heartbeat: bool,
+        sink: &mut S,
+        moves_out: &mut Vec<MoveRecord>,
+    ) -> TickOutcome {
+        self.tick_inner(pending, heartbeat, sink, Some(moves_out))
+    }
+
+    fn tick_inner<S: Sink>(
+        &mut self,
+        pending: usize,
+        heartbeat: bool,
+        sink: &mut S,
+        mut moves_out: Option<&mut Vec<MoveRecord>>,
+    ) -> TickOutcome {
         let mut out = TickOutcome::default();
         let budget = self.tick_budget(pending);
         for _ in 0..budget {
             if self.index.is_empty() {
                 break;
             }
-            out.migrations += self.run_round(sink);
+            out.migrations += self.run_round(sink, moves_out.as_deref_mut());
             out.rounds += 1;
         }
         if out.rounds == 0 && heartbeat {
@@ -707,7 +806,7 @@ impl ServeCore {
     /// One protocol round over the unsatisfied set — sequential sparse
     /// decide below [`SPARSE_POOL_MIN_ACTIVE`], pooled SoA decide above
     /// it, identical to the open-system driver's executor selection.
-    fn run_round<S: Sink>(&mut self, sink: &mut S) -> u64 {
+    fn run_round<S: Sink>(&mut self, sink: &mut S, moves_out: Option<&mut Vec<MoveRecord>>) -> u64 {
         let round = self.round;
         self.round += 1;
         if S::ENABLED {
@@ -765,6 +864,14 @@ impl ServeCore {
         }
         let migrations = self.moves.len() as u64;
         self.migrations_total += migrations;
+        // Capture sources before the apply rewrites the assignment.
+        if let Some(out) = moves_out {
+            out.extend(self.moves.iter().map(|mv| MoveRecord {
+                user: mv.user,
+                from: self.state.resource_of(mv.user),
+                to: mv.to,
+            }));
+        }
         self.changes.clear();
         self.changes
             .extend(self.moves.iter().map(|mv| (mv.user, mv.to)));
@@ -1100,6 +1207,78 @@ mod tests {
             fp
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn traced_place_matches_untraced_trajectory_and_records_probes() {
+        let run = |traced: bool| {
+            let mut c = ServeCore::with_capacities(&[3; 12], 48, ServeConfig::new(99)).unwrap();
+            let mut sink = NoopSink;
+            let mut trace = PlaceTrace::default();
+            for i in 0..30 {
+                if traced {
+                    let _ = c.place_traced(ClassId(0), 1 + (i % 2), &mut sink, &mut trace);
+                } else {
+                    let _ = c.place(ClassId(0), 1 + (i % 2), &mut sink);
+                }
+                if i % 5 == 0 {
+                    c.tick(i as usize, false, &mut sink);
+                }
+            }
+            for _ in 0..50 {
+                c.tick(0, false, &mut sink);
+            }
+            (c.state().load_fingerprint(), c.unsatisfied())
+        };
+        assert_eq!(run(false), run(true));
+
+        // and the trace carries the probe evidence
+        let mut c = small();
+        let mut sink = NoopSink;
+        let mut trace = PlaceTrace::default();
+        let p = c
+            .place_traced(ClassId(0), 1, &mut sink, &mut trace)
+            .unwrap();
+        assert_eq!(trace.probes, 2);
+        assert_eq!(trace.headroom.len(), 2);
+        // the chosen target's headroom is the max of the probed ones
+        let best = trace.headroom.iter().copied().max().unwrap();
+        assert_eq!(4 - p.load as i64, best - 1);
+    }
+
+    #[test]
+    fn tick_traced_captures_migration_sources() {
+        let mut c = ServeCore::with_capacities(&[2; 16], 64, ServeConfig::new(3)).unwrap();
+        let mut sink = NoopSink;
+        for _ in 0..24 {
+            c.place(ClassId(0), 1, &mut sink).unwrap();
+        }
+        let mut moves = Vec::new();
+        let mut total = 0u64;
+        for _ in 0..200 {
+            if c.unsatisfied() == 0 {
+                break;
+            }
+            let out = c.tick_traced(0, false, &mut sink, &mut moves);
+            total += out.migrations;
+        }
+        assert_eq!(c.unsatisfied(), 0);
+        assert_eq!(moves.len() as u64, total);
+        assert!(total > 0, "collisions should have forced migrations");
+        for m in &moves {
+            assert_ne!(m.from, m.to, "a captured move must change resources");
+        }
+        // the last captured move of any user agrees with the final state
+        // unless a later un-captured round moved it — there is none here,
+        // so replaying the moves over nothing still lands every mover on
+        // its final resource
+        let mut last: std::collections::BTreeMap<u32, ResourceId> = Default::default();
+        for m in &moves {
+            last.insert(m.user.0, m.to);
+        }
+        for (&u, &r) in &last {
+            assert_eq!(c.state().resource_of(UserId(u)), r);
+        }
     }
 
     #[test]

@@ -20,12 +20,14 @@
 //! additionally feed [`PLACE_HIST_NAME`]. Both ride the trace trailer, so
 //! `qlb-trace` reports daemon latency percentiles offline or live.
 
-use crate::core::ServeCore;
-use crate::proto::{handle_line_with_stats, OpKind};
+use crate::core::{MoveRecord, PlaceTrace, ServeCore};
+use crate::flight::{FlightOptions, FlightRecorder};
+use crate::proto::{handle_line_spanned, handle_line_with_stats, OpKind};
 use crate::telemetry::{render_prometheus, ServeTelemetry};
 use qlb_obs::profile::{PLACE_HIST_NAME, REQUEST_HIST_NAME};
-use qlb_obs::{Event, Sink};
-use std::collections::{HashMap, VecDeque};
+use qlb_obs::span::{SPAN_OP_DEPART, SPAN_OP_MIGRATE, SPAN_OP_PLACE};
+use qlb_obs::{Event, Sink, SpanRecord};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::UnixListener;
@@ -102,17 +104,86 @@ pub struct TelemetryOptions {
     /// Offer a [`qlb_obs::StatsSnapshot`] to the sink every this many
     /// scheduler ticks (0 = never).
     pub stats_every: u64,
+    /// Causal-span head sampling: trace every `N`th wire op (1 = every
+    /// op, 0 = spans disabled). The sampling decision is made before
+    /// parsing; sampled-out ops pay one branch and a counter increment.
+    pub span_sample: u64,
+    /// Arm the anomaly-triggered flight recorder (`None` = off). Works
+    /// with any sink — a [`qlb_obs::NoopSink`] daemon still dumps black
+    /// boxes.
+    pub flight: Option<FlightOptions>,
 }
 
 impl TelemetryOptions {
     /// Default trailer-snapshot cadence (every 32 scheduler ticks).
     pub const DEFAULT_STATS_EVERY: u64 = 32;
 
-    /// Options with the default snapshot cadence and no HTTP endpoint.
+    /// Options with the default snapshot cadence, no HTTP endpoint, no
+    /// spans, no flight recorder.
     pub fn with_defaults() -> Self {
         Self {
             metrics_http: None,
             stats_every: Self::DEFAULT_STATS_EVERY,
+            span_sample: 0,
+            flight: None,
+        }
+    }
+}
+
+/// The serve loop's causal-span state: the head-sampling counters, the
+/// reusable probe-trace scratch, and the set of sampled live tickets the
+/// rebalancer continuation watches.
+struct SpanPlane {
+    /// Trace every `sample`th op (0 = off).
+    sample: u64,
+    /// Wire ops seen (the head-sampling clock).
+    ops: u64,
+    /// Next span id (migration spans share the counter).
+    next_id: u64,
+    trace: PlaceTrace,
+    /// Tickets of sampled, admitted, still-active placements: their
+    /// migrations and departures are part of the causal story.
+    tickets: HashSet<u64>,
+    /// Reusable migration capture buffer for [`ServeCore::tick_traced`].
+    moves: Vec<MoveRecord>,
+}
+
+impl SpanPlane {
+    fn new(sample: u64) -> Self {
+        Self {
+            sample,
+            ops: 0,
+            next_id: 0,
+            trace: PlaceTrace::default(),
+            tickets: HashSet::new(),
+            moves: Vec::new(),
+        }
+    }
+
+    fn active(&self) -> bool {
+        self.sample > 0
+    }
+
+    /// Head-sampling decision for the next wire op: `Some(span id)` when
+    /// this op is traced. Every op advances the clock.
+    fn sample_next(&mut self) -> Option<u64> {
+        let take = self.ops.is_multiple_of(self.sample);
+        self.ops += 1;
+        take.then(|| {
+            let id = self.next_id;
+            self.next_id += 1;
+            id
+        })
+    }
+
+    /// Track the causal set: a sampled admission opens a ticket's story,
+    /// its departure closes it.
+    fn note(&mut self, span: &SpanRecord) {
+        let Some(ticket) = span.ticket else { return };
+        if span.op == SPAN_OP_PLACE && span.verdict == "admitted" {
+            self.tickets.insert(ticket);
+        } else if span.op == SPAN_OP_DEPART && span.verdict == "departed" {
+            self.tickets.remove(&ticket);
         }
     }
 }
@@ -290,6 +361,8 @@ pub fn run_daemon_telemetry<S: Sink>(
     }
     spawn_acceptor(listener, tx);
     let mut tel = ServeTelemetry::new(core.num_classes(), core.max_tick_rounds());
+    let mut spans = SpanPlane::new(tel_opts.span_sample);
+    let mut flight = tel_opts.flight.map(FlightRecorder::new);
     let mut scrapes: Vec<TcpStream> = Vec::new();
     let mut writers: HashMap<u64, Box<dyn Write + Send>> = HashMap::new();
     let mut queue: VecDeque<(u64, String, Instant)> = VecDeque::new();
@@ -337,7 +410,22 @@ pub fn run_daemon_telemetry<S: Sink>(
         let mut departures = 0u64;
         for _ in 0..batch {
             let (conn, line, at) = queue.pop_front().expect("batch ≤ queue length");
-            let reply = handle_line_with_stats(&mut core, Some(&tel), &line, sink);
+            let reply = if spans.active() {
+                let ctx = spans.sample_next().map(|id| (id, &mut spans.trace));
+                let (reply, span) = handle_line_spanned(&mut core, Some(&tel), &line, sink, ctx);
+                if let Some(span) = span {
+                    spans.note(&span);
+                    if S::ENABLED {
+                        sink.span(&span);
+                    }
+                    if let Some(f) = flight.as_mut() {
+                        f.record_span(&span);
+                    }
+                }
+                reply
+            } else {
+                handle_line_with_stats(&mut core, Some(&tel), &line, sink)
+            };
             match reply.kind {
                 OpKind::Place => placements += 1,
                 OpKind::Depart => departures += 1,
@@ -388,8 +476,64 @@ pub fn run_daemon_telemetry<S: Sink>(
         // a live dashboard sees round records even in a satisfied steady
         // state.
         let backlog = queue.len();
-        core.tick(backlog, batch > 0, sink);
+        if spans.active() && !spans.tickets.is_empty() {
+            // Causal continuation: capture this tick's migrations and
+            // stamp the ones that move a sampled ticket.
+            spans.moves.clear();
+            core.tick_traced(backlog, batch > 0, sink, &mut spans.moves);
+            for i in 0..spans.moves.len() {
+                let mv = spans.moves[i];
+                let ticket = mv.user.0 as u64;
+                if !spans.tickets.contains(&ticket) {
+                    continue;
+                }
+                let id = spans.next_id;
+                spans.next_id += 1;
+                let span = SpanRecord {
+                    id,
+                    op: SPAN_OP_MIGRATE.to_string(),
+                    ticket: Some(ticket),
+                    class: None,
+                    verdict: "moved".to_string(),
+                    probes: 0,
+                    headroom: Vec::new(),
+                    resource: Some(mv.to.0 as u64),
+                    from: Some(mv.from.0 as u64),
+                    parse_ns: 0,
+                    admit_ns: 0,
+                    probe_ns: 0,
+                    reply_ns: 0,
+                    total_ns: 0,
+                };
+                if S::ENABLED {
+                    sink.span(&span);
+                }
+                if let Some(f) = flight.as_mut() {
+                    f.record_span(&span);
+                }
+            }
+        } else {
+            core.tick(backlog, batch > 0, sink);
+        }
         tel.on_tick(&core, backlog);
+        if let Some(f) = flight.as_mut() {
+            f.record_tick(
+                tel.ticks(),
+                backlog as u64,
+                core.tick_budget(backlog) as u64,
+                &core,
+            );
+            match f.check(&tel, &core, tel.ticks()) {
+                Ok(Some((trigger, path))) => {
+                    eprintln!(
+                        "qlb-serve: flight recorder dumped {} (trigger: {trigger})",
+                        path.display()
+                    );
+                }
+                Ok(None) => {}
+                Err(e) => eprintln!("qlb-serve: flight recorder dump failed: {e}"),
+            }
+        }
         if S::ENABLED
             && tel_opts.stats_every > 0
             && tel.ticks().is_multiple_of(tel_opts.stats_every)
@@ -465,10 +609,16 @@ mod tests {
         assert!(line.contains("\"admitted\":true"), "got {line}");
         ask("{\"op\":\"query\"}", &mut line);
         assert!(line.contains("\"active\":1"), "got {line}");
+        // unknown ops answer ok:false with the offending op as a
+        // structured field (wire contract; qlb-serve-load keys off it)
+        ask("{\"op\":\"fly\"}", &mut line);
+        assert!(line.contains("\"ok\":false"), "got {line}");
+        assert!(line.contains("\"op\":\"fly\""), "got {line}");
+        assert!(line.contains("unknown op"), "got {line}");
         ask("{\"op\":\"shutdown\"}", &mut line);
         assert!(line.contains("\"op\":\"shutdown\""), "got {line}");
         let served = handle.join().unwrap();
-        assert_eq!(served, 3);
+        assert_eq!(served, 4);
         let _ = std::fs::remove_file(&path);
     }
 
@@ -492,6 +642,8 @@ mod tests {
                 TelemetryOptions {
                     metrics_http: Some(http),
                     stats_every: 4,
+                    span_sample: 0,
+                    flight: None,
                 },
             )
             .unwrap()

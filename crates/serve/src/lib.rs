@@ -20,6 +20,10 @@
 //!   windowed rates, latency digests, and per-class SLO accounting behind
 //!   the `stats` wire op, periodic trace-trailer snapshots, and the
 //!   optional Prometheus `/metrics` endpoint (`--metrics-http`).
+//! * [`flight`] — the anomaly-triggered flight recorder
+//!   ([`FlightRecorder`]): a bounded ring of recent causal spans and tick
+//!   marks dumped to a JSONL black box when a starved tick, SLO burn,
+//!   reject spike, or latency-bound breach fires (`--flight-recorder`).
 //!
 //! The `qlb-serve` binary wires the three to a CLI; `qlb-serve-load` is
 //! the matching load/smoke client used by CI and the benches.
@@ -33,17 +37,20 @@
 
 pub mod core;
 pub mod daemon;
+pub mod flight;
 pub mod proto;
 pub mod telemetry;
 
 pub use crate::core::{
-    ClassStats, DepartOutcome, DrainOutcome, PlaceOutcome, RejectReason, ResourceStats,
-    ServeConfig, ServeCore, ServeProtocol, TickOutcome,
+    ClassStats, DepartOutcome, DrainOutcome, MoveRecord, PlaceOutcome, PlaceTrace, RejectReason,
+    ResourceStats, ServeConfig, ServeCore, ServeProtocol, TickOutcome,
 };
 pub use crate::daemon::{
     run_daemon, run_daemon_telemetry, DaemonOptions, ServeListener, TelemetryOptions,
 };
+pub use crate::flight::{FlightOptions, FlightRecorder, TRIGGER_WINDOW_MS};
 pub use crate::proto::{
-    handle_line, handle_line_with_stats, parse_request, OpKind, Reply, Request,
+    handle_line, handle_line_spanned, handle_line_with_stats, parse_request, OpKind, ParseError,
+    Reply, Request,
 };
 pub use crate::telemetry::{cumulative_snapshot, render_prometheus, ServeTelemetry};

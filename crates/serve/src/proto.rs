@@ -21,11 +21,13 @@
 //! hand-formatted (the schema is flat and fixed, and this keeps the
 //! response path allocation-light).
 
-use crate::core::{PlaceOutcome, RejectReason, ServeCore};
+use crate::core::{PlaceOutcome, PlaceTrace, RejectReason, ServeCore};
 use crate::telemetry::{cumulative_snapshot, ServeTelemetry};
 use qlb_core::{ClassId, ResourceId, UserId};
-use qlb_obs::Sink;
+use qlb_obs::span::{SPAN_OP_DEPART, SPAN_OP_DRAIN, SPAN_OP_PLACE};
+use qlb_obs::{Sink, SpanRecord};
 use serde_json::{parse_value_str, Value};
+use std::time::Instant;
 
 /// A parsed request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,20 +61,45 @@ pub enum Request {
     Shutdown,
 }
 
-/// Parse one request line. `Err` is a human-readable reason suitable for
-/// an `"ok":false` reply.
-pub fn parse_request(line: &str) -> Result<Request, String> {
-    let v = parse_value_str(line).map_err(|e| format!("bad json: {e}"))?;
+/// A rejected request line: the human-readable reason plus — whenever the
+/// line at least carried a string `"op"` field — the offending op itself,
+/// echoed into the structured `"ok":false` reply so a caller can tell
+/// *which* op was misspelled without parsing prose out of the message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable reason, suitable for the `"error"` payload.
+    pub msg: String,
+    /// The request's `"op"` string, when one was present.
+    pub op: Option<String>,
+}
+
+impl ParseError {
+    fn new(msg: impl Into<String>) -> Self {
+        Self {
+            msg: msg.into(),
+            op: None,
+        }
+    }
+}
+
+/// Parse one request line. The `Err` carries both the reason and (when
+/// known) the offending op string for the structured error reply.
+pub fn parse_request(line: &str) -> Result<Request, ParseError> {
+    let v = parse_value_str(line).map_err(|e| ParseError::new(format!("bad json: {e}")))?;
     let op = v
         .get("op")
         .and_then(Value::as_str)
-        .ok_or_else(|| "missing \"op\"".to_string())?;
-    let u32_field = |name: &str| -> Result<Option<u32>, String> {
+        .ok_or_else(|| ParseError::new("missing \"op\""))?;
+    let with_op = |msg: String| ParseError {
+        msg,
+        op: Some(op.to_string()),
+    };
+    let u32_field = |name: &str| -> Result<Option<u32>, ParseError> {
         match v.get(name) {
             None | Some(Value::Null) => Ok(None),
             Some(x) => match x.as_u64() {
                 Some(n) if n <= u32::MAX as u64 => Ok(Some(n as u32)),
-                _ => Err(format!("\"{name}\" must be a u32")),
+                _ => Err(with_op(format!("\"{name}\" must be a u32"))),
             },
         }
     };
@@ -81,12 +108,13 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             let class = u32_field("class")?.unwrap_or(0);
             let weight = u32_field("weight")?.unwrap_or(1);
             if weight == 0 {
-                return Err("\"weight\" must be ≥ 1".into());
+                return Err(with_op("\"weight\" must be ≥ 1".into()));
             }
             Ok(Request::Place { class, weight })
         }
         "depart" => {
-            let user = u32_field("user")?.ok_or("\"depart\" needs \"user\"")?;
+            let user =
+                u32_field("user")?.ok_or_else(|| with_op("\"depart\" needs \"user\"".into()))?;
             Ok(Request::Depart { user })
         }
         "query" => Ok(Request::Query {
@@ -94,11 +122,12 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         }),
         "stats" => Ok(Request::Stats),
         "drain" => {
-            let resource = u32_field("resource")?.ok_or("\"drain\" needs \"resource\"")?;
+            let resource = u32_field("resource")?
+                .ok_or_else(|| with_op("\"drain\" needs \"resource\"".into()))?;
             Ok(Request::Drain { resource })
         }
         "shutdown" => Ok(Request::Shutdown),
-        other => Err(format!("unknown op \"{other}\"")),
+        other => Err(with_op(format!("unknown op \"{other}\""))),
     }
 }
 
@@ -146,6 +175,16 @@ impl Reply {
 
 fn error_reply(op: OpKind, msg: &str) -> Reply {
     Reply::new(format!("{{\"ok\":false,\"error\":{}}}", json_str(msg)), op)
+}
+
+fn parse_error_reply(e: &ParseError) -> Reply {
+    let mut text = format!("{{\"ok\":false,\"error\":{}", json_str(&e.msg));
+    if let Some(op) = &e.op {
+        text.push_str(",\"op\":");
+        text.push_str(&json_str(op));
+    }
+    text.push('}');
+    Reply::new(text, OpKind::Invalid)
 }
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars) —
@@ -257,63 +296,172 @@ pub fn handle_line<S: Sink>(core: &mut ServeCore, line: &str, sink: &mut S) -> R
 }
 
 /// [`handle_line`] with a live [`ServeTelemetry`] behind the `stats` op:
-/// the daemon's dispatch point.
+/// the daemon's dispatch point for sampled-out (and untraced) requests.
 pub fn handle_line_with_stats<S: Sink>(
     core: &mut ServeCore,
     tel: Option<&ServeTelemetry>,
     line: &str,
     sink: &mut S,
 ) -> Reply {
+    handle_line_spanned(core, tel, line, sink, None).0
+}
+
+/// The full dispatch: [`handle_line_with_stats`] plus optional causal-span
+/// capture. With `span = Some((id, trace))` the request is *traced*: the
+/// parse / admit / probe / reply phases are individually clocked and a
+/// `place`/`depart`/`drain` (or malformed) request yields a
+/// [`SpanRecord`] the caller emits. With `span = None` no clock is read
+/// beyond what the untraced path always did — sampled-out requests fold
+/// to a handful of branches.
+pub fn handle_line_spanned<S: Sink>(
+    core: &mut ServeCore,
+    tel: Option<&ServeTelemetry>,
+    line: &str,
+    sink: &mut S,
+    span: Option<(u64, &mut PlaceTrace)>,
+) -> (Reply, Option<SpanRecord>) {
+    let (span_id, mut trace) = match span {
+        Some((id, t)) => (id, Some(t)),
+        None => (0, None),
+    };
+    let traced = trace.is_some();
+    let t0 = traced.then(Instant::now);
+    // A traced span for an op that never reached (or was refused by) the
+    // core: every phase after parse is zero.
+    let error_span = |t0: Option<Instant>, op: &str, parse_ns: u64| {
+        t0.map(|t| SpanRecord {
+            id: span_id,
+            op: op.to_string(),
+            ticket: None,
+            class: None,
+            verdict: "error".to_string(),
+            probes: 0,
+            headroom: Vec::new(),
+            resource: None,
+            from: None,
+            parse_ns,
+            admit_ns: 0,
+            probe_ns: 0,
+            reply_ns: 0,
+            total_ns: t.elapsed().as_nanos() as u64,
+        })
+    };
     let req = match parse_request(line) {
         Ok(r) => r,
-        Err(e) => return error_reply(OpKind::Invalid, &e),
+        Err(e) => {
+            let parse_ns = t0.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
+            let op = e.op.as_deref().unwrap_or("invalid").to_string();
+            let reply = parse_error_reply(&e);
+            return (reply, error_span(t0, &op, parse_ns));
+        }
     };
+    let parse_ns = t0.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
     match req {
         Request::Place { class, weight } => {
             if (class as usize) >= core.num_classes() {
-                return error_reply(
+                let reply = error_reply(
                     OpKind::Place,
                     &format!("class {class} out of range (have {})", core.num_classes()),
                 );
+                return (reply, error_span(t0, SPAN_OP_PLACE, parse_ns));
             }
-            match core.place(ClassId(class), weight, sink) {
-                Ok(out) => place_reply(&out),
-                Err(reason) => reject_reply(reason),
-            }
+            let t1 = traced.then(Instant::now);
+            let res = match trace.as_deref_mut() {
+                Some(tr) => core.place_traced(ClassId(class), weight, sink, tr),
+                None => core.place(ClassId(class), weight, sink),
+            };
+            let admit_ns = t1.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
+            let t2 = traced.then(Instant::now);
+            let reply = match &res {
+                Ok(out) => place_reply(out),
+                Err(reason) => reject_reply(*reason),
+            };
+            let span = t0.map(|t| SpanRecord {
+                id: span_id,
+                op: SPAN_OP_PLACE.to_string(),
+                ticket: res.as_ref().ok().map(|o| o.user.0 as u64),
+                class: Some(class as u64),
+                verdict: match &res {
+                    Ok(_) => "admitted".to_string(),
+                    Err(reason) => reason.as_str().to_string(),
+                },
+                probes: trace.as_ref().map(|tr| tr.probes).unwrap_or(0),
+                headroom: trace
+                    .as_ref()
+                    .map(|tr| tr.headroom.clone())
+                    .unwrap_or_default(),
+                resource: res.as_ref().ok().map(|o| o.resource.0 as u64),
+                from: None,
+                parse_ns,
+                admit_ns,
+                probe_ns: trace.as_ref().map(|tr| tr.probe_ns).unwrap_or(0),
+                reply_ns: t2.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0),
+                total_ns: t.elapsed().as_nanos() as u64,
+            });
+            (reply, span)
         }
-        Request::Depart { user } => match core.depart(UserId(user), sink) {
-            Ok(out) => Reply::new(
-                format!(
-                    "{{\"ok\":true,\"op\":\"depart\",\"user\":{user},\"released\":{}}}",
-                    out.released
+        Request::Depart { user } => {
+            let t1 = traced.then(Instant::now);
+            let res = core.depart(UserId(user), sink);
+            let admit_ns = t1.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
+            let t2 = traced.then(Instant::now);
+            let reply = match &res {
+                Ok(out) => Reply::new(
+                    format!(
+                        "{{\"ok\":true,\"op\":\"depart\",\"user\":{user},\"released\":{}}}",
+                        out.released
+                    ),
+                    OpKind::Depart,
                 ),
-                OpKind::Depart,
-            ),
-            Err(e) => error_reply(OpKind::Depart, &e),
-        },
+                Err(e) => error_reply(OpKind::Depart, e),
+            };
+            let span = t0.map(|t| SpanRecord {
+                id: span_id,
+                op: SPAN_OP_DEPART.to_string(),
+                ticket: Some(user as u64),
+                class: None,
+                verdict: if res.is_ok() { "departed" } else { "error" }.to_string(),
+                probes: 0,
+                headroom: Vec::new(),
+                resource: None,
+                from: None,
+                parse_ns,
+                admit_ns,
+                probe_ns: 0,
+                reply_ns: t2.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0),
+                total_ns: t.elapsed().as_nanos() as u64,
+            });
+            (reply, span)
+        }
         Request::Query { resource } => {
             if let Some(r) = resource {
                 if (r as usize) >= core.num_resources() {
-                    return error_reply(
+                    let reply = error_reply(
                         OpKind::Query,
                         &format!("resource {r} out of range (have {})", core.num_resources()),
                     );
+                    return (reply, None);
                 }
             }
-            query_reply(core, resource)
+            (query_reply(core, resource), None)
         }
-        Request::Stats => stats_reply(core, tel),
+        Request::Stats => (stats_reply(core, tel), None),
         Request::Drain { resource } => {
             if (resource as usize) >= core.num_resources() {
-                return error_reply(
+                let reply = error_reply(
                     OpKind::Drain,
                     &format!(
                         "resource {resource} out of range (have {})",
                         core.num_resources()
                     ),
                 );
+                return (reply, error_span(t0, SPAN_OP_DRAIN, parse_ns));
             }
-            match core.drain(ResourceId(resource), sink) {
+            let t1 = traced.then(Instant::now);
+            let res = core.drain(ResourceId(resource), sink);
+            let admit_ns = t1.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
+            let t2 = traced.then(Instant::now);
+            let reply = match &res {
                 Ok(out) => Reply::new(
                     format!(
                         "{{\"ok\":true,\"op\":\"drain\",\"resource\":{},\"occupants\":{}}}",
@@ -321,8 +469,25 @@ pub fn handle_line_with_stats<S: Sink>(
                     ),
                     OpKind::Drain,
                 ),
-                Err(e) => error_reply(OpKind::Drain, &e),
-            }
+                Err(e) => error_reply(OpKind::Drain, e),
+            };
+            let span = t0.map(|t| SpanRecord {
+                id: span_id,
+                op: SPAN_OP_DRAIN.to_string(),
+                ticket: None,
+                class: None,
+                verdict: if res.is_ok() { "drained" } else { "error" }.to_string(),
+                probes: 0,
+                headroom: Vec::new(),
+                resource: Some(resource as u64),
+                from: None,
+                parse_ns,
+                admit_ns,
+                probe_ns: 0,
+                reply_ns: t2.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0),
+                total_ns: t.elapsed().as_nanos() as u64,
+            });
+            (reply, span)
         }
         Request::Shutdown => {
             let mut r = Reply::new(
@@ -330,7 +495,7 @@ pub fn handle_line_with_stats<S: Sink>(
                 OpKind::Shutdown,
             );
             r.shutdown = true;
-            r
+            (r, None)
         }
     }
 }
@@ -541,5 +706,111 @@ mod tests {
     #[test]
     fn json_str_escapes() {
         assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn unknown_op_error_carries_the_offending_op() {
+        let mut c = core();
+        let mut sink = NoopSink;
+        let r = handle_line(&mut c, "{\"op\":\"fly\"}", &mut sink);
+        assert_eq!(r.kind, OpKind::Invalid);
+        let v = parse_value_str(&r.text).unwrap();
+        assert_eq!(get(&v, "ok").as_bool(), Some(false));
+        assert_eq!(get(&v, "op").as_str(), Some("fly"));
+        assert!(get(&v, "error").as_str().unwrap().contains("unknown op"));
+        // field errors on a known op echo the op too
+        let r = handle_line(&mut c, "{\"op\":\"depart\"}", &mut sink);
+        let v = parse_value_str(&r.text).unwrap();
+        assert_eq!(get(&v, "op").as_str(), Some("depart"));
+        // but a line with no op at all cannot
+        let r = handle_line(&mut c, "{}", &mut sink);
+        let v = parse_value_str(&r.text).unwrap();
+        assert!(v.get("op").is_none());
+    }
+
+    #[test]
+    fn spanned_dispatch_captures_phases_and_evidence() {
+        let mut c = core();
+        let mut sink = NoopSink;
+        let mut trace = PlaceTrace::default();
+        let (r, span) = handle_line_spanned(
+            &mut c,
+            None,
+            "{\"op\":\"place\"}",
+            &mut sink,
+            Some((5, &mut trace)),
+        );
+        let span = span.expect("place yields a span");
+        assert_eq!(span.id, 5);
+        assert_eq!(span.op, SPAN_OP_PLACE);
+        assert_eq!(span.verdict, "admitted");
+        assert_eq!(span.probes, 2);
+        assert_eq!(span.headroom.len(), 2);
+        assert!(span.total_ns >= span.parse_ns + span.admit_ns);
+        assert!(span.admit_ns >= span.probe_ns);
+        let v = parse_value_str(&r.text).unwrap();
+        let user = get(&v, "user").as_u64().unwrap();
+        assert_eq!(span.ticket, Some(user));
+        assert_eq!(span.resource, Some(get(&v, "resource").as_u64().unwrap()));
+        // depart closes the lifecycle with the same ticket
+        let (_, span) = handle_line_spanned(
+            &mut c,
+            None,
+            &format!("{{\"op\":\"depart\",\"user\":{user}}}"),
+            &mut sink,
+            Some((6, &mut trace)),
+        );
+        let span = span.expect("depart yields a span");
+        assert_eq!(span.op, SPAN_OP_DEPART);
+        assert_eq!(span.verdict, "departed");
+        assert_eq!(span.ticket, Some(user));
+        // a malformed line yields an error span naming the op
+        let (_, span) = handle_line_spanned(
+            &mut c,
+            None,
+            "{\"op\":\"fly\"}",
+            &mut sink,
+            Some((7, &mut trace)),
+        );
+        let span = span.expect("parse error yields a span");
+        assert_eq!(span.op, "fly");
+        assert_eq!(span.verdict, "error");
+        // untraced calls yield no span and no panic
+        let (_, span) = handle_line_spanned(&mut c, None, "{\"op\":\"place\"}", &mut sink, None);
+        assert!(span.is_none());
+    }
+
+    #[test]
+    fn spanned_dispatch_matches_untraced_replies() {
+        // the traced path must produce byte-identical replies and the
+        // identical trajectory (same placement targets) as the untraced one
+        let run = |traced: bool| {
+            let mut c = core();
+            let mut sink = NoopSink;
+            let mut trace = PlaceTrace::default();
+            let mut replies = Vec::new();
+            for i in 0..20u32 {
+                let line = match i % 4 {
+                    0 | 1 => "{\"op\":\"place\"}".to_string(),
+                    2 => format!("{{\"op\":\"depart\",\"user\":{}}}", 63 - i / 4),
+                    _ => "{\"op\":\"query\"}".to_string(),
+                };
+                let r = if traced {
+                    handle_line_spanned(
+                        &mut c,
+                        None,
+                        &line,
+                        &mut sink,
+                        Some((i as u64, &mut trace)),
+                    )
+                    .0
+                } else {
+                    handle_line(&mut c, &line, &mut sink)
+                };
+                replies.push(r.text);
+            }
+            replies
+        };
+        assert_eq!(run(false), run(true));
     }
 }

@@ -99,6 +99,13 @@ impl ServeTelemetry {
         self.ticks
     }
 
+    /// Ticks that ran with the rebalancer budget pinned at its floor
+    /// while a backlog and unsatisfied users remained (the flight
+    /// recorder's starvation trigger differences this).
+    pub fn starved_ticks(&self) -> u64 {
+        self.starved_ticks
+    }
+
     /// Record one answered request: its receipt→reply latency, and
     /// whether it was a placement (which also feeds the placement
     /// histogram).

@@ -394,6 +394,211 @@ fn rejections_and_all_draining() {
     assert!(d.child.wait_with_timeout().success());
 }
 
+#[test]
+fn spans_reconstruct_a_placements_full_lifecycle() {
+    // --span-sample 1: every wire op is traced, so the first placement's
+    // whole story (admission → forced migration via drain → depart) must
+    // be reconstructible from the trace spans alone.
+    let mut d = start_daemon(
+        "spans",
+        &[
+            "--resources",
+            "4",
+            "--cap",
+            "4",
+            "--pool",
+            "16",
+            "--idle-ms",
+            "2",
+            "--span-sample",
+            "1",
+        ],
+    );
+    let mut c = Client::connect(&d);
+
+    let mut tickets: Vec<(u64, u64)> = Vec::new(); // (user, resource)
+    for _ in 0..4 {
+        let v = c.ask("{\"op\":\"place\"}");
+        assert_eq!(get(&v, "admitted"), &Value::Bool(true), "reply {v:?}");
+        tickets.push((u64_of(&v, "user"), u64_of(&v, "resource")));
+    }
+    let (ticket, home) = tickets[0];
+
+    // drain the ticket's resource: the rebalancer must move it elsewhere
+    let v = c.ask(&format!("{{\"op\":\"drain\",\"resource\":{home}}}"));
+    assert_eq!(get(&v, "ok"), &Value::Bool(true), "reply {v:?}");
+    let t0 = Instant::now();
+    loop {
+        let v = c.ask(&format!("{{\"op\":\"query\",\"resource\":{home}}}"));
+        let res = get(&v, "resource");
+        if get(res, "drained") == &Value::Bool(true) && u64_of(res, "load") == 0 {
+            break;
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(30),
+            "drain never emptied r{home}: {v:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let v = c.ask(&format!("{{\"op\":\"depart\",\"user\":{ticket}}}"));
+    assert_eq!(get(&v, "ok"), &Value::Bool(true), "reply {v:?}");
+    let v = c.ask("{\"op\":\"shutdown\"}");
+    assert_eq!(get(&v, "ok"), &Value::Bool(true));
+    assert!(d.child.wait_with_timeout().success());
+
+    // --- the trace spans tell the full story ---
+    let text = std::fs::read_to_string(&d.trace).unwrap();
+    let summary = qlb_obs::replay::Summary::from_jsonl(&text).unwrap();
+    assert!(summary.saw_trailer(), "trace has no trailer");
+    let mine: Vec<_> = summary
+        .spans
+        .iter()
+        .filter(|s| s.ticket == Some(ticket))
+        .collect();
+    let ops: Vec<&str> = mine.iter().map(|s| s.op.as_str()).collect();
+    assert_eq!(
+        ops.first(),
+        Some(&"place"),
+        "story must open with admission: {ops:?}"
+    );
+    assert_eq!(mine[0].verdict, "admitted");
+    assert_eq!(mine[0].resource, Some(home));
+    assert!(mine[0].probes >= 1, "admission span carries probe evidence");
+    assert_eq!(mine[0].headroom.len(), mine[0].probes as usize);
+    assert!(
+        ops.contains(&"migrate"),
+        "drain must have produced a migrate span for ticket {ticket}: {ops:?}"
+    );
+    let mv = mine.iter().find(|s| s.op == "migrate").unwrap();
+    assert_eq!(mv.from, Some(home), "migration leaves the drained resource");
+    assert_ne!(mv.resource, Some(home));
+    assert_eq!(ops.last(), Some(&"depart"), "story must close: {ops:?}");
+    assert!(
+        mine.windows(2).all(|w| w[0].id < w[1].id),
+        "span ids must be monotone in causal order"
+    );
+
+    // --- qlb-trace spans renders the lifecycle and exits 0 ---
+    let trace_bin = PathBuf::from(env!("CARGO_BIN_EXE_qlb-serve"))
+        .parent()
+        .unwrap()
+        .join("qlb-trace");
+    if trace_bin.exists() {
+        let out = Command::new(&trace_bin)
+            .arg("spans")
+            .arg(&d.trace)
+            .arg("--ticket")
+            .arg(ticket.to_string())
+            .output()
+            .expect("run qlb-trace spans");
+        assert!(
+            out.status.success(),
+            "qlb-trace spans exited {:?}: {}",
+            out.status,
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let life = stdout
+            .lines()
+            .find(|l| l.trim_start().starts_with(&format!("ticket {ticket}:")))
+            .unwrap_or_else(|| panic!("no lifecycle line for ticket {ticket} in:\n{stdout}"));
+        assert!(life.contains(&format!("admitted r{home}")), "{life}");
+        assert!(life.contains(&format!("moved r{home}->")), "{life}");
+        assert!(life.contains("departed"), "{life}");
+        assert!(stdout.contains("per-phase latency"), "{stdout}");
+        assert!(stdout.contains("slowest"), "{stdout}");
+    } else {
+        eprintln!("note: qlb-trace binary not built; skipping the CLI check");
+    }
+}
+
+#[test]
+fn flight_recorder_dumps_a_black_box_on_a_reject_spike() {
+    // Tiny fleet: cap 2, φ 0.95 → one admitted slot; the second place is
+    // a capacity reject, which trips --flight-reject-spike 1.
+    let dir = std::env::temp_dir().join(format!("qlb-serve-it-flight-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut d = start_daemon(
+        "flight",
+        &[
+            "--resources",
+            "1",
+            "--cap",
+            "2",
+            "--pool",
+            "4",
+            "--idle-ms",
+            "2",
+            "--span-sample",
+            "1",
+            "--flight-recorder",
+            dir.to_str().unwrap(),
+            "--flight-reject-spike",
+            "1",
+        ],
+    );
+    let mut c = Client::connect(&d);
+    let v = c.ask("{\"op\":\"place\"}");
+    assert_eq!(get(&v, "admitted"), &Value::Bool(true));
+    let v = c.ask("{\"op\":\"place\"}");
+    assert_eq!(get(&v, "admitted"), &Value::Bool(false));
+
+    // the trigger is evaluated on scheduler ticks; wait for the dump
+    let t0 = Instant::now();
+    let dump = loop {
+        let found = std::fs::read_dir(&dir).ok().and_then(|rd| {
+            rd.filter_map(|e| e.ok().map(|e| e.path()))
+                .find(|p| p.to_string_lossy().contains("blackbox-"))
+        });
+        if let Some(p) = found {
+            break p;
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(20),
+            "flight recorder never dumped into {dir:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    let v = c.ask("{\"op\":\"shutdown\"}");
+    assert_eq!(get(&v, "ok"), &Value::Bool(true));
+    assert!(d.child.wait_with_timeout().success());
+
+    let text = std::fs::read_to_string(&dump).unwrap();
+    let summary = qlb_obs::replay::Summary::from_jsonl(&text).unwrap();
+    let (trigger, ..) = summary.blackbox.clone().expect("BlackBox header");
+    assert_eq!(trigger, "reject-spike");
+    assert!(!summary.tick_marks.is_empty(), "black box has tick context");
+    assert!(
+        summary.spans.iter().any(|s| s.verdict == "capacity"),
+        "black box retains the rejected placement's span"
+    );
+
+    // --- qlb-trace blackbox reads the dump (by directory) and exits 0 ---
+    let trace_bin = PathBuf::from(env!("CARGO_BIN_EXE_qlb-serve"))
+        .parent()
+        .unwrap()
+        .join("qlb-trace");
+    if trace_bin.exists() {
+        let out = Command::new(&trace_bin)
+            .arg("blackbox")
+            .arg(&dir)
+            .output()
+            .expect("run qlb-trace blackbox");
+        assert!(
+            out.status.success(),
+            "qlb-trace blackbox exited {:?}: {}",
+            out.status,
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("trigger: reject-spike"), "{stdout}");
+    } else {
+        eprintln!("note: qlb-trace binary not built; skipping the CLI check");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Waiting with a deadline so a wedged daemon fails the test instead of
 /// hanging the suite.
 trait WaitTimeout {
